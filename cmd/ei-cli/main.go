@@ -1,0 +1,244 @@
+// Command ei-cli is the uploader/automation client for an ei-studio
+// server, mirroring the platform's CLI tooling (paper Sec. 4.1): it signs
+// sensor data with the project's HMAC key and drives training jobs over
+// the REST API.
+//
+// Usage:
+//
+//	ei-cli -server http://localhost:4800 bootstrap <username>
+//	ei-cli -key KEY create-project <name>
+//	ei-cli -key KEY upload -project 1 -label yes -hmac HMACKEY file.wav
+//	ei-cli -key KEY train -project 1 -epochs 10
+//	ei-cli -key KEY job -id job-1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"edgepulse/internal/ingest"
+	"edgepulse/internal/wav"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:4800", "studio server URL")
+	key := flag.String("key", "", "API key")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cli := &client{server: *server, key: *key}
+	var err error
+	switch args[0] {
+	case "bootstrap":
+		err = cli.bootstrap(args[1:])
+	case "create-project":
+		err = cli.createProject(args[1:])
+	case "upload":
+		err = cli.upload(args[1:])
+	case "train":
+		err = cli.train(args[1:])
+	case "job":
+		err = cli.job(args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ei-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|train|job> ...")
+	os.Exit(2)
+}
+
+type client struct {
+	server string
+	key    string
+}
+
+func (c *client) do(method, path string, body []byte, contentType string) (map[string]any, error) {
+	req, err := http.NewRequest(method, c.server+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if c.key != "" {
+		req.Header.Set("x-api-key", c.key)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("bad response (%d): %s", resp.StatusCode, raw)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("%v", out["error"])
+	}
+	return out, nil
+}
+
+func (c *client) bootstrap(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: bootstrap <username>")
+	}
+	body, _ := json.Marshal(map[string]string{"name": args[0]})
+	out, err := c.do("POST", "/api/users", body, "application/json")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("user %s created; API key: %s\n", out["id"], out["api_key"])
+	return nil
+}
+
+func (c *client) createProject(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: create-project <name>")
+	}
+	body, _ := json.Marshal(map[string]string{"name": args[0]})
+	out, err := c.do("POST", "/api/projects", body, "application/json")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("project %v created; HMAC key: %s\n", out["id"], out["hmac_key"])
+	return nil
+}
+
+func (c *client) upload(args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	projectID := fs.Int("project", 0, "project id")
+	label := fs.String("label", "", "sample label")
+	hmacKey := fs.String("hmac", "", "project HMAC key (signs the payload)")
+	fs.Parse(args)
+	if *projectID == 0 || *label == "" || fs.NArg() != 1 {
+		return fmt.Errorf("usage: upload -project N -label L -hmac KEY file.wav")
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	name := filepath.Base(path)
+	if strings.HasSuffix(path, ".wav") {
+		// Decode locally and push as a signed acquisition document, the
+		// same path a device daemon uses.
+		audio, err := wav.Decode(f)
+		if err != nil {
+			return err
+		}
+		values := make([][]float64, len(audio.Samples)/audio.Channels)
+		for i := range values {
+			row := make([]float64, audio.Channels)
+			for ch := 0; ch < audio.Channels; ch++ {
+				row[ch] = float64(audio.Samples[i*audio.Channels+ch])
+			}
+			values[i] = row
+		}
+		sensors := make([]ingest.Sensor, audio.Channels)
+		for ch := range sensors {
+			sensors[ch] = ingest.Sensor{Name: fmt.Sprintf("audio%d", ch), Units: "wav"}
+		}
+		doc, err := ingest.SignJSON(ingest.Payload{
+			DeviceName: "ei-cli", DeviceType: "CLI_UPLOADER",
+			IntervalMS: 1000 / float64(audio.Rate),
+			Sensors:    sensors, Values: values,
+		}, *hmacKey, 0)
+		if err != nil {
+			return err
+		}
+		out, err := c.do("POST", fmt.Sprintf("/api/projects/%d/data?label=%s&name=%s&format=acquisition",
+			*projectID, *label, name), doc, "application/json")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %s as sample %v\n", name, out["sample_id"])
+		return nil
+	}
+	// CSV and images pass through raw.
+	format := "csv"
+	if strings.HasSuffix(path, ".png") || strings.HasSuffix(path, ".jpg") || strings.HasSuffix(path, ".jpeg") {
+		format = "image"
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	out, err := c.do("POST", fmt.Sprintf("/api/projects/%d/data?label=%s&name=%s&format=%s",
+		*projectID, *label, name, format), raw, "application/octet-stream")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uploaded %s as sample %v\n", name, out["sample_id"])
+	return nil
+}
+
+func (c *client) train(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	projectID := fs.Int("project", 0, "project id")
+	epochs := fs.Int("epochs", 10, "training epochs")
+	lr := fs.Float64("lr", 0.005, "learning rate (0 = auto)")
+	modelType := fs.String("model", "conv1d", "model type (conv1d, dscnn, mlp, cnn2d)")
+	quantize := fs.Bool("quantize", true, "quantize to int8 after training")
+	fs.Parse(args)
+	if *projectID == 0 {
+		return fmt.Errorf("usage: train -project N [-epochs E] [-model conv1d]")
+	}
+	body, _ := json.Marshal(map[string]any{
+		"model":         map[string]any{"type": *modelType},
+		"epochs":        *epochs,
+		"learning_rate": *lr,
+		"quantize":      *quantize,
+	})
+	out, err := c.do("POST", fmt.Sprintf("/api/projects/%d/train", *projectID), body, "application/json")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training started: job %v (poll with: ei-cli job -id %v)\n", out["job_id"], out["job_id"])
+	return nil
+}
+
+func (c *client) job(args []string) error {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	id := fs.String("id", "", "job id")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("usage: job -id job-N")
+	}
+	out, err := c.do("GET", "/api/jobs/"+*id, nil, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %v\n", *id, out["status"])
+	if logs, ok := out["logs"].([]any); ok {
+		for _, l := range logs {
+			fmt.Println(" ", l)
+		}
+	}
+	if out["status"] == "finished" {
+		if res, err := c.do("GET", "/api/jobs/"+*id+"/result", nil, ""); err == nil {
+			pretty, _ := json.MarshalIndent(res["result"], "  ", "  ")
+			fmt.Printf("  result: %s\n", pretty)
+		}
+	}
+	return nil
+}

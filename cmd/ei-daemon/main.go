@@ -1,0 +1,160 @@
+// Command ei-daemon bridges a device to an ei-studio server, playing the
+// role of the platform's device daemon (paper Sec. 4.1: "CLI tools that
+// interface with device firmware to ingest data in real time"). Since
+// this repository has no physical hardware, the daemon drives a simulated
+// firmware (internal/firmware) over its AT-command interface: it issues
+// AT+SAMPLE, receives HMAC-signed acquisition documents, and forwards
+// them to the project's ingestion endpoint.
+//
+// Usage:
+//
+//	ei-daemon -server http://localhost:4800 -key APIKEY -project 1 \
+//	          -hmac HMACKEY -label yes -samples 10 -window-ms 1000 \
+//	          -signal keyword:yes
+//
+// -signal selects the simulated sensor: "keyword:<label>" (audio),
+// "vibration:normal" or "vibration:fault" (3-axis accelerometer).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+
+	"edgepulse/internal/firmware"
+	"edgepulse/internal/ingest"
+	"edgepulse/internal/synth"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:4800", "studio server URL")
+	key := flag.String("key", "", "API key")
+	projectID := flag.Int("project", 0, "project id")
+	hmacKey := flag.String("hmac", "", "project HMAC key (programmed into the device)")
+	label := flag.String("label", "", "label for ingested samples")
+	samples := flag.Int("samples", 5, "number of windows to sample and upload")
+	windowMS := flag.Int("window-ms", 1000, "window length in milliseconds")
+	signalKind := flag.String("signal", "keyword:yes", "simulated signal (keyword:<word> | vibration:normal | vibration:fault)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	if *key == "" || *projectID == 0 || *hmacKey == "" || *label == "" {
+		fmt.Fprintln(os.Stderr, "usage: ei-daemon -server URL -key APIKEY -project N -hmac HMACKEY -label L [-samples N]")
+		os.Exit(2)
+	}
+
+	dev, err := buildDevice(*signalKind, *hmacKey, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := dev.Execute("AT+INFO?")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print("connected to device:\n", indent(info))
+
+	for i := 0; i < *samples; i++ {
+		out, err := dev.Execute(fmt.Sprintf("AT+SAMPLE=%d", *windowMS))
+		if err != nil {
+			fatal(err)
+		}
+		doc := strings.TrimSuffix(strings.TrimSpace(out), "\nOK")
+		id, err := upload(*server, *key, *projectID, *label, []byte(doc))
+		if err != nil {
+			fatal(fmt.Errorf("sample %d: %w", i, err))
+		}
+		fmt.Printf("uploaded window %d/%d -> sample %s\n", i+1, *samples, id)
+	}
+}
+
+// buildDevice wires a synthetic sensor into the simulated firmware.
+func buildDevice(kind, hmacKey string, seed int64) (*firmware.Device, error) {
+	rng := rand.New(rand.NewSource(seed))
+	parts := strings.SplitN(kind, ":", 2)
+	switch parts[0] {
+	case "keyword":
+		word := "yes"
+		if len(parts) == 2 {
+			word = parts[1]
+		}
+		const rate = 8000
+		return &firmware.Device{
+			Name: "sim-mic-01", Type: "NANO33BLE",
+			Sensors: []ingest.Sensor{{Name: "audio", Units: "wav"}},
+			RateHz:  rate, HMACKey: hmacKey,
+			Sample: func(n int) [][]float64 {
+				sig, err := synth.Keyword(word, rate, float64(n)/rate+0.01, 0.03, rng)
+				if err != nil {
+					sig, _ = synth.Keyword("noise", rate, float64(n)/rate+0.01, 0.3, rng)
+				}
+				rows := make([][]float64, n)
+				for i := range rows {
+					rows[i] = []float64{float64(sig.Data[i])}
+				}
+				return rows
+			},
+		}, nil
+	case "vibration":
+		fault := len(parts) == 2 && parts[1] == "fault"
+		const rate = 100
+		return &firmware.Device{
+			Name: "sim-accel-01", Type: "SLATESAFETY_BAND",
+			Sensors: []ingest.Sensor{
+				{Name: "accX", Units: "m/s2"}, {Name: "accY", Units: "m/s2"}, {Name: "accZ", Units: "m/s2"},
+			},
+			RateHz: rate, HMACKey: hmacKey,
+			Sample: func(n int) [][]float64 {
+				sig := synth.Vibration(rate, float64(n)/rate+0.01, fault, rng)
+				rows := make([][]float64, n)
+				for i := range rows {
+					rows[i] = []float64{
+						float64(sig.Data[i*3]), float64(sig.Data[i*3+1]), float64(sig.Data[i*3+2]),
+					}
+				}
+				return rows
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown signal kind %q", kind)
+	}
+}
+
+func upload(server, key string, projectID int, label string, doc []byte) (string, error) {
+	url := fmt.Sprintf("%s/api/projects/%d/data?label=%s&format=acquisition", server, projectID, label)
+	req, err := http.NewRequest("POST", url, bytes.NewReader(doc))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("x-api-key", key)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil || resp.StatusCode >= 400 {
+		return "", fmt.Errorf("server said %d: %s", resp.StatusCode, raw)
+	}
+	id, _ := out["sample_id"].(string)
+	return id, nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ei-daemon:", err)
+	os.Exit(1)
+}

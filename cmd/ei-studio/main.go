@@ -1,0 +1,66 @@
+// Command ei-studio serves the edgepulse platform REST API — the
+// equivalent of the Edge Impulse Studio backend: projects, signed data
+// ingestion, impulse design, training and tuner jobs on an autoscaling
+// worker pool, profiling, and deployment artifact generation.
+//
+// Usage:
+//
+//	ei-studio -addr :4800 -workers 4
+//
+// Bootstrap a user, then drive everything over HTTP:
+//
+//	curl -XPOST localhost:4800/api/users -d '{"name":"ada"}'
+//	curl -H "x-api-key: $KEY" -XPOST localhost:4800/api/projects -d '{"name":"kws"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"edgepulse/internal/api"
+	"edgepulse/internal/jobs"
+	"edgepulse/internal/project"
+)
+
+func main() {
+	addr := flag.String("addr", ":4800", "listen address")
+	workers := flag.Int("workers", 4, "max training workers")
+	dataDir := flag.String("data", "", "directory for persistent state (load on start, save on SIGINT/SIGTERM)")
+	flag.Parse()
+
+	registry := project.NewRegistry()
+	if *dataDir != "" {
+		if loaded, err := project.Load(*dataDir); err == nil {
+			registry = loaded
+			fmt.Printf("loaded state from %s\n", *dataDir)
+		} else if !os.IsNotExist(err) {
+			log.Fatal("loading state: ", err)
+		}
+	}
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: *workers})
+	defer sched.Shutdown()
+
+	if *dataDir != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := registry.Save(*dataDir); err != nil {
+				log.Println("saving state:", err)
+			} else {
+				fmt.Printf("\nstate saved to %s\n", *dataDir)
+			}
+			os.Exit(0)
+		}()
+	}
+
+	server := api.NewServer(registry, sched)
+	fmt.Printf("edgepulse studio listening on %s\n", *addr)
+	fmt.Println("bootstrap: curl -XPOST http://localhost" + *addr + "/api/users -d '{\"name\":\"you\"}'")
+	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
+}

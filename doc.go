@@ -1,0 +1,28 @@
+// Package edgepulse is a from-scratch Go reproduction of "Edge Impulse:
+// An MLOps Platform for Tiny Machine Learning" (MLSys 2023): an
+// end-to-end TinyML MLOps platform with signed data ingestion, DSP
+// feature extraction, neural network training, int8 quantization, an
+// EON-style model compiler, device latency/memory simulation, AutoML
+// (EON Tuner), performance calibration, deployment packaging and a REST
+// API — all in stdlib-only Go.
+//
+// Layout:
+//
+//   - internal/core       — the impulse (input → DSP → learn dataflow)
+//   - internal/dsp, fft   — feature extraction blocks
+//   - internal/nn, models, trainer — networks and training
+//   - internal/quant, tflm, eon    — int8 quantization and the two engines
+//   - internal/device, renode, profiler — on-device estimation
+//   - internal/tuner, search, ga, calibration — AutoML and tuning
+//   - internal/data, ingest, cbor, wav — the data plane
+//   - internal/project, jobs, api — the MLOps service layer
+//   - internal/deploy, eim — deployment artifacts and the EIM runner
+//   - internal/bench, report — the paper's tables and figures
+//
+// Entry points: cmd/ei-studio (REST server), cmd/ei-cli (client),
+// cmd/ei-run (EIM runner), cmd/ei-bench (regenerate the paper's
+// evaluation). See README.md and EXPERIMENTS.md.
+package edgepulse
+
+// Version identifies this reproduction build.
+const Version = "1.0.0"

@@ -1,0 +1,127 @@
+// Active learning: the paper's data-centric labeling loop (Sec. 4.8).
+//
+//  1. Train a model on the small labeled subset of a mostly-unlabeled
+//     keyword dataset.
+//
+//  2. Extract embeddings from an intermediate layer for every sample.
+//
+//  3. Project them to 2-D and render the data-explorer view.
+//
+//  4. Auto-label the unlabeled samples by proximity to class clusters and
+//     measure how many suggestions are correct.
+//
+//     go run ./examples/active_learning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edgepulse/internal/active"
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/report"
+	"edgepulse/internal/synth"
+	"edgepulse/internal/tensor"
+	"edgepulse/internal/trainer"
+)
+
+func main() {
+	// A dataset where only 40% of the samples are labeled. We keep the
+	// ground truth aside to score the suggestions afterwards.
+	full, err := synth.KWSDataset(2, 30, 8000, 0.5, 0.03, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := full.List("")
+	truth := make([]string, len(samples))
+	visible := make([]string, len(samples))
+	labeledDS := data.New()
+	for i, s := range samples {
+		truth[i] = s.Label
+		if i%5 < 2 { // 40% labeled
+			visible[i] = s.Label
+			clone := *s
+			clone.ID = ""
+			if _, err := labeledDS.Add(&clone); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("dataset: %d samples, %d labeled, %d unlabeled\n",
+		len(samples), labeledDS.Len(), len(samples)-labeledDS.Len())
+
+	// Impulse trained on the labeled subset only.
+	imp := core.New("active")
+	imp.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+	block, err := dsp.New("mfe", map[string]float64{"num_filters": 16, "fft_length": 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	imp.DSP = block
+	imp.Classes = labeledDS.Labels()
+	shape, _ := imp.FeatureShape()
+	model, err := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, len(imp.Classes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nn.InitWeights(model, 6)
+	if err := imp.AttachClassifier(model); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := imp.Train(labeledDS, trainer.Config{Epochs: 8, LearningRate: 0.005, Seed: 6}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trained on the labeled subset")
+
+	// Embeddings for every sample (labeled and unlabeled).
+	var features []*tensor.F32
+	for _, s := range samples {
+		x, err := imp.Features(s.Signal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		features = append(features, x)
+	}
+	embs, err := active.Embeddings(imp.Model, -1, features)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Data explorer: 2-D projection with '?' for unlabeled samples.
+	proj, err := active.PCA2D(embs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points := make([]report.Point, len(proj))
+	for i, p := range proj {
+		points[i] = report.Point{X: p[0], Y: p[1], Label: visible[i]}
+	}
+	fmt.Print(report.Scatter(points, 64, 16))
+
+	// Auto-label suggestions by cluster proximity.
+	suggestions, err := active.SuggestLabels(embs, visible, 5, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, s := range suggestions {
+		if s.Label == truth[s.Index] {
+			correct++
+		}
+	}
+	fmt.Printf("auto-label suggestions: %d of %d unlabeled samples (conf >= 0.7)\n",
+		len(suggestions), len(samples)-labeledDS.Len())
+	fmt.Printf("suggestion accuracy vs held-out ground truth: %d/%d (%.0f%%)\n",
+		correct, len(suggestions), 100*float64(correct)/float64(max(1, len(suggestions))))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,193 @@
+// MLOps pipeline: the full automated loop over the REST API, exactly as a
+// CI system would drive the platform (paper Sec. 4.9): bootstrap a user,
+// create a project, ingest HMAC-signed sensor data, configure the
+// impulse, run an async training job on the autoscaling scheduler, poll
+// it, download the EIM deployment artifact, and run inference with the
+// deployed model — no direct library calls to the ML internals, only HTTP.
+//
+//	go run ./examples/mlops_pipeline
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"edgepulse/internal/api"
+	"edgepulse/internal/core"
+	"edgepulse/internal/deploy"
+	"edgepulse/internal/ingest"
+	"edgepulse/internal/jobs"
+	"edgepulse/internal/project"
+	"edgepulse/internal/synth"
+)
+
+func main() {
+	// Boot the platform in-process (in production: cmd/ei-studio).
+	registry := project.NewRegistry()
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 4, ScaleInterval: 20 * time.Millisecond})
+	defer sched.Shutdown()
+	server := httptest.NewServer(api.NewServer(registry, sched).Handler())
+	defer server.Close()
+	fmt.Println("studio API at", server.URL)
+
+	// 1. Bootstrap a user + project.
+	var user struct {
+		APIKey string `json:"api_key"`
+	}
+	post(server.URL+"/api/users", "", map[string]any{"name": "ci-bot"}, &user)
+	var proj struct {
+		ID      int    `json:"id"`
+		HMACKey string `json:"hmac_key"`
+	}
+	post(server.URL+"/api/projects", user.APIKey, map[string]any{"name": "wake-word"}, &proj)
+	fmt.Printf("project %d created (ingestion key %s...)\n", proj.ID, proj.HMACKey[:10])
+
+	// 2. Ingest signed device data.
+	ds, err := synth.KWSDataset(2, 12, 8000, 0.5, 0.03, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uploaded := 0
+	for _, s := range ds.List("") {
+		values := make([][]float64, s.Signal.Frames())
+		for i := range values {
+			values[i] = []float64{float64(s.Signal.Data[i])}
+		}
+		doc, err := ingest.SignJSON(ingest.Payload{
+			DeviceName: "device-01", DeviceType: "NANO33BLE",
+			IntervalMS: 1000.0 / 8000.0,
+			Sensors:    []ingest.Sensor{{Name: "audio", Units: "wav"}},
+			Values:     values,
+		}, proj.HMACKey, time.Now().Unix())
+		if err != nil {
+			log.Fatal(err)
+		}
+		url := fmt.Sprintf("%s/api/projects/%d/data?label=%s&name=%s", server.URL, proj.ID, s.Label, s.Name)
+		postRaw(url, user.APIKey, doc)
+		uploaded++
+	}
+	fmt.Printf("ingested %d signed samples\n", uploaded)
+	post(fmt.Sprintf("%s/api/projects/%d/rebalance", server.URL, proj.ID), user.APIKey,
+		map[string]any{"test_fraction": 0.25}, nil)
+
+	// 3. Configure the impulse.
+	cfg := core.Config{
+		Name:      "wake-word",
+		Input:     core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1},
+		DSPName:   "mfe",
+		DSPParams: map[string]float64{"num_filters": 16, "fft_length": 128},
+		Classes:   []string{"noise", "yes"},
+	}
+	var impResp struct {
+		Dataflow string `json:"dataflow"`
+	}
+	post(fmt.Sprintf("%s/api/projects/%d/impulse", server.URL, proj.ID), user.APIKey, cfg, &impResp)
+	fmt.Println("impulse:", impResp.Dataflow)
+
+	// 4. Async training job with quantization.
+	var train struct {
+		JobID string `json:"job_id"`
+	}
+	post(fmt.Sprintf("%s/api/projects/%d/train", server.URL, proj.ID), user.APIKey, map[string]any{
+		"model":         map[string]any{"type": "conv1d", "depth": 2, "start_filters": 8, "end_filters": 16},
+		"epochs":        10,
+		"learning_rate": 0.005,
+		"quantize":      true,
+		"seed":          7,
+	}, &train)
+	fmt.Println("training job:", train.JobID)
+	for {
+		var job struct {
+			Status string   `json:"status"`
+			Error  string   `json:"error"`
+			Logs   []string `json:"logs"`
+		}
+		get(server.URL+"/api/jobs/"+train.JobID, user.APIKey, &job)
+		if job.Status == "finished" {
+			for _, l := range job.Logs {
+				fmt.Println("  [job]", l)
+			}
+			break
+		}
+		if job.Status == "failed" {
+			log.Fatal("training failed: ", job.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// 5. Profile for the deployment target.
+	var profile map[string]any
+	get(fmt.Sprintf("%s/api/projects/%d/profile?target=nano-33-ble-sense", server.URL, proj.ID), user.APIKey, &profile)
+	pretty, _ := json.Marshal(profile["int8"])
+	fmt.Println("int8 on-device estimate:", string(pretty))
+
+	// 6. Download and run the EIM deployment.
+	req, _ := http.NewRequest("GET", fmt.Sprintf("%s/api/projects/%d/deployment?type=eim", server.URL, proj.ID), nil)
+	req.Header.Set("x-api-key", user.APIKey)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("downloaded model.eim (%d bytes)\n", len(blob))
+	deployed, err := deploy.ParseEIM(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clip := ds.List("")[0]
+	res, err := deployed.ClassifyQuantized(clip.Signal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed model: sample labeled %q classified as %q %v\n", clip.Label, res.Label, res.Scores)
+}
+
+func post(url, key string, body any, out any) {
+	blob, _ := json.Marshal(body)
+	req, _ := http.NewRequest("POST", url, bytes.NewReader(blob))
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("x-api-key", key)
+	}
+	doReq(req, out)
+}
+
+func postRaw(url, key string, body []byte) {
+	req, _ := http.NewRequest("POST", url, bytes.NewReader(body))
+	if key != "" {
+		req.Header.Set("x-api-key", key)
+	}
+	doReq(req, nil)
+}
+
+func get(url, key string, out any) {
+	req, _ := http.NewRequest("GET", url, nil)
+	if key != "" {
+		req.Header.Set("x-api-key", key)
+	}
+	doReq(req, out)
+}
+
+func doReq(req *http.Request, out any) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		log.Fatalf("%s %s: %d %s", req.Method, req.URL.Path, resp.StatusCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			log.Fatalf("bad response: %s", raw)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package active implements the active-learning loop of the platform
+// (paper Sec. 4.8): extract semantically meaningful embeddings from an
+// intermediate layer of a partially trained model, project them to 2-D
+// for the data-explorer view (a PCA projection standing in for
+// UMAP/t-SNE), and auto-label or flag unlabeled samples by proximity to
+// existing class clusters.
+package active
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgepulse/internal/nn"
+	"edgepulse/internal/tensor"
+)
+
+// Embeddings runs each input through the first `layer` layers of the
+// model and returns the flattened intermediate activations. layer < 0
+// selects the penultimate layer (before the classifier head).
+func Embeddings(m *nn.Model, layer int, xs []*tensor.F32) ([][]float64, error) {
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("active: empty model")
+	}
+	if layer < 0 {
+		layer = len(m.Layers) - 2
+		if layer < 1 {
+			layer = 1
+		}
+	}
+	if layer > len(m.Layers) {
+		return nil, fmt.Errorf("active: layer %d out of range (%d layers)", layer, len(m.Layers))
+	}
+	out := make([][]float64, len(xs))
+	var dim int
+	for i, x := range xs {
+		if !x.Shape.Equal(m.InputShape) {
+			return nil, fmt.Errorf("active: input %d has shape %v, want %v", i, x.Shape, m.InputShape)
+		}
+		emb := m.ForwardTo(x, layer)
+		if i == 0 {
+			dim = len(emb.Data)
+		} else if len(emb.Data) != dim {
+			return nil, fmt.Errorf("active: inconsistent embedding dims")
+		}
+		row := make([]float64, len(emb.Data))
+		for j, v := range emb.Data {
+			row[j] = float64(v)
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// PCA2D projects points onto their top two principal components using
+// power iteration with deflation — the dimensionality-reduction step of
+// the data explorer. Output is centered; axes are unit variance-ordered.
+func PCA2D(points [][]float64) ([][2]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("active: no points")
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("active: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	// Center.
+	mean := make([]float64, d)
+	for _, p := range points {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	centered := make([][]float64, n)
+	for i, p := range points {
+		row := make([]float64, d)
+		for j, v := range p {
+			row[j] = v - mean[j]
+		}
+		centered[i] = row
+	}
+	// Power iteration on the covariance (implicitly X^T X).
+	component := func(deflated [][]float64) []float64 {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = 1 / math.Sqrt(float64(d))
+		}
+		for it := 0; it < 64; it++ {
+			// w = X^T (X v)
+			xv := make([]float64, n)
+			for i, row := range deflated {
+				var s float64
+				for j, x := range row {
+					s += x * v[j]
+				}
+				xv[i] = s
+			}
+			w := make([]float64, d)
+			for i, row := range deflated {
+				for j, x := range row {
+					w[j] += x * xv[i]
+				}
+			}
+			var norm float64
+			for _, x := range w {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm < 1e-12 {
+				return v
+			}
+			for j := range w {
+				w[j] /= norm
+			}
+			v = w
+		}
+		return v
+	}
+	pc1 := component(centered)
+	// Deflate: remove pc1 component from each point.
+	deflated := make([][]float64, n)
+	for i, row := range centered {
+		var proj float64
+		for j, x := range row {
+			proj += x * pc1[j]
+		}
+		d2 := make([]float64, d)
+		for j, x := range row {
+			d2[j] = x - proj*pc1[j]
+		}
+		deflated[i] = d2
+	}
+	pc2 := component(deflated)
+	out := make([][2]float64, n)
+	for i, row := range centered {
+		var a, b float64
+		for j, x := range row {
+			a += x * pc1[j]
+			b += x * pc2[j]
+		}
+		out[i] = [2]float64{a, b}
+	}
+	return out, nil
+}
+
+// Suggestion is one auto-labeling proposal for an unlabeled sample.
+type Suggestion struct {
+	// Index identifies the unlabeled point in the input slice.
+	Index int
+	// Label is the proposed class.
+	Label string
+	// Confidence is the fraction of the k nearest labeled neighbours
+	// agreeing on Label, discounted by distance.
+	Confidence float64
+}
+
+// SuggestLabels proposes labels for the unlabeled points (empty string in
+// labels) via k-nearest-neighbour vote over labeled points in embedding
+// space. Only suggestions at or above minConfidence are returned, sorted
+// by descending confidence — the "manually or automatically label samples
+// based on proximity to existing class clusters" step of the paper.
+func SuggestLabels(embeddings [][]float64, labels []string, k int, minConfidence float64) ([]Suggestion, error) {
+	if len(embeddings) != len(labels) {
+		return nil, fmt.Errorf("active: %d embeddings vs %d labels", len(embeddings), len(labels))
+	}
+	if k < 1 {
+		k = 3
+	}
+	var labeledIdx []int
+	for i, l := range labels {
+		if l != "" {
+			labeledIdx = append(labeledIdx, i)
+		}
+	}
+	if len(labeledIdx) == 0 {
+		return nil, fmt.Errorf("active: no labeled points to learn from")
+	}
+	if k > len(labeledIdx) {
+		k = len(labeledIdx)
+	}
+	var out []Suggestion
+	for i, l := range labels {
+		if l != "" {
+			continue
+		}
+		type nb struct {
+			dist  float64
+			label string
+		}
+		ns := make([]nb, 0, len(labeledIdx))
+		for _, j := range labeledIdx {
+			ns = append(ns, nb{dist: euclid(embeddings[i], embeddings[j]), label: labels[j]})
+		}
+		sort.Slice(ns, func(a, b int) bool { return ns[a].dist < ns[b].dist })
+		ns = ns[:k]
+		// Distance-weighted vote.
+		votes := map[string]float64{}
+		var total float64
+		for _, n := range ns {
+			w := 1 / (1 + n.dist)
+			votes[n.label] += w
+			total += w
+		}
+		bestLabel, bestVote := "", 0.0
+		for l, v := range votes {
+			if v > bestVote {
+				bestLabel, bestVote = l, v
+			}
+		}
+		conf := bestVote / total
+		if conf >= minConfidence {
+			out = append(out, Suggestion{Index: i, Label: bestLabel, Confidence: conf})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Confidence > out[b].Confidence })
+	return out, nil
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,231 @@
+package active
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgepulse/internal/nn"
+	"edgepulse/internal/tensor"
+	"edgepulse/internal/trainer"
+)
+
+func blobPoints(n int, seed int64) ([][]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	points := make([][]float64, n)
+	labels := make([]string, n)
+	for i := range points {
+		label := "a"
+		center := 0.0
+		if i%2 == 1 {
+			label = "b"
+			center = 8
+		}
+		points[i] = []float64{
+			center + rng.NormFloat64()*0.5,
+			center + rng.NormFloat64()*0.5,
+			rng.NormFloat64() * 0.1,
+		}
+		labels[i] = label
+	}
+	return points, labels
+}
+
+func TestPCA2DRecoversPrimaryAxis(t *testing.T) {
+	// Points spread along (1,1,0): PC1 should capture that direction so
+	// projected x-coordinates separate the two ends.
+	points, _ := blobPoints(100, 1)
+	proj, err := PCA2D(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 100 {
+		t.Fatal("length")
+	}
+	// Variance along axis 1 >> axis 2.
+	var v1, v2 float64
+	for _, p := range proj {
+		v1 += p[0] * p[0]
+		v2 += p[1] * p[1]
+	}
+	if v1 < 10*v2 {
+		t.Errorf("PC1 var %g not dominant over PC2 var %g", v1, v2)
+	}
+	// The two blobs separate along PC1.
+	var aMean, bMean float64
+	for i, p := range proj {
+		if i%2 == 0 {
+			aMean += p[0]
+		} else {
+			bMean += p[0]
+		}
+	}
+	if math.Abs(aMean-bMean) < 100 {
+		t.Errorf("blobs not separated in PC1: %g vs %g", aMean/50, bMean/50)
+	}
+}
+
+func TestPCA2DValidation(t *testing.T) {
+	if _, err := PCA2D(nil); err == nil {
+		t.Error("accepted empty")
+	}
+	if _, err := PCA2D([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("accepted ragged")
+	}
+}
+
+func TestPCA2DDegenerate(t *testing.T) {
+	// All-identical points: projection must not NaN.
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	proj, err := PCA2D(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range proj {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+			t.Fatal("NaN in degenerate projection")
+		}
+	}
+}
+
+func TestEmbeddingsFromTrainedModel(t *testing.T) {
+	// Train a tiny model on separable data; penultimate-layer embeddings
+	// must cluster by class.
+	m := nn.NewModel(4)
+	m.NumClasses = 2
+	m.Add(nn.NewDense(8, nn.ReLU)).Add(nn.NewDense(2, nn.None)).Add(nn.NewSoftmax())
+	nn.InitWeights(m, 1)
+	rng := rand.New(rand.NewSource(2))
+	var examples []trainer.Example
+	var inputs []*tensor.F32
+	var classes []int
+	for i := 0; i < 80; i++ {
+		y := i % 2
+		x := tensor.NewF32(4)
+		c := float32(-1)
+		if y == 1 {
+			c = 1
+		}
+		for j := range x.Data {
+			x.Data[j] = c + float32(rng.NormFloat64()*0.3)
+		}
+		examples = append(examples, trainer.Example{X: x, Y: y})
+		inputs = append(inputs, x)
+		classes = append(classes, y)
+	}
+	if _, err := trainer.Train(m, examples, trainer.Config{Epochs: 10, LearningRate: 0.01, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	embs, err := Embeddings(m, -1, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(embs) != 80 || len(embs[0]) != 8 {
+		t.Fatalf("embedding dims: %d x %d", len(embs), len(embs[0]))
+	}
+	// Intra-class distance < inter-class distance on centroids.
+	cent := map[int][]float64{0: make([]float64, 8), 1: make([]float64, 8)}
+	counts := map[int]int{}
+	for i, e := range embs {
+		c := classes[i]
+		counts[c]++
+		for j, v := range e {
+			cent[c][j] += v
+		}
+	}
+	for c, v := range cent {
+		for j := range v {
+			v[j] /= float64(counts[c])
+		}
+	}
+	inter := euclid(cent[0], cent[1])
+	var intra float64
+	for i, e := range embs {
+		intra += euclid(e, cent[classes[i]])
+	}
+	intra /= float64(len(embs))
+	if inter < 2*intra {
+		t.Errorf("inter-centroid %g not >> intra %g", inter, intra)
+	}
+}
+
+func TestEmbeddingsValidation(t *testing.T) {
+	m := nn.NewModel(4)
+	if _, err := Embeddings(m, 0, nil); err == nil {
+		t.Error("accepted empty model")
+	}
+	m.Add(nn.NewDense(2, nn.None)).Add(nn.NewSoftmax())
+	nn.InitWeights(m, 1)
+	bad := []*tensor.F32{tensor.NewF32(7)}
+	if _, err := Embeddings(m, 1, bad); err == nil {
+		t.Error("accepted wrong input shape")
+	}
+	if _, err := Embeddings(m, 99, []*tensor.F32{tensor.NewF32(4)}); err == nil {
+		t.Error("accepted out-of-range layer")
+	}
+}
+
+func TestSuggestLabels(t *testing.T) {
+	points, labels := blobPoints(100, 4)
+	// Hide 30% of the labels.
+	truth := append([]string(nil), labels...)
+	rng := rand.New(rand.NewSource(5))
+	hidden := 0
+	for i := range labels {
+		if rng.Float64() < 0.3 {
+			labels[i] = ""
+			hidden++
+		}
+	}
+	sugg, err := SuggestLabels(points, labels, 5, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) == 0 {
+		t.Fatal("no suggestions")
+	}
+	correct := 0
+	for _, s := range sugg {
+		if labels[s.Index] != "" {
+			t.Fatal("suggestion for labeled point")
+		}
+		if s.Label == truth[s.Index] {
+			correct++
+		}
+		if s.Confidence < 0.6 || s.Confidence > 1 {
+			t.Errorf("confidence %g out of range", s.Confidence)
+		}
+	}
+	if float64(correct)/float64(len(sugg)) < 0.95 {
+		t.Errorf("auto-label accuracy %d/%d", correct, len(sugg))
+	}
+	// Sorted by confidence.
+	for i := 1; i < len(sugg); i++ {
+		if sugg[i].Confidence > sugg[i-1].Confidence {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestSuggestLabelsValidation(t *testing.T) {
+	if _, err := SuggestLabels([][]float64{{1}}, []string{"a", "b"}, 3, 0.5); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := SuggestLabels([][]float64{{1}, {2}}, []string{"", ""}, 3, 0.5); err == nil {
+		t.Error("accepted zero labeled points")
+	}
+}
+
+func TestSuggestLabelsAmbiguousFiltered(t *testing.T) {
+	// A point exactly between two classes should be filtered by a high
+	// confidence threshold.
+	points := [][]float64{{0, 0}, {10, 10}, {5, 5}}
+	labels := []string{"a", "b", ""}
+	sugg, err := SuggestLabels(points, labels, 2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugg) != 0 {
+		t.Errorf("ambiguous point labeled anyway: %+v", sugg)
+	}
+}

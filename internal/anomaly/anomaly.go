@@ -1,0 +1,304 @@
+// Package anomaly implements the unsupervised learning blocks of the
+// platform (paper Sec. 4.3): K-means clustering for anomaly detection,
+// plus the Gaussian mixture model the paper lists as upcoming ("will
+// support GMM in the near future") — implemented here as an extension.
+//
+// Both models are trained on feature vectors of normal operation; at
+// inference they emit an anomaly score that grows with distance from the
+// training distribution. A threshold on the score flags anomalies.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeans is a fitted K-means anomaly detector.
+type KMeans struct {
+	// Centroids holds k cluster centers.
+	Centroids [][]float32
+	// Spread is the mean distance of training points to their centroid,
+	// per cluster; scores are normalized by it.
+	Spread []float32
+}
+
+// FitKMeans clusters rows of x into k clusters with Lloyd's algorithm and
+// k-means++ seeding. Deterministic for a given seed.
+func FitKMeans(x [][]float32, k, iters int, seed int64) (*KMeans, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("anomaly: no training data")
+	}
+	if k <= 0 || k > len(x) {
+		return nil, fmt.Errorf("anomaly: k=%d invalid for %d points", k, len(x))
+	}
+	dim := len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("anomaly: row %d has dim %d, want %d", i, len(row), dim)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centroids := make([][]float32, 0, k)
+	first := x[rng.Intn(len(x))]
+	centroids = append(centroids, append([]float32(nil), first...))
+	dists := make([]float64, len(x))
+	for len(centroids) < k {
+		var total float64
+		for i, row := range x {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(row, c); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(len(x))
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, d := range dists {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids = append(centroids, append([]float32(nil), x[pick]...))
+	}
+
+	assign := make([]int, len(x))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, row := range x {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(row, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, row := range x {
+			c := assign[i]
+			counts[c]++
+			for j, v := range row {
+				sums[c][j] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at a random point.
+				copy(centroids[c], x[rng.Intn(len(x))])
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				centroids[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+
+	// Per-cluster spread for score normalization.
+	spread := make([]float32, k)
+	counts := make([]int, k)
+	for i, row := range x {
+		c := assign[i]
+		spread[c] += float32(math.Sqrt(sqDist(row, centroids[c])))
+		counts[c]++
+	}
+	for c := range spread {
+		if counts[c] > 0 {
+			spread[c] /= float32(counts[c])
+		}
+		if spread[c] < 1e-6 {
+			spread[c] = 1e-6
+		}
+	}
+	return &KMeans{Centroids: centroids, Spread: spread}, nil
+}
+
+func sqDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Assign returns the nearest centroid index for a point.
+func (m *KMeans) Assign(x []float32) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range m.Centroids {
+		if d := sqDist(x, cen); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Score returns the anomaly score: distance to the nearest centroid
+// normalized by that cluster's training spread. Scores near 1 are typical
+// of training data; scores well above it indicate anomalies.
+func (m *KMeans) Score(x []float32) float64 {
+	c := m.Assign(x)
+	return math.Sqrt(sqDist(x, m.Centroids[c])) / float64(m.Spread[c])
+}
+
+// GMM is a diagonal-covariance Gaussian mixture model.
+type GMM struct {
+	Weights []float64
+	Means   [][]float64
+	Vars    [][]float64
+	// trainFloor is the 5th-percentile training log-likelihood, used to
+	// normalize scores.
+	trainFloor float64
+}
+
+// FitGMM fits a k-component diagonal GMM with EM, initialized from
+// K-means. Deterministic for a given seed.
+func FitGMM(x [][]float32, k, iters int, seed int64) (*GMM, error) {
+	km, err := FitKMeans(x, k, 10, seed)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(x[0])
+	g := &GMM{
+		Weights: make([]float64, k),
+		Means:   make([][]float64, k),
+		Vars:    make([][]float64, k),
+	}
+	for c := 0; c < k; c++ {
+		g.Weights[c] = 1 / float64(k)
+		g.Means[c] = make([]float64, dim)
+		g.Vars[c] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			g.Means[c][j] = float64(km.Centroids[c][j])
+			g.Vars[c][j] = 1
+		}
+	}
+	resp := make([][]float64, len(x))
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	for it := 0; it < iters; it++ {
+		// E step.
+		for i, row := range x {
+			var total float64
+			for c := 0; c < k; c++ {
+				resp[i][c] = g.Weights[c] * math.Exp(g.logGauss(row, c))
+				total += resp[i][c]
+			}
+			if total < 1e-300 {
+				for c := 0; c < k; c++ {
+					resp[i][c] = 1 / float64(k)
+				}
+				continue
+			}
+			for c := 0; c < k; c++ {
+				resp[i][c] /= total
+			}
+		}
+		// M step.
+		for c := 0; c < k; c++ {
+			var nc float64
+			mean := make([]float64, dim)
+			for i, row := range x {
+				nc += resp[i][c]
+				for j, v := range row {
+					mean[j] += resp[i][c] * float64(v)
+				}
+			}
+			if nc < 1e-10 {
+				continue
+			}
+			for j := range mean {
+				mean[j] /= nc
+			}
+			vr := make([]float64, dim)
+			for i, row := range x {
+				for j, v := range row {
+					d := float64(v) - mean[j]
+					vr[j] += resp[i][c] * d * d
+				}
+			}
+			for j := range vr {
+				vr[j] = vr[j]/nc + 1e-6
+			}
+			g.Weights[c] = nc / float64(len(x))
+			g.Means[c] = mean
+			g.Vars[c] = vr
+		}
+	}
+	// Normalization floor: 5th percentile of training log-likelihoods.
+	lls := make([]float64, len(x))
+	for i, row := range x {
+		lls[i] = g.logLik(row)
+	}
+	sortFloat64s(lls)
+	g.trainFloor = lls[len(lls)/20]
+	return g, nil
+}
+
+func sortFloat64s(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// logGauss computes the log density of component c at x.
+func (g *GMM) logGauss(x []float32, c int) float64 {
+	var ll float64
+	for j, v := range x {
+		d := float64(v) - g.Means[c][j]
+		ll += -0.5*(d*d/g.Vars[c][j]) - 0.5*math.Log(2*math.Pi*g.Vars[c][j])
+	}
+	return ll
+}
+
+// logLik computes the mixture log-likelihood of a point.
+func (g *GMM) logLik(x []float32) float64 {
+	best := math.Inf(-1)
+	for c := range g.Weights {
+		if g.Weights[c] <= 0 {
+			continue
+		}
+		ll := math.Log(g.Weights[c]) + g.logGauss(x, c)
+		if ll > best {
+			best = ll
+		}
+	}
+	return best
+}
+
+// Score returns the anomaly score: how far the point's log-likelihood
+// falls below the training floor (0 for in-distribution points, growing
+// positive for anomalies).
+func (g *GMM) Score(x []float32) float64 {
+	s := g.trainFloor - g.logLik(x)
+	if s < 0 {
+		return 0
+	}
+	return s
+}

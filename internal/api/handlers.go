@@ -1,0 +1,530 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"io"
+	"net/http"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/deploy"
+	"edgepulse/internal/device"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/profiler"
+	"edgepulse/internal/project"
+	"edgepulse/internal/renode"
+	"edgepulse/internal/tuner"
+)
+
+func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	u, err := s.registry.CreateUser(req.Name)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"success": true, "id": u.ID, "name": u.Name, "api_key": u.APIKey,
+	})
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	type dev struct {
+		ID      string `json:"id"`
+		Name    string `json:"name"`
+		CPU     string `json:"cpu"`
+		ClockHz int64  `json:"clock_hz"`
+		FlashKB int64  `json:"flash_kb"`
+		RAMKB   int64  `json:"ram_kb"`
+	}
+	var out []dev
+	for _, t := range device.All() {
+		out = append(out, dev{
+			ID: t.ID, Name: t.Name, CPU: t.CPU, ClockHz: t.ClockHz,
+			FlashKB: t.FlashBytes >> 10, RAMKB: t.RAMBytes >> 10,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "devices": out})
+}
+
+func projectSummary(p *project.Project) map[string]any {
+	return map[string]any{
+		"id": p.ID, "name": p.Name, "owner": p.OwnerID,
+		"public": p.Public(), "samples": p.Dataset().Len(),
+		"collaborators": p.Collaborators(),
+	}
+}
+
+func (s *Server) handlePublicProjects(w http.ResponseWriter, r *http.Request) {
+	var out []map[string]any
+	for _, p := range s.registry.ListPublic() {
+		out = append(out, projectSummary(p))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "projects": out})
+}
+
+func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request, u *project.User) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := s.registry.CreateProject(req.Name, u.ID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"success": true, "id": p.ID, "name": p.Name, "hmac_key": p.HMACKey,
+	})
+}
+
+func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request, u *project.User) {
+	var out []map[string]any
+	for _, p := range s.registry.ListAccessible(u.ID) {
+		out = append(out, projectSummary(p))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "projects": out})
+}
+
+func (s *Server) handleGetProject(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "project": projectSummary(p)})
+}
+
+func (s *Server) handleSetPublic(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req struct {
+		Public bool `json:"public"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p.SetPublic(req.Public)
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "public": p.Public()})
+}
+
+func (s *Server) handleAddCollaborator(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req struct {
+		UserID string `json:"user_id"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := s.registry.GetUser(req.UserID); err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	p.AddCollaborator(req.UserID)
+	writeJSON(w, http.StatusOK, map[string]any{"success": true})
+}
+
+// handleUploadData ingests one sample. Query params: label (required),
+// name, format ∈ {wav, csv, acquisition, image}. The acquisition format
+// verifies the project's HMAC key (paper Sec. 4.1 ingestion service).
+func (s *Server) handleUploadData(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	label := r.URL.Query().Get("label")
+	if label == "" {
+		writeErr(w, http.StatusBadRequest, "label query parameter required")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "upload"
+	}
+	format := r.URL.Query().Get("format")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "cannot read body")
+		return
+	}
+	ds := p.Dataset()
+	var id string
+	switch format {
+	case "wav":
+		id, err = ds.ImportWAV(name, label, bytes.NewReader(body))
+	case "csv":
+		id, err = ds.ImportCSV(name, label, bytes.NewReader(body))
+	case "image":
+		id, err = ds.ImportImage(name, label, bytes.NewReader(body))
+	case "acquisition", "":
+		id, err = ds.ImportAcquisition(name, label, body, p.HMACKey)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown format "+format)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"success": true, "sample_id": id})
+}
+
+func (s *Server) handleListData(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	ds := p.Dataset()
+	type sample struct {
+		ID       string `json:"id"`
+		Name     string `json:"name"`
+		Label    string `json:"label"`
+		Category string `json:"category"`
+		Frames   int    `json:"frames"`
+	}
+	var samples []sample
+	for _, sm := range ds.List(data.Category(r.URL.Query().Get("category"))) {
+		samples = append(samples, sample{
+			ID: sm.ID, Name: sm.Name, Label: sm.Label,
+			Category: string(sm.Category), Frames: sm.Signal.Frames(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"success": true,
+		"samples": samples,
+		"stats":   ds.Stats(),
+		"version": ds.Version(),
+	})
+}
+
+func (s *Server) handleDeleteSample(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	if err := p.Dataset().Remove(r.PathValue("sample")); err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"success": true})
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req struct {
+		TestFraction float64 `json:"test_fraction"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.TestFraction <= 0 || req.TestFraction >= 1 {
+		writeErr(w, http.StatusBadRequest, "test_fraction must be in (0,1)")
+		return
+	}
+	p.Dataset().Rebalance(req.TestFraction)
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "stats": p.Dataset().Stats()})
+}
+
+func (s *Server) handleSetImpulse(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "cannot read body")
+		return
+	}
+	cfg, err := core.ParseConfig(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	imp, err := core.FromConfig(cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p.SetImpulse(imp)
+	shape, _ := imp.FeatureShape()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"success": true, "feature_shape": shape, "dataflow": imp.Describe(),
+	})
+}
+
+func (s *Server) handleGetImpulse(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	imp := p.Impulse()
+	if imp == nil {
+		writeErr(w, http.StatusNotFound, "no impulse configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"success": true, "impulse": imp.Config(),
+		"trained": imp.Model != nil, "quantized": imp.QModel != nil,
+		"dataflow": imp.Describe(),
+	})
+}
+
+// TrainRequest configures a training job.
+type TrainRequest struct {
+	Model        ModelSpec `json:"model"`
+	Epochs       int       `json:"epochs"`
+	LearningRate float64   `json:"learning_rate"`
+	Quantize     bool      `json:"quantize"`
+	Seed         int64     `json:"seed"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req TrainRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	base := p.Impulse()
+	if base == nil {
+		writeErr(w, http.StatusBadRequest, "configure an impulse first")
+		return
+	}
+	if p.Dataset().Len() == 0 {
+		writeErr(w, http.StatusBadRequest, "project has no data")
+		return
+	}
+	idReady := make(chan string, 1)
+	job, err := s.sched.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
+		// Train on a fresh impulse so a failed job never corrupts the
+		// project's current model.
+		imp, err := core.FromConfig(base.Config())
+		if err != nil {
+			return err
+		}
+		imp.Classes = p.Dataset().Labels()
+		res, err := trainImpulse(imp, p.Dataset(), req, logf)
+		if err != nil {
+			return err
+		}
+		p.SetImpulse(imp)
+		s.results.Store(<-idReady, res)
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	idReady <- job.ID
+	writeJSON(w, http.StatusAccepted, map[string]any{"success": true, "job_id": job.ID})
+}
+
+func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req struct {
+		MaxTrials int    `json:"max_trials"`
+		Epochs    int    `json:"epochs"`
+		Target    string `json:"target"`
+		Strategy  string `json:"strategy"`
+		Seed      int64  `json:"seed"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	base := p.Impulse()
+	if base == nil {
+		writeErr(w, http.StatusBadRequest, "configure an impulse first")
+		return
+	}
+	tgt := device.Target{}
+	if req.Target != "" {
+		var err error
+		tgt, err = device.Get(req.Target)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	input := base.Input
+	idReady := make(chan string, 1)
+	job, err := s.sched.Submit("tuner", func(ctx context.Context, logf func(string, ...any)) error {
+		trials, err := tuner.Run(p.Dataset(), tuner.Config{
+			Input:       input,
+			Constraints: tuner.Constraints{Target: tgt},
+			MaxTrials:   req.MaxTrials,
+			Epochs:      req.Epochs,
+			Strategy:    req.Strategy,
+			Seed:        req.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		logf("tuner finished with %d trials", len(trials))
+		s.results.Store(<-idReady, trials)
+		return nil
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	idReady <- job.ID
+	writeJSON(w, http.StatusAccepted, map[string]any{"success": true, "job_id": job.ID})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req struct {
+		Features  []float32 `json:"features"`
+		Quantized bool      `json:"quantized"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	imp := p.Impulse()
+	if imp == nil || imp.Model == nil {
+		writeErr(w, http.StatusBadRequest, "impulse is not trained")
+		return
+	}
+	canonical := imp.CanonicalSignal()
+	sig := dsp.Signal{
+		Data: req.Features, Rate: canonical.Rate, Axes: canonical.Axes,
+		Width: canonical.Width, Height: canonical.Height,
+	}
+	var res core.ClassResult
+	var err error
+	if req.Quantized {
+		res, err = imp.ClassifyQuantized(sig)
+	} else {
+		res, err = imp.Classify(sig)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"success": true, "label": res.Label,
+		"classification": res.Scores, "anomaly": res.AnomalyScore,
+	})
+}
+
+func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	imp := p.Impulse()
+	if imp == nil || imp.Model == nil {
+		writeErr(w, http.StatusBadRequest, "impulse is not trained")
+		return
+	}
+	quantized := r.URL.Query().Get("quantized") == "true"
+	kind := r.URL.Query().Get("type")
+	switch kind {
+	case "eim":
+		blob, err := deploy.BuildEIM(imp)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", "attachment; filename=model.eim")
+		w.WriteHeader(http.StatusOK)
+		w.Write(blob)
+	case "cpp", "arduino", "wasm", "":
+		var art deploy.Artifact
+		var err error
+		switch kind {
+		case "arduino":
+			art, err = deploy.ArduinoLibrary(imp, quantized)
+		case "wasm":
+			art, err = deploy.WASM(imp, quantized)
+		default:
+			art, err = deploy.CPPLibrary(imp, quantized)
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		files := map[string]string{}
+		for name, content := range art.Files {
+			files[name] = base64.StdEncoding.EncodeToString(content)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"success": true, "kind": art.Kind, "files": files,
+		})
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown deployment type "+kind)
+	}
+}
+
+// handleProfile returns latency and memory estimates for a target —
+// the "profiling without the GUI" feature of the Python SDK (Sec. 4.9).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	imp := p.Impulse()
+	if imp == nil || imp.Model == nil {
+		writeErr(w, http.StatusBadRequest, "impulse is not trained")
+		return
+	}
+	targetID := r.URL.Query().Get("target")
+	if targetID == "" {
+		targetID = "nano-33-ble-sense"
+	}
+	tgt, err := device.Get(targetID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	specs, err := imp.Model.Spec()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	est := renode.EstimateFloat(tgt, imp.DSPCost(), specs, renode.TFLM)
+	mem, err := profiler.EstimateFloat(imp.Model, renode.TFLM)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out := map[string]any{
+		"success": true, "target": tgt.ID,
+		"float32": map[string]any{
+			"dsp_ms": est.DSPMillis, "inference_ms": est.InferenceMillis,
+			"total_ms": est.TotalMillis,
+			"ram_kb":   float64(mem.RAMBytes) / 1024, "flash_kb": float64(mem.FlashBytes) / 1024,
+			"fits": profiler.Fits(mem, imp.DSPRAM(), tgt),
+		},
+	}
+	if imp.QModel != nil {
+		qEst := renode.EstimateInt8(tgt, imp.DSPCost(), imp.QModel, renode.EON)
+		qMem := profiler.EstimateInt8(imp.QModel, renode.EON)
+		out["int8"] = map[string]any{
+			"dsp_ms": qEst.DSPMillis, "inference_ms": qEst.InferenceMillis,
+			"total_ms": qEst.TotalMillis,
+			"ram_kb":   float64(qMem.RAMBytes) / 1024, "flash_kb": float64(qMem.FlashBytes) / 1024,
+			"fits": profiler.Fits(qMem, imp.DSPRAM(), tgt),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req struct {
+		Note string `json:"note"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v := p.Snapshot(req.Note)
+	writeJSON(w, http.StatusCreated, map[string]any{"success": true, "version": v})
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "versions": p.Versions()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request, u *project.User) {
+	j, err := s.sched.Get(r.PathValue("job"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"success": true, "id": j.ID, "kind": j.Kind,
+		"status": j.Status(), "error": j.Err(), "logs": j.Logs(),
+	})
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, u *project.User) {
+	id := r.PathValue("job")
+	if _, err := s.sched.Get(id); err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	res, ok := s.results.Load(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no result for job "+id+" (still running?)")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"success": true, "result": res})
+}

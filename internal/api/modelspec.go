@@ -1,0 +1,138 @@
+package api
+
+import (
+	"fmt"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/tensor"
+	"edgepulse/internal/trainer"
+)
+
+// ModelSpec selects a model-zoo architecture in API requests: the
+// "visual editor" presets of paper Sec. 4.3, addressed by name.
+type ModelSpec struct {
+	// Type is one of "conv1d", "dscnn", "mlp", "cnn2d", "mobilenetv1".
+	Type string `json:"type"`
+	// Conv1d parameters.
+	Depth        int `json:"depth,omitempty"`
+	StartFilters int `json:"start_filters,omitempty"`
+	EndFilters   int `json:"end_filters,omitempty"`
+	// MLP parameters.
+	Hidden int `json:"hidden,omitempty"`
+	// MobileNet width multiplier (×100, e.g. 25 for 0.25).
+	AlphaPercent int `json:"alpha_percent,omitempty"`
+}
+
+// buildModel constructs the requested architecture for a feature shape.
+func buildModel(spec ModelSpec, shape tensor.Shape, classes int) (*nn.Model, error) {
+	switch spec.Type {
+	case "conv1d", "":
+		if len(shape) != 2 {
+			return nil, fmt.Errorf("api: conv1d needs 2-D features, have %v", shape)
+		}
+		depth := spec.Depth
+		if depth <= 0 {
+			depth = 2
+		}
+		start := spec.StartFilters
+		if start <= 0 {
+			start = 16
+		}
+		end := spec.EndFilters
+		if end <= 0 {
+			end = start * 2
+		}
+		return models.Conv1DStack(shape[0], shape[1], depth, start, end, classes)
+	case "dscnn":
+		if len(shape) != 2 {
+			return nil, fmt.Errorf("api: dscnn needs 2-D features, have %v", shape)
+		}
+		return models.KWSDSCNN(shape[0], shape[1], classes), nil
+	case "mlp":
+		hidden := spec.Hidden
+		if hidden <= 0 {
+			hidden = 32
+		}
+		return models.TinyMLP(shape.Elems(), hidden, classes), nil
+	case "cnn2d":
+		if len(shape) != 3 || shape[0] != shape[1] {
+			return nil, fmt.Errorf("api: cnn2d needs square [H W C] features, have %v", shape)
+		}
+		return models.CIFARCNN(shape[0], shape[2], classes), nil
+	case "mobilenetv1":
+		if len(shape) != 3 || shape[0] != shape[1] {
+			return nil, fmt.Errorf("api: mobilenetv1 needs square [H W C] features, have %v", shape)
+		}
+		alpha := float64(spec.AlphaPercent) / 100
+		if alpha <= 0 {
+			alpha = 0.25
+		}
+		return models.VWWMobileNetV1(shape[0], shape[2], alpha, classes), nil
+	default:
+		return nil, fmt.Errorf("api: unknown model type %q", spec.Type)
+	}
+}
+
+// TrainResult is the structured output of a training job.
+type TrainResult struct {
+	Accuracy     float64   `json:"accuracy"`
+	Confusion    [][]int   `json:"confusion"`
+	F1           []float64 `json:"f1"`
+	Classes      []string  `json:"classes"`
+	LearningRate float64   `json:"learning_rate"`
+	TrainLoss    []float64 `json:"train_loss"`
+	Quantized    bool      `json:"quantized"`
+}
+
+// trainImpulse performs the body of a training job: build the model,
+// train, evaluate, optionally quantize.
+func trainImpulse(imp *core.Impulse, ds *data.Dataset, req TrainRequest, logf func(string, ...any)) (*TrainResult, error) {
+	shape, err := imp.FeatureShape()
+	if err != nil {
+		return nil, err
+	}
+	model, err := buildModel(req.Model, shape, len(imp.Classes))
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.InitWeights(model, req.Seed); err != nil {
+		return nil, err
+	}
+	if err := imp.AttachClassifier(model); err != nil {
+		return nil, err
+	}
+	logf("training %s on %d samples", models.Describe(model), ds.Len())
+	res, err := imp.Train(ds, trainer.Config{
+		Epochs:       req.Epochs,
+		LearningRate: req.LearningRate,
+		Seed:         req.Seed,
+		RestoreBest:  true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc, conf, err := imp.Evaluate(ds, data.Testing)
+	if err != nil {
+		return nil, err
+	}
+	logf("test accuracy %.3f", acc)
+	out := &TrainResult{
+		Accuracy:     acc,
+		Confusion:    conf,
+		F1:           trainer.F1Scores(conf),
+		Classes:      imp.Classes,
+		LearningRate: res.LearningRate,
+		TrainLoss:    res.TrainLoss,
+	}
+	if req.Quantize {
+		if err := imp.Quantize(ds); err != nil {
+			return nil, err
+		}
+		out.Quantized = true
+		logf("quantized to int8")
+	}
+	return out, nil
+}

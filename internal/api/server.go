@@ -1,0 +1,135 @@
+// Package api exposes the full platform over a REST API (paper Sec. 4.9:
+// "all functionality is exposed via publicly accessible REST APIs, which
+// allows users to automate the data collection, model training, and
+// deployment processes"). The server fronts the project registry, the
+// dataset/ingestion pipeline, training and tuner jobs on the autoscaling
+// scheduler, and deployment artifact generation.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"edgepulse/internal/jobs"
+	"edgepulse/internal/project"
+)
+
+// Server wires the platform services behind an http.Handler.
+type Server struct {
+	registry *project.Registry
+	sched    *jobs.Scheduler
+	mux      *http.ServeMux
+
+	// results holds structured job outputs (training metrics, tuner
+	// trials) keyed by job ID.
+	results sync.Map
+}
+
+// NewServer builds the API server over a registry and scheduler.
+func NewServer(reg *project.Registry, sched *jobs.Scheduler) *Server {
+	s := &Server{registry: reg, sched: sched, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	// Unauthenticated bootstrap + discovery.
+	s.mux.HandleFunc("POST /api/users", s.handleCreateUser)
+	s.mux.HandleFunc("GET /api/devices", s.handleDevices)
+	s.mux.HandleFunc("GET /api/projects/public", s.handlePublicProjects)
+
+	// Authenticated project APIs.
+	s.mux.HandleFunc("POST /api/projects", s.auth(s.handleCreateProject))
+	s.mux.HandleFunc("GET /api/projects", s.auth(s.handleListProjects))
+	s.mux.HandleFunc("GET /api/projects/{id}", s.auth(s.withProject(s.handleGetProject)))
+	s.mux.HandleFunc("POST /api/projects/{id}/public", s.auth(s.withProject(s.handleSetPublic)))
+	s.mux.HandleFunc("POST /api/projects/{id}/collaborators", s.auth(s.withProject(s.handleAddCollaborator)))
+
+	s.mux.HandleFunc("POST /api/projects/{id}/data", s.auth(s.withProject(s.handleUploadData)))
+	s.mux.HandleFunc("GET /api/projects/{id}/data", s.auth(s.withProject(s.handleListData)))
+	s.mux.HandleFunc("DELETE /api/projects/{id}/data/{sample}", s.auth(s.withProject(s.handleDeleteSample)))
+	s.mux.HandleFunc("POST /api/projects/{id}/rebalance", s.auth(s.withProject(s.handleRebalance)))
+
+	s.mux.HandleFunc("POST /api/projects/{id}/impulse", s.auth(s.withProject(s.handleSetImpulse)))
+	s.mux.HandleFunc("GET /api/projects/{id}/impulse", s.auth(s.withProject(s.handleGetImpulse)))
+
+	s.mux.HandleFunc("POST /api/projects/{id}/train", s.auth(s.withProject(s.handleTrain)))
+	s.mux.HandleFunc("POST /api/projects/{id}/tuner", s.auth(s.withProject(s.handleTuner)))
+	s.mux.HandleFunc("POST /api/projects/{id}/classify", s.auth(s.withProject(s.handleClassify)))
+	s.mux.HandleFunc("GET /api/projects/{id}/deployment", s.auth(s.withProject(s.handleDeployment)))
+	s.mux.HandleFunc("GET /api/projects/{id}/profile", s.auth(s.withProject(s.handleProfile)))
+
+	s.mux.HandleFunc("POST /api/projects/{id}/versions", s.auth(s.withProject(s.handleSnapshot)))
+	s.mux.HandleFunc("GET /api/projects/{id}/versions", s.auth(s.withProject(s.handleVersions)))
+
+	s.mux.HandleFunc("GET /api/jobs/{job}", s.auth(s.handleGetJob))
+	s.mux.HandleFunc("GET /api/jobs/{job}/result", s.auth(s.handleJobResult))
+}
+
+// userHandler receives the authenticated user.
+type userHandler func(w http.ResponseWriter, r *http.Request, u *project.User)
+
+// auth resolves the x-api-key header to a user.
+func (s *Server) auth(next userHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("x-api-key")
+		if key == "" {
+			writeErr(w, http.StatusUnauthorized, "missing x-api-key header")
+			return
+		}
+		u, err := s.registry.Authenticate(key)
+		if err != nil {
+			writeErr(w, http.StatusUnauthorized, "invalid API key")
+			return
+		}
+		next(w, r, u)
+	}
+}
+
+// projectHandler receives the authorized project.
+type projectHandler func(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project)
+
+// withProject resolves {id} and enforces access control.
+func (s *Server) withProject(next projectHandler) userHandler {
+	return func(w http.ResponseWriter, r *http.Request, u *project.User) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad project id")
+			return
+		}
+		p, err := s.registry.GetProject(id)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err.Error())
+			return
+		}
+		if !p.CanAccess(u.ID) {
+			writeErr(w, http.StatusForbidden, "no access to this project")
+			return
+		}
+		next(w, r, u, p)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"success": false, "error": msg})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/report"
+	"edgepulse/internal/synth"
+	"edgepulse/internal/trainer"
+)
+
+// kwsTuningDataset builds the synthetic keyword set used by Table 3.
+func kwsTuningDataset(perClass int, seed int64) (*data.Dataset, error) {
+	return synth.KWSDataset(4, perClass, 16000, 1.0, 0.03, seed)
+}
+
+// Accuracy is a float/int8 accuracy pair for one workload.
+type Accuracy struct {
+	Workload string
+	Float    float64
+	Int8     float64
+}
+
+// AccuracyProxies trains reduced-size proxies of the three workloads on
+// synthetic data and reports float32 and int8 test accuracy — the
+// accuracy rows of Table 4. Proxies stand in for the full models so the
+// harness completes in seconds; see EXPERIMENTS.md for the substitution
+// notes. The paper's qualitative claims reproduce: quantization keeps
+// accuracy within a few points, occasionally helping via regularization.
+func AccuracyProxies(seed int64) ([]Accuracy, string, error) {
+	var out []Accuracy
+
+	// KWS proxy: MFE front end + conv1d stack on 2 keywords + noise.
+	kwsDS, err := synth.KWSDataset(3, 14, 8000, 0.5, 0.04, seed)
+	if err != nil {
+		return nil, "", err
+	}
+	kwsImp := core.New("kws-proxy")
+	kwsImp.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+	kwsBlock, err := dsp.New("mfe", map[string]float64{"num_filters": 16, "fft_length": 128})
+	if err != nil {
+		return nil, "", err
+	}
+	kwsImp.DSP = kwsBlock
+	kwsAcc, err := trainEval(kwsImp, kwsDS, func(shape []int, classes int) (*nn.Model, error) {
+		return models.Conv1DStack(shape[0], shape[1], 2, 8, 16, classes)
+	}, seed)
+	if err != nil {
+		return nil, "", fmt.Errorf("bench: kws proxy: %w", err)
+	}
+	kwsAcc.Workload = "kws"
+	out = append(out, kwsAcc)
+
+	// VWW proxy: 32×32 person/no-person images + small CNN.
+	vwwDS, err := synth.VWWDataset(16, 32, seed+1)
+	if err != nil {
+		return nil, "", err
+	}
+	vwwImp := core.New("vww-proxy")
+	vwwImp.Input = core.InputBlock{Kind: core.ImageInput, Width: 32, Height: 32, Axes: 3}
+	vwwBlock, err := dsp.New("image", map[string]float64{"width": 24, "height": 24})
+	if err != nil {
+		return nil, "", err
+	}
+	vwwImp.DSP = vwwBlock
+	vwwAcc, err := trainEval(vwwImp, vwwDS, func(shape []int, classes int) (*nn.Model, error) {
+		return models.CIFARCNN(shape[0], shape[2], classes), nil
+	}, seed+1)
+	if err != nil {
+		return nil, "", fmt.Errorf("bench: vww proxy: %w", err)
+	}
+	vwwAcc.Workload = "vww"
+	out = append(out, vwwAcc)
+
+	// IC proxy: 4 texture classes at 20×20.
+	icDS, err := synth.ICDataset(4, 12, 20, seed+2)
+	if err != nil {
+		return nil, "", err
+	}
+	icImp := core.New("ic-proxy")
+	icImp.Input = core.InputBlock{Kind: core.ImageInput, Width: 20, Height: 20, Axes: 3}
+	icBlock, err := dsp.New("image", map[string]float64{"width": 20, "height": 20})
+	if err != nil {
+		return nil, "", err
+	}
+	icImp.DSP = icBlock
+	icAcc, err := trainEval(icImp, icDS, func(shape []int, classes int) (*nn.Model, error) {
+		return models.CIFARCNN(shape[0], shape[2], classes), nil
+	}, seed+2)
+	if err != nil {
+		return nil, "", fmt.Errorf("bench: ic proxy: %w", err)
+	}
+	icAcc.Workload = "ic"
+	out = append(out, icAcc)
+
+	t := report.NewTable("Table 4 (accuracy rows). Holdout accuracy of trained proxies.",
+		"Workload", "Float32", "Int8")
+	for _, a := range out {
+		t.AddRow(a.Workload, report.Pct(a.Float), report.Pct(a.Int8))
+	}
+	return out, t.Render(), nil
+}
+
+// trainEval trains the impulse's classifier and evaluates float and int8
+// accuracy on the test split.
+func trainEval(imp *core.Impulse, ds *data.Dataset, build func(shape []int, classes int) (*nn.Model, error), seed int64) (Accuracy, error) {
+	imp.Classes = ds.Labels()
+	shape, err := imp.FeatureShape()
+	if err != nil {
+		return Accuracy{}, err
+	}
+	model, err := build(shape, len(imp.Classes))
+	if err != nil {
+		return Accuracy{}, err
+	}
+	if err := nn.InitWeights(model, seed); err != nil {
+		return Accuracy{}, err
+	}
+	if err := imp.AttachClassifier(model); err != nil {
+		return Accuracy{}, err
+	}
+	if _, err := imp.Train(ds, trainer.Config{Epochs: 12, LearningRate: 0.005, Seed: seed}); err != nil {
+		return Accuracy{}, err
+	}
+	floatAcc, _, err := imp.Evaluate(ds, data.Testing)
+	if err != nil {
+		return Accuracy{}, err
+	}
+	if err := imp.Quantize(ds); err != nil {
+		return Accuracy{}, err
+	}
+	// Int8 accuracy: classify the test split with the quantized model.
+	correct, total := 0, 0
+	for _, s := range ds.List(data.Testing) {
+		res, err := imp.ClassifyQuantized(s.Signal)
+		if err != nil {
+			return Accuracy{}, err
+		}
+		if res.Label == s.Label {
+			correct++
+		}
+		total++
+	}
+	int8Acc := 0.0
+	if total > 0 {
+		int8Acc = float64(correct) / float64(total)
+	}
+	return Accuracy{Float: floatAcc, Int8: int8Acc}, nil
+}

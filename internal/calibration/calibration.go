@@ -1,0 +1,202 @@
+// Package calibration implements performance calibration (paper
+// Sec. 4.4): post-processing tuning for impulses that detect events in
+// streaming data. Given the raw per-window scores of a trained model over
+// a stream with known ground-truth events, a genetic algorithm searches
+// post-processing configurations (threshold, score averaging, detection
+// suppression) and suggests operating points trading off false acceptance
+// rate (FAR) against false rejection rate (FRR).
+package calibration
+
+import (
+	"fmt"
+	"math"
+
+	"edgepulse/internal/ga"
+	"edgepulse/internal/synth"
+)
+
+// PostProcessing is one detection configuration.
+type PostProcessing struct {
+	// Threshold on the smoothed score to declare a detection.
+	Threshold float32
+	// AveragingWindows is the moving-average length over window scores.
+	AveragingWindows int
+	// SuppressionWindows is the refractory period after a detection.
+	SuppressionWindows int
+}
+
+// Outcome reports detection quality for one configuration.
+type Outcome struct {
+	// FalseAcceptsPerHour is the FAR normalized to stream hours.
+	FalseAcceptsPerHour float64
+	// FalseRejectionRate is the fraction of true events missed.
+	FalseRejectionRate float64
+	// Detections counts triggers (true + false).
+	Detections int
+}
+
+// Stream bundles the classifier's raw output over a calibration stream.
+type Stream struct {
+	// Scores holds the target-class probability of each window.
+	Scores []float32
+	// WindowStarts holds the window start offsets in samples.
+	WindowStarts []int
+	// Rate is the stream sample rate in Hz.
+	Rate int
+	// TotalSamples is the stream length.
+	TotalSamples int
+	// Events are the ground-truth occurrences.
+	Events []synth.Event
+}
+
+// Validate checks structural consistency.
+func (s Stream) Validate() error {
+	if len(s.Scores) == 0 || len(s.Scores) != len(s.WindowStarts) {
+		return fmt.Errorf("calibration: %d scores vs %d window starts", len(s.Scores), len(s.WindowStarts))
+	}
+	if s.Rate <= 0 || s.TotalSamples <= 0 {
+		return fmt.Errorf("calibration: missing rate or length")
+	}
+	return nil
+}
+
+// Apply runs the post-processing over the stream and scores it against
+// ground truth. A detection is credited to an event when it fires inside
+// the event span (with half-a-window tolerance after the end); each event
+// counts at most once. Uncredited detections are false accepts.
+func Apply(s Stream, pp PostProcessing) Outcome {
+	if pp.AveragingWindows < 1 {
+		pp.AveragingWindows = 1
+	}
+	if pp.SuppressionWindows < 0 {
+		pp.SuppressionWindows = 0
+	}
+	tolerance := 0
+	if len(s.WindowStarts) > 1 {
+		tolerance = (s.WindowStarts[1] - s.WindowStarts[0]) * 2
+	}
+	hit := make([]bool, len(s.Events))
+	var falseAccepts, detections int
+	suppress := 0
+	var window []float32
+	for i, score := range s.Scores {
+		window = append(window, score)
+		if len(window) > pp.AveragingWindows {
+			window = window[1:]
+		}
+		if suppress > 0 {
+			suppress--
+			continue
+		}
+		var sum float32
+		for _, v := range window {
+			sum += v
+		}
+		smoothed := sum / float32(len(window))
+		if smoothed < pp.Threshold {
+			continue
+		}
+		detections++
+		suppress = pp.SuppressionWindows
+		at := s.WindowStarts[i]
+		matched := false
+		for e, ev := range s.Events {
+			if hit[e] {
+				continue
+			}
+			if at >= ev.StartSample-tolerance && at <= ev.EndSample+tolerance {
+				hit[e] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			falseAccepts++
+		}
+	}
+	misses := 0
+	for _, h := range hit {
+		if !h {
+			misses++
+		}
+	}
+	hours := float64(s.TotalSamples) / float64(s.Rate) / 3600
+	out := Outcome{Detections: detections}
+	if hours > 0 {
+		out.FalseAcceptsPerHour = float64(falseAccepts) / hours
+	}
+	if len(s.Events) > 0 {
+		out.FalseRejectionRate = float64(misses) / float64(len(s.Events))
+	}
+	return out
+}
+
+// Suggestion is one calibrated operating point.
+type Suggestion struct {
+	Config  PostProcessing
+	Outcome Outcome
+}
+
+// decode maps a genome to a post-processing configuration.
+func decode(g ga.Genome) PostProcessing {
+	return PostProcessing{
+		Threshold:          float32(0.3 + 0.69*g[0]),
+		AveragingWindows:   1 + int(g[1]*9.99),
+		SuppressionWindows: int(g[2] * 20.99),
+	}
+}
+
+// Calibrate searches post-processing space with a genetic algorithm at
+// several FAR-vs-FRR weightings and returns the Pareto-optimal operating
+// points (lowest-FAR first), mirroring the platform's performance
+// calibration suggestions.
+func Calibrate(s Stream, seed int64) ([]Suggestion, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// The FAR normalizer: one false accept per minute is terrible.
+	const farScale = 60
+	weights := []float64{0.15, 0.3, 0.5, 0.7, 0.85}
+	var candidates []Suggestion
+	for wi, w := range weights {
+		problem := ga.Problem{
+			Genes: 3,
+			Fitness: func(g ga.Genome) float64 {
+				out := Apply(s, decode(g))
+				farNorm := out.FalseAcceptsPerHour / farScale
+				if farNorm > 1 {
+					farNorm = 1 + math.Log(farNorm)
+				}
+				return -(w*out.FalseRejectionRate + (1-w)*farNorm)
+			},
+		}
+		res := ga.Optimize(problem, ga.Config{
+			Population: 30, Generations: 15, Seed: seed + int64(wi),
+		})
+		// Keep the top few genomes per weighting.
+		for i := 0; i < 3 && i < len(res.FinalPopulation); i++ {
+			pp := decode(res.FinalPopulation[i])
+			candidates = append(candidates, Suggestion{Config: pp, Outcome: Apply(s, pp)})
+		}
+	}
+	// Pareto filtering over (FAR, FRR).
+	points := make([][2]float64, len(candidates))
+	for i, c := range candidates {
+		points[i] = [2]float64{c.Outcome.FalseAcceptsPerHour, c.Outcome.FalseRejectionRate}
+	}
+	front := ga.ParetoFront(points)
+	out := make([]Suggestion, 0, len(front))
+	seen := map[[2]float64]bool{}
+	for _, i := range front {
+		key := points[i]
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, candidates[i])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("calibration: search produced no configurations")
+	}
+	return out, nil
+}

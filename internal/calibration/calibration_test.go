@@ -1,0 +1,144 @@
+package calibration
+
+import (
+	"math/rand"
+	"testing"
+
+	"edgepulse/internal/synth"
+)
+
+// syntheticStream fabricates window scores for a stream: high scores
+// inside events, low noise elsewhere, with a few spurious spikes.
+func syntheticStream(seed int64) Stream {
+	rng := rand.New(rand.NewSource(seed))
+	rate := 8000
+	totalSeconds := 120
+	strideSamples := 2000 // 250 ms
+	total := rate * totalSeconds
+	var events []synth.Event
+	for e := 0; e < 6; e++ {
+		start := (e*20 + 5) * rate // every 20 s
+		events = append(events, synth.Event{Label: "yes", StartSample: start, EndSample: start + rate})
+	}
+	var scores []float32
+	var starts []int
+	evIdx := func(at int) int {
+		for i, ev := range events {
+			if at >= ev.StartSample && at <= ev.EndSample {
+				return i
+			}
+		}
+		return -1
+	}
+	for at := 0; at+rate <= total; at += strideSamples {
+		var s float32
+		if evIdx(at) >= 0 {
+			s = 0.85 + float32(rng.Float64()*0.14)
+		} else {
+			s = float32(rng.Float64() * 0.35)
+			if rng.Float64() < 0.01 { // occasional spurious spike
+				s = 0.9
+			}
+		}
+		scores = append(scores, s)
+		starts = append(starts, at)
+	}
+	return Stream{Scores: scores, WindowStarts: starts, Rate: rate, TotalSamples: total, Events: events}
+}
+
+func TestApplyPerfectDetector(t *testing.T) {
+	s := syntheticStream(1)
+	out := Apply(s, PostProcessing{Threshold: 0.8, AveragingWindows: 2, SuppressionWindows: 8})
+	if out.FalseRejectionRate > 0.2 {
+		t.Errorf("FRR %.2f too high for easy stream", out.FalseRejectionRate)
+	}
+	if out.FalseAcceptsPerHour > 40 {
+		t.Errorf("FAR %.1f/h too high", out.FalseAcceptsPerHour)
+	}
+	if out.Detections == 0 {
+		t.Error("no detections")
+	}
+}
+
+func TestApplyThresholdTradeoff(t *testing.T) {
+	s := syntheticStream(2)
+	loose := Apply(s, PostProcessing{Threshold: 0.31, AveragingWindows: 1})
+	strict := Apply(s, PostProcessing{Threshold: 0.99, AveragingWindows: 1})
+	// Loose threshold: no rejections but many false accepts.
+	if loose.FalseRejectionRate > strict.FalseRejectionRate {
+		t.Errorf("loose FRR %.2f > strict FRR %.2f", loose.FalseRejectionRate, strict.FalseRejectionRate)
+	}
+	if loose.FalseAcceptsPerHour < strict.FalseAcceptsPerHour {
+		t.Errorf("loose FAR %.1f < strict FAR %.1f", loose.FalseAcceptsPerHour, strict.FalseAcceptsPerHour)
+	}
+	// Strict threshold misses everything.
+	if strict.FalseRejectionRate < 0.9 {
+		t.Errorf("strict FRR %.2f, want ~1", strict.FalseRejectionRate)
+	}
+}
+
+func TestAveragingSuppressesSpikes(t *testing.T) {
+	s := syntheticStream(3)
+	raw := Apply(s, PostProcessing{Threshold: 0.7, AveragingWindows: 1, SuppressionWindows: 4})
+	smoothed := Apply(s, PostProcessing{Threshold: 0.7, AveragingWindows: 4, SuppressionWindows: 4})
+	if smoothed.FalseAcceptsPerHour > raw.FalseAcceptsPerHour {
+		t.Errorf("averaging increased FAR: %.1f > %.1f", smoothed.FalseAcceptsPerHour, raw.FalseAcceptsPerHour)
+	}
+}
+
+func TestSuppressionLimitsDetections(t *testing.T) {
+	s := syntheticStream(4)
+	none := Apply(s, PostProcessing{Threshold: 0.5, AveragingWindows: 1, SuppressionWindows: 0})
+	heavy := Apply(s, PostProcessing{Threshold: 0.5, AveragingWindows: 1, SuppressionWindows: 15})
+	if heavy.Detections >= none.Detections {
+		t.Errorf("suppression did not reduce detections: %d >= %d", heavy.Detections, none.Detections)
+	}
+}
+
+func TestCalibrateParetoFront(t *testing.T) {
+	s := syntheticStream(5)
+	suggestions, err := Calibrate(s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suggestions) == 0 {
+		t.Fatal("no suggestions")
+	}
+	// Pareto front: sorted by FAR ascending, FRR must be non-increasing.
+	for i := 1; i < len(suggestions); i++ {
+		if suggestions[i].Outcome.FalseAcceptsPerHour < suggestions[i-1].Outcome.FalseAcceptsPerHour {
+			t.Fatal("suggestions not sorted by FAR")
+		}
+		if suggestions[i].Outcome.FalseRejectionRate > suggestions[i-1].Outcome.FalseRejectionRate+1e-9 {
+			t.Fatal("pareto violation: higher FAR and higher FRR")
+		}
+	}
+	// The best suggestion should be quite good on this easy stream.
+	best := suggestions[len(suggestions)-1] // highest FAR end = lowest FRR
+	if best.Outcome.FalseRejectionRate > 0.35 {
+		t.Errorf("best FRR %.2f", best.Outcome.FalseRejectionRate)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if err := (Stream{}).Validate(); err == nil {
+		t.Error("accepted empty stream")
+	}
+	s := syntheticStream(7)
+	s.WindowStarts = s.WindowStarts[:1]
+	if err := s.Validate(); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := Calibrate(Stream{}, 1); err == nil {
+		t.Error("calibrated empty stream")
+	}
+}
+
+func TestApplyDefaultsNormalized(t *testing.T) {
+	s := syntheticStream(8)
+	// Zero/negative settings are clamped, not crashed.
+	out := Apply(s, PostProcessing{Threshold: 0.5, AveragingWindows: 0, SuppressionWindows: -3})
+	if out.Detections == 0 {
+		t.Error("clamped config produced nothing")
+	}
+}

@@ -1,0 +1,372 @@
+// Package cbor implements the subset of RFC 8949 (Concise Binary Object
+// Representation) used by the edgepulse data-acquisition format: unsigned
+// and negative integers, byte and text strings, arrays, string-keyed
+// maps, booleans, null, and IEEE 754 floats. CBOR is one of the ingestion
+// payload encodings the platform accepts (paper Sec. 4.1), chosen because
+// constrained devices can emit it with tiny encoders.
+//
+// Encoding is canonical-ish: map keys are sorted lexicographically, so
+// the same value always encodes to the same bytes (required for HMAC
+// signing of payloads).
+package cbor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Major types of RFC 8949.
+const (
+	majUint  = 0
+	majNint  = 1
+	majBytes = 2
+	majText  = 3
+	majArray = 4
+	majMap   = 5
+	majTag   = 6
+	majOther = 7
+)
+
+// maxNesting bounds recursion when decoding adversarial input.
+const maxNesting = 64
+
+// Marshal encodes a Go value to CBOR. Supported types: nil, bool, int,
+// int64, uint64, float32, float64, string, []byte, []any, []float64,
+// map[string]any.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encode(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeHead(buf *bytes.Buffer, major byte, n uint64) {
+	switch {
+	case n < 24:
+		buf.WriteByte(major<<5 | byte(n))
+	case n <= 0xFF:
+		buf.WriteByte(major<<5 | 24)
+		buf.WriteByte(byte(n))
+	case n <= 0xFFFF:
+		buf.WriteByte(major<<5 | 25)
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], uint16(n))
+		buf.Write(b[:])
+	case n <= 0xFFFFFFFF:
+		buf.WriteByte(major<<5 | 26)
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(n))
+		buf.Write(b[:])
+	default:
+		buf.WriteByte(major<<5 | 27)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], n)
+		buf.Write(b[:])
+	}
+}
+
+func encode(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case nil:
+		buf.WriteByte(majOther<<5 | 22)
+	case bool:
+		if x {
+			buf.WriteByte(majOther<<5 | 21)
+		} else {
+			buf.WriteByte(majOther<<5 | 20)
+		}
+	case int:
+		return encode(buf, int64(x))
+	case int32:
+		return encode(buf, int64(x))
+	case int64:
+		if x >= 0 {
+			encodeHead(buf, majUint, uint64(x))
+		} else {
+			encodeHead(buf, majNint, uint64(-1-x))
+		}
+	case uint64:
+		encodeHead(buf, majUint, x)
+	case float32:
+		buf.WriteByte(majOther<<5 | 26)
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], math.Float32bits(x))
+		buf.Write(b[:])
+	case float64:
+		buf.WriteByte(majOther<<5 | 27)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(x))
+		buf.Write(b[:])
+	case string:
+		encodeHead(buf, majText, uint64(len(x)))
+		buf.WriteString(x)
+	case []byte:
+		encodeHead(buf, majBytes, uint64(len(x)))
+		buf.Write(x)
+	case []any:
+		encodeHead(buf, majArray, uint64(len(x)))
+		for _, e := range x {
+			if err := encode(buf, e); err != nil {
+				return err
+			}
+		}
+	case []float64:
+		encodeHead(buf, majArray, uint64(len(x)))
+		for _, e := range x {
+			if err := encode(buf, e); err != nil {
+				return err
+			}
+		}
+	case []float32:
+		encodeHead(buf, majArray, uint64(len(x)))
+		for _, e := range x {
+			if err := encode(buf, e); err != nil {
+				return err
+			}
+		}
+	case map[string]any:
+		encodeHead(buf, majMap, uint64(len(x)))
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := encode(buf, k); err != nil {
+				return err
+			}
+			if err := encode(buf, x[k]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("cbor: unsupported type %T", v)
+	}
+	return nil
+}
+
+// Unmarshal decodes CBOR bytes into Go values: uint64/int64 for ints,
+// float64 for floats, string, []byte, []any, map[string]any, bool, nil.
+// Trailing bytes after the first item are an error.
+func Unmarshal(data []byte) (any, error) {
+	d := &decoder{data: data}
+	v, err := d.decode(0)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("cbor: %d trailing bytes", len(data)-d.pos)
+	}
+	return v, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, fmt.Errorf("cbor: unexpected end of input")
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) take(n uint64) ([]byte, error) {
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, fmt.Errorf("cbor: length %d exceeds input", n)
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *decoder) head(info byte) (uint64, error) {
+	switch {
+	case info < 24:
+		return uint64(info), nil
+	case info == 24:
+		b, err := d.take(1)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(b[0]), nil
+	case info == 25:
+		b, err := d.take(2)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(binary.BigEndian.Uint16(b)), nil
+	case info == 26:
+		b, err := d.take(4)
+		if err != nil {
+			return 0, err
+		}
+		return uint64(binary.BigEndian.Uint32(b)), nil
+	case info == 27:
+		b, err := d.take(8)
+		if err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint64(b), nil
+	default:
+		return 0, fmt.Errorf("cbor: unsupported additional info %d", info)
+	}
+}
+
+func (d *decoder) decode(depth int) (any, error) {
+	if depth > maxNesting {
+		return nil, fmt.Errorf("cbor: nesting exceeds %d", maxNesting)
+	}
+	b, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	major, info := b>>5, b&0x1F
+	switch major {
+	case majUint:
+		n, err := d.head(info)
+		return n, err
+	case majNint:
+		n, err := d.head(info)
+		if err != nil {
+			return nil, err
+		}
+		if n > math.MaxInt64-1 {
+			return nil, fmt.Errorf("cbor: negative integer overflow")
+		}
+		return -1 - int64(n), nil
+	case majBytes:
+		n, err := d.head(info)
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(n)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), b...), nil
+	case majText:
+		n, err := d.head(info)
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.take(n)
+		if err != nil {
+			return nil, err
+		}
+		return string(b), nil
+	case majArray:
+		n, err := d.head(info)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.data)) { // each element takes >= 1 byte
+			return nil, fmt.Errorf("cbor: array length %d exceeds input", n)
+		}
+		arr := make([]any, 0, n)
+		for i := uint64(0); i < n; i++ {
+			e, err := d.decode(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			arr = append(arr, e)
+		}
+		return arr, nil
+	case majMap:
+		n, err := d.head(info)
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.data))/2 {
+			return nil, fmt.Errorf("cbor: map length %d exceeds input", n)
+		}
+		m := make(map[string]any, n)
+		for i := uint64(0); i < n; i++ {
+			k, err := d.decode(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			ks, ok := k.(string)
+			if !ok {
+				return nil, fmt.Errorf("cbor: non-string map key %T", k)
+			}
+			v, err := d.decode(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			m[ks] = v
+		}
+		return m, nil
+	case majTag:
+		// Skip the tag number, decode the tagged value transparently.
+		if _, err := d.head(info); err != nil {
+			return nil, err
+		}
+		return d.decode(depth + 1)
+	case majOther:
+		switch info {
+		case 20:
+			return false, nil
+		case 21:
+			return true, nil
+		case 22, 23:
+			return nil, nil
+		case 25: // float16
+			b, err := d.take(2)
+			if err != nil {
+				return nil, err
+			}
+			return float64(decodeFloat16(binary.BigEndian.Uint16(b))), nil
+		case 26:
+			b, err := d.take(4)
+			if err != nil {
+				return nil, err
+			}
+			return float64(math.Float32frombits(binary.BigEndian.Uint32(b))), nil
+		case 27:
+			b, err := d.take(8)
+			if err != nil {
+				return nil, err
+			}
+			return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+		default:
+			return nil, fmt.Errorf("cbor: unsupported simple value %d", info)
+		}
+	}
+	return nil, fmt.Errorf("cbor: unreachable major type %d", major)
+}
+
+// decodeFloat16 expands an IEEE 754 binary16 value.
+func decodeFloat16(h uint16) float32 {
+	sign := uint32(h>>15) & 1
+	exp := uint32(h>>10) & 0x1F
+	frac := uint32(h) & 0x3FF
+	var f32 uint32
+	switch exp {
+	case 0: // subnormal or zero
+		if frac == 0 {
+			f32 = sign << 31
+		} else {
+			// Normalize.
+			e := uint32(127 - 15 + 1)
+			for frac&0x400 == 0 {
+				frac <<= 1
+				e--
+			}
+			frac &= 0x3FF
+			f32 = sign<<31 | e<<23 | frac<<13
+		}
+	case 0x1F: // inf/nan
+		f32 = sign<<31 | 0xFF<<23 | frac<<13
+	default:
+		f32 = sign<<31 | (exp+127-15)<<23 | frac<<13
+	}
+	return math.Float32frombits(f32)
+}

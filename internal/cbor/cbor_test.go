@@ -1,0 +1,300 @@
+package cbor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	data, err := Marshal(v)
+	if err != nil {
+		t.Fatalf("Marshal(%v): %v", v, err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(%x): %v", data, err)
+	}
+	return got
+}
+
+func TestScalars(t *testing.T) {
+	if got := roundTrip(t, uint64(0)); got != uint64(0) {
+		t.Errorf("0 -> %v", got)
+	}
+	if got := roundTrip(t, uint64(23)); got != uint64(23) {
+		t.Errorf("23 -> %v", got)
+	}
+	if got := roundTrip(t, uint64(255)); got != uint64(255) {
+		t.Errorf("255 -> %v", got)
+	}
+	if got := roundTrip(t, uint64(65536)); got != uint64(65536) {
+		t.Errorf("65536 -> %v", got)
+	}
+	if got := roundTrip(t, int64(-1)); got != int64(-1) {
+		t.Errorf("-1 -> %v", got)
+	}
+	if got := roundTrip(t, int64(-500)); got != int64(-500) {
+		t.Errorf("-500 -> %v", got)
+	}
+	if got := roundTrip(t, true); got != true {
+		t.Errorf("true -> %v", got)
+	}
+	if got := roundTrip(t, false); got != false {
+		t.Errorf("false -> %v", got)
+	}
+	if got := roundTrip(t, nil); got != nil {
+		t.Errorf("nil -> %v", got)
+	}
+	if got := roundTrip(t, 3.25); got != 3.25 {
+		t.Errorf("3.25 -> %v", got)
+	}
+	if got := roundTrip(t, "hello"); got != "hello" {
+		t.Errorf("hello -> %v", got)
+	}
+	if got := roundTrip(t, float32(1.5)); got != float64(1.5) {
+		t.Errorf("float32 -> %v", got)
+	}
+}
+
+func TestRFC8949Vectors(t *testing.T) {
+	// Known encodings from the RFC appendix.
+	cases := []struct {
+		v    any
+		want []byte
+	}{
+		{uint64(0), []byte{0x00}},
+		{uint64(10), []byte{0x0a}},
+		{uint64(23), []byte{0x17}},
+		{uint64(24), []byte{0x18, 0x18}},
+		{uint64(1000), []byte{0x19, 0x03, 0xe8}},
+		{int64(-10), []byte{0x29}},
+		{"a", []byte{0x61, 0x61}},
+		{"IETF", []byte{0x64, 0x49, 0x45, 0x54, 0x46}},
+		{true, []byte{0xf5}},
+		{nil, []byte{0xf6}},
+	}
+	for _, c := range cases {
+		got, err := Marshal(c.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("Marshal(%v) = %x, want %x", c.v, got, c.want)
+		}
+	}
+}
+
+func TestComposite(t *testing.T) {
+	v := map[string]any{
+		"device": "nano-33",
+		"rate":   uint64(16000),
+		"values": []any{1.0, 2.0, -3.5},
+		"raw":    []byte{1, 2, 3},
+		"nested": map[string]any{"ok": true},
+	}
+	got := roundTrip(t, v).(map[string]any)
+	if got["device"] != "nano-33" || got["rate"] != uint64(16000) {
+		t.Errorf("scalars: %v", got)
+	}
+	vals := got["values"].([]any)
+	if len(vals) != 3 || vals[2] != -3.5 {
+		t.Errorf("values: %v", vals)
+	}
+	if !bytes.Equal(got["raw"].([]byte), []byte{1, 2, 3}) {
+		t.Errorf("raw: %v", got["raw"])
+	}
+	if got["nested"].(map[string]any)["ok"] != true {
+		t.Errorf("nested: %v", got["nested"])
+	}
+}
+
+func TestDeterministicMapEncoding(t *testing.T) {
+	v := map[string]any{"b": uint64(1), "a": uint64(2), "c": uint64(3)}
+	d1, _ := Marshal(v)
+	d2, _ := Marshal(v)
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("map encoding not deterministic")
+	}
+	// Keys sorted: "a" before "b" before "c".
+	ia := bytes.Index(d1, []byte("a"))
+	ib := bytes.Index(d1, []byte("b"))
+	ic := bytes.Index(d1, []byte("c"))
+	if !(ia < ib && ib < ic) {
+		t.Fatalf("keys not sorted: a@%d b@%d c@%d", ia, ib, ic)
+	}
+}
+
+func TestFloatSliceEncodings(t *testing.T) {
+	f64 := roundTrip(t, []float64{1, 2, 3}).([]any)
+	if len(f64) != 3 || f64[0] != 1.0 {
+		t.Errorf("f64 slice: %v", f64)
+	}
+	f32 := roundTrip(t, []float32{1.5, 2.5}).([]any)
+	if len(f32) != 2 || f32[1] != 2.5 {
+		t.Errorf("f32 slice: %v", f32)
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	if _, err := Marshal(struct{}{}); err == nil {
+		t.Fatal("accepted struct")
+	}
+	if _, err := Marshal(map[string]any{"x": struct{}{}}); err == nil {
+		t.Fatal("accepted nested struct")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		{},                             // empty
+		{0x18},                         // truncated uint8
+		{0x19, 0x01},                   // truncated uint16
+		{0x61},                         // truncated string
+		{0x81},                         // truncated array
+		{0xa1, 0x01, 0x02},             // non-string map key
+		{0x5a, 0xff, 0xff, 0xff, 0xff}, // absurd byte length
+		{0x9a, 0xff, 0xff, 0xff, 0xff}, // absurd array length
+		{0x1c},                         // invalid additional info
+		{0xf8, 0x01},                   // unsupported simple
+		{0x00, 0x00},                   // trailing bytes
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d (%x): accepted", i, c)
+		}
+	}
+}
+
+func TestDeepNestingRejected(t *testing.T) {
+	// 100 nested arrays exceed the depth limit.
+	data := bytes.Repeat([]byte{0x81}, 100)
+	data = append(data, 0x00)
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("accepted deep nesting")
+	}
+}
+
+func TestFloat16Decode(t *testing.T) {
+	cases := []struct {
+		bits uint16
+		want float64
+	}{
+		{0x3C00, 1.0},
+		{0xC000, -2.0},
+		{0x7BFF, 65504},
+		{0x0000, 0},
+		{0x3555, 0.333251953125},
+	}
+	for _, c := range cases {
+		data := []byte{0xf9, byte(c.bits >> 8), byte(c.bits)}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.(float64)-c.want) > 1e-9 {
+			t.Errorf("f16 %04x -> %v, want %v", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestTagsSkipped(t *testing.T) {
+	// Tag 1 (epoch time) wrapping uint 100.
+	data := []byte{0xc1, 0x18, 0x64}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != uint64(100) {
+		t.Errorf("tagged -> %v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomValue(rng, 0)
+		data, err := Marshal(v)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(v), got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomValue generates CBOR-encodable values.
+func randomValue(rng *rand.Rand, depth int) any {
+	max := 7
+	if depth > 3 {
+		max = 5 // scalars only
+	}
+	switch rng.Intn(max) {
+	case 0:
+		return uint64(rng.Intn(1 << 20))
+	case 1:
+		return int64(-rng.Intn(1<<20) - 1)
+	case 2:
+		return rng.NormFloat64()
+	case 3:
+		return string(rune('a' + rng.Intn(26)))
+	case 4:
+		return rng.Intn(2) == 0
+	case 5:
+		n := rng.Intn(4)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randomValue(rng, depth+1)
+		}
+		return arr
+	default:
+		n := rng.Intn(4)
+		m := map[string]any{}
+		for i := 0; i < n; i++ {
+			m[string(rune('a'+i))] = randomValue(rng, depth+1)
+		}
+		return m
+	}
+}
+
+// normalize converts a value to its post-roundtrip representation.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case []any:
+		out := make([]any, len(x))
+		for i := range x {
+			out[i] = normalize(x[i])
+		}
+		return out
+	case map[string]any:
+		out := map[string]any{}
+		for k, e := range x {
+			out[k] = normalize(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func BenchmarkMarshalPayload(b *testing.B) {
+	values := make([]any, 100)
+	for i := range values {
+		values[i] = float64(i) * 0.5
+	}
+	v := map[string]any{"device": "x", "values": values}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Marshal(v)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"edgepulse/internal/dsp"
+)
+
+// Config is the serializable impulse design (block layout and
+// hyperparameters, without trained weights — those travel separately in
+// the EPTM model format). It is what the Studio stores per project and
+// what the REST API accepts.
+type Config struct {
+	Name      string             `json:"name"`
+	Input     InputBlock         `json:"input"`
+	DSPName   string             `json:"dsp_name"`
+	DSPParams map[string]float64 `json:"dsp_params,omitempty"`
+	Classes   []string           `json:"classes,omitempty"`
+	// AnomalyClusters > 0 enables the K-means anomaly learn block.
+	AnomalyClusters int `json:"anomaly_clusters,omitempty"`
+}
+
+// Config extracts the serializable design from an impulse.
+func (imp *Impulse) Config() Config {
+	c := Config{
+		Name:    imp.Name,
+		Input:   imp.Input,
+		Classes: append([]string(nil), imp.Classes...),
+	}
+	if imp.DSP != nil {
+		c.DSPName = imp.DSP.Name()
+		c.DSPParams = imp.DSP.Params()
+	}
+	if imp.Anomaly != nil {
+		c.AnomalyClusters = len(imp.Anomaly.Centroids)
+	}
+	return c
+}
+
+// FromConfig instantiates an impulse (untrained) from a design.
+func FromConfig(c Config) (*Impulse, error) {
+	if c.Name == "" {
+		return nil, fmt.Errorf("core: config has no name")
+	}
+	if err := c.Input.Validate(); err != nil {
+		return nil, err
+	}
+	block, err := dsp.New(c.DSPName, c.DSPParams)
+	if err != nil {
+		return nil, err
+	}
+	imp := &Impulse{
+		Name:    c.Name,
+		Input:   c.Input,
+		DSP:     block,
+		Classes: append([]string(nil), c.Classes...),
+	}
+	if _, err := imp.FeatureShape(); err != nil {
+		return nil, err
+	}
+	return imp, nil
+}
+
+// MarshalJSON round-trips the impulse design (not weights).
+func (imp *Impulse) MarshalJSON() ([]byte, error) {
+	return json.Marshal(imp.Config())
+}
+
+// ParseConfig decodes a JSON impulse design.
+func ParseConfig(data []byte) (Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("core: bad impulse config: %w", err)
+	}
+	return c, nil
+}

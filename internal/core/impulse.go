@@ -1,0 +1,433 @@
+// Package core implements the impulse — the paper's central abstraction
+// (Sec. 3, Fig. 2): a dataflow of blocks that takes raw sensor data
+// through an input block (windowing), a DSP block (feature extraction)
+// and learn blocks (a neural network classifier and/or a K-means anomaly
+// detector), producing a deployable TinyML pipeline.
+//
+// An Impulse owns the end-to-end design: it extracts features from a
+// dataset, trains its learn blocks, quantizes them, and classifies raw
+// signals. Deployment (EON compilation, C++ emission, EIM packaging) and
+// on-device estimation build on the impulse through the deploy, renode
+// and profiler packages.
+package core
+
+import (
+	"fmt"
+
+	"edgepulse/internal/anomaly"
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/quant"
+	"edgepulse/internal/tensor"
+	"edgepulse/internal/trainer"
+)
+
+// InputKind distinguishes input block types.
+type InputKind string
+
+// Input block types.
+const (
+	TimeSeries InputKind = "time-series"
+	ImageInput InputKind = "image"
+)
+
+// InputBlock describes how raw data enters the impulse.
+type InputBlock struct {
+	Kind InputKind `json:"kind"`
+	// Time series parameters.
+	WindowMS    int `json:"window_ms,omitempty"`
+	StrideMS    int `json:"stride_ms,omitempty"`
+	FrequencyHz int `json:"frequency_hz,omitempty"`
+	Axes        int `json:"axes,omitempty"`
+	// Image parameters.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+}
+
+// WindowSamples returns the per-axis sample count of one window.
+func (b InputBlock) WindowSamples() int {
+	return b.WindowMS * b.FrequencyHz / 1000
+}
+
+// StrideSamples returns the per-axis stride between windows.
+func (b InputBlock) StrideSamples() int {
+	s := b.StrideMS * b.FrequencyHz / 1000
+	if s <= 0 {
+		s = b.WindowSamples()
+	}
+	return s
+}
+
+// Validate checks the block configuration.
+func (b InputBlock) Validate() error {
+	switch b.Kind {
+	case TimeSeries:
+		if b.WindowMS <= 0 || b.FrequencyHz <= 0 || b.Axes <= 0 {
+			return fmt.Errorf("core: time-series input needs window_ms, frequency_hz and axes")
+		}
+	case ImageInput:
+		if b.Width <= 0 || b.Height <= 0 {
+			return fmt.Errorf("core: image input needs width and height")
+		}
+	default:
+		return fmt.Errorf("core: unknown input kind %q", b.Kind)
+	}
+	return nil
+}
+
+// Impulse is a configured pipeline: input block → DSP block → learn
+// block(s).
+type Impulse struct {
+	Name  string
+	Input InputBlock
+	// DSP is the feature extraction block.
+	DSP dsp.Block
+	// Classes are the classifier's output labels, in index order.
+	Classes []string
+	// Model is the float32 classifier (nil until attached/trained).
+	Model *nn.Model
+	// QModel is the int8 classifier (nil until Quantize).
+	QModel *quant.QModel
+	// Anomaly is an optional secondary learn block scoring feature
+	// vectors against the training distribution.
+	Anomaly *anomaly.KMeans
+}
+
+// New creates an impulse with the given name.
+func New(name string) *Impulse { return &Impulse{Name: name} }
+
+// Validate checks the full pipeline configuration.
+func (imp *Impulse) Validate() error {
+	if err := imp.Input.Validate(); err != nil {
+		return err
+	}
+	if imp.DSP == nil {
+		return fmt.Errorf("core: impulse has no DSP block")
+	}
+	if len(imp.Classes) == 0 && imp.Anomaly == nil {
+		return fmt.Errorf("core: impulse has no learn block (classes or anomaly)")
+	}
+	if _, err := imp.FeatureShape(); err != nil {
+		return err
+	}
+	if imp.Model != nil {
+		shape, _ := imp.FeatureShape()
+		if !imp.Model.InputShape.Equal(shape) {
+			return fmt.Errorf("core: model input %v != feature shape %v", imp.Model.InputShape, shape)
+		}
+		if imp.Model.NumClasses != len(imp.Classes) {
+			return fmt.Errorf("core: model classes %d != labels %d", imp.Model.NumClasses, len(imp.Classes))
+		}
+	}
+	return nil
+}
+
+// CanonicalSignal returns a zero signal with the canonical window
+// geometry; used for shape, cost and memory queries.
+func (imp *Impulse) CanonicalSignal() dsp.Signal {
+	if imp.Input.Kind == ImageInput {
+		axes := imp.Input.Axes
+		if axes == 0 {
+			axes = 3
+		}
+		return dsp.Signal{
+			Data:  make([]float32, imp.Input.Width*imp.Input.Height*axes),
+			Axes:  axes,
+			Width: imp.Input.Width, Height: imp.Input.Height,
+		}
+	}
+	n := imp.Input.WindowSamples()
+	return dsp.Signal{
+		Data: make([]float32, n*imp.Input.Axes),
+		Rate: imp.Input.FrequencyHz,
+		Axes: imp.Input.Axes,
+	}
+}
+
+// FeatureShape returns the DSP output shape for one canonical window.
+func (imp *Impulse) FeatureShape() (tensor.Shape, error) {
+	if imp.DSP == nil {
+		return nil, fmt.Errorf("core: impulse has no DSP block")
+	}
+	return imp.DSP.OutputShape(imp.CanonicalSignal())
+}
+
+// windowed crops or zero-pads a time-series signal to exactly one
+// canonical window.
+func (imp *Impulse) windowed(sig dsp.Signal) dsp.Signal {
+	if imp.Input.Kind == ImageInput {
+		return sig
+	}
+	want := imp.Input.WindowSamples() * imp.Input.Axes
+	out := sig
+	out.Rate = imp.Input.FrequencyHz
+	out.Axes = imp.Input.Axes
+	if len(sig.Data) >= want {
+		out.Data = sig.Data[:want]
+		return out
+	}
+	padded := make([]float32, want)
+	copy(padded, sig.Data)
+	out.Data = padded
+	return out
+}
+
+// Windows slices a long signal into canonical windows with the input
+// block's stride (for continuous classification). A signal shorter than
+// one window yields a single zero-padded window.
+func (imp *Impulse) Windows(sig dsp.Signal) []dsp.Signal {
+	if imp.Input.Kind == ImageInput {
+		return []dsp.Signal{sig}
+	}
+	win := imp.Input.WindowSamples()
+	stride := imp.Input.StrideSamples()
+	frames := sig.Frames()
+	if frames <= win {
+		return []dsp.Signal{imp.windowed(sig)}
+	}
+	var out []dsp.Signal
+	for start := 0; start+win <= frames; start += stride {
+		w := dsp.Signal{
+			Data: sig.Data[start*sig.Axes : (start+win)*sig.Axes],
+			Rate: imp.Input.FrequencyHz,
+			Axes: imp.Input.Axes,
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Features runs the DSP block on one canonical window of the signal.
+func (imp *Impulse) Features(sig dsp.Signal) (*tensor.F32, error) {
+	if imp.DSP == nil {
+		return nil, fmt.Errorf("core: impulse has no DSP block")
+	}
+	return imp.DSP.Extract(imp.windowed(sig))
+}
+
+// classIndex maps a label to its class index, or -1.
+func (imp *Impulse) classIndex(label string) int {
+	for i, c := range imp.Classes {
+		if c == label {
+			return i
+		}
+	}
+	return -1
+}
+
+// BuildExamples extracts features for every sample in the given split,
+// mapping labels to class indices. Samples with labels outside Classes
+// are skipped (they may belong to an anomaly-only workflow).
+func (imp *Impulse) BuildExamples(ds *data.Dataset, cat data.Category) ([]trainer.Example, error) {
+	var out []trainer.Example
+	for _, s := range ds.List(cat) {
+		y := imp.classIndex(s.Label)
+		if y < 0 {
+			continue
+		}
+		x, err := imp.Features(s.Signal)
+		if err != nil {
+			return nil, fmt.Errorf("core: sample %s: %w", s.ID, err)
+		}
+		out = append(out, trainer.Example{X: x, Y: y})
+	}
+	return out, nil
+}
+
+// AttachClassifier sets the float model, checking shape compatibility.
+func (imp *Impulse) AttachClassifier(m *nn.Model) error {
+	shape, err := imp.FeatureShape()
+	if err != nil {
+		return err
+	}
+	if !m.InputShape.Equal(shape) {
+		return fmt.Errorf("core: model input %v != feature shape %v", m.InputShape, shape)
+	}
+	if m.NumClasses != len(imp.Classes) {
+		return fmt.Errorf("core: model has %d classes, impulse has %d", m.NumClasses, len(imp.Classes))
+	}
+	imp.Model = m
+	imp.QModel = nil // stale after a model change
+	return nil
+}
+
+// Train fits the attached classifier on the dataset's training split.
+func (imp *Impulse) Train(ds *data.Dataset, cfg trainer.Config) (*trainer.Result, error) {
+	if imp.Model == nil {
+		return nil, fmt.Errorf("core: no classifier attached")
+	}
+	examples, err := imp.BuildExamples(ds, data.Training)
+	if err != nil {
+		return nil, err
+	}
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("core: no training examples match classes %v", imp.Classes)
+	}
+	res, err := trainer.Train(imp.Model, examples, cfg)
+	if err != nil {
+		return nil, err
+	}
+	imp.QModel = nil // weights changed
+	return res, nil
+}
+
+// TrainAnomaly fits the K-means anomaly block on training features.
+func (imp *Impulse) TrainAnomaly(ds *data.Dataset, clusters int, seed int64) error {
+	samples := ds.List(data.Training)
+	if len(samples) == 0 {
+		return fmt.Errorf("core: no training samples")
+	}
+	var rows [][]float32
+	for _, s := range samples {
+		x, err := imp.Features(s.Signal)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, x.Data)
+	}
+	km, err := anomaly.FitKMeans(rows, clusters, 50, seed)
+	if err != nil {
+		return err
+	}
+	imp.Anomaly = km
+	return nil
+}
+
+// Quantize produces the int8 model using training features as the
+// calibration set (capped for speed).
+func (imp *Impulse) Quantize(ds *data.Dataset) error {
+	if imp.Model == nil {
+		return fmt.Errorf("core: no classifier to quantize")
+	}
+	examples, err := imp.BuildExamples(ds, data.Training)
+	if err != nil {
+		return err
+	}
+	if len(examples) == 0 {
+		return fmt.Errorf("core: no calibration examples")
+	}
+	const maxCalib = 64
+	var calib []*tensor.F32
+	for i, ex := range examples {
+		if i >= maxCalib {
+			break
+		}
+		calib = append(calib, ex.X)
+	}
+	qm, err := quant.Quantize(imp.Model, calib)
+	if err != nil {
+		return err
+	}
+	imp.QModel = qm
+	return nil
+}
+
+// ClassResult is one classification outcome.
+type ClassResult struct {
+	// Label is the argmax class.
+	Label string
+	// Scores maps every class to its probability.
+	Scores map[string]float32
+	// AnomalyScore is set when an anomaly block is attached.
+	AnomalyScore float64
+}
+
+// Classify runs the full pipeline (DSP + float model [+ anomaly]) on one
+// window of raw signal.
+func (imp *Impulse) Classify(sig dsp.Signal) (ClassResult, error) {
+	return imp.classify(sig, false)
+}
+
+// ClassifyQuantized is Classify with the int8 model.
+func (imp *Impulse) ClassifyQuantized(sig dsp.Signal) (ClassResult, error) {
+	return imp.classify(sig, true)
+}
+
+func (imp *Impulse) classify(sig dsp.Signal, quantized bool) (ClassResult, error) {
+	x, err := imp.Features(sig)
+	if err != nil {
+		return ClassResult{}, err
+	}
+	res := ClassResult{Scores: map[string]float32{}}
+	var probs *tensor.F32
+	switch {
+	case quantized && imp.QModel != nil:
+		probs = imp.QModel.Forward(x)
+	case imp.Model != nil:
+		probs = imp.Model.Forward(x)
+	case imp.Anomaly == nil:
+		return ClassResult{}, fmt.Errorf("core: impulse has no learn block")
+	}
+	if probs != nil {
+		best := probs.ArgMax()
+		for i, c := range imp.Classes {
+			if i < len(probs.Data) {
+				res.Scores[c] = probs.Data[i]
+			}
+		}
+		if best >= 0 && best < len(imp.Classes) {
+			res.Label = imp.Classes[best]
+		}
+	}
+	if imp.Anomaly != nil {
+		res.AnomalyScore = imp.Anomaly.Score(x.Data)
+	}
+	return res, nil
+}
+
+// Evaluate computes accuracy and the confusion matrix on a dataset split
+// using the float model (the platform's "model testing" page).
+func (imp *Impulse) Evaluate(ds *data.Dataset, cat data.Category) (float64, [][]int, error) {
+	if imp.Model == nil {
+		return 0, nil, fmt.Errorf("core: no classifier attached")
+	}
+	examples, err := imp.BuildExamples(ds, cat)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(examples) == 0 {
+		return 0, nil, fmt.Errorf("core: no examples in split %q", cat)
+	}
+	acc := trainer.Accuracy(imp.Model, examples)
+	conf := trainer.Confusion(imp.Model, examples, len(imp.Classes))
+	return acc, conf, nil
+}
+
+// DSPCost returns the operation count of one feature extraction.
+func (imp *Impulse) DSPCost() dsp.Cost {
+	return imp.DSP.Cost(imp.CanonicalSignal())
+}
+
+// DSPRAM returns the working RAM of one feature extraction in bytes.
+func (imp *Impulse) DSPRAM() int64 {
+	return imp.DSP.RAM(imp.CanonicalSignal())
+}
+
+// Describe renders the block dataflow as a one-line diagram, the textual
+// equivalent of the Studio's impulse view (Fig. 2).
+func (imp *Impulse) Describe() string {
+	in := "?"
+	switch imp.Input.Kind {
+	case TimeSeries:
+		in = fmt.Sprintf("Time series data (%d ms @ %d Hz, %d axes)",
+			imp.Input.WindowMS, imp.Input.FrequencyHz, imp.Input.Axes)
+	case ImageInput:
+		in = fmt.Sprintf("Image data (%dx%d)", imp.Input.Width, imp.Input.Height)
+	}
+	dspName := "?"
+	if imp.DSP != nil {
+		dspName = imp.DSP.Name()
+	}
+	learn := ""
+	if len(imp.Classes) > 0 {
+		learn = fmt.Sprintf("Classification (%d classes)", len(imp.Classes))
+	}
+	if imp.Anomaly != nil {
+		if learn != "" {
+			learn += " + "
+		}
+		learn += fmt.Sprintf("Anomaly detection (K-means, %d clusters)", len(imp.Anomaly.Centroids))
+	}
+	return fmt.Sprintf("[%s] -> [%s] -> [%s]", in, dspName, learn)
+}

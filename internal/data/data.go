@@ -1,0 +1,384 @@
+// Package data implements dataset management (paper Sec. 4.1): labeled
+// sample storage with content-addressed IDs, deterministic train/test
+// splits, per-class statistics, dataset versioning, and import from the
+// file formats the platform accepts (CSV, JSON/CBOR acquisition
+// documents, WAV, PNG, JPG).
+package data
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/csv"
+	"encoding/hex"
+	"fmt"
+	"image"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	_ "image/jpeg" // register decoders for ingestion
+	_ "image/png"
+
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/ingest"
+	"edgepulse/internal/wav"
+)
+
+// Category assigns a sample to a split.
+type Category string
+
+// Split categories.
+const (
+	Training Category = "training"
+	Testing  Category = "testing"
+)
+
+// Sample is one labeled dataset entry.
+type Sample struct {
+	// ID is the content hash of the signal and label.
+	ID string
+	// Name is the user-facing file name.
+	Name string
+	// Label is the class name.
+	Label string
+	// Category is the split assignment.
+	Category Category
+	// Signal is the raw sensor data.
+	Signal dsp.Signal
+	// Metadata holds free-form key/value annotations.
+	Metadata map[string]string
+	// AddedAt is the ingestion timestamp.
+	AddedAt time.Time
+}
+
+// hash computes the content-addressed sample ID.
+func (s *Sample) hash() string {
+	h := sha256.New()
+	io.WriteString(h, s.Label)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, s.Name)
+	io.WriteString(h, "\x00")
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(s.Signal.Rate))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint32(b[:], uint32(s.Signal.Axes))
+	h.Write(b[:])
+	for _, v := range s.Signal.Data {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Dataset is a thread-safe collection of samples.
+type Dataset struct {
+	mu      sync.RWMutex
+	samples map[string]*Sample
+	order   []string // insertion order for stable listings
+}
+
+// New creates an empty dataset.
+func New() *Dataset {
+	return &Dataset{samples: map[string]*Sample{}}
+}
+
+// Add inserts a sample, assigning its content-addressed ID. Duplicate
+// content (same label, name and signal) is rejected.
+func (d *Dataset) Add(s *Sample) (string, error) {
+	if s.Label == "" {
+		return "", fmt.Errorf("data: sample has no label")
+	}
+	if len(s.Signal.Data) == 0 {
+		return "", fmt.Errorf("data: sample has no signal data")
+	}
+	if s.Category == "" {
+		s.Category = Training
+	}
+	if s.AddedAt.IsZero() {
+		s.AddedAt = time.Now()
+	}
+	id := s.hash()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.samples[id]; dup {
+		return "", fmt.Errorf("data: duplicate sample %s", id)
+	}
+	s.ID = id
+	d.samples[id] = s
+	d.order = append(d.order, id)
+	return id, nil
+}
+
+// Get returns a sample by ID.
+func (d *Dataset) Get(id string) (*Sample, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.samples[id]
+	if !ok {
+		return nil, fmt.Errorf("data: no sample %s", id)
+	}
+	return s, nil
+}
+
+// Remove deletes a sample by ID.
+func (d *Dataset) Remove(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.samples[id]; !ok {
+		return fmt.Errorf("data: no sample %s", id)
+	}
+	delete(d.samples, id)
+	for i, o := range d.order {
+		if o == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SetLabel relabels a sample (used by the active-learning loop).
+func (d *Dataset) SetLabel(id, label string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s, ok := d.samples[id]
+	if !ok {
+		return fmt.Errorf("data: no sample %s", id)
+	}
+	s.Label = label
+	return nil
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.samples)
+}
+
+// List returns samples in insertion order, optionally filtered by
+// category ("" = all).
+func (d *Dataset) List(cat Category) []*Sample {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]*Sample, 0, len(d.order))
+	for _, id := range d.order {
+		s := d.samples[id]
+		if cat == "" || s.Category == cat {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Labels returns the distinct labels in sorted order.
+func (d *Dataset) Labels() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	set := map[string]bool{}
+	for _, s := range d.samples {
+		set[s.Label] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rebalance reassigns train/test categories so that close to testFraction
+// of each label's samples land in the test split. The assignment is a
+// deterministic function of sample IDs, so re-running it (or adding
+// samples and re-running) never shuffles existing assignments randomly —
+// the "maintaining train/validation/test splits" operational concern of
+// paper Sec. 2.4.
+func (d *Dataset) Rebalance(testFraction float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byLabel := map[string][]*Sample{}
+	for _, id := range d.order {
+		s := d.samples[id]
+		byLabel[s.Label] = append(byLabel[s.Label], s)
+	}
+	for _, group := range byLabel {
+		// Deterministic order: sort by ID (content hash).
+		sort.Slice(group, func(i, j int) bool { return group[i].ID < group[j].ID })
+		nTest := int(math.Round(testFraction * float64(len(group))))
+		for i, s := range group {
+			if i < nTest {
+				s.Category = Testing
+			} else {
+				s.Category = Training
+			}
+		}
+	}
+}
+
+// LabelStat summarizes one class.
+type LabelStat struct {
+	Label    string
+	Training int
+	Testing  int
+	// Seconds of time-series data (0 for images).
+	Seconds float64
+}
+
+// Stats returns per-label counts and durations, sorted by label — the
+// data the platform's class-allocation view shows.
+func (d *Dataset) Stats() []LabelStat {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	byLabel := map[string]*LabelStat{}
+	for _, s := range d.samples {
+		st, ok := byLabel[s.Label]
+		if !ok {
+			st = &LabelStat{Label: s.Label}
+			byLabel[s.Label] = st
+		}
+		if s.Category == Testing {
+			st.Testing++
+		} else {
+			st.Training++
+		}
+		if s.Signal.Rate > 0 {
+			st.Seconds += float64(s.Signal.Frames()) / float64(s.Signal.Rate)
+		}
+	}
+	out := make([]LabelStat, 0, len(byLabel))
+	for _, st := range byLabel {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// Version returns a content hash over all sample IDs and labels: any
+// addition, removal or relabeling changes the version. This is the
+// dataset half of the project versioning story (paper Sec. 2.4, 3).
+func (d *Dataset) Version() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := append([]string(nil), d.order...)
+	sort.Strings(ids)
+	h := sha256.New()
+	for _, id := range ids {
+		io.WriteString(h, id)
+		io.WriteString(h, "=")
+		io.WriteString(h, d.samples[id].Label)
+		io.WriteString(h, ";")
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// ImportWAV ingests a WAV file as one labeled audio sample.
+func (d *Dataset) ImportWAV(name, label string, r io.Reader) (string, error) {
+	a, err := wav.Decode(r)
+	if err != nil {
+		return "", err
+	}
+	return d.Add(&Sample{
+		Name:  name,
+		Label: label,
+		Signal: dsp.Signal{
+			Data: a.Samples, Rate: a.Rate, Axes: a.Channels,
+		},
+	})
+}
+
+// ImportCSV ingests a CSV time series: first column is a timestamp in
+// milliseconds, remaining columns are sensor axes. A header row is
+// skipped if non-numeric.
+func (d *Dataset) ImportCSV(name, label string, r io.Reader) (string, error) {
+	rd := csv.NewReader(r)
+	rows, err := rd.ReadAll()
+	if err != nil {
+		return "", fmt.Errorf("data: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return "", fmt.Errorf("data: csv is empty")
+	}
+	start := 0
+	if _, err := strconv.ParseFloat(rows[0][0], 64); err != nil {
+		start = 1 // header
+	}
+	if len(rows)-start < 2 {
+		return "", fmt.Errorf("data: csv has %d data rows, need >= 2", len(rows)-start)
+	}
+	axes := len(rows[start]) - 1
+	if axes < 1 {
+		return "", fmt.Errorf("data: csv needs timestamp plus at least one axis")
+	}
+	var data []float32
+	var t0, t1 float64
+	for i := start; i < len(rows); i++ {
+		row := rows[i]
+		if len(row) != axes+1 {
+			return "", fmt.Errorf("data: csv row %d has %d columns, want %d", i, len(row), axes+1)
+		}
+		ts, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return "", fmt.Errorf("data: csv row %d timestamp: %w", i, err)
+		}
+		if i == start {
+			t0 = ts
+		}
+		t1 = ts
+		for a := 1; a <= axes; a++ {
+			v, err := strconv.ParseFloat(row[a], 64)
+			if err != nil {
+				return "", fmt.Errorf("data: csv row %d col %d: %w", i, a, err)
+			}
+			data = append(data, float32(v))
+		}
+	}
+	n := len(rows) - start
+	rate := 0
+	if t1 > t0 {
+		rate = int(float64(n-1) / ((t1 - t0) / 1000))
+	}
+	return d.Add(&Sample{
+		Name:   name,
+		Label:  label,
+		Signal: dsp.Signal{Data: data, Rate: rate, Axes: axes},
+	})
+}
+
+// ImportAcquisition ingests a signed JSON/CBOR acquisition document,
+// verifying its HMAC signature first.
+func (d *Dataset) ImportAcquisition(name, label string, doc []byte, hmacKey string) (string, error) {
+	p, err := ingest.Verify(doc, hmacKey)
+	if err != nil {
+		return "", err
+	}
+	s := &Sample{Name: name, Label: label, Signal: p.Signal(), Metadata: map[string]string{
+		"device_name": p.DeviceName,
+		"device_type": p.DeviceType,
+	}}
+	return d.Add(s)
+}
+
+// ImportImage ingests a PNG or JPG image as an RGB sample.
+func (d *Dataset) ImportImage(name, label string, r io.Reader) (string, error) {
+	img, _, err := image.Decode(r)
+	if err != nil {
+		return "", fmt.Errorf("data: image: %w", err)
+	}
+	b := img.Bounds()
+	w, h := b.Dx(), b.Dy()
+	pix := make([]float32, 0, w*h*3)
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			r16, g16, b16, _ := img.At(x, y).RGBA()
+			pix = append(pix, float32(r16>>8), float32(g16>>8), float32(b16>>8))
+		}
+	}
+	return d.Add(&Sample{
+		Name:   name,
+		Label:  label,
+		Signal: dsp.Signal{Data: pix, Axes: 3, Width: w, Height: h},
+	})
+}

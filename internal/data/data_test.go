@@ -1,0 +1,304 @@
+package data
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/ingest"
+	"edgepulse/internal/wav"
+)
+
+func sample(label string, vals ...float32) *Sample {
+	return &Sample{
+		Name:   "s-" + label,
+		Label:  label,
+		Signal: dsp.Signal{Data: vals, Rate: 100, Axes: 1},
+	}
+}
+
+func TestAddGetRemove(t *testing.T) {
+	d := New()
+	id, err := d.Add(sample("yes", 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "yes" || s.Category != Training {
+		t.Fatalf("sample: %+v", s)
+	}
+	if d.Len() != 1 {
+		t.Fatal("len")
+	}
+	if err := d.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("not removed")
+	}
+	if err := d.Remove(id); err == nil {
+		t.Error("double remove accepted")
+	}
+	if _, err := d.Get(id); err == nil {
+		t.Error("get after remove")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	d := New()
+	if _, err := d.Add(&Sample{Label: "", Signal: dsp.Signal{Data: []float32{1}}}); err == nil {
+		t.Error("accepted empty label")
+	}
+	if _, err := d.Add(&Sample{Label: "x"}); err == nil {
+		t.Error("accepted empty signal")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	d := New()
+	if _, err := d.Add(sample("yes", 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Add(sample("yes", 1, 2)); err == nil {
+		t.Error("duplicate accepted")
+	}
+	// Same data, different label: allowed.
+	if _, err := d.Add(sample("no", 1, 2)); err != nil {
+		t.Errorf("different label rejected: %v", err)
+	}
+}
+
+func TestContentAddressedIDs(t *testing.T) {
+	d1 := New()
+	d2 := New()
+	id1, _ := d1.Add(sample("yes", 1, 2, 3))
+	id2, _ := d2.Add(sample("yes", 1, 2, 3))
+	if id1 != id2 {
+		t.Fatal("same content, different IDs")
+	}
+}
+
+func TestRebalanceDeterministicAndStratified(t *testing.T) {
+	d := New()
+	for i := 0; i < 40; i++ {
+		d.Add(sample("a", float32(i), 1))
+	}
+	for i := 0; i < 10; i++ {
+		d.Add(sample("b", float32(i), 2))
+	}
+	d.Rebalance(0.2)
+	counts := map[string][2]int{}
+	for _, s := range d.List("") {
+		c := counts[s.Label]
+		if s.Category == Testing {
+			c[1]++
+		} else {
+			c[0]++
+		}
+		counts[s.Label] = c
+	}
+	if counts["a"][1] != 8 {
+		t.Errorf("label a test count = %d, want 8", counts["a"][1])
+	}
+	if counts["b"][1] != 2 {
+		t.Errorf("label b test count = %d, want 2", counts["b"][1])
+	}
+	// Re-running must not change assignments.
+	before := map[string]Category{}
+	for _, s := range d.List("") {
+		before[s.ID] = s.Category
+	}
+	d.Rebalance(0.2)
+	for _, s := range d.List("") {
+		if before[s.ID] != s.Category {
+			t.Fatal("rebalance not stable")
+		}
+	}
+}
+
+func TestListFilter(t *testing.T) {
+	d := New()
+	d.Add(sample("a", 1))
+	d.Add(sample("b", 2))
+	d.Rebalance(0.5)
+	train := d.List(Training)
+	test := d.List(Testing)
+	if len(train)+len(test) != 2 {
+		t.Fatalf("train %d + test %d", len(train), len(test))
+	}
+}
+
+func TestLabelsAndStats(t *testing.T) {
+	d := New()
+	d.Add(sample("yes", 1, 2, 3, 4)) // 4 frames at 100 Hz = 0.04 s
+	d.Add(sample("no", 5, 6, 7, 8))
+	d.Add(sample("no", 9, 10, 11, 12))
+	labels := d.Labels()
+	if len(labels) != 2 || labels[0] != "no" || labels[1] != "yes" {
+		t.Fatalf("labels: %v", labels)
+	}
+	stats := d.Stats()
+	if len(stats) != 2 {
+		t.Fatal("stats length")
+	}
+	if stats[0].Label != "no" || stats[0].Training != 2 {
+		t.Errorf("stats[0]: %+v", stats[0])
+	}
+	if math.Abs(stats[0].Seconds-0.08) > 1e-9 {
+		t.Errorf("seconds: %g", stats[0].Seconds)
+	}
+}
+
+func TestVersionChangesOnMutation(t *testing.T) {
+	d := New()
+	v0 := d.Version()
+	id, _ := d.Add(sample("a", 1, 2))
+	v1 := d.Version()
+	if v0 == v1 {
+		t.Fatal("version unchanged after add")
+	}
+	d.SetLabel(id, "b")
+	v2 := d.Version()
+	if v1 == v2 {
+		t.Fatal("version unchanged after relabel")
+	}
+	d.Remove(id)
+	if d.Version() != v0 {
+		t.Fatal("version not restored after removing everything")
+	}
+	if err := d.SetLabel("nope", "x"); err == nil {
+		t.Error("SetLabel accepted unknown id")
+	}
+}
+
+func TestImportWAV(t *testing.T) {
+	var buf bytes.Buffer
+	wav.Encode(&buf, wav.Audio{Rate: 16000, Channels: 1, Samples: make([]float32, 160)})
+	d := New()
+	id, err := d.ImportWAV("clip.wav", "noise", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.Get(id)
+	if s.Signal.Rate != 16000 || s.Signal.Frames() != 160 {
+		t.Fatalf("signal: rate %d frames %d", s.Signal.Rate, s.Signal.Frames())
+	}
+}
+
+func TestImportCSV(t *testing.T) {
+	csvData := "timestamp,accX,accY\n0,1.0,2.0\n10,3.0,4.0\n20,5.0,6.0\n"
+	d := New()
+	id, err := d.ImportCSV("run.csv", "walk", strings.NewReader(csvData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.Get(id)
+	if s.Signal.Axes != 2 || s.Signal.Frames() != 3 {
+		t.Fatalf("axes %d frames %d", s.Signal.Axes, s.Signal.Frames())
+	}
+	// 3 samples over 20ms -> 100 Hz.
+	if s.Signal.Rate != 100 {
+		t.Fatalf("rate = %d", s.Signal.Rate)
+	}
+	if s.Signal.Data[2] != 3.0 {
+		t.Fatalf("interleave: %v", s.Signal.Data)
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	d := New()
+	cases := []string{
+		"",
+		"timestamp,accX\n0,1.0\n",             // only one data row
+		"timestamp,accX\n0,1.0\nbad,2.0\n",    // bad timestamp
+		"timestamp,accX\n0,1.0\n10,xx\n",      // bad value
+		"timestamp,accX\n0,1.0\n10,1.0,9.9\n", // ragged
+		"timestamp\n0\n10\n",                  // no axes
+	}
+	for i, c := range cases {
+		if _, err := d.ImportCSV("x.csv", "l", strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestImportAcquisition(t *testing.T) {
+	p := ingest.Payload{
+		DeviceName: "dev1", DeviceType: "T", IntervalMS: 10,
+		Sensors: []ingest.Sensor{{Name: "x", Units: "g"}},
+		Values:  [][]float64{{1}, {2}, {3}},
+	}
+	doc, err := ingest.SignCBOR(p, "key", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New()
+	id, err := d.ImportAcquisition("acq", "idle", doc, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.Get(id)
+	if s.Metadata["device_name"] != "dev1" {
+		t.Error("metadata lost")
+	}
+	if _, err := d.ImportAcquisition("acq2", "idle", doc, "wrong"); err == nil {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestImportImage(t *testing.T) {
+	img := image.NewRGBA(image.Rect(0, 0, 4, 2))
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 4; x++ {
+			img.Set(x, y, color.RGBA{R: 200, G: 100, B: 50, A: 255})
+		}
+	}
+	var buf bytes.Buffer
+	png.Encode(&buf, img)
+	d := New()
+	id, err := d.ImportImage("img.png", "person", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.Get(id)
+	if s.Signal.Width != 4 || s.Signal.Height != 2 || s.Signal.Axes != 3 {
+		t.Fatalf("dims: %+v", s.Signal)
+	}
+	if s.Signal.Data[0] != 200 || s.Signal.Data[1] != 100 || s.Signal.Data[2] != 50 {
+		t.Fatalf("pixels: %v", s.Signal.Data[:3])
+	}
+	if _, err := d.ImportImage("bad", "x", strings.NewReader("not an image")); err == nil {
+		t.Error("accepted garbage image")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				d.Add(sample("l", float32(g), float32(i)))
+				d.Len()
+				d.List("")
+				d.Stats()
+				d.Version()
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if d.Len() != 400 {
+		t.Fatalf("len = %d, want 400", d.Len())
+	}
+}

@@ -1,0 +1,115 @@
+package device
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetKnownTargets(t *testing.T) {
+	for _, id := range []string{"nano-33-ble-sense", "esp-eye", "pi-pico", "linux-x86"} {
+		tgt, err := Get(id)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", id, err)
+		}
+		if tgt.ClockHz <= 0 || tgt.RAMBytes <= 0 || tgt.FlashBytes <= 0 {
+			t.Errorf("%s has invalid capacities", id)
+		}
+		if tgt.CyclesPerMACF32 <= 0 || tgt.CyclesPerMACI8 <= 0 {
+			t.Errorf("%s has invalid cycle model", id)
+		}
+	}
+	if _, err := Get("nonexistent"); err == nil {
+		t.Error("Get accepted unknown id")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestTable1Capacities(t *testing.T) {
+	// Values from the paper's Table 1.
+	nano := MustGet("nano-33-ble-sense")
+	if nano.ClockHz != 64_000_000 || nano.FlashBytes != 1<<20 || nano.RAMBytes != 256<<10 {
+		t.Errorf("nano: %+v", nano)
+	}
+	esp := MustGet("esp-eye")
+	if esp.ClockHz != 160_000_000 || esp.FlashBytes != 4<<20 || esp.RAMBytes != 8<<20 {
+		t.Errorf("esp: %+v", esp)
+	}
+	pico := MustGet("pi-pico")
+	if pico.ClockHz != 133_000_000 || pico.RAMBytes != 264<<10 {
+		t.Errorf("pico: %+v", pico)
+	}
+}
+
+func TestArchitecturalFacts(t *testing.T) {
+	nano := MustGet("nano-33-ble-sense")
+	pico := MustGet("pi-pico")
+	esp := MustGet("esp-eye")
+	if !nano.HasFPU || !nano.HasDSPExt {
+		t.Error("M4 should have FPU and DSP extensions")
+	}
+	if pico.HasFPU {
+		t.Error("M0+ has no FPU")
+	}
+	// CMSIS-NN effect: int8 much cheaper than float on the M4.
+	if nano.CyclesPerMACF32/nano.CyclesPerMACI8 < 5 {
+		t.Error("M4 int8 speedup should be large")
+	}
+	// ESP32 without int8 SIMD: modest speedup.
+	if esp.CyclesPerMACF32/esp.CyclesPerMACI8 > 4 {
+		t.Error("ESP32 int8 speedup should be modest")
+	}
+	// Soft float penalty on the M0+.
+	if pico.CyclesPerMACF32 < 3*nano.CyclesPerMACF32 {
+		t.Error("M0+ soft float should be much slower than M4 hardware float")
+	}
+}
+
+func TestMillis(t *testing.T) {
+	nano := MustGet("nano-33-ble-sense")
+	if got := nano.Millis(64_000_000); got != 1000 {
+		t.Errorf("Millis = %g, want 1000", got)
+	}
+	if got := nano.Millis(64_000); got != 1 {
+		t.Errorf("Millis = %g, want 1", got)
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	all := All()
+	if len(all) < 4 {
+		t.Fatalf("only %d targets", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Error("All() not sorted")
+		}
+	}
+}
+
+func TestEvaluationBoardsOrder(t *testing.T) {
+	boards := EvaluationBoards()
+	if len(boards) != 3 {
+		t.Fatalf("%d boards", len(boards))
+	}
+	want := []string{"nano-33-ble-sense", "esp-eye", "pi-pico"}
+	for i, b := range boards {
+		if b.ID != want[i] {
+			t.Errorf("board %d = %s, want %s", i, b.ID, want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := MustGet("pi-pico").String()
+	if !strings.Contains(s, "Pico") || !strings.Contains(s, "133 MHz") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,148 @@
+// Package dsp implements the digital signal processing blocks of the
+// edgepulse pipeline: the feature extractors that sit between raw sensor
+// data and the neural network (paper Sec. 4.2).
+//
+// Each block is pure and deterministic: the same raw signal and
+// configuration always produce the same features, on the host and (in the
+// real platform) on device. Every block also reports an operation-count
+// Cost used by the device simulator to estimate on-target latency and a
+// RAM footprint used by the memory profiler.
+package dsp
+
+import (
+	"fmt"
+
+	"edgepulse/internal/tensor"
+)
+
+// Signal is a raw input sample: interleaved multi-axis time series
+// (audio, accelerometer, ...) or image pixel data.
+type Signal struct {
+	// Data holds the raw values. For time series the layout is
+	// interleaved by axis: [a0x a0y a0z a1x a1y a1z ...]. For images the
+	// layout is row-major [H][W][C] with values in [0, 255].
+	Data []float32
+	// Rate is the sampling frequency in Hz (time series only).
+	Rate int
+	// Axes is the number of interleaved channels (1 for mono audio).
+	Axes int
+	// Width and Height are set for image signals; zero otherwise.
+	Width, Height int
+}
+
+// Frames returns the number of per-axis time steps in the signal.
+func (s Signal) Frames() int {
+	if s.Axes <= 0 {
+		return 0
+	}
+	return len(s.Data) / s.Axes
+}
+
+// Axis extracts a single de-interleaved axis.
+func (s Signal) Axis(i int) []float32 {
+	n := s.Frames()
+	out := make([]float32, n)
+	for t := 0; t < n; t++ {
+		out[t] = s.Data[t*s.Axes+i]
+	}
+	return out
+}
+
+// Cost is the operation count of one feature extraction, used by the
+// device simulator to convert work into cycles on a specific target.
+type Cost struct {
+	// FloatOps counts scalar float operations (adds, multiplies, compares).
+	FloatOps int64
+	// MACs counts multiply-accumulate pairs (filterbank, DCT).
+	MACs int64
+	// FFTButterflies counts complex butterfly operations across all FFTs.
+	FFTButterflies int64
+	// TranscOps counts transcendental calls (log, sqrt, cos, exp).
+	TranscOps int64
+}
+
+// Add returns the element-wise sum of two costs.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		FloatOps:       c.FloatOps + o.FloatOps,
+		MACs:           c.MACs + o.MACs,
+		FFTButterflies: c.FFTButterflies + o.FFTButterflies,
+		TranscOps:      c.TranscOps + o.TranscOps,
+	}
+}
+
+// Scale returns the cost multiplied by n (e.g. per-frame cost × frames).
+func (c Cost) Scale(n int64) Cost {
+	return Cost{
+		FloatOps:       c.FloatOps * n,
+		MACs:           c.MACs * n,
+		FFTButterflies: c.FFTButterflies * n,
+		TranscOps:      c.TranscOps * n,
+	}
+}
+
+// Block is a DSP feature extraction block.
+type Block interface {
+	// Name returns the block type identifier, e.g. "mfcc".
+	Name() string
+	// Params returns the hyperparameter set for display and serialization.
+	Params() map[string]float64
+	// OutputShape returns the feature tensor shape for a signal
+	// description (without running the extraction).
+	OutputShape(sig Signal) (tensor.Shape, error)
+	// Extract computes features for one signal.
+	Extract(sig Signal) (*tensor.F32, error)
+	// Cost estimates the operation count of Extract for a signal
+	// description.
+	Cost(sig Signal) Cost
+	// RAM estimates the peak working memory of Extract in bytes,
+	// including the output feature buffer.
+	RAM(sig Signal) int64
+}
+
+// Registry maps block names to constructors from a parameter map. It backs
+// impulse deserialization and the REST API's block configuration endpoint.
+var registry = map[string]func(params map[string]float64) (Block, error){}
+
+// Register adds a constructor for the named block type. It panics on
+// duplicates, which indicates a programmer error at init time.
+func Register(name string, ctor func(params map[string]float64) (Block, error)) {
+	if _, dup := registry[name]; dup {
+		panic("dsp: duplicate block registration: " + name)
+	}
+	registry[name] = ctor
+}
+
+// New constructs a registered block by name.
+func New(name string, params map[string]float64) (Block, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dsp: unknown block %q", name)
+	}
+	return ctor(params)
+}
+
+// Names returns the registered block names (order unspecified).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+func getParam(params map[string]float64, key string, def float64) float64 {
+	if v, ok := params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// frameCount returns how many analysis frames fit in n samples with the
+// given frame length and stride (both in samples).
+func frameCount(n, frameLen, stride int) int {
+	if n < frameLen || frameLen <= 0 || stride <= 0 {
+		return 0
+	}
+	return (n-frameLen)/stride + 1
+}

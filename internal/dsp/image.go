@@ -1,0 +1,148 @@
+package dsp
+
+import (
+	"fmt"
+
+	"edgepulse/internal/tensor"
+)
+
+func init() {
+	Register("image", func(p map[string]float64) (Block, error) { return NewImage(p) })
+}
+
+// Image prepares camera data for vision models: bilinear resize to the
+// target resolution, optional grayscale conversion, and scaling of pixel
+// values into [0, 1]. Used by the paper's VWW (96×96) and image
+// classification (32×32) workloads.
+type Image struct {
+	Width     int
+	Height    int
+	Grayscale bool
+}
+
+// NewImage builds an image block from a parameter map
+// (width, height, grayscale ∈ {0,1}).
+func NewImage(p map[string]float64) (*Image, error) {
+	im := &Image{
+		Width:     int(getParam(p, "width", 96)),
+		Height:    int(getParam(p, "height", 96)),
+		Grayscale: getParam(p, "grayscale", 0) != 0,
+	}
+	if im.Width <= 0 || im.Height <= 0 {
+		return nil, fmt.Errorf("image: width/height must be positive")
+	}
+	return im, nil
+}
+
+// Name implements Block.
+func (im *Image) Name() string { return "image" }
+
+// Params implements Block.
+func (im *Image) Params() map[string]float64 {
+	g := 0.0
+	if im.Grayscale {
+		g = 1
+	}
+	return map[string]float64{
+		"width":     float64(im.Width),
+		"height":    float64(im.Height),
+		"grayscale": g,
+	}
+}
+
+// Channels returns the output channel count.
+func (im *Image) Channels() int {
+	if im.Grayscale {
+		return 1
+	}
+	return 3
+}
+
+// OutputShape implements Block.
+func (im *Image) OutputShape(sig Signal) (tensor.Shape, error) {
+	if sig.Width <= 0 || sig.Height <= 0 {
+		return nil, fmt.Errorf("image: signal has no dimensions")
+	}
+	if sig.Axes != 1 && sig.Axes != 3 {
+		return nil, fmt.Errorf("image: unsupported channel count %d", sig.Axes)
+	}
+	if len(sig.Data) != sig.Width*sig.Height*sig.Axes {
+		return nil, fmt.Errorf("image: data length %d != %dx%dx%d", len(sig.Data), sig.Height, sig.Width, sig.Axes)
+	}
+	return tensor.Shape{im.Height, im.Width, im.Channels()}, nil
+}
+
+// Extract implements Block.
+func (im *Image) Extract(sig Signal) (*tensor.F32, error) {
+	shape, err := im.OutputShape(sig)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.NewF32(shape...)
+	outC := im.Channels()
+	sx := float64(sig.Width) / float64(im.Width)
+	sy := float64(sig.Height) / float64(im.Height)
+	for y := 0; y < im.Height; y++ {
+		srcY := (float64(y) + 0.5) * sy
+		for x := 0; x < im.Width; x++ {
+			srcX := (float64(x) + 0.5) * sx
+			var px [3]float32
+			for c := 0; c < sig.Axes; c++ {
+				px[c] = bilinear(sig, srcX, srcY, c)
+			}
+			if sig.Axes == 1 {
+				px[1], px[2] = px[0], px[0]
+			}
+			base := (y*im.Width + x) * outC
+			if im.Grayscale {
+				out.Data[base] = (0.299*px[0] + 0.587*px[1] + 0.114*px[2]) / 255
+			} else {
+				for c := 0; c < 3; c++ {
+					out.Data[base+c] = px[c] / 255
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// bilinear samples channel c of the source image at continuous pixel
+// coordinates (x, y) with bilinear interpolation, clamped at borders.
+func bilinear(sig Signal, x, y float64, c int) float32 {
+	x -= 0.5
+	y -= 0.5
+	x0 := int(x)
+	y0 := int(y)
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	get := func(xi, yi int) float32 {
+		if xi < 0 {
+			xi = 0
+		}
+		if yi < 0 {
+			yi = 0
+		}
+		if xi >= sig.Width {
+			xi = sig.Width - 1
+		}
+		if yi >= sig.Height {
+			yi = sig.Height - 1
+		}
+		return sig.Data[(yi*sig.Width+xi)*sig.Axes+c]
+	}
+	top := get(x0, y0)*(1-fx) + get(x0+1, y0)*fx
+	bot := get(x0, y0+1)*(1-fx) + get(x0+1, y0+1)*fx
+	return top*(1-fy) + bot*fy
+}
+
+// Cost implements Block: 4-tap bilinear per output pixel per channel plus
+// the normalization multiply.
+func (im *Image) Cost(sig Signal) Cost {
+	perPixel := int64(8*sig.Axes + im.Channels())
+	return Cost{FloatOps: int64(im.Width*im.Height) * perPixel}
+}
+
+// RAM implements Block: output buffer only (source is streamed).
+func (im *Image) RAM(sig Signal) int64 {
+	return int64(im.Width*im.Height*im.Channels()) * 4
+}

@@ -1,0 +1,98 @@
+// Package eon implements the EON Compiler (paper Sec. 4.5): it compiles a
+// model into a static execution program whose kernels are resolved at
+// compile time — eliminating the TFLM interpreter's runtime graph walk
+// and dispatch — and emits equivalent C++ source code in which weights
+// are constant arrays and kernels are called directly, so the linker can
+// strip everything unused.
+//
+// Two artifacts come out of a compilation:
+//
+//   - Program: a runnable in-process plan (used by the SDK and the EIM
+//     runner) with no per-op registry lookups.
+//   - C++ source (EmitCPP): the deployable library the real platform
+//     ships, reproduced here as generated text with the same structure.
+package eon
+
+import (
+	"fmt"
+	"sort"
+
+	"edgepulse/internal/tensor"
+	"edgepulse/internal/tflm"
+)
+
+// Program is a compiled model: an ordered list of bound kernel calls.
+type Program struct {
+	// Precision of the compiled model.
+	Precision tflm.Precision
+	// NumClasses is the classifier output width.
+	NumClasses int
+
+	inputShape tensor.Shape
+	floatSteps []func(*tensor.F32) *tensor.F32
+	int8Run    func(*tensor.F32) *tensor.F32
+	kernels    []string
+}
+
+// Compile builds a static execution plan for the model. Every kernel is
+// resolved now; Run performs only direct calls.
+func Compile(mf *tflm.ModelFile) (*Program, error) {
+	p := &Program{Precision: mf.Precision, NumClasses: mf.NumClasses}
+	used := map[string]bool{}
+	switch mf.Precision {
+	case tflm.Float32:
+		if mf.Float == nil {
+			return nil, fmt.Errorf("eon: float model missing")
+		}
+		if _, err := mf.Float.OutputShape(); err != nil {
+			return nil, err
+		}
+		for _, l := range mf.Float.Layers {
+			layer := l // bind
+			p.floatSteps = append(p.floatSteps, layer.Forward)
+			used[l.Kind()] = true
+		}
+	case tflm.Int8:
+		if mf.Quant == nil {
+			return nil, fmt.Errorf("eon: quant model missing")
+		}
+		qm := mf.Quant
+		p.int8Run = qm.Forward
+		for _, op := range qm.Ops {
+			used[op.Kind] = true
+		}
+	default:
+		return nil, fmt.Errorf("eon: unknown precision %d", mf.Precision)
+	}
+	p.inputShape = mf.InputShape().Clone()
+	for k := range used {
+		p.kernels = append(p.kernels, k)
+	}
+	sort.Strings(p.kernels)
+	return p, nil
+}
+
+// Run executes one inference through the compiled plan.
+func (p *Program) Run(in *tensor.F32) (*tensor.F32, error) {
+	if !in.Shape.Equal(p.inputShape) {
+		return nil, fmt.Errorf("eon: input shape %v != model %v", in.Shape, p.inputShape)
+	}
+	if p.Precision == tflm.Int8 {
+		return p.int8Run(in), nil
+	}
+	x := in
+	for _, step := range p.floatSteps {
+		x = step(x)
+	}
+	return x, nil
+}
+
+// KernelsUsed returns the sorted set of kernel kinds linked into the
+// program — everything else is eliminated, the "linker can strip unused
+// instructions" effect the paper describes.
+func (p *Program) KernelsUsed() []string {
+	return append([]string(nil), p.kernels...)
+}
+
+// InputShape returns the model input shape.
+func (p *Program) InputShape() tensor.Shape { return p.inputShape.Clone() }

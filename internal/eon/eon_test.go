@@ -1,0 +1,241 @@
+package eon
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgepulse/internal/nn"
+	"edgepulse/internal/quant"
+	"edgepulse/internal/tensor"
+	"edgepulse/internal/tflm"
+)
+
+func smallModel(t testing.TB, seed int64) *nn.Model {
+	t.Helper()
+	m := nn.NewModel(6, 6, 1)
+	m.NumClasses = 3
+	m.Add(nn.NewConv2D(4, 3, 1, nn.Same, nn.ReLU)).
+		Add(nn.NewMaxPool2D(2, 2)).
+		Add(nn.NewFlatten()).
+		Add(nn.NewDense(3, nn.None)).
+		Add(nn.NewSoftmax())
+	if err := nn.InitWeights(m, seed); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randIn(rng *rand.Rand, shape ...int) *tensor.F32 {
+	x := tensor.NewF32(shape...)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.NormFloat64())
+	}
+	return x
+}
+
+// TestEONMatchesTFLMFloat is the core equivalence property: the compiled
+// program must produce bit-identical outputs to the interpreter.
+func TestEONMatchesTFLMFloat(t *testing.T) {
+	m := smallModel(t, 1)
+	mf := tflm.ModelFileFromFloat(m)
+	it, err := tflm.NewInterpreter(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		in := randIn(rng, 6, 6, 1)
+		a, err := it.Invoke(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := prog.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range a.Data {
+			if a.Data[c] != b.Data[c] {
+				t.Fatalf("EON diverges from TFLM at %d: %g vs %g", c, a.Data[c], b.Data[c])
+			}
+		}
+	}
+}
+
+func TestEONMatchesTFLMInt8(t *testing.T) {
+	m := smallModel(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	qm, err := quant.Quantize(m, []*tensor.F32{randIn(rng, 6, 6, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := tflm.ModelFileFromQuant(qm)
+	it, err := tflm.NewInterpreter(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		in := randIn(rng, 6, 6, 1)
+		a, _ := it.Invoke(in)
+		b, err := prog.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range a.Data {
+			if a.Data[c] != b.Data[c] {
+				t.Fatalf("int8 EON diverges at %d", c)
+			}
+		}
+	}
+}
+
+func TestKernelsUsedDeadCodeElimination(t *testing.T) {
+	m := smallModel(t, 5)
+	prog, err := Compile(tflm.ModelFileFromFloat(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := prog.KernelsUsed()
+	want := map[string]bool{"conv2d": true, "maxpool2d": true, "flatten": true, "dense": true, "softmax": true}
+	if len(used) != len(want) {
+		t.Fatalf("kernels = %v", used)
+	}
+	for _, k := range used {
+		if !want[k] {
+			t.Errorf("unexpected kernel %q linked", k)
+		}
+	}
+	// conv1d was never used: it must not be in the program.
+	for _, k := range used {
+		if k == "conv1d" || k == "depthwise_conv2d" {
+			t.Errorf("dead kernel %q not eliminated", k)
+		}
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(&tflm.ModelFile{Precision: tflm.Float32}); err == nil {
+		t.Error("accepted missing float model")
+	}
+	if _, err := Compile(&tflm.ModelFile{Precision: tflm.Int8}); err == nil {
+		t.Error("accepted missing quant model")
+	}
+	if _, err := Compile(&tflm.ModelFile{Precision: 7}); err == nil {
+		t.Error("accepted unknown precision")
+	}
+}
+
+func TestRunShapeValidation(t *testing.T) {
+	m := smallModel(t, 6)
+	prog, _ := Compile(tflm.ModelFileFromFloat(m))
+	if _, err := prog.Run(tensor.NewF32(5, 5, 1)); err == nil {
+		t.Error("accepted wrong input shape")
+	}
+}
+
+func TestEmitCPPFloat(t *testing.T) {
+	m := smallModel(t, 7)
+	files, err := EmitCPP(tflm.ModelFileFromFloat(m), "kws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header contract.
+	for _, want := range []string{"#ifndef KWS_MODEL_H", "int kws_invoke", "KWS_NUM_CLASSES 3", "KWS_INPUT_SIZE 36"} {
+		if !strings.Contains(files.Header, want) {
+			t.Errorf("header missing %q", want)
+		}
+	}
+	// Source: weight arrays + direct kernel calls, no interpreter.
+	for _, want := range []string{"static const float kws_l0_t0", "ep_conv2d", "ep_fully_connected", "ep_softmax"} {
+		if !strings.Contains(files.Source, want) {
+			t.Errorf("source missing %q", want)
+		}
+	}
+	for _, banned := range []string{"interpreter", "Interpreter", "resolver"} {
+		if strings.Contains(files.Source, banned) {
+			t.Errorf("generated source mentions %q", banned)
+		}
+	}
+}
+
+func TestEmitCPPInt8(t *testing.T) {
+	m := smallModel(t, 8)
+	rng := rand.New(rand.NewSource(9))
+	qm, err := quant.Quantize(m, []*tensor.F32{randIn(rng, 6, 6, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := EmitCPP(tflm.ModelFileFromQuant(qm), "kws_i8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"static const int8_t kws_i8_l0_w", "static const int32_t kws_i8_l0_b"} {
+		if !strings.Contains(files.Source, want) {
+			t.Errorf("int8 source missing %q", want)
+		}
+	}
+}
+
+func TestEmitCPPDeterministic(t *testing.T) {
+	m := smallModel(t, 10)
+	a, err := EmitCPP(tflm.ModelFileFromFloat(m), "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := EmitCPP(tflm.ModelFileFromFloat(m), "det")
+	if a.Source != b.Source || a.Header != b.Header {
+		t.Fatal("codegen not deterministic")
+	}
+}
+
+func TestProgramAfterSerializationRoundTrip(t *testing.T) {
+	// Compile from a deserialized model: full deploy path.
+	m := smallModel(t, 11)
+	data, err := tflm.Marshal(tflm.ModelFileFromFloat(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := tflm.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	in := randIn(rng, 6, 6, 1)
+	a := m.Forward(in)
+	b, err := prog.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Data {
+		if math.Abs(float64(a.Data[c]-b.Data[c])) > 1e-6 {
+			t.Fatal("deserialized program diverges")
+		}
+	}
+}
+
+// BenchmarkEONvsInterpreter measures the dispatch overhead ablation: the
+// compiled program avoids the per-op registry lookups of the interpreter.
+func BenchmarkEONDirectCalls(b *testing.B) {
+	m := smallModel(b, 13)
+	prog, _ := Compile(tflm.ModelFileFromFloat(m))
+	rng := rand.New(rand.NewSource(14))
+	in := randIn(rng, 6, 6, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Run(in)
+	}
+}

@@ -1,0 +1,201 @@
+// Package firmware simulates the device side of the platform: the
+// precompiled firmware binaries the paper describes (Sec. 4.6), which
+// "present a simple set of AT commands for usage over a serial port".
+// A Device wraps a sensor source and, optionally, a deployed impulse; its
+// Serve loop speaks the AT protocol over any io.ReadWriter (a serial
+// port in production, a pipe in tests), producing HMAC-signed acquisition
+// documents for ingestion and running on-device inference.
+//
+// Supported commands:
+//
+//	AT                    liveness check -> OK
+//	AT+INFO?              device name, type, sensors, firmware version
+//	AT+SAMPLE=<ms>        sample the sensor and print a signed JSON
+//	                      acquisition document
+//	AT+RUNIMPULSE         sample one window and classify it
+//	AT+RUNIMPULSECONT=<n> classify n consecutive windows
+package firmware
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/ingest"
+)
+
+// Version is the simulated firmware revision reported by AT+INFO?.
+const Version = "edgepulse-fw-1.0.0"
+
+// Sampler produces n time steps of sensor data (one row per step, one
+// column per sensor axis).
+type Sampler func(n int) [][]float64
+
+// Device is one simulated board.
+type Device struct {
+	// Name is the device identifier (e.g. a MAC address).
+	Name string
+	// Type is the board type string (e.g. "NANO33BLE").
+	Type string
+	// Sensors describes the sampled channels.
+	Sensors []ingest.Sensor
+	// RateHz is the sampling frequency.
+	RateHz int
+	// HMACKey signs acquisition documents for ingestion.
+	HMACKey string
+	// Sample produces sensor data.
+	Sample Sampler
+	// Impulse, when set, enables AT+RUNIMPULSE (a deployed firmware).
+	Impulse *core.Impulse
+}
+
+// Validate checks the device configuration.
+func (d *Device) Validate() error {
+	if d.Name == "" || d.Type == "" {
+		return fmt.Errorf("firmware: device needs name and type")
+	}
+	if len(d.Sensors) == 0 {
+		return fmt.Errorf("firmware: device has no sensors")
+	}
+	if d.RateHz <= 0 {
+		return fmt.Errorf("firmware: invalid sample rate %d", d.RateHz)
+	}
+	if d.Sample == nil {
+		return fmt.Errorf("firmware: device has no sampler")
+	}
+	return nil
+}
+
+// Serve processes AT commands line by line until EOF.
+func (d *Device) Serve(rw io.ReadWriter) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(rw)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := d.execute(line, rw); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Execute runs a single AT command and returns its output (exported for
+// in-process use).
+func (d *Device) Execute(cmd string) (string, error) {
+	var b strings.Builder
+	if err := d.execute(strings.TrimSpace(cmd), &b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func (d *Device) execute(line string, w io.Writer) error {
+	upper := strings.ToUpper(line)
+	switch {
+	case upper == "AT":
+		fmt.Fprintln(w, "OK")
+	case upper == "AT+INFO?":
+		fmt.Fprintf(w, "Device: %s\nType: %s\nFirmware: %s\nRate: %d Hz\n", d.Name, d.Type, Version, d.RateHz)
+		for _, s := range d.Sensors {
+			fmt.Fprintf(w, "Sensor: %s (%s)\n", s.Name, s.Units)
+		}
+		if d.Impulse != nil {
+			fmt.Fprintf(w, "Impulse: %s\n", d.Impulse.Describe())
+		}
+		fmt.Fprintln(w, "OK")
+	case strings.HasPrefix(upper, "AT+SAMPLE="):
+		ms, err := strconv.Atoi(line[len("AT+SAMPLE="):])
+		if err != nil || ms <= 0 {
+			fmt.Fprintln(w, "ERROR: bad sample length")
+			return nil
+		}
+		doc, err := d.sampleDocument(ms)
+		if err != nil {
+			fmt.Fprintf(w, "ERROR: %v\n", err)
+			return nil
+		}
+		fmt.Fprintf(w, "%s\nOK\n", doc)
+	case upper == "AT+RUNIMPULSE":
+		return d.runImpulse(w, 1)
+	case strings.HasPrefix(upper, "AT+RUNIMPULSECONT="):
+		n, err := strconv.Atoi(line[len("AT+RUNIMPULSECONT="):])
+		if err != nil || n <= 0 {
+			fmt.Fprintln(w, "ERROR: bad window count")
+			return nil
+		}
+		return d.runImpulse(w, n)
+	default:
+		fmt.Fprintln(w, "ERROR: unknown command")
+	}
+	return nil
+}
+
+// sampleDocument samples ms milliseconds and signs the acquisition doc.
+func (d *Device) sampleDocument(ms int) ([]byte, error) {
+	n := ms * d.RateHz / 1000
+	if n <= 0 {
+		return nil, fmt.Errorf("window too short at %d Hz", d.RateHz)
+	}
+	values := d.Sample(n)
+	return ingest.SignJSON(ingest.Payload{
+		DeviceName: d.Name,
+		DeviceType: d.Type,
+		IntervalMS: 1000 / float64(d.RateHz),
+		Sensors:    d.Sensors,
+		Values:     values,
+	}, d.HMACKey, 0)
+}
+
+// runImpulse samples window(s) and classifies them on-device.
+func (d *Device) runImpulse(w io.Writer, windows int) error {
+	if d.Impulse == nil {
+		fmt.Fprintln(w, "ERROR: no impulse deployed")
+		return nil
+	}
+	winSamples := d.Impulse.Input.WindowSamples()
+	axes := len(d.Sensors)
+	for i := 0; i < windows; i++ {
+		rows := d.Sample(winSamples)
+		flat := make([]float32, 0, len(rows)*axes)
+		for _, row := range rows {
+			for a := 0; a < axes; a++ {
+				if a < len(row) {
+					flat = append(flat, float32(row[a]))
+				} else {
+					flat = append(flat, 0)
+				}
+			}
+		}
+		sig := dsp.Signal{Data: flat, Rate: d.RateHz, Axes: axes}
+		res, err := d.Impulse.Classify(sig)
+		if err != nil {
+			fmt.Fprintf(w, "ERROR: %v\n", err)
+			return nil
+		}
+		fmt.Fprintf(w, "Predictions (window %d):\n", i)
+		classes := make([]string, 0, len(res.Scores))
+		for c := range res.Scores {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Fprintf(w, "    %s: %.5f\n", c, res.Scores[c])
+		}
+		if d.Impulse.Anomaly != nil {
+			fmt.Fprintf(w, "    anomaly score: %.3f\n", res.AnomalyScore)
+		}
+	}
+	fmt.Fprintln(w, "OK")
+	return nil
+}

@@ -1,0 +1,193 @@
+package firmware
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/ingest"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/synth"
+	"edgepulse/internal/trainer"
+)
+
+// toneDevice simulates a microphone hearing a constant 440 Hz tone.
+func toneDevice() *Device {
+	return &Device{
+		Name:    "aa:bb:cc:dd:ee:ff",
+		Type:    "NANO33BLE",
+		Sensors: []ingest.Sensor{{Name: "audio", Units: "wav"}},
+		RateHz:  8000,
+		HMACKey: "fleet-key",
+		Sample: func(n int) [][]float64 {
+			rows := make([][]float64, n)
+			for i := range rows {
+				rows[i] = []float64{0.5 * math.Sin(2*math.Pi*440*float64(i)/8000)}
+			}
+			return rows
+		},
+	}
+}
+
+func TestATLiveness(t *testing.T) {
+	d := toneDevice()
+	out, err := d.Execute("AT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "OK" {
+		t.Fatalf("AT -> %q", out)
+	}
+}
+
+func TestATInfo(t *testing.T) {
+	d := toneDevice()
+	out, err := d.Execute("AT+INFO?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Device: aa:bb:cc:dd:ee:ff", "Type: NANO33BLE", "Firmware:", "Sensor: audio", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestATSampleProducesVerifiableDocument(t *testing.T) {
+	d := toneDevice()
+	out, err := d.Execute("AT+SAMPLE=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[len(lines)-1] != "OK" {
+		t.Fatalf("no OK: %q", out)
+	}
+	doc := strings.Join(lines[:len(lines)-1], "\n")
+	// The emitted document verifies against the fleet key and carries the
+	// sampled tone.
+	p, err := ingest.Verify([]byte(doc), "fleet-key")
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if len(p.Values) != 800 { // 100ms at 8kHz
+		t.Fatalf("%d values", len(p.Values))
+	}
+	if p.DeviceName != "aa:bb:cc:dd:ee:ff" {
+		t.Error("device name lost")
+	}
+	// Tampered key fails.
+	if _, err := ingest.Verify([]byte(doc), "other-key"); err == nil {
+		t.Error("verified with wrong key")
+	}
+}
+
+func TestATErrors(t *testing.T) {
+	d := toneDevice()
+	for _, cmd := range []string{"AT+SAMPLE=abc", "AT+SAMPLE=-5", "AT+WARP", "AT+RUNIMPULSECONT=x"} {
+		out, err := d.Execute(cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "ERROR") {
+			t.Errorf("%s -> %q, want ERROR", cmd, out)
+		}
+	}
+	// RUNIMPULSE without a deployed impulse.
+	out, _ := d.Execute("AT+RUNIMPULSE")
+	if !strings.Contains(out, "ERROR: no impulse deployed") {
+		t.Errorf("runimpulse: %q", out)
+	}
+}
+
+func TestATRunImpulse(t *testing.T) {
+	// Deploy a trained impulse to the simulated firmware.
+	ds, err := synth.KWSDataset(2, 12, 8000, 0.5, 0.03, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := core.New("fw-kws")
+	imp.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+	block, _ := dsp.New("mfe", map[string]float64{"num_filters": 16, "fft_length": 128})
+	imp.DSP = block
+	imp.Classes = ds.Labels()
+	shape, _ := imp.FeatureShape()
+	model, _ := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, len(imp.Classes))
+	nn.InitWeights(model, 8)
+	imp.AttachClassifier(model)
+	if _, err := imp.Train(ds, trainer.Config{Epochs: 6, LearningRate: 0.005, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The device "hears" a keyword.
+	rng := rand.New(rand.NewSource(10))
+	kw, _ := synth.Keyword(imp.Classes[len(imp.Classes)-1], 8000, 0.5, 0.02, rng)
+	pos := 0
+	d := toneDevice()
+	d.Impulse = imp
+	d.Sample = func(n int) [][]float64 {
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = []float64{float64(kw.Data[(pos+i)%len(kw.Data)])}
+		}
+		pos += n
+		return rows
+	}
+	out, err := d.Execute("AT+RUNIMPULSE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Predictions") || !strings.Contains(out, "OK") {
+		t.Fatalf("runimpulse output:\n%s", out)
+	}
+	for _, c := range imp.Classes {
+		if !strings.Contains(out, c+":") {
+			t.Errorf("missing class %s in output:\n%s", c, out)
+		}
+	}
+	// Continuous mode emits n windows.
+	out, err = d.Execute("AT+RUNIMPULSECONT=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "Predictions"); got != 3 {
+		t.Fatalf("%d windows, want 3", got)
+	}
+}
+
+func TestServeOverStream(t *testing.T) {
+	d := toneDevice()
+	in := strings.NewReader("AT\nAT+INFO?\nAT+SAMPLE=50\n")
+	var outBuf strings.Builder
+	rw := struct {
+		*strings.Reader
+		*strings.Builder
+	}{in, &outBuf}
+	if err := d.Serve(rw); err != nil {
+		t.Fatal(err)
+	}
+	out := outBuf.String()
+	if strings.Count(out, "OK") != 3 {
+		t.Fatalf("expected 3 OKs:\n%s", out)
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	cases := []func(*Device){
+		func(d *Device) { d.Name = "" },
+		func(d *Device) { d.Sensors = nil },
+		func(d *Device) { d.RateHz = 0 },
+		func(d *Device) { d.Sample = nil },
+	}
+	for i, mutate := range cases {
+		d := toneDevice()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: validated broken device", i)
+		}
+	}
+}

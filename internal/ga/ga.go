@@ -1,0 +1,180 @@
+// Package ga is a small real-coded genetic algorithm used by the
+// performance-calibration tool (paper Sec. 4.4) to search post-processing
+// configurations, plus Pareto-front utilities for presenting FAR/FRR
+// trade-offs.
+package ga
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Genome is a vector of genes normalized to [0, 1]; problems map genes to
+// their own parameter ranges.
+type Genome []float64
+
+// Clone copies a genome.
+func (g Genome) Clone() Genome { return append(Genome(nil), g...) }
+
+// Problem defines an optimization task.
+type Problem struct {
+	// Genes is the genome length.
+	Genes int
+	// Fitness scores a genome; higher is better. It must be
+	// deterministic for reproducible runs.
+	Fitness func(Genome) float64
+}
+
+// Config controls the GA run.
+type Config struct {
+	// Population size (default 40).
+	Population int
+	// Generations to evolve (default 30).
+	Generations int
+	// MutationRate is the per-gene mutation probability (default 0.15).
+	MutationRate float64
+	// MutationScale is the Gaussian mutation step (default 0.15).
+	MutationScale float64
+	// Elite genomes survive unchanged each generation (default 2).
+	Elite int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Population <= 0 {
+		c.Population = 40
+	}
+	if c.Generations <= 0 {
+		c.Generations = 30
+	}
+	if c.MutationRate <= 0 {
+		c.MutationRate = 0.15
+	}
+	if c.MutationScale <= 0 {
+		c.MutationScale = 0.15
+	}
+	if c.Elite <= 0 {
+		c.Elite = 2
+	}
+	if c.Elite > c.Population/2 {
+		c.Elite = c.Population / 2
+	}
+	return c
+}
+
+// Result is the outcome of an Optimize run.
+type Result struct {
+	// Best is the highest-fitness genome found.
+	Best Genome
+	// BestFitness is its score.
+	BestFitness float64
+	// History holds the best fitness per generation.
+	History []float64
+	// FinalPopulation holds the last generation, fittest first.
+	FinalPopulation []Genome
+}
+
+// Optimize evolves genomes with tournament selection, uniform crossover
+// and Gaussian mutation, clamping genes to [0, 1].
+func Optimize(p Problem, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop := make([]Genome, cfg.Population)
+	for i := range pop {
+		g := make(Genome, p.Genes)
+		for j := range g {
+			g[j] = rng.Float64()
+		}
+		pop[i] = g
+	}
+	fitness := make([]float64, cfg.Population)
+	evaluate := func() {
+		for i, g := range pop {
+			fitness[i] = p.Fitness(g)
+		}
+	}
+	rank := func() []int {
+		idx := make([]int, len(pop))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return fitness[idx[a]] > fitness[idx[b]] })
+		return idx
+	}
+	tournament := func() Genome {
+		best := rng.Intn(len(pop))
+		for k := 0; k < 2; k++ {
+			c := rng.Intn(len(pop))
+			if fitness[c] > fitness[best] {
+				best = c
+			}
+		}
+		return pop[best]
+	}
+
+	var res Result
+	evaluate()
+	for gen := 0; gen < cfg.Generations; gen++ {
+		idx := rank()
+		res.History = append(res.History, fitness[idx[0]])
+		next := make([]Genome, 0, cfg.Population)
+		for e := 0; e < cfg.Elite; e++ {
+			next = append(next, pop[idx[e]].Clone())
+		}
+		for len(next) < cfg.Population {
+			a, b := tournament(), tournament()
+			child := make(Genome, p.Genes)
+			for j := range child {
+				if rng.Float64() < 0.5 {
+					child[j] = a[j]
+				} else {
+					child[j] = b[j]
+				}
+				if rng.Float64() < cfg.MutationRate {
+					child[j] += rng.NormFloat64() * cfg.MutationScale
+				}
+				if child[j] < 0 {
+					child[j] = 0
+				}
+				if child[j] > 1 {
+					child[j] = 1
+				}
+			}
+			next = append(next, child)
+		}
+		pop = next
+		evaluate()
+	}
+	idx := rank()
+	res.Best = pop[idx[0]].Clone()
+	res.BestFitness = fitness[idx[0]]
+	res.FinalPopulation = make([]Genome, len(pop))
+	for i, j := range idx {
+		res.FinalPopulation[i] = pop[j].Clone()
+	}
+	return res
+}
+
+// ParetoFront returns the indices of non-dominated points when minimizing
+// both objectives (e.g. FAR and FRR), sorted by the first objective.
+func ParetoFront(points [][2]float64) []int {
+	var front []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q[0] <= p[0] && q[1] <= p[1] && (q[0] < p[0] || q[1] < p[1]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool { return points[front[a]][0] < points[front[b]][0] })
+	return front
+}

@@ -1,0 +1,107 @@
+package ga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimizeSphere(t *testing.T) {
+	// Maximize -(x-0.7)^2 - (y-0.3)^2: optimum at (0.7, 0.3).
+	p := Problem{
+		Genes: 2,
+		Fitness: func(g Genome) float64 {
+			return -math.Pow(g[0]-0.7, 2) - math.Pow(g[1]-0.3, 2)
+		},
+	}
+	res := Optimize(p, Config{Population: 40, Generations: 40, Seed: 1})
+	if math.Abs(res.Best[0]-0.7) > 0.08 || math.Abs(res.Best[1]-0.3) > 0.08 {
+		t.Fatalf("best = %v, want ~(0.7, 0.3)", res.Best)
+	}
+	if res.BestFitness < -0.01 {
+		t.Fatalf("fitness %g", res.BestFitness)
+	}
+}
+
+func TestHistoryMonotoneWithElitism(t *testing.T) {
+	p := Problem{Genes: 3, Fitness: func(g Genome) float64 { return g[0] + g[1] + g[2] }}
+	res := Optimize(p, Config{Population: 20, Generations: 25, Seed: 2, Elite: 2})
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] < res.History[i-1]-1e-12 {
+			t.Fatalf("elitist best regressed at gen %d: %g -> %g", i, res.History[i-1], res.History[i])
+		}
+	}
+	if len(res.History) != 25 {
+		t.Fatalf("history length %d", len(res.History))
+	}
+}
+
+func TestGenesStayInBounds(t *testing.T) {
+	p := Problem{Genes: 4, Fitness: func(g Genome) float64 { return g[0] }}
+	res := Optimize(p, Config{Population: 30, Generations: 20, Seed: 3, MutationScale: 0.8})
+	for _, g := range res.FinalPopulation {
+		for _, v := range g {
+			if v < 0 || v > 1 {
+				t.Fatalf("gene %g out of bounds", v)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := Problem{Genes: 2, Fitness: func(g Genome) float64 { return -math.Abs(g[0] - g[1]) }}
+	a := Optimize(p, Config{Seed: 7})
+	b := Optimize(p, Config{Seed: 7})
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatal("GA not deterministic")
+		}
+	}
+}
+
+func TestFinalPopulationSorted(t *testing.T) {
+	p := Problem{Genes: 1, Fitness: func(g Genome) float64 { return g[0] }}
+	res := Optimize(p, Config{Population: 10, Generations: 5, Seed: 4})
+	for i := 1; i < len(res.FinalPopulation); i++ {
+		if res.FinalPopulation[i][0] > res.FinalPopulation[i-1][0]+1e-12 {
+			t.Fatal("final population not sorted by fitness")
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	points := [][2]float64{
+		{1, 5}, // front
+		{2, 2}, // front
+		{5, 1}, // front
+		{3, 3}, // dominated by (2,2)
+		{2, 6}, // dominated by (1,5)
+	}
+	front := ParetoFront(points)
+	if len(front) != 3 {
+		t.Fatalf("front = %v", front)
+	}
+	want := []int{0, 1, 2}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front = %v, want %v", front, want)
+		}
+	}
+}
+
+func TestParetoFrontDuplicates(t *testing.T) {
+	points := [][2]float64{{1, 1}, {1, 1}, {2, 2}}
+	front := ParetoFront(points)
+	// Both copies of (1,1) are non-dominated; (2,2) is dominated.
+	if len(front) != 2 {
+		t.Fatalf("front = %v", front)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := Genome{0.5, 0.6}
+	c := g.Clone()
+	c[0] = 0.9
+	if g[0] != 0.5 {
+		t.Fatal("clone aliases")
+	}
+}

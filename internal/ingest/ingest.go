@@ -1,0 +1,267 @@
+// Package ingest implements the data acquisition format and ingestion
+// service of the platform (paper Sec. 4.1): sensor payloads encoded as
+// JSON or CBOR, authenticated with an HMAC-SHA256 signature so that data
+// arriving from devices in the field can be attributed and trusted.
+//
+// A document looks like:
+//
+//	{
+//	  "protected": {"ver": "v1", "alg": "HS256", "iat": 1670000000},
+//	  "signature": "<64 hex chars>",
+//	  "payload": {
+//	    "device_name": "ac:87:a3:0a:2d:1b",
+//	    "device_type": "NANO33BLE",
+//	    "interval_ms": 0.0625,
+//	    "sensors": [{"name": "audio", "units": "wav"}],
+//	    "values": [[-12], [9], ...]
+//	  }
+//	}
+//
+// The signature is computed over the full document with the signature
+// field set to 64 zero characters, then substituted in — so verification
+// replaces the signature bytes with zeros and recomputes the MAC over the
+// raw document, with no re-canonicalization step.
+package ingest
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"edgepulse/internal/cbor"
+	"edgepulse/internal/dsp"
+)
+
+// Sensor describes one payload channel.
+type Sensor struct {
+	Name  string `json:"name"`
+	Units string `json:"units"`
+}
+
+// Payload is the sensor data portion of an acquisition document.
+type Payload struct {
+	DeviceName string   `json:"device_name"`
+	DeviceType string   `json:"device_type"`
+	IntervalMS float64  `json:"interval_ms"`
+	Sensors    []Sensor `json:"sensors"`
+	// Values holds one row per time step, one column per sensor.
+	Values [][]float64 `json:"values"`
+}
+
+// Rate returns the sample rate in Hz implied by the interval.
+func (p Payload) Rate() int {
+	if p.IntervalMS <= 0 {
+		return 0
+	}
+	return int(1000/p.IntervalMS + 0.5)
+}
+
+// Signal converts the payload to a DSP signal (interleaved axes).
+func (p Payload) Signal() dsp.Signal {
+	axes := len(p.Sensors)
+	if axes == 0 {
+		axes = 1
+	}
+	data := make([]float32, 0, len(p.Values)*axes)
+	for _, row := range p.Values {
+		for a := 0; a < axes; a++ {
+			if a < len(row) {
+				data = append(data, float32(row[a]))
+			} else {
+				data = append(data, 0)
+			}
+		}
+	}
+	return dsp.Signal{Data: data, Rate: p.Rate(), Axes: axes}
+}
+
+// Validate checks structural invariants of the payload.
+func (p Payload) Validate() error {
+	if len(p.Sensors) == 0 {
+		return fmt.Errorf("ingest: payload has no sensors")
+	}
+	if len(p.Values) == 0 {
+		return fmt.Errorf("ingest: payload has no values")
+	}
+	if p.IntervalMS <= 0 {
+		return fmt.Errorf("ingest: interval_ms must be positive")
+	}
+	for i, row := range p.Values {
+		if len(row) != len(p.Sensors) {
+			return fmt.Errorf("ingest: row %d has %d values for %d sensors", i, len(row), len(p.Sensors))
+		}
+	}
+	return nil
+}
+
+type protected struct {
+	Ver string `json:"ver"`
+	Alg string `json:"alg"`
+	Iat int64  `json:"iat"`
+}
+
+type document struct {
+	Protected protected `json:"protected"`
+	Signature string    `json:"signature"`
+	Payload   Payload   `json:"payload"`
+}
+
+const zeroSignature = "0000000000000000000000000000000000000000000000000000000000000000"
+
+func mac(data []byte, key string) string {
+	h := hmac.New(sha256.New, []byte(key))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SignJSON encodes and signs a payload as a JSON acquisition document.
+func SignJSON(p Payload, hmacKey string, iat int64) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	doc := document{Protected: protected{Ver: "v1", Alg: "HS256", Iat: iat}, Signature: zeroSignature, Payload: p}
+	unsigned, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	sig := mac(unsigned, hmacKey)
+	return bytes.Replace(unsigned, []byte(zeroSignature), []byte(sig), 1), nil
+}
+
+// SignCBOR encodes and signs a payload as a CBOR acquisition document.
+func SignCBOR(p Payload, hmacKey string, iat int64) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sensors := make([]any, len(p.Sensors))
+	for i, s := range p.Sensors {
+		sensors[i] = map[string]any{"name": s.Name, "units": s.Units}
+	}
+	values := make([]any, len(p.Values))
+	for i, row := range p.Values {
+		values[i] = append([]float64(nil), row...)
+	}
+	doc := map[string]any{
+		"protected": map[string]any{"ver": "v1", "alg": "HS256", "iat": iat},
+		"signature": zeroSignature,
+		"payload": map[string]any{
+			"device_name": p.DeviceName,
+			"device_type": p.DeviceType,
+			"interval_ms": p.IntervalMS,
+			"sensors":     sensors,
+			"values":      values,
+		},
+	}
+	unsigned, err := cbor.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	sig := mac(unsigned, hmacKey)
+	return bytes.Replace(unsigned, []byte(zeroSignature), []byte(sig), 1), nil
+}
+
+// Verify authenticates a JSON or CBOR acquisition document (auto-detected)
+// and returns its payload. A wrong key, tampered payload, or malformed
+// document returns an error.
+func Verify(data []byte, hmacKey string) (Payload, error) {
+	var p Payload
+	var sig string
+	var err error
+	if len(data) > 0 && data[0] == '{' {
+		p, sig, err = parseJSON(data)
+	} else {
+		p, sig, err = parseCBOR(data)
+	}
+	if err != nil {
+		return Payload{}, err
+	}
+	if len(sig) != 64 {
+		return Payload{}, fmt.Errorf("ingest: signature has %d chars, want 64", len(sig))
+	}
+	unsigned := bytes.Replace(data, []byte(sig), []byte(zeroSignature), 1)
+	want := mac(unsigned, hmacKey)
+	if !hmac.Equal([]byte(want), []byte(sig)) {
+		return Payload{}, fmt.Errorf("ingest: signature mismatch")
+	}
+	if err := p.Validate(); err != nil {
+		return Payload{}, err
+	}
+	return p, nil
+}
+
+func parseJSON(data []byte) (Payload, string, error) {
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Payload{}, "", fmt.Errorf("ingest: bad JSON document: %w", err)
+	}
+	if doc.Protected.Alg != "HS256" {
+		return Payload{}, "", fmt.Errorf("ingest: unsupported algorithm %q", doc.Protected.Alg)
+	}
+	return doc.Payload, doc.Signature, nil
+}
+
+func parseCBOR(data []byte) (Payload, string, error) {
+	v, err := cbor.Unmarshal(data)
+	if err != nil {
+		return Payload{}, "", fmt.Errorf("ingest: bad CBOR document: %w", err)
+	}
+	doc, ok := v.(map[string]any)
+	if !ok {
+		return Payload{}, "", fmt.Errorf("ingest: CBOR document is not a map")
+	}
+	prot, _ := doc["protected"].(map[string]any)
+	if alg, _ := prot["alg"].(string); alg != "HS256" {
+		return Payload{}, "", fmt.Errorf("ingest: unsupported algorithm %v", prot["alg"])
+	}
+	sig, _ := doc["signature"].(string)
+	pl, ok := doc["payload"].(map[string]any)
+	if !ok {
+		return Payload{}, "", fmt.Errorf("ingest: missing payload")
+	}
+	var p Payload
+	p.DeviceName, _ = pl["device_name"].(string)
+	p.DeviceType, _ = pl["device_type"].(string)
+	switch iv := pl["interval_ms"].(type) {
+	case float64:
+		p.IntervalMS = iv
+	case uint64:
+		p.IntervalMS = float64(iv)
+	case int64:
+		p.IntervalMS = float64(iv)
+	}
+	if sensors, ok := pl["sensors"].([]any); ok {
+		for _, s := range sensors {
+			sm, _ := s.(map[string]any)
+			var sensor Sensor
+			sensor.Name, _ = sm["name"].(string)
+			sensor.Units, _ = sm["units"].(string)
+			p.Sensors = append(p.Sensors, sensor)
+		}
+	}
+	if values, ok := pl["values"].([]any); ok {
+		for _, r := range values {
+			row, ok := r.([]any)
+			if !ok {
+				return Payload{}, "", fmt.Errorf("ingest: values row is not an array")
+			}
+			frow := make([]float64, len(row))
+			for i, e := range row {
+				switch n := e.(type) {
+				case float64:
+					frow[i] = n
+				case uint64:
+					frow[i] = float64(n)
+				case int64:
+					frow[i] = float64(n)
+				default:
+					return Payload{}, "", fmt.Errorf("ingest: non-numeric value %T", e)
+				}
+			}
+			p.Values = append(p.Values, frow)
+		}
+	}
+	return p, sig, nil
+}

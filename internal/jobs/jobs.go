@@ -1,0 +1,356 @@
+// Package jobs implements the compute-orchestration layer of the
+// platform (paper Sec. 4.10): containerised-style jobs (training, tuner
+// runs, deployments) executed by an autoscaling worker pool — a single-
+// process stand-in for the AWS EKS / Kubernetes deployment the paper
+// describes, preserving the same behaviours: a work queue, dynamic
+// scale-up under load, scale-down when idle, and per-job logs and status.
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Status is a job lifecycle state.
+type Status string
+
+// Job states.
+const (
+	Queued   Status = "queued"
+	Running  Status = "running"
+	Finished Status = "finished"
+	Failed   Status = "failed"
+)
+
+// JobFunc is the work body. It receives a logging callback whose output
+// becomes the job's log stream.
+type JobFunc func(ctx context.Context, logf func(format string, args ...any)) error
+
+// Job is one unit of scheduled work.
+type Job struct {
+	// ID is unique within the scheduler.
+	ID string
+	// Kind labels the workload ("training", "tuner", ...).
+	Kind string
+
+	mu         sync.Mutex
+	status     Status
+	err        string
+	logs       []string
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+	done       chan struct{}
+	fn         JobFunc
+}
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Err returns the failure message, if any.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Logs returns a copy of the log lines so far.
+func (j *Job) Logs() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.logs...)
+}
+
+// Duration returns the job runtime (so far, for running jobs).
+func (j *Job) Duration() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.startedAt.IsZero() {
+		return 0
+	}
+	if j.finishedAt.IsZero() {
+		return time.Since(j.startedAt)
+	}
+	return j.finishedAt.Sub(j.startedAt)
+}
+
+func (j *Job) logf(format string, args ...any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.logs = append(j.logs, fmt.Sprintf(format, args...))
+}
+
+// Metrics is a point-in-time scheduler snapshot.
+type Metrics struct {
+	Workers   int
+	Queued    int
+	Completed int64
+	FailedN   int64
+	ScaleUps  int64
+	// PeakWorkers is the high-water worker count.
+	PeakWorkers int
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// MinWorkers are always running (default 1).
+	MinWorkers int
+	// MaxWorkers bounds scale-up (default 4).
+	MaxWorkers int
+	// QueueSize bounds pending jobs (default 64).
+	QueueSize int
+	// ScaleInterval is the autoscaler period (default 50ms).
+	ScaleInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.MaxWorkers < c.MinWorkers {
+		c.MaxWorkers = c.MinWorkers + 3
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.ScaleInterval <= 0 {
+		c.ScaleInterval = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Scheduler runs jobs on an autoscaling worker pool.
+type Scheduler struct {
+	cfg   Config
+	queue chan *Job
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	workers int
+	peak    int
+	nextID  int64
+	closed  bool
+
+	completed atomic.Int64
+	failed    atomic.Int64
+	scaleUps  atomic.Int64
+	busy      atomic.Int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewScheduler starts the pool with MinWorkers workers and the autoscaler.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:    cfg,
+		queue:  make(chan *Job, cfg.QueueSize),
+		jobs:   map[string]*Job{},
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for i := 0; i < cfg.MinWorkers; i++ {
+		s.addWorker()
+	}
+	s.wg.Add(1)
+	go s.autoscale()
+	return s
+}
+
+func (s *Scheduler) addWorker() {
+	s.mu.Lock()
+	if s.workers >= s.cfg.MaxWorkers || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.workers++
+	if s.workers > s.peak {
+		s.peak = s.workers
+	}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.worker()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case job, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.busy.Add(1)
+			s.run(job)
+			s.busy.Add(-1)
+		}
+	}
+}
+
+func (s *Scheduler) run(job *Job) {
+	job.mu.Lock()
+	job.status = Running
+	job.startedAt = time.Now()
+	job.mu.Unlock()
+
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		return job.fn(s.ctx, job.logf)
+	}()
+
+	job.mu.Lock()
+	job.finishedAt = time.Now()
+	if err != nil {
+		job.status = Failed
+		job.err = err.Error()
+		s.failed.Add(1)
+	} else {
+		job.status = Finished
+		s.completed.Add(1)
+	}
+	close(job.done)
+	job.mu.Unlock()
+}
+
+// autoscale adds a worker whenever jobs are waiting and capacity remains —
+// the "dynamically scale compute resources based on workload" behaviour.
+func (s *Scheduler) autoscale() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.ScaleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+			if len(s.queue) > 0 {
+				s.mu.Lock()
+				canGrow := s.workers < s.cfg.MaxWorkers
+				s.mu.Unlock()
+				if canGrow {
+					s.scaleUps.Add(1)
+					s.addWorker()
+				}
+			}
+		}
+	}
+}
+
+// Submit enqueues a job. It fails when the queue is full or the
+// scheduler is shut down.
+func (s *Scheduler) Submit(kind string, fn JobFunc) (*Job, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("jobs: nil job body")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("jobs: scheduler is shut down")
+	}
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Kind:      kind,
+		status:    Queued,
+		createdAt: time.Now(),
+		done:      make(chan struct{}),
+		fn:        fn,
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return nil, fmt.Errorf("jobs: queue full (%d pending)", s.cfg.QueueSize)
+	}
+}
+
+// Get returns a job by ID.
+func (s *Scheduler) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("jobs: no job %s", id)
+	}
+	return j, nil
+}
+
+// List returns all jobs in submission order.
+func (s *Scheduler) List() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Wait blocks until the job completes or the timeout elapses.
+func (s *Scheduler) Wait(id string, timeout time.Duration) (*Job, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("jobs: %s did not finish within %v", id, timeout)
+	}
+}
+
+// Metrics returns a snapshot of pool state.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	workers := s.workers
+	peak := s.peak
+	s.mu.Unlock()
+	return Metrics{
+		Workers:     workers,
+		Queued:      len(s.queue),
+		Completed:   s.completed.Load(),
+		FailedN:     s.failed.Load(),
+		ScaleUps:    s.scaleUps.Load(),
+		PeakWorkers: peak,
+	}
+}
+
+// Shutdown stops accepting jobs, cancels the context and waits for
+// workers to drain.
+func (s *Scheduler) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}

@@ -1,0 +1,221 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndWait(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Shutdown()
+	var ran atomic.Bool
+	j, err := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
+		logf("epoch %d done", 1)
+		ran.Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := s.Wait(j.ID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() || done.Status() != Finished {
+		t.Fatalf("status %s", done.Status())
+	}
+	logs := done.Logs()
+	if len(logs) != 1 || logs[0] != "epoch 1 done" {
+		t.Fatalf("logs: %v", logs)
+	}
+	if done.Duration() <= 0 {
+		t.Error("zero duration")
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Shutdown()
+	j, _ := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
+		return fmt.Errorf("out of memory")
+	})
+	done, err := s.Wait(j.ID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status() != Failed || done.Err() != "out of memory" {
+		t.Fatalf("status %s err %q", done.Status(), done.Err())
+	}
+	m := s.Metrics()
+	if m.FailedN != 1 {
+		t.Errorf("failed count %d", m.FailedN)
+	}
+}
+
+func TestPanicIsolatedToJob(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Shutdown()
+	j, _ := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
+		panic("kaboom")
+	})
+	done, err := s.Wait(j.ID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status() != Failed {
+		t.Fatal("panic not recorded as failure")
+	}
+	// Scheduler still works afterwards.
+	j2, _ := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error { return nil })
+	if _, err := s.Wait(j2.ID, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoscaleUnderLoad(t *testing.T) {
+	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 4, ScaleInterval: 5 * time.Millisecond})
+	defer s.Shutdown()
+	block := make(chan struct{})
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	// Give the autoscaler time to react to the backlog.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Metrics().Workers == 4 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m := s.Metrics()
+	if m.Workers != 4 {
+		t.Fatalf("workers = %d, want scale to 4", m.Workers)
+	}
+	if m.ScaleUps == 0 {
+		t.Error("no scale-ups recorded")
+	}
+	close(block)
+	for _, j := range jobs {
+		if _, err := s.Wait(j.ID, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Metrics().Completed; got != 8 {
+		t.Errorf("completed %d", got)
+	}
+	if s.Metrics().PeakWorkers != 4 {
+		t.Errorf("peak %d", s.Metrics().PeakWorkers)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 1, QueueSize: 2, ScaleInterval: time.Hour})
+	defer s.Shutdown()
+	block := make(chan struct{})
+	defer close(block)
+	// One running + two queued fills capacity.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil
+		}); err != nil {
+			// The first may be picked up instantly; allow failure only
+			// after capacity is truly full.
+			if i < 2 {
+				t.Fatalf("submit %d failed early: %v", i, err)
+			}
+		}
+	}
+	// Now the queue must reject.
+	deadline := time.Now().Add(time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if _, lastErr = s.Submit("overflow", func(ctx context.Context, logf func(string, ...any)) error { return nil }); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("queue never rejected")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := NewScheduler(Config{})
+	if _, err := s.Submit("x", nil); err == nil {
+		t.Error("accepted nil body")
+	}
+	s.Shutdown()
+	if _, err := s.Submit("x", func(ctx context.Context, logf func(string, ...any)) error { return nil }); err == nil {
+		t.Error("accepted submit after shutdown")
+	}
+	// Idempotent shutdown.
+	s.Shutdown()
+}
+
+func TestGetAndList(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Shutdown()
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("Get accepted unknown id")
+	}
+	j1, _ := s.Submit("a", func(ctx context.Context, logf func(string, ...any)) error { return nil })
+	j2, _ := s.Submit("b", func(ctx context.Context, logf func(string, ...any)) error { return nil })
+	s.Wait(j1.ID, time.Second)
+	s.Wait(j2.ID, time.Second)
+	list := s.List()
+	if len(list) != 2 || list[0].ID != j1.ID || list[1].ID != j2.ID {
+		t.Fatalf("list: %v", list)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Shutdown()
+	block := make(chan struct{})
+	defer close(block)
+	j, _ := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	if _, err := s.Wait(j.ID, 20*time.Millisecond); err == nil {
+		t.Fatal("wait did not time out")
+	}
+	if _, err := s.Wait("missing", time.Millisecond); err == nil {
+		t.Fatal("wait accepted unknown job")
+	}
+}
+
+func TestShutdownCancelsRunning(t *testing.T) {
+	s := NewScheduler(Config{})
+	started := make(chan struct{})
+	j, _ := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	<-started
+	s.Shutdown()
+	if j.Status() != Failed {
+		t.Fatalf("status after shutdown: %s", j.Status())
+	}
+}

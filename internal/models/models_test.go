@@ -1,0 +1,142 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"edgepulse/internal/nn"
+	"edgepulse/internal/tensor"
+)
+
+func TestKWSDSCNNShapeAndBudget(t *testing.T) {
+	m := KWSDSCNN(49, 10, 12)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	macs := m.MACs()
+	// The paper's DS-CNN is ~2.7M MACs; ours must land in the same band.
+	if macs < 1_500_000 || macs > 4_000_000 {
+		t.Errorf("KWS DS-CNN MACs = %d, want ~2.6M", macs)
+	}
+	params := m.ParamCount()
+	if params < 15_000 || params > 60_000 {
+		t.Errorf("KWS DS-CNN params = %d, want ~24k", params)
+	}
+}
+
+func TestVWWMobileNetV1Budget(t *testing.T) {
+	m := VWWMobileNetV1(96, 3, 0.25, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	macs := m.MACs()
+	if macs < 5_000_000 || macs > 12_000_000 {
+		t.Errorf("VWW MACs = %d, want ~7.5M", macs)
+	}
+	params := m.ParamCount()
+	if params < 150_000 || params > 350_000 {
+		t.Errorf("VWW params = %d, want ~220k", params)
+	}
+}
+
+func TestCIFARCNNBudget(t *testing.T) {
+	m := CIFARCNN(32, 3, 10)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	macs := m.MACs()
+	if macs < 700_000 || macs > 2_500_000 {
+		t.Errorf("IC MACs = %d, want ~1.3M", macs)
+	}
+	params := m.ParamCount()
+	if params < 10_000 || params > 40_000 {
+		t.Errorf("IC params = %d, want ~20k", params)
+	}
+}
+
+func TestConv1DStackVariants(t *testing.T) {
+	// The Table 3 configurations must all build and validate.
+	cases := []struct{ depth, start, end int }{
+		{4, 32, 256}, {4, 16, 128}, {3, 32, 128}, {2, 32, 64}, {3, 16, 64}, {2, 16, 32},
+	}
+	var prevParams int
+	for _, c := range cases {
+		m, err := Conv1DStack(99, 40, c.depth, c.start, c.end, 4)
+		if err != nil {
+			t.Fatalf("depth %d: %v", c.depth, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", c.depth, err)
+		}
+		_ = prevParams
+		prevParams = m.ParamCount()
+	}
+	if _, err := Conv1DStack(99, 40, 0, 16, 32, 4); err == nil {
+		t.Error("accepted zero depth")
+	}
+}
+
+func TestConv1DStackMonotoneCost(t *testing.T) {
+	big, _ := Conv1DStack(99, 40, 4, 32, 256, 4)
+	small, _ := Conv1DStack(99, 32, 2, 16, 32, 4)
+	if big.MACs() <= small.MACs() {
+		t.Errorf("bigger stack (%d MACs) not > smaller (%d MACs)", big.MACs(), small.MACs())
+	}
+	if big.ParamCount() <= small.ParamCount() {
+		t.Error("bigger stack should have more params")
+	}
+}
+
+func TestMobileNetV2Audio(t *testing.T) {
+	m := MobileNetV2Audio(99, 40, 0.35, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// V2 0.35 should be substantially bigger than the conv1d stacks.
+	c1d, _ := Conv1DStack(99, 40, 4, 32, 256, 4)
+	if m.MACs() <= c1d.MACs() {
+		t.Errorf("MobileNetV2 (%d MACs) should exceed conv1d stack (%d)", m.MACs(), c1d.MACs())
+	}
+}
+
+func TestTinyMLP(t *testing.T) {
+	m := TinyMLP(33, 20, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.InitWeights(m, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m := CIFARCNN(32, 3, 10)
+	s := Describe(m)
+	if !strings.Contains(s, "layers") || !strings.Contains(s, "MACs") {
+		t.Errorf("Describe = %q", s)
+	}
+	if humanCount(500) != "500" || humanCount(1500) != "1.5k" || humanCount(2_600_000) != "2.6M" {
+		t.Error("humanCount formatting")
+	}
+}
+
+func TestAllModelsForward(t *testing.T) {
+	// Spot check that each zoo model actually runs forward.
+	zoo := []*nn.Model{
+		KWSDSCNN(49, 10, 4),
+		CIFARCNN(32, 3, 10),
+		TinyMLP(10, 8, 2),
+	}
+	c1d, _ := Conv1DStack(49, 13, 2, 16, 32, 3)
+	zoo = append(zoo, c1d)
+	for i, m := range zoo {
+		if err := nn.InitWeights(m, int64(i)); err != nil {
+			t.Fatalf("model %d init: %v", i, err)
+		}
+		in := tensor.NewF32(m.InputShape...)
+		out := m.Forward(in)
+		if len(out.Data) != m.NumClasses {
+			t.Errorf("model %d: out %d classes, want %d", i, len(out.Data), m.NumClasses)
+		}
+	}
+}

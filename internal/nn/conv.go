@@ -1,0 +1,493 @@
+package nn
+
+import (
+	"fmt"
+
+	"edgepulse/internal/tensor"
+)
+
+// Padding selects the spatial padding mode of convolution and pooling.
+type Padding int
+
+// Padding modes, matching TFLite semantics.
+const (
+	Valid Padding = iota
+	Same
+)
+
+func (p Padding) String() string {
+	if p == Same {
+		return "same"
+	}
+	return "valid"
+}
+
+// convOutDim computes the output length of a strided convolution.
+func convOutDim(in, kernel, stride int, pad Padding) int {
+	if pad == Same {
+		return (in + stride - 1) / stride
+	}
+	if in < kernel {
+		return 0
+	}
+	return (in-kernel)/stride + 1
+}
+
+// padOffset returns the leading pad for Same padding.
+func padOffset(in, kernel, stride int, pad Padding) int {
+	if pad != Same {
+		return 0
+	}
+	out := convOutDim(in, kernel, stride, pad)
+	total := (out-1)*stride + kernel - in
+	if total < 0 {
+		total = 0
+	}
+	return total / 2
+}
+
+// Conv2D is a 2-D convolution over [H, W, Cin] producing [H', W', Filters].
+// Weights are stored HWIO: [K, K, Cin, Filters].
+type Conv2D struct {
+	Filters int
+	Kernel  int
+	Stride  int
+	Pad     Padding
+	Act     Activation
+
+	W, B   *tensor.F32
+	GW, GB *tensor.F32
+
+	lastIn  *tensor.F32
+	lastOut *tensor.F32
+}
+
+// NewConv2D creates a 2-D convolution layer.
+func NewConv2D(filters, kernel, stride int, pad Padding, act Activation) *Conv2D {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Conv2D{Filters: filters, Kernel: kernel, Stride: stride, Pad: pad, Act: act}
+}
+
+// Build allocates parameters for a known input channel count.
+func (c *Conv2D) Build(cin int) {
+	if c.W != nil && c.W.Shape[2] == cin {
+		return
+	}
+	c.W = tensor.NewF32(c.Kernel, c.Kernel, cin, c.Filters)
+	c.B = tensor.NewF32(c.Filters)
+	c.GW = tensor.NewF32(c.Kernel, c.Kernel, cin, c.Filters)
+	c.GB = tensor.NewF32(c.Filters)
+}
+
+// Kind implements Layer.
+func (c *Conv2D) Kind() string { return "conv2d" }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("conv2d: want [H W C] input, got %v", in)
+	}
+	c.Build(in[2])
+	oh := convOutDim(in[0], c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(in[1], c.Kernel, c.Stride, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("conv2d: kernel %d does not fit input %v", c.Kernel, in)
+	}
+	return tensor.Shape{oh, ow, c.Filters}, nil
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *tensor.F32) *tensor.F32 {
+	h, w, cin := in.Shape[0], in.Shape[1], in.Shape[2]
+	c.Build(cin)
+	oh := convOutDim(h, c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(w, c.Kernel, c.Stride, c.Pad)
+	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
+	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
+	out := tensor.NewF32(oh, ow, c.Filters)
+	c.lastIn = in
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for f := 0; f < c.Filters; f++ {
+				s := c.B.Data[f]
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inBase := (iy*w + ix) * cin
+						wBase := ((ky*c.Kernel + kx) * cin) * c.Filters
+						for ci := 0; ci < cin; ci++ {
+							s += in.Data[inBase+ci] * c.W.Data[wBase+ci*c.Filters+f]
+						}
+					}
+				}
+				out.Data[(oy*ow+ox)*c.Filters+f] = c.Act.apply(s)
+			}
+		}
+	}
+	c.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.F32) *tensor.F32 {
+	in := c.lastIn
+	h, w, cin := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh, ow := gradOut.Shape[0], gradOut.Shape[1]
+	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
+	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
+	gradIn := tensor.NewF32(h, w, cin)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for f := 0; f < c.Filters; f++ {
+				idx := (oy*ow+ox)*c.Filters + f
+				g := gradOut.Data[idx] * c.Act.grad(c.lastOut.Data[idx])
+				if g == 0 {
+					continue
+				}
+				c.GB.Data[f] += g
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inBase := (iy*w + ix) * cin
+						wBase := ((ky*c.Kernel + kx) * cin) * c.Filters
+						for ci := 0; ci < cin; ci++ {
+							c.GW.Data[wBase+ci*c.Filters+f] += g * in.Data[inBase+ci]
+							gradIn.Data[inBase+ci] += g * c.W.Data[wBase+ci*c.Filters+f]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.F32 {
+	if c.W == nil {
+		return nil
+	}
+	return []*tensor.F32{c.W, c.B}
+}
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.F32 {
+	if c.GW == nil {
+		return nil
+	}
+	return []*tensor.F32{c.GW, c.GB}
+}
+
+// MACs implements Layer.
+func (c *Conv2D) MACs(in tensor.Shape) int64 {
+	if len(in) != 3 {
+		return 0
+	}
+	oh := convOutDim(in[0], c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(in[1], c.Kernel, c.Stride, c.Pad)
+	return int64(oh) * int64(ow) * int64(c.Filters) * int64(c.Kernel) * int64(c.Kernel) * int64(in[2])
+}
+
+// DepthwiseConv2D convolves each input channel with its own kernel
+// (depth multiplier 1), the core op of MobileNet and DS-CNN.
+// Weights are [K, K, C].
+type DepthwiseConv2D struct {
+	Kernel int
+	Stride int
+	Pad    Padding
+	Act    Activation
+
+	W, B   *tensor.F32
+	GW, GB *tensor.F32
+
+	lastIn  *tensor.F32
+	lastOut *tensor.F32
+}
+
+// NewDepthwiseConv2D creates a depthwise convolution layer.
+func NewDepthwiseConv2D(kernel, stride int, pad Padding, act Activation) *DepthwiseConv2D {
+	if stride < 1 {
+		stride = 1
+	}
+	return &DepthwiseConv2D{Kernel: kernel, Stride: stride, Pad: pad, Act: act}
+}
+
+// Build allocates parameters for a known channel count.
+func (c *DepthwiseConv2D) Build(ch int) {
+	if c.W != nil && c.W.Shape[2] == ch {
+		return
+	}
+	c.W = tensor.NewF32(c.Kernel, c.Kernel, ch)
+	c.B = tensor.NewF32(ch)
+	c.GW = tensor.NewF32(c.Kernel, c.Kernel, ch)
+	c.GB = tensor.NewF32(ch)
+}
+
+// Kind implements Layer.
+func (c *DepthwiseConv2D) Kind() string { return "depthwise_conv2d" }
+
+// OutShape implements Layer.
+func (c *DepthwiseConv2D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("depthwise_conv2d: want [H W C] input, got %v", in)
+	}
+	c.Build(in[2])
+	oh := convOutDim(in[0], c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(in[1], c.Kernel, c.Stride, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("depthwise_conv2d: kernel %d does not fit input %v", c.Kernel, in)
+	}
+	return tensor.Shape{oh, ow, in[2]}, nil
+}
+
+// Forward implements Layer.
+func (c *DepthwiseConv2D) Forward(in *tensor.F32) *tensor.F32 {
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	c.Build(ch)
+	oh := convOutDim(h, c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(w, c.Kernel, c.Stride, c.Pad)
+	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
+	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
+	out := tensor.NewF32(oh, ow, ch)
+	c.lastIn = in
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ci := 0; ci < ch; ci++ {
+				s := c.B.Data[ci]
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						s += in.Data[(iy*w+ix)*ch+ci] * c.W.Data[(ky*c.Kernel+kx)*ch+ci]
+					}
+				}
+				out.Data[(oy*ow+ox)*ch+ci] = c.Act.apply(s)
+			}
+		}
+	}
+	c.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (c *DepthwiseConv2D) Backward(gradOut *tensor.F32) *tensor.F32 {
+	in := c.lastIn
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh, ow := gradOut.Shape[0], gradOut.Shape[1]
+	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
+	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
+	gradIn := tensor.NewF32(h, w, ch)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ci := 0; ci < ch; ci++ {
+				idx := (oy*ow+ox)*ch + ci
+				g := gradOut.Data[idx] * c.Act.grad(c.lastOut.Data[idx])
+				if g == 0 {
+					continue
+				}
+				c.GB.Data[ci] += g
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						c.GW.Data[(ky*c.Kernel+kx)*ch+ci] += g * in.Data[(iy*w+ix)*ch+ci]
+						gradIn.Data[(iy*w+ix)*ch+ci] += g * c.W.Data[(ky*c.Kernel+kx)*ch+ci]
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *DepthwiseConv2D) Params() []*tensor.F32 {
+	if c.W == nil {
+		return nil
+	}
+	return []*tensor.F32{c.W, c.B}
+}
+
+// Grads implements Layer.
+func (c *DepthwiseConv2D) Grads() []*tensor.F32 {
+	if c.GW == nil {
+		return nil
+	}
+	return []*tensor.F32{c.GW, c.GB}
+}
+
+// MACs implements Layer.
+func (c *DepthwiseConv2D) MACs(in tensor.Shape) int64 {
+	if len(in) != 3 {
+		return 0
+	}
+	oh := convOutDim(in[0], c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(in[1], c.Kernel, c.Stride, c.Pad)
+	return int64(oh) * int64(ow) * int64(in[2]) * int64(c.Kernel) * int64(c.Kernel)
+}
+
+// Conv1D is a 1-D convolution over [T, Cin] producing [T', Filters],
+// the workhorse of the paper's EON Tuner keyword-spotting table.
+// Weights are [K, Cin, Filters].
+type Conv1D struct {
+	Filters int
+	Kernel  int
+	Stride  int
+	Pad     Padding
+	Act     Activation
+
+	W, B   *tensor.F32
+	GW, GB *tensor.F32
+
+	lastIn  *tensor.F32
+	lastOut *tensor.F32
+}
+
+// NewConv1D creates a 1-D convolution layer.
+func NewConv1D(filters, kernel, stride int, pad Padding, act Activation) *Conv1D {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Conv1D{Filters: filters, Kernel: kernel, Stride: stride, Pad: pad, Act: act}
+}
+
+// Build allocates parameters for a known input channel count.
+func (c *Conv1D) Build(cin int) {
+	if c.W != nil && c.W.Shape[1] == cin {
+		return
+	}
+	c.W = tensor.NewF32(c.Kernel, cin, c.Filters)
+	c.B = tensor.NewF32(c.Filters)
+	c.GW = tensor.NewF32(c.Kernel, cin, c.Filters)
+	c.GB = tensor.NewF32(c.Filters)
+}
+
+// Kind implements Layer.
+func (c *Conv1D) Kind() string { return "conv1d" }
+
+// OutShape implements Layer.
+func (c *Conv1D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("conv1d: want [T C] input, got %v", in)
+	}
+	c.Build(in[1])
+	ot := convOutDim(in[0], c.Kernel, c.Stride, c.Pad)
+	if ot <= 0 {
+		return nil, fmt.Errorf("conv1d: kernel %d does not fit input %v", c.Kernel, in)
+	}
+	return tensor.Shape{ot, c.Filters}, nil
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(in *tensor.F32) *tensor.F32 {
+	t, cin := in.Shape[0], in.Shape[1]
+	c.Build(cin)
+	ot := convOutDim(t, c.Kernel, c.Stride, c.Pad)
+	p := padOffset(t, c.Kernel, c.Stride, c.Pad)
+	out := tensor.NewF32(ot, c.Filters)
+	c.lastIn = in
+	for o := 0; o < ot; o++ {
+		for f := 0; f < c.Filters; f++ {
+			s := c.B.Data[f]
+			for k := 0; k < c.Kernel; k++ {
+				i := o*c.Stride + k - p
+				if i < 0 || i >= t {
+					continue
+				}
+				inBase := i * cin
+				wBase := k * cin * c.Filters
+				for ci := 0; ci < cin; ci++ {
+					s += in.Data[inBase+ci] * c.W.Data[wBase+ci*c.Filters+f]
+				}
+			}
+			out.Data[o*c.Filters+f] = c.Act.apply(s)
+		}
+	}
+	c.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(gradOut *tensor.F32) *tensor.F32 {
+	in := c.lastIn
+	t, cin := in.Shape[0], in.Shape[1]
+	ot := gradOut.Shape[0]
+	p := padOffset(t, c.Kernel, c.Stride, c.Pad)
+	gradIn := tensor.NewF32(t, cin)
+	for o := 0; o < ot; o++ {
+		for f := 0; f < c.Filters; f++ {
+			idx := o*c.Filters + f
+			g := gradOut.Data[idx] * c.Act.grad(c.lastOut.Data[idx])
+			if g == 0 {
+				continue
+			}
+			c.GB.Data[f] += g
+			for k := 0; k < c.Kernel; k++ {
+				i := o*c.Stride + k - p
+				if i < 0 || i >= t {
+					continue
+				}
+				inBase := i * cin
+				wBase := k * cin * c.Filters
+				for ci := 0; ci < cin; ci++ {
+					c.GW.Data[wBase+ci*c.Filters+f] += g * in.Data[inBase+ci]
+					gradIn.Data[inBase+ci] += g * c.W.Data[wBase+ci*c.Filters+f]
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*tensor.F32 {
+	if c.W == nil {
+		return nil
+	}
+	return []*tensor.F32{c.W, c.B}
+}
+
+// Grads implements Layer.
+func (c *Conv1D) Grads() []*tensor.F32 {
+	if c.GW == nil {
+		return nil
+	}
+	return []*tensor.F32{c.GW, c.GB}
+}
+
+// MACs implements Layer.
+func (c *Conv1D) MACs(in tensor.Shape) int64 {
+	if len(in) != 2 {
+		return 0
+	}
+	ot := convOutDim(in[0], c.Kernel, c.Stride, c.Pad)
+	return int64(ot) * int64(c.Filters) * int64(c.Kernel) * int64(in[1])
+}

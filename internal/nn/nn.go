@@ -1,0 +1,232 @@
+// Package nn is a from-scratch neural network library sized for TinyML
+// workloads: single-sample (microcontroller-style) forward inference and
+// CPU backpropagation for training the paper's model families (DS-CNN,
+// MobileNet-style depthwise-separable networks, small conv stacks).
+//
+// Layers follow TFLite conventions: channels-last activations, fused
+// activation functions on compute layers, and explicit pooling/flatten
+// layers. A Model is a sequential stack; its Spec() describes every op
+// with shapes and MAC counts for the profiler, device simulator, TFLM
+// interpreter and EON compiler.
+package nn
+
+import (
+	"fmt"
+
+	"edgepulse/internal/tensor"
+)
+
+// Activation is a fused activation applied by compute layers.
+type Activation int
+
+// Supported fused activations.
+const (
+	None Activation = iota
+	ReLU
+	ReLU6
+	Sigmoid
+)
+
+func (a Activation) String() string {
+	switch a {
+	case None:
+		return "none"
+	case ReLU:
+		return "relu"
+	case ReLU6:
+		return "relu6"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(v float32) float32 {
+	switch a {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case ReLU6:
+		if v < 0 {
+			return 0
+		}
+		if v > 6 {
+			return 6
+		}
+		return v
+	case Sigmoid:
+		return sigmoid(v)
+	default:
+		return v
+	}
+}
+
+// grad returns d(act(x))/dx given the activation output y.
+func (a Activation) grad(y float32) float32 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case ReLU6:
+		if y > 0 && y < 6 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// Layer is one operation in a sequential model.
+type Layer interface {
+	// Kind returns the op type identifier, e.g. "conv2d".
+	Kind() string
+	// OutShape returns the output shape for the given input shape.
+	OutShape(in tensor.Shape) (tensor.Shape, error)
+	// Forward runs inference, caching whatever Backward needs.
+	Forward(in *tensor.F32) *tensor.F32
+	// Backward consumes the gradient w.r.t. this layer's output and
+	// returns the gradient w.r.t. its input, accumulating parameter
+	// gradients. It must be called after Forward.
+	Backward(gradOut *tensor.F32) *tensor.F32
+	// Params returns trainable parameter tensors (possibly empty).
+	Params() []*tensor.F32
+	// Grads returns gradient tensors matching Params element-wise.
+	Grads() []*tensor.F32
+	// MACs returns multiply-accumulate count for the given input shape.
+	MACs(in tensor.Shape) int64
+}
+
+// Model is a sequential stack of layers with a fixed input shape.
+type Model struct {
+	// InputShape is the feature tensor shape the model consumes.
+	InputShape tensor.Shape
+	// Layers, applied in order.
+	Layers []Layer
+	// NumClasses is the output dimensionality (for classifiers).
+	NumClasses int
+}
+
+// NewModel builds an empty model for the given input shape.
+func NewModel(inputShape ...int) *Model {
+	return &Model{InputShape: tensor.Shape(inputShape).Clone()}
+}
+
+// Add appends a layer and returns the model for chaining.
+func (m *Model) Add(l Layer) *Model {
+	m.Layers = append(m.Layers, l)
+	return m
+}
+
+// OutputShape computes the final output shape, validating every layer.
+func (m *Model) OutputShape() (tensor.Shape, error) {
+	s := m.InputShape
+	for i, l := range m.Layers {
+		var err error
+		s, err = l.OutShape(s)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s): %w", i, l.Kind(), err)
+		}
+	}
+	return s, nil
+}
+
+// Forward runs single-sample inference through all layers.
+func (m *Model) Forward(in *tensor.F32) *tensor.F32 {
+	x := in
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// ForwardTo runs inference through the first n layers and returns the
+// intermediate activation (used for embeddings in active learning).
+func (m *Model) ForwardTo(in *tensor.F32, n int) *tensor.F32 {
+	x := in
+	for i := 0; i < n && i < len(m.Layers); i++ {
+		x = m.Layers[i].Forward(x)
+	}
+	return x
+}
+
+// Backward backpropagates from the output gradient through all layers.
+func (m *Model) Backward(gradOut *tensor.F32) *tensor.F32 {
+	g := gradOut
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns all trainable tensors in layer order.
+func (m *Model) Params() []*tensor.F32 {
+	var out []*tensor.F32
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient tensors matching Params.
+func (m *Model) Grads() []*tensor.F32 {
+	var out []*tensor.F32
+	for _, l := range m.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *Model) ZeroGrads() {
+	for _, g := range m.Grads() {
+		g.Zero()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// MACs returns the total multiply-accumulate count of one inference.
+func (m *Model) MACs() int64 {
+	var total int64
+	s := m.InputShape
+	for _, l := range m.Layers {
+		total += l.MACs(s)
+		var err error
+		s, err = l.OutShape(s)
+		if err != nil {
+			return total
+		}
+	}
+	return total
+}
+
+// Validate checks that the layer stack is shape-consistent and that the
+// final output matches NumClasses when set.
+func (m *Model) Validate() error {
+	if !m.InputShape.Valid() {
+		return fmt.Errorf("nn: invalid input shape %v", m.InputShape)
+	}
+	out, err := m.OutputShape()
+	if err != nil {
+		return err
+	}
+	if m.NumClasses > 0 && out.Elems() != m.NumClasses {
+		return fmt.Errorf("nn: output %v has %d elems, want %d classes", out, out.Elems(), m.NumClasses)
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"edgepulse/internal/tensor"
+)
+
+// MaxPool2D reduces [H, W, C] spatially by taking window maxima.
+type MaxPool2D struct {
+	Size   int
+	Stride int
+
+	lastIn *tensor.F32
+	argmax []int
+}
+
+// NewMaxPool2D creates a max pooling layer; stride defaults to size.
+func NewMaxPool2D(size, stride int) *MaxPool2D {
+	if stride <= 0 {
+		stride = size
+	}
+	return &MaxPool2D{Size: size, Stride: stride}
+}
+
+// Kind implements Layer.
+func (p *MaxPool2D) Kind() string { return "maxpool2d" }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("maxpool2d: want [H W C] input, got %v", in)
+	}
+	oh := convOutDim(in[0], p.Size, p.Stride, Valid)
+	ow := convOutDim(in[1], p.Size, p.Stride, Valid)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("maxpool2d: window %d does not fit %v", p.Size, in)
+	}
+	return tensor.Shape{oh, ow, in[2]}, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(in *tensor.F32) *tensor.F32 {
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh := convOutDim(h, p.Size, p.Stride, Valid)
+	ow := convOutDim(w, p.Size, p.Stride, Valid)
+	out := tensor.NewF32(oh, ow, ch)
+	p.lastIn = in
+	p.argmax = make([]int, oh*ow*ch)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < ch; c++ {
+				best := float32(math.Inf(-1))
+				bestIdx := 0
+				for ky := 0; ky < p.Size; ky++ {
+					for kx := 0; kx < p.Size; kx++ {
+						iy := oy*p.Stride + ky
+						ix := ox*p.Stride + kx
+						idx := (iy*w+ix)*ch + c
+						if in.Data[idx] > best {
+							best = in.Data[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				oidx := (oy*ow+ox)*ch + c
+				out.Data[oidx] = best
+				p.argmax[oidx] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(gradOut *tensor.F32) *tensor.F32 {
+	gradIn := tensor.NewF32(p.lastIn.Shape...)
+	for i, g := range gradOut.Data {
+		gradIn.Data[p.argmax[i]] += g
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.F32 { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.F32 { return nil }
+
+// MACs implements Layer. Pooling does comparisons, not MACs; counted as 0.
+func (p *MaxPool2D) MACs(in tensor.Shape) int64 { return 0 }
+
+// AvgPool2D reduces [H, W, C] spatially by window means.
+type AvgPool2D struct {
+	Size   int
+	Stride int
+
+	lastIn *tensor.F32
+}
+
+// NewAvgPool2D creates an average pooling layer; stride defaults to size.
+func NewAvgPool2D(size, stride int) *AvgPool2D {
+	if stride <= 0 {
+		stride = size
+	}
+	return &AvgPool2D{Size: size, Stride: stride}
+}
+
+// Kind implements Layer.
+func (p *AvgPool2D) Kind() string { return "avgpool2d" }
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("avgpool2d: want [H W C] input, got %v", in)
+	}
+	oh := convOutDim(in[0], p.Size, p.Stride, Valid)
+	ow := convOutDim(in[1], p.Size, p.Stride, Valid)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("avgpool2d: window %d does not fit %v", p.Size, in)
+	}
+	return tensor.Shape{oh, ow, in[2]}, nil
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(in *tensor.F32) *tensor.F32 {
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh := convOutDim(h, p.Size, p.Stride, Valid)
+	ow := convOutDim(w, p.Size, p.Stride, Valid)
+	out := tensor.NewF32(oh, ow, ch)
+	p.lastIn = in
+	inv := 1 / float32(p.Size*p.Size)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < ch; c++ {
+				var s float32
+				for ky := 0; ky < p.Size; ky++ {
+					for kx := 0; kx < p.Size; kx++ {
+						iy := oy*p.Stride + ky
+						ix := ox*p.Stride + kx
+						s += in.Data[(iy*w+ix)*ch+c]
+					}
+				}
+				out.Data[(oy*ow+ox)*ch+c] = s * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(gradOut *tensor.F32) *tensor.F32 {
+	h, w, ch := p.lastIn.Shape[0], p.lastIn.Shape[1], p.lastIn.Shape[2]
+	oh, ow := gradOut.Shape[0], gradOut.Shape[1]
+	gradIn := tensor.NewF32(h, w, ch)
+	inv := 1 / float32(p.Size*p.Size)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < ch; c++ {
+				g := gradOut.Data[(oy*ow+ox)*ch+c] * inv
+				for ky := 0; ky < p.Size; ky++ {
+					for kx := 0; kx < p.Size; kx++ {
+						iy := oy*p.Stride + ky
+						ix := ox*p.Stride + kx
+						gradIn.Data[(iy*w+ix)*ch+c] += g
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*tensor.F32 { return nil }
+
+// Grads implements Layer.
+func (p *AvgPool2D) Grads() []*tensor.F32 { return nil }
+
+// MACs implements Layer.
+func (p *AvgPool2D) MACs(in tensor.Shape) int64 { return 0 }
+
+// MaxPool1D reduces [T, C] along time.
+type MaxPool1D struct {
+	Size   int
+	Stride int
+
+	lastIn *tensor.F32
+	argmax []int
+}
+
+// NewMaxPool1D creates a 1-D max pooling layer; stride defaults to size.
+func NewMaxPool1D(size, stride int) *MaxPool1D {
+	if stride <= 0 {
+		stride = size
+	}
+	return &MaxPool1D{Size: size, Stride: stride}
+}
+
+// Kind implements Layer.
+func (p *MaxPool1D) Kind() string { return "maxpool1d" }
+
+// OutShape implements Layer.
+func (p *MaxPool1D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("maxpool1d: want [T C] input, got %v", in)
+	}
+	ot := convOutDim(in[0], p.Size, p.Stride, Valid)
+	if ot <= 0 {
+		return nil, fmt.Errorf("maxpool1d: window %d does not fit %v", p.Size, in)
+	}
+	return tensor.Shape{ot, in[1]}, nil
+}
+
+// Forward implements Layer.
+func (p *MaxPool1D) Forward(in *tensor.F32) *tensor.F32 {
+	t, ch := in.Shape[0], in.Shape[1]
+	ot := convOutDim(t, p.Size, p.Stride, Valid)
+	out := tensor.NewF32(ot, ch)
+	p.lastIn = in
+	p.argmax = make([]int, ot*ch)
+	for o := 0; o < ot; o++ {
+		for c := 0; c < ch; c++ {
+			best := float32(math.Inf(-1))
+			bestIdx := 0
+			for k := 0; k < p.Size; k++ {
+				idx := (o*p.Stride+k)*ch + c
+				if in.Data[idx] > best {
+					best = in.Data[idx]
+					bestIdx = idx
+				}
+			}
+			out.Data[o*ch+c] = best
+			p.argmax[o*ch+c] = bestIdx
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool1D) Backward(gradOut *tensor.F32) *tensor.F32 {
+	gradIn := tensor.NewF32(p.lastIn.Shape...)
+	for i, g := range gradOut.Data {
+		gradIn.Data[p.argmax[i]] += g
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *MaxPool1D) Params() []*tensor.F32 { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool1D) Grads() []*tensor.F32 { return nil }
+
+// MACs implements Layer.
+func (p *MaxPool1D) MACs(in tensor.Shape) int64 { return 0 }
+
+// GlobalAvgPool2D averages each channel over all spatial positions,
+// producing a [C] vector (MobileNet's head).
+type GlobalAvgPool2D struct {
+	lastIn *tensor.F32
+}
+
+// NewGlobalAvgPool2D creates a global average pooling layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Kind implements Layer.
+func (p *GlobalAvgPool2D) Kind() string { return "gap2d" }
+
+// OutShape implements Layer.
+func (p *GlobalAvgPool2D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("gap2d: want [H W C] input, got %v", in)
+	}
+	return tensor.Shape{in[2]}, nil
+}
+
+// Forward implements Layer.
+func (p *GlobalAvgPool2D) Forward(in *tensor.F32) *tensor.F32 {
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	out := tensor.NewF32(ch)
+	p.lastIn = in
+	for i := 0; i < h*w; i++ {
+		for c := 0; c < ch; c++ {
+			out.Data[c] += in.Data[i*ch+c]
+		}
+	}
+	inv := 1 / float32(h*w)
+	for c := range out.Data {
+		out.Data[c] *= inv
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *GlobalAvgPool2D) Backward(gradOut *tensor.F32) *tensor.F32 {
+	h, w, ch := p.lastIn.Shape[0], p.lastIn.Shape[1], p.lastIn.Shape[2]
+	gradIn := tensor.NewF32(h, w, ch)
+	inv := 1 / float32(h*w)
+	for i := 0; i < h*w; i++ {
+		for c := 0; c < ch; c++ {
+			gradIn.Data[i*ch+c] = gradOut.Data[c] * inv
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *GlobalAvgPool2D) Params() []*tensor.F32 { return nil }
+
+// Grads implements Layer.
+func (p *GlobalAvgPool2D) Grads() []*tensor.F32 { return nil }
+
+// MACs implements Layer.
+func (p *GlobalAvgPool2D) MACs(in tensor.Shape) int64 { return 0 }

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"fmt"
+
+	"edgepulse/internal/tensor"
+)
+
+// Reshape reinterprets the input as a new shape with the same element
+// count, e.g. MFCC [49, 13] features into a conv2d [49, 13, 1] image.
+type Reshape struct {
+	Target tensor.Shape
+
+	lastShape tensor.Shape
+}
+
+// NewReshape creates a reshape layer to the target shape.
+func NewReshape(target ...int) *Reshape {
+	return &Reshape{Target: tensor.Shape(target).Clone()}
+}
+
+// Kind implements Layer.
+func (r *Reshape) Kind() string { return "reshape" }
+
+// OutShape implements Layer.
+func (r *Reshape) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if in.Elems() != r.Target.Elems() {
+		return nil, fmt.Errorf("reshape: %v (%d elems) incompatible with %v (%d elems)",
+			in, in.Elems(), r.Target, r.Target.Elems())
+	}
+	return r.Target.Clone(), nil
+}
+
+// Forward implements Layer.
+func (r *Reshape) Forward(in *tensor.F32) *tensor.F32 {
+	r.lastShape = in.Shape
+	return &tensor.F32{Shape: r.Target.Clone(), Data: in.Data}
+}
+
+// Backward implements Layer.
+func (r *Reshape) Backward(gradOut *tensor.F32) *tensor.F32 {
+	return &tensor.F32{Shape: r.lastShape, Data: gradOut.Data}
+}
+
+// Params implements Layer.
+func (r *Reshape) Params() []*tensor.F32 { return nil }
+
+// Grads implements Layer.
+func (r *Reshape) Grads() []*tensor.F32 { return nil }
+
+// MACs implements Layer.
+func (r *Reshape) MACs(in tensor.Shape) int64 { return 0 }

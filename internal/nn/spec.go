@@ -1,0 +1,208 @@
+package nn
+
+import (
+	"fmt"
+
+	"edgepulse/internal/tensor"
+)
+
+// OpSpec describes one layer of a model structurally: enough to rebuild
+// the layer (FromSpec), plan memory (profiler), simulate latency (renode)
+// and serialize/compile it (tflm, eon).
+type OpSpec struct {
+	// Kind is the op type, e.g. "conv2d".
+	Kind string
+	// InShape and OutShape are the single-sample activation shapes.
+	InShape, OutShape tensor.Shape
+	// MACs is the multiply-accumulate count of one invocation.
+	MACs int64
+	// WeightElems counts weight scalars stored in flash (params + any
+	// frozen state such as batchnorm statistics).
+	WeightElems int
+	// Attrs holds layer hyperparameters keyed by name.
+	Attrs map[string]float64
+}
+
+// Spec returns the structural description of every layer in order.
+func (m *Model) Spec() ([]OpSpec, error) {
+	specs := make([]OpSpec, 0, len(m.Layers))
+	in := m.InputShape
+	for i, l := range m.Layers {
+		out, err := l.OutShape(in)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s): %w", i, l.Kind(), err)
+		}
+		spec := OpSpec{
+			Kind:     l.Kind(),
+			InShape:  in.Clone(),
+			OutShape: out.Clone(),
+			MACs:     l.MACs(in),
+			Attrs:    map[string]float64{},
+		}
+		for _, p := range l.Params() {
+			spec.WeightElems += len(p.Data)
+		}
+		for _, s := range layerState(l) {
+			spec.WeightElems += len(s.Data)
+		}
+		switch v := l.(type) {
+		case *Dense:
+			spec.Attrs["units"] = float64(v.Units)
+			spec.Attrs["activation"] = float64(v.Act)
+		case *Conv2D:
+			spec.Attrs["filters"] = float64(v.Filters)
+			spec.Attrs["kernel"] = float64(v.Kernel)
+			spec.Attrs["stride"] = float64(v.Stride)
+			spec.Attrs["padding"] = float64(v.Pad)
+			spec.Attrs["activation"] = float64(v.Act)
+		case *DepthwiseConv2D:
+			spec.Attrs["kernel"] = float64(v.Kernel)
+			spec.Attrs["stride"] = float64(v.Stride)
+			spec.Attrs["padding"] = float64(v.Pad)
+			spec.Attrs["activation"] = float64(v.Act)
+		case *Conv1D:
+			spec.Attrs["filters"] = float64(v.Filters)
+			spec.Attrs["kernel"] = float64(v.Kernel)
+			spec.Attrs["stride"] = float64(v.Stride)
+			spec.Attrs["padding"] = float64(v.Pad)
+			spec.Attrs["activation"] = float64(v.Act)
+		case *MaxPool2D:
+			spec.Attrs["size"] = float64(v.Size)
+			spec.Attrs["stride"] = float64(v.Stride)
+		case *AvgPool2D:
+			spec.Attrs["size"] = float64(v.Size)
+			spec.Attrs["stride"] = float64(v.Stride)
+		case *MaxPool1D:
+			spec.Attrs["size"] = float64(v.Size)
+			spec.Attrs["stride"] = float64(v.Stride)
+		case *Dropout:
+			spec.Attrs["rate"] = float64(v.Rate)
+		case *BatchNorm:
+			spec.Attrs["eps"] = float64(v.Eps)
+		case *Reshape:
+			for d, n := range v.Target {
+				spec.Attrs[fmt.Sprintf("dim%d", d)] = float64(n)
+			}
+			spec.Attrs["rank"] = float64(len(v.Target))
+		}
+		specs = append(specs, spec)
+		in = out
+	}
+	return specs, nil
+}
+
+// layerState returns non-trainable tensors that must be serialized with
+// the layer (batchnorm moving statistics).
+func layerState(l Layer) []*tensor.F32 {
+	if bn, ok := l.(*BatchNorm); ok && bn.Mean != nil {
+		return []*tensor.F32{bn.Mean, bn.Var}
+	}
+	return nil
+}
+
+// LayerFromSpec reconstructs an untrained layer from its spec.
+func LayerFromSpec(s OpSpec) (Layer, error) {
+	a := func(k string) int { return int(s.Attrs[k]) }
+	switch s.Kind {
+	case "dense":
+		return NewDense(a("units"), Activation(a("activation"))), nil
+	case "conv2d":
+		return NewConv2D(a("filters"), a("kernel"), a("stride"), Padding(a("padding")), Activation(a("activation"))), nil
+	case "depthwise_conv2d":
+		return NewDepthwiseConv2D(a("kernel"), a("stride"), Padding(a("padding")), Activation(a("activation"))), nil
+	case "conv1d":
+		return NewConv1D(a("filters"), a("kernel"), a("stride"), Padding(a("padding")), Activation(a("activation"))), nil
+	case "maxpool2d":
+		return NewMaxPool2D(a("size"), a("stride")), nil
+	case "avgpool2d":
+		return NewAvgPool2D(a("size"), a("stride")), nil
+	case "maxpool1d":
+		return NewMaxPool1D(a("size"), a("stride")), nil
+	case "gap2d":
+		return NewGlobalAvgPool2D(), nil
+	case "flatten":
+		return NewFlatten(), nil
+	case "softmax":
+		return NewSoftmax(), nil
+	case "dropout":
+		return NewDropout(float32(s.Attrs["rate"])), nil
+	case "batchnorm":
+		bn := NewBatchNorm()
+		if e, ok := s.Attrs["eps"]; ok {
+			bn.Eps = float32(e)
+		}
+		return bn, nil
+	case "reshape":
+		rank := a("rank")
+		target := make([]int, rank)
+		for d := 0; d < rank; d++ {
+			target[d] = a(fmt.Sprintf("dim%d", d))
+		}
+		return NewReshape(target...), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown op kind %q", s.Kind)
+	}
+}
+
+// ModelFromSpecs reconstructs a full (untrained) model from specs.
+func ModelFromSpecs(inputShape tensor.Shape, specs []OpSpec, numClasses int) (*Model, error) {
+	m := NewModel(inputShape...)
+	m.NumClasses = numClasses
+	for _, s := range specs {
+		l, err := LayerFromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		m.Add(l)
+	}
+	if _, err := m.OutputShape(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SerializableTensors returns, in a stable order, every tensor that must
+// round-trip through model serialization: trainable params plus frozen
+// state.
+func SerializableTensors(m *Model) []*tensor.F32 {
+	var out []*tensor.F32
+	for _, l := range m.Layers {
+		out = append(out, l.Params()...)
+		out = append(out, layerState(l)...)
+	}
+	return out
+}
+
+// CopyWeights copies all serializable tensors from src to dst; the models
+// must have identical architecture.
+func CopyWeights(dst, src *Model) error {
+	ds := SerializableTensors(dst)
+	ss := SerializableTensors(src)
+	if len(ds) != len(ss) {
+		return fmt.Errorf("nn: tensor count mismatch %d vs %d", len(ds), len(ss))
+	}
+	for i := range ds {
+		if len(ds[i].Data) != len(ss[i].Data) {
+			return fmt.Errorf("nn: tensor %d size mismatch %d vs %d", i, len(ds[i].Data), len(ss[i].Data))
+		}
+		copy(ds[i].Data, ss[i].Data)
+	}
+	return nil
+}
+
+// Clone deep-copies a model (architecture + weights). The clone shares no
+// state with the original, so both can train or serve independently.
+func (m *Model) Clone() (*Model, error) {
+	specs, err := m.Spec()
+	if err != nil {
+		return nil, err
+	}
+	c, err := ModelFromSpecs(m.InputShape, specs, m.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	if err := CopyWeights(c, m); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

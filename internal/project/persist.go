@@ -1,0 +1,255 @@
+package project
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/tflm"
+)
+
+// On-disk layout:
+//
+//	<dir>/registry.json                users, orgs, project headers
+//	<dir>/projects/<id>/dataset.json   samples (signals inline)
+//	<dir>/projects/<id>/impulse.json   impulse design
+//	<dir>/projects/<id>/model.eptm     float weights (EPTM)
+//	<dir>/projects/<id>/model_int8.eptm
+
+type persistedUser struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	APIKey string `json:"api_key"`
+}
+
+type persistedOrg struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Members []string `json:"members"`
+}
+
+type persistedProject struct {
+	ID            int       `json:"id"`
+	Name          string    `json:"name"`
+	OwnerID       string    `json:"owner_id"`
+	HMACKey       string    `json:"hmac_key"`
+	Public        bool      `json:"public"`
+	Collaborators []string  `json:"collaborators"`
+	Versions      []Version `json:"versions"`
+}
+
+type persistedRegistry struct {
+	Users    []persistedUser    `json:"users"`
+	Orgs     []persistedOrg     `json:"orgs"`
+	Projects []persistedProject `json:"projects"`
+	NextUser int                `json:"next_user"`
+	NextProj int                `json:"next_proj"`
+	NextOrg  int                `json:"next_org"`
+}
+
+type persistedSample struct {
+	Name     string            `json:"name"`
+	Label    string            `json:"label"`
+	Category data.Category     `json:"category"`
+	Metadata map[string]string `json:"metadata,omitempty"`
+	Rate     int               `json:"rate,omitempty"`
+	Axes     int               `json:"axes"`
+	Width    int               `json:"width,omitempty"`
+	Height   int               `json:"height,omitempty"`
+	Values   []float32         `json:"values"`
+}
+
+// Save writes the registry and every project (dataset, impulse design,
+// trained weights) under dir. The format is stable JSON + EPTM blobs, so
+// saved state is portable across builds.
+func (r *Registry) Save(dir string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	pr := persistedRegistry{NextUser: r.nextUser, NextProj: r.nextProj, NextOrg: r.nextOrg}
+	for _, u := range r.users {
+		pr.Users = append(pr.Users, persistedUser{ID: u.ID, Name: u.Name, APIKey: u.APIKey})
+	}
+	for _, o := range r.orgs {
+		po := persistedOrg{ID: o.ID, Name: o.Name}
+		for m := range o.Members {
+			po.Members = append(po.Members, m)
+		}
+		pr.Orgs = append(pr.Orgs, po)
+	}
+	for _, p := range r.projects {
+		pr.Projects = append(pr.Projects, persistedProject{
+			ID: p.ID, Name: p.Name, OwnerID: p.OwnerID, HMACKey: p.HMACKey,
+			Public: p.Public(), Collaborators: p.Collaborators(), Versions: p.Versions(),
+		})
+		if err := saveProjectData(dir, p); err != nil {
+			return err
+		}
+	}
+	blob, err := json.MarshalIndent(pr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "registry.json"), blob, 0o644)
+}
+
+func saveProjectData(dir string, p *Project) error {
+	pdir := filepath.Join(dir, "projects", fmt.Sprint(p.ID))
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		return err
+	}
+	// Dataset.
+	var samples []persistedSample
+	for _, s := range p.Dataset().List("") {
+		samples = append(samples, persistedSample{
+			Name: s.Name, Label: s.Label, Category: s.Category, Metadata: s.Metadata,
+			Rate: s.Signal.Rate, Axes: s.Signal.Axes,
+			Width: s.Signal.Width, Height: s.Signal.Height,
+			Values: s.Signal.Data,
+		})
+	}
+	blob, err := json.Marshal(samples)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(pdir, "dataset.json"), blob, 0o644); err != nil {
+		return err
+	}
+	// Impulse + models.
+	imp := p.Impulse()
+	if imp == nil {
+		return nil
+	}
+	cfg, err := json.Marshal(imp.Config())
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(pdir, "impulse.json"), cfg, 0o644); err != nil {
+		return err
+	}
+	if imp.Model != nil {
+		mb, err := tflm.Marshal(tflm.ModelFileFromFloat(imp.Model))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(pdir, "model.eptm"), mb, 0o644); err != nil {
+			return err
+		}
+	}
+	if imp.QModel != nil {
+		qb, err := tflm.Marshal(tflm.ModelFileFromQuant(imp.QModel))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(pdir, "model_int8.eptm"), qb, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load restores a registry previously written by Save.
+func Load(dir string) (*Registry, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "registry.json"))
+	if err != nil {
+		return nil, err
+	}
+	var pr persistedRegistry
+	if err := json.Unmarshal(blob, &pr); err != nil {
+		return nil, fmt.Errorf("project: corrupt registry: %w", err)
+	}
+	r := NewRegistry()
+	r.nextUser, r.nextProj, r.nextOrg = pr.NextUser, pr.NextProj, pr.NextOrg
+	for _, u := range pr.Users {
+		user := &User{ID: u.ID, Name: u.Name, APIKey: u.APIKey}
+		r.users[user.ID] = user
+		r.byKey[user.APIKey] = user
+	}
+	for _, o := range pr.Orgs {
+		org := &Organization{ID: o.ID, Name: o.Name, Members: map[string]bool{}}
+		for _, m := range o.Members {
+			org.Members[m] = true
+		}
+		r.orgs[org.ID] = org
+	}
+	for _, pp := range pr.Projects {
+		p := &Project{
+			ID: pp.ID, Name: pp.Name, OwnerID: pp.OwnerID, HMACKey: pp.HMACKey,
+			collaborators: map[string]bool{},
+			dataset:       data.New(),
+			versions:      pp.Versions,
+			public:        pp.Public,
+		}
+		for _, c := range pp.Collaborators {
+			p.collaborators[c] = true
+		}
+		if err := loadProjectData(dir, p); err != nil {
+			return nil, fmt.Errorf("project %d: %w", pp.ID, err)
+		}
+		r.projects[p.ID] = p
+	}
+	return r, nil
+}
+
+func loadProjectData(dir string, p *Project) error {
+	pdir := filepath.Join(dir, "projects", fmt.Sprint(p.ID))
+	blob, err := os.ReadFile(filepath.Join(pdir, "dataset.json"))
+	if err != nil {
+		return err
+	}
+	var samples []persistedSample
+	if err := json.Unmarshal(blob, &samples); err != nil {
+		return fmt.Errorf("corrupt dataset: %w", err)
+	}
+	for _, ps := range samples {
+		s := &data.Sample{
+			Name: ps.Name, Label: ps.Label, Category: ps.Category, Metadata: ps.Metadata,
+			Signal: dsp.Signal{
+				Data: ps.Values, Rate: ps.Rate, Axes: ps.Axes,
+				Width: ps.Width, Height: ps.Height,
+			},
+		}
+		if _, err := p.dataset.Add(s); err != nil {
+			return err
+		}
+	}
+	cfgBlob, err := os.ReadFile(filepath.Join(pdir, "impulse.json"))
+	if os.IsNotExist(err) {
+		return nil // no impulse configured
+	}
+	if err != nil {
+		return err
+	}
+	cfg, err := core.ParseConfig(cfgBlob)
+	if err != nil {
+		return err
+	}
+	imp, err := core.FromConfig(cfg)
+	if err != nil {
+		return err
+	}
+	if mb, err := os.ReadFile(filepath.Join(pdir, "model.eptm")); err == nil {
+		mf, err := tflm.Unmarshal(mb)
+		if err != nil {
+			return err
+		}
+		if err := imp.AttachClassifier(mf.Float); err != nil {
+			return err
+		}
+	}
+	if qb, err := os.ReadFile(filepath.Join(pdir, "model_int8.eptm")); err == nil {
+		qmf, err := tflm.Unmarshal(qb)
+		if err != nil {
+			return err
+		}
+		imp.QModel = qmf.Quant
+	}
+	p.impulse = imp
+	return nil
+}

@@ -1,0 +1,131 @@
+package project
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/synth"
+	"edgepulse/internal/trainer"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	owner, _ := r.CreateUser("owner")
+	guest, _ := r.CreateUser("guest")
+	org, _ := r.CreateOrganization("acme", owner.ID)
+	r.JoinOrganization(org.ID, guest.ID)
+	p, _ := r.CreateProject("kws", owner.ID)
+	p.AddCollaborator(guest.ID)
+	p.SetPublic(true)
+
+	// Dataset + trained impulse.
+	ds, err := synth.KWSDataset(2, 10, 8000, 0.5, 0.03, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ds.List("") {
+		clone := *s
+		clone.ID = ""
+		if _, err := p.Dataset().Add(&clone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	imp := core.New("kws")
+	imp.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+	block, _ := dsp.New("mfe", map[string]float64{"num_filters": 16, "fft_length": 128})
+	imp.DSP = block
+	imp.Classes = p.Dataset().Labels()
+	shape, _ := imp.FeatureShape()
+	model, _ := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, len(imp.Classes))
+	nn.InitWeights(model, 4)
+	imp.AttachClassifier(model)
+	if _, err := imp.Train(p.Dataset(), trainer.Config{Epochs: 4, LearningRate: 0.005, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.Quantize(p.Dataset()); err != nil {
+		t.Fatal(err)
+	}
+	p.SetImpulse(imp)
+	p.Snapshot("v1")
+
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload into a fresh registry.
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Users and auth survive.
+	if _, err := r2.Authenticate(owner.APIKey); err != nil {
+		t.Fatal("owner key lost")
+	}
+	p2, err := r2.GetProject(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Public() || !p2.CanAccess(guest.ID) || p2.HMACKey != p.HMACKey {
+		t.Error("project metadata lost")
+	}
+	if p2.Dataset().Len() != p.Dataset().Len() {
+		t.Fatalf("dataset %d != %d", p2.Dataset().Len(), p.Dataset().Len())
+	}
+	if p2.Dataset().Version() != p.Dataset().Version() {
+		t.Error("dataset version changed across save/load")
+	}
+	if len(p2.Versions()) != 1 {
+		t.Error("snapshots lost")
+	}
+	// The reloaded impulse predicts identically.
+	imp2 := p2.Impulse()
+	if imp2 == nil || imp2.Model == nil || imp2.QModel == nil {
+		t.Fatal("impulse or models lost")
+	}
+	for _, s := range p.Dataset().List(data.Testing) {
+		a, err := imp.Classify(s.Signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := imp2.Classify(s.Signal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Label != b.Label {
+			t.Fatalf("reloaded impulse diverges: %q vs %q", a.Label, b.Label)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("loaded empty directory")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "registry.json"), []byte("{bad"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Error("loaded corrupt registry")
+	}
+}
+
+func TestSaveEmptyRegistry(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.ListPublic()) != 0 {
+		t.Error("phantom projects")
+	}
+}

@@ -1,0 +1,357 @@
+// Package project implements the collaboration layer of the platform
+// (paper Sec. 3 and 6.3): users with API keys, organizations, projects
+// holding a dataset and an impulse, multi-user collaboration, project
+// versioning (snapshots of dataset version + impulse design), and public
+// projects discoverable by everyone.
+package project
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+)
+
+// User is one platform account.
+type User struct {
+	ID     string
+	Name   string
+	APIKey string
+}
+
+// Organization groups users for enterprise collaboration.
+type Organization struct {
+	ID      string
+	Name    string
+	Members map[string]bool
+}
+
+// Version is a project snapshot: the paper's answer to the ML
+// reproducibility problem — data, preprocessing, and model design
+// captured together.
+type Version struct {
+	ID int
+	// Note is the user-supplied description.
+	Note string
+	// DatasetVersion is the content hash of the dataset at snapshot time.
+	DatasetVersion string
+	// ImpulseConfig is the serialized impulse design (nil if unset).
+	ImpulseConfig json.RawMessage
+	CreatedAt     time.Time
+}
+
+// Project is one ML project.
+type Project struct {
+	ID      int
+	Name    string
+	OwnerID string
+	// HMACKey authenticates device data ingestion.
+	HMACKey string
+
+	mu            sync.RWMutex
+	collaborators map[string]bool
+	public        bool
+	dataset       *data.Dataset
+	impulse       *core.Impulse
+	versions      []Version
+}
+
+// Dataset returns the project's dataset.
+func (p *Project) Dataset() *data.Dataset { return p.dataset }
+
+// Impulse returns the configured impulse, or nil.
+func (p *Project) Impulse() *core.Impulse {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.impulse
+}
+
+// SetImpulse installs an impulse design.
+func (p *Project) SetImpulse(imp *core.Impulse) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.impulse = imp
+}
+
+// Public reports whether the project is publicly listed.
+func (p *Project) Public() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.public
+}
+
+// SetPublic toggles public visibility (paper Sec. 6.3).
+func (p *Project) SetPublic(public bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.public = public
+}
+
+// AddCollaborator grants a user access.
+func (p *Project) AddCollaborator(userID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.collaborators[userID] = true
+}
+
+// RemoveCollaborator revokes access (owners cannot be removed).
+func (p *Project) RemoveCollaborator(userID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.collaborators, userID)
+}
+
+// Collaborators lists user IDs with access (excluding the owner).
+func (p *Project) Collaborators() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.collaborators))
+	for id := range p.collaborators {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CanAccess reports whether the user may read/write the project.
+func (p *Project) CanAccess(userID string) bool {
+	if userID == p.OwnerID {
+		return true
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.collaborators[userID]
+}
+
+// Snapshot records a version of the current dataset + impulse design.
+func (p *Project) Snapshot(note string) Version {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v := Version{
+		ID:             len(p.versions) + 1,
+		Note:           note,
+		DatasetVersion: p.dataset.Version(),
+		CreatedAt:      time.Now(),
+	}
+	if p.impulse != nil {
+		if blob, err := json.Marshal(p.impulse.Config()); err == nil {
+			v.ImpulseConfig = blob
+		}
+	}
+	p.versions = append(p.versions, v)
+	return v
+}
+
+// Versions lists snapshots oldest-first.
+func (p *Project) Versions() []Version {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]Version(nil), p.versions...)
+}
+
+// Registry is the in-memory store of users, organizations and projects.
+type Registry struct {
+	mu       sync.RWMutex
+	users    map[string]*User // by ID
+	byKey    map[string]*User // by API key
+	orgs     map[string]*Organization
+	projects map[int]*Project
+	nextUser int
+	nextProj int
+	nextOrg  int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		users:    map[string]*User{},
+		byKey:    map[string]*User{},
+		orgs:     map[string]*Organization{},
+		projects: map[int]*Project{},
+	}
+}
+
+func randomKey(prefix string) string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return prefix + hex.EncodeToString(b)
+}
+
+// CreateUser registers a user and mints an API key.
+func (r *Registry) CreateUser(name string) (*User, error) {
+	if name == "" {
+		return nil, fmt.Errorf("project: user name required")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextUser++
+	u := &User{
+		ID:     fmt.Sprintf("user-%d", r.nextUser),
+		Name:   name,
+		APIKey: randomKey("ei_"),
+	}
+	r.users[u.ID] = u
+	r.byKey[u.APIKey] = u
+	return u, nil
+}
+
+// Authenticate resolves an API key to its user.
+func (r *Registry) Authenticate(apiKey string) (*User, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.byKey[apiKey]
+	if !ok {
+		return nil, fmt.Errorf("project: invalid API key")
+	}
+	return u, nil
+}
+
+// GetUser returns a user by ID.
+func (r *Registry) GetUser(id string) (*User, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.users[id]
+	if !ok {
+		return nil, fmt.Errorf("project: no user %s", id)
+	}
+	return u, nil
+}
+
+// CreateOrganization registers an organization owned by a user.
+func (r *Registry) CreateOrganization(name, ownerID string) (*Organization, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.users[ownerID]; !ok {
+		return nil, fmt.Errorf("project: no user %s", ownerID)
+	}
+	r.nextOrg++
+	org := &Organization{
+		ID:      fmt.Sprintf("org-%d", r.nextOrg),
+		Name:    name,
+		Members: map[string]bool{ownerID: true},
+	}
+	r.orgs[org.ID] = org
+	return org, nil
+}
+
+// JoinOrganization adds a member.
+func (r *Registry) JoinOrganization(orgID, userID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	org, ok := r.orgs[orgID]
+	if !ok {
+		return fmt.Errorf("project: no organization %s", orgID)
+	}
+	if _, ok := r.users[userID]; !ok {
+		return fmt.Errorf("project: no user %s", userID)
+	}
+	org.Members[userID] = true
+	return nil
+}
+
+// CreateProject makes a project owned by the user, with a fresh dataset
+// and ingestion HMAC key.
+func (r *Registry) CreateProject(name, ownerID string) (*Project, error) {
+	if name == "" {
+		return nil, fmt.Errorf("project: project name required")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.users[ownerID]; !ok {
+		return nil, fmt.Errorf("project: no user %s", ownerID)
+	}
+	r.nextProj++
+	p := &Project{
+		ID:            r.nextProj,
+		Name:          name,
+		OwnerID:       ownerID,
+		HMACKey:       randomKey("hmac_"),
+		collaborators: map[string]bool{},
+		dataset:       data.New(),
+	}
+	r.projects[p.ID] = p
+	return p, nil
+}
+
+// GetProject returns a project by ID.
+func (r *Registry) GetProject(id int) (*Project, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.projects[id]
+	if !ok {
+		return nil, fmt.Errorf("project: no project %d", id)
+	}
+	return p, nil
+}
+
+// ListAccessible returns projects a user owns or collaborates on, by ID.
+func (r *Registry) ListAccessible(userID string) []*Project {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Project
+	for _, p := range r.projects {
+		if p.CanAccess(userID) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ListPublic returns all public projects, by ID — the searchable index of
+// paper Sec. 6.3.
+func (r *Registry) ListPublic() []*Project {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Project
+	for _, p := range r.projects {
+		if p.Public() {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CloneProject copies a public project's dataset and impulse design into
+// a new project owned by the user (the "clone public project" flow).
+func (r *Registry) CloneProject(srcID int, ownerID string) (*Project, error) {
+	src, err := r.GetProject(srcID)
+	if err != nil {
+		return nil, err
+	}
+	if !src.Public() && !src.CanAccess(ownerID) {
+		return nil, fmt.Errorf("project: project %d is not public", srcID)
+	}
+	dst, err := r.CreateProject(src.Name+" (clone)", ownerID)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range src.Dataset().List("") {
+		clone := *s
+		clone.ID = ""
+		clone.Metadata = map[string]string{}
+		for k, v := range s.Metadata {
+			clone.Metadata[k] = v
+		}
+		if _, err := dst.Dataset().Add(&clone); err != nil {
+			return nil, err
+		}
+	}
+	if imp := src.Impulse(); imp != nil {
+		cloned, err := core.FromConfig(imp.Config())
+		if err != nil {
+			return nil, err
+		}
+		dst.SetImpulse(cloned)
+	}
+	return dst, nil
+}

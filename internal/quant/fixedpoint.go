@@ -1,0 +1,61 @@
+package quant
+
+import "math"
+
+// quantizeMultiplier decomposes a positive real multiplier into a Q31
+// fixed-point mantissa and a left shift (negative = right shift), the
+// representation integer-only inference kernels use for requantization.
+func quantizeMultiplier(real float64) (mult int32, shift int) {
+	if real <= 0 {
+		return 0, 0
+	}
+	frac, exp := math.Frexp(real) // real = frac * 2^exp, frac in [0.5, 1)
+	q := int64(math.Round(frac * (1 << 31)))
+	if q == 1<<31 { // rounding overflow
+		q /= 2
+		exp++
+	}
+	return int32(q), exp
+}
+
+// multiplyByQuantizedMultiplier computes round(acc * mult * 2^shift / 2^31)
+// with saturating arithmetic, matching the TFLite reference requantization.
+func multiplyByQuantizedMultiplier(acc int32, mult int32, shift int) int32 {
+	leftShift := 0
+	rightShift := 0
+	if shift > 0 {
+		leftShift = shift
+	} else {
+		rightShift = -shift
+	}
+	v := int64(acc) << leftShift
+	// Rounding doubling high multiply: round(v * mult / 2^31).
+	prod := v * int64(mult)
+	nudge := int64(1) << 30
+	if prod < 0 {
+		nudge = 1 - nudge
+	}
+	high := (prod + nudge) >> 31
+	// Rounding right shift.
+	if rightShift > 0 {
+		round := int64(1) << (rightShift - 1)
+		high = (high + round) >> rightShift
+	}
+	if high > math.MaxInt32 {
+		high = math.MaxInt32
+	}
+	if high < math.MinInt32 {
+		high = math.MinInt32
+	}
+	return int32(high)
+}
+
+func clampI32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,282 @@
+package quant
+
+import (
+	"edgepulse/internal/tensor"
+)
+
+// RunOp executes a single quantized op (used by the EON compiler to bind
+// ops into a static call plan).
+func (q *QModel) RunOp(op *QOp, in *tensor.I8) *tensor.I8 { return q.runOp(op, in) }
+
+// runOp dispatches one quantized op. All compute kernels use int32
+// accumulators over (q_in - in_zp) * q_w products, add the int32 bias,
+// requantize with the op's fixed-point multiplier, add the output zero
+// point and clamp to the fused activation range — the same dataflow as
+// CMSIS-NN / TFLM reference int8 kernels.
+func (q *QModel) runOp(op *QOp, in *tensor.I8) *tensor.I8 {
+	switch op.Kind {
+	case "dense":
+		return q.qDense(op, in)
+	case "conv2d":
+		return q.qConv2D(op, in)
+	case "depthwise_conv2d":
+		return q.qDepthwise(op, in)
+	case "conv1d":
+		return q.qConv1D(op, in)
+	case "maxpool2d":
+		return q.qMaxPool2D(op, in)
+	case "avgpool2d":
+		return q.qAvgPool2D(op, in)
+	case "maxpool1d":
+		return q.qMaxPool1D(op, in)
+	case "gap2d":
+		return q.qGAP(op, in)
+	case "flatten", "reshape":
+		return &tensor.I8{Shape: op.OutShape.Clone(), Data: in.Data, Q: in.Q}
+	default:
+		// Unknown pass-through: keep data (softmax handled by caller).
+		return in
+	}
+}
+
+// requant converts an int32 accumulator to the quantized output domain.
+func requant(op *QOp, acc int32) int8 {
+	v := multiplyByQuantizedMultiplier(acc, op.mult, op.shift) + op.OutQ.ZeroPoint
+	return int8(clampI32(v, op.ActMin, op.ActMax))
+}
+
+func (q *QModel) qDense(op *QOp, in *tensor.I8) *tensor.I8 {
+	nIn := op.InShape.Elems()
+	nOut := op.OutShape.Elems()
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	inZP := op.InQ.ZeroPoint
+	for j := 0; j < nOut; j++ {
+		acc := op.Bias[j]
+		for i := 0; i < nIn; i++ {
+			acc += (int32(in.Data[i]) - inZP) * int32(op.W[i*nOut+j])
+		}
+		out.Data[j] = requant(op, acc)
+	}
+	return out
+}
+
+func convDims(op *QOp) (kernel, stride, pad int) {
+	kernel = int(op.Attrs["kernel"])
+	stride = int(op.Attrs["stride"])
+	if stride < 1 {
+		stride = 1
+	}
+	pad = int(op.Attrs["padding"]) // 0 = valid, 1 = same
+	return kernel, stride, pad
+}
+
+// samePad computes the leading pad for Same padding.
+func samePad(in, kernel, stride, outDim int) int {
+	total := (outDim-1)*stride + kernel - in
+	if total < 0 {
+		total = 0
+	}
+	return total / 2
+}
+
+func (q *QModel) qConv2D(op *QOp, in *tensor.I8) *tensor.I8 {
+	h, w, cin := op.InShape[0], op.InShape[1], op.InShape[2]
+	oh, ow, filters := op.OutShape[0], op.OutShape[1], op.OutShape[2]
+	kernel, stride, pad := convDims(op)
+	py, px := 0, 0
+	if pad == 1 {
+		py = samePad(h, kernel, stride, oh)
+		px = samePad(w, kernel, stride, ow)
+	}
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	inZP := op.InQ.ZeroPoint
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for f := 0; f < filters; f++ {
+				acc := op.Bias[f]
+				for ky := 0; ky < kernel; ky++ {
+					iy := oy*stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kernel; kx++ {
+						ix := ox*stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inBase := (iy*w + ix) * cin
+						wBase := (ky*kernel + kx) * cin * filters
+						for ci := 0; ci < cin; ci++ {
+							acc += (int32(in.Data[inBase+ci]) - inZP) * int32(op.W[wBase+ci*filters+f])
+						}
+					}
+				}
+				out.Data[(oy*ow+ox)*filters+f] = requant(op, acc)
+			}
+		}
+	}
+	return out
+}
+
+func (q *QModel) qDepthwise(op *QOp, in *tensor.I8) *tensor.I8 {
+	h, w, ch := op.InShape[0], op.InShape[1], op.InShape[2]
+	oh, ow := op.OutShape[0], op.OutShape[1]
+	kernel, stride, pad := convDims(op)
+	py, px := 0, 0
+	if pad == 1 {
+		py = samePad(h, kernel, stride, oh)
+		px = samePad(w, kernel, stride, ow)
+	}
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	inZP := op.InQ.ZeroPoint
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < ch; c++ {
+				acc := op.Bias[c]
+				for ky := 0; ky < kernel; ky++ {
+					iy := oy*stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < kernel; kx++ {
+						ix := ox*stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						acc += (int32(in.Data[(iy*w+ix)*ch+c]) - inZP) * int32(op.W[(ky*kernel+kx)*ch+c])
+					}
+				}
+				out.Data[(oy*ow+ox)*ch+c] = requant(op, acc)
+			}
+		}
+	}
+	return out
+}
+
+func (q *QModel) qConv1D(op *QOp, in *tensor.I8) *tensor.I8 {
+	t, cin := op.InShape[0], op.InShape[1]
+	ot, filters := op.OutShape[0], op.OutShape[1]
+	kernel, stride, pad := convDims(op)
+	p := 0
+	if pad == 1 {
+		p = samePad(t, kernel, stride, ot)
+	}
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	inZP := op.InQ.ZeroPoint
+	for o := 0; o < ot; o++ {
+		for f := 0; f < filters; f++ {
+			acc := op.Bias[f]
+			for k := 0; k < kernel; k++ {
+				i := o*stride + k - p
+				if i < 0 || i >= t {
+					continue
+				}
+				inBase := i * cin
+				wBase := k * cin * filters
+				for ci := 0; ci < cin; ci++ {
+					acc += (int32(in.Data[inBase+ci]) - inZP) * int32(op.W[wBase+ci*filters+f])
+				}
+			}
+			out.Data[o*filters+f] = requant(op, acc)
+		}
+	}
+	return out
+}
+
+func poolDims(op *QOp) (size, stride int) {
+	size = int(op.Attrs["size"])
+	stride = int(op.Attrs["stride"])
+	if stride < 1 {
+		stride = size
+	}
+	return size, stride
+}
+
+func (q *QModel) qMaxPool2D(op *QOp, in *tensor.I8) *tensor.I8 {
+	h, w, ch := op.InShape[0], op.InShape[1], op.InShape[2]
+	oh, ow := op.OutShape[0], op.OutShape[1]
+	size, stride := poolDims(op)
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < ch; c++ {
+				best := int8(-128)
+				for ky := 0; ky < size; ky++ {
+					for kx := 0; kx < size; kx++ {
+						v := in.Data[((oy*stride+ky)*w+(ox*stride+kx))*ch+c]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(oy*ow+ox)*ch+c] = best
+			}
+		}
+	}
+	_ = h
+	return out
+}
+
+func (q *QModel) qAvgPool2D(op *QOp, in *tensor.I8) *tensor.I8 {
+	w, ch := op.InShape[1], op.InShape[2]
+	oh, ow := op.OutShape[0], op.OutShape[1]
+	size, stride := poolDims(op)
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	n := int32(size * size)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < ch; c++ {
+				var acc int32
+				for ky := 0; ky < size; ky++ {
+					for kx := 0; kx < size; kx++ {
+						acc += int32(in.Data[((oy*stride+ky)*w+(ox*stride+kx))*ch+c])
+					}
+				}
+				out.Data[(oy*ow+ox)*ch+c] = int8(clampI32(roundDiv(acc, n), -128, 127))
+			}
+		}
+	}
+	return out
+}
+
+func (q *QModel) qMaxPool1D(op *QOp, in *tensor.I8) *tensor.I8 {
+	ch := op.InShape[1]
+	ot := op.OutShape[0]
+	size, stride := poolDims(op)
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	for o := 0; o < ot; o++ {
+		for c := 0; c < ch; c++ {
+			best := int8(-128)
+			for k := 0; k < size; k++ {
+				v := in.Data[(o*stride+k)*ch+c]
+				if v > best {
+					best = v
+				}
+			}
+			out.Data[o*ch+c] = best
+		}
+	}
+	return out
+}
+
+func (q *QModel) qGAP(op *QOp, in *tensor.I8) *tensor.I8 {
+	h, w, ch := op.InShape[0], op.InShape[1], op.InShape[2]
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	n := int32(h * w)
+	for c := 0; c < ch; c++ {
+		var acc int32
+		for i := 0; i < h*w; i++ {
+			acc += int32(in.Data[i*ch+c])
+		}
+		out.Data[c] = int8(clampI32(roundDiv(acc, n), -128, 127))
+	}
+	return out
+}
+
+// roundDiv divides with round-half-away-from-zero semantics.
+func roundDiv(a, b int32) int32 {
+	if a >= 0 {
+		return (a + b/2) / b
+	}
+	return (a - b/2) / b
+}

@@ -1,0 +1,266 @@
+// Package quant implements full int8 post-training quantization (paper
+// Sec. 4.5): weight and activation quantization with a representative
+// calibration dataset, integer-only inference kernels with fixed-point
+// requantization, and operator fusion (batchnorm folding).
+//
+// The produced QModel mirrors TFLite int8 semantics: symmetric int8
+// weights, asymmetric int8 activations, int32 bias and accumulators.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"edgepulse/internal/nn"
+	"edgepulse/internal/tensor"
+)
+
+// QOp is one quantized operation.
+type QOp struct {
+	// Kind matches the float op kinds ("conv2d", "dense", ...).
+	Kind string
+	// InShape and OutShape are the activation shapes.
+	InShape, OutShape tensor.Shape
+	// W holds symmetric int8 weights (layout identical to the float op).
+	W []int8
+	// WScale is the weight scale (zero point 0).
+	WScale float32
+	// Bias holds int32 biases at scale InQ.Scale*WScale.
+	Bias []int32
+	// InQ and OutQ are the activation quantization parameters.
+	InQ, OutQ tensor.QParams
+	// Attrs carries layer hyperparameters (kernel, stride, ...).
+	Attrs map[string]float64
+	// MACs is the multiply-accumulate count of one invocation.
+	MACs int64
+	// ActMin and ActMax clamp the quantized output (fused activation).
+	ActMin, ActMax int32
+
+	mult  int32
+	shift int
+}
+
+// WeightBytes returns the flash footprint of this op's parameters.
+func (o *QOp) WeightBytes() int64 {
+	return int64(len(o.W)) + int64(len(o.Bias))*4
+}
+
+// Rebind recomputes the fixed-point requantization parameters from the
+// op's scales. It must be called after constructing a QOp from its
+// serialized fields (the multiplier itself is not persisted).
+func (o *QOp) Rebind() {
+	if len(o.W) == 0 {
+		return
+	}
+	o.mult, o.shift = quantizeMultiplier(
+		float64(o.InQ.Scale) * float64(o.WScale) / float64(o.OutQ.Scale))
+}
+
+// QModel is a quantized model: an int8 op pipeline plus input/output
+// quantization parameters. The final softmax runs in float, as TFLM does
+// for its reference int8 kernels' output head.
+type QModel struct {
+	InputShape tensor.Shape
+	InQ        tensor.QParams
+	Ops        []*QOp
+	NumClasses int
+}
+
+// Forward quantizes the float input, runs the int8 pipeline, and returns
+// float class probabilities.
+func (q *QModel) Forward(in *tensor.F32) *tensor.F32 {
+	x := tensor.QuantizeF32(in, q.InQ)
+	var probs *tensor.F32
+	for _, op := range q.Ops {
+		if op.Kind == "softmax" {
+			probs = softmaxFloat(x)
+			break
+		}
+		x = q.runOp(op, x)
+	}
+	if probs == nil {
+		probs = x.Dequantize()
+	}
+	return probs
+}
+
+// WeightBytes returns the total parameter flash footprint.
+func (q *QModel) WeightBytes() int64 {
+	var n int64
+	for _, op := range q.Ops {
+		n += op.WeightBytes()
+	}
+	return n
+}
+
+// MACs returns the total multiply-accumulate count of one inference.
+func (q *QModel) MACs() int64 {
+	var n int64
+	for _, op := range q.Ops {
+		n += op.MACs
+	}
+	return n
+}
+
+func softmaxFloat(x *tensor.I8) *tensor.F32 {
+	logits := x.Dequantize()
+	out := tensor.NewF32(logits.Shape...)
+	max := logits.Data[0]
+	for _, v := range logits.Data {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits.Data {
+		e := math.Exp(float64(v - max))
+		out.Data[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out.Data {
+		out.Data[i] *= inv
+	}
+	return out
+}
+
+// Quantize converts a trained float model to int8 using the calibration
+// set to determine activation ranges. BatchNorm layers are folded first;
+// Dropout layers are dropped (inference no-ops).
+func Quantize(m *nn.Model, calibration []*tensor.F32) (*QModel, error) {
+	if len(calibration) == 0 {
+		return nil, fmt.Errorf("quant: calibration set is empty")
+	}
+	folded, err := FoldBatchNorm(m)
+	if err != nil {
+		return nil, err
+	}
+	// Drop inference no-ops.
+	var layers []nn.Layer
+	for _, l := range folded.Layers {
+		if _, isDrop := l.(*nn.Dropout); isDrop {
+			continue
+		}
+		layers = append(layers, l)
+	}
+	folded.Layers = layers
+
+	// Calibration: record min/max at every activation boundary.
+	nBounds := len(folded.Layers) + 1
+	lo := make([]float32, nBounds)
+	hi := make([]float32, nBounds)
+	for i := range lo {
+		lo[i] = float32(math.Inf(1))
+		hi[i] = float32(math.Inf(-1))
+	}
+	observe := func(b int, t *tensor.F32) {
+		l, h := t.MinMax()
+		if l < lo[b] {
+			lo[b] = l
+		}
+		if h > hi[b] {
+			hi[b] = h
+		}
+	}
+	for _, sample := range calibration {
+		if !sample.Shape.Equal(folded.InputShape) {
+			return nil, fmt.Errorf("quant: calibration sample shape %v != input %v", sample.Shape, folded.InputShape)
+		}
+		observe(0, sample)
+		x := sample
+		for i, l := range folded.Layers {
+			x = l.Forward(x)
+			observe(i+1, x)
+		}
+	}
+	qparams := make([]tensor.QParams, nBounds)
+	for i := range qparams {
+		qparams[i] = tensor.ChooseQParams(lo[i], hi[i])
+	}
+
+	specs, err := folded.Spec()
+	if err != nil {
+		return nil, err
+	}
+	qm := &QModel{
+		InputShape: folded.InputShape.Clone(),
+		InQ:        qparams[0],
+		NumClasses: m.NumClasses,
+	}
+	for i, l := range folded.Layers {
+		op := &QOp{
+			Kind:     l.Kind(),
+			InShape:  specs[i].InShape,
+			OutShape: specs[i].OutShape,
+			InQ:      qparams[i],
+			OutQ:     qparams[i+1],
+			Attrs:    specs[i].Attrs,
+			MACs:     specs[i].MACs,
+			ActMin:   -128,
+			ActMax:   127,
+		}
+		if err := quantizeLayer(op, l); err != nil {
+			return nil, err
+		}
+		qm.Ops = append(qm.Ops, op)
+	}
+	return qm, nil
+}
+
+// quantizeLayer fills op with quantized weights for compute layers and
+// adjusts pass-through ops.
+func quantizeLayer(op *QOp, l nn.Layer) error {
+	var w, b *tensor.F32
+	var act nn.Activation
+	switch v := l.(type) {
+	case *nn.Dense:
+		w, b, act = v.W, v.B, v.Act
+	case *nn.Conv2D:
+		w, b, act = v.W, v.B, v.Act
+	case *nn.DepthwiseConv2D:
+		w, b, act = v.W, v.B, v.Act
+	case *nn.Conv1D:
+		w, b, act = v.W, v.B, v.Act
+	case *nn.MaxPool2D, *nn.AvgPool2D, *nn.MaxPool1D, *nn.GlobalAvgPool2D,
+		*nn.Flatten, *nn.Reshape, *nn.Softmax:
+		// Pass-through ops: pooling reuses the input qparams so maxima
+		// and averages stay exact in the quantized domain.
+		if op.Kind != "softmax" {
+			op.OutQ = op.InQ
+		}
+		return nil
+	default:
+		return fmt.Errorf("quant: unsupported layer %s", l.Kind())
+	}
+	if act == nn.Sigmoid {
+		return fmt.Errorf("quant: fused sigmoid is not supported in int8 (layer %s)", l.Kind())
+	}
+	// Symmetric weight quantization.
+	absMax := w.AbsMax()
+	if absMax == 0 {
+		absMax = 1e-8
+	}
+	op.WScale = absMax / 127
+	op.W = make([]int8, len(w.Data))
+	for i, v := range w.Data {
+		q := int32(math.Round(float64(v) / float64(op.WScale)))
+		op.W[i] = int8(clampI32(q, -127, 127))
+	}
+	// Bias at accumulator scale.
+	biasScale := float64(op.InQ.Scale) * float64(op.WScale)
+	op.Bias = make([]int32, len(b.Data))
+	for i, v := range b.Data {
+		op.Bias[i] = int32(math.Round(float64(v) / biasScale))
+	}
+	// Requantization multiplier.
+	op.mult, op.shift = quantizeMultiplier(biasScale / float64(op.OutQ.Scale))
+	// Fused activation clamps in the quantized output domain.
+	switch act {
+	case nn.ReLU:
+		op.ActMin = clampI32(op.OutQ.ZeroPoint, -128, 127)
+	case nn.ReLU6:
+		op.ActMin = clampI32(op.OutQ.ZeroPoint, -128, 127)
+		op.ActMax = int32(op.OutQ.Quantize(6))
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+// Package report renders the tables and figures of the paper's
+// evaluation as aligned text: plain tables (Tables 1-5), block-diagram
+// dataflows (Fig. 2) and stacked horizontal bar charts (Fig. 3).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddSeparator appends a horizontal rule row.
+func (t *Table) AddSeparator() {
+	t.rows = append(t.rows, nil)
+}
+
+// Render returns the aligned table text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total >= 2 {
+		total -= 2 // no trailing column gap
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		if row == nil {
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteString("\n")
+			continue
+		}
+		line(row)
+	}
+	return b.String()
+}
+
+// Ms formats a millisecond value like the paper ("-" for missing).
+func Ms(v float64, fits bool) string {
+	if !fits {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// KB formats a byte count in kilobytes with one decimal.
+func KB(bytes int64) string {
+	return fmt.Sprintf("%.1f", float64(bytes)/1024)
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string {
+	return fmt.Sprintf("%.0f%%", v*100)
+}
+
+// Segment is one portion of a stacked bar.
+type Segment struct {
+	Label string
+	Value float64
+}
+
+// StackedBar renders one stacked horizontal bar scaled to width columns,
+// e.g. "DSP=====NN=========== 123ms" — the Fig. 3 latency/RAM/flash view.
+func StackedBar(segments []Segment, total float64, width int, unit string) string {
+	if width <= 0 {
+		width = 40
+	}
+	var sum float64
+	for _, s := range segments {
+		sum += s.Value
+	}
+	if total <= 0 {
+		total = sum
+	}
+	var b strings.Builder
+	used := 0
+	runes := []byte{'=', '#', '+', '~', '*'}
+	for i, s := range segments {
+		n := 0
+		if total > 0 {
+			n = int(s.Value / total * float64(width))
+		}
+		if n == 0 && s.Value > 0 {
+			n = 1
+		}
+		used += n
+		ch := runes[i%len(runes)]
+		b.WriteString(strings.Repeat(string(ch), n))
+	}
+	if used < width {
+		b.WriteString(strings.Repeat(".", width-used))
+	}
+	fmt.Fprintf(&b, " %.0f%s", sum, unit)
+	return b.String()
+}
+
+// Diagram renders a left-to-right block diagram, the Fig. 2 dataflow:
+//
+//	+------------+    +------+    +----------------+
+//	| Time series| -> | MFCC | -> | Classification |
+//	+------------+    +------+    +----------------+
+func Diagram(blocks ...string) string {
+	tops := make([]string, len(blocks))
+	mids := make([]string, len(blocks))
+	for i, blk := range blocks {
+		w := len(blk) + 2
+		tops[i] = "+" + strings.Repeat("-", w) + "+"
+		mids[i] = "| " + blk + " |"
+	}
+	join := func(parts []string, sep string) string {
+		return strings.Join(parts, sep)
+	}
+	var b strings.Builder
+	b.WriteString(join(tops, "    "))
+	b.WriteString("\n")
+	b.WriteString(join(mids, " -> "))
+	b.WriteString("\n")
+	b.WriteString(join(tops, "    "))
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Support levels for the Table 5 feature-comparison matrix.
+const (
+	Full    = "Y"
+	Partial = "~"
+	None    = "N"
+)
+
+// PlatformFeatures is one row of the paper's Table 5.
+type PlatformFeatures struct {
+	Name       string
+	DataColl   string // data collection & analysis
+	DSPModel   string // DSP & model design
+	Embedded   string // embedded deployment
+	AutoML     string // AutoML & active learning
+	Monitoring string // IoT management & monitoring
+}
+
+// Table5Data reproduces the paper's MLOps platform comparison.
+func Table5Data() []PlatformFeatures {
+	return []PlatformFeatures{
+		{"Edge Impulse (this work)", Full, Full, Full, Full, Partial},
+		{"Amazon SageMaker", Partial, Partial, Full, Full, Partial},
+		{"Google VertexAI", Partial, Full, Full, Full, Partial},
+		{"Azure ML & IoT", Partial, Partial, Full, Full, Full},
+		{"Neuton AI", Full, Partial, Full, Full, Partial},
+		{"Latent AI", None, Partial, Full, None, None},
+		{"NanoEdge", Partial, Full, Full, Full, Partial},
+		{"Imagimob", Full, Full, Full, Partial, None},
+	}
+}

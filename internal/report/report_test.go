@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := NewTable("Title", "A", "LongHeader", "C")
+	tbl.AddRow("1", "2", "3")
+	tbl.AddRow("wide-cell", "x")
+	tbl.AddSeparator()
+	tbl.AddRow("z", "z", "z")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows + separator + 1 row = 7 lines.
+	if len(lines) != 7 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line %q", lines[0])
+	}
+	// All data lines equal width (padded).
+	w := len(lines[1])
+	for i, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > w {
+			t.Errorf("line %d wider than header: %q", i, l)
+		}
+	}
+	// Short row padded with empty cell, not truncated.
+	if !strings.Contains(out, "wide-cell") {
+		t.Error("cell lost")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(12.345, true) != "12.35" && Ms(12.345, true) != "12.34" {
+		t.Errorf("Ms = %q", Ms(12.345, true))
+	}
+	if Ms(12.345, false) != "-" {
+		t.Error("Ms should render '-' for non-fitting")
+	}
+	if KB(2048) != "2.0" {
+		t.Errorf("KB = %q", KB(2048))
+	}
+	if Pct(0.785) != "78%" && Pct(0.785) != "79%" {
+		t.Errorf("Pct = %q", Pct(0.785))
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	bar := StackedBar([]Segment{{"a", 30}, {"b", 10}}, 40, 40, "ms")
+	if !strings.HasSuffix(bar, "40ms") {
+		t.Errorf("bar = %q", bar)
+	}
+	// 30/40 of 40 cols = 30 '='; 10/40 = 10 '#'.
+	if strings.Count(bar, "=") != 30 || strings.Count(bar, "#") != 10 {
+		t.Errorf("bar segments: %q", bar)
+	}
+	// Zero-width segments with value > 0 get at least one column.
+	bar = StackedBar([]Segment{{"a", 0.1}, {"b", 100}}, 100, 20, "kB")
+	if !strings.Contains(bar, "=") {
+		t.Errorf("tiny segment invisible: %q", bar)
+	}
+	// Under-full bars padded with dots.
+	bar = StackedBar([]Segment{{"a", 10}}, 100, 20, "x")
+	if !strings.Contains(bar, ".") {
+		t.Errorf("no padding: %q", bar)
+	}
+	// Defaults: width<=0, total<=0.
+	bar = StackedBar([]Segment{{"a", 5}}, 0, 0, "u")
+	if len(bar) == 0 {
+		t.Error("empty default bar")
+	}
+}
+
+func TestDiagram(t *testing.T) {
+	d := Diagram("Input", "MFCC", "NN")
+	lines := strings.Split(strings.TrimRight(d, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("diagram lines: %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "| Input | -> | MFCC | -> | NN |") {
+		t.Errorf("middle line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "+---") {
+		t.Errorf("top border: %q", lines[0])
+	}
+}
+
+func TestTable5Data(t *testing.T) {
+	rows := Table5Data()
+	if len(rows) != 8 {
+		t.Fatalf("%d platforms", len(rows))
+	}
+	if rows[0].Name != "Edge Impulse (this work)" {
+		t.Error("first row should be Edge Impulse")
+	}
+	// Edge Impulse is the only row with full support in the first four
+	// categories (the paper's claim).
+	for i, r := range rows {
+		full := r.DataColl == Full && r.DSPModel == Full && r.Embedded == Full && r.AutoML == Full
+		if i == 0 && !full {
+			t.Error("Edge Impulse row lost full support")
+		}
+		if i > 0 && full {
+			t.Errorf("%s matches Edge Impulse across all four categories", r.Name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one sample in the data-explorer view: a 2-D embedding
+// projection with its (possibly empty) label.
+type Point struct {
+	X, Y  float64
+	Label string
+}
+
+// Scatter renders the active-learning data explorer (paper Sec. 4.8): a
+// character scatter plot of embedding projections where each class gets
+// a letter and unlabeled points render as '?'. Labeled clusters and the
+// unlabeled points near them become visually apparent, which is the tool's
+// whole purpose.
+func Scatter(points []Point, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if len(points) == 0 {
+		return "(no points)\n"
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Assign letters to labels, '?' to unlabeled.
+	labels := map[string]byte{}
+	var names []string
+	for _, p := range points {
+		if p.Label == "" {
+			continue
+		}
+		if _, ok := labels[p.Label]; !ok {
+			names = append(names, p.Label)
+		}
+		labels[p.Label] = 0
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		labels[n] = byte('A' + i%26)
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		row := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+		ch := byte('?')
+		if p.Label != "" {
+			ch = labels[p.Label]
+		}
+		// Labeled points take precedence over unlabeled overlaps.
+		if grid[row][col] == ' ' || grid[row][col] == '?' {
+			grid[row][col] = ch
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Data explorer (" + fmt.Sprint(len(points)) + " samples):\n")
+	for r := height - 1; r >= 0; r-- {
+		b.WriteString("| ")
+		b.Write(grid[r])
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width+1) + "\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %c = %s", labels[n], n)
+	}
+	if len(names) > 0 {
+		b.WriteString("   ? = unlabeled\n")
+	}
+	return b.String()
+}

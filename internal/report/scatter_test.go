@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterRendersClustersAndLegend(t *testing.T) {
+	var points []Point
+	for i := 0; i < 10; i++ {
+		points = append(points, Point{X: float64(i) * 0.1, Y: 0, Label: "cat"})
+		points = append(points, Point{X: 10 + float64(i)*0.1, Y: 10, Label: "dog"})
+	}
+	points = append(points, Point{X: 5, Y: 5}) // unlabeled
+	out := Scatter(points, 40, 10)
+	if !strings.Contains(out, "A = cat") || !strings.Contains(out, "B = dog") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "?") {
+		t.Errorf("unlabeled point missing:\n%s", out)
+	}
+	// Clusters land in opposite corners: 'A' near bottom-left, 'B' near
+	// top-right.
+	lines := strings.Split(out, "\n")
+	var aLine, bLine int
+	for i, l := range lines {
+		if strings.Contains(l, "A") && aLine == 0 && strings.HasPrefix(l, "|") {
+			aLine = i
+		}
+		if strings.Contains(l, "B") && bLine == 0 && strings.HasPrefix(l, "|") {
+			bLine = i
+		}
+	}
+	if bLine >= aLine {
+		t.Errorf("cluster B (y=10) should render above cluster A (y=0): a@%d b@%d\n%s", aLine, bLine, out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if !strings.Contains(Scatter(nil, 10, 5), "no points") {
+		t.Error("empty scatter")
+	}
+	// Identical points must not divide by zero.
+	out := Scatter([]Point{{X: 1, Y: 1, Label: "x"}, {X: 1, Y: 1, Label: "x"}}, 10, 5)
+	if !strings.Contains(out, "X = x") && !strings.Contains(out, "A = x") {
+		t.Errorf("degenerate scatter:\n%s", out)
+	}
+	// Defaults.
+	out = Scatter([]Point{{X: 0, Y: 0, Label: "a"}}, 0, 0)
+	if len(out) == 0 {
+		t.Error("default-size scatter empty")
+	}
+}

@@ -1,0 +1,150 @@
+// Package sdk is the inferencing SDK (paper Sec. 4.6): the runtime a
+// deployed application links against. It wraps an impulse with the
+// run_classifier entry point, per-stage timing (the measurements Table 2
+// reports), and continuous classification over streaming signals with
+// result smoothing — the same surface the platform's C++ SDK exposes.
+package sdk
+
+import (
+	"fmt"
+	"time"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/dsp"
+)
+
+// Timing reports where one classification spent its time, mirroring the
+// SDK's on-device timers.
+type Timing struct {
+	// DSP is the feature extraction duration.
+	DSP time.Duration
+	// Classification is the NN inference duration.
+	Classification time.Duration
+	// Total covers the whole run_classifier call.
+	Total time.Duration
+}
+
+// Result is one classification with timing.
+type Result struct {
+	// Label is the argmax class.
+	Label string
+	// Scores maps classes to probabilities.
+	Scores map[string]float32
+	// AnomalyScore is set when the impulse has an anomaly block.
+	AnomalyScore float64
+	// Timing reports per-stage durations.
+	Timing Timing
+	// WindowStart is the window's offset in samples for continuous runs.
+	WindowStart int
+}
+
+// Classifier is an initialized inference engine for one impulse.
+type Classifier struct {
+	imp *core.Impulse
+	// UseQuantized selects the int8 model when available.
+	UseQuantized bool
+}
+
+// NewClassifier wraps a designed impulse. The impulse must have a trained
+// learn block.
+func NewClassifier(imp *core.Impulse) (*Classifier, error) {
+	if err := imp.Validate(); err != nil {
+		return nil, err
+	}
+	if imp.Model == nil && imp.Anomaly == nil {
+		return nil, fmt.Errorf("sdk: impulse has no trained learn block")
+	}
+	return &Classifier{imp: imp}, nil
+}
+
+// RunClassifier executes DSP + inference on one window of raw signal,
+// timing each stage — the SDK's main entry point.
+func (c *Classifier) RunClassifier(sig dsp.Signal) (Result, error) {
+	t0 := time.Now()
+	x, err := c.imp.Features(sig)
+	if err != nil {
+		return Result{}, err
+	}
+	tDSP := time.Since(t0)
+
+	t1 := time.Now()
+	res := Result{Scores: map[string]float32{}}
+	switch {
+	case c.UseQuantized && c.imp.QModel != nil:
+		probs := c.imp.QModel.Forward(x)
+		fillScores(&res, c.imp.Classes, probs.Data)
+	case c.imp.Model != nil:
+		probs := c.imp.Model.Forward(x)
+		fillScores(&res, c.imp.Classes, probs.Data)
+	}
+	if c.imp.Anomaly != nil {
+		res.AnomalyScore = c.imp.Anomaly.Score(x.Data)
+	}
+	tNN := time.Since(t1)
+
+	res.Timing = Timing{DSP: tDSP, Classification: tNN, Total: time.Since(t0)}
+	return res, nil
+}
+
+func fillScores(res *Result, classes []string, probs []float32) {
+	best := 0
+	for i := range probs {
+		if probs[i] > probs[best] {
+			best = i
+		}
+	}
+	for i, cl := range classes {
+		if i < len(probs) {
+			res.Scores[cl] = probs[i]
+		}
+	}
+	if best < len(classes) {
+		res.Label = classes[best]
+	}
+}
+
+// RunContinuous slides the impulse's window over a long signal and
+// classifies every position, smoothing scores with a moving-average
+// filter of length maf (1 disables smoothing) — the SDK's continuous
+// classification mode for streaming audio/sensor data.
+func (c *Classifier) RunContinuous(stream dsp.Signal, maf int) ([]Result, error) {
+	if maf < 1 {
+		maf = 1
+	}
+	wins := c.imp.Windows(stream)
+	results := make([]Result, 0, len(wins))
+	history := map[string][]float32{}
+	stride := c.imp.Input.StrideSamples()
+	for i, w := range wins {
+		r, err := c.RunClassifier(w)
+		if err != nil {
+			return nil, err
+		}
+		r.WindowStart = i * stride
+		// Moving average over the last maf windows, per class.
+		for cl, s := range r.Scores {
+			h := append(history[cl], s)
+			if len(h) > maf {
+				h = h[len(h)-maf:]
+			}
+			history[cl] = h
+			var sum float32
+			for _, v := range h {
+				sum += v
+			}
+			r.Scores[cl] = sum / float32(len(h))
+		}
+		// Recompute label after smoothing.
+		bestLabel, bestScore := "", float32(-1)
+		for cl, s := range r.Scores {
+			if s > bestScore {
+				bestLabel, bestScore = cl, s
+			}
+		}
+		if bestLabel != "" {
+			r.Label = bestLabel
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}

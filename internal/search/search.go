@@ -1,0 +1,218 @@
+// Package search implements the hyperparameter search strategies behind
+// the EON Tuner (paper Sec. 4.7): the random search it ships with, plus
+// the Hyperband successive-halving and surrogate-guided strategies the
+// paper lists as future work — implemented here as extensions. Users can
+// override the default algorithm, matching the platform's "bring your
+// own search method" hook.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Objective evaluates one candidate with a training budget (e.g. epochs)
+// and returns a score where higher is better.
+type Objective func(candidate, budget int) (float64, error)
+
+// Result is one evaluated candidate.
+type Result struct {
+	// Candidate is the index into the search space.
+	Candidate int
+	// Score is the objective value at the largest budget evaluated.
+	Score float64
+	// Budget is the largest budget this candidate received.
+	Budget int
+}
+
+// sortResults orders by descending score.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Score > rs[j].Score })
+}
+
+// Random evaluates `evals` candidates sampled uniformly without
+// replacement at a fixed budget — the EON Tuner's default strategy
+// (random search, Bergstra et al.).
+func Random(nCandidates, evals, budget int, seed int64, obj Objective) ([]Result, error) {
+	if nCandidates <= 0 {
+		return nil, fmt.Errorf("search: empty candidate space")
+	}
+	if evals > nCandidates {
+		evals = nCandidates
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(nCandidates)[:evals]
+	results := make([]Result, 0, evals)
+	for _, c := range perm {
+		score, err := obj(c, budget)
+		if err != nil {
+			return nil, fmt.Errorf("search: candidate %d: %w", c, err)
+		}
+		results = append(results, Result{Candidate: c, Score: score, Budget: budget})
+	}
+	sortResults(results)
+	return results, nil
+}
+
+// Hyperband runs successive halving (a single Hyperband bracket with
+// eta=3 aggressiveness): many candidates at a small budget, keeping the
+// top 1/eta at each rung until maxBudget — the bandit-based strategy of
+// Li et al. that the paper cites as a planned improvement.
+func Hyperband(nCandidates, maxBudget int, seed int64, obj Objective) ([]Result, error) {
+	if nCandidates <= 0 {
+		return nil, fmt.Errorf("search: empty candidate space")
+	}
+	const eta = 3
+	rng := rand.New(rand.NewSource(seed))
+	// Initial rung: all candidates (or a sample if huge) at budget
+	// maxBudget / eta^rungs.
+	rungs := int(math.Floor(math.Log(float64(nCandidates)) / math.Log(eta)))
+	if rungs < 1 {
+		rungs = 1
+	}
+	budget := maxBudget
+	for i := 0; i < rungs; i++ {
+		budget /= eta
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	alive := rng.Perm(nCandidates)
+	final := []Result{}
+	for {
+		results := make([]Result, 0, len(alive))
+		for _, c := range alive {
+			score, err := obj(c, budget)
+			if err != nil {
+				return nil, fmt.Errorf("search: candidate %d at budget %d: %w", c, budget, err)
+			}
+			results = append(results, Result{Candidate: c, Score: score, Budget: budget})
+		}
+		sortResults(results)
+		if budget >= maxBudget || len(results) == 1 {
+			final = results
+			break
+		}
+		keep := len(results) / eta
+		if keep < 1 {
+			keep = 1
+		}
+		alive = alive[:0]
+		for _, r := range results[:keep] {
+			alive = append(alive, r.Candidate)
+		}
+		budget *= eta
+		if budget > maxBudget {
+			budget = maxBudget
+		}
+	}
+	return final, nil
+}
+
+// Surrogate runs a simple model-guided search: after a random warm-up it
+// fits a nearest-neighbour surrogate over a user-provided feature vector
+// per candidate and preferentially evaluates candidates whose neighbours
+// scored well (exploitation) with ε-greedy exploration.
+func Surrogate(features [][]float64, evals, budget int, seed int64, obj Objective) ([]Result, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, fmt.Errorf("search: empty candidate space")
+	}
+	if evals > n {
+		evals = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	evaluated := map[int]float64{}
+	var results []Result
+	evalOne := func(c int) error {
+		score, err := obj(c, budget)
+		if err != nil {
+			return err
+		}
+		evaluated[c] = score
+		results = append(results, Result{Candidate: c, Score: score, Budget: budget})
+		return nil
+	}
+	// Warm-up: a third of the budget at random.
+	warm := evals / 3
+	if warm < 1 {
+		warm = 1
+	}
+	for _, c := range rng.Perm(n)[:warm] {
+		if err := evalOne(c); err != nil {
+			return nil, err
+		}
+	}
+	// Guided phase.
+	for len(evaluated) < evals {
+		var pick int
+		if rng.Float64() < 0.2 {
+			pick = randomUnevaluated(rng, n, evaluated)
+		} else {
+			pick = bestPredicted(features, evaluated)
+			if pick < 0 {
+				pick = randomUnevaluated(rng, n, evaluated)
+			}
+		}
+		if err := evalOne(pick); err != nil {
+			return nil, err
+		}
+	}
+	sortResults(results)
+	return results, nil
+}
+
+func randomUnevaluated(rng *rand.Rand, n int, evaluated map[int]float64) int {
+	for {
+		c := rng.Intn(n)
+		if _, done := evaluated[c]; !done {
+			return c
+		}
+	}
+}
+
+// bestPredicted returns the unevaluated candidate with the highest
+// 3-NN-predicted score, or -1 if nothing can be predicted.
+func bestPredicted(features [][]float64, evaluated map[int]float64) int {
+	best, bestScore := -1, math.Inf(-1)
+	for c := range features {
+		if _, done := evaluated[c]; done {
+			continue
+		}
+		pred := knnPredict(features, evaluated, c, 3)
+		if pred > bestScore {
+			best, bestScore = c, pred
+		}
+	}
+	return best
+}
+
+func knnPredict(features [][]float64, evaluated map[int]float64, c, k int) float64 {
+	type neighbour struct {
+		d     float64
+		score float64
+	}
+	var ns []neighbour
+	for e, score := range evaluated {
+		var d float64
+		for j := range features[c] {
+			diff := features[c][j] - features[e][j]
+			d += diff * diff
+		}
+		ns = append(ns, neighbour{d, score})
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].d < ns[j].d })
+	if len(ns) > k {
+		ns = ns[:k]
+	}
+	var sum float64
+	for _, n := range ns {
+		sum += n.score
+	}
+	if len(ns) == 0 {
+		return math.Inf(-1)
+	}
+	return sum / float64(len(ns))
+}

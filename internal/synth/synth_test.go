@@ -1,0 +1,228 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgepulse/internal/data"
+)
+
+func TestKWSLabels(t *testing.T) {
+	if got := KWSLabels(3); len(got) != 3 || got[2] != "noise" {
+		t.Fatalf("labels: %v", got)
+	}
+	if got := KWSLabels(99); len(got) != 5 {
+		t.Fatalf("clamped labels: %v", got)
+	}
+	if got := KWSLabels(0); len(got) != 2 {
+		t.Fatalf("min labels: %v", got)
+	}
+}
+
+func TestKeywordDeterministicPerSeed(t *testing.T) {
+	a, err := Keyword("yes", 8000, 1, 0.05, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Keyword("yes", 8000, 1, 0.05, rand.New(rand.NewSource(1)))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if _, err := Keyword("xyzzy", 8000, 1, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("accepted unknown keyword")
+	}
+}
+
+func TestKeywordHasEnergyInMiddle(t *testing.T) {
+	sig, _ := Keyword("yes", 8000, 1, 0, rand.New(rand.NewSource(2)))
+	if len(sig.Data) != 8000 {
+		t.Fatalf("length %d", len(sig.Data))
+	}
+	energy := func(lo, hi int) float64 {
+		var s float64
+		for _, v := range sig.Data[lo:hi] {
+			s += float64(v) * float64(v)
+		}
+		return s
+	}
+	head := energy(0, 1000)
+	mid := energy(3000, 5000)
+	if mid < head*10 {
+		t.Errorf("utterance energy mid=%g head=%g", mid, head)
+	}
+}
+
+func TestKWSDatasetBalanced(t *testing.T) {
+	ds, err := KWSDataset(3, 10, 8000, 1, 0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 30 {
+		t.Fatalf("len %d", ds.Len())
+	}
+	stats := ds.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("%d labels", len(stats))
+	}
+	for _, st := range stats {
+		if st.Training+st.Testing != 10 {
+			t.Errorf("%s: %d+%d", st.Label, st.Training, st.Testing)
+		}
+		if st.Testing == 0 {
+			t.Errorf("%s: empty test split", st.Label)
+		}
+	}
+}
+
+func TestClassesAreSpectrallyDistinct(t *testing.T) {
+	// Mean absolute spectra of different keywords should differ far more
+	// than those of two instances of the same keyword.
+	spectrum := func(label string, seed int64) []float64 {
+		sig, _ := Keyword(label, 8000, 1, 0.02, rand.New(rand.NewSource(seed)))
+		bins := make([]float64, 32)
+		// Cheap spectral proxy: energy in 32 windows of a Goertzel-like
+		// filter bank via short sine correlations.
+		for b := 0; b < 32; b++ {
+			freq := 100 + float64(b)*100
+			var re, im float64
+			for i, v := range sig.Data {
+				ph := 2 * math.Pi * freq * float64(i) / 8000
+				re += float64(v) * math.Cos(ph)
+				im += float64(v) * math.Sin(ph)
+			}
+			bins[b] = math.Hypot(re, im)
+		}
+		return bins
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	yes1 := spectrum("yes", 1)
+	yes2 := spectrum("yes", 2)
+	no1 := spectrum("no", 3)
+	if dist(yes1, no1) < 1.2*dist(yes1, yes2) {
+		t.Errorf("inter-class distance %g not above intra-class %g", dist(yes1, no1), dist(yes1, yes2))
+	}
+}
+
+func TestVWWDataset(t *testing.T) {
+	ds, err := VWWDataset(6, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 12 {
+		t.Fatalf("len %d", ds.Len())
+	}
+	labels := ds.Labels()
+	if len(labels) != 2 {
+		t.Fatalf("labels %v", labels)
+	}
+	for _, s := range ds.List("") {
+		if s.Signal.Width != 32 || s.Signal.Height != 32 || s.Signal.Axes != 3 {
+			t.Fatalf("image dims: %+v", s.Signal)
+		}
+		for _, v := range s.Signal.Data {
+			if v < 0 || v > 255 {
+				t.Fatalf("pixel %g out of range", v)
+			}
+		}
+	}
+}
+
+func TestICDatasetLabels(t *testing.T) {
+	ds, err := ICDataset(4, 5, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ds.Labels()); got != 4 {
+		t.Fatalf("%d labels", got)
+	}
+	if _, err := TextureImage("not-a-texture", 8, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("accepted unknown texture")
+	}
+	if got := len(CIFARLabels(99)); got != 10 {
+		t.Fatalf("CIFARLabels clamp: %d", got)
+	}
+}
+
+func TestVibrationAnomalyDiffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	normal := Vibration(100, 2, false, rng)
+	fault := Vibration(100, 2, true, rng)
+	if normal.Axes != 3 || fault.Frames() != 200 {
+		t.Fatalf("shape: %+v", fault)
+	}
+	// The fault signal carries more energy.
+	e := func(s []float32) float64 {
+		var sum float64
+		for _, v := range s {
+			sum += float64(v) * float64(v)
+		}
+		return sum
+	}
+	if e(fault.Data) < e(normal.Data)*1.2 {
+		t.Errorf("fault energy %g not above normal %g", e(fault.Data), e(normal.Data))
+	}
+}
+
+func TestVibrationDataset(t *testing.T) {
+	ds, err := VibrationDataset(5, 100, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 10 {
+		t.Fatalf("len %d", ds.Len())
+	}
+	if got := ds.Labels(); len(got) != 2 || got[0] != "fault" {
+		t.Fatalf("labels %v", got)
+	}
+	_ = data.Training
+}
+
+func TestStreamEvents(t *testing.T) {
+	sig, events, err := Stream("yes", 8000, 10, 4, 0.02, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("%d events", len(events))
+	}
+	if sig.Frames() != 80000 {
+		t.Fatalf("stream length %d", sig.Frames())
+	}
+	for i, e := range events {
+		if e.EndSample <= e.StartSample || e.EndSample > sig.Frames() {
+			t.Errorf("event %d bounds: %+v", i, e)
+		}
+		if i > 0 && e.StartSample < events[i-1].EndSample {
+			t.Errorf("event %d overlaps previous", i)
+		}
+		// Energy inside the event region exceeds nearby background.
+		var inE, outE float64
+		for s := e.StartSample; s < e.EndSample; s++ {
+			inE += float64(sig.Data[s]) * float64(sig.Data[s])
+		}
+		bgStart := e.StartSample - 4000
+		if bgStart < 0 {
+			bgStart = e.EndSample
+		}
+		for s := bgStart; s < bgStart+4000 && s < sig.Frames(); s++ {
+			outE += float64(sig.Data[s]) * float64(sig.Data[s])
+		}
+		if inE < outE*2 {
+			t.Errorf("event %d energy %g not above background %g", i, inE, outE)
+		}
+	}
+	// Too many events must fail cleanly.
+	if _, _, err := Stream("yes", 8000, 2, 10, 0.02, 1); err == nil {
+		t.Error("accepted impossible event density")
+	}
+}

@@ -1,0 +1,110 @@
+package tflm
+
+import (
+	"fmt"
+
+	"edgepulse/internal/nn"
+	"edgepulse/internal/quant"
+	"edgepulse/internal/tensor"
+)
+
+// Kernel executes one float op. Registered kernels are resolved by name
+// at every Invoke — the runtime dispatch the EON compiler eliminates.
+type Kernel func(layer nn.Layer, in *tensor.F32) *tensor.F32
+
+// opRegistry maps op kinds to float kernels. All builtin kinds delegate
+// to the layer's own Forward; the registry exists to model (and measure,
+// in benchmarks) interpreter-style indirection, and to let tests register
+// custom ops.
+var opRegistry = map[string]Kernel{}
+
+// RegisterKernel installs a kernel for an op kind, replacing any builtin.
+// It returns a function restoring the previous registration.
+func RegisterKernel(kind string, k Kernel) func() {
+	prev, had := opRegistry[kind]
+	opRegistry[kind] = k
+	return func() {
+		if had {
+			opRegistry[kind] = prev
+		} else {
+			delete(opRegistry, kind)
+		}
+	}
+}
+
+func init() {
+	for _, kind := range []string{
+		"dense", "conv2d", "depthwise_conv2d", "conv1d",
+		"maxpool2d", "avgpool2d", "maxpool1d", "gap2d",
+		"flatten", "reshape", "softmax", "dropout", "batchnorm",
+	} {
+		opRegistry[kind] = func(layer nn.Layer, in *tensor.F32) *tensor.F32 {
+			return layer.Forward(in)
+		}
+	}
+}
+
+// Interpreter executes a ModelFile by walking its op list and resolving
+// each op's kernel from the registry at call time.
+type Interpreter struct {
+	mf *ModelFile
+	// invocations counts ops dispatched (for tests and stats).
+	invocations int64
+}
+
+// NewInterpreter validates the model and prepares it for execution.
+func NewInterpreter(mf *ModelFile) (*Interpreter, error) {
+	switch mf.Precision {
+	case Float32:
+		if mf.Float == nil {
+			return nil, fmt.Errorf("tflm: float model missing")
+		}
+		specs, err := mf.Float.Spec()
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range specs {
+			if _, ok := opRegistry[s.Kind]; !ok {
+				return nil, fmt.Errorf("tflm: no kernel registered for %q", s.Kind)
+			}
+		}
+	case Int8:
+		if mf.Quant == nil {
+			return nil, fmt.Errorf("tflm: quant model missing")
+		}
+	default:
+		return nil, fmt.Errorf("tflm: unknown precision %d", mf.Precision)
+	}
+	return &Interpreter{mf: mf}, nil
+}
+
+// Invoke runs one inference and returns class probabilities.
+func (it *Interpreter) Invoke(in *tensor.F32) (*tensor.F32, error) {
+	if !in.Shape.Equal(it.mf.InputShape()) {
+		return nil, fmt.Errorf("tflm: input shape %v != model %v", in.Shape, it.mf.InputShape())
+	}
+	if it.mf.Precision == Int8 {
+		it.invocations += int64(len(it.mf.Quant.Ops))
+		return it.mf.Quant.Forward(in), nil
+	}
+	x := in
+	for _, l := range it.mf.Float.Layers {
+		kernel := opRegistry[l.Kind()] // runtime dispatch per op
+		x = kernel(l, x)
+		it.invocations++
+	}
+	return x, nil
+}
+
+// Invocations returns the total number of op dispatches performed.
+func (it *Interpreter) Invocations() int64 { return it.invocations }
+
+// ModelFileFromFloat wraps a trained float model for serialization.
+func ModelFileFromFloat(m *nn.Model) *ModelFile {
+	return &ModelFile{Precision: Float32, NumClasses: m.NumClasses, Float: m}
+}
+
+// ModelFileFromQuant wraps a quantized model for serialization.
+func ModelFileFromQuant(qm *quant.QModel) *ModelFile {
+	return &ModelFile{Precision: Int8, NumClasses: qm.NumClasses, Quant: qm}
+}

@@ -1,0 +1,94 @@
+package trainer
+
+import (
+	"math"
+
+	"edgepulse/internal/tensor"
+)
+
+// optimizer applies accumulated gradients to parameters.
+type optimizer interface {
+	// Step applies one update; scale divides the accumulated gradients
+	// (1/batchSize for mean gradients).
+	Step(scale float32)
+}
+
+func newOptimizer(name string, lr, momentum float64, params, grads []*tensor.F32) optimizer {
+	switch name {
+	case "sgd":
+		return newSGD(lr, momentum, params, grads)
+	default:
+		return newAdam(lr, params, grads)
+	}
+}
+
+// sgd is stochastic gradient descent with classical momentum.
+type sgd struct {
+	lr, momentum float32
+	params       []*tensor.F32
+	grads        []*tensor.F32
+	velocity     [][]float32
+}
+
+func newSGD(lr, momentum float64, params, grads []*tensor.F32) *sgd {
+	s := &sgd{lr: float32(lr), momentum: float32(momentum), params: params, grads: grads}
+	s.velocity = make([][]float32, len(params))
+	for i, p := range params {
+		s.velocity[i] = make([]float32, len(p.Data))
+	}
+	return s
+}
+
+// Step implements optimizer.
+func (s *sgd) Step(scale float32) {
+	for i, p := range s.params {
+		g := s.grads[i]
+		v := s.velocity[i]
+		for j := range p.Data {
+			v[j] = s.momentum*v[j] - s.lr*g.Data[j]*scale
+			p.Data[j] += v[j]
+		}
+	}
+}
+
+// adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type adam struct {
+	lr           float32
+	beta1, beta2 float32
+	eps          float32
+	t            int
+	params       []*tensor.F32
+	grads        []*tensor.F32
+	m, v         [][]float32
+}
+
+func newAdam(lr float64, params, grads []*tensor.F32) *adam {
+	a := &adam{lr: float32(lr), beta1: 0.9, beta2: 0.999, eps: 1e-7, params: params, grads: grads}
+	a.m = make([][]float32, len(params))
+	a.v = make([][]float32, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float32, len(p.Data))
+		a.v[i] = make([]float32, len(p.Data))
+	}
+	return a
+}
+
+// Step implements optimizer.
+func (a *adam) Step(scale float32) {
+	a.t++
+	c1 := 1 - float32(math.Pow(float64(a.beta1), float64(a.t)))
+	c2 := 1 - float32(math.Pow(float64(a.beta2), float64(a.t)))
+	for i, p := range a.params {
+		g := a.grads[i]
+		m := a.m[i]
+		v := a.v[i]
+		for j := range p.Data {
+			gj := g.Data[j] * scale
+			m[j] = a.beta1*m[j] + (1-a.beta1)*gj
+			v[j] = a.beta2*v[j] + (1-a.beta2)*gj*gj
+			mHat := m[j] / c1
+			vHat := v[j] / c2
+			p.Data[j] -= a.lr * mHat / (float32(math.Sqrt(float64(vHat))) + a.eps)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package tuner
+
+import (
+	"fmt"
+	"sort"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+)
+
+// AutotuneResult is one evaluated DSP configuration.
+type AutotuneResult struct {
+	// Params is the block configuration.
+	Params map[string]float64
+	// Separability scores how well the extracted features separate the
+	// classes (Fisher-style ratio of between-class to within-class
+	// scatter); higher is better.
+	Separability float64
+	// FeatureCount is the output dimensionality.
+	FeatureCount int
+}
+
+// AutotuneDSP implements the "DSP autotune" feature (paper Sec. 4.2):
+// it evaluates candidate hyperparameter sets for a DSP block directly on
+// the dataset — without training any model — by scoring class
+// separability of the extracted features, and returns candidates ranked
+// best-first. This gives novice users a good preprocessing starting point
+// in seconds; the full EON Tuner co-optimizes DSP and NN afterwards.
+func AutotuneDSP(ds *data.Dataset, input core.InputBlock, blockName string, candidates []map[string]float64) ([]AutotuneResult, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("tuner: no candidate parameter sets")
+	}
+	labels := ds.Labels()
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("tuner: autotune needs >= 2 classes, have %d", len(labels))
+	}
+	samples := ds.List(data.Training)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("tuner: no training samples")
+	}
+	// Cap work per candidate.
+	const maxSamples = 60
+	if len(samples) > maxSamples {
+		samples = samples[:maxSamples]
+	}
+	var out []AutotuneResult
+	for _, params := range candidates {
+		block, err := dsp.New(blockName, params)
+		if err != nil {
+			return nil, err
+		}
+		imp := core.New("autotune")
+		imp.Input = input
+		imp.DSP = block
+		shape, err := imp.FeatureShape()
+		if err != nil {
+			// Candidate incompatible with the window geometry: skip.
+			continue
+		}
+		// Per-class feature means and scatter.
+		perClass := map[string][][]float32{}
+		for _, s := range samples {
+			x, err := imp.Features(s.Signal)
+			if err != nil {
+				return nil, err
+			}
+			perClass[s.Label] = append(perClass[s.Label], x.Data)
+		}
+		sep := fisherSeparability(perClass)
+		out = append(out, AutotuneResult{
+			Params:       params,
+			Separability: sep,
+			FeatureCount: shape.Elems(),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tuner: no candidate was compatible with the input window")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Separability > out[j].Separability })
+	return out, nil
+}
+
+// fisherSeparability computes a Fisher-criterion-style score: mean
+// squared distance between class centroids divided by mean within-class
+// variance, averaged over feature dimensions.
+func fisherSeparability(perClass map[string][][]float32) float64 {
+	type stat struct {
+		mean []float64
+		vari float64
+		n    int
+	}
+	var stats []stat
+	var dim int
+	for _, rows := range perClass {
+		if len(rows) == 0 {
+			continue
+		}
+		dim = len(rows[0])
+		mean := make([]float64, dim)
+		for _, r := range rows {
+			for j, v := range r {
+				mean[j] += float64(v)
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(len(rows))
+		}
+		var vari float64
+		for _, r := range rows {
+			for j, v := range r {
+				d := float64(v) - mean[j]
+				vari += d * d
+			}
+		}
+		vari /= float64(len(rows)) * float64(dim)
+		stats = append(stats, stat{mean: mean, vari: vari, n: len(rows)})
+	}
+	if len(stats) < 2 {
+		return 0
+	}
+	// Between-class scatter: mean pairwise centroid distance per dim.
+	var between float64
+	pairs := 0
+	for i := 0; i < len(stats); i++ {
+		for j := i + 1; j < len(stats); j++ {
+			var d float64
+			for k := 0; k < dim; k++ {
+				diff := stats[i].mean[k] - stats[j].mean[k]
+				d += diff * diff
+			}
+			between += d / float64(dim)
+			pairs++
+		}
+	}
+	between /= float64(pairs)
+	var within float64
+	for _, s := range stats {
+		within += s.vari
+	}
+	within /= float64(len(stats))
+	if within < 1e-12 {
+		within = 1e-12
+	}
+	return between / within
+}

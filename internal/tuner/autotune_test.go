@@ -1,0 +1,100 @@
+package tuner
+
+import (
+	"testing"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/synth"
+)
+
+func TestAutotuneDSPRanksCandidates(t *testing.T) {
+	ds, err := synth.KWSDataset(3, 10, 8000, 0.5, 0.03, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+	candidates := []map[string]float64{
+		{"num_filters": 32, "fft_length": 256},
+		{"num_filters": 16, "fft_length": 128},
+		{"num_filters": 8, "fft_length": 64},
+	}
+	results, err := AutotuneDSP(ds, input, "mfe", candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Separability <= 0 {
+			t.Errorf("result %d separability %g", i, r.Separability)
+		}
+		if r.FeatureCount <= 0 {
+			t.Errorf("result %d feature count %d", i, r.FeatureCount)
+		}
+		if i > 0 && r.Separability > results[i-1].Separability {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestAutotuneSeparabilityMeaningful(t *testing.T) {
+	// Separability on genuinely distinct classes must exceed
+	// separability on two labels drawn from the same distribution.
+	input := core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+	cfg := []map[string]float64{{"num_filters": 32, "fft_length": 256}}
+
+	distinct, err := synth.KWSDataset(2, 10, 8000, 0.5, 0.02, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := AutotuneDSP(distinct, input, "mfe", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same generator for both labels: no signal to separate.
+	same, err := synth.KWSDataset(2, 20, 8000, 0.5, 0.02, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, s := range same.List("") {
+		if s.Label == "noise" {
+			// Relabel half the noise clips as a fake second class.
+			if i%2 == 0 {
+				same.SetLabel(s.ID, "noise-b")
+			}
+			i++
+		} else {
+			same.Remove(s.ID)
+		}
+	}
+	fake, err := AutotuneDSP(same, input, "mfe", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real[0].Separability < 3*fake[0].Separability {
+		t.Errorf("distinct classes %.2f not well above identical classes %.2f",
+			real[0].Separability, fake[0].Separability)
+	}
+}
+
+func TestAutotuneValidation(t *testing.T) {
+	ds, _ := synth.KWSDataset(2, 4, 8000, 0.5, 0.03, 23)
+	input := core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+	if _, err := AutotuneDSP(ds, input, "mfe", nil); err == nil {
+		t.Error("accepted empty candidates")
+	}
+	if _, err := AutotuneDSP(ds, input, "warp", []map[string]float64{{}}); err == nil {
+		t.Error("accepted unknown block")
+	}
+	// Single-class dataset.
+	single, _ := synth.KWSDataset(2, 4, 8000, 0.5, 0.03, 24)
+	for _, s := range single.List("") {
+		single.SetLabel(s.ID, "only")
+	}
+	if _, err := AutotuneDSP(single, input, "mfe", []map[string]float64{{}}); err == nil {
+		t.Error("accepted single class")
+	}
+}

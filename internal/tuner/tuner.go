@@ -1,0 +1,321 @@
+// Package tuner implements the EON Tuner (paper Sec. 4.7, Table 3,
+// Fig. 3): automated co-exploration of DSP preprocessing blocks and NN
+// architectures under the RAM, flash and latency constraints of a chosen
+// hardware target. Each trial trains a candidate, measures accuracy, and
+// estimates on-device latency and memory through the renode and profiler
+// packages — producing exactly the rows of the paper's Table 3.
+package tuner
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/data"
+	"edgepulse/internal/device"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/profiler"
+	"edgepulse/internal/renode"
+	"edgepulse/internal/search"
+	"edgepulse/internal/trainer"
+)
+
+// DSPCandidate is one preprocessing configuration in the search space.
+type DSPCandidate struct {
+	// Name is the block type ("mfe", "mfcc", ...).
+	Name string
+	// Params configures the block.
+	Params map[string]float64
+	// Desc is the display string, e.g. "MFE (0.02, 0.01, 40)".
+	Desc string
+}
+
+// ModelCandidate is one architecture in the search space.
+type ModelCandidate struct {
+	// Desc is the display string, e.g. "4x conv1d (32 to 256)".
+	Desc string
+	// Build constructs the model for a feature shape and class count.
+	Build func(frames, coeffs, classes int) (*nn.Model, error)
+}
+
+// Space is the cross product of DSP and model candidates.
+type Space struct {
+	DSP    []DSPCandidate
+	Models []ModelCandidate
+}
+
+// Size returns the number of (DSP, model) combinations.
+func (s Space) Size() int { return len(s.DSP) * len(s.Models) }
+
+func (s Space) candidate(i int) (DSPCandidate, ModelCandidate) {
+	return s.DSP[i/len(s.Models)], s.Models[i%len(s.Models)]
+}
+
+// conv1dCandidate builds a Table-3-style conv1d stack candidate.
+func conv1dCandidate(depth, start, end int) ModelCandidate {
+	return ModelCandidate{
+		Desc: fmt.Sprintf("%dx conv1d (%d to %d)", depth, start, end),
+		Build: func(frames, coeffs, classes int) (*nn.Model, error) {
+			return models.Conv1DStack(frames, coeffs, depth, start, end, classes)
+		},
+	}
+}
+
+// DefaultKWSSpace reproduces the paper's Table 3 search space: MFE and
+// MFCC preprocessing at several (frame, stride, coefficients) settings
+// crossed with conv1d stacks and a MobileNetV2-width model.
+func DefaultKWSSpace() Space {
+	mkDSP := func(name string, frame, stride float64, coeff int) DSPCandidate {
+		params := map[string]float64{
+			"frame_length": frame,
+			"frame_stride": stride,
+		}
+		if name == "mfe" {
+			params["num_filters"] = float64(coeff)
+		} else {
+			params["num_filters"] = float64(coeff)
+			params["num_cepstral"] = float64(coeff)
+		}
+		return DSPCandidate{
+			Name:   name,
+			Params: params,
+			Desc:   fmt.Sprintf("%s (%g, %g, %d)", display(name), frame, stride, coeff),
+		}
+	}
+	return Space{
+		DSP: []DSPCandidate{
+			mkDSP("mfe", 0.02, 0.01, 40),
+			mkDSP("mfe", 0.02, 0.01, 32),
+			mkDSP("mfe", 0.02, 0.02, 32),
+			mkDSP("mfe", 0.05, 0.025, 32),
+			mkDSP("mfe", 0.032, 0.016, 32),
+			mkDSP("mfcc", 0.02, 0.01, 40),
+			mkDSP("mfcc", 0.02, 0.01, 32),
+			mkDSP("mfcc", 0.05, 0.025, 40),
+		},
+		Models: []ModelCandidate{
+			{
+				Desc: "MobileNetV2 0.35",
+				Build: func(frames, coeffs, classes int) (*nn.Model, error) {
+					return models.MobileNetV2Audio(frames, coeffs, 0.35, classes), nil
+				},
+			},
+			conv1dCandidate(4, 32, 256),
+			conv1dCandidate(4, 16, 128),
+			conv1dCandidate(3, 32, 128),
+			conv1dCandidate(2, 32, 64),
+			conv1dCandidate(3, 16, 64),
+			conv1dCandidate(2, 16, 32),
+		},
+	}
+}
+
+func display(name string) string {
+	switch name {
+	case "mfe":
+		return "MFE"
+	case "mfcc":
+		return "MFCC"
+	default:
+		return name
+	}
+}
+
+// Constraints bound the search to a deployment target (Fig. 3's "select
+// the target hardware" control).
+type Constraints struct {
+	// Target supplies RAM/flash capacities and the cycle model.
+	Target device.Target
+	// MaxLatencyMS caps total (DSP+NN) latency; 0 disables.
+	MaxLatencyMS float64
+}
+
+// Trial is one evaluated (DSP, model) combination: a row of Table 3.
+type Trial struct {
+	DSPDesc   string
+	ModelDesc string
+	// Accuracy on the dataset's test split.
+	Accuracy float64
+	// Latency estimates on the target (float32, TFLM engine, as in the
+	// paper's Table 3).
+	DSPLatencyMS   float64
+	NNLatencyMS    float64
+	TotalLatencyMS float64
+	// RAM estimates in bytes.
+	DSPRAM   int64
+	NNRAM    int64
+	TotalRAM int64
+	// Flash estimate for the model in bytes (the DSP code footprint is
+	// constant and excluded, as in the paper's table).
+	NNFlash int64
+	// Fits reports whether the trial satisfies the constraints.
+	Fits bool
+}
+
+// Config controls a tuner run.
+type Config struct {
+	// Space is the candidate space (DefaultKWSSpace if zero).
+	Space Space
+	// Input is the impulse input window the candidates share.
+	Input core.InputBlock
+	// Constraints bound latency and memory on the target.
+	Constraints Constraints
+	// MaxTrials caps evaluated combinations (0 = whole space).
+	MaxTrials int
+	// Epochs is the per-trial training budget.
+	Epochs int
+	// Strategy selects "random" (default), "hyperband" or "surrogate".
+	Strategy string
+	// Seed makes the search deterministic.
+	Seed int64
+	// Log receives progress lines; nil discards.
+	Log io.Writer
+}
+
+// Run executes the tuner over the dataset and returns trials sorted by
+// descending accuracy (the Fig. 3 result list).
+func Run(ds *data.Dataset, cfg Config) ([]Trial, error) {
+	space := cfg.Space
+	if space.Size() == 0 {
+		space = DefaultKWSSpace()
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 6
+	}
+	maxTrials := cfg.MaxTrials
+	if maxTrials <= 0 || maxTrials > space.Size() {
+		maxTrials = space.Size()
+	}
+	labels := ds.Labels()
+	if len(labels) < 2 {
+		return nil, fmt.Errorf("tuner: dataset has %d classes, need >= 2", len(labels))
+	}
+
+	trials := map[int]*Trial{}
+	objective := func(candidate, budget int) (float64, error) {
+		tr, err := evaluate(ds, labels, space, candidate, budget, cfg)
+		if err != nil {
+			return 0, err
+		}
+		trials[candidate] = tr
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "trial %-28s × %-22s acc=%.2f total=%.0fms ram=%dkB\n",
+				tr.DSPDesc, tr.ModelDesc, tr.Accuracy, tr.TotalLatencyMS, tr.TotalRAM/1024)
+		}
+		// Constraint-violating trials are heavily penalized so the
+		// search prefers deployable configurations.
+		score := tr.Accuracy
+		if !tr.Fits {
+			score -= 1
+		}
+		return score, nil
+	}
+
+	var err error
+	switch cfg.Strategy {
+	case "", "random":
+		_, err = search.Random(space.Size(), maxTrials, cfg.Epochs, cfg.Seed, objective)
+	case "hyperband":
+		_, err = search.Hyperband(space.Size(), cfg.Epochs, cfg.Seed, objective)
+	case "surrogate":
+		feats := spaceFeatures(space)
+		_, err = search.Surrogate(feats, maxTrials, cfg.Epochs, cfg.Seed, objective)
+	default:
+		return nil, fmt.Errorf("tuner: unknown strategy %q", cfg.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Trial, 0, len(trials))
+	for _, tr := range trials {
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Accuracy > out[j].Accuracy })
+	return out, nil
+}
+
+// spaceFeatures embeds each candidate for the surrogate strategy:
+// (dsp index, model index, rough cost rank).
+func spaceFeatures(space Space) [][]float64 {
+	out := make([][]float64, space.Size())
+	for i := range out {
+		d := i / len(space.Models)
+		m := i % len(space.Models)
+		out[i] = []float64{float64(d), float64(m)}
+	}
+	return out
+}
+
+// evaluate trains and profiles one candidate.
+func evaluate(ds *data.Dataset, labels []string, space Space, candidate, epochs int, cfg Config) (*Trial, error) {
+	dspCand, modelCand := space.candidate(candidate)
+	imp := core.New("tuner-trial")
+	imp.Input = cfg.Input
+	block, err := dsp.New(dspCand.Name, dspCand.Params)
+	if err != nil {
+		return nil, err
+	}
+	imp.DSP = block
+	imp.Classes = labels
+
+	shape, err := imp.FeatureShape()
+	if err != nil {
+		return nil, err
+	}
+	if len(shape) != 2 {
+		return nil, fmt.Errorf("tuner: expected 2-D features, got %v", shape)
+	}
+	model, err := modelCand.Build(shape[0], shape[1], len(labels))
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.InitWeights(model, cfg.Seed+int64(candidate)); err != nil {
+		return nil, err
+	}
+	if err := imp.AttachClassifier(model); err != nil {
+		return nil, err
+	}
+	if _, err := imp.Train(ds, trainer.Config{
+		Epochs: epochs, Seed: cfg.Seed + int64(candidate),
+	}); err != nil {
+		return nil, err
+	}
+	acc, _, err := imp.Evaluate(ds, data.Testing)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &Trial{DSPDesc: dspCand.Desc, ModelDesc: modelCand.Desc, Accuracy: acc}
+	// Resource estimation at float32/TFLM, matching the paper's Table 3.
+	tgt := cfg.Constraints.Target
+	if tgt.ID == "" {
+		tgt = device.MustGet("nano-33-ble-sense")
+	}
+	specs, err := model.Spec()
+	if err != nil {
+		return nil, err
+	}
+	est := renode.EstimateFloat(tgt, imp.DSPCost(), specs, renode.TFLM)
+	tr.DSPLatencyMS = est.DSPMillis
+	tr.NNLatencyMS = est.InferenceMillis
+	tr.TotalLatencyMS = est.TotalMillis
+
+	mem, err := profiler.EstimateFloat(model, renode.TFLM)
+	if err != nil {
+		return nil, err
+	}
+	tr.DSPRAM = imp.DSPRAM()
+	tr.NNRAM = mem.RAMBytes
+	tr.TotalRAM = tr.DSPRAM + tr.NNRAM
+	tr.NNFlash = mem.FlashBytes
+
+	tr.Fits = profiler.Fits(mem, tr.DSPRAM, tgt)
+	if cfg.Constraints.MaxLatencyMS > 0 && tr.TotalLatencyMS > cfg.Constraints.MaxLatencyMS {
+		tr.Fits = false
+	}
+	return tr, nil
+}

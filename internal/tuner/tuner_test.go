@@ -1,0 +1,191 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+
+	"edgepulse/internal/core"
+	"edgepulse/internal/device"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+	"edgepulse/internal/synth"
+)
+
+// smallSpace is a fast 2x2 space for tests.
+func smallSpace() Space {
+	return Space{
+		DSP: []DSPCandidate{
+			{Name: "mfe", Params: map[string]float64{"num_filters": 16, "fft_length": 128}, Desc: "MFE (0.02, 0.01, 16)"},
+			{Name: "mfe", Params: map[string]float64{"num_filters": 16, "fft_length": 128, "frame_stride": 0.02}, Desc: "MFE (0.02, 0.02, 16)"},
+		},
+		Models: []ModelCandidate{
+			{Desc: "2x conv1d (8 to 16)", Build: func(f, c, cl int) (*nn.Model, error) {
+				return models.Conv1DStack(f, c, 2, 8, 16, cl)
+			}},
+			{Desc: "1x conv1d (8 to 8)", Build: func(f, c, cl int) (*nn.Model, error) {
+				return models.Conv1DStack(f, c, 1, 8, 8, cl)
+			}},
+		},
+	}
+}
+
+func kwsInput() core.InputBlock {
+	return core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
+}
+
+func TestSpaceIndexing(t *testing.T) {
+	s := smallSpace()
+	if s.Size() != 4 {
+		t.Fatalf("size %d", s.Size())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < s.Size(); i++ {
+		d, m := s.candidate(i)
+		seen[d.Desc+"|"+m.Desc] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("candidates not unique: %d", len(seen))
+	}
+}
+
+func TestDefaultKWSSpaceMatchesTable3(t *testing.T) {
+	s := DefaultKWSSpace()
+	if s.Size() == 0 {
+		t.Fatal("empty default space")
+	}
+	var hasMFE, hasMFCC, hasV2, hasConv bool
+	for _, d := range s.DSP {
+		if strings.HasPrefix(d.Desc, "MFE") {
+			hasMFE = true
+		}
+		if strings.HasPrefix(d.Desc, "MFCC") {
+			hasMFCC = true
+		}
+	}
+	for _, m := range s.Models {
+		if strings.Contains(m.Desc, "MobileNetV2") {
+			hasV2 = true
+		}
+		if strings.Contains(m.Desc, "conv1d") {
+			hasConv = true
+		}
+	}
+	if !hasMFE || !hasMFCC || !hasV2 || !hasConv {
+		t.Errorf("space lacks Table 3 families: mfe=%v mfcc=%v v2=%v conv=%v", hasMFE, hasMFCC, hasV2, hasConv)
+	}
+}
+
+func TestTunerRunProducesSortedTrials(t *testing.T) {
+	ds, err := synth.KWSDataset(2, 10, 8000, 0.5, 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, err := Run(ds, Config{
+		Space:       smallSpace(),
+		Input:       kwsInput(),
+		Constraints: Constraints{Target: device.MustGet("nano-33-ble-sense")},
+		Epochs:      4,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 4 {
+		t.Fatalf("%d trials", len(trials))
+	}
+	for i := 1; i < len(trials); i++ {
+		if trials[i].Accuracy > trials[i-1].Accuracy {
+			t.Fatal("trials not sorted by accuracy")
+		}
+	}
+	for _, tr := range trials {
+		if tr.TotalLatencyMS <= 0 || tr.NNRAM <= 0 || tr.NNFlash <= 0 || tr.DSPRAM <= 0 {
+			t.Errorf("trial missing estimates: %+v", tr)
+		}
+		if tr.TotalRAM != tr.DSPRAM+tr.NNRAM {
+			t.Errorf("RAM sum wrong: %+v", tr)
+		}
+	}
+	// At least one trial should learn the easy 2-class task.
+	if trials[0].Accuracy < 0.7 {
+		t.Errorf("best trial accuracy %.2f", trials[0].Accuracy)
+	}
+	// Small conv stacks on a 256kB target should fit.
+	fits := 0
+	for _, tr := range trials {
+		if tr.Fits {
+			fits++
+		}
+	}
+	if fits == 0 {
+		t.Error("no trial fits the target")
+	}
+}
+
+func TestTunerBiggerModelCostsMore(t *testing.T) {
+	ds, err := synth.KWSDataset(2, 8, 8000, 0.5, 0.03, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, err := Run(ds, Config{
+		Space: smallSpace(), Input: kwsInput(), Epochs: 2, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group by model; the 2x stack must show higher latency+flash than
+	// the 1x stack under the same DSP.
+	byKey := map[string]Trial{}
+	for _, tr := range trials {
+		byKey[tr.DSPDesc+"|"+tr.ModelDesc] = tr
+	}
+	big := byKey["MFE (0.02, 0.01, 16)|2x conv1d (8 to 16)"]
+	small := byKey["MFE (0.02, 0.01, 16)|1x conv1d (8 to 8)"]
+	if big.NNLatencyMS <= small.NNLatencyMS {
+		t.Errorf("bigger model latency %.1f <= smaller %.1f", big.NNLatencyMS, small.NNLatencyMS)
+	}
+	if big.NNFlash <= small.NNFlash {
+		t.Errorf("bigger model flash %d <= smaller %d", big.NNFlash, small.NNFlash)
+	}
+	// Coarser stride halves DSP latency under the same model.
+	fine := byKey["MFE (0.02, 0.01, 16)|1x conv1d (8 to 8)"]
+	coarse := byKey["MFE (0.02, 0.02, 16)|1x conv1d (8 to 8)"]
+	if coarse.DSPLatencyMS >= fine.DSPLatencyMS {
+		t.Errorf("coarse stride DSP %.1f >= fine %.1f", coarse.DSPLatencyMS, fine.DSPLatencyMS)
+	}
+}
+
+func TestTunerStrategies(t *testing.T) {
+	ds, err := synth.KWSDataset(2, 8, 8000, 0.5, 0.03, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{"random", "hyperband", "surrogate"} {
+		trials, err := Run(ds, Config{
+			Space: smallSpace(), Input: kwsInput(),
+			Epochs: 2, Seed: 10, Strategy: strategy, MaxTrials: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if len(trials) == 0 {
+			t.Fatalf("%s: no trials", strategy)
+		}
+	}
+	if _, err := Run(ds, Config{Space: smallSpace(), Input: kwsInput(), Strategy: "quantum"}); err == nil {
+		t.Error("accepted unknown strategy")
+	}
+}
+
+func TestTunerValidation(t *testing.T) {
+	ds, _ := synth.KWSDataset(2, 4, 8000, 0.5, 0.03, 11)
+	// Single-class dataset rejected.
+	single, _ := synth.KWSDataset(2, 4, 8000, 0.5, 0.03, 12)
+	for _, s := range single.List("") {
+		single.SetLabel(s.ID, "only")
+	}
+	if _, err := Run(single, Config{Space: smallSpace(), Input: kwsInput()}); err == nil {
+		t.Error("accepted single-class dataset")
+	}
+	_ = ds
+}
