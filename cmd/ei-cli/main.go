@@ -1,28 +1,30 @@
 // Command ei-cli is the uploader/automation client for an ei-studio
 // server, mirroring the platform's CLI tooling (paper Sec. 4.1): it signs
 // sensor data with the project's HMAC key and drives training jobs over
-// the REST API.
+// the versioned REST API through the typed internal/client library.
 //
 // Usage:
 //
 //	ei-cli -server http://localhost:4800 bootstrap <username>
 //	ei-cli -key KEY create-project <name>
 //	ei-cli -key KEY upload -project 1 -label yes -hmac HMACKEY file.wav
-//	ei-cli -key KEY train -project 1 -epochs 10
-//	ei-cli -key KEY job -id job-1
+//	ei-cli -key KEY train -project 1 -epochs 10 [-wait]
+//	ei-cli -key KEY job -id job-1 [-wait]
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/client"
 	"edgepulse/internal/ingest"
 	"edgepulse/internal/wav"
 )
@@ -35,19 +37,20 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	cli := &client{server: *server, key: *key}
+	c := client.New(*server, client.WithAPIKey(*key))
+	ctx := context.Background()
 	var err error
 	switch args[0] {
 	case "bootstrap":
-		err = cli.bootstrap(args[1:])
+		err = bootstrap(ctx, c, args[1:])
 	case "create-project":
-		err = cli.createProject(args[1:])
+		err = createProject(ctx, c, args[1:])
 	case "upload":
-		err = cli.upload(args[1:])
+		err = upload(ctx, c, args[1:])
 	case "train":
-		err = cli.train(args[1:])
+		err = train(ctx, c, args[1:])
 	case "job":
-		err = cli.job(args[1:])
+		err = job(ctx, c, args[1:])
 	default:
 		usage()
 	}
@@ -62,68 +65,31 @@ func usage() {
 	os.Exit(2)
 }
 
-type client struct {
-	server string
-	key    string
-}
-
-func (c *client) do(method, path string, body []byte, contentType string) (map[string]any, error) {
-	req, err := http.NewRequest(method, c.server+path, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	if c.key != "" {
-		req.Header.Set("x-api-key", c.key)
-	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	var out map[string]any
-	if err := json.Unmarshal(raw, &out); err != nil {
-		return nil, fmt.Errorf("bad response (%d): %s", resp.StatusCode, raw)
-	}
-	if resp.StatusCode >= 400 {
-		return nil, fmt.Errorf("%v", out["error"])
-	}
-	return out, nil
-}
-
-func (c *client) bootstrap(args []string) error {
+func bootstrap(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: bootstrap <username>")
 	}
-	body, _ := json.Marshal(map[string]string{"name": args[0]})
-	out, err := c.do("POST", "/api/users", body, "application/json")
+	u, err := c.CreateUser(ctx, args[0])
 	if err != nil {
 		return err
 	}
-	fmt.Printf("user %s created; API key: %s\n", out["id"], out["api_key"])
+	fmt.Printf("user %s created; API key: %s\n", u.ID, u.APIKey)
 	return nil
 }
 
-func (c *client) createProject(args []string) error {
+func createProject(ctx context.Context, c *client.Client, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: create-project <name>")
 	}
-	body, _ := json.Marshal(map[string]string{"name": args[0]})
-	out, err := c.do("POST", "/api/projects", body, "application/json")
+	p, err := c.CreateProject(ctx, args[0])
 	if err != nil {
 		return err
 	}
-	fmt.Printf("project %v created; HMAC key: %s\n", out["id"], out["hmac_key"])
+	fmt.Printf("project %d created; HMAC key: %s\n", p.ID, p.HMACKey)
 	return nil
 }
 
-func (c *client) upload(args []string) error {
+func upload(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("upload", flag.ExitOnError)
 	projectID := fs.Int("project", 0, "project id")
 	label := fs.String("label", "", "sample label")
@@ -166,12 +132,13 @@ func (c *client) upload(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := c.do("POST", fmt.Sprintf("/api/projects/%d/data?label=%s&name=%s&format=acquisition",
-			*projectID, *label, name), doc, "application/json")
+		out, err := c.UploadSample(ctx, *projectID, client.UploadParams{
+			Label: *label, Name: name, Format: "acquisition",
+		}, doc)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("uploaded %s as sample %v\n", name, out["sample_id"])
+		fmt.Printf("uploaded %s as sample %s\n", name, out.SampleID)
 		return nil
 	}
 	// CSV and images pass through raw.
@@ -183,62 +150,107 @@ func (c *client) upload(args []string) error {
 	if err != nil {
 		return err
 	}
-	out, err := c.do("POST", fmt.Sprintf("/api/projects/%d/data?label=%s&name=%s&format=%s",
-		*projectID, *label, name, format), raw, "application/octet-stream")
+	out, err := c.UploadSample(ctx, *projectID, client.UploadParams{
+		Label: *label, Name: name, Format: format,
+	}, raw)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("uploaded %s as sample %v\n", name, out["sample_id"])
+	fmt.Printf("uploaded %s as sample %s\n", name, out.SampleID)
 	return nil
 }
 
-func (c *client) train(args []string) error {
+func train(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	projectID := fs.Int("project", 0, "project id")
 	epochs := fs.Int("epochs", 10, "training epochs")
 	lr := fs.Float64("lr", 0.005, "learning rate (0 = auto)")
 	modelType := fs.String("model", "conv1d", "model type (conv1d, dscnn, mlp, cnn2d)")
 	quantize := fs.Bool("quantize", true, "quantize to int8 after training")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its result")
 	fs.Parse(args)
 	if *projectID == 0 {
-		return fmt.Errorf("usage: train -project N [-epochs E] [-model conv1d]")
+		return fmt.Errorf("usage: train -project N [-epochs E] [-model conv1d] [-wait]")
 	}
-	body, _ := json.Marshal(map[string]any{
-		"model":         map[string]any{"type": *modelType},
-		"epochs":        *epochs,
-		"learning_rate": *lr,
-		"quantize":      *quantize,
+	accepted, err := c.Train(ctx, *projectID, v1.TrainRequest{
+		Model:        v1.ModelSpec{Type: *modelType},
+		Epochs:       *epochs,
+		LearningRate: *lr,
+		Quantize:     *quantize,
 	})
-	out, err := c.do("POST", fmt.Sprintf("/api/projects/%d/train", *projectID), body, "application/json")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training started: job %v (poll with: ei-cli job -id %v)\n", out["job_id"], out["job_id"])
+	if !*wait {
+		fmt.Printf("training started: job %s (poll with: ei-cli job -id %s)\n", accepted.JobID, accepted.JobID)
+		return nil
+	}
+	fmt.Printf("training started: job %s, waiting...\n", accepted.JobID)
+	return waitAndReport(ctx, c, accepted.JobID)
+}
+
+func job(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	id := fs.String("id", "", "job id")
+	wait := fs.Bool("wait", false, "block until the job finishes")
+	fs.Parse(args)
+	if *id == "" {
+		return fmt.Errorf("usage: job -id job-N [-wait]")
+	}
+	if *wait {
+		return waitAndReport(ctx, c, *id)
+	}
+	j, err := c.Job(ctx, *id)
+	if err != nil {
+		return err
+	}
+	printJob(j.Job)
+	if j.Status == v1.JobFailed {
+		// Match the -wait path: a failed job is a nonzero exit.
+		return fmt.Errorf("job %s failed: %s", *id, j.Job.Error)
+	}
+	if j.Status == v1.JobFinished {
+		return printResult(ctx, c, *id)
+	}
 	return nil
 }
 
-func (c *client) job(args []string) error {
-	fs := flag.NewFlagSet("job", flag.ExitOnError)
-	id := fs.String("id", "", "job id")
-	fs.Parse(args)
-	if *id == "" {
-		return fmt.Errorf("usage: job -id job-N")
-	}
-	out, err := c.do("GET", "/api/jobs/"+*id, nil, "")
+// waitAndReport long-polls the job to completion, then prints status,
+// logs and (on success) the structured result.
+func waitAndReport(ctx context.Context, c *client.Client, id string) error {
+	done, err := c.WaitJob(ctx, id)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("job %s: %v\n", *id, out["status"])
-	if logs, ok := out["logs"].([]any); ok {
-		for _, l := range logs {
-			fmt.Println(" ", l)
-		}
+	printJob(done.Job)
+	if done.Status == v1.JobFailed {
+		return fmt.Errorf("job %s failed: %s", id, done.Job.Error)
 	}
-	if out["status"] == "finished" {
-		if res, err := c.do("GET", "/api/jobs/"+*id+"/result", nil, ""); err == nil {
-			pretty, _ := json.MarshalIndent(res["result"], "  ", "  ")
-			fmt.Printf("  result: %s\n", pretty)
-		}
+	return printResult(ctx, c, id)
+}
+
+// printJob shows status and logs; the failure reason is carried by the
+// error the caller returns, so it is not repeated here.
+func printJob(j v1.Job) {
+	fmt.Printf("job %s: %s (%.0f ms)\n", j.ID, j.Status, j.DurationMS)
+	for _, l := range j.Logs {
+		fmt.Println(" ", l)
 	}
+}
+
+func printResult(ctx context.Context, c *client.Client, id string) error {
+	res, err := c.JobResult(ctx, id)
+	if err != nil {
+		// Old results age out of the server's retention window; the
+		// job status above is still the answer, so don't fail.
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Code == v1.CodeNotFound {
+			fmt.Println("  (result no longer retained by the server)")
+			return nil
+		}
+		return err
+	}
+	pretty, _ := json.MarshalIndent(json.RawMessage(res.Result), "  ", "  ")
+	fmt.Printf("  result: %s\n", pretty)
 	return nil
 }

@@ -17,16 +17,14 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 	"os"
 	"strings"
 
+	"edgepulse/internal/client"
 	"edgepulse/internal/firmware"
 	"edgepulse/internal/ingest"
 	"edgepulse/internal/synth"
@@ -48,6 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	c := client.New(*server, client.WithAPIKey(*key))
 	dev, err := buildDevice(*signalKind, *hmacKey, *seed)
 	if err != nil {
 		fatal(err)
@@ -64,11 +63,13 @@ func main() {
 			fatal(err)
 		}
 		doc := strings.TrimSuffix(strings.TrimSpace(out), "\nOK")
-		id, err := upload(*server, *key, *projectID, *label, []byte(doc))
+		uploaded, err := c.UploadSample(context.Background(), *projectID, client.UploadParams{
+			Label: *label, Format: "acquisition",
+		}, []byte(doc))
 		if err != nil {
 			fatal(fmt.Errorf("sample %d: %w", i, err))
 		}
-		fmt.Printf("uploaded window %d/%d -> sample %s\n", i+1, *samples, id)
+		fmt.Printf("uploaded window %d/%d -> sample %s\n", i+1, *samples, uploaded.SampleID)
 	}
 }
 
@@ -122,28 +123,6 @@ func buildDevice(kind, hmacKey string, seed int64) (*firmware.Device, error) {
 	default:
 		return nil, fmt.Errorf("unknown signal kind %q", kind)
 	}
-}
-
-func upload(server, key string, projectID int, label string, doc []byte) (string, error) {
-	url := fmt.Sprintf("%s/api/projects/%d/data?label=%s&format=acquisition", server, projectID, label)
-	req, err := http.NewRequest("POST", url, bytes.NewReader(doc))
-	if err != nil {
-		return "", err
-	}
-	req.Header.Set("x-api-key", key)
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	var out map[string]any
-	if err := json.Unmarshal(raw, &out); err != nil || resp.StatusCode >= 400 {
-		return "", fmt.Errorf("server said %d: %s", resp.StatusCode, raw)
-	}
-	id, _ := out["sample_id"].(string)
-	return id, nil
 }
 
 func indent(s string) string {

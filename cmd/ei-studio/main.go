@@ -5,18 +5,20 @@
 //
 // Usage:
 //
-//	ei-studio -addr :4800 -workers 4
+//	ei-studio -addr :4800 -workers 4 [-rate 100 -burst 200]
 //
-// Bootstrap a user, then drive everything over HTTP:
+// Bootstrap a user, then drive everything over the versioned API
+// (the unversioned /api prefix remains as a legacy alias):
 //
-//	curl -XPOST localhost:4800/api/users -d '{"name":"ada"}'
-//	curl -H "x-api-key: $KEY" -XPOST localhost:4800/api/projects -d '{"name":"kws"}'
+//	curl -XPOST localhost:4800/api/v1/users -d '{"name":"ada"}'
+//	curl -H "x-api-key: $KEY" -XPOST localhost:4800/api/v1/projects -d '{"name":"kws"}'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +33,9 @@ func main() {
 	addr := flag.String("addr", ":4800", "listen address")
 	workers := flag.Int("workers", 4, "max training workers")
 	dataDir := flag.String("data", "", "directory for persistent state (load on start, save on SIGINT/SIGTERM)")
+	rate := flag.Float64("rate", 100, "per-API-key request rate limit in req/s (0 = unlimited)")
+	burst := flag.Int("burst", 200, "per-API-key burst allowance")
+	trustProxy := flag.Bool("trust-proxy", false, "rate-limit by X-Forwarded-For client IP (only behind a proxy that sets it)")
 	flag.Parse()
 
 	registry := project.NewRegistry()
@@ -59,8 +64,16 @@ func main() {
 		}()
 	}
 
-	server := api.NewServer(registry, sched)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	opts := []api.Option{
+		api.WithLogger(logger),
+		api.WithRateLimit(*rate, *burst),
+	}
+	if *trustProxy {
+		opts = append(opts, api.WithTrustProxy())
+	}
+	server := api.NewServer(registry, sched, opts...)
 	fmt.Printf("edgepulse studio listening on %s\n", *addr)
-	fmt.Println("bootstrap: curl -XPOST http://localhost" + *addr + "/api/users -d '{\"name\":\"you\"}'")
+	fmt.Println("bootstrap: curl -XPOST http://localhost" + *addr + "/api/v1/users -d '{\"name\":\"you\"}'")
 	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
 }

@@ -3,8 +3,8 @@
 // end-to-end TinyML MLOps platform with signed data ingestion, DSP
 // feature extraction, neural network training, int8 quantization, an
 // EON-style model compiler, device latency/memory simulation, AutoML
-// (EON Tuner), performance calibration, deployment packaging and a REST
-// API — all in stdlib-only Go.
+// (EON Tuner), performance calibration, deployment packaging and a
+// versioned REST API with a typed Go client — all in stdlib-only Go.
 //
 // Layout:
 //
@@ -15,7 +15,10 @@
 //   - internal/device, renode, profiler — on-device estimation
 //   - internal/tuner, search, ga, calibration — AutoML and tuning
 //   - internal/data, ingest, cbor, wav — the data plane
-//   - internal/project, jobs, api — the MLOps service layer
+//   - internal/project, jobs, api — the MLOps service layer; api/v1
+//     declares the typed DTO contract of the versioned REST surface
+//   - internal/client   — the first-class Go client for the v1 API,
+//     used by cmd/ei-cli and cmd/ei-daemon (see docs/API.md)
 //   - internal/deploy, eim — deployment artifacts and the EIM runner
 //   - internal/bench, report — the paper's tables and figures
 //

@@ -1,24 +1,24 @@
 // MLOps pipeline: the full automated loop over the REST API, exactly as a
 // CI system would drive the platform (paper Sec. 4.9): bootstrap a user,
 // create a project, ingest HMAC-signed sensor data, configure the
-// impulse, run an async training job on the autoscaling scheduler, poll
-// it, download the EIM deployment artifact, and run inference with the
-// deployed model — no direct library calls to the ML internals, only HTTP.
+// impulse, run an async training job on the autoscaling scheduler,
+// long-poll it to completion, download the EIM deployment artifact, and
+// run inference with the deployed model — no direct library calls to the
+// ML internals, only the typed v1 API through internal/client.
 //
 //	go run ./examples/mlops_pipeline
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
 	"time"
 
 	"edgepulse/internal/api"
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/client"
 	"edgepulse/internal/core"
 	"edgepulse/internal/deploy"
 	"edgepulse/internal/ingest"
@@ -35,17 +35,19 @@ func main() {
 	server := httptest.NewServer(api.NewServer(registry, sched).Handler())
 	defer server.Close()
 	fmt.Println("studio API at", server.URL)
+	ctx := context.Background()
 
 	// 1. Bootstrap a user + project.
-	var user struct {
-		APIKey string `json:"api_key"`
+	c := client.New(server.URL)
+	user, err := c.CreateUser(ctx, "ci-bot")
+	if err != nil {
+		log.Fatal(err)
 	}
-	post(server.URL+"/api/users", "", map[string]any{"name": "ci-bot"}, &user)
-	var proj struct {
-		ID      int    `json:"id"`
-		HMACKey string `json:"hmac_key"`
+	c = c.WithAPIKey(user.APIKey)
+	proj, err := c.CreateProject(ctx, "wake-word")
+	if err != nil {
+		log.Fatal(err)
 	}
-	post(server.URL+"/api/projects", user.APIKey, map[string]any{"name": "wake-word"}, &proj)
 	fmt.Printf("project %d created (ingestion key %s...)\n", proj.ID, proj.HMACKey[:10])
 
 	// 2. Ingest signed device data.
@@ -68,13 +70,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		url := fmt.Sprintf("%s/api/projects/%d/data?label=%s&name=%s", server.URL, proj.ID, s.Label, s.Name)
-		postRaw(url, user.APIKey, doc)
+		if _, err := c.UploadSample(ctx, proj.ID, client.UploadParams{
+			Label: s.Label, Name: s.Name, Format: "acquisition",
+		}, doc); err != nil {
+			log.Fatal(err)
+		}
 		uploaded++
 	}
 	fmt.Printf("ingested %d signed samples\n", uploaded)
-	post(fmt.Sprintf("%s/api/projects/%d/rebalance", server.URL, proj.ID), user.APIKey,
-		map[string]any{"test_fraction": 0.25}, nil)
+	if _, err := c.Rebalance(ctx, proj.ID, 0.25); err != nil {
+		log.Fatal(err)
+	}
 
 	// 3. Configure the impulse.
 	cfg := core.Config{
@@ -84,58 +90,60 @@ func main() {
 		DSPParams: map[string]float64{"num_filters": 16, "fft_length": 128},
 		Classes:   []string{"noise", "yes"},
 	}
-	var impResp struct {
-		Dataflow string `json:"dataflow"`
-	}
-	post(fmt.Sprintf("%s/api/projects/%d/impulse", server.URL, proj.ID), user.APIKey, cfg, &impResp)
-	fmt.Println("impulse:", impResp.Dataflow)
-
-	// 4. Async training job with quantization.
-	var train struct {
-		JobID string `json:"job_id"`
-	}
-	post(fmt.Sprintf("%s/api/projects/%d/train", server.URL, proj.ID), user.APIKey, map[string]any{
-		"model":         map[string]any{"type": "conv1d", "depth": 2, "start_filters": 8, "end_filters": 16},
-		"epochs":        10,
-		"learning_rate": 0.005,
-		"quantize":      true,
-		"seed":          7,
-	}, &train)
-	fmt.Println("training job:", train.JobID)
-	for {
-		var job struct {
-			Status string   `json:"status"`
-			Error  string   `json:"error"`
-			Logs   []string `json:"logs"`
-		}
-		get(server.URL+"/api/jobs/"+train.JobID, user.APIKey, &job)
-		if job.Status == "finished" {
-			for _, l := range job.Logs {
-				fmt.Println("  [job]", l)
-			}
-			break
-		}
-		if job.Status == "failed" {
-			log.Fatal("training failed: ", job.Error)
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-
-	// 5. Profile for the deployment target.
-	var profile map[string]any
-	get(fmt.Sprintf("%s/api/projects/%d/profile?target=nano-33-ble-sense", server.URL, proj.ID), user.APIKey, &profile)
-	pretty, _ := json.Marshal(profile["int8"])
-	fmt.Println("int8 on-device estimate:", string(pretty))
-
-	// 6. Download and run the EIM deployment.
-	req, _ := http.NewRequest("GET", fmt.Sprintf("%s/api/projects/%d/deployment?type=eim", server.URL, proj.ID), nil)
-	req.Header.Set("x-api-key", user.APIKey)
-	resp, err := http.DefaultClient.Do(req)
+	imp, err := c.SetImpulse(ctx, proj.ID, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	blob, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	fmt.Println("impulse:", imp.Dataflow)
+
+	// 4. Async training job with quantization; long-poll instead of
+	// busy-looping on status.
+	accepted, err := c.Train(ctx, proj.ID, v1.TrainRequest{
+		Model:        v1.ModelSpec{Type: "conv1d", Depth: 2, StartFilters: 8, EndFilters: 16},
+		Epochs:       10,
+		LearningRate: 0.005,
+		Quantize:     true,
+		Seed:         7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training job:", accepted.JobID)
+	done, err := c.WaitJob(ctx, accepted.JobID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if done.Status == v1.JobFailed {
+		log.Fatal("training failed: ", done.Job.Error)
+	}
+	for _, l := range done.Logs {
+		fmt.Println("  [job]", l)
+	}
+	resultResp, err := c.JobResult(ctx, accepted.JobID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trained, err := resultResp.TrainResult()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: accuracy %.3f, quantized=%v\n", trained.Accuracy, trained.Quantized)
+
+	// 5. Profile for the deployment target.
+	profile, err := c.Profile(ctx, proj.ID, "nano-33-ble-sense")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if profile.Int8 != nil {
+		fmt.Printf("int8 on-device estimate: %.1f ms, %.1f KB RAM, fits=%v\n",
+			profile.Int8.TotalMS, profile.Int8.RAMKB, profile.Int8.Fits)
+	}
+
+	// 6. Download and run the EIM deployment.
+	blob, err := c.DeploymentEIM(ctx, proj.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("downloaded model.eim (%d bytes)\n", len(blob))
 	deployed, err := deploy.ParseEIM(blob)
 	if err != nil {
@@ -147,47 +155,4 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("deployed model: sample labeled %q classified as %q %v\n", clip.Label, res.Label, res.Scores)
-}
-
-func post(url, key string, body any, out any) {
-	blob, _ := json.Marshal(body)
-	req, _ := http.NewRequest("POST", url, bytes.NewReader(blob))
-	req.Header.Set("Content-Type", "application/json")
-	if key != "" {
-		req.Header.Set("x-api-key", key)
-	}
-	doReq(req, out)
-}
-
-func postRaw(url, key string, body []byte) {
-	req, _ := http.NewRequest("POST", url, bytes.NewReader(body))
-	if key != "" {
-		req.Header.Set("x-api-key", key)
-	}
-	doReq(req, nil)
-}
-
-func get(url, key string, out any) {
-	req, _ := http.NewRequest("GET", url, nil)
-	if key != "" {
-		req.Header.Set("x-api-key", key)
-	}
-	doReq(req, out)
-}
-
-func doReq(req *http.Request, out any) {
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	raw, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode >= 400 {
-		log.Fatalf("%s %s: %d %s", req.Method, req.URL.Path, resp.StatusCode, raw)
-	}
-	if out != nil {
-		if err := json.Unmarshal(raw, out); err != nil {
-			log.Fatalf("bad response: %s", raw)
-		}
-	}
 }

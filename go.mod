@@ -1,0 +1,3 @@
+module edgepulse
+
+go 1.22

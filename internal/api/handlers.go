@@ -4,129 +4,140 @@ import (
 	"bytes"
 	"context"
 	"encoding/base64"
+	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
+	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/core"
 	"edgepulse/internal/data"
 	"edgepulse/internal/deploy"
 	"edgepulse/internal/device"
 	"edgepulse/internal/dsp"
+	"edgepulse/internal/jobs"
 	"edgepulse/internal/profiler"
 	"edgepulse/internal/project"
 	"edgepulse/internal/renode"
 	"edgepulse/internal/tuner"
 )
 
+// Default and maximum page sizes for list endpoints.
+const (
+	defaultPageSize = 100
+	maxPageSize     = 1000
+)
+
 func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Name string `json:"name"`
-	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.CreateUserRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	u, err := s.registry.CreateUser(req.Name)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
-		"success": true, "id": u.ID, "name": u.Name, "api_key": u.APIKey,
+	writeJSON(w, http.StatusCreated, v1.CreateUserResponse{
+		Success: true, ID: u.ID, Name: u.Name, APIKey: u.APIKey,
 	})
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
-	type dev struct {
-		ID      string `json:"id"`
-		Name    string `json:"name"`
-		CPU     string `json:"cpu"`
-		ClockHz int64  `json:"clock_hz"`
-		FlashKB int64  `json:"flash_kb"`
-		RAMKB   int64  `json:"ram_kb"`
-	}
-	var out []dev
+	var out []v1.Device
 	for _, t := range device.All() {
-		out = append(out, dev{
+		out = append(out, v1.Device{
 			ID: t.ID, Name: t.Name, CPU: t.CPU, ClockHz: t.ClockHz,
 			FlashKB: t.FlashBytes >> 10, RAMKB: t.RAMBytes >> 10,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "devices": out})
+	writeJSON(w, http.StatusOK, v1.DevicesResponse{Success: true, Devices: out})
 }
 
-func projectSummary(p *project.Project) map[string]any {
-	return map[string]any{
-		"id": p.ID, "name": p.Name, "owner": p.OwnerID,
-		"public": p.Public(), "samples": p.Dataset().Len(),
-		"collaborators": p.Collaborators(),
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, u *project.User) {
+	out := s.metrics.snapshot()
+	m := s.sched.Metrics()
+	out.Scheduler = v1.SchedulerMetrics{
+		Workers: m.Workers, PeakWorkers: m.PeakWorkers, Queued: m.Queued,
+		Completed: m.Completed, Failed: m.FailedN, ScaleUps: m.ScaleUps,
 	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func projectSummary(p *project.Project) v1.ProjectSummary {
+	return v1.ProjectSummary{
+		ID: p.ID, Name: p.Name, Owner: p.OwnerID,
+		Public: p.Public(), Samples: p.Dataset().Len(),
+		Collaborators: p.Collaborators(),
+	}
+}
+
+func (s *Server) writeProjectList(w http.ResponseWriter, r *http.Request, all []*project.Project) {
+	limit, offset, err := pageParams(r, defaultPageSize, maxPageSize)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
+		return
+	}
+	window, page := paginate(all, limit, offset)
+	var out []v1.ProjectSummary
+	for _, p := range window {
+		out = append(out, projectSummary(p))
+	}
+	writeJSON(w, http.StatusOK, v1.ProjectsResponse{Success: true, Projects: out, Page: page})
 }
 
 func (s *Server) handlePublicProjects(w http.ResponseWriter, r *http.Request) {
-	var out []map[string]any
-	for _, p := range s.registry.ListPublic() {
-		out = append(out, projectSummary(p))
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "projects": out})
+	s.writeProjectList(w, r, s.registry.ListPublic())
+}
+
+func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request, u *project.User) {
+	s.writeProjectList(w, r, s.registry.ListAccessible(u.ID))
 }
 
 func (s *Server) handleCreateProject(w http.ResponseWriter, r *http.Request, u *project.User) {
-	var req struct {
-		Name string `json:"name"`
-	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.CreateProjectRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	p, err := s.registry.CreateProject(req.Name, u.ID)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
-		"success": true, "id": p.ID, "name": p.Name, "hmac_key": p.HMACKey,
+	writeJSON(w, http.StatusCreated, v1.CreateProjectResponse{
+		Success: true, ID: p.ID, Name: p.Name, HMACKey: p.HMACKey,
 	})
 }
 
-func (s *Server) handleListProjects(w http.ResponseWriter, r *http.Request, u *project.User) {
-	var out []map[string]any
-	for _, p := range s.registry.ListAccessible(u.ID) {
-		out = append(out, projectSummary(p))
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "projects": out})
-}
-
 func (s *Server) handleGetProject(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "project": projectSummary(p)})
+	writeJSON(w, http.StatusOK, v1.ProjectResponse{Success: true, Project: projectSummary(p)})
 }
 
 func (s *Server) handleSetPublic(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	var req struct {
-		Public bool `json:"public"`
-	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.SetPublicRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	p.SetPublic(req.Public)
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "public": p.Public()})
+	writeJSON(w, http.StatusOK, v1.SetPublicResponse{Success: true, Public: p.Public()})
 }
 
 func (s *Server) handleAddCollaborator(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	var req struct {
-		UserID string `json:"user_id"`
-	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.AddCollaboratorRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	if _, err := s.registry.GetUser(req.UserID); err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+		s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, err.Error())
 		return
 	}
 	p.AddCollaborator(req.UserID)
-	writeJSON(w, http.StatusOK, map[string]any{"success": true})
+	writeJSON(w, http.StatusOK, v1.OK{Success: true})
 }
 
 // handleUploadData ingests one sample. Query params: label (required),
@@ -135,7 +146,7 @@ func (s *Server) handleAddCollaborator(w http.ResponseWriter, r *http.Request, u
 func (s *Server) handleUploadData(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
 	label := r.URL.Query().Get("label")
 	if label == "" {
-		writeErr(w, http.StatusBadRequest, "label query parameter required")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "label query parameter required")
 		return
 	}
 	name := r.URL.Query().Get("name")
@@ -143,9 +154,9 @@ func (s *Server) handleUploadData(w http.ResponseWriter, r *http.Request, u *pro
 		name = "upload"
 	}
 	format := r.URL.Query().Get("format")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxDataBody))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "cannot read body")
+		s.badRequest(w, r, err)
 		return
 	}
 	ds := p.Dataset()
@@ -160,126 +171,131 @@ func (s *Server) handleUploadData(w http.ResponseWriter, r *http.Request, u *pro
 	case "acquisition", "":
 		id, err = ds.ImportAcquisition(name, label, body, p.HMACKey)
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown format "+format)
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "unknown format "+format)
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"success": true, "sample_id": id})
+	writeJSON(w, http.StatusCreated, v1.UploadResponse{Success: true, SampleID: id})
+}
+
+func labelStats(stats []data.LabelStat) []v1.LabelStat {
+	out := make([]v1.LabelStat, len(stats))
+	for i, st := range stats {
+		out[i] = v1.LabelStat{
+			Label: st.Label, Training: st.Training,
+			Testing: st.Testing, Seconds: st.Seconds,
+		}
+	}
+	return out
 }
 
 func (s *Server) handleListData(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	ds := p.Dataset()
-	type sample struct {
-		ID       string `json:"id"`
-		Name     string `json:"name"`
-		Label    string `json:"label"`
-		Category string `json:"category"`
-		Frames   int    `json:"frames"`
+	limit, offset, err := pageParams(r, defaultPageSize, maxPageSize)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
+		return
 	}
-	var samples []sample
-	for _, sm := range ds.List(data.Category(r.URL.Query().Get("category"))) {
-		samples = append(samples, sample{
+	ds := p.Dataset()
+	all := ds.List(data.Category(r.URL.Query().Get("category")))
+	window, page := paginate(all, limit, offset)
+	var samples []v1.Sample
+	for _, sm := range window {
+		samples = append(samples, v1.Sample{
 			ID: sm.ID, Name: sm.Name, Label: sm.Label,
 			Category: string(sm.Category), Frames: sm.Signal.Frames(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"success": true,
-		"samples": samples,
-		"stats":   ds.Stats(),
-		"version": ds.Version(),
+	writeJSON(w, http.StatusOK, v1.ListDataResponse{
+		Success: true,
+		Samples: samples,
+		Stats:   labelStats(ds.Stats()),
+		Version: ds.Version(),
+		Page:    page,
 	})
 }
 
 func (s *Server) handleDeleteSample(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
 	if err := p.Dataset().Remove(r.PathValue("sample")); err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+		s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"success": true})
+	writeJSON(w, http.StatusOK, v1.OK{Success: true})
 }
 
 func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	var req struct {
-		TestFraction float64 `json:"test_fraction"`
-	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.RebalanceRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	if req.TestFraction <= 0 || req.TestFraction >= 1 {
-		writeErr(w, http.StatusBadRequest, "test_fraction must be in (0,1)")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "test_fraction must be in (0,1)")
 		return
 	}
 	p.Dataset().Rebalance(req.TestFraction)
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "stats": p.Dataset().Stats()})
+	writeJSON(w, http.StatusOK, v1.RebalanceResponse{Success: true, Stats: labelStats(p.Dataset().Stats())})
 }
 
 func (s *Server) handleSetImpulse(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJSONBody))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "cannot read body")
+		s.badRequest(w, r, err)
 		return
 	}
 	cfg, err := core.ParseConfig(body)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
 	imp, err := core.FromConfig(cfg)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
 	p.SetImpulse(imp)
 	shape, _ := imp.FeatureShape()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"success": true, "feature_shape": shape, "dataflow": imp.Describe(),
+	writeJSON(w, http.StatusOK, v1.SetImpulseResponse{
+		Success: true, FeatureShape: shape, Dataflow: imp.Describe(),
 	})
 }
 
 func (s *Server) handleGetImpulse(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
 	imp := p.Impulse()
 	if imp == nil {
-		writeErr(w, http.StatusNotFound, "no impulse configured")
+		s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, "no impulse configured")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"success": true, "impulse": imp.Config(),
-		"trained": imp.Model != nil, "quantized": imp.QModel != nil,
-		"dataflow": imp.Describe(),
+	cfg, err := json.Marshal(imp.Config())
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, v1.CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, v1.GetImpulseResponse{
+		Success: true, Impulse: cfg,
+		Trained: imp.Model != nil, Quantized: imp.QModel != nil,
+		Dataflow: imp.Describe(),
 	})
 }
 
-// TrainRequest configures a training job.
-type TrainRequest struct {
-	Model        ModelSpec `json:"model"`
-	Epochs       int       `json:"epochs"`
-	LearningRate float64   `json:"learning_rate"`
-	Quantize     bool      `json:"quantize"`
-	Seed         int64     `json:"seed"`
-}
-
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	var req TrainRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.TrainRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	base := p.Impulse()
 	if base == nil {
-		writeErr(w, http.StatusBadRequest, "configure an impulse first")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "configure an impulse first")
 		return
 	}
 	if p.Dataset().Len() == 0 {
-		writeErr(w, http.StatusBadRequest, "project has no data")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "project has no data")
 		return
 	}
-	idReady := make(chan string, 1)
-	job, err := s.sched.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
+	job, err := s.sched.SubmitTagged("training", p.ID, func(ctx context.Context, j *jobs.Job) error {
 		// Train on a fresh impulse so a failed job never corrupts the
 		// project's current model.
 		imp, err := core.FromConfig(base.Config())
@@ -287,37 +303,34 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, u *project.
 			return err
 		}
 		imp.Classes = p.Dataset().Labels()
-		res, err := trainImpulse(imp, p.Dataset(), req, logf)
+		res, err := trainImpulse(imp, p.Dataset(), req, j.Logf)
 		if err != nil {
 			return err
 		}
 		p.SetImpulse(imp)
-		s.results.Store(<-idReady, res)
+		s.results.Put(j.ID, j.Kind, res)
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, r, http.StatusServiceUnavailable, v1.CodeUnavailable, err.Error())
 		return
 	}
-	idReady <- job.ID
-	writeJSON(w, http.StatusAccepted, map[string]any{"success": true, "job_id": job.ID})
+	writeJSON(w, http.StatusAccepted, v1.JobAccepted{Success: true, JobID: job.ID})
 }
 
 func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	var req struct {
-		MaxTrials int    `json:"max_trials"`
-		Epochs    int    `json:"epochs"`
-		Target    string `json:"target"`
-		Strategy  string `json:"strategy"`
-		Seed      int64  `json:"seed"`
-	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.TunerRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	base := p.Impulse()
 	if base == nil {
-		writeErr(w, http.StatusBadRequest, "configure an impulse first")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "configure an impulse first")
+		return
+	}
+	if p.Dataset().Len() == 0 {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "project has no data")
 		return
 	}
 	tgt := device.Target{}
@@ -325,13 +338,12 @@ func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request, u *project.
 		var err error
 		tgt, err = device.Get(req.Target)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
+			s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 			return
 		}
 	}
 	input := base.Input
-	idReady := make(chan string, 1)
-	job, err := s.sched.Submit("tuner", func(ctx context.Context, logf func(string, ...any)) error {
+	job, err := s.sched.SubmitTagged("tuner", p.ID, func(ctx context.Context, j *jobs.Job) error {
 		trials, err := tuner.Run(p.Dataset(), tuner.Config{
 			Input:       input,
 			Constraints: tuner.Constraints{Target: tgt},
@@ -343,30 +355,40 @@ func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request, u *project.
 		if err != nil {
 			return err
 		}
-		logf("tuner finished with %d trials", len(trials))
-		s.results.Store(<-idReady, trials)
+		j.Logf("tuner finished with %d trials", len(trials))
+		s.results.Put(j.ID, j.Kind, tunerTrials(trials))
 		return nil
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		s.writeError(w, r, http.StatusServiceUnavailable, v1.CodeUnavailable, err.Error())
 		return
 	}
-	idReady <- job.ID
-	writeJSON(w, http.StatusAccepted, map[string]any{"success": true, "job_id": job.ID})
+	writeJSON(w, http.StatusAccepted, v1.JobAccepted{Success: true, JobID: job.ID})
+}
+
+func tunerTrials(trials []tuner.Trial) []v1.TunerTrial {
+	out := make([]v1.TunerTrial, len(trials))
+	for i, t := range trials {
+		out[i] = v1.TunerTrial{
+			DSPDesc: t.DSPDesc, ModelDesc: t.ModelDesc, Accuracy: t.Accuracy,
+			DSPLatencyMS: t.DSPLatencyMS, NNLatencyMS: t.NNLatencyMS,
+			TotalLatencyMS: t.TotalLatencyMS,
+			DSPRAM:         t.DSPRAM, NNRAM: t.NNRAM, TotalRAM: t.TotalRAM,
+			NNFlash: t.NNFlash, Fits: t.Fits,
+		}
+	}
+	return out
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	var req struct {
-		Features  []float32 `json:"features"`
-		Quantized bool      `json:"quantized"`
-	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	var req v1.ClassifyRequest
+	if err := decodeBodyLimit(w, r, &req, maxDataBody); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	imp := p.Impulse()
 	if imp == nil || imp.Model == nil {
-		writeErr(w, http.StatusBadRequest, "impulse is not trained")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "impulse is not trained")
 		return
 	}
 	canonical := imp.CanonicalSignal()
@@ -382,19 +404,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, u *proje
 		res, err = imp.Classify(sig)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"success": true, "label": res.Label,
-		"classification": res.Scores, "anomaly": res.AnomalyScore,
+	writeJSON(w, http.StatusOK, v1.ClassifyResponse{
+		Success: true, Label: res.Label,
+		Classification: res.Scores, Anomaly: res.AnomalyScore,
 	})
 }
 
 func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
 	imp := p.Impulse()
 	if imp == nil || imp.Model == nil {
-		writeErr(w, http.StatusBadRequest, "impulse is not trained")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "impulse is not trained")
 		return
 	}
 	quantized := r.URL.Query().Get("quantized") == "true"
@@ -403,7 +425,7 @@ func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request, u *pro
 	case "eim":
 		blob, err := deploy.BuildEIM(imp)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
+			s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -422,18 +444,18 @@ func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request, u *pro
 			art, err = deploy.CPPLibrary(imp, quantized)
 		}
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
+			s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 			return
 		}
 		files := map[string]string{}
 		for name, content := range art.Files {
 			files[name] = base64.StdEncoding.EncodeToString(content)
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"success": true, "kind": art.Kind, "files": files,
+		writeJSON(w, http.StatusOK, v1.DeploymentResponse{
+			Success: true, Kind: art.Kind, Files: files,
 		})
 	default:
-		writeErr(w, http.StatusBadRequest, "unknown deployment type "+kind)
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "unknown deployment type "+kind)
 	}
 }
 
@@ -442,7 +464,7 @@ func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request, u *pro
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
 	imp := p.Impulse()
 	if imp == nil || imp.Model == nil {
-		writeErr(w, http.StatusBadRequest, "impulse is not trained")
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "impulse is not trained")
 		return
 	}
 	targetID := r.URL.Query().Get("target")
@@ -451,80 +473,169 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request, u *projec
 	}
 	tgt, err := device.Get(targetID)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
 	specs, err := imp.Model.Spec()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, r, http.StatusInternalServerError, v1.CodeInternal, err.Error())
 		return
 	}
 	est := renode.EstimateFloat(tgt, imp.DSPCost(), specs, renode.TFLM)
 	mem, err := profiler.EstimateFloat(imp.Model, renode.TFLM)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, r, http.StatusInternalServerError, v1.CodeInternal, err.Error())
 		return
 	}
-	out := map[string]any{
-		"success": true, "target": tgt.ID,
-		"float32": map[string]any{
-			"dsp_ms": est.DSPMillis, "inference_ms": est.InferenceMillis,
-			"total_ms": est.TotalMillis,
-			"ram_kb":   float64(mem.RAMBytes) / 1024, "flash_kb": float64(mem.FlashBytes) / 1024,
-			"fits": profiler.Fits(mem, imp.DSPRAM(), tgt),
+	out := v1.ProfileResponse{
+		Success: true, Target: tgt.ID,
+		Float32: &v1.ProfileEstimate{
+			DSPMS: est.DSPMillis, InferenceMS: est.InferenceMillis,
+			TotalMS: est.TotalMillis,
+			RAMKB:   float64(mem.RAMBytes) / 1024, FlashKB: float64(mem.FlashBytes) / 1024,
+			Fits: profiler.Fits(mem, imp.DSPRAM(), tgt),
 		},
 	}
 	if imp.QModel != nil {
 		qEst := renode.EstimateInt8(tgt, imp.DSPCost(), imp.QModel, renode.EON)
 		qMem := profiler.EstimateInt8(imp.QModel, renode.EON)
-		out["int8"] = map[string]any{
-			"dsp_ms": qEst.DSPMillis, "inference_ms": qEst.InferenceMillis,
-			"total_ms": qEst.TotalMillis,
-			"ram_kb":   float64(qMem.RAMBytes) / 1024, "flash_kb": float64(qMem.FlashBytes) / 1024,
-			"fits": profiler.Fits(qMem, imp.DSPRAM(), tgt),
+		out.Int8 = &v1.ProfileEstimate{
+			DSPMS: qEst.DSPMillis, InferenceMS: qEst.InferenceMillis,
+			TotalMS: qEst.TotalMillis,
+			RAMKB:   float64(qMem.RAMBytes) / 1024, FlashKB: float64(qMem.FlashBytes) / 1024,
+			Fits: profiler.Fits(qMem, imp.DSPRAM(), tgt),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	var req struct {
-		Note string `json:"note"`
+func projectVersion(v project.Version) v1.ProjectVersion {
+	return v1.ProjectVersion{
+		ID: v.ID, Note: v.Note, DatasetVersion: v.DatasetVersion,
+		ImpulseConfig: v.ImpulseConfig,
+		CreatedAt:     v.CreatedAt.UTC().Format(time.RFC3339),
 	}
-	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req v1.SnapshotRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.badRequest(w, r, err)
 		return
 	}
 	v := p.Snapshot(req.Note)
-	writeJSON(w, http.StatusCreated, map[string]any{"success": true, "version": v})
+	writeJSON(w, http.StatusCreated, v1.SnapshotResponse{Success: true, Version: projectVersion(v)})
 }
 
 func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "versions": p.Versions()})
+	limit, offset, err := pageParams(r, defaultPageSize, maxPageSize)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
+		return
+	}
+	window, page := paginate(p.Versions(), limit, offset)
+	var out []v1.ProjectVersion
+	for _, v := range window {
+		out = append(out, projectVersion(v))
+	}
+	writeJSON(w, http.StatusOK, v1.VersionsResponse{Success: true, Versions: out, Page: page})
+}
+
+// authorizeJob resolves a job and enforces the owning project's access
+// control via the tag attached at submission (set before the job is
+// ever resolvable, so there is no window where it appears untagged).
+// Jobs from an inaccessible project answer 404 (not 403) so probing
+// sequential job IDs does not confirm their existence. Jobs with no
+// project tag (submitted outside the API) stay visible to any
+// authenticated user.
+func (s *Server) authorizeJob(w http.ResponseWriter, r *http.Request, u *project.User) (*jobs.Job, bool) {
+	j, err := s.sched.Get(r.PathValue("job"))
+	if err != nil {
+		s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, err.Error())
+		return nil, false
+	}
+	if pid, ok := j.Tag.(int); ok {
+		p, err := s.registry.GetProject(pid)
+		if err != nil || !p.CanAccess(u.ID) {
+			s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, "jobs: no job "+j.ID)
+			return nil, false
+		}
+	}
+	return j, true
+}
+
+func jobView(j *jobs.Job) v1.Job {
+	return v1.Job{
+		ID: j.ID, Kind: j.Kind, Status: string(j.Status()),
+		Error: j.Err(), Logs: j.Logs(),
+		DurationMS: float64(j.Duration().Microseconds()) / 1000,
+	}
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request, u *project.User) {
-	j, err := s.sched.Get(r.PathValue("job"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
+	j, ok := s.authorizeJob(w, r, u)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"success": true, "id": j.ID, "kind": j.Kind,
-		"status": j.Status(), "error": j.Err(), "logs": j.Logs(),
-	})
+	writeJSON(w, http.StatusOK, v1.JobResponse{Success: true, Job: jobView(j)})
+}
+
+// Long-poll bounds for GET /jobs/{job}/wait.
+const (
+	defaultWaitTimeout = 30 * time.Second
+	maxWaitTimeout     = 120 * time.Second
+)
+
+// handleJobWait long-polls until the job reaches a terminal state or
+// timeout_ms elapses, so clients stop busy-looping on job status.
+func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request, u *project.User) {
+	j, ok := s.authorizeJob(w, r, u)
+	if !ok {
+		return
+	}
+	timeout := defaultWaitTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "timeout_ms must be a positive integer")
+			return
+		}
+		// Clamp before the Duration multiply: a huge ms value would
+		// overflow int64 into a negative timeout.
+		if maxMS := int(maxWaitTimeout / time.Millisecond); ms > maxMS {
+			ms = maxMS
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-j.Done():
+		writeJSON(w, http.StatusOK, v1.JobWaitResponse{Success: true, Done: true, Job: jobView(j)})
+	case <-timer.C:
+		writeJSON(w, http.StatusOK, v1.JobWaitResponse{Success: true, Done: false, Job: jobView(j)})
+	case <-r.Context().Done():
+		// Client went away mid-poll; mark it so metrics don't count
+		// this as a handler failure.
+		w.WriteHeader(statusClientClosedRequest)
+	}
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, u *project.User) {
-	id := r.PathValue("job")
-	if _, err := s.sched.Get(id); err != nil {
-		writeErr(w, http.StatusNotFound, err.Error())
-		return
-	}
-	res, ok := s.results.Load(id)
+	j, ok := s.authorizeJob(w, r, u)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no result for job "+id+" (still running?)")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"success": true, "result": res})
+	id := j.ID
+	res, ok := s.results.Get(id)
+	if !ok {
+		s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, "no result for job "+id+" (still running?)")
+		return
+	}
+	raw, err := json.Marshal(res.Value)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, v1.CodeInternal, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, v1.JobResultResponse{Success: true, Kind: res.Kind, Result: raw})
 }

@@ -3,6 +3,7 @@ package api
 import (
 	"fmt"
 
+	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/core"
 	"edgepulse/internal/data"
 	"edgepulse/internal/models"
@@ -11,23 +12,9 @@ import (
 	"edgepulse/internal/trainer"
 )
 
-// ModelSpec selects a model-zoo architecture in API requests: the
+// buildModel constructs the architecture a v1.ModelSpec requests — the
 // "visual editor" presets of paper Sec. 4.3, addressed by name.
-type ModelSpec struct {
-	// Type is one of "conv1d", "dscnn", "mlp", "cnn2d", "mobilenetv1".
-	Type string `json:"type"`
-	// Conv1d parameters.
-	Depth        int `json:"depth,omitempty"`
-	StartFilters int `json:"start_filters,omitempty"`
-	EndFilters   int `json:"end_filters,omitempty"`
-	// MLP parameters.
-	Hidden int `json:"hidden,omitempty"`
-	// MobileNet width multiplier (×100, e.g. 25 for 0.25).
-	AlphaPercent int `json:"alpha_percent,omitempty"`
-}
-
-// buildModel constructs the requested architecture for a feature shape.
-func buildModel(spec ModelSpec, shape tensor.Shape, classes int) (*nn.Model, error) {
+func buildModel(spec v1.ModelSpec, shape tensor.Shape, classes int) (*nn.Model, error) {
 	switch spec.Type {
 	case "conv1d", "":
 		if len(shape) != 2 {
@@ -76,20 +63,9 @@ func buildModel(spec ModelSpec, shape tensor.Shape, classes int) (*nn.Model, err
 	}
 }
 
-// TrainResult is the structured output of a training job.
-type TrainResult struct {
-	Accuracy     float64   `json:"accuracy"`
-	Confusion    [][]int   `json:"confusion"`
-	F1           []float64 `json:"f1"`
-	Classes      []string  `json:"classes"`
-	LearningRate float64   `json:"learning_rate"`
-	TrainLoss    []float64 `json:"train_loss"`
-	Quantized    bool      `json:"quantized"`
-}
-
 // trainImpulse performs the body of a training job: build the model,
 // train, evaluate, optionally quantize.
-func trainImpulse(imp *core.Impulse, ds *data.Dataset, req TrainRequest, logf func(string, ...any)) (*TrainResult, error) {
+func trainImpulse(imp *core.Impulse, ds *data.Dataset, req v1.TrainRequest, logf func(string, ...any)) (*v1.TrainResult, error) {
 	shape, err := imp.FeatureShape()
 	if err != nil {
 		return nil, err
@@ -119,7 +95,7 @@ func trainImpulse(imp *core.Impulse, ds *data.Dataset, req TrainRequest, logf fu
 		return nil, err
 	}
 	logf("test accuracy %.3f", acc)
-	out := &TrainResult{
+	out := &v1.TrainResult{
 		Accuracy:     acc,
 		Confusion:    conf,
 		F1:           trainer.F1Scores(conf),

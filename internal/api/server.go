@@ -1,91 +1,245 @@
-// Package api exposes the full platform over a REST API (paper Sec. 4.9:
-// "all functionality is exposed via publicly accessible REST APIs, which
-// allows users to automate the data collection, model training, and
-// deployment processes"). The server fronts the project registry, the
-// dataset/ingestion pipeline, training and tuner jobs on the autoscaling
-// scheduler, and deployment artifact generation.
+// Package api exposes the full platform over a versioned REST API
+// (paper Sec. 4.9: "all functionality is exposed via publicly accessible
+// REST APIs, which allows users to automate the data collection, model
+// training, and deployment processes"). Every endpoint lives under
+// /api/v1 with typed request/response DTOs declared in internal/api/v1;
+// the unversioned /api prefix stays routable as an alias onto the same
+// v1 handlers — old paths keep working, but with v1 semantics (the
+// structured error envelope, strict JSON decoding, v1 body limits,
+// and default pagination on list endpoints).
+// A composable middleware chain provides panic recovery,
+// request IDs, structured logging, per-API-key token-bucket rate
+// limiting, and request metrics (GET /api/v1/metrics). Failures use a
+// structured envelope {"success":false,"error":{"code":...,"message":...}}
+// with stable machine-readable codes.
 package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
-	"sync"
+	"strings"
 
+	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/jobs"
 	"edgepulse/internal/project"
 )
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger sets the structured request logger (default: discard).
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
+// WithRateLimit overrides the per-API-key token bucket (default
+// 100 req/s with a burst of 200); the aggregate per-IP ceiling scales
+// with it at aggFactor×. rate == 0 disables rate limiting entirely,
+// rate < 0 keeps the default, and burst <= 0 defaults to 2× the rate.
+func WithRateLimit(rate float64, burst int) Option {
+	return func(s *Server) {
+		if rate < 0 {
+			return
+		}
+		if rate == 0 {
+			s.limiter, s.aggLimiter = nil, nil
+			return
+		}
+		if burst <= 0 {
+			burst = int(2 * rate)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.limiter = newRateLimiter(rate, burst)
+		s.aggLimiter = newRateLimiter(rate*aggFactor, burst*aggFactor)
+	}
+}
 
 // Server wires the platform services behind an http.Handler.
 type Server struct {
 	registry *project.Registry
 	sched    *jobs.Scheduler
-	mux      *http.ServeMux
-
 	// results holds structured job outputs (training metrics, tuner
-	// trials) keyed by job ID.
-	results sync.Map
+	// trials) keyed by the job ID minted at submission.
+	results *jobs.JobStore
+
+	mux     *http.ServeMux
+	handler http.Handler
+	log     *slog.Logger
+	limiter *rateLimiter
+	// aggLimiter bounds each client IP's aggregate authenticated
+	// traffic, since API keys are freely mintable via POST /users.
+	aggLimiter *rateLimiter
+	// trustProxy honors X-Forwarded-For for the client IP (opt-in,
+	// only safe behind a proxy that overwrites the header).
+	trustProxy bool
+	metrics    *apiMetrics
+}
+
+// WithTrustProxy keys IP rate limiting on the first X-Forwarded-For
+// hop instead of the connection's RemoteAddr. Enable only behind a
+// reverse proxy that sets the header itself; the header is forgeable
+// from direct connections.
+func WithTrustProxy() Option {
+	return func(s *Server) { s.trustProxy = true }
 }
 
 // NewServer builds the API server over a registry and scheduler.
-func NewServer(reg *project.Registry, sched *jobs.Scheduler) *Server {
-	s := &Server{registry: reg, sched: sched, mux: http.NewServeMux()}
+func NewServer(reg *project.Registry, sched *jobs.Scheduler, opts ...Option) *Server {
+	s := &Server{
+		registry:   reg,
+		sched:      sched,
+		results:    jobs.NewJobStore(),
+		mux:        http.NewServeMux(),
+		log:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		limiter:    newRateLimiter(100, 200),
+		aggLimiter: newRateLimiter(100*aggFactor, 200*aggFactor),
+		metrics:    newAPIMetrics(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Release a job's stored result together with its scheduler record,
+	// so neither outlives the other unreachably.
+	sched.SetEvictHook(s.results.Delete)
 	s.routes()
+	s.handler = chain(http.HandlerFunc(s.dispatch),
+		withRequestID,
+		s.withLogging,
+		s.withRecovery,
+		s.withRateLimit,
+	)
 	return s
 }
 
-// Handler returns the root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// dispatch routes through the mux but replaces net/http's plain-text
+// 404/405 fallbacks with the structured error envelope, keeping the
+// "every non-2xx response carries the envelope" contract.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request) {
+	h, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		// No matching route (404) or method mismatch (405). Run the
+		// mux's fallback against a header-only recorder to learn which,
+		// preserving the Allow header it computes for 405s.
+		rec := &headerRecorder{header: http.Header{}}
+		h.ServeHTTP(rec, r)
+		if allow := rec.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		if rec.status == http.StatusMethodNotAllowed {
+			s.metrics.record(routeUnmatched, http.StatusMethodNotAllowed, 0)
+			s.writeError(w, r, http.StatusMethodNotAllowed, v1.CodeMethodNotAllowed,
+				"method "+r.Method+" not allowed for this endpoint")
+			return
+		}
+		s.metrics.record(routeUnmatched, http.StatusNotFound, 0)
+		s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, "no such endpoint")
+		return
+	}
+	// Serve through the mux, not the returned handler directly: only
+	// the mux's own dispatch populates r.PathValue.
+	s.mux.ServeHTTP(w, r)
+}
+
+// headerRecorder captures only the status and headers a handler writes.
+type headerRecorder struct {
+	header http.Header
+	status int
+}
+
+func (h *headerRecorder) Header() http.Header { return h.header }
+func (h *headerRecorder) WriteHeader(code int) {
+	if h.status == 0 {
+		h.status = code
+	}
+}
+func (h *headerRecorder) Write(b []byte) (int, error) {
+	if h.status == 0 {
+		h.status = http.StatusOK
+	}
+	return len(b), nil
+}
+
+// Handler returns the root handler with the middleware chain applied.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// route registers a handler under both the versioned and the legacy
+// prefix. pattern is "METHOD /path"; metrics for both registrations are
+// keyed by the v1 pattern, so alias traffic folds into its v1 route.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("api: route pattern must be \"METHOD /path\": " + pattern)
+	}
+	v1pat := method + " " + v1.Prefix + path
+	s.mux.Handle(v1pat, s.instrument(v1pat, h))
+	s.mux.Handle(method+" "+v1.LegacyPrefix+path, s.instrument(v1pat, h))
+}
 
 func (s *Server) routes() {
 	// Unauthenticated bootstrap + discovery.
-	s.mux.HandleFunc("POST /api/users", s.handleCreateUser)
-	s.mux.HandleFunc("GET /api/devices", s.handleDevices)
-	s.mux.HandleFunc("GET /api/projects/public", s.handlePublicProjects)
+	s.route("POST /users", s.handleCreateUser)
+	s.route("GET /devices", s.handleDevices)
+	s.route("GET /projects/public", s.handlePublicProjects)
+
+	// Operational counters expose route/error/load internals, so they
+	// require an API key like every other non-bootstrap endpoint.
+	s.route("GET /metrics", s.auth(s.handleMetrics))
 
 	// Authenticated project APIs.
-	s.mux.HandleFunc("POST /api/projects", s.auth(s.handleCreateProject))
-	s.mux.HandleFunc("GET /api/projects", s.auth(s.handleListProjects))
-	s.mux.HandleFunc("GET /api/projects/{id}", s.auth(s.withProject(s.handleGetProject)))
-	s.mux.HandleFunc("POST /api/projects/{id}/public", s.auth(s.withProject(s.handleSetPublic)))
-	s.mux.HandleFunc("POST /api/projects/{id}/collaborators", s.auth(s.withProject(s.handleAddCollaborator)))
+	s.route("POST /projects", s.auth(s.handleCreateProject))
+	s.route("GET /projects", s.auth(s.handleListProjects))
+	s.route("GET /projects/{id}", s.auth(s.withProject(s.handleGetProject)))
+	s.route("POST /projects/{id}/public", s.auth(s.withProject(s.handleSetPublic)))
+	s.route("POST /projects/{id}/collaborators", s.auth(s.withProject(s.handleAddCollaborator)))
 
-	s.mux.HandleFunc("POST /api/projects/{id}/data", s.auth(s.withProject(s.handleUploadData)))
-	s.mux.HandleFunc("GET /api/projects/{id}/data", s.auth(s.withProject(s.handleListData)))
-	s.mux.HandleFunc("DELETE /api/projects/{id}/data/{sample}", s.auth(s.withProject(s.handleDeleteSample)))
-	s.mux.HandleFunc("POST /api/projects/{id}/rebalance", s.auth(s.withProject(s.handleRebalance)))
+	s.route("POST /projects/{id}/data", s.auth(s.withProject(s.handleUploadData)))
+	s.route("GET /projects/{id}/data", s.auth(s.withProject(s.handleListData)))
+	s.route("DELETE /projects/{id}/data/{sample}", s.auth(s.withProject(s.handleDeleteSample)))
+	s.route("POST /projects/{id}/rebalance", s.auth(s.withProject(s.handleRebalance)))
 
-	s.mux.HandleFunc("POST /api/projects/{id}/impulse", s.auth(s.withProject(s.handleSetImpulse)))
-	s.mux.HandleFunc("GET /api/projects/{id}/impulse", s.auth(s.withProject(s.handleGetImpulse)))
+	s.route("POST /projects/{id}/impulse", s.auth(s.withProject(s.handleSetImpulse)))
+	s.route("GET /projects/{id}/impulse", s.auth(s.withProject(s.handleGetImpulse)))
 
-	s.mux.HandleFunc("POST /api/projects/{id}/train", s.auth(s.withProject(s.handleTrain)))
-	s.mux.HandleFunc("POST /api/projects/{id}/tuner", s.auth(s.withProject(s.handleTuner)))
-	s.mux.HandleFunc("POST /api/projects/{id}/classify", s.auth(s.withProject(s.handleClassify)))
-	s.mux.HandleFunc("GET /api/projects/{id}/deployment", s.auth(s.withProject(s.handleDeployment)))
-	s.mux.HandleFunc("GET /api/projects/{id}/profile", s.auth(s.withProject(s.handleProfile)))
+	s.route("POST /projects/{id}/train", s.auth(s.withProject(s.handleTrain)))
+	s.route("POST /projects/{id}/tuner", s.auth(s.withProject(s.handleTuner)))
+	s.route("POST /projects/{id}/classify", s.auth(s.withProject(s.handleClassify)))
+	s.route("GET /projects/{id}/deployment", s.auth(s.withProject(s.handleDeployment)))
+	s.route("GET /projects/{id}/profile", s.auth(s.withProject(s.handleProfile)))
 
-	s.mux.HandleFunc("POST /api/projects/{id}/versions", s.auth(s.withProject(s.handleSnapshot)))
-	s.mux.HandleFunc("GET /api/projects/{id}/versions", s.auth(s.withProject(s.handleVersions)))
+	s.route("POST /projects/{id}/versions", s.auth(s.withProject(s.handleSnapshot)))
+	s.route("GET /projects/{id}/versions", s.auth(s.withProject(s.handleVersions)))
 
-	s.mux.HandleFunc("GET /api/jobs/{job}", s.auth(s.handleGetJob))
-	s.mux.HandleFunc("GET /api/jobs/{job}/result", s.auth(s.handleJobResult))
+	s.route("GET /jobs/{job}", s.auth(s.handleGetJob))
+	s.route("GET /jobs/{job}/wait", s.auth(s.handleJobWait))
+	s.route("GET /jobs/{job}/result", s.auth(s.handleJobResult))
 }
 
 // userHandler receives the authenticated user.
 type userHandler func(w http.ResponseWriter, r *http.Request, u *project.User)
 
-// auth resolves the x-api-key header to a user.
+// auth resolves the x-api-key header to a user, reusing the identity
+// the rate-limit middleware already resolved when available.
 func (s *Server) auth(next userHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if u, ok := r.Context().Value(authUserKey).(*project.User); ok {
+			next(w, r, u)
+			return
+		}
 		key := r.Header.Get("x-api-key")
 		if key == "" {
-			writeErr(w, http.StatusUnauthorized, "missing x-api-key header")
+			s.writeError(w, r, http.StatusUnauthorized, v1.CodeUnauthorized, "missing x-api-key header")
 			return
 		}
 		u, err := s.registry.Authenticate(key)
 		if err != nil {
-			writeErr(w, http.StatusUnauthorized, "invalid API key")
+			s.writeError(w, r, http.StatusUnauthorized, v1.CodeUnauthorized, "invalid API key")
 			return
 		}
 		next(w, r, u)
@@ -100,16 +254,16 @@ func (s *Server) withProject(next projectHandler) userHandler {
 	return func(w http.ResponseWriter, r *http.Request, u *project.User) {
 		id, err := strconv.Atoi(r.PathValue("id"))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad project id")
+			s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "bad project id")
 			return
 		}
 		p, err := s.registry.GetProject(id)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err.Error())
+			s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, err.Error())
 			return
 		}
 		if !p.CanAccess(u.ID) {
-			writeErr(w, http.StatusForbidden, "no access to this project")
+			s.writeError(w, r, http.StatusForbidden, v1.CodeForbidden, "no access to this project")
 			return
 		}
 		next(w, r, u, p)
@@ -122,14 +276,89 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]any{"success": false, "error": msg})
+// writeError emits the structured error envelope with a stable code and
+// the request's correlation ID.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, v1.ErrorResponse{
+		Success: false,
+		Error:   v1.ErrorDetail{Code: code, Message: msg, RequestID: RequestID(r.Context())},
+	})
 }
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+// badRequest classifies a body-decoding failure: oversized payloads get
+// 413/payload_too_large, everything else 400/bad_request.
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		s.writeError(w, r, http.StatusRequestEntityTooLarge, v1.CodePayloadTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+		return
+	}
+	s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
+}
+
+// Body bounds: structured JSON requests are small; raw sample payloads
+// and classify feature windows (image impulses reach megabytes of JSON)
+// get the large bound.
+const (
+	maxJSONBody = 1 << 20
+	maxDataBody = 64 << 20
+)
+
+// statusClientClosedRequest mirrors nginx's 499: the client went away
+// before a response was written (normal for long-poll endpoints); the
+// metrics layer excludes it from error counts.
+const statusClientClosedRequest = 499
+
+// decodeBody strictly decodes a JSON request body: unknown fields are
+// rejected so typos fail loudly instead of silently defaulting, and the
+// reader is bounded so an oversized body surfaces as *http.MaxBytesError
+// (mapped to 413 by badRequest) instead of being read to completion.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	return decodeBodyLimit(w, r, v, maxJSONBody)
+}
+
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// pageParams reads limit/offset query parameters. limit defaults to
+// defLimit and is capped at maxLimit; offset defaults to 0.
+func pageParams(r *http.Request, defLimit, maxLimit int) (limit, offset int, err error) {
+	limit = defLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit <= 0 {
+			return 0, 0, fmt.Errorf("limit must be a positive integer")
+		}
+		if limit > maxLimit {
+			limit = maxLimit
+		}
+	}
+	if raw := r.URL.Query().Get("offset"); raw != "" {
+		offset, err = strconv.Atoi(raw)
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("offset must be a non-negative integer")
+		}
+	}
+	return limit, offset, nil
+}
+
+// paginate slices items to the requested window and reports the applied
+// page. An empty window yields a nil slice (marshals as null).
+func paginate[T any](items []T, limit, offset int) ([]T, v1.Page) {
+	page := v1.Page{Limit: limit, Offset: offset, Total: len(items)}
+	if offset >= len(items) {
+		return nil, page
+	}
+	end := offset + limit
+	if end > len(items) {
+		end = len(items)
+	}
+	return items[offset:end], page
 }

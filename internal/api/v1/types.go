@@ -1,0 +1,465 @@
+// Package v1 declares the typed request/response contract of the
+// versioned REST API (paper Sec. 4.9: "all functionality is exposed via
+// publicly accessible REST APIs"). Every DTO is declared exactly once
+// here and shared by the server (internal/api) and the Go client
+// (internal/client), so the two cannot drift apart. The package is
+// stdlib-only and carries no server dependencies: third parties can
+// import it to talk to a studio instance.
+package v1
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Prefix is the path prefix of the versioned API surface.
+const Prefix = "/api/v1"
+
+// LegacyPrefix is the unversioned prefix kept routable as an alias onto
+// the v1 handlers. Old paths keep working but responses follow v1
+// semantics (structured error envelope, strict JSON decoding).
+const LegacyPrefix = "/api"
+
+// Stable machine-readable error codes carried in the error envelope.
+// Clients should branch on these, never on message text.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeUnauthorized     = "unauthorized"
+	CodeForbidden        = "forbidden"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodePayloadTooLarge  = "payload_too_large"
+	CodeRateLimited      = "rate_limited"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal_error"
+)
+
+// ErrorDetail is the machine-readable failure description.
+type ErrorDetail struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable and unstable; do not parse it.
+	Message string `json:"message"`
+	// RequestID correlates the failure with server logs.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ErrorResponse is the envelope returned for every non-2xx status:
+// {"success":false,"error":{"code":...,"message":...}}.
+type ErrorResponse struct {
+	Success bool        `json:"success"`
+	Error   ErrorDetail `json:"error"`
+}
+
+// OK is the minimal success envelope.
+type OK struct {
+	Success bool `json:"success"`
+}
+
+// Page echoes the pagination window applied to a list response.
+type Page struct {
+	// Limit is the applied page size.
+	Limit int `json:"limit"`
+	// Offset is the index of the first returned element.
+	Offset int `json:"offset"`
+	// Total counts all elements before pagination.
+	Total int `json:"total"`
+}
+
+// --- Users & devices ---
+
+// CreateUserRequest bootstraps an account. POST /api/v1/users.
+type CreateUserRequest struct {
+	Name string `json:"name"`
+}
+
+// CreateUserResponse returns the account and its API key.
+type CreateUserResponse struct {
+	Success bool   `json:"success"`
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	APIKey  string `json:"api_key"`
+}
+
+// Device describes one supported deployment target.
+type Device struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	CPU     string `json:"cpu"`
+	ClockHz int64  `json:"clock_hz"`
+	FlashKB int64  `json:"flash_kb"`
+	RAMKB   int64  `json:"ram_kb"`
+}
+
+// DevicesResponse lists deployment targets. GET /api/v1/devices.
+type DevicesResponse struct {
+	Success bool     `json:"success"`
+	Devices []Device `json:"devices"`
+}
+
+// --- Projects ---
+
+// ProjectSummary is the project listing row.
+type ProjectSummary struct {
+	ID            int      `json:"id"`
+	Name          string   `json:"name"`
+	Owner         string   `json:"owner"`
+	Public        bool     `json:"public"`
+	Samples       int      `json:"samples"`
+	Collaborators []string `json:"collaborators"`
+}
+
+// CreateProjectRequest creates a project. POST /api/v1/projects.
+type CreateProjectRequest struct {
+	Name string `json:"name"`
+}
+
+// CreateProjectResponse returns the project and its ingestion HMAC key.
+type CreateProjectResponse struct {
+	Success bool   `json:"success"`
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	HMACKey string `json:"hmac_key"`
+}
+
+// ProjectsResponse is a paginated project listing.
+type ProjectsResponse struct {
+	Success  bool             `json:"success"`
+	Projects []ProjectSummary `json:"projects"`
+	Page
+}
+
+// ProjectResponse returns one project. GET /api/v1/projects/{id}.
+type ProjectResponse struct {
+	Success bool           `json:"success"`
+	Project ProjectSummary `json:"project"`
+}
+
+// SetPublicRequest toggles public visibility.
+type SetPublicRequest struct {
+	Public bool `json:"public"`
+}
+
+// SetPublicResponse echoes the new visibility.
+type SetPublicResponse struct {
+	Success bool `json:"success"`
+	Public  bool `json:"public"`
+}
+
+// AddCollaboratorRequest grants a user access to the project.
+type AddCollaboratorRequest struct {
+	UserID string `json:"user_id"`
+}
+
+// --- Data ---
+
+// Sample is one dataset entry in a listing.
+type Sample struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Label    string `json:"label"`
+	Category string `json:"category"`
+	Frames   int    `json:"frames"`
+}
+
+// LabelStat summarizes one class of the dataset.
+type LabelStat struct {
+	Label    string  `json:"label"`
+	Training int     `json:"training"`
+	Testing  int     `json:"testing"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// UploadResponse acknowledges one ingested sample.
+type UploadResponse struct {
+	Success  bool   `json:"success"`
+	SampleID string `json:"sample_id"`
+}
+
+// ListDataResponse is a paginated sample listing with dataset stats.
+type ListDataResponse struct {
+	Success bool        `json:"success"`
+	Samples []Sample    `json:"samples"`
+	Stats   []LabelStat `json:"stats"`
+	// Version is the dataset content hash; it changes on any
+	// addition, removal or relabeling.
+	Version string `json:"version"`
+	Page
+}
+
+// RebalanceRequest re-splits the dataset into train/test.
+type RebalanceRequest struct {
+	TestFraction float64 `json:"test_fraction"`
+}
+
+// RebalanceResponse returns the post-split stats.
+type RebalanceResponse struct {
+	Success bool        `json:"success"`
+	Stats   []LabelStat `json:"stats"`
+}
+
+// --- Impulse ---
+
+// SetImpulseResponse acknowledges an impulse design.
+type SetImpulseResponse struct {
+	Success      bool   `json:"success"`
+	FeatureShape []int  `json:"feature_shape"`
+	Dataflow     string `json:"dataflow"`
+}
+
+// GetImpulseResponse returns the current impulse design and its
+// training state. Impulse is the serialized core config.
+type GetImpulseResponse struct {
+	Success   bool            `json:"success"`
+	Impulse   json.RawMessage `json:"impulse"`
+	Trained   bool            `json:"trained"`
+	Quantized bool            `json:"quantized"`
+	Dataflow  string          `json:"dataflow"`
+}
+
+// --- Training & tuner ---
+
+// ModelSpec selects a model-zoo architecture: the "visual editor"
+// presets of paper Sec. 4.3, addressed by name.
+type ModelSpec struct {
+	// Type is one of "conv1d", "dscnn", "mlp", "cnn2d", "mobilenetv1".
+	Type string `json:"type"`
+	// Conv1d parameters.
+	Depth        int `json:"depth,omitempty"`
+	StartFilters int `json:"start_filters,omitempty"`
+	EndFilters   int `json:"end_filters,omitempty"`
+	// MLP parameters.
+	Hidden int `json:"hidden,omitempty"`
+	// MobileNet width multiplier (×100, e.g. 25 for 0.25).
+	AlphaPercent int `json:"alpha_percent,omitempty"`
+}
+
+// TrainRequest configures a training job. POST /api/v1/projects/{id}/train.
+type TrainRequest struct {
+	Model        ModelSpec `json:"model"`
+	Epochs       int       `json:"epochs"`
+	LearningRate float64   `json:"learning_rate"`
+	Quantize     bool      `json:"quantize"`
+	Seed         int64     `json:"seed"`
+}
+
+// TrainResult is the structured output of a training job, fetched via
+// GET /api/v1/jobs/{job}/result.
+type TrainResult struct {
+	Accuracy     float64   `json:"accuracy"`
+	Confusion    [][]int   `json:"confusion"`
+	F1           []float64 `json:"f1"`
+	Classes      []string  `json:"classes"`
+	LearningRate float64   `json:"learning_rate"`
+	TrainLoss    []float64 `json:"train_loss"`
+	Quantized    bool      `json:"quantized"`
+}
+
+// TunerRequest configures an EON-Tuner search job.
+type TunerRequest struct {
+	MaxTrials int    `json:"max_trials"`
+	Epochs    int    `json:"epochs"`
+	Target    string `json:"target"`
+	Strategy  string `json:"strategy"`
+	Seed      int64  `json:"seed"`
+}
+
+// TunerTrial is one evaluated (DSP, model) combination — a row of the
+// paper's Table 3.
+type TunerTrial struct {
+	DSPDesc        string  `json:"dsp"`
+	ModelDesc      string  `json:"model"`
+	Accuracy       float64 `json:"accuracy"`
+	DSPLatencyMS   float64 `json:"dsp_latency_ms"`
+	NNLatencyMS    float64 `json:"nn_latency_ms"`
+	TotalLatencyMS float64 `json:"total_latency_ms"`
+	DSPRAM         int64   `json:"dsp_ram"`
+	NNRAM          int64   `json:"nn_ram"`
+	TotalRAM       int64   `json:"total_ram"`
+	NNFlash        int64   `json:"nn_flash"`
+	Fits           bool    `json:"fits"`
+}
+
+// JobAccepted acknowledges an async job submission (HTTP 202).
+type JobAccepted struct {
+	Success bool   `json:"success"`
+	JobID   string `json:"job_id"`
+}
+
+// --- Jobs ---
+
+// Job lifecycle states, mirroring internal/jobs.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobFinished = "finished"
+	JobFailed   = "failed"
+)
+
+// Job is the public view of one scheduled unit of work.
+type Job struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status string `json:"status"`
+	// Error is set when Status is "failed".
+	Error string `json:"error"`
+	// Logs is the job's log stream so far.
+	Logs []string `json:"logs"`
+	// DurationMS is the runtime so far (or final runtime when done).
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Terminal reports whether the job has stopped running.
+func (j Job) Terminal() bool { return j.Status == JobFinished || j.Status == JobFailed }
+
+// JobResponse returns one job. GET /api/v1/jobs/{job}.
+type JobResponse struct {
+	Success bool `json:"success"`
+	Job
+}
+
+// JobWaitResponse is the long-poll result of GET /api/v1/jobs/{job}/wait:
+// Done is false when the poll timed out with the job still running.
+type JobWaitResponse struct {
+	Success bool `json:"success"`
+	Done    bool `json:"done"`
+	Job
+}
+
+// JobResultResponse carries a finished job's structured output. Result
+// is kind-dependent; decode it with TrainResult or TunerTrials.
+type JobResultResponse struct {
+	Success bool            `json:"success"`
+	Kind    string          `json:"kind"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// TrainResult decodes the result of a "training" job.
+func (r *JobResultResponse) TrainResult() (*TrainResult, error) {
+	var out TrainResult
+	if err := json.Unmarshal(r.Result, &out); err != nil {
+		return nil, fmt.Errorf("v1: decoding training result: %w", err)
+	}
+	return &out, nil
+}
+
+// TunerTrials decodes the result of a "tuner" job.
+func (r *JobResultResponse) TunerTrials() ([]TunerTrial, error) {
+	var out []TunerTrial
+	if err := json.Unmarshal(r.Result, &out); err != nil {
+		return nil, fmt.Errorf("v1: decoding tuner result: %w", err)
+	}
+	return out, nil
+}
+
+// --- Classification, profiling, deployment ---
+
+// ClassifyRequest runs inference on one feature window.
+type ClassifyRequest struct {
+	Features  []float32 `json:"features"`
+	Quantized bool      `json:"quantized"`
+}
+
+// ClassifyResponse is the inference result.
+type ClassifyResponse struct {
+	Success bool   `json:"success"`
+	Label   string `json:"label"`
+	// Classification maps every class to its probability.
+	Classification map[string]float32 `json:"classification"`
+	// Anomaly is set when the impulse has an anomaly block.
+	Anomaly float64 `json:"anomaly"`
+}
+
+// ProfileEstimate is the on-device estimate for one numeric type.
+type ProfileEstimate struct {
+	DSPMS       float64 `json:"dsp_ms"`
+	InferenceMS float64 `json:"inference_ms"`
+	TotalMS     float64 `json:"total_ms"`
+	RAMKB       float64 `json:"ram_kb"`
+	FlashKB     float64 `json:"flash_kb"`
+	// Fits reports whether the model fits the target's memory.
+	Fits bool `json:"fits"`
+}
+
+// ProfileResponse estimates latency and memory on a target device.
+type ProfileResponse struct {
+	Success bool             `json:"success"`
+	Target  string           `json:"target"`
+	Float32 *ProfileEstimate `json:"float32"`
+	// Int8 is present only when the impulse has a quantized model.
+	Int8 *ProfileEstimate `json:"int8,omitempty"`
+}
+
+// DeploymentResponse packages a source-library deployment. Files maps
+// path → base64 content. (type=eim streams raw bytes instead.)
+type DeploymentResponse struct {
+	Success bool              `json:"success"`
+	Kind    string            `json:"kind"`
+	Files   map[string]string `json:"files"`
+}
+
+// --- Versioning ---
+
+// SnapshotRequest captures a project version.
+type SnapshotRequest struct {
+	Note string `json:"note"`
+}
+
+// ProjectVersion is one snapshot: data, preprocessing and model design
+// captured together (the paper's reproducibility answer).
+type ProjectVersion struct {
+	ID             int             `json:"id"`
+	Note           string          `json:"note"`
+	DatasetVersion string          `json:"dataset_version"`
+	ImpulseConfig  json.RawMessage `json:"impulse_config,omitempty"`
+	CreatedAt      string          `json:"created_at"`
+}
+
+// SnapshotResponse returns the created version.
+type SnapshotResponse struct {
+	Success bool           `json:"success"`
+	Version ProjectVersion `json:"version"`
+}
+
+// VersionsResponse is a paginated version listing.
+type VersionsResponse struct {
+	Success  bool             `json:"success"`
+	Versions []ProjectVersion `json:"versions"`
+	Page
+}
+
+// --- Operational metrics ---
+
+// RouteMetrics aggregates one route's traffic.
+type RouteMetrics struct {
+	// Route is the v1 pattern ("GET /api/v1/projects"); legacy alias
+	// traffic is folded into its v1 route.
+	Route string `json:"route"`
+	Count int64  `json:"count"`
+	// Err4xx/Err5xx count client and server failures.
+	Err4xx int64 `json:"err_4xx"`
+	Err5xx int64 `json:"err_5xx"`
+	// AvgMS is the mean handler latency.
+	AvgMS float64 `json:"avg_ms"`
+}
+
+// SchedulerMetrics snapshots the training worker pool.
+type SchedulerMetrics struct {
+	Workers     int   `json:"workers"`
+	PeakWorkers int   `json:"peak_workers"`
+	Queued      int   `json:"queued"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	ScaleUps    int64 `json:"scale_ups"`
+}
+
+// MetricsResponse is the operational snapshot at GET /api/v1/metrics.
+type MetricsResponse struct {
+	Success       bool             `json:"success"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      int64            `json:"requests"`
+	RateLimited   int64            `json:"rate_limited"`
+	Panics        int64            `json:"panics"`
+	Routes        []RouteMetrics   `json:"routes"`
+	Scheduler     SchedulerMetrics `json:"scheduler"`
+}

@@ -25,9 +25,11 @@ const (
 	Failed   Status = "failed"
 )
 
-// JobFunc is the work body. It receives a logging callback whose output
-// becomes the job's log stream.
-type JobFunc func(ctx context.Context, logf func(format string, args ...any)) error
+// JobFunc is the work body. It receives its own *Job — the ID is minted
+// by Submit before the body can run, so the body can key results by
+// job.ID and stream logs through job.Logf without any out-of-band
+// channel handshake.
+type JobFunc func(ctx context.Context, job *Job) error
 
 // Job is one unit of scheduled work.
 type Job struct {
@@ -35,6 +37,11 @@ type Job struct {
 	ID string
 	// Kind labels the workload ("training", "tuner", ...).
 	Kind string
+	// Tag is an opaque owner reference supplied at submission (e.g. a
+	// project ID for access control). It is set before the job becomes
+	// visible through Get, so authorization checks can never observe a
+	// job without its tag.
+	Tag any
 
 	mu         sync.Mutex
 	status     Status
@@ -81,11 +88,17 @@ func (j *Job) Duration() time.Duration {
 	return j.finishedAt.Sub(j.startedAt)
 }
 
-func (j *Job) logf(format string, args ...any) {
+// Logf appends a line to the job's log stream.
+func (j *Job) Logf(format string, args ...any) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.logs = append(j.logs, fmt.Sprintf(format, args...))
 }
+
+// Done returns a channel closed when the job reaches a terminal state
+// (Finished or Failed). It lets callers select on job completion —
+// the primitive behind the API's long-poll endpoint.
+func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Metrics is a point-in-time scheduler snapshot.
 type Metrics struct {
@@ -108,6 +121,10 @@ type Config struct {
 	QueueSize int
 	// ScaleInterval is the autoscaler period (default 50ms).
 	ScaleInterval time.Duration
+	// MaxRetainedJobs bounds how many jobs (with their log streams)
+	// stay resident; the oldest terminal jobs evict first, mirroring
+	// the JobStore result cap (default 1024).
+	MaxRetainedJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +139,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ScaleInterval <= 0 {
 		c.ScaleInterval = 50 * time.Millisecond
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 1024
 	}
 	return c
 }
@@ -138,6 +158,11 @@ type Scheduler struct {
 	peak    int
 	nextID  int64
 	closed  bool
+
+	// evictHook, when set, is invoked (outside the scheduler lock)
+	// with each job ID dropped by retention eviction, so co-located
+	// state (e.g. a JobStore result) can be released with the job.
+	evictHook func(jobID string)
 
 	completed atomic.Int64
 	failed    atomic.Int64
@@ -212,7 +237,7 @@ func (s *Scheduler) run(job *Job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
-		return job.fn(s.ctx, job.logf)
+		return job.fn(s.ctx, job)
 	}()
 
 	job.mu.Lock()
@@ -225,6 +250,10 @@ func (s *Scheduler) run(job *Job) {
 		job.status = Finished
 		s.completed.Add(1)
 	}
+	// Release the body closure: it can capture large state (model
+	// weights, request payloads) that would otherwise stay pinned for
+	// as long as the terminal job is retained.
+	job.fn = nil
 	close(job.done)
 	job.mu.Unlock()
 }
@@ -256,6 +285,13 @@ func (s *Scheduler) autoscale() {
 // Submit enqueues a job. It fails when the queue is full or the
 // scheduler is shut down.
 func (s *Scheduler) Submit(kind string, fn JobFunc) (*Job, error) {
+	return s.SubmitTagged(kind, nil, fn)
+}
+
+// SubmitTagged enqueues a job carrying an opaque owner tag. The tag is
+// attached under the scheduler lock before the job is registered, so a
+// concurrent Get can never return the job untagged.
+func (s *Scheduler) SubmitTagged(kind string, tag any, fn JobFunc) (*Job, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("jobs: nil job body")
 	}
@@ -268,6 +304,7 @@ func (s *Scheduler) Submit(kind string, fn JobFunc) (*Job, error) {
 	job := &Job{
 		ID:        fmt.Sprintf("job-%d", s.nextID),
 		Kind:      kind,
+		Tag:       tag,
 		status:    Queued,
 		createdAt: time.Now(),
 		done:      make(chan struct{}),
@@ -279,14 +316,74 @@ func (s *Scheduler) Submit(kind string, fn JobFunc) (*Job, error) {
 
 	select {
 	case s.queue <- job:
+		// Evict only after the job is truly admitted — a queue-full
+		// rollback must not have cost an old job its record.
+		s.mu.Lock()
+		evicted := s.evictLocked()
+		hook := s.evictHook
+		s.mu.Unlock()
+		if hook != nil {
+			for _, id := range evicted {
+				hook(id)
+			}
+		}
 		return job, nil
 	default:
 		s.mu.Lock()
 		delete(s.jobs, job.ID)
-		s.order = s.order[:len(s.order)-1]
+		// Remove this job's own order entry — another Submit may have
+		// appended since we unlocked, so blind truncation could drop a
+		// live job's ID instead.
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == job.ID {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
 		s.mu.Unlock()
 		return nil, fmt.Errorf("jobs: queue full (%d pending)", s.cfg.QueueSize)
 	}
+}
+
+// terminal reports whether the job has stopped running.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == Finished || j.status == Failed
+}
+
+// SetEvictHook registers a callback receiving the ID of every job
+// dropped by retention eviction (called outside the scheduler lock).
+// The API server uses it to release the job's stored result in step.
+func (s *Scheduler) SetEvictHook(fn func(jobID string)) {
+	s.mu.Lock()
+	s.evictHook = fn
+	s.mu.Unlock()
+}
+
+// evictLocked drops the oldest terminal jobs beyond MaxRetainedJobs so
+// a long-running scheduler's memory stays bounded, returning the
+// evicted IDs. Queued and running jobs are never evicted. Caller holds
+// s.mu (s.mu → job.mu ordering is safe: no path locks them in reverse).
+func (s *Scheduler) evictLocked() []string {
+	excess := len(s.order) - s.cfg.MaxRetainedJobs
+	if excess <= 0 {
+		return nil
+	}
+	var evicted []string
+	kept := make([]string, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.terminal() {
+			delete(s.jobs, id)
+			evicted = append(evicted, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	return evicted
 }
 
 // Get returns a job by ID.

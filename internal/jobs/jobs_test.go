@@ -12,8 +12,8 @@ func TestSubmitAndWait(t *testing.T) {
 	s := NewScheduler(Config{})
 	defer s.Shutdown()
 	var ran atomic.Bool
-	j, err := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
-		logf("epoch %d done", 1)
+	j, err := s.Submit("training", func(ctx context.Context, j *Job) error {
+		j.Logf("epoch %d done", 1)
 		ran.Store(true)
 		return nil
 	})
@@ -39,7 +39,7 @@ func TestSubmitAndWait(t *testing.T) {
 func TestFailedJob(t *testing.T) {
 	s := NewScheduler(Config{})
 	defer s.Shutdown()
-	j, _ := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
+	j, _ := s.Submit("training", func(ctx context.Context, j *Job) error {
 		return fmt.Errorf("out of memory")
 	})
 	done, err := s.Wait(j.ID, 2*time.Second)
@@ -58,7 +58,7 @@ func TestFailedJob(t *testing.T) {
 func TestPanicIsolatedToJob(t *testing.T) {
 	s := NewScheduler(Config{})
 	defer s.Shutdown()
-	j, _ := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error {
+	j, _ := s.Submit("training", func(ctx context.Context, j *Job) error {
 		panic("kaboom")
 	})
 	done, err := s.Wait(j.ID, 2*time.Second)
@@ -69,7 +69,7 @@ func TestPanicIsolatedToJob(t *testing.T) {
 		t.Fatal("panic not recorded as failure")
 	}
 	// Scheduler still works afterwards.
-	j2, _ := s.Submit("training", func(ctx context.Context, logf func(string, ...any)) error { return nil })
+	j2, _ := s.Submit("training", func(ctx context.Context, j *Job) error { return nil })
 	if _, err := s.Wait(j2.ID, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestAutoscaleUnderLoad(t *testing.T) {
 	block := make(chan struct{})
 	var jobs []*Job
 	for i := 0; i < 8; i++ {
-		j, err := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+		j, err := s.Submit("slow", func(ctx context.Context, j *Job) error {
 			select {
 			case <-block:
 			case <-ctx.Done():
@@ -129,7 +129,7 @@ func TestQueueFull(t *testing.T) {
 	defer close(block)
 	// One running + two queued fills capacity.
 	for i := 0; i < 3; i++ {
-		if _, err := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+		if _, err := s.Submit("slow", func(ctx context.Context, j *Job) error {
 			select {
 			case <-block:
 			case <-ctx.Done():
@@ -147,7 +147,7 @@ func TestQueueFull(t *testing.T) {
 	deadline := time.Now().Add(time.Second)
 	var lastErr error
 	for time.Now().Before(deadline) {
-		if _, lastErr = s.Submit("overflow", func(ctx context.Context, logf func(string, ...any)) error { return nil }); lastErr != nil {
+		if _, lastErr = s.Submit("overflow", func(ctx context.Context, j *Job) error { return nil }); lastErr != nil {
 			break
 		}
 	}
@@ -162,7 +162,7 @@ func TestSubmitValidation(t *testing.T) {
 		t.Error("accepted nil body")
 	}
 	s.Shutdown()
-	if _, err := s.Submit("x", func(ctx context.Context, logf func(string, ...any)) error { return nil }); err == nil {
+	if _, err := s.Submit("x", func(ctx context.Context, j *Job) error { return nil }); err == nil {
 		t.Error("accepted submit after shutdown")
 	}
 	// Idempotent shutdown.
@@ -175,8 +175,8 @@ func TestGetAndList(t *testing.T) {
 	if _, err := s.Get("nope"); err == nil {
 		t.Error("Get accepted unknown id")
 	}
-	j1, _ := s.Submit("a", func(ctx context.Context, logf func(string, ...any)) error { return nil })
-	j2, _ := s.Submit("b", func(ctx context.Context, logf func(string, ...any)) error { return nil })
+	j1, _ := s.Submit("a", func(ctx context.Context, j *Job) error { return nil })
+	j2, _ := s.Submit("b", func(ctx context.Context, j *Job) error { return nil })
 	s.Wait(j1.ID, time.Second)
 	s.Wait(j2.ID, time.Second)
 	list := s.List()
@@ -190,7 +190,7 @@ func TestWaitTimeout(t *testing.T) {
 	defer s.Shutdown()
 	block := make(chan struct{})
 	defer close(block)
-	j, _ := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+	j, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
 		select {
 		case <-block:
 		case <-ctx.Done():
@@ -208,7 +208,7 @@ func TestWaitTimeout(t *testing.T) {
 func TestShutdownCancelsRunning(t *testing.T) {
 	s := NewScheduler(Config{})
 	started := make(chan struct{})
-	j, _ := s.Submit("slow", func(ctx context.Context, logf func(string, ...any)) error {
+	j, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
 		close(started)
 		<-ctx.Done()
 		return ctx.Err()
@@ -217,5 +217,146 @@ func TestShutdownCancelsRunning(t *testing.T) {
 	s.Shutdown()
 	if j.Status() != Failed {
 		t.Fatalf("status after shutdown: %s", j.Status())
+	}
+}
+
+func TestJobIDAvailableInBody(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Shutdown()
+	store := NewJobStore()
+	j, err := s.Submit("training", func(ctx context.Context, j *Job) error {
+		// The ID is minted before the body runs; results key off it
+		// directly — no channel handshake.
+		store.Put(j.ID, j.Kind, map[string]int{"epochs": 3})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(j.ID, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := store.Get(j.ID)
+	if !ok || res.Kind != "training" || res.JobID != j.ID {
+		t.Fatalf("stored result: %+v ok=%v", res, ok)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store len %d", store.Len())
+	}
+	store.Delete(j.ID)
+	if _, ok := store.Get(j.ID); ok {
+		t.Fatal("result survived delete")
+	}
+}
+
+func TestDoneChannel(t *testing.T) {
+	s := NewScheduler(Config{})
+	defer s.Shutdown()
+	release := make(chan struct{})
+	j, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	select {
+	case <-j.Done():
+		t.Fatal("done before job finished")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("done never closed")
+	}
+	if j.Status() != Finished {
+		t.Fatalf("status %s", j.Status())
+	}
+}
+
+func TestJobStoreEviction(t *testing.T) {
+	store := NewJobStore()
+	for i := 0; i < maxResults+10; i++ {
+		store.Put(fmt.Sprintf("job-%d", i), "training", i)
+	}
+	if store.Len() != maxResults {
+		t.Fatalf("store len %d, want cap %d", store.Len(), maxResults)
+	}
+	// The oldest results were evicted FIFO; the newest survive.
+	if _, ok := store.Get("job-0"); ok {
+		t.Fatal("oldest result survived eviction")
+	}
+	if _, ok := store.Get(fmt.Sprintf("job-%d", maxResults+9)); !ok {
+		t.Fatal("newest result evicted")
+	}
+	// Re-putting an existing ID replaces in place without growing order.
+	store.Put(fmt.Sprintf("job-%d", maxResults+9), "training", "updated")
+	if store.Len() != maxResults {
+		t.Fatalf("replace grew store to %d", store.Len())
+	}
+}
+
+func TestJobStoreDeleteThenReput(t *testing.T) {
+	store := NewJobStore()
+	store.Put("job-1", "training", "v1")
+	store.Delete("job-1")
+	store.Put("job-1", "training", "v2")
+	// The re-inserted ID must occupy a fresh (newest) eviction slot:
+	// filling the cap with other IDs must not evict it prematurely.
+	for i := 0; i < maxResults-1; i++ {
+		store.Put(fmt.Sprintf("other-%d", i), "training", i)
+	}
+	if res, ok := store.Get("job-1"); !ok || res.Value != "v2" {
+		t.Fatalf("re-put result lost: %+v ok=%v", res, ok)
+	}
+	if store.Len() != maxResults {
+		t.Fatalf("len %d, want %d", store.Len(), maxResults)
+	}
+}
+
+func TestSchedulerEvictsTerminalJobs(t *testing.T) {
+	s := NewScheduler(Config{MaxRetainedJobs: 5})
+	defer s.Shutdown()
+	var first string
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit("quick", func(ctx context.Context, j *Job) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = j.ID
+		}
+		if _, err := s.Wait(j.ID, 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The oldest terminal jobs were evicted at submission time.
+	if _, err := s.Get(first); err == nil {
+		t.Fatal("oldest terminal job survived past the retention cap")
+	}
+	if n := len(s.List()); n > 6 {
+		t.Fatalf("retained %d jobs, cap 5 (+1 in flight)", n)
+	}
+	// Running jobs are never evicted even when they are oldest.
+	block := make(chan struct{})
+	defer close(block)
+	running, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	for i := 0; i < 10; i++ {
+		j, err := s.Submit("quick", func(ctx context.Context, j *Job) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Wait(j.ID, 2*time.Second)
+	}
+	if _, err := s.Get(running.ID); err != nil {
+		t.Fatal("running job was evicted")
 	}
 }

@@ -1,0 +1,83 @@
+package jobs
+
+import "sync"
+
+// Result is a completed job's structured output as stored by the job
+// body: training metrics, tuner trials, etc.
+type Result struct {
+	// JobID keys the result to its job.
+	JobID string
+	// Kind mirrors Job.Kind ("training", "tuner", ...).
+	Kind string
+	// Value is the kind-specific payload.
+	Value any
+}
+
+// maxResults bounds retained job outputs: results (confusion matrices,
+// loss curves, tuner trials) would otherwise accumulate for the life of
+// the server. Old results evict FIFO once the cap is reached.
+const maxResults = 1024
+
+// JobStore holds structured job outputs keyed by job ID. Job bodies Put
+// their result under their own ID (minted before the body runs), and
+// the API layer Gets it once the job is terminal — replacing the old
+// pattern of smuggling the ID into the closure through a channel.
+type JobStore struct {
+	mu      sync.RWMutex
+	results map[string]Result
+	// order tracks insertion order for FIFO eviction at the cap.
+	order []string
+}
+
+// NewJobStore returns an empty store.
+func NewJobStore() *JobStore {
+	return &JobStore{results: map[string]Result{}}
+}
+
+// Put records the result for a job, replacing any previous value and
+// evicting the oldest results beyond the retention cap.
+func (st *JobStore) Put(jobID, kind string, value any) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, exists := st.results[jobID]; !exists {
+		st.order = append(st.order, jobID)
+		for len(st.order) > maxResults {
+			delete(st.results, st.order[0])
+			st.order = st.order[1:]
+		}
+	}
+	st.results[jobID] = Result{JobID: jobID, Kind: kind, Value: value}
+}
+
+// Get returns the stored result, if any.
+func (st *JobStore) Get(jobID string) (Result, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	res, ok := st.results[jobID]
+	return res, ok
+}
+
+// Delete drops a stored result and its eviction-order entry, so a
+// later Put of the same ID starts fresh instead of inheriting a stale
+// (older) position that would evict it prematurely.
+func (st *JobStore) Delete(jobID string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.results[jobID]; !ok {
+		return
+	}
+	delete(st.results, jobID)
+	for i, id := range st.order {
+		if id == jobID {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len counts stored results.
+func (st *JobStore) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.results)
+}
