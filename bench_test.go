@@ -26,6 +26,7 @@ import (
 
 // BenchmarkTable1Platforms renders the evaluation platform table.
 func BenchmarkTable1Platforms(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if out := bench.Table1(); len(out) == 0 {
 			b.Fatal("empty table")
@@ -36,6 +37,7 @@ func BenchmarkTable1Platforms(b *testing.B) {
 // BenchmarkTable2Latency regenerates the cross-hardware latency table
 // (3 workloads × 3 boards × 2 precisions through the cycle simulator).
 func BenchmarkTable2Latency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, cells, err := bench.Table2()
 		if err != nil {
@@ -50,6 +52,7 @@ func BenchmarkTable2Latency(b *testing.B) {
 // BenchmarkTable3Tuner runs a quick EON Tuner exploration per iteration
 // (train + profile several DSP×NN candidates).
 func BenchmarkTable3Tuner(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, trials, err := bench.Table3(bench.Table3Options{Quick: true, Seed: int64(i)})
 		if err != nil {
@@ -63,6 +66,7 @@ func BenchmarkTable3Tuner(b *testing.B) {
 
 // BenchmarkTable4Memory regenerates the memory estimation table.
 func BenchmarkTable4Memory(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, cells, err := bench.Table4()
 		if err != nil {
@@ -76,6 +80,7 @@ func BenchmarkTable4Memory(b *testing.B) {
 
 // BenchmarkTable5Matrix renders the platform comparison.
 func BenchmarkTable5Matrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Table5()
 	}
@@ -83,6 +88,7 @@ func BenchmarkTable5Matrix(b *testing.B) {
 
 // BenchmarkFig1Workflow renders the workflow/feature mapping.
 func BenchmarkFig1Workflow(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Fig1()
 	}
@@ -90,6 +96,7 @@ func BenchmarkFig1Workflow(b *testing.B) {
 
 // BenchmarkFig2Dataflow renders the impulse dataflow diagram.
 func BenchmarkFig2Dataflow(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.Fig2()
 	}
@@ -98,6 +105,7 @@ func BenchmarkFig2Dataflow(b *testing.B) {
 // BenchmarkFig3TunerView renders the tuner result view from one quick
 // tuner run.
 func BenchmarkFig3TunerView(b *testing.B) {
+	b.ReportAllocs()
 	_, trials, err := bench.Table3(bench.Table3Options{Quick: true, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -110,7 +118,7 @@ func BenchmarkFig3TunerView(b *testing.B) {
 
 // --- Ablations ---
 
-func kwsModelAndQuant(b *testing.B) (*nn.Model, *quant.QModel, *tensor.F32) {
+func kwsModelAndQuant(b testing.TB) (*nn.Model, *quant.QModel, *tensor.F32) {
 	b.Helper()
 	m := models.KWSDSCNN(49, 10, 12)
 	if err := nn.InitWeights(m, 1); err != nil {
@@ -164,6 +172,7 @@ func BenchmarkAblationEONCompiled(b *testing.B) {
 
 // BenchmarkAblationFloatKernels measures float32 host inference.
 func BenchmarkAblationFloatKernels(b *testing.B) {
+	b.ReportAllocs()
 	m, _, in := kwsModelAndQuant(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -174,6 +183,7 @@ func BenchmarkAblationFloatKernels(b *testing.B) {
 // BenchmarkAblationInt8Kernels measures int8 host inference on the same
 // architecture (int32 accumulators + fixed-point requantization).
 func BenchmarkAblationInt8Kernels(b *testing.B) {
+	b.ReportAllocs()
 	_, qm, in := kwsModelAndQuant(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -184,6 +194,7 @@ func BenchmarkAblationInt8Kernels(b *testing.B) {
 // BenchmarkAblationArenaPlanner compares the liveness-based arena to the
 // no-reuse baseline, reporting both sizes as metrics.
 func BenchmarkAblationArenaPlanner(b *testing.B) {
+	b.ReportAllocs()
 	m, _, _ := kwsModelAndQuant(b)
 	specs, err := m.Spec()
 	if err != nil {
@@ -203,6 +214,7 @@ func BenchmarkAblationArenaPlanner(b *testing.B) {
 // BenchmarkAblationSearchRandom and ...Hyperband compare search cost on a
 // synthetic objective, reporting total training budget spent.
 func BenchmarkAblationSearchRandom(b *testing.B) {
+	b.ReportAllocs()
 	var spent int64
 	obj := func(c, budget int) (float64, error) {
 		spent += int64(budget)
@@ -218,6 +230,7 @@ func BenchmarkAblationSearchRandom(b *testing.B) {
 }
 
 func BenchmarkAblationSearchHyperband(b *testing.B) {
+	b.ReportAllocs()
 	var spent int64
 	obj := func(c, budget int) (float64, error) {
 		spent += int64(budget)

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed `go test -bench` line: the metrics tracked
+// across PRs so performance regressions are visible in version control.
+type BenchResult struct {
+	// Name is the benchmark name with the -<GOMAXPROCS> suffix removed.
+	Name string `json:"name"`
+	// Pkg is the package under test (from the preceding "pkg:" line).
+	Pkg string `json:"pkg,omitempty"`
+	// Runs is the measured iteration count.
+	Runs int64 `json:"runs"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Metrics holds any extra ReportMetric units (e.g. planned_bytes).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchFile is the schema of a committed BENCH_<stamp>.json.
+type BenchFile struct {
+	Stamp      string        `json:"stamp"`
+	GoOS       string        `json:"goos,omitempty"`
+	GoArch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench -benchmem` output and collects every
+// benchmark line with its package context and metric pairs.
+func parseBench(r io.Reader) (*BenchFile, error) {
+	out := &BenchFile{Stamp: time.Now().UTC().Format("20060102-150405")}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			out.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := BenchResult{Name: name, Pkg: pkg, Runs: runs}
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				n := int64(v)
+				b.BytesPerOp = &n
+			case "allocs/op":
+				n := int64(v)
+				b.AllocsPerOp = &n
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[strings.TrimSuffix(fields[i+1], "/op")] = v
+			}
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// emitBenchJSON parses benchmark text from r and writes the JSON file.
+// When path contains the literal placeholder "STAMP" it is replaced by
+// the UTC timestamp, yielding the BENCH_<stamp>.json series.
+func emitBenchJSON(r io.Reader, path string) error {
+	bf, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	path = strings.ReplaceAll(path, "STAMP", bf.Stamp)
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ei-bench: wrote %d benchmarks to %s\n", len(bf.Benchmarks), path)
+	return nil
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"edgepulse/internal/core"
@@ -116,6 +117,10 @@ func Table3(opt Table3Options) (string, []tuner.Trial, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
 	trials, err := tuner.Run(ds, tuner.Config{
 		Space:       space,
 		Input:       core.InputBlock{Kind: core.TimeSeries, WindowMS: 1000, FrequencyHz: 16000, Axes: 1},
@@ -123,6 +128,7 @@ func Table3(opt Table3Options) (string, []tuner.Trial, error) {
 		MaxTrials:   maxTrials,
 		Epochs:      epochs,
 		Seed:        opt.Seed,
+		Workers:     workers,
 	})
 	if err != nil {
 		return "", nil, err

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+)
+
+// TestConcurrentClassifySharedImpulse exercises the whole classify hot
+// path (DSP extraction → float and int8 inference) from many goroutines
+// sharing one impulse — the serving pattern of the EIM runner and the
+// REST classify handler. Every result is checked against the serial
+// answer, so pooled per-call scratch that aliased across calls would
+// fail even without -race; run with -race to catch data races too.
+func TestConcurrentClassifySharedImpulse(t *testing.T) {
+	imp := toneImpulse(t)
+	shape, err := imp.FeatureShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.InitWeights(model, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.AttachClassifier(model); err != nil {
+		t.Fatal(err)
+	}
+	ds := toneDataset(t, 4)
+	if err := imp.Quantize(ds); err != nil {
+		t.Fatal(err)
+	}
+
+	mkSig := func(freq float64) dsp.Signal {
+		n := 4000
+		data := make([]float32, n)
+		for j := range data {
+			data[j] = 0.5 * float32(math.Sin(2*math.Pi*freq*float64(j)/8000))
+		}
+		return dsp.Signal{Data: data, Rate: 8000, Axes: 1}
+	}
+	sigs := []dsp.Signal{mkSig(310), mkSig(2500), mkSig(700), mkSig(1800)}
+	wantFloat := make([]ClassResult, len(sigs))
+	wantQuant := make([]ClassResult, len(sigs))
+	for i, sig := range sigs {
+		if wantFloat[i], err = imp.Classify(sig); err != nil {
+			t.Fatal(err)
+		}
+		if wantQuant[i], err = imp.ClassifyQuantized(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	same := func(a, b ClassResult) bool {
+		if a.Label != b.Label || len(a.Scores) != len(b.Scores) {
+			return false
+		}
+		for k, v := range a.Scores {
+			if b.Scores[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 1)
+	report := func(msg string) {
+		select {
+		case fail <- msg:
+		default:
+		}
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 30; iter++ {
+				k := (g + iter) % len(sigs)
+				got, err := imp.Classify(sigs[k])
+				if err != nil {
+					report(err.Error())
+					return
+				}
+				if !same(got, wantFloat[k]) {
+					report("concurrent float classify diverged from serial result")
+					return
+				}
+				gq, err := imp.ClassifyQuantized(sigs[k])
+				if err != nil {
+					report(err.Error())
+					return
+				}
+				if !same(gq, wantQuant[k]) {
+					report("concurrent quantized classify diverged from serial result")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fail)
+	if msg, ok := <-fail; ok {
+		t.Fatal(msg)
+	}
+}

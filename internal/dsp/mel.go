@@ -75,14 +75,20 @@ func melFilterbank(numFilters, fftSize, rate int, lowHz, highHz float64) []melFi
 // applyFilterbank computes the filterbank energies of a power spectrum.
 func applyFilterbank(power []float32, filters []melFilter) []float32 {
 	out := make([]float32, len(filters))
+	applyFilterbankInto(out, power, filters)
+	return out
+}
+
+// applyFilterbankInto computes filterbank energies into dst (len >=
+// len(filters)) without allocating.
+func applyFilterbankInto(dst, power []float32, filters []melFilter) {
 	for i, f := range filters {
 		var s float32
 		for j, w := range f.weights {
 			s += w * power[f.start+j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // filterbankMACs counts the multiply-accumulates of one filterbank

@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"edgepulse/internal/fft"
 	"edgepulse/internal/tensor"
@@ -21,6 +22,10 @@ type MFCC struct {
 	HighHz      float64
 	// CepLifter is the sinusoidal liftering coefficient (0 disables).
 	CepLifter int
+
+	// rt caches the precomputed window/filterbank/DCT/FFT-plan state for
+	// the last sample rate seen, with pooled per-call scratch.
+	rt atomic.Pointer[audioRT]
 }
 
 // NewMFCC builds an MFCC block from a parameter map with defaults
@@ -84,42 +89,56 @@ func (m *MFCC) OutputShape(sig Signal) (tensor.Shape, error) {
 	return tensor.Shape{n, m.NumCoeffs}, nil
 }
 
-// Extract implements Block.
+// Extract implements Block. The window, mel filterbank, DCT matrix,
+// lifter and FFT plan are precomputed once per sample rate, and all
+// frame/spectrum buffers come from a scratch pool, so steady-state
+// extraction allocates only the output tensor.
 func (m *MFCC) Extract(sig Signal) (*tensor.F32, error) {
 	shape, err := m.OutputShape(sig)
 	if err != nil {
 		return nil, err
 	}
-	frameLen, stride := m.frameSamples(sig.Rate)
+	rt, err := runtime(&m.rt, audioKey{
+		rate:        sig.Rate,
+		frameLength: m.FrameLength,
+		frameStride: m.FrameStride,
+		numFilters:  m.NumFilters,
+		fftSize:     m.FFTSize,
+		lowHz:       m.LowHz,
+		highHz:      m.HighHz,
+		win:         fft.Hamming,
+		numCoeffs:   m.NumCoeffs,
+		cepLifter:   m.CepLifter,
+	})
+	if err != nil {
+		return nil, err
+	}
 	samples := sig.Data
 	if sig.Axes > 1 {
 		samples = sig.Axis(0)
 	}
-	frames, err := powerFrames(samples, frameLen, stride, m.FFTSize, fft.Hamming)
-	if err != nil {
-		return nil, err
-	}
-	filters := melFilterbank(m.NumFilters, m.FFTSize, sig.Rate, m.LowHz, m.HighHz)
-	lifter := make([]float32, m.NumCoeffs)
-	for i := range lifter {
-		if m.CepLifter > 0 {
-			lifter[i] = float32(1 + float64(m.CepLifter)/2*math.Sin(math.Pi*float64(i)/float64(m.CepLifter)))
-		} else {
-			lifter[i] = 1
-		}
-	}
 	out := tensor.NewF32(shape...)
-	logE := make([]float32, m.NumFilters)
-	for i, ps := range frames {
-		energies := applyFilterbank(ps, filters)
-		for j, e := range energies {
-			logE[j] = logSafe(e)
+	st := rt.pool.Get().(*audioScratch)
+	nf, nc := m.NumFilters, m.NumCoeffs
+	for i := 0; i < shape[0]; i++ {
+		if err := rt.powerFrame(samples, i*rt.stride, st); err != nil {
+			return nil, err
 		}
-		coeffs := fft.DCTII(logE, m.NumCoeffs)
-		for j, c := range coeffs {
-			out.Data[i*m.NumCoeffs+j] = c * lifter[j]
+		applyFilterbankInto(st.work, st.power, rt.filters)
+		for j, e := range st.work {
+			st.work[j] = logSafe(e)
+		}
+		row := out.Data[i*nc : (i+1)*nc]
+		for j := 0; j < nc; j++ {
+			var s float64
+			dctRow := rt.dct[j*nf : (j+1)*nf]
+			for k, c := range dctRow {
+				s += float64(st.work[k]) * c
+			}
+			row[j] = float32(s*rt.dctScale[j]) * rt.lifter[j]
 		}
 	}
+	rt.pool.Put(st)
 	// Standardize to zero mean / unit variance per coefficient so
 	// features are well-conditioned for small networks.
 	standardizeColumns(out.Data, shape[0], shape[1])
@@ -127,7 +146,10 @@ func (m *MFCC) Extract(sig Signal) (*tensor.F32, error) {
 }
 
 // standardizeColumns normalizes each column of an (rows × cols) matrix to
-// zero mean and unit variance.
+// zero mean and unit variance. Columns that are (numerically) constant —
+// e.g. every analysis frame of a stationary tone is identical — are left
+// untouched: standardizing them would only amplify floating-point noise
+// while erasing the one value that actually carries information.
 func standardizeColumns(data []float32, rows, cols int) {
 	for c := 0; c < cols; c++ {
 		var mean, m2 float64
@@ -139,7 +161,11 @@ func standardizeColumns(data []float32, rows, cols int) {
 			d := float64(data[r*cols+c]) - mean
 			m2 += d * d
 		}
-		std := math.Sqrt(m2/float64(rows)) + 1e-6
+		std := math.Sqrt(m2 / float64(rows))
+		if std <= 1e-4*(math.Abs(mean)+1) {
+			continue
+		}
+		std += 1e-6
 		for r := 0; r < rows; r++ {
 			data[r*cols+c] = float32((float64(data[r*cols+c]) - mean) / std)
 		}
@@ -171,7 +197,7 @@ func (m *MFCC) RAM(sig Signal) int64 {
 	if err != nil {
 		return 0
 	}
-	fftBuf := int64(m.FFTSize) * 16
+	fftBuf := int64(m.FFTSize) * 8 // split re/im scratch + power bins
 	frameBuf := int64(m.FFTSize) * 4
 	out := int64(shape.Elems()) * 4
 	work := int64(m.NumFilters) * 8

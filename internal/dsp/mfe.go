@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"edgepulse/internal/fft"
 	"edgepulse/internal/tensor"
@@ -27,6 +28,10 @@ type MFE struct {
 	HighHz      float64
 	// NoiseFloorDB clamps energies this many dB below the maximum.
 	NoiseFloorDB float64
+
+	// rt caches the precomputed window/filterbank/FFT-plan state for the
+	// last sample rate seen, with pooled per-call scratch.
+	rt atomic.Pointer[audioRT]
 }
 
 // NewMFE builds an MFE block from a parameter map with sensible defaults
@@ -99,29 +104,46 @@ func (m *MFE) OutputShape(sig Signal) (tensor.Shape, error) {
 }
 
 // Extract implements Block: window → power spectrum → mel filterbank →
-// log with noise floor normalization into [0, 1].
+// log with noise floor normalization into [0, 1]. The window
+// coefficients, mel filterbank and FFT plan are precomputed once per
+// sample rate, and frame/spectrum buffers come from a scratch pool, so
+// steady-state extraction allocates only the output tensor.
 func (m *MFE) Extract(sig Signal) (*tensor.F32, error) {
 	shape, err := m.OutputShape(sig)
 	if err != nil {
 		return nil, err
 	}
-	frameLen, stride := m.frameSamples(sig.Rate)
+	rt, err := runtime(&m.rt, audioKey{
+		rate:        sig.Rate,
+		frameLength: m.FrameLength,
+		frameStride: m.FrameStride,
+		numFilters:  m.NumFilters,
+		fftSize:     m.FFTSize,
+		lowHz:       m.LowHz,
+		highHz:      m.HighHz,
+		win:         fft.Hamming,
+	})
+	if err != nil {
+		return nil, err
+	}
 	samples := sig.Data
 	if sig.Axes > 1 {
 		samples = sig.Axis(0)
 	}
-	frames, err := powerFrames(samples, frameLen, stride, m.FFTSize, fft.Hamming)
-	if err != nil {
-		return nil, err
-	}
-	filters := melFilterbank(m.NumFilters, m.FFTSize, sig.Rate, m.LowHz, m.HighHz)
 	out := tensor.NewF32(shape...)
-	for i, ps := range frames {
-		energies := applyFilterbank(ps, filters)
-		for j, e := range energies {
-			out.Data[i*m.NumFilters+j] = 10 * logSafe(e)
+	st := rt.pool.Get().(*audioScratch)
+	nf := m.NumFilters
+	for i := 0; i < shape[0]; i++ {
+		if err := rt.powerFrame(samples, i*rt.stride, st); err != nil {
+			return nil, err
+		}
+		row := out.Data[i*nf : (i+1)*nf]
+		applyFilterbankInto(row, st.power, rt.filters)
+		for j, e := range row {
+			row[j] = 10 * logSafe(e)
 		}
 	}
+	rt.pool.Put(st)
 	normalizeNoiseFloor(out.Data, m.NoiseFloorDB)
 	return out, nil
 }
@@ -172,13 +194,13 @@ func (m *MFE) Cost(sig Signal) Cost {
 	return c
 }
 
-// RAM implements Block: frame buffer + FFT working buffer + output.
+// RAM implements Block: frame buffer + FFT working buffers + output.
 func (m *MFE) RAM(sig Signal) int64 {
 	shape, err := m.OutputShape(sig)
 	if err != nil {
 		return 0
 	}
-	fftBuf := int64(m.FFTSize) * 16   // complex128 working buffer
+	fftBuf := int64(m.FFTSize) * 8    // split re/im scratch + power bins
 	frameBuf := int64(m.FFTSize) * 4  // windowed frame
 	out := int64(shape.Elems()) * 4   // feature matrix
 	filterTab := int64(m.FFTSize) * 4 // filterbank weights (approx)

@@ -3,6 +3,8 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"edgepulse/internal/fft"
 	"edgepulse/internal/tensor"
@@ -24,6 +26,45 @@ type Spectral struct {
 	NumPeaks int
 	// ScaleAxes multiplies raw values before analysis.
 	ScaleAxes float64
+
+	// rt caches the FFT plan and pooled window/accumulator scratch.
+	rt atomic.Pointer[spectralRT]
+}
+
+// spectralRT is the precomputed transform state of a spectral block.
+type spectralRT struct {
+	fftSize int
+	plan    *fft.RealPlan
+	pool    sync.Pool // *spectralScratch
+}
+
+// spectralScratch is one extraction's working state.
+type spectralScratch struct {
+	buf   []float32 // mean-removed window
+	power []float32 // per-window power spectrum
+	acc   []float64 // averaged spectrum accumulator
+	fftSc *fft.RealScratch
+}
+
+func (s *Spectral) runtime() (*spectralRT, error) {
+	if rt := s.rt.Load(); rt != nil && rt.fftSize == s.FFTSize {
+		return rt, nil
+	}
+	plan, err := fft.NewRealPlan(s.FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	rt := &spectralRT{fftSize: s.FFTSize, plan: plan}
+	rt.pool.New = func() any {
+		return &spectralScratch{
+			buf:   make([]float32, plan.Size()),
+			power: make([]float32, plan.Bins()),
+			acc:   make([]float64, plan.Bins()),
+			fftSc: plan.Scratch(),
+		}
+	}
+	s.rt.Store(rt)
+	return rt, nil
 }
 
 // NewSpectral builds a spectral-analysis block from a parameter map.
@@ -74,7 +115,12 @@ func (s *Spectral) Extract(sig Signal) (*tensor.F32, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt, err := s.runtime()
+	if err != nil {
+		return nil, err
+	}
 	out := tensor.NewF32(shape...)
+	st := rt.pool.Get().(*spectralScratch)
 	fpa := s.featuresPerAxis()
 	for a := 0; a < sig.Axes; a++ {
 		axis := sig.Axis(a)
@@ -82,34 +128,34 @@ func (s *Spectral) Extract(sig Signal) (*tensor.F32, error) {
 			axis[i] *= float32(s.ScaleAxes)
 		}
 		mean, std, skew, kurt := moments(axis)
-		_ = mean
 		base := a * fpa
 		out.Data[base+0] = std // RMS of the mean-removed signal
 		out.Data[base+1] = skew
 		out.Data[base+2] = kurt
 		// Average power spectra over all full windows.
 		nWin := len(axis) / s.FFTSize
-		acc := make([]float64, s.FFTSize/2+1)
-		buf := make([]float32, s.FFTSize)
+		for i := range st.acc {
+			st.acc[i] = 0
+		}
 		for w := 0; w < nWin; w++ {
-			copy(buf, axis[w*s.FFTSize:(w+1)*s.FFTSize])
-			for i := range buf {
-				buf[i] -= float32(mean)
+			copy(st.buf, axis[w*s.FFTSize:(w+1)*s.FFTSize])
+			for i := range st.buf {
+				st.buf[i] -= mean
 			}
-			ps, err := fft.PowerSpectrum(buf)
-			if err != nil {
+			if err := rt.plan.PowerSpectrumInto(st.power, st.buf, st.fftSc); err != nil {
 				return nil, err
 			}
-			for i, v := range ps {
-				acc[i] += float64(v)
+			for i, v := range st.power {
+				st.acc[i] += float64(v)
 			}
 		}
 		for i := 0; i < s.NumPeaks; i++ {
 			// Skip the DC bin; log-compress the energies.
-			v := acc[i+1] / float64(nWin)
+			v := st.acc[i+1] / float64(nWin)
 			out.Data[base+3+i] = float32(math.Log10(v + 1e-12))
 		}
 	}
+	rt.pool.Put(st)
 	return out, nil
 }
 

@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"sort"
 
+	"edgepulse/internal/nn"
+	"edgepulse/internal/profiler"
 	"edgepulse/internal/tensor"
 	"edgepulse/internal/tflm"
 )
 
-// Program is a compiled model: an ordered list of bound kernel calls.
+// Program is a compiled model: a static, arena-backed execution plan.
 type Program struct {
 	// Precision of the compiled model.
 	Precision tflm.Precision
@@ -29,13 +31,21 @@ type Program struct {
 	NumClasses int
 
 	inputShape tensor.Shape
-	floatSteps []func(*tensor.F32) *tensor.F32
-	int8Run    func(*tensor.F32) *tensor.F32
-	kernels    []string
+	// floatPlan executes the float model with every kernel bound at
+	// compile time and every intermediate buffer placed at a fixed
+	// offset of the liveness-planned arena.
+	floatPlan *nn.InferPlan
+	int8Run   func(*tensor.F32) *tensor.F32
+	kernels   []string
+	arena     int64
 }
 
 // Compile builds a static execution plan for the model. Every kernel is
-// resolved now; Run performs only direct calls.
+// resolved now, and intermediate activations are laid out by the memory
+// profiler's liveness-based arena planner (the same plan Table 4's RAM
+// estimates are built on), so Run performs only direct calls into a
+// pooled arena that is both smaller and faster than the interpreter's
+// per-op bookkeeping.
 func Compile(mf *tflm.ModelFile) (*Program, error) {
 	p := &Program{Precision: mf.Precision, NumClasses: mf.NumClasses}
 	used := map[string]bool{}
@@ -44,14 +54,25 @@ func Compile(mf *tflm.ModelFile) (*Program, error) {
 		if mf.Float == nil {
 			return nil, fmt.Errorf("eon: float model missing")
 		}
-		if _, err := mf.Float.OutputShape(); err != nil {
+		specs, err := mf.Float.Spec()
+		if err != nil {
 			return nil, err
 		}
-		for _, l := range mf.Float.Layers {
-			layer := l // bind
-			p.floatSteps = append(p.floatSteps, layer.Forward)
-			used[l.Kind()] = true
+		bufs, bufOf := profiler.ActivationAssignments(specs, 4)
+		arenaBytes, offs := profiler.PlanArena(bufs)
+		var offsets []int
+		for i, s := range specs {
+			used[s.Kind] = true
+			if nn.Aliases(s.Kind) {
+				continue
+			}
+			offsets = append(offsets, int(offs[bufOf[i+1]]/4))
 		}
+		p.floatPlan, err = nn.NewInferPlanOffsets(mf.Float, offsets, int(arenaBytes/4))
+		if err != nil {
+			return nil, err
+		}
+		p.arena = arenaBytes
 	case tflm.Int8:
 		if mf.Quant == nil {
 			return nil, fmt.Errorf("eon: quant model missing")
@@ -72,7 +93,8 @@ func Compile(mf *tflm.ModelFile) (*Program, error) {
 	return p, nil
 }
 
-// Run executes one inference through the compiled plan.
+// Run executes one inference through the compiled plan. It is safe for
+// concurrent use: the arena is pooled per call.
 func (p *Program) Run(in *tensor.F32) (*tensor.F32, error) {
 	if !in.Shape.Equal(p.inputShape) {
 		return nil, fmt.Errorf("eon: input shape %v != model %v", in.Shape, p.inputShape)
@@ -80,12 +102,12 @@ func (p *Program) Run(in *tensor.F32) (*tensor.F32, error) {
 	if p.Precision == tflm.Int8 {
 		return p.int8Run(in), nil
 	}
-	x := in
-	for _, step := range p.floatSteps {
-		x = step(x)
-	}
-	return x, nil
+	return p.floatPlan.Run(in)
 }
+
+// ArenaBytes returns the float plan's liveness-planned activation arena
+// size (0 for int8 programs, whose buffers are pooled in the QModel).
+func (p *Program) ArenaBytes() int64 { return p.arena }
 
 // KernelsUsed returns the sorted set of kernel kinds linked into the
 // program — everything else is eliminated, the "linker can strip unused

@@ -1,0 +1,204 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// RealPlan is a precomputed transform plan for real-input FFTs of a fixed
+// power-of-two size. It packs the n real samples into an n/2-point complex
+// FFT over split float32 re/im arrays and unpacks the first n/2+1 bins,
+// so one transform costs roughly half the butterflies of the generic
+// complex path and performs no allocation.
+//
+// The plan itself is immutable after construction and safe for concurrent
+// use; the mutable per-transform state lives in a RealScratch, which each
+// goroutine must own exclusively.
+type RealPlan struct {
+	n int // real input length
+	h int // n/2: complex FFT size
+
+	rev []int32 // bit-reversal permutation for the size-h FFT
+	// Stage-major complex-FFT twiddles for stages of length 4..h (the
+	// length-2 stage is multiplication-free and handled specially):
+	// stage with butterfly span L contributes L/2 sequential entries
+	// wr = cos(2πj/L), wi = -sin(2πj/L).
+	swr, swi []float32
+	// Real-unpack twiddles: cr[k] = cos(2πk/n), ci[k] = -sin(2πk/n).
+	cr, ci []float32
+}
+
+// RealScratch is the reusable working state for one RealPlan transform.
+type RealScratch struct {
+	re, im []float32
+}
+
+// NewRealPlan builds a plan for real frames of length n (a power of two,
+// at least 2).
+func NewRealPlan(n int) (*RealPlan, error) {
+	if !IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("fft: plan size %d is not a power of two >= 2", n)
+	}
+	h := n / 2
+	p := &RealPlan{n: n, h: h}
+	p.rev = make([]int32, h)
+	for i, j := 1, 0; i < h; i++ {
+		bit := h >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		p.rev[i] = int32(j)
+	}
+	for length := 4; length <= h; length <<= 1 {
+		half := length / 2
+		for j := 0; j < half; j++ {
+			ang := 2 * math.Pi * float64(j) / float64(length)
+			p.swr = append(p.swr, float32(math.Cos(ang)))
+			p.swi = append(p.swi, float32(-math.Sin(ang)))
+		}
+	}
+	p.cr = make([]float32, h)
+	p.ci = make([]float32, h)
+	for k := range p.cr {
+		ang := 2 * math.Pi * float64(k) / float64(n)
+		p.cr[k] = float32(math.Cos(ang))
+		p.ci[k] = float32(-math.Sin(ang))
+	}
+	return p, nil
+}
+
+// Size returns the real input length n the plan transforms.
+func (p *RealPlan) Size() int { return p.n }
+
+// Bins returns the number of output bins, n/2+1.
+func (p *RealPlan) Bins() int { return p.n/2 + 1 }
+
+// Scratch allocates working state for this plan. Each concurrent caller
+// needs its own scratch.
+func (p *RealPlan) Scratch() *RealScratch {
+	return &RealScratch{re: make([]float32, p.h), im: make([]float32, p.h)}
+}
+
+// fft runs the packed complex FFT of the (zero-padded) frame, leaving
+// the size-h transform in s.re/s.im.
+func (p *RealPlan) fft(frame []float32, s *RealScratch) {
+	h := p.h
+	re, im := s.re[:h], s.im[:h]
+	// Pack x[2k] + i·x[2k+1] in bit-reversed order, zero-padding.
+	for i := 0; i < h; i++ {
+		j := p.rev[i]
+		var a, b float32
+		if k := 2 * i; k < len(frame) {
+			a = frame[k]
+		}
+		if k := 2*i + 1; k < len(frame) {
+			b = frame[k]
+		}
+		re[j], im[j] = a, b
+	}
+	// Length-2 stage: the twiddle is 1+0i, so butterflies are pure adds.
+	for j := 0; j+1 < h; j += 2 {
+		ar, ai := re[j], im[j]
+		br, bi := re[j+1], im[j+1]
+		re[j], im[j] = ar+br, ai+bi
+		re[j+1], im[j+1] = ar-br, ai-bi
+	}
+	// Remaining stages with stage-major sequential twiddle tables.
+	off := 0
+	for length := 4; length <= h; length <<= 1 {
+		half := length / 2
+		wr := p.swr[off : off+half]
+		wi := p.swi[off : off+half]
+		off += half
+		for base := 0; base < h; base += length {
+			x := re[base : base+length]
+			y := im[base : base+length]
+			for j := 0; j < half; j++ {
+				k := j + half
+				cr, ci := wr[j], wi[j]
+				vr := x[k]*cr - y[k]*ci
+				vi := x[k]*ci + y[k]*cr
+				x[k] = x[j] - vr
+				y[k] = y[j] - vi
+				x[j] += vr
+				y[j] += vi
+			}
+		}
+	}
+}
+
+// checkInto validates the Into arguments.
+func (p *RealPlan) checkInto(dst, frame []float32) error {
+	if len(frame) > p.n {
+		return fmt.Errorf("fft: frame length %d exceeds plan size %d", len(frame), p.n)
+	}
+	if len(dst) < p.Bins() {
+		return fmt.Errorf("fft: dst length %d < %d bins", len(dst), p.Bins())
+	}
+	return nil
+}
+
+// PowerSpectrumInto writes |X_k|²/n for the n/2+1 real-spectrum bins of
+// frame into dst. The frame is zero-padded to the plan size; dst must
+// have at least Bins() elements.
+//
+// The unpack follows the standard even/odd split of the packed
+// transform Z: Xe[k] = (Z[k]+conj(Z[h-k]))/2, Xo[k] = -i(Z[k]-conj(Z[h-k]))/2
+// and X[k] = Xe[k] + W_n^k·Xo[k].
+func (p *RealPlan) PowerSpectrumInto(dst, frame []float32, s *RealScratch) error {
+	if err := p.checkInto(dst, frame); err != nil {
+		return err
+	}
+	p.fft(frame, s)
+	h := p.h
+	re, im := s.re, s.im
+	inv := 1 / float32(p.n)
+	x0 := re[0] + im[0]
+	dst[0] = x0 * x0 * inv
+	for k := 1; k < h; k++ {
+		a, b := re[k], im[k]
+		c, d := re[h-k], im[h-k]
+		er, ei := 0.5*(a+c), 0.5*(b-d)
+		or, oi := 0.5*(b+d), 0.5*(c-a)
+		wr, wi := p.cr[k], p.ci[k]
+		xr := er + wr*or - wi*oi
+		xi := ei + wr*oi + wi*or
+		dst[k] = (xr*xr + xi*xi) * inv
+	}
+	xh := re[0] - im[0]
+	dst[h] = xh * xh * inv
+	return nil
+}
+
+// SpectrumInto writes the magnitudes |X_k| of the n/2+1 real-spectrum
+// bins of frame into dst. The frame is zero-padded to the plan size; dst
+// must have at least Bins() elements.
+func (p *RealPlan) SpectrumInto(dst, frame []float32, s *RealScratch) error {
+	if err := p.checkInto(dst, frame); err != nil {
+		return err
+	}
+	p.fft(frame, s)
+	h := p.h
+	re, im := s.re, s.im
+	dst[0] = abs32(re[0] + im[0])
+	for k := 1; k < h; k++ {
+		a, b := re[k], im[k]
+		c, d := re[h-k], im[h-k]
+		er, ei := 0.5*(a+c), 0.5*(b-d)
+		or, oi := 0.5*(b+d), 0.5*(c-a)
+		wr, wi := p.cr[k], p.ci[k]
+		xr := float64(er + wr*or - wi*oi)
+		xi := float64(ei + wr*oi + wi*or)
+		dst[k] = float32(math.Sqrt(xr*xr + xi*xi))
+	}
+	dst[h] = abs32(re[0] - im[0])
+	return nil
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,186 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewRealPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12, -8} {
+		if _, err := NewRealPlan(n); err == nil {
+			t.Errorf("NewRealPlan(%d) accepted", n)
+		}
+	}
+}
+
+// TestRealPlanMatchesComplexPowerSpectrum is the golden-value check: the
+// planned float32 real FFT must agree with the reference complex128 path
+// across sizes, random signals and zero-padded short frames.
+func TestRealPlanMatchesComplexPowerSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 4, 16, 64, 256, 512} {
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.Scratch()
+		for _, frameLen := range []int{n, n / 2, n - 1, 1} {
+			if frameLen < 1 {
+				continue
+			}
+			frame := make([]float32, frameLen)
+			for i := range frame {
+				frame[i] = float32(rng.NormFloat64())
+			}
+			padded := make([]float32, n)
+			copy(padded, frame)
+			want, err := PowerSpectrum(padded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float32, p.Bins())
+			if err := p.PowerSpectrumInto(got, frame, s); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d: %d bins, want %d", n, len(got), len(want))
+			}
+			for k := range want {
+				d := math.Abs(float64(got[k]) - float64(want[k]))
+				if d > 1e-4*(1+math.Abs(float64(want[k]))) {
+					t.Errorf("n=%d frame=%d bin %d: got %g want %g", n, frameLen, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestRealPlanMatchesComplexSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 128
+	p, err := NewRealPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scratch()
+	frame := make([]float32, n)
+	for i := range frame {
+		frame[i] = float32(rng.NormFloat64())
+	}
+	want, err := Spectrum(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, p.Bins())
+	if err := p.SpectrumInto(got, frame, s); err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		d := math.Abs(float64(got[k]) - float64(want[k]))
+		if d > 1e-4*(1+math.Abs(float64(want[k]))) {
+			t.Errorf("bin %d: got %g want %g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestRealPlanSingleTone(t *testing.T) {
+	// A unit cosine at bin k puts power (n/2)²/n = n/4 in bin k.
+	const n, k = 256, 11
+	p, err := NewRealPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]float32, n)
+	for i := range frame {
+		frame[i] = float32(math.Cos(2 * math.Pi * float64(k) * float64(i) / n))
+	}
+	out := make([]float32, p.Bins())
+	if err := p.PowerSpectrumInto(out, frame, p.Scratch()); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if i == k {
+			if math.Abs(float64(v)-n/4) > 1e-3 {
+				t.Errorf("bin %d power %g, want %g", i, v, float64(n)/4)
+			}
+		} else if v > 1e-3 {
+			t.Errorf("bin %d power %g, want ~0", i, v)
+		}
+	}
+}
+
+func TestRealPlanArgumentErrors(t *testing.T) {
+	p, err := NewRealPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scratch()
+	dst := make([]float32, p.Bins())
+	if err := p.PowerSpectrumInto(dst, make([]float32, 65), s); err == nil {
+		t.Error("accepted over-long frame")
+	}
+	if err := p.PowerSpectrumInto(make([]float32, 3), make([]float32, 64), s); err == nil {
+		t.Error("accepted short dst")
+	}
+	if err := p.SpectrumInto(dst, make([]float32, 100), s); err == nil {
+		t.Error("spectrum accepted over-long frame")
+	}
+	if err := p.SpectrumInto(make([]float32, 3), make([]float32, 64), s); err == nil {
+		t.Error("spectrum accepted short dst")
+	}
+}
+
+func TestRealPlanNoAllocs(t *testing.T) {
+	p, err := NewRealPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Scratch()
+	frame := make([]float32, 256)
+	dst := make([]float32, p.Bins())
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.PowerSpectrumInto(dst, frame, s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PowerSpectrumInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkRFFTPlan256 vs BenchmarkComplexFFT256 quantifies the planned
+// real-path speedup over the generic complex128 transform.
+func BenchmarkRFFTPlan256(b *testing.B) {
+	p, err := NewRealPlan(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := p.Scratch()
+	frame := make([]float32, 256)
+	for i := range frame {
+		frame[i] = float32(i % 31)
+	}
+	dst := make([]float32, p.Bins())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.PowerSpectrumInto(dst, frame, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComplexFFT256(b *testing.B) {
+	frame := make([]float32, 256)
+	for i := range frame {
+		frame[i] = float32(i % 31)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PowerSpectrum(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

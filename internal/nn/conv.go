@@ -104,37 +104,57 @@ func (c *Conv2D) Forward(in *tensor.F32) *tensor.F32 {
 	c.Build(cin)
 	oh := convOutDim(h, c.Kernel, c.Stride, c.Pad)
 	ow := convOutDim(w, c.Kernel, c.Stride, c.Pad)
+	out := tensor.NewF32(oh, ow, c.Filters)
+	c.InferInto(in, out)
+	c.lastIn = in
+	c.lastOut = out
+	return out
+}
+
+// InferInto implements Layer. The inner loop accumulates over the
+// Filters-contiguous rows of the HWIO weight tensor into a per-pixel
+// output slice, so weight and output accesses are sequential; per output
+// element the accumulation order matches the classic filter-major loop
+// bit for bit.
+func (c *Conv2D) InferInto(in, out *tensor.F32) {
+	h, w, cin := in.Shape[0], in.Shape[1], in.Shape[2]
+	c.Build(cin)
+	oh, ow := out.Shape[0], out.Shape[1]
 	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
 	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
-	out := tensor.NewF32(oh, ow, c.Filters)
-	c.lastIn = in
+	nf := c.Filters
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			for f := 0; f < c.Filters; f++ {
-				s := c.B.Data[f]
-				for ky := 0; ky < c.Kernel; ky++ {
-					iy := oy*c.Stride + ky - py
-					if iy < 0 || iy >= h {
+			dst := out.Data[(oy*ow+ox)*nf : (oy*ow+ox+1)*nf]
+			copy(dst, c.B.Data)
+			for ky := 0; ky < c.Kernel; ky++ {
+				iy := oy*c.Stride + ky - py
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < c.Kernel; kx++ {
+					ix := ox*c.Stride + kx - px
+					if ix < 0 || ix >= w {
 						continue
 					}
-					for kx := 0; kx < c.Kernel; kx++ {
-						ix := ox*c.Stride + kx - px
-						if ix < 0 || ix >= w {
-							continue
-						}
-						inBase := (iy*w + ix) * cin
-						wBase := ((ky*c.Kernel + kx) * cin) * c.Filters
-						for ci := 0; ci < cin; ci++ {
-							s += in.Data[inBase+ci] * c.W.Data[wBase+ci*c.Filters+f]
+					inBase := (iy*w + ix) * cin
+					wBase := (ky*c.Kernel + kx) * cin * nf
+					for ci := 0; ci < cin; ci++ {
+						v := in.Data[inBase+ci]
+						wRow := c.W.Data[wBase+ci*nf : wBase+(ci+1)*nf]
+						for f, wv := range wRow {
+							dst[f] += v * wv
 						}
 					}
 				}
-				out.Data[(oy*ow+ox)*c.Filters+f] = c.Act.apply(s)
+			}
+			if c.Act != None {
+				for f, v := range dst {
+					dst[f] = c.Act.apply(v)
+				}
 			}
 		}
 	}
-	c.lastOut = out
-	return out
 }
 
 // Backward implements Layer.
@@ -262,33 +282,50 @@ func (c *DepthwiseConv2D) Forward(in *tensor.F32) *tensor.F32 {
 	c.Build(ch)
 	oh := convOutDim(h, c.Kernel, c.Stride, c.Pad)
 	ow := convOutDim(w, c.Kernel, c.Stride, c.Pad)
+	out := tensor.NewF32(oh, ow, ch)
+	c.InferInto(in, out)
+	c.lastIn = in
+	c.lastOut = out
+	return out
+}
+
+// InferInto implements Layer. The channel loop is innermost so the input
+// row, the [K,K,C] weight row and the output row are all walked
+// contiguously; per channel the tap accumulation order is unchanged.
+func (c *DepthwiseConv2D) InferInto(in, out *tensor.F32) {
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	c.Build(ch)
+	oh, ow := out.Shape[0], out.Shape[1]
 	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
 	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
-	out := tensor.NewF32(oh, ow, ch)
-	c.lastIn = in
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			for ci := 0; ci < ch; ci++ {
-				s := c.B.Data[ci]
-				for ky := 0; ky < c.Kernel; ky++ {
-					iy := oy*c.Stride + ky - py
-					if iy < 0 || iy >= h {
+			dst := out.Data[(oy*ow+ox)*ch : (oy*ow+ox+1)*ch]
+			copy(dst, c.B.Data)
+			for ky := 0; ky < c.Kernel; ky++ {
+				iy := oy*c.Stride + ky - py
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < c.Kernel; kx++ {
+					ix := ox*c.Stride + kx - px
+					if ix < 0 || ix >= w {
 						continue
 					}
-					for kx := 0; kx < c.Kernel; kx++ {
-						ix := ox*c.Stride + kx - px
-						if ix < 0 || ix >= w {
-							continue
-						}
-						s += in.Data[(iy*w+ix)*ch+ci] * c.W.Data[(ky*c.Kernel+kx)*ch+ci]
+					inRow := in.Data[(iy*w+ix)*ch : (iy*w+ix+1)*ch]
+					wRow := c.W.Data[(ky*c.Kernel+kx)*ch : (ky*c.Kernel+kx+1)*ch]
+					for ci, wv := range wRow {
+						dst[ci] += inRow[ci] * wv
 					}
 				}
-				out.Data[(oy*ow+ox)*ch+ci] = c.Act.apply(s)
+			}
+			if c.Act != None {
+				for ci, v := range dst {
+					dst[ci] = c.Act.apply(v)
+				}
 			}
 		}
 	}
-	c.lastOut = out
-	return out
 }
 
 // Backward implements Layer.
@@ -411,28 +448,45 @@ func (c *Conv1D) Forward(in *tensor.F32) *tensor.F32 {
 	t, cin := in.Shape[0], in.Shape[1]
 	c.Build(cin)
 	ot := convOutDim(t, c.Kernel, c.Stride, c.Pad)
-	p := padOffset(t, c.Kernel, c.Stride, c.Pad)
 	out := tensor.NewF32(ot, c.Filters)
+	c.InferInto(in, out)
 	c.lastIn = in
-	for o := 0; o < ot; o++ {
-		for f := 0; f < c.Filters; f++ {
-			s := c.B.Data[f]
-			for k := 0; k < c.Kernel; k++ {
-				i := o*c.Stride + k - p
-				if i < 0 || i >= t {
-					continue
-				}
-				inBase := i * cin
-				wBase := k * cin * c.Filters
-				for ci := 0; ci < cin; ci++ {
-					s += in.Data[inBase+ci] * c.W.Data[wBase+ci*c.Filters+f]
-				}
-			}
-			out.Data[o*c.Filters+f] = c.Act.apply(s)
-		}
-	}
 	c.lastOut = out
 	return out
+}
+
+// InferInto implements Layer, accumulating over the Filters-contiguous
+// weight rows into a per-step output slice (same reordering as Conv2D).
+func (c *Conv1D) InferInto(in, out *tensor.F32) {
+	t, cin := in.Shape[0], in.Shape[1]
+	c.Build(cin)
+	ot := out.Shape[0]
+	p := padOffset(t, c.Kernel, c.Stride, c.Pad)
+	nf := c.Filters
+	for o := 0; o < ot; o++ {
+		dst := out.Data[o*nf : (o+1)*nf]
+		copy(dst, c.B.Data)
+		for k := 0; k < c.Kernel; k++ {
+			i := o*c.Stride + k - p
+			if i < 0 || i >= t {
+				continue
+			}
+			inBase := i * cin
+			wBase := k * cin * nf
+			for ci := 0; ci < cin; ci++ {
+				v := in.Data[inBase+ci]
+				wRow := c.W.Data[wBase+ci*nf : wBase+(ci+1)*nf]
+				for f, wv := range wRow {
+					dst[f] += v * wv
+				}
+			}
+		}
+		if c.Act != None {
+			for f, v := range dst {
+				dst[f] = c.Act.apply(v)
+			}
+		}
+	}
 }
 
 // Backward implements Layer.

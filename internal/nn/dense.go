@@ -56,18 +56,32 @@ func (d *Dense) OutShape(in tensor.Shape) (tensor.Shape, error) {
 // Forward implements Layer.
 func (d *Dense) Forward(in *tensor.F32) *tensor.F32 {
 	d.Build(len(in.Data))
-	d.lastIn = in
 	out := tensor.NewF32(d.Units)
-	nIn := len(in.Data)
-	for j := 0; j < d.Units; j++ {
-		s := d.B.Data[j]
-		for i := 0; i < nIn; i++ {
-			s += in.Data[i] * d.W.Data[i*d.Units+j]
-		}
-		out.Data[j] = d.Act.apply(s)
-	}
+	d.InferInto(in, out)
+	d.lastIn = in
 	d.lastOut = out
 	return out
+}
+
+// InferInto implements Layer. Iterating inputs in the outer loop walks
+// each Units-contiguous weight row sequentially while accumulating into
+// the output slice; per output unit the addition order is unchanged.
+func (d *Dense) InferInto(in, out *tensor.F32) {
+	d.Build(len(in.Data))
+	copy(out.Data, d.B.Data)
+	nIn := len(in.Data)
+	for i := 0; i < nIn; i++ {
+		v := in.Data[i]
+		wRow := d.W.Data[i*d.Units : (i+1)*d.Units]
+		for j, wv := range wRow {
+			out.Data[j] += v * wv
+		}
+	}
+	if d.Act != None {
+		for j, v := range out.Data {
+			out.Data[j] = d.Act.apply(v)
+		}
+	}
 }
 
 // Backward implements Layer.

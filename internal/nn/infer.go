@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"edgepulse/internal/tensor"
+)
+
+// Aliases reports whether an op kind is an identity over its input data
+// at inference time (flatten, reshape, dropout): arena-backed executors
+// give such ops a view of the input buffer instead of output storage.
+// The memory profiler uses the same predicate when planning arenas.
+func Aliases(kind string) bool {
+	switch kind {
+	case "flatten", "reshape", "dropout":
+		return true
+	}
+	return false
+}
+
+// planStep is one bound kernel call of an InferPlan.
+type planStep struct {
+	layer Layer
+	// shape is the output shape; shared read-only across run states.
+	shape tensor.Shape
+	elems int
+	// off is the output offset in the scratch arena (float32 elements);
+	// -1 for aliasing steps, whose output is a view of the input.
+	off   int
+	alias bool
+}
+
+// InferPlan is a precomputed, arena-backed execution plan for stateless
+// model inference. Building the plan resolves every layer's output shape
+// and assigns each non-aliasing output a fixed offset in a scratch
+// arena; running it performs direct kernel calls into that arena with no
+// steady-state allocation. The plan is immutable and safe for concurrent
+// Run calls: per-call mutable state (the arena and tensor headers) is
+// drawn from an internal pool, and the returned tensor is freshly
+// allocated so it never aliases pooled memory.
+type InferPlan struct {
+	input tensor.Shape
+	steps []planStep
+	// arenaLen is the scratch arena size in float32 elements.
+	arenaLen int
+	pool     sync.Pool
+}
+
+// inferState is the per-call mutable state of one plan execution.
+type inferState struct {
+	arena []float32
+	outs  []tensor.F32
+}
+
+// NewInferPlan builds a plan over a sequentially bumped arena: every
+// non-aliasing layer output gets its own slot (no lifetime reuse). This
+// is the default used by Model.Forward; the EON compiler supplies
+// liveness-planned offsets via NewInferPlanOffsets instead.
+func NewInferPlan(m *Model) (*InferPlan, error) {
+	return newInferPlan(m, nil, 0)
+}
+
+// NewInferPlanOffsets builds a plan whose i-th non-aliasing layer output
+// lives at offsets[i] (in float32 elements) inside an arena of arenaLen
+// elements. Offsets typically come from the profiler's liveness-based
+// arena planner; the caller is responsible for their lifetime validity.
+func NewInferPlanOffsets(m *Model, offsets []int, arenaLen int) (*InferPlan, error) {
+	if offsets == nil {
+		offsets = []int{}
+	}
+	return newInferPlan(m, offsets, arenaLen)
+}
+
+func newInferPlan(m *Model, offsets []int, arenaLen int) (*InferPlan, error) {
+	if !m.InputShape.Valid() {
+		return nil, fmt.Errorf("nn: invalid input shape %v", m.InputShape)
+	}
+	p := &InferPlan{input: m.InputShape.Clone()}
+	in := p.input
+	next := 0 // bump cursor for the default layout
+	nOut := 0 // planned-offset cursor
+	for i, l := range m.Layers {
+		out, err := l.OutShape(in)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Kind(), err)
+		}
+		st := planStep{layer: l, shape: out.Clone(), elems: out.Elems(), off: -1}
+		switch {
+		case Aliases(l.Kind()):
+			st.alias = true
+		case offsets != nil:
+			if nOut >= len(offsets) {
+				return nil, fmt.Errorf("nn: plan has %d offsets, needs more", len(offsets))
+			}
+			st.off = offsets[nOut]
+			if st.off < 0 || st.off+st.elems > arenaLen {
+				return nil, fmt.Errorf("nn: offset %d + %d elems exceeds arena %d", st.off, st.elems, arenaLen)
+			}
+			nOut++
+		default:
+			st.off = next
+			next += st.elems
+		}
+		p.steps = append(p.steps, st)
+		in = out
+	}
+	if offsets != nil {
+		if nOut != len(offsets) {
+			return nil, fmt.Errorf("nn: %d offsets supplied, %d non-aliasing layers", len(offsets), nOut)
+		}
+		p.arenaLen = arenaLen
+	} else {
+		p.arenaLen = next
+	}
+	p.pool.New = func() any {
+		s := &inferState{
+			arena: make([]float32, p.arenaLen),
+			outs:  make([]tensor.F32, len(p.steps)),
+		}
+		for i := range p.steps {
+			st := &p.steps[i]
+			s.outs[i].Shape = st.shape
+			if !st.alias {
+				s.outs[i].Data = s.arena[st.off : st.off+st.elems]
+			}
+		}
+		return s
+	}
+	return p, nil
+}
+
+// InputShape returns the plan's expected input shape.
+func (p *InferPlan) InputShape() tensor.Shape { return p.input.Clone() }
+
+// ArenaBytes returns the scratch arena footprint of one execution.
+func (p *InferPlan) ArenaBytes() int64 { return int64(p.arenaLen) * 4 }
+
+// NumSteps returns the number of bound kernel calls.
+func (p *InferPlan) NumSteps() int { return len(p.steps) }
+
+// Run executes one inference. It is safe to call concurrently.
+func (p *InferPlan) Run(in *tensor.F32) (*tensor.F32, error) {
+	if !in.Shape.Equal(p.input) {
+		return nil, fmt.Errorf("nn: input shape %v != plan input %v", in.Shape, p.input)
+	}
+	s := p.pool.Get().(*inferState)
+	x := in
+	for i := range p.steps {
+		st := &p.steps[i]
+		out := &s.outs[i]
+		if st.alias {
+			out.Data = x.Data[:st.elems]
+		} else {
+			st.layer.InferInto(x, out)
+		}
+		x = out
+	}
+	res := x.Clone()
+	p.pool.Put(s)
+	return res, nil
+}

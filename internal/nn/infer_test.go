@@ -1,0 +1,333 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"edgepulse/internal/tensor"
+)
+
+// refConv2D is the pre-reorder filter-major conv2d loop, kept as the
+// golden reference for the contiguous-access kernel.
+func refConv2D(c *Conv2D, in *tensor.F32) *tensor.F32 {
+	h, w, cin := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh := convOutDim(h, c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(w, c.Kernel, c.Stride, c.Pad)
+	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
+	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
+	out := tensor.NewF32(oh, ow, c.Filters)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for f := 0; f < c.Filters; f++ {
+				s := c.B.Data[f]
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inBase := (iy*w + ix) * cin
+						wBase := ((ky*c.Kernel + kx) * cin) * c.Filters
+						for ci := 0; ci < cin; ci++ {
+							s += in.Data[inBase+ci] * c.W.Data[wBase+ci*c.Filters+f]
+						}
+					}
+				}
+				out.Data[(oy*ow+ox)*c.Filters+f] = c.Act.apply(s)
+			}
+		}
+	}
+	return out
+}
+
+// refDense is the pre-reorder output-major dense loop.
+func refDense(d *Dense, in *tensor.F32) *tensor.F32 {
+	out := tensor.NewF32(d.Units)
+	nIn := len(in.Data)
+	for j := 0; j < d.Units; j++ {
+		s := d.B.Data[j]
+		for i := 0; i < nIn; i++ {
+			s += in.Data[i] * d.W.Data[i*d.Units+j]
+		}
+		out.Data[j] = d.Act.apply(s)
+	}
+	return out
+}
+
+// refDepthwise is the pre-reorder channel-major depthwise loop.
+func refDepthwise(c *DepthwiseConv2D, in *tensor.F32) *tensor.F32 {
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	oh := convOutDim(h, c.Kernel, c.Stride, c.Pad)
+	ow := convOutDim(w, c.Kernel, c.Stride, c.Pad)
+	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
+	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
+	out := tensor.NewF32(oh, ow, ch)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ci := 0; ci < ch; ci++ {
+				s := c.B.Data[ci]
+				for ky := 0; ky < c.Kernel; ky++ {
+					iy := oy*c.Stride + ky - py
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.Kernel; kx++ {
+						ix := ox*c.Stride + kx - px
+						if ix < 0 || ix >= w {
+							continue
+						}
+						s += in.Data[(iy*w+ix)*ch+ci] * c.W.Data[(ky*c.Kernel+kx)*ch+ci]
+					}
+				}
+				out.Data[(oy*ow+ox)*ch+ci] = c.Act.apply(s)
+			}
+		}
+	}
+	return out
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.F32 {
+	t := tensor.NewF32(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func fillParams(rng *rand.Rand, params []*tensor.F32) {
+	for _, p := range params {
+		for i := range p.Data {
+			p.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+}
+
+// TestConv2DReorderBitwiseIdentical proves the contiguous-access kernel
+// reproduces the historical loop order bit for bit: per output element
+// the float accumulation sequence is unchanged.
+func TestConv2DReorderBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, cfg := range []struct {
+		filters, kernel, stride int
+		pad                     Padding
+		act                     Activation
+	}{
+		{8, 3, 1, Same, ReLU},
+		{5, 4, 2, Same, None},
+		{3, 3, 1, Valid, ReLU6},
+		{16, 1, 1, Same, ReLU},
+	} {
+		c := NewConv2D(cfg.filters, cfg.kernel, cfg.stride, cfg.pad, cfg.act)
+		in := randTensor(rng, 9, 7, 3)
+		c.Build(3)
+		fillParams(rng, c.Params())
+		got := c.Forward(in)
+		want := refConv2D(c, in)
+		if !got.Shape.Equal(want.Shape) {
+			t.Fatalf("%+v: shape %v != %v", cfg, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("%+v: elem %d: %v != %v (must be bitwise identical)", cfg, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestDepthwiseReorderBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, stride := range []int{1, 2} {
+		c := NewDepthwiseConv2D(3, stride, Same, ReLU)
+		in := randTensor(rng, 8, 6, 4)
+		c.Build(4)
+		fillParams(rng, c.Params())
+		got := c.Forward(in)
+		want := refDepthwise(c, in)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("stride %d elem %d: %v != %v", stride, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestDenseReorderBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	d := NewDense(17, ReLU)
+	in := randTensor(rng, 31)
+	d.Build(31)
+	fillParams(rng, d.Params())
+	got := d.Forward(in)
+	want := refDense(d, in)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("elem %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// testModel builds a small DS-CNN-style stack covering every hot-path op
+// kind, including aliasing layers.
+func testModel(t testing.TB) *Model {
+	t.Helper()
+	m := NewModel(12, 10)
+	m.NumClasses = 4
+	m.Add(NewReshape(12, 10, 1)).
+		Add(NewConv2D(8, 3, 2, Same, ReLU)).
+		Add(NewDepthwiseConv2D(3, 1, Same, ReLU)).
+		Add(NewConv2D(8, 1, 1, Same, ReLU)).
+		Add(NewMaxPool2D(2, 0)).
+		Add(NewGlobalAvgPool2D()).
+		Add(NewDropout(0.5)).
+		Add(NewDense(4, None)).
+		Add(NewSoftmax())
+	if err := InitWeights(m, 77); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestInferPlanMatchesTrainingForward is the arena-backed golden check:
+// the pooled plan path must reproduce the stateful per-layer path
+// bitwise, across repeated (buffer-reusing) calls.
+func TestInferPlanMatchesTrainingForward(t *testing.T) {
+	m := testModel(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		in := randTensor(rng, 12, 10)
+		want := m.ForwardTraining(in)
+		got := m.Forward(in)
+		if !got.Shape.Equal(want.Shape) {
+			t.Fatalf("shape %v != %v", got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d elem %d: %v != %v", trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestForwardSteadyStateAllocs pins the hot-path allocation budget: the
+// pooled inference path must stay within a handful of allocations (the
+// cloned result), regardless of model depth.
+func TestForwardSteadyStateAllocs(t *testing.T) {
+	m := testModel(t)
+	in := randTensor(rand.New(rand.NewSource(6)), 12, 10)
+	m.Forward(in) // warm the plan and pool
+	allocs := testing.AllocsPerRun(50, func() { m.Forward(in) })
+	if allocs > 4 {
+		t.Errorf("Forward allocates %v per run, want <= 4", allocs)
+	}
+}
+
+// TestForwardConcurrentNoAliasing runs many concurrent inferences on one
+// model and checks every result against the serial answer — catching
+// both data races (under -race) and pooled-scratch aliasing bugs.
+func TestForwardConcurrentNoAliasing(t *testing.T) {
+	m := testModel(t)
+	rng := rand.New(rand.NewSource(7))
+	const nInputs = 8
+	ins := make([]*tensor.F32, nInputs)
+	wants := make([]*tensor.F32, nInputs)
+	for i := range ins {
+		ins[i] = randTensor(rng, 12, 10)
+		wants[i] = m.Forward(ins[i])
+	}
+	var wg sync.WaitGroup
+	errc := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				k := (g + iter) % nInputs
+				got := m.Forward(ins[k])
+				for i := range wants[k].Data {
+					if got.Data[i] != wants[k].Data[i] {
+						select {
+						case errc <- "concurrent result diverged from serial":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if msg, ok := <-errc; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestInferPlanOffsetsValidation(t *testing.T) {
+	m := testModel(t)
+	if _, err := NewInferPlanOffsets(m, []int{0}, 10); err == nil {
+		t.Error("accepted too few offsets")
+	}
+	if _, err := NewInferPlanOffsets(m, []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, 1); err == nil {
+		t.Error("accepted offsets exceeding arena")
+	}
+}
+
+func TestInferPlanRejectsWrongShape(t *testing.T) {
+	m := testModel(t)
+	p, err := NewInferPlan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(tensor.NewF32(3, 3)); err == nil {
+		t.Error("plan accepted mismatched input shape")
+	}
+}
+
+func benchInput(b *testing.B, shape ...int) *tensor.F32 {
+	b.Helper()
+	return randTensor(rand.New(rand.NewSource(1)), shape...)
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	c := NewConv2D(64, 3, 1, Same, ReLU)
+	c.Build(64)
+	fillParams(rand.New(rand.NewSource(2)), c.Params())
+	in := benchInput(b, 25, 5, 64)
+	out := tensor.NewF32(25, 5, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InferInto(in, out)
+	}
+}
+
+func BenchmarkDepthwiseConv2DForward(b *testing.B) {
+	c := NewDepthwiseConv2D(3, 1, Same, ReLU)
+	c.Build(64)
+	fillParams(rand.New(rand.NewSource(3)), c.Params())
+	in := benchInput(b, 25, 5, 64)
+	out := tensor.NewF32(25, 5, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InferInto(in, out)
+	}
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	d := NewDense(64, ReLU)
+	d.Build(256)
+	fillParams(rand.New(rand.NewSource(4)), d.Params())
+	in := benchInput(b, 256)
+	out := tensor.NewF32(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.InferInto(in, out)
+	}
+}

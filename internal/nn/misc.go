@@ -33,6 +33,11 @@ func (f *Flatten) Forward(in *tensor.F32) *tensor.F32 {
 	return &tensor.F32{Shape: tensor.Shape{len(in.Data)}, Data: in.Data}
 }
 
+// InferInto implements Layer. Arena drivers alias instead (see Aliases).
+func (f *Flatten) InferInto(in, out *tensor.F32) {
+	copy(out.Data, in.Data)
+}
+
 // Backward implements Layer.
 func (f *Flatten) Backward(gradOut *tensor.F32) *tensor.F32 {
 	return &tensor.F32{Shape: f.lastShape, Data: gradOut.Data}
@@ -69,6 +74,13 @@ func (s *Softmax) OutShape(in tensor.Shape) (tensor.Shape, error) {
 // Forward implements Layer.
 func (s *Softmax) Forward(in *tensor.F32) *tensor.F32 {
 	out := tensor.NewF32(in.Shape...)
+	s.InferInto(in, out)
+	s.lastOut = out
+	return out
+}
+
+// InferInto implements Layer.
+func (s *Softmax) InferInto(in, out *tensor.F32) {
 	max := in.Data[0]
 	for _, v := range in.Data {
 		if v > max {
@@ -85,8 +97,6 @@ func (s *Softmax) Forward(in *tensor.F32) *tensor.F32 {
 	for i := range out.Data {
 		out.Data[i] *= inv
 	}
-	s.lastOut = out
-	return out
 }
 
 // Backward implements Layer: full softmax Jacobian-vector product.
@@ -155,6 +165,12 @@ func (d *Dropout) Forward(in *tensor.F32) *tensor.F32 {
 		}
 	}
 	return out
+}
+
+// InferInto implements Layer: dropout is the identity at inference.
+// Arena drivers alias instead (see Aliases).
+func (d *Dropout) InferInto(in, out *tensor.F32) {
+	copy(out.Data, in.Data)
 }
 
 // Backward implements Layer.
@@ -232,16 +248,22 @@ func (b *BatchNorm) OutShape(in tensor.Shape) (tensor.Shape, error) {
 
 // Forward implements Layer.
 func (b *BatchNorm) Forward(in *tensor.F32) *tensor.F32 {
+	b.Build(channels(in.Shape))
+	out := tensor.NewF32(in.Shape...)
+	b.InferInto(in, out)
+	b.lastIn = in
+	return out
+}
+
+// InferInto implements Layer.
+func (b *BatchNorm) InferInto(in, out *tensor.F32) {
 	ch := channels(in.Shape)
 	b.Build(ch)
-	b.lastIn = in
-	out := tensor.NewF32(in.Shape...)
 	for i, v := range in.Data {
 		c := i % ch
 		inv := float32(1 / math.Sqrt(float64(b.Var.Data[c]+b.Eps)))
 		out.Data[i] = b.Gamma.Data[c]*(v-b.Mean.Data[c])*inv + b.Beta.Data[c]
 	}
-	return out
 }
 
 // Backward implements Layer (statistics frozen, so this is an affine map).

@@ -12,6 +12,8 @@ package nn
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"edgepulse/internal/tensor"
 )
@@ -92,6 +94,13 @@ type Layer interface {
 	OutShape(in tensor.Shape) (tensor.Shape, error)
 	// Forward runs inference, caching whatever Backward needs.
 	Forward(in *tensor.F32) *tensor.F32
+	// InferInto runs stateless inference, writing the result into out,
+	// which the caller has shaped per OutShape. It mutates no layer
+	// state, so one layer may serve concurrent inferences as long as
+	// each caller owns its out tensor. Layers whose inference is the
+	// identity (flatten, reshape, dropout) copy; arena-backed drivers
+	// skip the call and alias the buffers instead (see Aliases).
+	InferInto(in, out *tensor.F32)
 	// Backward consumes the gradient w.r.t. this layer's output and
 	// returns the gradient w.r.t. its input, accumulating parameter
 	// gradients. It must be called after Forward.
@@ -112,6 +121,14 @@ type Model struct {
 	Layers []Layer
 	// NumClasses is the output dimensionality (for classifiers).
 	NumClasses int
+
+	// plan caches the arena-backed inference plan behind Forward. It is
+	// rebuilt lazily whenever the layer stack changes.
+	plan atomic.Pointer[InferPlan]
+	// fallbackMu serializes Forward's lenient rerouting to the stateful
+	// ForwardTraining path (nonstandard input shapes), which mutates
+	// per-layer state and would otherwise race under concurrent Forward.
+	fallbackMu sync.Mutex
 }
 
 // NewModel builds an empty model for the given input shape.
@@ -122,6 +139,7 @@ func NewModel(inputShape ...int) *Model {
 // Add appends a layer and returns the model for chaining.
 func (m *Model) Add(l Layer) *Model {
 	m.Layers = append(m.Layers, l)
+	m.plan.Store(nil) // the cached inference plan is stale
 	return m
 }
 
@@ -138,8 +156,44 @@ func (m *Model) OutputShape() (tensor.Shape, error) {
 	return s, nil
 }
 
-// Forward runs single-sample inference through all layers.
+// Forward runs single-sample inference through all layers on the
+// model's pooled scratch arena: steady-state calls reuse activation
+// buffers instead of allocating per layer, and concurrent calls are safe
+// because every invocation draws its own scratch from the pool. The
+// returned tensor is freshly allocated and never aliases the arena.
+//
+// Training code must use ForwardTraining, which caches the per-layer
+// state Backward consumes.
 func (m *Model) Forward(in *tensor.F32) *tensor.F32 {
+	p := m.plan.Load()
+	if p == nil || len(p.steps) != len(m.Layers) {
+		np, err := NewInferPlan(m)
+		if err != nil {
+			return m.forwardFallback(in)
+		}
+		m.plan.Store(np)
+		p = np
+	}
+	out, err := p.Run(in)
+	if err != nil {
+		// Nonstandard input shapes keep the historical lenient behavior.
+		return m.forwardFallback(in)
+	}
+	return out
+}
+
+// forwardFallback serializes the stateful per-layer path so concurrent
+// Forward calls stay safe even when they cannot use the plan.
+func (m *Model) forwardFallback(in *tensor.F32) *tensor.F32 {
+	m.fallbackMu.Lock()
+	defer m.fallbackMu.Unlock()
+	return m.ForwardTraining(in)
+}
+
+// ForwardTraining runs inference through the stateful per-layer path,
+// caching the activations Backward needs. It allocates per layer and
+// must not be called concurrently on one model.
+func (m *Model) ForwardTraining(in *tensor.F32) *tensor.F32 {
 	x := in
 	for _, l := range m.Layers {
 		x = l.Forward(x)

@@ -73,6 +73,28 @@ func (p *MaxPool2D) Forward(in *tensor.F32) *tensor.F32 {
 	return out
 }
 
+// InferInto implements Layer (no argmax bookkeeping).
+func (p *MaxPool2D) InferInto(in, out *tensor.F32) {
+	w, ch := in.Shape[1], in.Shape[2]
+	oh, ow := out.Shape[0], out.Shape[1]
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for c := 0; c < ch; c++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < p.Size; ky++ {
+					for kx := 0; kx < p.Size; kx++ {
+						v := in.Data[((oy*p.Stride+ky)*w+(ox*p.Stride+kx))*ch+c]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(oy*ow+ox)*ch+c] = best
+			}
+		}
+	}
+}
+
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(gradOut *tensor.F32) *tensor.F32 {
 	gradIn := tensor.NewF32(p.lastIn.Shape...)
@@ -129,7 +151,15 @@ func (p *AvgPool2D) Forward(in *tensor.F32) *tensor.F32 {
 	oh := convOutDim(h, p.Size, p.Stride, Valid)
 	ow := convOutDim(w, p.Size, p.Stride, Valid)
 	out := tensor.NewF32(oh, ow, ch)
+	p.InferInto(in, out)
 	p.lastIn = in
+	return out
+}
+
+// InferInto implements Layer.
+func (p *AvgPool2D) InferInto(in, out *tensor.F32) {
+	w, ch := in.Shape[1], in.Shape[2]
+	oh, ow := out.Shape[0], out.Shape[1]
 	inv := 1 / float32(p.Size*p.Size)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
@@ -146,7 +176,6 @@ func (p *AvgPool2D) Forward(in *tensor.F32) *tensor.F32 {
 			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
@@ -238,6 +267,24 @@ func (p *MaxPool1D) Forward(in *tensor.F32) *tensor.F32 {
 	return out
 }
 
+// InferInto implements Layer (no argmax bookkeeping).
+func (p *MaxPool1D) InferInto(in, out *tensor.F32) {
+	ch := in.Shape[1]
+	ot := out.Shape[0]
+	for o := 0; o < ot; o++ {
+		for c := 0; c < ch; c++ {
+			best := float32(math.Inf(-1))
+			for k := 0; k < p.Size; k++ {
+				v := in.Data[(o*p.Stride+k)*ch+c]
+				if v > best {
+					best = v
+				}
+			}
+			out.Data[o*ch+c] = best
+		}
+	}
+}
+
 // Backward implements Layer.
 func (p *MaxPool1D) Backward(gradOut *tensor.F32) *tensor.F32 {
 	gradIn := tensor.NewF32(p.lastIn.Shape...)
@@ -278,19 +325,28 @@ func (p *GlobalAvgPool2D) OutShape(in tensor.Shape) (tensor.Shape, error) {
 
 // Forward implements Layer.
 func (p *GlobalAvgPool2D) Forward(in *tensor.F32) *tensor.F32 {
-	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
-	out := tensor.NewF32(ch)
+	out := tensor.NewF32(in.Shape[2])
+	p.InferInto(in, out)
 	p.lastIn = in
+	return out
+}
+
+// InferInto implements Layer.
+func (p *GlobalAvgPool2D) InferInto(in, out *tensor.F32) {
+	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
+	for c := range out.Data {
+		out.Data[c] = 0
+	}
 	for i := 0; i < h*w; i++ {
-		for c := 0; c < ch; c++ {
-			out.Data[c] += in.Data[i*ch+c]
+		row := in.Data[i*ch : (i+1)*ch]
+		for c, v := range row {
+			out.Data[c] += v
 		}
 	}
 	inv := 1 / float32(h*w)
 	for c := range out.Data {
 		out.Data[c] *= inv
 	}
-	return out
 }
 
 // Backward implements Layer.

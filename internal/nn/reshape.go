@@ -37,6 +37,11 @@ func (r *Reshape) Forward(in *tensor.F32) *tensor.F32 {
 	return &tensor.F32{Shape: r.Target.Clone(), Data: in.Data}
 }
 
+// InferInto implements Layer. Arena drivers alias instead (see Aliases).
+func (r *Reshape) InferInto(in, out *tensor.F32) {
+	copy(out.Data, in.Data)
+}
+
 // Backward implements Layer.
 func (r *Reshape) Backward(gradOut *tensor.F32) *tensor.F32 {
 	return &tensor.F32{Shape: r.lastShape, Data: gradOut.Data}

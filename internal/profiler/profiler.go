@@ -80,22 +80,27 @@ func NaiveArena(bufs []Buffer) int64 {
 	return total
 }
 
-// aliasing ops reuse their input buffer rather than allocating.
-func aliases(kind string) bool {
-	switch kind {
-	case "flatten", "reshape", "dropout":
-		return true
-	}
-	return false
-}
+// aliasing ops reuse their input buffer rather than allocating. The
+// predicate is shared with the nn package's arena-backed executors so
+// plans and profiles agree on buffer lifetimes.
+func aliases(kind string) bool { return nn.Aliases(kind) }
 
 // ActivationBuffers derives arena buffers from a model's op specs for the
 // given element size (4 for float32, 1 for int8). Buffer 0 is the input.
 func ActivationBuffers(specs []nn.OpSpec, elemSize int64) []Buffer {
+	bufs, _ := ActivationAssignments(specs, elemSize)
+	return bufs
+}
+
+// ActivationAssignments derives arena buffers plus the op-to-buffer map:
+// bufOf[i] is the buffer index holding the output of op i-1 (bufOf[0] is
+// the input, always buffer 0). Aliasing ops share their input's buffer.
+// The EON compiler uses the assignment to bind compiled kernel outputs
+// to the planner's offsets.
+func ActivationAssignments(specs []nn.OpSpec, elemSize int64) ([]Buffer, []int) {
 	if len(specs) == 0 {
-		return nil
+		return nil, nil
 	}
-	// bufOf[i] = buffer index holding the output of op i-1 (i=0: input).
 	bufs := []Buffer{{Size: int64(specs[0].InShape.Elems()) * elemSize, Start: 0, End: 0}}
 	bufOf := make([]int, len(specs)+1)
 	bufOf[0] = 0
@@ -119,7 +124,7 @@ func ActivationBuffers(specs []nn.OpSpec, elemSize int64) []Buffer {
 	// The final output is read by the application after the last op.
 	last := bufOf[len(specs)]
 	bufs[last].End = len(specs) + 1
-	return bufs
+	return bufs, bufOf
 }
 
 // Memory is a RAM/flash estimate for one (engine, precision) deployment.

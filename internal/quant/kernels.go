@@ -4,39 +4,64 @@ import (
 	"edgepulse/internal/tensor"
 )
 
-// RunOp executes a single quantized op (used by the EON compiler to bind
-// ops into a static call plan).
-func (q *QModel) RunOp(op *QOp, in *tensor.I8) *tensor.I8 { return q.runOp(op, in) }
-
-// runOp dispatches one quantized op. All compute kernels use int32
-// accumulators over (q_in - in_zp) * q_w products, add the int32 bias,
-// requantize with the op's fixed-point multiplier, add the output zero
-// point and clamp to the fused activation range — the same dataflow as
-// CMSIS-NN / TFLM reference int8 kernels.
-func (q *QModel) runOp(op *QOp, in *tensor.I8) *tensor.I8 {
+// RunOp executes a single quantized op into a freshly allocated output
+// (kept for callers that bind individual ops, e.g. tests and the EON
+// C++ emitter); the hot path goes through runOpInto with pooled buffers.
+func (q *QModel) RunOp(op *QOp, in *tensor.I8) *tensor.I8 {
 	switch op.Kind {
-	case "dense":
-		return q.qDense(op, in)
-	case "conv2d":
-		return q.qConv2D(op, in)
-	case "depthwise_conv2d":
-		return q.qDepthwise(op, in)
-	case "conv1d":
-		return q.qConv1D(op, in)
-	case "maxpool2d":
-		return q.qMaxPool2D(op, in)
-	case "avgpool2d":
-		return q.qAvgPool2D(op, in)
-	case "maxpool1d":
-		return q.qMaxPool1D(op, in)
-	case "gap2d":
-		return q.qGAP(op, in)
 	case "flatten", "reshape":
 		return &tensor.I8{Shape: op.OutShape.Clone(), Data: in.Data, Q: in.Q}
+	}
+	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	acc := make([]int32, accRowLen(op))
+	return q.runOpInto(op, in, out, acc)
+}
+
+// accRowLen returns the per-pixel int32 accumulator width an op needs.
+func accRowLen(op *QOp) int {
+	switch op.Kind {
+	case "dense":
+		return op.OutShape.Elems()
+	case "conv2d", "depthwise_conv2d", "conv1d":
+		return op.OutShape[len(op.OutShape)-1]
+	}
+	return 1
+}
+
+// runOpInto dispatches one quantized op, writing into out. All compute
+// kernels use int32 accumulators over (q_in - in_zp) * q_w products, add
+// the int32 bias, requantize with the op's fixed-point multiplier, add
+// the output zero point and clamp to the fused activation range — the
+// same dataflow as CMSIS-NN / TFLM reference int8 kernels. Inner loops
+// accumulate over the filter-contiguous weight rows into a per-pixel
+// int32 row (acc), so weight accesses are sequential; integer addition
+// is exact, so results are bitwise identical to the filter-major order.
+func (q *QModel) runOpInto(op *QOp, in, out *tensor.I8, acc []int32) *tensor.I8 {
+	switch op.Kind {
+	case "dense":
+		qDense(op, in, out, acc)
+	case "conv2d":
+		qConv2D(op, in, out, acc)
+	case "depthwise_conv2d":
+		qDepthwise(op, in, out, acc)
+	case "conv1d":
+		qConv1D(op, in, out, acc)
+	case "maxpool2d":
+		qMaxPool2D(op, in, out)
+	case "avgpool2d":
+		qAvgPool2D(op, in, out)
+	case "maxpool1d":
+		qMaxPool1D(op, in, out)
+	case "gap2d":
+		qGAP(op, in, out)
+	case "flatten", "reshape":
+		out.Data = in.Data
+		out.Q = in.Q
 	default:
 		// Unknown pass-through: keep data (softmax handled by caller).
 		return in
 	}
+	return out
 }
 
 // requant converts an int32 accumulator to the quantized output domain.
@@ -45,19 +70,22 @@ func requant(op *QOp, acc int32) int8 {
 	return int8(clampI32(v, op.ActMin, op.ActMax))
 }
 
-func (q *QModel) qDense(op *QOp, in *tensor.I8) *tensor.I8 {
+func qDense(op *QOp, in, out *tensor.I8, acc []int32) {
 	nIn := op.InShape.Elems()
 	nOut := op.OutShape.Elems()
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
+	row := acc[:nOut]
+	copy(row, op.Bias)
 	inZP := op.InQ.ZeroPoint
-	for j := 0; j < nOut; j++ {
-		acc := op.Bias[j]
-		for i := 0; i < nIn; i++ {
-			acc += (int32(in.Data[i]) - inZP) * int32(op.W[i*nOut+j])
+	for i := 0; i < nIn; i++ {
+		v := int32(in.Data[i]) - inZP
+		wRow := op.W[i*nOut : (i+1)*nOut]
+		for j, wv := range wRow {
+			row[j] += v * int32(wv)
 		}
-		out.Data[j] = requant(op, acc)
 	}
-	return out
+	for j, a := range row {
+		out.Data[j] = requant(op, a)
+	}
 }
 
 func convDims(op *QOp) (kernel, stride, pad int) {
@@ -79,7 +107,7 @@ func samePad(in, kernel, stride, outDim int) int {
 	return total / 2
 }
 
-func (q *QModel) qConv2D(op *QOp, in *tensor.I8) *tensor.I8 {
+func qConv2D(op *QOp, in, out *tensor.I8, acc []int32) {
 	h, w, cin := op.InShape[0], op.InShape[1], op.InShape[2]
 	oh, ow, filters := op.OutShape[0], op.OutShape[1], op.OutShape[2]
 	kernel, stride, pad := convDims(op)
@@ -88,37 +116,41 @@ func (q *QModel) qConv2D(op *QOp, in *tensor.I8) *tensor.I8 {
 		py = samePad(h, kernel, stride, oh)
 		px = samePad(w, kernel, stride, ow)
 	}
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	inZP := op.InQ.ZeroPoint
+	row := acc[:filters]
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			for f := 0; f < filters; f++ {
-				acc := op.Bias[f]
-				for ky := 0; ky < kernel; ky++ {
-					iy := oy*stride + ky - py
-					if iy < 0 || iy >= h {
+			copy(row, op.Bias)
+			for ky := 0; ky < kernel; ky++ {
+				iy := oy*stride + ky - py
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < kernel; kx++ {
+					ix := ox*stride + kx - px
+					if ix < 0 || ix >= w {
 						continue
 					}
-					for kx := 0; kx < kernel; kx++ {
-						ix := ox*stride + kx - px
-						if ix < 0 || ix >= w {
-							continue
-						}
-						inBase := (iy*w + ix) * cin
-						wBase := (ky*kernel + kx) * cin * filters
-						for ci := 0; ci < cin; ci++ {
-							acc += (int32(in.Data[inBase+ci]) - inZP) * int32(op.W[wBase+ci*filters+f])
+					inBase := (iy*w + ix) * cin
+					wBase := (ky*kernel + kx) * cin * filters
+					for ci := 0; ci < cin; ci++ {
+						v := int32(in.Data[inBase+ci]) - inZP
+						wRow := op.W[wBase+ci*filters : wBase+(ci+1)*filters]
+						for f, wv := range wRow {
+							row[f] += v * int32(wv)
 						}
 					}
 				}
-				out.Data[(oy*ow+ox)*filters+f] = requant(op, acc)
+			}
+			dst := out.Data[(oy*ow+ox)*filters : (oy*ow+ox+1)*filters]
+			for f, a := range row {
+				dst[f] = requant(op, a)
 			}
 		}
 	}
-	return out
 }
 
-func (q *QModel) qDepthwise(op *QOp, in *tensor.I8) *tensor.I8 {
+func qDepthwise(op *QOp, in, out *tensor.I8, acc []int32) {
 	h, w, ch := op.InShape[0], op.InShape[1], op.InShape[2]
 	oh, ow := op.OutShape[0], op.OutShape[1]
 	kernel, stride, pad := convDims(op)
@@ -127,33 +159,37 @@ func (q *QModel) qDepthwise(op *QOp, in *tensor.I8) *tensor.I8 {
 		py = samePad(h, kernel, stride, oh)
 		px = samePad(w, kernel, stride, ow)
 	}
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	inZP := op.InQ.ZeroPoint
+	row := acc[:ch]
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			for c := 0; c < ch; c++ {
-				acc := op.Bias[c]
-				for ky := 0; ky < kernel; ky++ {
-					iy := oy*stride + ky - py
-					if iy < 0 || iy >= h {
+			copy(row, op.Bias)
+			for ky := 0; ky < kernel; ky++ {
+				iy := oy*stride + ky - py
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < kernel; kx++ {
+					ix := ox*stride + kx - px
+					if ix < 0 || ix >= w {
 						continue
 					}
-					for kx := 0; kx < kernel; kx++ {
-						ix := ox*stride + kx - px
-						if ix < 0 || ix >= w {
-							continue
-						}
-						acc += (int32(in.Data[(iy*w+ix)*ch+c]) - inZP) * int32(op.W[(ky*kernel+kx)*ch+c])
+					inRow := in.Data[(iy*w+ix)*ch : (iy*w+ix+1)*ch]
+					wRow := op.W[(ky*kernel+kx)*ch : (ky*kernel+kx+1)*ch]
+					for ci, wv := range wRow {
+						row[ci] += (int32(inRow[ci]) - inZP) * int32(wv)
 					}
 				}
-				out.Data[(oy*ow+ox)*ch+c] = requant(op, acc)
+			}
+			dst := out.Data[(oy*ow+ox)*ch : (oy*ow+ox+1)*ch]
+			for ci, a := range row {
+				dst[ci] = requant(op, a)
 			}
 		}
 	}
-	return out
 }
 
-func (q *QModel) qConv1D(op *QOp, in *tensor.I8) *tensor.I8 {
+func qConv1D(op *QOp, in, out *tensor.I8, acc []int32) {
 	t, cin := op.InShape[0], op.InShape[1]
 	ot, filters := op.OutShape[0], op.OutShape[1]
 	kernel, stride, pad := convDims(op)
@@ -161,26 +197,30 @@ func (q *QModel) qConv1D(op *QOp, in *tensor.I8) *tensor.I8 {
 	if pad == 1 {
 		p = samePad(t, kernel, stride, ot)
 	}
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	inZP := op.InQ.ZeroPoint
+	row := acc[:filters]
 	for o := 0; o < ot; o++ {
-		for f := 0; f < filters; f++ {
-			acc := op.Bias[f]
-			for k := 0; k < kernel; k++ {
-				i := o*stride + k - p
-				if i < 0 || i >= t {
-					continue
-				}
-				inBase := i * cin
-				wBase := k * cin * filters
-				for ci := 0; ci < cin; ci++ {
-					acc += (int32(in.Data[inBase+ci]) - inZP) * int32(op.W[wBase+ci*filters+f])
+		copy(row, op.Bias)
+		for k := 0; k < kernel; k++ {
+			i := o*stride + k - p
+			if i < 0 || i >= t {
+				continue
+			}
+			inBase := i * cin
+			wBase := k * cin * filters
+			for ci := 0; ci < cin; ci++ {
+				v := int32(in.Data[inBase+ci]) - inZP
+				wRow := op.W[wBase+ci*filters : wBase+(ci+1)*filters]
+				for f, wv := range wRow {
+					row[f] += v * int32(wv)
 				}
 			}
-			out.Data[o*filters+f] = requant(op, acc)
+		}
+		dst := out.Data[o*filters : (o+1)*filters]
+		for f, a := range row {
+			dst[f] = requant(op, a)
 		}
 	}
-	return out
 }
 
 func poolDims(op *QOp) (size, stride int) {
@@ -192,11 +232,10 @@ func poolDims(op *QOp) (size, stride int) {
 	return size, stride
 }
 
-func (q *QModel) qMaxPool2D(op *QOp, in *tensor.I8) *tensor.I8 {
-	h, w, ch := op.InShape[0], op.InShape[1], op.InShape[2]
+func qMaxPool2D(op *QOp, in, out *tensor.I8) {
+	w, ch := op.InShape[1], op.InShape[2]
 	oh, ow := op.OutShape[0], op.OutShape[1]
 	size, stride := poolDims(op)
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			for c := 0; c < ch; c++ {
@@ -213,15 +252,12 @@ func (q *QModel) qMaxPool2D(op *QOp, in *tensor.I8) *tensor.I8 {
 			}
 		}
 	}
-	_ = h
-	return out
 }
 
-func (q *QModel) qAvgPool2D(op *QOp, in *tensor.I8) *tensor.I8 {
+func qAvgPool2D(op *QOp, in, out *tensor.I8) {
 	w, ch := op.InShape[1], op.InShape[2]
 	oh, ow := op.OutShape[0], op.OutShape[1]
 	size, stride := poolDims(op)
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	n := int32(size * size)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
@@ -236,14 +272,12 @@ func (q *QModel) qAvgPool2D(op *QOp, in *tensor.I8) *tensor.I8 {
 			}
 		}
 	}
-	return out
 }
 
-func (q *QModel) qMaxPool1D(op *QOp, in *tensor.I8) *tensor.I8 {
+func qMaxPool1D(op *QOp, in, out *tensor.I8) {
 	ch := op.InShape[1]
 	ot := op.OutShape[0]
 	size, stride := poolDims(op)
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	for o := 0; o < ot; o++ {
 		for c := 0; c < ch; c++ {
 			best := int8(-128)
@@ -256,12 +290,10 @@ func (q *QModel) qMaxPool1D(op *QOp, in *tensor.I8) *tensor.I8 {
 			out.Data[o*ch+c] = best
 		}
 	}
-	return out
 }
 
-func (q *QModel) qGAP(op *QOp, in *tensor.I8) *tensor.I8 {
+func qGAP(op *QOp, in, out *tensor.I8) {
 	h, w, ch := op.InShape[0], op.InShape[1], op.InShape[2]
-	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	n := int32(h * w)
 	for c := 0; c < ch; c++ {
 		var acc int32
@@ -270,7 +302,6 @@ func (q *QModel) qGAP(op *QOp, in *tensor.I8) *tensor.I8 {
 		}
 		out.Data[c] = int8(clampI32(roundDiv(acc, n), -128, 127))
 	}
-	return out
 }
 
 // roundDiv divides with round-half-away-from-zero semantics.

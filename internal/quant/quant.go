@@ -10,6 +10,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"edgepulse/internal/nn"
 	"edgepulse/internal/tensor"
@@ -64,23 +65,67 @@ type QModel struct {
 	InQ        tensor.QParams
 	Ops        []*QOp
 	NumClasses int
+
+	// pool holds per-inference scratch (activation buffers + int32
+	// accumulator row) so steady-state Forward calls do not allocate.
+	pool sync.Pool
+}
+
+// qScratch is the pooled per-inference working state.
+type qScratch struct {
+	in     *tensor.I8
+	outs   []*tensor.I8
+	acc    []int32
+	logits []float32
+}
+
+// scratch draws (or builds) one inference's working buffers.
+func (q *QModel) scratch() *qScratch {
+	if s, ok := q.pool.Get().(*qScratch); ok {
+		return s
+	}
+	s := &qScratch{in: tensor.NewI8(q.InQ, q.InputShape...)}
+	maxAcc := 1
+	for _, op := range q.Ops {
+		var out *tensor.I8
+		switch op.Kind {
+		case "flatten", "reshape":
+			// Aliasing ops get a header view; data is bound at run time.
+			out = &tensor.I8{Shape: op.OutShape}
+		default:
+			out = tensor.NewI8(op.OutQ, op.OutShape...)
+		}
+		s.outs = append(s.outs, out)
+		if row := accRowLen(op); row > maxAcc {
+			maxAcc = row
+		}
+	}
+	s.acc = make([]int32, maxAcc)
+	return s
 }
 
 // Forward quantizes the float input, runs the int8 pipeline, and returns
-// float class probabilities.
+// float class probabilities. Activation buffers and the accumulator
+// scratch are pooled, so repeated and concurrent calls reuse them; only
+// the returned probability tensor is allocated.
 func (q *QModel) Forward(in *tensor.F32) *tensor.F32 {
-	x := tensor.QuantizeF32(in, q.InQ)
+	s := q.scratch()
+	x := s.in
+	for i := range x.Data {
+		x.Data[i] = q.InQ.Quantize(in.Data[i])
+	}
 	var probs *tensor.F32
-	for _, op := range q.Ops {
+	for i, op := range q.Ops {
 		if op.Kind == "softmax" {
-			probs = softmaxFloat(x)
+			probs = softmaxFloat(x, s)
 			break
 		}
-		x = q.runOp(op, x)
+		x = q.runOpInto(op, x, s.outs[i], s.acc)
 	}
 	if probs == nil {
 		probs = x.Dequantize()
 	}
+	q.pool.Put(s)
 	return probs
 }
 
@@ -102,17 +147,24 @@ func (q *QModel) MACs() int64 {
 	return n
 }
 
-func softmaxFloat(x *tensor.I8) *tensor.F32 {
-	logits := x.Dequantize()
-	out := tensor.NewF32(logits.Shape...)
-	max := logits.Data[0]
-	for _, v := range logits.Data {
+func softmaxFloat(x *tensor.I8, s *qScratch) *tensor.F32 {
+	n := len(x.Data)
+	if cap(s.logits) < n {
+		s.logits = make([]float32, n)
+	}
+	logits := s.logits[:n]
+	for i, qv := range x.Data {
+		logits[i] = x.Q.Dequantize(qv)
+	}
+	out := tensor.NewF32(x.Shape...)
+	max := logits[0]
+	for _, v := range logits {
 		if v > max {
 			max = v
 		}
 	}
 	var sum float64
-	for i, v := range logits.Data {
+	for i, v := range logits {
 		e := math.Exp(float64(v - max))
 		out.Data[i] = float32(e)
 		sum += e

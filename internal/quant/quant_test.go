@@ -310,7 +310,7 @@ func TestQuantizedPoolingExactness(t *testing.T) {
 	}
 	in := calib[0]
 	qin := tensor.QuantizeF32(in, qm.InQ)
-	pool := qm.runOp(qm.Ops[0], qin)
+	pool := qm.RunOp(qm.Ops[0], qin)
 	// Check each output equals max of quantized window.
 	for oy := 0; oy < 2; oy++ {
 		for ox := 0; ox < 2; ox++ {

@@ -32,6 +32,21 @@ func sortResults(rs []Result) {
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Score > rs[j].Score })
 }
 
+// Plan returns the candidate order Random would evaluate: `evals`
+// candidates sampled uniformly without replacement. Exposed so callers
+// that evaluate trials on a worker pool (the EON Tuner) select exactly
+// the same candidates as the sequential strategy.
+func Plan(nCandidates, evals int, seed int64) []int {
+	if nCandidates <= 0 {
+		return nil
+	}
+	if evals > nCandidates {
+		evals = nCandidates
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(nCandidates)[:evals]
+}
+
 // Random evaluates `evals` candidates sampled uniformly without
 // replacement at a fixed budget — the EON Tuner's default strategy
 // (random search, Bergstra et al.).
@@ -39,12 +54,8 @@ func Random(nCandidates, evals, budget int, seed int64, obj Objective) ([]Result
 	if nCandidates <= 0 {
 		return nil, fmt.Errorf("search: empty candidate space")
 	}
-	if evals > nCandidates {
-		evals = nCandidates
-	}
-	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(nCandidates)[:evals]
-	results := make([]Result, 0, evals)
+	perm := Plan(nCandidates, evals, seed)
+	results := make([]Result, 0, len(perm))
 	for _, c := range perm {
 		score, err := obj(c, budget)
 		if err != nil {

@@ -180,7 +180,7 @@ func TestRegisterKernelOverride(t *testing.T) {
 		t.Fatal(err)
 	}
 	called := false
-	restore := RegisterKernel("dense", func(layer nn.Layer, in *tensor.F32) *tensor.F32 {
+	restore := RegisterKernel("dense", func(layer nn.Layer, in, out *tensor.F32) *tensor.F32 {
 		called = true
 		return layer.Forward(in)
 	})

@@ -141,7 +141,7 @@ func Train(m *nn.Model, data []Example, cfg Config) (*Result, error) {
 		inBatch := 0
 		for _, j := range perm {
 			ex := train[j]
-			probs := m.Forward(ex.X)
+			probs := m.ForwardTraining(ex.X)
 			lossSum += crossEntropy(probs, ex.Y)
 			// Fused softmax+CE gradient: dL/dlogits = p - onehot.
 			grad := probs.Clone()
@@ -253,7 +253,7 @@ func FindLR(m *nn.Model, data []Example, seed int64) float64 {
 			c.ZeroGrads()
 			finalLoss = 0
 			for _, ex := range probe {
-				probs := c.Forward(ex.X)
+				probs := c.ForwardTraining(ex.X)
 				finalLoss += crossEntropy(probs, ex.Y)
 				grad := probs.Clone()
 				grad.Data[ex.Y] -= 1

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"edgepulse/internal/core"
 	"edgepulse/internal/data"
@@ -171,6 +172,12 @@ type Config struct {
 	Strategy string
 	// Seed makes the search deterministic.
 	Seed int64
+	// Workers bounds how many trials evaluate concurrently (random
+	// strategy only; adaptive strategies stay sequential because each
+	// round depends on the last). 0 or 1 runs sequentially. The trial
+	// set and results are identical regardless of worker count — only
+	// wall-clock changes.
+	Workers int
 	// Log receives progress lines; nil discards.
 	Log io.Writer
 }
@@ -194,12 +201,11 @@ func Run(ds *data.Dataset, cfg Config) ([]Trial, error) {
 		return nil, fmt.Errorf("tuner: dataset has %d classes, need >= 2", len(labels))
 	}
 
+	var mu sync.Mutex
 	trials := map[int]*Trial{}
-	objective := func(candidate, budget int) (float64, error) {
-		tr, err := evaluate(ds, labels, space, candidate, budget, cfg)
-		if err != nil {
-			return 0, err
-		}
+	record := func(candidate int, tr *Trial) float64 {
+		mu.Lock()
+		defer mu.Unlock()
 		trials[candidate] = tr
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "trial %-28s × %-22s acc=%.2f total=%.0fms ram=%dkB\n",
@@ -211,13 +217,24 @@ func Run(ds *data.Dataset, cfg Config) ([]Trial, error) {
 		if !tr.Fits {
 			score -= 1
 		}
-		return score, nil
+		return score
+	}
+	objective := func(candidate, budget int) (float64, error) {
+		tr, err := evaluate(ds, labels, space, candidate, budget, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return record(candidate, tr), nil
 	}
 
 	var err error
 	switch cfg.Strategy {
 	case "", "random":
-		_, err = search.Random(space.Size(), maxTrials, cfg.Epochs, cfg.Seed, objective)
+		if cfg.Workers > 1 {
+			err = runParallel(ds, labels, space, maxTrials, record, cfg)
+		} else {
+			_, err = search.Random(space.Size(), maxTrials, cfg.Epochs, cfg.Seed, objective)
+		}
 	case "hyperband":
 		_, err = search.Hyperband(space.Size(), cfg.Epochs, cfg.Seed, objective)
 	case "surrogate":
@@ -234,8 +251,69 @@ func Run(ds *data.Dataset, cfg Config) ([]Trial, error) {
 	for _, tr := range trials {
 		out = append(out, *tr)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Accuracy > out[j].Accuracy })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Accuracy != b.Accuracy {
+			return a.Accuracy > b.Accuracy
+		}
+		// Deterministic order for ties regardless of completion order.
+		if a.DSPDesc != b.DSPDesc {
+			return a.DSPDesc < b.DSPDesc
+		}
+		return a.ModelDesc < b.ModelDesc
+	})
 	return out, nil
+}
+
+// runParallel evaluates the random strategy's trial plan on a bounded
+// worker pool. Every trial is seeded by its candidate index, so results
+// match the sequential path exactly; the per-trial kernel savings of the
+// arena-backed hot path multiply across workers.
+func runParallel(ds *data.Dataset, labels []string, space Space, maxTrials int,
+	record func(int, *Trial) float64, cfg Config) error {
+	candidates := search.Plan(space.Size(), maxTrials, cfg.Seed)
+	workers := cfg.Workers
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				// Match the sequential strategy's first-error abort:
+				// once a trial fails, drain without training.
+				if failed() {
+					continue
+				}
+				tr, err := evaluate(ds, labels, space, c, cfg.Epochs, cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("search: candidate %d: %w", c, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				record(c, tr)
+			}
+		}()
+	}
+	for _, c := range candidates {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
 }
 
 // spaceFeatures embeds each candidate for the surrogate strategy:

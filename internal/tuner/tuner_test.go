@@ -189,3 +189,37 @@ func TestTunerValidation(t *testing.T) {
 	}
 	_ = ds
 }
+
+// TestTunerParallelMatchesSequential proves the bounded worker pool
+// evaluates the same trial set with identical results — only wall-clock
+// changes with Workers.
+func TestTunerParallelMatchesSequential(t *testing.T) {
+	ds, err := synth.KWSDataset(2, 10, 8000, 0.5, 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Space:       smallSpace(),
+		Input:       kwsInput(),
+		Constraints: Constraints{Target: device.MustGet("nano-33-ble-sense")},
+		Epochs:      3,
+		Seed:        9,
+	}
+	seq, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	par, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d trials, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("trial %d differs:\nseq %+v\npar %+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Performance regression guards for the inference hot path. These pin
+// the structural properties the EON compiler ablation rests on — the
+// compiled program must allocate strictly less than the interpreter
+// path — so a refactor cannot silently turn Table 2/4's story into a
+// no-op again.
+package edgepulse_test
+
+import (
+	"testing"
+
+	"edgepulse/internal/tflm"
+
+	eonc "edgepulse/internal/eon"
+)
+
+// TestEONCompiledAllocatesLessThanInterpreter asserts the compiled KWS
+// program performs strictly fewer allocations per inference than the
+// TFLM interpreter path: the compiler binds kernels and buffer offsets
+// statically, while the interpreter pays per-op dispatch and per-tensor
+// bookkeeping every Invoke.
+func TestEONCompiledAllocatesLessThanInterpreter(t *testing.T) {
+	m, _, in := kwsModelAndQuant(t)
+	mf := tflm.ModelFileFromFloat(m)
+	it, err := tflm.NewInterpreter(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := eonc.Compile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both pools so steady state is measured.
+	if _, err := it.Invoke(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	itAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := it.Invoke(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eonAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := prog.Run(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if eonAllocs >= itAllocs {
+		t.Errorf("EON compiled program allocates %v per run, interpreter %v: compiled path must be strictly lighter", eonAllocs, itAllocs)
+	}
+	if eonAllocs > 4 {
+		t.Errorf("EON compiled program allocates %v per run, want <= 4 (steady-state arena reuse)", eonAllocs)
+	}
+}
+
+// TestFloatForwardAllocBudget pins the raw float kernel path's budget:
+// repeated Model.Forward calls must reuse the pooled arena.
+func TestFloatForwardAllocBudget(t *testing.T) {
+	m, _, in := kwsModelAndQuant(t)
+	m.Forward(in) // warm the plan and pool
+	allocs := testing.AllocsPerRun(10, func() { m.Forward(in) })
+	if allocs > 4 {
+		t.Errorf("Model.Forward allocates %v per run, want <= 4", allocs)
+	}
+}
+
+// TestInt8ForwardAllocBudget pins the quantized pipeline's budget.
+func TestInt8ForwardAllocBudget(t *testing.T) {
+	_, qm, in := kwsModelAndQuant(t)
+	qm.Forward(in) // warm the pool
+	allocs := testing.AllocsPerRun(10, func() { qm.Forward(in) })
+	if allocs > 4 {
+		t.Errorf("QModel.Forward allocates %v per run, want <= 4", allocs)
+	}
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's performance benchmarks and record them
+# as a committed BENCH_<stamp>.json so the perf trajectory is tracked
+# across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # full run (~1s per benchmark)
+#   BENCHTIME=1x scripts/bench.sh    # smoke run (CI)
+#   BENCH='Ablation' scripts/bench.sh  # filter by benchmark name
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime=${BENCHTIME:-1s}
+pattern=${BENCH:-.}
+# Root ablation/table benchmarks plus the kernel microbenchmarks.
+pkgs=(. ./internal/fft ./internal/nn ./internal/dsp ./internal/quant)
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" "${pkgs[@]}" | tee "$tmp"
+go run ./cmd/ei-bench -bench-json "BENCH_STAMP.json" < "$tmp"
