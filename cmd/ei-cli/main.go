@@ -6,8 +6,11 @@
 // Usage:
 //
 //	ei-cli -server http://localhost:4800 bootstrap <username>
+//	ei-cli blocks
 //	ei-cli -key KEY create-project <name>
 //	ei-cli -key KEY upload -project 1 -label yes -hmac HMACKEY file.wav
+//	ei-cli -key KEY impulse -project 1 -file design.json
+//	ei-cli -key KEY impulse -project 1 -get
 //	ei-cli -key KEY train -project 1 -epochs 10 [-wait]
 //	ei-cli -key KEY job -id job-1 [-wait]
 package main
@@ -47,6 +50,10 @@ func main() {
 		err = createProject(ctx, c, args[1:])
 	case "upload":
 		err = upload(ctx, c, args[1:])
+	case "blocks":
+		err = blocks(ctx, c)
+	case "impulse":
+		err = impulse(ctx, c, args[1:])
 	case "train":
 		err = train(ctx, c, args[1:])
 	case "job":
@@ -61,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|train|job> ...")
+	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|blocks|impulse|train|job> ...")
 	os.Exit(2)
 }
 
@@ -157,6 +164,68 @@ func upload(ctx context.Context, c *client.Client, args []string) error {
 		return err
 	}
 	fmt.Printf("uploaded %s as sample %s\n", name, out.SampleID)
+	return nil
+}
+
+// blocks prints the server's impulse design catalog: every registered
+// DSP and learn block type with its parameter schema.
+func blocks(ctx context.Context, c *client.Client) error {
+	cat, err := c.Blocks(ctx)
+	if err != nil {
+		return err
+	}
+	printCatalog := func(title string, infos []v1.BlockInfo) {
+		fmt.Printf("%s:\n", title)
+		for _, b := range infos {
+			fmt.Printf("  %-20s", b.Type)
+			if b.Description != "" {
+				fmt.Printf(" %s", b.Description)
+			}
+			fmt.Println()
+			for _, p := range b.Params {
+				fmt.Printf("    %-22s default %g\n", p.Name, p.Default)
+			}
+		}
+	}
+	printCatalog("DSP blocks", cat.DSP)
+	printCatalog("Learn blocks", cat.Learn)
+	return nil
+}
+
+// impulse sets a project's impulse design from a JSON file (v1 or v2
+// schema; the server migrates v1) or fetches the current design.
+func impulse(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("impulse", flag.ExitOnError)
+	projectID := fs.Int("project", 0, "project id")
+	file := fs.String("file", "", "impulse design JSON (v1 or v2 schema)")
+	get := fs.Bool("get", false, "fetch the current design instead of setting one")
+	fs.Parse(args)
+	if *projectID == 0 || (*file == "" && !*get) {
+		return fmt.Errorf("usage: impulse -project N (-file design.json | -get)")
+	}
+	if *get {
+		resp, err := c.Impulse(ctx, *projectID)
+		if err != nil {
+			return err
+		}
+		pretty, _ := json.MarshalIndent(resp.Impulse, "", "  ")
+		fmt.Printf("%s\n%s (v%d schema, trained=%v quantized=%v)\n",
+			pretty, resp.Dataflow, resp.Version, resp.Trained, resp.Quantized)
+		return nil
+	}
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	resp, err := c.SetImpulse(ctx, *projectID, json.RawMessage(raw))
+	if err != nil {
+		return err
+	}
+	fmt.Println("impulse:", resp.Dataflow)
+	fmt.Println("feature shape:", resp.FeatureShape)
+	for _, b := range resp.Blocks {
+		fmt.Printf("  block %-20s %-18s offset %-5d size %d\n", b.Name, fmt.Sprint(b.Shape), b.Offset, b.Size)
+	}
 	return nil
 }
 

@@ -25,6 +25,8 @@ import (
 	"syscall"
 
 	"edgepulse/internal/api"
+	"edgepulse/internal/core"
+	"edgepulse/internal/dsp"
 	"edgepulse/internal/jobs"
 	"edgepulse/internal/project"
 )
@@ -74,6 +76,8 @@ func main() {
 	}
 	server := api.NewServer(registry, sched, opts...)
 	fmt.Printf("edgepulse studio listening on %s\n", *addr)
+	fmt.Printf("design blocks: dsp %v, learn %v (catalog: GET /api/v1/blocks)\n",
+		dsp.Names(), core.LearnNames())
 	fmt.Println("bootstrap: curl -XPOST http://localhost" + *addr + "/api/v1/users -d '{\"name\":\"you\"}'")
 	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
 }

@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = labeledDS.Labels()
 	shape, _ := imp.FeatureShape()
 	model, err := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, len(imp.Classes))

@@ -82,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = ds.Labels()
 	shape, _ := imp.FeatureShape()
 	model, err := models.Conv1DStack(shape[0], shape[1], 3, 16, 64, len(imp.Classes))

@@ -84,11 +84,14 @@ func main() {
 
 	// 3. Configure the impulse.
 	cfg := core.Config{
-		Name:      "wake-word",
-		Input:     core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1},
-		DSPName:   "mfe",
-		DSPParams: map[string]float64{"num_filters": 16, "fft_length": 128},
-		Classes:   []string{"noise", "yes"},
+		Version: core.ConfigVersion,
+		Name:    "wake-word",
+		Input:   core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1},
+		DSP: []core.DSPBlockSpec{{
+			Type: "mfe", Params: map[string]float64{"num_filters": 16, "fft_length": 128},
+		}},
+		Learn:   []core.LearnBlockSpec{{Type: core.LearnClassification}},
+		Classes: []string{"noise", "yes"},
 	}
 	imp, err := c.SetImpulse(ctx, proj.ID, cfg)
 	if err != nil {

@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = ds.Labels()
 	shape, err := imp.FeatureShape()
 	if err != nil {

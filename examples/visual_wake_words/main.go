@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = ds.Labels()
 	shape, _ := imp.FeatureShape()
 	model := models.CIFARCNN(shape[0], shape[2], len(imp.Classes))

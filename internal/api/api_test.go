@@ -207,12 +207,12 @@ func TestFullMLOpsPipeline(t *testing.T) {
 
 	// 2. Configure the impulse.
 	impulse := core.Config{
+		Version: core.ConfigVersion,
 		Name:    "kws",
 		Input:   core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1},
-		DSPName: "mfe",
-		DSPParams: map[string]float64{
-			"num_filters": 16, "fft_length": 128,
-		},
+		DSP: []core.DSPBlockSpec{{
+			Type: "mfe", Params: map[string]float64{"num_filters": 16, "fft_length": 128},
+		}},
 		Classes: []string{"noise", "yes"},
 	}
 	e.expectStatus("POST", fmt.Sprintf("/api/projects/%d/impulse", id), e.apiKey, impulse, http.StatusOK)
@@ -343,6 +343,6 @@ func TestBadImpulseConfig(t *testing.T) {
 		t.Fatal("bad json accepted")
 	}
 	// Unknown DSP block.
-	cfg := core.Config{Name: "x", Input: core.InputBlock{Kind: core.TimeSeries, WindowMS: 100, FrequencyHz: 100, Axes: 1}, DSPName: "quantum"}
+	cfg := core.Config{Version: core.ConfigVersion, Name: "x", Input: core.InputBlock{Kind: core.TimeSeries, WindowMS: 100, FrequencyHz: 100, Axes: 1}, DSP: []core.DSPBlockSpec{{Type: "quantum"}}}
 	e.expectStatus("POST", fmt.Sprintf("/api/projects/%d/impulse", id), e.apiKey, cfg, http.StatusBadRequest)
 }

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -43,6 +44,41 @@ func (s *Server) handleCreateUser(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, v1.CreateUserResponse{
 		Success: true, ID: u.ID, Name: u.Name, APIKey: u.APIKey,
 	})
+}
+
+// handleBlocks serves the impulse design catalog: every registered DSP
+// and learn block type with its parameter schema, sorted so the
+// response bytes are deterministic across processes.
+func (s *Server) handleBlocks(w http.ResponseWriter, r *http.Request) {
+	out := v1.BlocksResponse{Success: true}
+	for _, name := range dsp.Names() {
+		defaults, err := dsp.Defaults(name)
+		if err != nil {
+			continue // a block type whose zero config is invalid has no static schema
+		}
+		out.DSP = append(out.DSP, v1.BlockInfo{Type: name, Params: blockParams(defaults)})
+	}
+	for _, t := range core.LearnTypes() {
+		out.Learn = append(out.Learn, v1.BlockInfo{
+			Type: t.Type, Description: t.Description,
+			Trainable: t.Trainable, Params: blockParams(t.Defaults),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// blockParams renders a default-parameter map as a sorted schema list.
+func blockParams(defaults map[string]float64) []v1.BlockParam {
+	keys := make([]string, 0, len(defaults))
+	for k := range defaults {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]v1.BlockParam, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, v1.BlockParam{Name: k, Default: defaults[k]})
+	}
+	return out
 }
 
 func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
@@ -259,7 +295,24 @@ func (s *Server) handleSetImpulse(w http.ResponseWriter, r *http.Request, u *pro
 	shape, _ := imp.FeatureShape()
 	writeJSON(w, http.StatusOK, v1.SetImpulseResponse{
 		Success: true, FeatureShape: shape, Dataflow: imp.Describe(),
+		Blocks: featureBlocks(imp),
 	})
+}
+
+// featureBlocks renders the impulse's per-block offset table.
+func featureBlocks(imp *core.Impulse) []v1.FeatureBlock {
+	layout, err := imp.Layout()
+	if err != nil {
+		return nil
+	}
+	out := make([]v1.FeatureBlock, len(layout.Segments))
+	for i, seg := range layout.Segments {
+		out[i] = v1.FeatureBlock{
+			Name: seg.Name, Type: imp.DSP[i].Block.Name(),
+			Shape: seg.Shape, Offset: seg.Offset, Size: seg.Len,
+		}
+	}
+	return out
 }
 
 func (s *Server) handleGetImpulse(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
@@ -274,9 +327,9 @@ func (s *Server) handleGetImpulse(w http.ResponseWriter, r *http.Request, u *pro
 		return
 	}
 	writeJSON(w, http.StatusOK, v1.GetImpulseResponse{
-		Success: true, Impulse: cfg,
+		Success: true, Impulse: cfg, Version: core.ConfigVersion,
 		Trained: imp.Model != nil, Quantized: imp.QModel != nil,
-		Dataflow: imp.Describe(),
+		Dataflow: imp.Describe(), Blocks: featureBlocks(imp),
 	})
 }
 

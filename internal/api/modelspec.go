@@ -66,7 +66,9 @@ func buildModel(spec v1.ModelSpec, shape tensor.Shape, classes int) (*nn.Model, 
 // trainImpulse performs the body of a training job: build the model,
 // train, evaluate, optionally quantize.
 func trainImpulse(imp *core.Impulse, ds *data.Dataset, req v1.TrainRequest, logf func(string, ...any)) (*v1.TrainResult, error) {
-	shape, err := imp.FeatureShape()
+	// The model consumes the classification learn block's feature view
+	// (the composite vector, or the declared subset of DSP outputs).
+	shape, err := imp.ClassifierShape()
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +111,15 @@ func trainImpulse(imp *core.Impulse, ds *data.Dataset, req v1.TrainRequest, logf
 		}
 		out.Quantized = true
 		logf("quantized to int8")
+	}
+	// A declared anomaly learn block trains alongside the classifier,
+	// on its own feature view (clusters come from the block's params).
+	if spec, ok := imp.AnomalySpec(); ok {
+		if err := imp.TrainAnomaly(ds, 0, req.Seed); err != nil {
+			return nil, fmt.Errorf("anomaly block %q: %w", spec.Name, err)
+		}
+		out.AnomalyTrained = true
+		logf("anomaly block %q fitted (%d clusters)", spec.Name, len(imp.Anomaly.Centroids))
 	}
 	return out, nil
 }

@@ -186,6 +186,7 @@ func (s *Server) routes() {
 	// Unauthenticated bootstrap + discovery.
 	s.route("POST /users", s.handleCreateUser)
 	s.route("GET /devices", s.handleDevices)
+	s.route("GET /blocks", s.handleBlocks)
 	s.route("GET /projects/public", s.handlePublicProjects)
 
 	// Operational counters expose route/error/load internals, so they

@@ -198,23 +198,74 @@ type RebalanceResponse struct {
 	Stats   []LabelStat `json:"stats"`
 }
 
-// --- Impulse ---
+// --- Blocks & impulse ---
 
-// SetImpulseResponse acknowledges an impulse design.
+// BlockParam is one accepted hyperparameter of a block type, with its
+// default value.
+type BlockParam struct {
+	Name    string  `json:"name"`
+	Default float64 `json:"default"`
+}
+
+// BlockInfo describes one catalog entry of the design block registry.
+type BlockInfo struct {
+	// Type is the identifier used in design specs ("mfe",
+	// "classification", ...).
+	Type string `json:"type"`
+	// Description is a one-line summary (learn blocks only for now).
+	Description string `json:"description,omitempty"`
+	// Trainable reports whether the platform can fit the block (learn
+	// blocks only; DSP blocks are stateless extractors).
+	Trainable bool `json:"trainable,omitempty"`
+	// Params is the block's parameter schema, sorted by name.
+	Params []BlockParam `json:"params"`
+}
+
+// BlocksResponse is the design catalog at GET /api/v1/blocks: every
+// registered DSP and learn block type with its param schema, in sorted
+// order so responses are deterministic across processes.
+type BlocksResponse struct {
+	Success bool        `json:"success"`
+	DSP     []BlockInfo `json:"dsp"`
+	Learn   []BlockInfo `json:"learn"`
+}
+
+// FeatureBlock locates one DSP block's output inside the composite
+// feature vector — a row of the impulse's per-block offset table.
+type FeatureBlock struct {
+	// Name is the DSP block's instance name.
+	Name string `json:"name"`
+	// Type is the block's registered type.
+	Type string `json:"type"`
+	// Shape is the block's own output shape.
+	Shape []int `json:"shape"`
+	// Offset and Size locate the flattened output in the composite
+	// feature vector.
+	Offset int `json:"offset"`
+	Size   int `json:"size"`
+}
+
+// SetImpulseResponse acknowledges an impulse design. FeatureShape is
+// the composite feature shape; Blocks is the per-block offset table.
 type SetImpulseResponse struct {
-	Success      bool   `json:"success"`
-	FeatureShape []int  `json:"feature_shape"`
-	Dataflow     string `json:"dataflow"`
+	Success      bool           `json:"success"`
+	FeatureShape []int          `json:"feature_shape"`
+	Dataflow     string         `json:"dataflow"`
+	Blocks       []FeatureBlock `json:"blocks,omitempty"`
 }
 
 // GetImpulseResponse returns the current impulse design and its
-// training state. Impulse is the serialized core config.
+// training state. Impulse is the serialized core config, always in the
+// v2 block-graph schema (v1 uploads are migrated on ingest).
 type GetImpulseResponse struct {
-	Success   bool            `json:"success"`
-	Impulse   json.RawMessage `json:"impulse"`
-	Trained   bool            `json:"trained"`
-	Quantized bool            `json:"quantized"`
-	Dataflow  string          `json:"dataflow"`
+	Success bool            `json:"success"`
+	Impulse json.RawMessage `json:"impulse"`
+	// Version is the schema version of Impulse (currently always 2).
+	Version   int            `json:"version"`
+	Trained   bool           `json:"trained"`
+	Quantized bool           `json:"quantized"`
+	Dataflow  string         `json:"dataflow"`
+	Blocks    []FeatureBlock `json:"blocks,omitempty"`
 }
 
 // --- Training & tuner ---
@@ -253,6 +304,9 @@ type TrainResult struct {
 	LearningRate float64   `json:"learning_rate"`
 	TrainLoss    []float64 `json:"train_loss"`
 	Quantized    bool      `json:"quantized"`
+	// AnomalyTrained reports that the design's anomaly learn block was
+	// fitted alongside the classifier.
+	AnomalyTrained bool `json:"anomaly_trained,omitempty"`
 }
 
 // TunerRequest configures an EON-Tuner search job.

@@ -45,7 +45,7 @@ func AccuracyProxies(seed int64) ([]Accuracy, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	kwsImp.DSP = kwsBlock
+	kwsImp.UseDSP(kwsBlock)
 	kwsAcc, err := trainEval(kwsImp, kwsDS, func(shape []int, classes int) (*nn.Model, error) {
 		return models.Conv1DStack(shape[0], shape[1], 2, 8, 16, classes)
 	}, seed)
@@ -66,7 +66,7 @@ func AccuracyProxies(seed int64) ([]Accuracy, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	vwwImp.DSP = vwwBlock
+	vwwImp.UseDSP(vwwBlock)
 	vwwAcc, err := trainEval(vwwImp, vwwDS, func(shape []int, classes int) (*nn.Model, error) {
 		return models.CIFARCNN(shape[0], shape[2], classes), nil
 	}, seed+1)
@@ -87,7 +87,7 @@ func AccuracyProxies(seed int64) ([]Accuracy, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	icImp.DSP = icBlock
+	icImp.UseDSP(icBlock)
 	icAcc, err := trainEval(icImp, icDS, func(shape []int, classes int) (*nn.Model, error) {
 		return models.CIFARCNN(shape[0], shape[2], classes), nil
 	}, seed+2)

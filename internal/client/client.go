@@ -296,6 +296,16 @@ func (c *Client) Devices(ctx context.Context) (*v1.DevicesResponse, error) {
 	return &out, nil
 }
 
+// Blocks fetches the impulse design catalog: every registered DSP and
+// learn block type with its parameter schema.
+func (c *Client) Blocks(ctx context.Context) (*v1.BlocksResponse, error) {
+	var out v1.BlocksResponse
+	if err := c.get(ctx, "/blocks", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Metrics returns the server's operational counters.
 func (c *Client) Metrics(ctx context.Context) (*v1.MetricsResponse, error) {
 	var out v1.MetricsResponse

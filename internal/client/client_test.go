@@ -94,11 +94,13 @@ func TestClientFullPipeline(t *testing.T) {
 
 	// Impulse + training through the typed surface.
 	if _, err := c.SetImpulse(ctx, proj.ID, core.Config{
-		Name:      "kws",
-		Input:     core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1},
-		DSPName:   "mfe",
-		DSPParams: map[string]float64{"num_filters": 16, "fft_length": 128},
-		Classes:   []string{"noise", "yes"},
+		Version: core.ConfigVersion,
+		Name:    "kws",
+		Input:   core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1},
+		DSP: []core.DSPBlockSpec{{
+			Type: "mfe", Params: map[string]float64{"num_filters": 16, "fft_length": 128},
+		}},
+		Classes: []string{"noise", "yes"},
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,12 @@
 // Package core implements the impulse — the paper's central abstraction
 // (Sec. 3, Fig. 2): a dataflow of blocks that takes raw sensor data
-// through an input block (windowing), a DSP block (feature extraction)
-// and learn blocks (a neural network classifier and/or a K-means anomaly
-// detector), producing a deployable TinyML pipeline.
+// through an input block (windowing), one or more DSP blocks (feature
+// extraction, including sensor-fusion designs where each block consumes
+// a subset of the input axes) and learn blocks (a neural network
+// classifier and/or a K-means anomaly detector), producing a deployable
+// TinyML pipeline. The composite feature vector is the concatenation of
+// the DSP blocks' outputs; each learn block declares which DSP outputs
+// it consumes via the per-block offset table (Layout).
 //
 // An Impulse owns the end-to-end design: it extracts features from a
 // dataset, trains its learn blocks, quantizes them, and classifies raw
@@ -13,6 +17,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"edgepulse/internal/anomaly"
 	"edgepulse/internal/data"
@@ -59,8 +65,10 @@ func (b InputBlock) StrideSamples() int {
 	return s
 }
 
-// Validate checks the block configuration.
-func (b InputBlock) Validate() error {
+// Validate checks the block configuration and normalizes it in place:
+// image inputs with unspecified axes are pinned to 3 channels here, so
+// shape queries and extraction always agree on the same geometry.
+func (b *InputBlock) Validate() error {
 	switch b.Kind {
 	case TimeSeries:
 		if b.WindowMS <= 0 || b.FrequencyHz <= 0 || b.Axes <= 0 {
@@ -70,49 +78,187 @@ func (b InputBlock) Validate() error {
 		if b.Width <= 0 || b.Height <= 0 {
 			return fmt.Errorf("core: image input needs width and height")
 		}
+		if b.Axes == 0 {
+			b.Axes = 3
+		}
+		if b.Axes != 1 && b.Axes != 3 {
+			return fmt.Errorf("core: image input supports 1 or 3 axes, have %d", b.Axes)
+		}
 	default:
 		return fmt.Errorf("core: unknown input kind %q", b.Kind)
 	}
 	return nil
 }
 
-// Impulse is a configured pipeline: input block → DSP block → learn
-// block(s).
+// DSPInstance is one configured feature-extraction block in the impulse
+// graph.
+type DSPInstance struct {
+	// Name is the instance name, unique within the impulse; learn
+	// blocks reference it in their Inputs.
+	Name string
+	// Block is the configured extractor.
+	Block dsp.Block
+	// Axes selects which input axes this block consumes (time-series
+	// only, by index into the interleaved signal). Nil = all axes.
+	Axes []int
+}
+
+// Impulse is a configured pipeline: input block → DSP block graph →
+// learn block(s).
 type Impulse struct {
 	Name  string
 	Input InputBlock
-	// DSP is the feature extraction block.
-	DSP dsp.Block
+	// DSP is the ordered feature extraction graph. The composite
+	// feature vector concatenates these blocks' outputs (see Layout).
+	DSP []DSPInstance
+	// Learn holds the design-level learn block specs. When empty, a
+	// classification block over all DSP outputs is implied by Classes
+	// and an anomaly block by a fitted Anomaly — the legacy design.
+	Learn []LearnBlockSpec
 	// Classes are the classifier's output labels, in index order.
 	Classes []string
 	// Model is the float32 classifier (nil until attached/trained).
 	Model *nn.Model
 	// QModel is the int8 classifier (nil until Quantize).
 	QModel *quant.QModel
-	// Anomaly is an optional secondary learn block scoring feature
-	// vectors against the training distribution.
+	// Anomaly is the K-means learn block state scoring feature vectors
+	// against the training distribution.
 	Anomaly *anomaly.KMeans
+
+	// layout caches the per-block feature offset table, validated
+	// against a design fingerprint (see Layout).
+	layout atomic.Pointer[layoutCache]
 }
 
 // New creates an impulse with the given name.
 func New(name string) *Impulse { return &Impulse{Name: name} }
+
+// UseDSP replaces the DSP graph with the given blocks, each consuming
+// all input axes and named after its type.
+func (imp *Impulse) UseDSP(blocks ...dsp.Block) *Impulse {
+	imp.DSP = nil
+	for _, b := range blocks {
+		imp.AddDSP("", b)
+	}
+	return imp
+}
+
+// AddDSP appends one block to the DSP graph. name defaults to the block
+// type, disambiguated with a numeric suffix; axes selects the input
+// axes it consumes (none = all). An explicit duplicate name panics —
+// like a duplicate registry entry, it is a programmer error that would
+// otherwise only surface when the serialized design fails to reload.
+func (imp *Impulse) AddDSP(name string, b dsp.Block, axes ...int) *Impulse {
+	seen := map[string]bool{}
+	for _, inst := range imp.DSP {
+		seen[inst.Name] = true
+	}
+	if name == "" {
+		name = uniqueName(b.Name(), seen)
+	} else if seen[name] {
+		panic("core: duplicate dsp block name " + name)
+	}
+	imp.DSP = append(imp.DSP, DSPInstance{Name: name, Block: b, Axes: axes})
+	return imp
+}
+
+// validateDesign checks the block graph: unique DSP instance names,
+// axis selections within the input range, and learn specs that resolve
+// against the registry and the DSP graph.
+func (imp *Impulse) validateDesign() error {
+	seen := map[string]bool{}
+	for _, inst := range imp.DSP {
+		if inst.Name == "" {
+			return fmt.Errorf("core: dsp block of type %q has no instance name", inst.Block.Name())
+		}
+		if seen[inst.Name] {
+			return fmt.Errorf("core: duplicate dsp block name %q", inst.Name)
+		}
+		seen[inst.Name] = true
+		if len(inst.Axes) > 0 {
+			if imp.Input.Kind == ImageInput {
+				return fmt.Errorf("core: dsp block %q: axis selection is not supported for image inputs", inst.Name)
+			}
+			used := map[int]bool{}
+			for _, a := range inst.Axes {
+				if a < 0 || a >= imp.Input.Axes {
+					return fmt.Errorf("core: dsp block %q selects axis %d, input has %d axes", inst.Name, a, imp.Input.Axes)
+				}
+				if used[a] {
+					return fmt.Errorf("core: dsp block %q selects axis %d twice", inst.Name, a)
+				}
+				used[a] = true
+			}
+		}
+	}
+	classifiers, anomalies := 0, 0
+	learnSeen := map[string]bool{}
+	for _, spec := range imp.Learn {
+		t, ok := learnTypeOf(spec.Type)
+		if !ok {
+			return fmt.Errorf("core: unknown learn block type %q (registered: %v)", spec.Type, LearnNames())
+		}
+		if spec.Name == "" {
+			return fmt.Errorf("core: learn block of type %q has no instance name", spec.Type)
+		}
+		if learnSeen[spec.Name] {
+			return fmt.Errorf("core: duplicate learn block name %q", spec.Name)
+		}
+		learnSeen[spec.Name] = true
+		consumed := map[string]bool{}
+		for _, in := range spec.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("core: learn block %q consumes unknown dsp block %q", spec.Name, in)
+			}
+			if consumed[in] {
+				return fmt.Errorf("core: learn block %q consumes dsp block %q twice", spec.Name, in)
+			}
+			consumed[in] = true
+		}
+		switch t.Type {
+		case LearnClassification, LearnRegression:
+			classifiers++
+		case LearnAnomaly:
+			anomalies++
+			if k, ok := spec.Params["clusters"]; ok && k < 1 {
+				return fmt.Errorf("core: learn block %q: clusters must be >= 1", spec.Name)
+			}
+		}
+	}
+	// The runtime carries one trained classifier head and one anomaly
+	// state per impulse; the schema allows lists so richer runtimes can
+	// grow into them.
+	if classifiers > 1 {
+		return fmt.Errorf("core: at most one classification/regression learn block per impulse (have %d)", classifiers)
+	}
+	if anomalies > 1 {
+		return fmt.Errorf("core: at most one anomaly learn block per impulse (have %d)", anomalies)
+	}
+	return nil
+}
 
 // Validate checks the full pipeline configuration.
 func (imp *Impulse) Validate() error {
 	if err := imp.Input.Validate(); err != nil {
 		return err
 	}
-	if imp.DSP == nil {
+	if len(imp.DSP) == 0 {
 		return fmt.Errorf("core: impulse has no DSP block")
 	}
-	if len(imp.Classes) == 0 && imp.Anomaly == nil {
+	if err := imp.validateDesign(); err != nil {
+		return err
+	}
+	if len(imp.Learn) == 0 && len(imp.Classes) == 0 && imp.Anomaly == nil {
 		return fmt.Errorf("core: impulse has no learn block (classes or anomaly)")
 	}
 	if _, err := imp.FeatureShape(); err != nil {
 		return err
 	}
 	if imp.Model != nil {
-		shape, _ := imp.FeatureShape()
+		shape, err := imp.ClassifierShape()
+		if err != nil {
+			return err
+		}
 		if !imp.Model.InputShape.Equal(shape) {
 			return fmt.Errorf("core: model input %v != feature shape %v", imp.Model.InputShape, shape)
 		}
@@ -145,12 +291,54 @@ func (imp *Impulse) CanonicalSignal() dsp.Signal {
 	}
 }
 
-// FeatureShape returns the DSP output shape for one canonical window.
-func (imp *Impulse) FeatureShape() (tensor.Shape, error) {
-	if imp.DSP == nil {
-		return nil, fmt.Errorf("core: impulse has no DSP block")
+// canonicalFor returns the canonical window geometry as seen by one DSP
+// block, i.e. narrowed to its selected axes, built directly at the
+// narrowed size (these zero signals exist only for shape/cost queries).
+func (imp *Impulse) canonicalFor(inst DSPInstance) dsp.Signal {
+	if len(inst.Axes) == 0 || imp.Input.Kind == ImageInput {
+		return imp.CanonicalSignal()
 	}
-	return imp.DSP.OutputShape(imp.CanonicalSignal())
+	n := imp.Input.WindowSamples()
+	return dsp.Signal{
+		Data: make([]float32, n*len(inst.Axes)),
+		Rate: imp.Input.FrequencyHz,
+		Axes: len(inst.Axes),
+	}
+}
+
+// subSignal narrows an interleaved signal to the selected axes (nil =
+// all axes, returned as-is without copying).
+func subSignal(sig dsp.Signal, axes []int) dsp.Signal {
+	if len(axes) == 0 {
+		return sig
+	}
+	n := sig.Frames()
+	out := sig
+	out.Axes = len(axes)
+	out.Data = make([]float32, n*len(axes))
+	for t := 0; t < n; t++ {
+		src := t * sig.Axes
+		dst := t * len(axes)
+		for j, a := range axes {
+			out.Data[dst+j] = sig.Data[src+a]
+		}
+	}
+	return out
+}
+
+// FeatureShape returns the composite feature shape for one canonical
+// window: a single DSP block keeps its own output shape (so 2-D
+// spectrogram features still feed conv models), multiple blocks
+// concatenate into a flat vector.
+func (imp *Impulse) FeatureShape() (tensor.Shape, error) {
+	l, err := imp.Layout()
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Segments) == 1 {
+		return l.Segments[0].Shape, nil
+	}
+	return tensor.Shape{l.Total}, nil
 }
 
 // windowed crops or zero-pads a time-series signal to exactly one
@@ -198,12 +386,194 @@ func (imp *Impulse) Windows(sig dsp.Signal) []dsp.Signal {
 	return out
 }
 
-// Features runs the DSP block on one canonical window of the signal.
+// Features runs the DSP graph on one canonical window of the signal and
+// returns the composite feature vector (the concatenation of every
+// block's output; a single block's tensor passes through unchanged).
 func (imp *Impulse) Features(sig dsp.Signal) (*tensor.F32, error) {
-	if imp.DSP == nil {
-		return nil, fmt.Errorf("core: impulse has no DSP block")
+	x, _, err := imp.ExtractComposite(sig)
+	return x, err
+}
+
+// ExtractComposite runs every DSP block on one window and concatenates
+// the outputs per the cached offset table, returning the table so
+// callers (the SDK, learn-block views) can slice per-block segments
+// without re-extracting. The single-block fast path returns the block's
+// tensor directly, byte-identical to the legacy pipeline.
+func (imp *Impulse) ExtractComposite(sig dsp.Signal) (*tensor.F32, *FeatureLayout, error) {
+	l, err := imp.Layout()
+	if err != nil {
+		return nil, nil, err
 	}
-	return imp.DSP.Extract(imp.windowed(sig))
+	win := imp.windowed(sig)
+	if len(imp.DSP) == 1 {
+		x, err := imp.DSP[0].Block.Extract(subSignal(win, imp.DSP[0].Axes))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: dsp block %q: %w", imp.DSP[0].Name, err)
+		}
+		return x, l, nil
+	}
+	out := tensor.NewF32(l.Total)
+	for i, inst := range imp.DSP {
+		x, err := inst.Block.Extract(subSignal(win, inst.Axes))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: dsp block %q: %w", inst.Name, err)
+		}
+		seg := l.Segments[i]
+		if len(x.Data) != seg.Len {
+			return nil, nil, fmt.Errorf("core: dsp block %q produced %d features, layout expects %d", inst.Name, len(x.Data), seg.Len)
+		}
+		copy(out.Data[seg.Offset:seg.Offset+seg.Len], x.Data)
+	}
+	return out, l, nil
+}
+
+// resolveInputs expands a learn spec's input list to segment indices in
+// impulse order (empty = all blocks).
+func (l *FeatureLayout) resolveInputs(spec LearnBlockSpec) ([]int, error) {
+	if len(spec.Inputs) == 0 {
+		idx := make([]int, len(l.Segments))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
+	}
+	var idx []int
+	for i, seg := range l.Segments {
+		for _, in := range spec.Inputs {
+			if seg.Name == in {
+				idx = append(idx, i)
+				break
+			}
+		}
+	}
+	if len(idx) != len(spec.Inputs) {
+		return nil, fmt.Errorf("core: learn block %q consumes unknown dsp blocks (have %v)", spec.Name, spec.Inputs)
+	}
+	return idx, nil
+}
+
+// learnView slices a learn block's feature vector out of the composite.
+// A block consuming everything aliases the composite; a block consuming
+// exactly one DSP block keeps that block's shape (so conv models keep
+// working); multi-block subsets gather into a flat vector.
+func (imp *Impulse) learnView(spec LearnBlockSpec, composite *tensor.F32, l *FeatureLayout) (*tensor.F32, error) {
+	idx, err := l.resolveInputs(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(idx) == len(l.Segments) {
+		return composite, nil
+	}
+	if len(idx) == 1 {
+		seg := l.Segments[idx[0]]
+		return &tensor.F32{Shape: seg.Shape.Clone(), Data: composite.Data[seg.Offset : seg.Offset+seg.Len]}, nil
+	}
+	total := 0
+	for _, i := range idx {
+		total += l.Segments[i].Len
+	}
+	out := tensor.NewF32(total)
+	off := 0
+	for _, i := range idx {
+		seg := l.Segments[i]
+		copy(out.Data[off:off+seg.Len], composite.Data[seg.Offset:seg.Offset+seg.Len])
+		off += seg.Len
+	}
+	return out, nil
+}
+
+// LearnShape returns the feature shape a learn block consumes: one
+// input block keeps its own shape, multiple inputs flatten to their
+// concatenated length.
+func (imp *Impulse) LearnShape(spec LearnBlockSpec) (tensor.Shape, error) {
+	l, err := imp.Layout()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := l.resolveInputs(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(idx) == 1 {
+		return l.Segments[idx[0]].Shape, nil
+	}
+	total := 0
+	for _, i := range idx {
+		total += l.Segments[i].Len
+	}
+	return tensor.Shape{total}, nil
+}
+
+// LearnFeatures extracts the feature vector one learn block consumes
+// from a raw signal window.
+func (imp *Impulse) LearnFeatures(spec LearnBlockSpec, sig dsp.Signal) (*tensor.F32, error) {
+	composite, l, err := imp.ExtractComposite(sig)
+	if err != nil {
+		return nil, err
+	}
+	return imp.learnView(spec, composite, l)
+}
+
+// ClassifierFeaturesFrom slices the classification learn block's view
+// out of an extracted composite vector (all blocks when the design
+// declares no classifier).
+func (imp *Impulse) ClassifierFeaturesFrom(composite *tensor.F32, l *FeatureLayout) (*tensor.F32, error) {
+	spec, ok := imp.classifierSpec()
+	if !ok {
+		spec = LearnBlockSpec{Name: LearnClassification, Type: LearnClassification}
+	}
+	return imp.learnView(spec, composite, l)
+}
+
+// AnomalyFeaturesFrom slices the anomaly learn block's view out of an
+// extracted composite vector (all blocks when the design declares no
+// anomaly block).
+func (imp *Impulse) AnomalyFeaturesFrom(composite *tensor.F32, l *FeatureLayout) (*tensor.F32, error) {
+	spec, ok := imp.AnomalySpec()
+	if !ok {
+		spec = LearnBlockSpec{Name: LearnAnomaly, Type: LearnAnomaly}
+	}
+	return imp.learnView(spec, composite, l)
+}
+
+// classifierSpec resolves the impulse's classification learn block:
+// the explicit spec when present, otherwise the implicit
+// all-inputs classifier implied by a class list or attached model.
+func (imp *Impulse) classifierSpec() (LearnBlockSpec, bool) {
+	for _, spec := range imp.Learn {
+		if spec.Type == LearnClassification {
+			return spec, true
+		}
+	}
+	if len(imp.Learn) == 0 && (len(imp.Classes) > 0 || imp.Model != nil) {
+		return LearnBlockSpec{Name: LearnClassification, Type: LearnClassification}, true
+	}
+	return LearnBlockSpec{}, false
+}
+
+// AnomalySpec resolves the impulse's anomaly learn block: the explicit
+// spec when present, otherwise the implicit all-inputs block implied by
+// a fitted K-means state.
+func (imp *Impulse) AnomalySpec() (LearnBlockSpec, bool) {
+	for _, spec := range imp.Learn {
+		if spec.Type == LearnAnomaly {
+			return spec, true
+		}
+	}
+	if len(imp.Learn) == 0 && imp.Anomaly != nil {
+		return LearnBlockSpec{Name: LearnAnomaly, Type: LearnAnomaly}, true
+	}
+	return LearnBlockSpec{}, false
+}
+
+// ClassifierShape returns the feature shape the classification learn
+// block consumes — the input shape its model must have.
+func (imp *Impulse) ClassifierShape() (tensor.Shape, error) {
+	spec, ok := imp.classifierSpec()
+	if !ok {
+		return nil, fmt.Errorf("core: impulse has no classification learn block")
+	}
+	return imp.LearnShape(spec)
 }
 
 // classIndex maps a label to its class index, or -1.
@@ -216,17 +586,22 @@ func (imp *Impulse) classIndex(label string) int {
 	return -1
 }
 
-// BuildExamples extracts features for every sample in the given split,
-// mapping labels to class indices. Samples with labels outside Classes
-// are skipped (they may belong to an anomaly-only workflow).
+// BuildExamples extracts the classifier learn block's features for every
+// sample in the given split, mapping labels to class indices. Samples
+// with labels outside Classes are skipped (they may belong to an
+// anomaly-only workflow).
 func (imp *Impulse) BuildExamples(ds *data.Dataset, cat data.Category) ([]trainer.Example, error) {
+	spec, ok := imp.classifierSpec()
+	if !ok {
+		return nil, fmt.Errorf("core: impulse has no classification learn block")
+	}
 	var out []trainer.Example
 	for _, s := range ds.List(cat) {
 		y := imp.classIndex(s.Label)
 		if y < 0 {
 			continue
 		}
-		x, err := imp.Features(s.Signal)
+		x, err := imp.LearnFeatures(spec, s.Signal)
 		if err != nil {
 			return nil, fmt.Errorf("core: sample %s: %w", s.ID, err)
 		}
@@ -235,11 +610,17 @@ func (imp *Impulse) BuildExamples(ds *data.Dataset, cat data.Category) ([]traine
 	return out, nil
 }
 
-// AttachClassifier sets the float model, checking shape compatibility.
+// AttachClassifier sets the float model, checking shape compatibility
+// against the classification learn block's feature view.
 func (imp *Impulse) AttachClassifier(m *nn.Model) error {
-	shape, err := imp.FeatureShape()
+	shape, err := imp.ClassifierShape()
 	if err != nil {
-		return err
+		// An impulse without classes yet still accepts a model; fall
+		// back to the composite shape.
+		shape, err = imp.FeatureShape()
+		if err != nil {
+			return err
+		}
 	}
 	if !m.InputShape.Equal(shape) {
 		return fmt.Errorf("core: model input %v != feature shape %v", m.InputShape, shape)
@@ -257,6 +638,11 @@ func (imp *Impulse) Train(ds *data.Dataset, cfg trainer.Config) (*trainer.Result
 	if imp.Model == nil {
 		return nil, fmt.Errorf("core: no classifier attached")
 	}
+	for _, spec := range imp.Learn {
+		if spec.Type == LearnRegression {
+			return nil, fmt.Errorf("core: learn block %q: regression training is not implemented yet", spec.Name)
+		}
+	}
 	examples, err := imp.BuildExamples(ds, data.Training)
 	if err != nil {
 		return nil, err
@@ -272,15 +658,29 @@ func (imp *Impulse) Train(ds *data.Dataset, cfg trainer.Config) (*trainer.Result
 	return res, nil
 }
 
-// TrainAnomaly fits the K-means anomaly block on training features.
+// TrainAnomaly fits the K-means anomaly block on the anomaly learn
+// block's feature view of the training split. clusters <= 0 takes the
+// anomaly spec's "clusters" param (default 3).
 func (imp *Impulse) TrainAnomaly(ds *data.Dataset, clusters int, seed int64) error {
+	spec, ok := imp.AnomalySpec()
+	if !ok {
+		// No explicit spec: train over the full composite vector, the
+		// legacy behavior.
+		spec = LearnBlockSpec{Name: LearnAnomaly, Type: LearnAnomaly}
+	}
+	if clusters <= 0 {
+		clusters = 3
+		if k, ok := spec.Params["clusters"]; ok && k >= 1 {
+			clusters = int(k)
+		}
+	}
 	samples := ds.List(data.Training)
 	if len(samples) == 0 {
 		return fmt.Errorf("core: no training samples")
 	}
 	var rows [][]float32
 	for _, s := range samples {
-		x, err := imp.Features(s.Signal)
+		x, err := imp.LearnFeatures(spec, s.Signal)
 		if err != nil {
 			return err
 		}
@@ -333,8 +733,9 @@ type ClassResult struct {
 	AnomalyScore float64
 }
 
-// Classify runs the full pipeline (DSP + float model [+ anomaly]) on one
-// window of raw signal.
+// Classify runs the full pipeline (DSP graph + float model [+ anomaly])
+// on one window of raw signal. The DSP blocks run once; each learn
+// block consumes its declared view of the composite feature vector.
 func (imp *Impulse) Classify(sig dsp.Signal) (ClassResult, error) {
 	return imp.classify(sig, false)
 }
@@ -345,17 +746,24 @@ func (imp *Impulse) ClassifyQuantized(sig dsp.Signal) (ClassResult, error) {
 }
 
 func (imp *Impulse) classify(sig dsp.Signal, quantized bool) (ClassResult, error) {
-	x, err := imp.Features(sig)
+	composite, layout, err := imp.ExtractComposite(sig)
 	if err != nil {
 		return ClassResult{}, err
 	}
 	res := ClassResult{Scores: map[string]float32{}}
 	var probs *tensor.F32
+	useQuant := quantized && imp.QModel != nil
 	switch {
-	case quantized && imp.QModel != nil:
-		probs = imp.QModel.Forward(x)
-	case imp.Model != nil:
-		probs = imp.Model.Forward(x)
+	case useQuant || imp.Model != nil:
+		x, err := imp.ClassifierFeaturesFrom(composite, layout)
+		if err != nil {
+			return ClassResult{}, err
+		}
+		if useQuant {
+			probs = imp.QModel.Forward(x)
+		} else {
+			probs = imp.Model.Forward(x)
+		}
 	case imp.Anomaly == nil:
 		return ClassResult{}, fmt.Errorf("core: impulse has no learn block")
 	}
@@ -371,7 +779,11 @@ func (imp *Impulse) classify(sig dsp.Signal, quantized bool) (ClassResult, error
 		}
 	}
 	if imp.Anomaly != nil {
-		res.AnomalyScore = imp.Anomaly.Score(x.Data)
+		av, err := imp.AnomalyFeaturesFrom(composite, layout)
+		if err != nil {
+			return ClassResult{}, err
+		}
+		res.AnomalyScore = imp.Anomaly.Score(av.Data)
 	}
 	return res, nil
 }
@@ -394,14 +806,30 @@ func (imp *Impulse) Evaluate(ds *data.Dataset, cat data.Category) (float64, [][]
 	return acc, conf, nil
 }
 
-// DSPCost returns the operation count of one feature extraction.
+// DSPCost returns the summed operation count of one composite feature
+// extraction across all DSP blocks.
 func (imp *Impulse) DSPCost() dsp.Cost {
-	return imp.DSP.Cost(imp.CanonicalSignal())
+	var total dsp.Cost
+	for _, inst := range imp.DSP {
+		total = total.Add(inst.Block.Cost(imp.canonicalFor(inst)))
+	}
+	return total
 }
 
-// DSPRAM returns the working RAM of one feature extraction in bytes.
+// DSPRAM returns the working RAM of one composite feature extraction in
+// bytes: the blocks' own footprints plus, for multi-block graphs, the
+// concatenation buffer.
 func (imp *Impulse) DSPRAM() int64 {
-	return imp.DSP.RAM(imp.CanonicalSignal())
+	var total int64
+	for _, inst := range imp.DSP {
+		total += inst.Block.RAM(imp.canonicalFor(inst))
+	}
+	if len(imp.DSP) > 1 {
+		if l, err := imp.Layout(); err == nil {
+			total += int64(l.Total) * 4
+		}
+	}
+	return total
 }
 
 // Describe renders the block dataflow as a one-line diagram, the textual
@@ -416,18 +844,38 @@ func (imp *Impulse) Describe() string {
 		in = fmt.Sprintf("Image data (%dx%d)", imp.Input.Width, imp.Input.Height)
 	}
 	dspName := "?"
-	if imp.DSP != nil {
-		dspName = imp.DSP.Name()
+	if len(imp.DSP) > 0 {
+		names := make([]string, len(imp.DSP))
+		for i, inst := range imp.DSP {
+			names[i] = inst.Block.Name()
+			if len(inst.Axes) > 0 {
+				names[i] += fmt.Sprintf("(axes %v)", inst.Axes)
+			}
+		}
+		dspName = strings.Join(names, " + ")
 	}
 	learn := ""
 	if len(imp.Classes) > 0 {
 		learn = fmt.Sprintf("Classification (%d classes)", len(imp.Classes))
+	}
+	for _, spec := range imp.Learn {
+		if spec.Type == LearnRegression {
+			if learn != "" {
+				learn += " + "
+			}
+			learn += "Regression"
+		}
 	}
 	if imp.Anomaly != nil {
 		if learn != "" {
 			learn += " + "
 		}
 		learn += fmt.Sprintf("Anomaly detection (K-means, %d clusters)", len(imp.Anomaly.Centroids))
+	} else if spec, ok := imp.AnomalySpec(); ok && spec.Type == LearnAnomaly && len(imp.Learn) > 0 {
+		if learn != "" {
+			learn += " + "
+		}
+		learn += "Anomaly detection (K-means)"
 	}
 	return fmt.Sprintf("[%s] -> [%s] -> [%s]", in, dspName, learn)
 }

@@ -52,7 +52,7 @@ func toneImpulse(t *testing.T) *Impulse {
 	if err != nil {
 		t.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = []string{"high", "low"}
 	return imp
 }
@@ -276,7 +276,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if parsed.Name != cfg.Name || parsed.DSPName != "mfe" {
+	if parsed.Name != cfg.Name || len(parsed.DSP) != 1 || parsed.DSP[0].Type != "mfe" {
 		t.Fatalf("parsed: %+v", parsed)
 	}
 	imp2, err := FromConfig(parsed)
@@ -288,7 +288,7 @@ func TestConfigRoundTrip(t *testing.T) {
 	if !s1.Equal(s2) {
 		t.Fatalf("shapes differ: %v vs %v", s1, s2)
 	}
-	if imp2.DSP.Params()["num_filters"] != 16 {
+	if imp2.DSP[0].Block.Params()["num_filters"] != 16 {
 		t.Error("DSP params lost")
 	}
 }
@@ -297,7 +297,7 @@ func TestFromConfigValidation(t *testing.T) {
 	if _, err := FromConfig(Config{}); err == nil {
 		t.Error("accepted empty config")
 	}
-	if _, err := FromConfig(Config{Name: "x", Input: InputBlock{Kind: TimeSeries, WindowMS: 100, FrequencyHz: 100, Axes: 1}, DSPName: "not-a-block"}); err == nil {
+	if _, err := FromConfig(Config{Name: "x", Input: InputBlock{Kind: TimeSeries, WindowMS: 100, FrequencyHz: 100, Axes: 1}, DSP: []DSPBlockSpec{{Type: "not-a-block"}}}); err == nil {
 		t.Error("accepted unknown dsp block")
 	}
 	if _, err := ParseConfig([]byte("{bad")); err == nil {
@@ -312,7 +312,7 @@ func TestImageImpulse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = []string{"person", "no-person"}
 	shape, err := imp.FeatureShape()
 	if err != nil {

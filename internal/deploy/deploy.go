@@ -50,23 +50,49 @@ func modelFile(imp *core.Impulse, quantized bool) (*tflm.ModelFile, error) {
 	return tflm.ModelFileFromFloat(imp.Model), nil
 }
 
-// dspHeader renders the DSP block configuration as a C header.
+// dspHeader renders the DSP block graph configuration as a C header:
+// per-block type/param defines plus the offset table locating each
+// block's output inside the composite feature vector. Single-block
+// impulses additionally keep the legacy unnumbered defines.
 func dspHeader(imp *core.Impulse) []byte {
 	var b strings.Builder
 	fmt.Fprintf(&b, "// Generated DSP configuration for impulse %q. Do not edit.\n", imp.Name)
 	b.WriteString("#ifndef EP_DSP_CONFIG_H\n#define EP_DSP_CONFIG_H\n\n")
-	fmt.Fprintf(&b, "#define EP_DSP_BLOCK \"%s\"\n", imp.DSP.Name())
-	params := imp.DSP.Params()
-	keys := make([]string, 0, len(params))
-	for k := range params {
-		keys = append(keys, k)
+	fmt.Fprintf(&b, "#define EP_DSP_BLOCK_COUNT %d\n", len(imp.DSP))
+	layout, _ := imp.Layout()
+	writeParams := func(prefix string, params map[string]float64) {
+		keys := make([]string, 0, len(params))
+		for k := range params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "#define %s%s %g\n", prefix, strings.ToUpper(k), params[k])
+		}
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "#define EP_DSP_%s %g\n", strings.ToUpper(k), params[k])
+	for i, inst := range imp.DSP {
+		fmt.Fprintf(&b, "\n#define EP_DSP_BLOCK_%d_TYPE \"%s\"\n", i, inst.Block.Name())
+		fmt.Fprintf(&b, "#define EP_DSP_BLOCK_%d_NAME \"%s\"\n", i, inst.Name)
+		if layout != nil {
+			seg := layout.Segments[i]
+			fmt.Fprintf(&b, "#define EP_DSP_BLOCK_%d_OFFSET %d\n", i, seg.Offset)
+			fmt.Fprintf(&b, "#define EP_DSP_BLOCK_%d_SIZE %d\n", i, seg.Len)
+		}
+		if len(inst.Axes) > 0 {
+			axes := make([]string, len(inst.Axes))
+			for j, a := range inst.Axes {
+				axes[j] = fmt.Sprint(a)
+			}
+			fmt.Fprintf(&b, "#define EP_DSP_BLOCK_%d_AXES {%s}\n", i, strings.Join(axes, ", "))
+		}
+		writeParams(fmt.Sprintf("EP_DSP_%d_", i), inst.Block.Params())
+	}
+	if len(imp.DSP) == 1 {
+		fmt.Fprintf(&b, "\n#define EP_DSP_BLOCK \"%s\"\n", imp.DSP[0].Block.Name())
+		writeParams("EP_DSP_", imp.DSP[0].Block.Params())
 	}
 	shape, _ := imp.FeatureShape()
-	fmt.Fprintf(&b, "#define EP_FEATURE_COUNT %d\n", shape.Elems())
+	fmt.Fprintf(&b, "\n#define EP_FEATURE_COUNT %d\n", shape.Elems())
 	fmt.Fprintf(&b, "\n#endif // EP_DSP_CONFIG_H\n")
 	return []byte(b.String())
 }

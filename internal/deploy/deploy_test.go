@@ -27,7 +27,7 @@ func deployableImpulse(t testing.TB) (*core.Impulse, *data.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = ds.Labels()
 	shape, _ := imp.FeatureShape()
 	model, err := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, len(imp.Classes))

@@ -11,6 +11,7 @@ package dsp
 
 import (
 	"fmt"
+	"sort"
 
 	"edgepulse/internal/tensor"
 )
@@ -122,13 +123,26 @@ func New(name string, params map[string]float64) (Block, error) {
 	return ctor(params)
 }
 
-// Names returns the registered block names (order unspecified).
+// Names returns the registered block names, sorted so catalog responses
+// are deterministic across processes.
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
+}
+
+// Defaults returns the full default parameter map of a registered block
+// type — its parameter schema — by constructing the block with no
+// overrides and reading back the resolved hyperparameters.
+func Defaults(name string) (map[string]float64, error) {
+	b, err := New(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return b.Params(), nil
 }
 
 func getParam(params map[string]float64, key string, def float64) float64 {

@@ -23,7 +23,7 @@ func runnerImpulse(t testing.TB) (*core.Impulse, *data.Dataset) {
 	imp := core.New("runner")
 	imp.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}
 	block, _ := dsp.New("mfe", map[string]float64{"num_filters": 16, "fft_length": 128})
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = ds.Labels()
 	shape, _ := imp.FeatureShape()
 	model, _ := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, len(imp.Classes))

@@ -108,7 +108,7 @@ func TestPublicProjectsAndClone(t *testing.T) {
 	imp := core.New("public-kws")
 	imp.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 30, FrequencyHz: 100, Axes: 1}
 	block, _ := dsp.New("raw", nil)
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = []string{"no", "yes"}
 	p.SetImpulse(imp)
 
@@ -133,7 +133,7 @@ func TestPublicProjectsAndClone(t *testing.T) {
 	if clone.Dataset().Len() != 2 {
 		t.Errorf("clone dataset %d samples", clone.Dataset().Len())
 	}
-	if clone.Impulse() == nil || clone.Impulse().DSP.Name() != "raw" {
+	if clone.Impulse() == nil || clone.Impulse().DSP[0].Block.Name() != "raw" {
 		t.Error("clone impulse lost")
 	}
 	// Mutating the clone must not touch the original.
@@ -163,7 +163,7 @@ func TestSnapshotVersioning(t *testing.T) {
 	imp := core.New("v")
 	imp.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 20, FrequencyHz: 100, Axes: 1}
 	block, _ := dsp.New("raw", nil)
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = []string{"a", "b"}
 	p.SetImpulse(imp)
 	v3 := p.Snapshot("with impulse")

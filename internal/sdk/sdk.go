@@ -11,6 +11,7 @@ import (
 
 	"edgepulse/internal/core"
 	"edgepulse/internal/dsp"
+	"edgepulse/internal/tensor"
 )
 
 // Timing reports where one classification spent its time, mirroring the
@@ -57,11 +58,13 @@ func NewClassifier(imp *core.Impulse) (*Classifier, error) {
 	return &Classifier{imp: imp}, nil
 }
 
-// RunClassifier executes DSP + inference on one window of raw signal,
-// timing each stage — the SDK's main entry point.
+// RunClassifier executes the DSP graph + inference on one window of raw
+// signal, timing each stage — the SDK's main entry point. The blocks
+// run once; each learn block consumes its declared view of the
+// composite feature vector.
 func (c *Classifier) RunClassifier(sig dsp.Signal) (Result, error) {
 	t0 := time.Now()
-	x, err := c.imp.Features(sig)
+	composite, layout, err := c.imp.ExtractComposite(sig)
 	if err != nil {
 		return Result{}, err
 	}
@@ -69,16 +72,25 @@ func (c *Classifier) RunClassifier(sig dsp.Signal) (Result, error) {
 
 	t1 := time.Now()
 	res := Result{Scores: map[string]float32{}}
-	switch {
-	case c.UseQuantized && c.imp.QModel != nil:
-		probs := c.imp.QModel.Forward(x)
-		fillScores(&res, c.imp.Classes, probs.Data)
-	case c.imp.Model != nil:
-		probs := c.imp.Model.Forward(x)
+	if (c.UseQuantized && c.imp.QModel != nil) || c.imp.Model != nil {
+		x, err := c.imp.ClassifierFeaturesFrom(composite, layout)
+		if err != nil {
+			return Result{}, err
+		}
+		var probs *tensor.F32
+		if c.UseQuantized && c.imp.QModel != nil {
+			probs = c.imp.QModel.Forward(x)
+		} else {
+			probs = c.imp.Model.Forward(x)
+		}
 		fillScores(&res, c.imp.Classes, probs.Data)
 	}
 	if c.imp.Anomaly != nil {
-		res.AnomalyScore = c.imp.Anomaly.Score(x.Data)
+		av, err := c.imp.AnomalyFeaturesFrom(composite, layout)
+		if err != nil {
+			return Result{}, err
+		}
+		res.AnomalyScore = c.imp.Anomaly.Score(av.Data)
 	}
 	tNN := time.Since(t1)
 

@@ -25,7 +25,7 @@ func trainedImpulse(t testing.TB) (*core.Impulse, *data.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = ds.Labels()
 	shape, err := imp.FeatureShape()
 	if err != nil {
@@ -137,7 +137,7 @@ func TestNewClassifierValidation(t *testing.T) {
 	imp2 := core.New("untrained")
 	imp2.Input = core.InputBlock{Kind: core.TimeSeries, WindowMS: 1000, FrequencyHz: 8000, Axes: 1}
 	block, _ := dsp.New("mfe", nil)
-	imp2.DSP = block
+	imp2.UseDSP(block)
 	imp2.Classes = []string{"a", "b"}
 	if _, err := NewClassifier(imp2); err == nil {
 		t.Error("accepted untrained impulse")
@@ -152,5 +152,87 @@ func BenchmarkRunClassifier(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.RunClassifier(sig)
+	}
+}
+
+// TestRunClassifierViewRestrictedLearnBlocks locks the SDK onto the
+// per-learn-block feature views: a fused two-DSP-block design whose
+// anomaly block watches only one block must classify and score without
+// feeding the full composite vector to either learn block.
+func TestRunClassifierViewRestrictedLearnBlocks(t *testing.T) {
+	imp, err := core.FromConfig(core.Config{
+		Name:  "fusion",
+		Input: core.InputBlock{Kind: core.TimeSeries, WindowMS: 500, FrequencyHz: 4000, Axes: 2},
+		DSP: []core.DSPBlockSpec{
+			{Name: "vib", Type: "spectral-analysis", Params: map[string]float64{"fft_length": 64, "num_peaks": 8}, Axes: []int{0}},
+			{Name: "aud", Type: "mfe", Params: map[string]float64{"num_filters": 8, "fft_length": 128}, Axes: []int{1}},
+		},
+		Learn: []core.LearnBlockSpec{
+			{Type: core.LearnClassification, Inputs: []string{"vib", "aud"}},
+			{Type: core.LearnAnomaly, Inputs: []string{"vib"}, Params: map[string]float64{"clusters": 2}},
+		},
+		Classes: []string{"a", "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := synth.KWSDataset(2, 8, 4000, 0.5, 0.03, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widen the mono synth signals to 2 interleaved axes.
+	fused := data.New()
+	for _, s := range ds.List("") {
+		wide := make([]float32, 2*len(s.Signal.Data))
+		for i, v := range s.Signal.Data {
+			wide[2*i], wide[2*i+1] = v, v
+		}
+		if _, err := fused.Add(&data.Sample{
+			Name: s.Name, Label: s.Label, Category: s.Category,
+			Signal: dsp.Signal{Data: wide, Rate: 4000, Axes: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	imp.Classes = fused.Labels()
+	shape, err := imp.ClassifierShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := models.TinyMLP(shape.Elems(), 8, len(imp.Classes))
+	if err := nn.InitWeights(model, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.AttachClassifier(model); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := imp.Train(fused, trainer.Config{Epochs: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.TrainAnomaly(fused, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClassifier(imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := fused.List("")[0]
+	res, err := c.RunClassifier(clip.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label == "" || res.AnomalyScore <= 0 {
+		t.Fatalf("fused result: %+v", res)
+	}
+	// The SDK and the core pipeline must agree exactly.
+	want, err := imp.Classify(clip.Signal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != want.Label || res.AnomalyScore != want.AnomalyScore {
+		t.Fatalf("sdk %v/%v != core %v/%v", res.Label, res.AnomalyScore, want.Label, want.AnomalyScore)
+	}
+	if _, err := c.RunContinuous(clip.Signal, 2); err != nil {
+		t.Fatal(err)
 	}
 }

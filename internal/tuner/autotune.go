@@ -52,7 +52,7 @@ func AutotuneDSP(ds *data.Dataset, input core.InputBlock, blockName string, cand
 		}
 		imp := core.New("autotune")
 		imp.Input = input
-		imp.DSP = block
+		imp.UseDSP(block)
 		shape, err := imp.FeatureShape()
 		if err != nil {
 			// Candidate incompatible with the window geometry: skip.

@@ -337,7 +337,7 @@ func evaluate(ds *data.Dataset, labels []string, space Space, candidate, epochs 
 	if err != nil {
 		return nil, err
 	}
-	imp.DSP = block
+	imp.UseDSP(block)
 	imp.Classes = labels
 
 	shape, err := imp.FeatureShape()
