@@ -11,8 +11,10 @@
 //	ei-cli -key KEY upload -project 1 -label yes -hmac HMACKEY file.wav
 //	ei-cli -key KEY impulse -project 1 -file design.json
 //	ei-cli -key KEY impulse -project 1 -get
-//	ei-cli -key KEY train -project 1 -epochs 10 [-wait]
+//	ei-cli -key KEY train -project 1 -epochs 10 [-wait|-watch]
 //	ei-cli -key KEY job -id job-1 [-wait]
+//	ei-cli -key KEY jobs watch -id job-1
+//	ei-cli -key KEY jobs cancel -id job-1
 package main
 
 import (
@@ -58,6 +60,8 @@ func main() {
 		err = train(ctx, c, args[1:])
 	case "job":
 		err = job(ctx, c, args[1:])
+	case "jobs":
+		err = jobsCmd(ctx, c, args[1:])
 	default:
 		usage()
 	}
@@ -68,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|blocks|impulse|train|job> ...")
+	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|blocks|impulse|train|job|jobs> ...")
 	os.Exit(2)
 }
 
@@ -237,9 +241,10 @@ func train(ctx context.Context, c *client.Client, args []string) error {
 	modelType := fs.String("model", "conv1d", "model type (conv1d, dscnn, mlp, cnn2d)")
 	quantize := fs.Bool("quantize", true, "quantize to int8 after training")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its result")
+	watch := fs.Bool("watch", false, "stream live progress events until the job finishes")
 	fs.Parse(args)
 	if *projectID == 0 {
-		return fmt.Errorf("usage: train -project N [-epochs E] [-model conv1d] [-wait]")
+		return fmt.Errorf("usage: train -project N [-epochs E] [-model conv1d] [-wait|-watch]")
 	}
 	accepted, err := c.Train(ctx, *projectID, v1.TrainRequest{
 		Model:        v1.ModelSpec{Type: *modelType},
@@ -250,12 +255,114 @@ func train(ctx context.Context, c *client.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	if !*wait {
-		fmt.Printf("training started: job %s (poll with: ei-cli job -id %s)\n", accepted.JobID, accepted.JobID)
+	switch {
+	case *watch:
+		fmt.Printf("training started: job %s, streaming events...\n", accepted.JobID)
+		return watchJob(ctx, c, accepted.JobID, 0)
+	case *wait:
+		fmt.Printf("training started: job %s, waiting...\n", accepted.JobID)
+		return waitAndReport(ctx, c, accepted.JobID)
+	default:
+		fmt.Printf("training started: job %s (watch with: ei-cli jobs watch -id %s)\n", accepted.JobID, accepted.JobID)
 		return nil
 	}
-	fmt.Printf("training started: job %s, waiting...\n", accepted.JobID)
-	return waitAndReport(ctx, c, accepted.JobID)
+}
+
+// jobsCmd hosts the orchestration subcommands: live progress watching
+// and cancellation.
+func jobsCmd(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: jobs <watch|cancel> -id job-N")
+	}
+	fs := flag.NewFlagSet("jobs "+args[0], flag.ExitOnError)
+	id := fs.String("id", "", "job id")
+	from := fs.Int64("from", 0, "resume the event stream after this sequence number (watch)")
+	fs.Parse(args[1:])
+	if *id == "" {
+		return fmt.Errorf("usage: jobs %s -id job-N", args[0])
+	}
+	switch args[0] {
+	case "watch":
+		if *from > 0 {
+			fmt.Printf("resuming job %s after event %d\n", *id, *from)
+		}
+		return watchJob(ctx, c, *id, *from)
+	case "cancel":
+		resp, err := c.CancelJob(ctx, *id)
+		if err != nil {
+			return err
+		}
+		if resp.Cancelled {
+			fmt.Printf("job %s: cancellation requested (status %s)\n", *id, resp.Status)
+		} else {
+			fmt.Printf("job %s already %s\n", *id, resp.Status)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown jobs subcommand %q (want watch or cancel)", args[0])
+	}
+}
+
+// watchJob renders the live event stream: state transitions, a progress
+// bar per stage, and log lines; afterwards it prints the result of a
+// finished job. A failed or cancelled job is a nonzero exit.
+func watchJob(ctx context.Context, c *client.Client, id string, from int64) error {
+	var final string
+	err := c.StreamJobEvents(ctx, id, from, func(e v1.JobEvent) error {
+		switch e.Type {
+		case v1.JobEventState:
+			attempt := ""
+			if e.Attempt > 0 {
+				attempt = fmt.Sprintf(" (attempt %d)", e.Attempt+1)
+			}
+			if e.Message != "" {
+				fmt.Printf("▸ %s%s — %s\n", e.Status, attempt, e.Message)
+			} else {
+				fmt.Printf("▸ %s%s\n", e.Status, attempt)
+			}
+			if e.Terminal() {
+				final = e.Status
+			}
+		case v1.JobEventProgress:
+			fmt.Printf("  %-10s %s %3.0f%%\n", e.Stage, progressBar(e.Progress), e.Progress)
+		case v1.JobEventLog:
+			fmt.Printf("  %s\n", e.Message)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	switch final {
+	case v1.JobFinished:
+		return printResult(ctx, c, id)
+	case v1.JobCancelled:
+		return fmt.Errorf("job %s was cancelled", id)
+	default:
+		j, jerr := c.Job(ctx, id)
+		if jerr != nil {
+			return fmt.Errorf("job %s ended as %s", id, final)
+		}
+		return fmt.Errorf("job %s failed: %s", id, j.Job.Error)
+	}
+}
+
+// progressBar renders pct as a 20-cell bar.
+func progressBar(pct float64) string {
+	const cells = 20
+	full := int(pct / 100 * cells)
+	if full > cells {
+		full = cells
+	}
+	bar := make([]byte, cells)
+	for i := range bar {
+		if i < full {
+			bar[i] = '#'
+		} else {
+			bar[i] = '.'
+		}
+	}
+	return "[" + string(bar) + "]"
 }
 
 func job(ctx context.Context, c *client.Client, args []string) error {

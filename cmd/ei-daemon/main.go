@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"edgepulse/internal/client"
 	"edgepulse/internal/firmware"
@@ -46,6 +48,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A SIGINT/SIGTERM mid-run cancels the upload loop cooperatively —
+	// the same cancellation contract the job scheduler uses server-side.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	c := client.New(*server, client.WithAPIKey(*key))
 	dev, err := buildDevice(*signalKind, *hmacKey, *seed)
 	if err != nil {
@@ -58,12 +65,16 @@ func main() {
 	fmt.Print("connected to device:\n", indent(info))
 
 	for i := 0; i < *samples; i++ {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "ei-daemon: interrupted, stopping after", i, "windows")
+			return
+		}
 		out, err := dev.Execute(fmt.Sprintf("AT+SAMPLE=%d", *windowMS))
 		if err != nil {
 			fatal(err)
 		}
 		doc := strings.TrimSuffix(strings.TrimSpace(out), "\nOK")
-		uploaded, err := c.UploadSample(context.Background(), *projectID, client.UploadParams{
+		uploaded, err := c.UploadSample(ctx, *projectID, client.UploadParams{
 			Label: *label, Format: "acquisition",
 		}, []byte(doc))
 		if err != nil {

@@ -34,6 +34,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":4800", "listen address")
 	workers := flag.Int("workers", 4, "max training workers")
+	queue := flag.Int("queue", 64, "max pending jobs across all projects")
+	quota := flag.Int("quota", 16, "max pending jobs per project (fairness quota)")
 	dataDir := flag.String("data", "", "directory for persistent state (load on start, save on SIGINT/SIGTERM)")
 	rate := flag.Float64("rate", 100, "per-API-key request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 200, "per-API-key burst allowance")
@@ -49,7 +51,10 @@ func main() {
 			log.Fatal("loading state: ", err)
 		}
 	}
-	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: *workers})
+	sched := jobs.NewScheduler(jobs.Config{
+		MinWorkers: 1, MaxWorkers: *workers,
+		QueueSize: *queue, MaxQueuedPerTag: *quota,
+	})
 	defer sched.Shutdown()
 
 	if *dataDir != "" {

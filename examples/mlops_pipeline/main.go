@@ -99,8 +99,9 @@ func main() {
 	}
 	fmt.Println("impulse:", imp.Dataflow)
 
-	// 4. Async training job with quantization; long-poll instead of
-	// busy-looping on status.
+	// 4. Async training job with quantization, watched through the
+	// live event stream: ordered state transitions, real per-epoch
+	// progress and log lines, resumable via Last-Event-Id.
 	accepted, err := c.Train(ctx, proj.ID, v1.TrainRequest{
 		Model:        v1.ModelSpec{Type: "conv1d", Depth: 2, StartFilters: 8, EndFilters: 16},
 		Epochs:       10,
@@ -112,15 +113,29 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("training job:", accepted.JobID)
-	done, err := c.WaitJob(ctx, accepted.JobID)
-	if err != nil {
+	var final string
+	if err := c.StreamJobEvents(ctx, accepted.JobID, 0, func(e v1.JobEvent) error {
+		switch e.Type {
+		case v1.JobEventState:
+			fmt.Println("  [job] ->", e.Status)
+			if e.Terminal() {
+				final = e.Status
+			}
+		case v1.JobEventProgress:
+			fmt.Printf("  [job] %s %.0f%%\n", e.Stage, e.Progress)
+		case v1.JobEventLog:
+			fmt.Println("  [job]", e.Message)
+		}
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
-	if done.Status == v1.JobFailed {
-		log.Fatal("training failed: ", done.Job.Error)
-	}
-	for _, l := range done.Logs {
-		fmt.Println("  [job]", l)
+	if final != v1.JobFinished {
+		j, _ := c.Job(ctx, accepted.JobID)
+		if j != nil {
+			log.Fatal("training ended as ", final, ": ", j.Job.Error)
+		}
+		log.Fatal("training ended as ", final)
 	}
 	resultResp, err := c.JobResult(ctx, accepted.JobID)
 	if err != nil {

@@ -27,9 +27,15 @@ type testEnv struct {
 }
 
 func newEnv(t *testing.T) *testEnv {
+	return newEnvWith(t, jobs.Config{MinWorkers: 2, MaxWorkers: 4, ScaleInterval: 10 * time.Millisecond})
+}
+
+// newEnvWith spins up the full API over httptest with a custom
+// scheduler configuration.
+func newEnvWith(t *testing.T, cfg jobs.Config) *testEnv {
 	t.Helper()
 	reg := project.NewRegistry()
-	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 2, MaxWorkers: 4, ScaleInterval: 10 * time.Millisecond})
+	sched := jobs.NewScheduler(cfg)
 	t.Cleanup(sched.Shutdown)
 	srv := httptest.NewServer(NewServer(reg, sched).Handler())
 	t.Cleanup(srv.Close)

@@ -5,10 +5,10 @@ import (
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"sort"
-	"strconv"
 	"time"
 
 	v1 "edgepulse/internal/api/v1"
@@ -95,10 +95,21 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, u *project.User) {
 	out := s.metrics.snapshot()
 	m := s.sched.Metrics()
-	out.Scheduler = v1.SchedulerMetrics{
+	sm := v1.SchedulerMetrics{
 		Workers: m.Workers, PeakWorkers: m.PeakWorkers, Queued: m.Queued,
-		Completed: m.Completed, Failed: m.FailedN, ScaleUps: m.ScaleUps,
+		Completed: m.Completed, Failed: m.FailedN,
+		Cancelled: m.CancelledN, Retries: m.Retries, ScaleUps: m.ScaleUps,
+		QueuedByPriority: map[string]int{},
 	}
+	for p, depth := range m.QueuedByPriority {
+		sm.QueuedByPriority[jobs.Priority(p).String()] = depth
+	}
+	for _, k := range m.Kinds {
+		sm.Kinds = append(sm.Kinds, v1.JobKindMetrics{
+			Kind: k.Kind, Count: k.Count, AvgWaitMS: k.AvgWaitMS, AvgRunMS: k.AvgRunMS,
+		})
+	}
+	out.Scheduler = sm
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -348,27 +359,43 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, u *project.
 		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "project has no data")
 		return
 	}
-	job, err := s.sched.SubmitTagged("training", p.ID, func(ctx context.Context, j *jobs.Job) error {
-		// Train on a fresh impulse so a failed job never corrupts the
-		// project's current model.
+	// Training runs in the interactive class: a user is watching the
+	// Studio's progress bar, so it schedules ahead of batch tuner runs.
+	opts := jobs.SubmitOptions{Kind: "training", Tag: p.ID, Priority: jobs.PriorityInteractive}
+	job, err := s.sched.SubmitJob(opts, func(ctx context.Context, j *jobs.Job) error {
+		// Train on a fresh impulse so a failed or cancelled job never
+		// corrupts the project's current model.
+		j.SetProgress("prepare", 0)
 		imp, err := core.FromConfig(base.Config())
 		if err != nil {
 			return err
 		}
 		imp.Classes = p.Dataset().Labels()
-		res, err := trainImpulse(imp, p.Dataset(), req, j.Logf)
+		res, err := trainImpulse(ctx, imp, p.Dataset(), req, j)
 		if err != nil {
 			return err
 		}
 		p.SetImpulse(imp)
 		s.results.Put(j.ID, j.Kind, res)
+		j.SetProgress("done", 100)
 		return nil
 	})
 	if err != nil {
-		s.writeError(w, r, http.StatusServiceUnavailable, v1.CodeUnavailable, err.Error())
+		s.submitError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, v1.JobAccepted{Success: true, JobID: job.ID})
+}
+
+// submitError maps a scheduler admission failure: a tenant over its
+// queue quota gets 429 (back off and retry), a full scheduler 503.
+func (s *Server) submitError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, jobs.ErrQuotaExceeded) {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusTooManyRequests, v1.CodeRateLimited, err.Error())
+		return
+	}
+	s.writeError(w, r, http.StatusServiceUnavailable, v1.CodeUnavailable, err.Error())
 }
 
 func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
@@ -396,14 +423,22 @@ func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request, u *project.
 		}
 	}
 	input := base.Input
-	job, err := s.sched.SubmitTagged("tuner", p.ID, func(ctx context.Context, j *jobs.Job) error {
+	// Tuner sweeps are batch work: they yield to interactive training.
+	opts := jobs.SubmitOptions{Kind: "tuner", Tag: p.ID, Priority: jobs.PriorityBatch}
+	job, err := s.sched.SubmitJob(opts, func(ctx context.Context, j *jobs.Job) error {
 		trials, err := tuner.Run(p.Dataset(), tuner.Config{
+			Ctx:         ctx,
 			Input:       input,
 			Constraints: tuner.Constraints{Target: tgt},
 			MaxTrials:   req.MaxTrials,
 			Epochs:      req.Epochs,
 			Strategy:    req.Strategy,
 			Seed:        req.Seed,
+			Progress: func(done, total int) {
+				if total > 0 {
+					j.SetProgress("trials", 100*float64(done)/float64(total))
+				}
+			},
 		})
 		if err != nil {
 			return err
@@ -413,7 +448,7 @@ func (s *Server) handleTuner(w http.ResponseWriter, r *http.Request, u *project.
 		return nil
 	})
 	if err != nil {
-		s.writeError(w, r, http.StatusServiceUnavailable, v1.CodeUnavailable, err.Error())
+		s.submitError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, v1.JobAccepted{Success: true, JobID: job.ID})
@@ -618,9 +653,12 @@ func (s *Server) authorizeJob(w http.ResponseWriter, r *http.Request, u *project
 }
 
 func jobView(j *jobs.Job) v1.Job {
+	stage, pct := j.Progress()
 	return v1.Job{
 		ID: j.ID, Kind: j.Kind, Status: string(j.Status()),
-		Error: j.Err(), Logs: j.Logs(),
+		Priority: j.Priority.String(),
+		Error:    j.Err(), Logs: j.Logs(),
+		Stage: stage, Progress: pct, Attempt: j.Attempt(),
 		DurationMS: float64(j.Duration().Microseconds()) / 1000,
 	}
 }
@@ -646,19 +684,10 @@ func (s *Server) handleJobWait(w http.ResponseWriter, r *http.Request, u *projec
 	if !ok {
 		return
 	}
-	timeout := defaultWaitTimeout
-	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
-		ms, err := strconv.Atoi(raw)
-		if err != nil || ms <= 0 {
-			s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "timeout_ms must be a positive integer")
-			return
-		}
-		// Clamp before the Duration multiply: a huge ms value would
-		// overflow int64 into a negative timeout.
-		if maxMS := int(maxWaitTimeout / time.Millisecond); ms > maxMS {
-			ms = maxMS
-		}
-		timeout = time.Duration(ms) * time.Millisecond
+	timeout, ok := waitTimeout(r)
+	if !ok {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "timeout_ms must be a positive integer")
+		return
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()

@@ -1,0 +1,211 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/jobs"
+	"edgepulse/internal/project"
+)
+
+// eventView renders one scheduler event as its wire DTO.
+func eventView(e jobs.Event) v1.JobEvent {
+	return v1.JobEvent{
+		Seq:         e.Seq,
+		Type:        string(e.Type),
+		TimestampMS: e.Time.UnixMilli(),
+		Status:      string(e.Status),
+		Stage:       e.Stage,
+		Progress:    e.Pct,
+		Message:     e.Message,
+		Attempt:     e.Attempt,
+	}
+}
+
+// handleCancelJob implements DELETE /api/v1/jobs/{job}: cooperative
+// cancellation. A queued job is terminal immediately; a running job's
+// context is cancelled and it reaches "cancelled" as soon as its body
+// observes the context. Cancelling an already-terminal job is a no-op
+// acknowledged with cancelled=false.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request, u *project.User) {
+	j, ok := s.authorizeJob(w, r, u)
+	if !ok {
+		return
+	}
+	_, cancelled, err := s.sched.Cancel(j.ID)
+	if err != nil {
+		// The job was evicted between authorization and cancel.
+		s.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, v1.CancelJobResponse{Success: true, Cancelled: cancelled, Job: jobView(j)})
+}
+
+// eventsAfter parses the resume cursor: the from query parameter wins,
+// then the Last-Event-Id header (the SSE-style resume contract), else 0
+// (the full retained log).
+func eventsAfter(r *http.Request) (int64, bool) {
+	raw := r.URL.Query().Get("from")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-Id")
+	}
+	if raw == "" {
+		return 0, true
+	}
+	after, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || after < 0 {
+		return 0, false
+	}
+	return after, true
+}
+
+// handleJobEvents implements GET /api/v1/jobs/{job}/events, the live
+// observability feed: every state transition, progress update and log
+// line, in order, resumable via Last-Event-Id.
+//
+// Default mode streams newline-delimited JSON (one JobEvent per line,
+// flushed as they happen) until the terminal event. mode=poll is the
+// long-poll fallback for clients that cannot consume chunked responses:
+// it returns every event after `from`, waiting up to timeout_ms for the
+// first one.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, u *project.User) {
+	j, ok := s.authorizeJob(w, r, u)
+	if !ok {
+		return
+	}
+	after, ok := eventsAfter(r)
+	if !ok {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest,
+			"from / Last-Event-Id must be a non-negative integer")
+		return
+	}
+	flusher, canStream := w.(http.Flusher)
+	if r.URL.Query().Get("mode") == "poll" || !canStream {
+		s.pollJobEvents(w, r, j, after)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	// emit writes one event line; it reports (stop, terminal).
+	emit := func(e jobs.Event) (bool, bool) {
+		after = e.Seq
+		if enc.Encode(eventView(e)) != nil {
+			return true, false
+		}
+		flusher.Flush()
+		terminal := e.Type == jobs.EventState && e.Status.Terminal()
+		return terminal, terminal
+	}
+	for {
+		replay, ch, cancel := j.Subscribe(after)
+		for _, e := range replay {
+			if stop, _ := emit(e); stop {
+				cancel()
+				return
+			}
+		}
+		for {
+			select {
+			case e, open := <-ch:
+				if !open {
+					// The subscriber fell behind and was dropped (a
+					// terminal job always delivers its terminal event
+					// before the close, which returns above). Loop to
+					// re-subscribe from the last delivered seq; the
+					// replay fills the gap, or ends the stream if the
+					// job went terminal meanwhile.
+					cancel()
+					goto resubscribe
+				}
+				if stop, _ := emit(e); stop {
+					cancel()
+					return
+				}
+			case <-r.Context().Done():
+				cancel()
+				return
+			}
+		}
+	resubscribe:
+		if events, done := j.Events(after); done && len(events) == 0 {
+			// Terminal event already delivered; nothing to resume.
+			return
+		}
+	}
+}
+
+// pollJobEvents is the long-poll mode: return the events after `after`,
+// waiting up to timeout_ms for the first one.
+func (s *Server) pollJobEvents(w http.ResponseWriter, r *http.Request, j *jobs.Job, after int64) {
+	timeout, ok := waitTimeout(r)
+	if !ok {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "timeout_ms must be a positive integer")
+		return
+	}
+	replay, ch, cancel := j.Subscribe(after)
+	defer cancel()
+	events := replay
+	if len(events) == 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case e, open := <-ch:
+			if open {
+				events = append(events, e)
+				// Batch whatever else is already buffered.
+				for more := true; more; {
+					select {
+					case e, open := <-ch:
+						if open {
+							events = append(events, e)
+						} else {
+							more = false
+						}
+					default:
+						more = false
+					}
+				}
+			}
+		case <-timer.C:
+		case <-r.Context().Done():
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+	}
+	next := after
+	if len(events) > 0 {
+		next = events[len(events)-1].Seq
+	}
+	out := v1.JobEventsResponse{Success: true, NextSeq: next}
+	for _, e := range events {
+		out.Events = append(out.Events, eventView(e))
+	}
+	remaining, terminal := j.Events(next)
+	out.Done = terminal && len(remaining) == 0
+	writeJSON(w, http.StatusOK, out)
+}
+
+// waitTimeout parses timeout_ms with the long-poll default and cap.
+func waitTimeout(r *http.Request) (time.Duration, bool) {
+	timeout := defaultWaitTimeout
+	if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			return 0, false
+		}
+		// Clamp before the Duration multiply: a huge ms value would
+		// overflow int64 into a negative timeout.
+		if maxMS := int(maxWaitTimeout / time.Millisecond); ms > maxMS {
+			ms = maxMS
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	return timeout, true
+}

@@ -96,6 +96,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards http.Flusher through the wrapper so streaming
+// endpoints (the job event feed) can push chunks mid-handler. Embedding
+// alone would hide the underlying connection's Flush.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withLogging emits one structured line per request.
 func (s *Server) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,11 +1,13 @@
 package api
 
 import (
+	"context"
 	"fmt"
 
 	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/core"
 	"edgepulse/internal/data"
+	"edgepulse/internal/jobs"
 	"edgepulse/internal/models"
 	"edgepulse/internal/nn"
 	"edgepulse/internal/tensor"
@@ -64,10 +66,15 @@ func buildModel(spec v1.ModelSpec, shape tensor.Shape, classes int) (*nn.Model, 
 }
 
 // trainImpulse performs the body of a training job: build the model,
-// train, evaluate, optionally quantize.
-func trainImpulse(imp *core.Impulse, ds *data.Dataset, req v1.TrainRequest, logf func(string, ...any)) (*v1.TrainResult, error) {
+// train, evaluate, optionally quantize. The job context is observed
+// between training batches (a cancelled job stops mid-epoch) and
+// between the later stages, so a cancel acknowledged by the API is
+// never silently completed; real progress streams through
+// job.SetProgress.
+func trainImpulse(ctx context.Context, imp *core.Impulse, ds *data.Dataset, req v1.TrainRequest, job *jobs.Job) (*v1.TrainResult, error) {
 	// The model consumes the classification learn block's feature view
 	// (the composite vector, or the declared subset of DSP outputs).
+	job.SetProgress("build", 0)
 	shape, err := imp.ClassifierShape()
 	if err != nil {
 		return nil, err
@@ -82,21 +89,30 @@ func trainImpulse(imp *core.Impulse, ds *data.Dataset, req v1.TrainRequest, logf
 	if err := imp.AttachClassifier(model); err != nil {
 		return nil, err
 	}
-	logf("training %s on %d samples", models.Describe(model), ds.Len())
+	job.Logf("training %s on %d samples", models.Describe(model), ds.Len())
+	job.SetProgress("train", 0)
 	res, err := imp.Train(ds, trainer.Config{
+		Ctx:          ctx,
 		Epochs:       req.Epochs,
 		LearningRate: req.LearningRate,
 		Seed:         req.Seed,
 		RestoreBest:  true,
+		Progress: func(epoch, total int) {
+			job.SetProgress("train", 100*float64(epoch)/float64(total))
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	job.SetProgress("evaluate", 0)
 	acc, conf, err := imp.Evaluate(ds, data.Testing)
 	if err != nil {
 		return nil, err
 	}
-	logf("test accuracy %.3f", acc)
+	job.Logf("test accuracy %.3f", acc)
 	out := &v1.TrainResult{
 		Accuracy:     acc,
 		Confusion:    conf,
@@ -106,20 +122,28 @@ func trainImpulse(imp *core.Impulse, ds *data.Dataset, req v1.TrainRequest, logf
 		TrainLoss:    res.TrainLoss,
 	}
 	if req.Quantize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		job.SetProgress("quantize", 0)
 		if err := imp.Quantize(ds); err != nil {
 			return nil, err
 		}
 		out.Quantized = true
-		logf("quantized to int8")
+		job.Logf("quantized to int8")
 	}
 	// A declared anomaly learn block trains alongside the classifier,
 	// on its own feature view (clusters come from the block's params).
 	if spec, ok := imp.AnomalySpec(); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		job.SetProgress("anomaly", 0)
 		if err := imp.TrainAnomaly(ds, 0, req.Seed); err != nil {
 			return nil, fmt.Errorf("anomaly block %q: %w", spec.Name, err)
 		}
 		out.AnomalyTrained = true
-		logf("anomaly block %q fitted (%d clusters)", spec.Name, len(imp.Anomaly.Centroids))
+		job.Logf("anomaly block %q fitted (%d clusters)", spec.Name, len(imp.Anomaly.Centroids))
 	}
 	return out, nil
 }

@@ -1,0 +1,40 @@
+package api
+
+import (
+	"testing"
+
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/tensor"
+)
+
+func TestBuildModelZoo(t *testing.T) {
+	spectro := tensor.Shape{49, 16}
+	image := tensor.Shape{32, 32, 3}
+	cases := []struct {
+		name  string
+		spec  v1.ModelSpec
+		shape tensor.Shape
+		ok    bool
+	}{
+		{"conv1d defaults", v1.ModelSpec{}, spectro, true},
+		{"conv1d sized", v1.ModelSpec{Type: "conv1d", Depth: 3, StartFilters: 8, EndFilters: 32}, spectro, true},
+		{"conv1d bad shape", v1.ModelSpec{Type: "conv1d"}, tensor.Shape{10}, false},
+		{"dscnn", v1.ModelSpec{Type: "dscnn"}, spectro, true},
+		{"dscnn bad shape", v1.ModelSpec{Type: "dscnn"}, image, false},
+		{"mlp", v1.ModelSpec{Type: "mlp", Hidden: 12}, spectro, true},
+		{"cnn2d", v1.ModelSpec{Type: "cnn2d"}, image, true},
+		{"cnn2d non-square", v1.ModelSpec{Type: "cnn2d"}, tensor.Shape{32, 16, 3}, false},
+		{"mobilenetv1", v1.ModelSpec{Type: "mobilenetv1", AlphaPercent: 25}, image, true},
+		{"mobilenetv1 bad shape", v1.ModelSpec{Type: "mobilenetv1"}, spectro, false},
+		{"unknown", v1.ModelSpec{Type: "transformer"}, spectro, false},
+	}
+	for _, tc := range cases {
+		m, err := buildModel(tc.spec, tc.shape, 2)
+		if tc.ok && (err != nil || m == nil) {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted invalid spec", tc.name)
+		}
+	}
+}

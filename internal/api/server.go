@@ -220,6 +220,8 @@ func (s *Server) routes() {
 	s.route("GET /jobs/{job}", s.auth(s.handleGetJob))
 	s.route("GET /jobs/{job}/wait", s.auth(s.handleJobWait))
 	s.route("GET /jobs/{job}/result", s.auth(s.handleJobResult))
+	s.route("GET /jobs/{job}/events", s.auth(s.handleJobEvents))
+	s.route("DELETE /jobs/{job}", s.auth(s.handleCancelJob))
 }
 
 // userHandler receives the authenticated user.

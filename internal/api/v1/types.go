@@ -342,12 +342,22 @@ type JobAccepted struct {
 
 // --- Jobs ---
 
-// Job lifecycle states, mirroring internal/jobs.
+// Job lifecycle states, mirroring internal/jobs. The lifecycle is
+// queued → running → {finished | failed | cancelled}; a transient
+// failure under the retry budget loops running → queued.
 const (
-	JobQueued   = "queued"
-	JobRunning  = "running"
-	JobFinished = "finished"
-	JobFailed   = "failed"
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobFinished  = "finished"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Job priority classes, mirroring internal/jobs.
+const (
+	JobPriorityInteractive = "interactive"
+	JobPriorityDefault     = "default"
+	JobPriorityBatch       = "batch"
 )
 
 // Job is the public view of one scheduled unit of work.
@@ -355,16 +365,84 @@ type Job struct {
 	ID     string `json:"id"`
 	Kind   string `json:"kind"`
 	Status string `json:"status"`
-	// Error is set when Status is "failed".
+	// Priority is the scheduling class ("interactive" runs before
+	// "default", which runs before "batch").
+	Priority string `json:"priority"`
+	// Error is set when Status is "failed" or "cancelled" (the reason).
 	Error string `json:"error"`
 	// Logs is the job's log stream so far.
 	Logs []string `json:"logs"`
+	// Stage and Progress are the job's structured progress report:
+	// the current stage name and its percent complete in [0,100].
+	Stage    string  `json:"stage,omitempty"`
+	Progress float64 `json:"progress"`
+	// Attempt is the retry attempt the job is on (0 = first run).
+	Attempt int `json:"attempt,omitempty"`
 	// DurationMS is the runtime so far (or final runtime when done).
 	DurationMS float64 `json:"duration_ms"`
 }
 
-// Terminal reports whether the job has stopped running.
-func (j Job) Terminal() bool { return j.Status == JobFinished || j.Status == JobFailed }
+// Terminal reports whether the job has stopped for good.
+func (j Job) Terminal() bool {
+	return j.Status == JobFinished || j.Status == JobFailed || j.Status == JobCancelled
+}
+
+// CancelJobResponse acknowledges DELETE /api/v1/jobs/{job}. Cancelled
+// is false when the job was already terminal (the Job view carries the
+// state it ended in).
+type CancelJobResponse struct {
+	Success   bool `json:"success"`
+	Cancelled bool `json:"cancelled"`
+	Job
+}
+
+// Job event types, mirroring internal/jobs events.
+const (
+	JobEventState    = "state"
+	JobEventProgress = "progress"
+	JobEventLog      = "log"
+)
+
+// JobEvent is one entry of a job's ordered event log, delivered by
+// GET /api/v1/jobs/{job}/events. Seq is strictly increasing and
+// contiguous per job; resume a stream by passing the last Seq seen via
+// the Last-Event-Id header (or the from query parameter).
+type JobEvent struct {
+	Seq int64 `json:"seq"`
+	// Type is one of the JobEvent* constants.
+	Type string `json:"type"`
+	// TimestampMS is the event time in Unix milliseconds.
+	TimestampMS int64 `json:"timestamp_ms"`
+	// Status is set for "state" events.
+	Status string `json:"status,omitempty"`
+	// Stage and Progress are set for "progress" events.
+	Stage    string  `json:"stage,omitempty"`
+	Progress float64 `json:"progress,omitempty"`
+	// Message is set for "log" events and for retry/cancel state
+	// events, where it carries the reason.
+	Message string `json:"message,omitempty"`
+	// Attempt is the retry attempt the event belongs to.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// Terminal reports whether the event is a terminal state transition —
+// the last event a job ever emits.
+func (e JobEvent) Terminal() bool {
+	return e.Type == JobEventState &&
+		(e.Status == JobFinished || e.Status == JobFailed || e.Status == JobCancelled)
+}
+
+// JobEventsResponse is the long-poll (mode=poll) result of
+// GET /api/v1/jobs/{job}/events: every retained event after the
+// requested seq (empty when the poll timed out first). NextSeq is the
+// cursor for the next poll; Done reports that the job is terminal and
+// no further events will ever arrive past NextSeq.
+type JobEventsResponse struct {
+	Success bool       `json:"success"`
+	Events  []JobEvent `json:"events"`
+	NextSeq int64      `json:"next_seq"`
+	Done    bool       `json:"done"`
+}
 
 // JobResponse returns one job. GET /api/v1/jobs/{job}.
 type JobResponse struct {
@@ -497,6 +575,16 @@ type RouteMetrics struct {
 	AvgMS float64 `json:"avg_ms"`
 }
 
+// JobKindMetrics aggregates terminal runs of one job kind.
+type JobKindMetrics struct {
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
+	// AvgWaitMS is the mean queue wait; AvgRunMS the mean execution
+	// time (final attempt each).
+	AvgWaitMS float64 `json:"avg_wait_ms"`
+	AvgRunMS  float64 `json:"avg_run_ms"`
+}
+
 // SchedulerMetrics snapshots the training worker pool.
 type SchedulerMetrics struct {
 	Workers     int   `json:"workers"`
@@ -504,7 +592,13 @@ type SchedulerMetrics struct {
 	Queued      int   `json:"queued"`
 	Completed   int64 `json:"completed"`
 	Failed      int64 `json:"failed"`
+	Cancelled   int64 `json:"cancelled"`
+	Retries     int64 `json:"retries"`
 	ScaleUps    int64 `json:"scale_ups"`
+	// QueuedByPriority breaks the pending depth down per class.
+	QueuedByPriority map[string]int `json:"queued_by_priority"`
+	// Kinds reports per-kind queue-wait and run latency, sorted.
+	Kinds []JobKindMetrics `json:"kinds,omitempty"`
 }
 
 // MetricsResponse is the operational snapshot at GET /api/v1/metrics.

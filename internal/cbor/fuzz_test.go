@@ -1,0 +1,55 @@
+package cbor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCBORDecode hammers the CBOR decoder with adversarial bytes. The
+// decoder sits on the device-ingestion path (signed acquisition
+// payloads arrive CBOR-encoded from firmware), so it must never panic,
+// recurse unboundedly or allocate huge buffers from forged length
+// headers; and everything it accepts must re-encode and decode again
+// (the canonicalization the ingestion service relies on).
+//
+// CI runs it for 10s: go test -fuzz=FuzzCBORDecode -fuzztime=10s ./internal/cbor
+func FuzzCBORDecode(f *testing.F) {
+	// Seeds: canonical encodings of representative values...
+	for _, v := range []any{
+		nil, true, uint64(23), int64(-1000000), 3.14159, "hello",
+		[]byte{0xde, 0xad}, []any{uint64(1), "two", []any{3.0}},
+		map[string]any{"protected": []byte{}, "payload": map[string]any{"values": []any{int64(-4)}}},
+	} {
+		if b, err := Marshal(v); err == nil {
+			f.Add(b)
+		}
+	}
+	// ...plus hostile shapes: forged huge lengths, deep nesting, tags,
+	// truncated heads, float16 specials.
+	f.Add([]byte{0x9b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // array len 2^64-1
+	f.Add([]byte{0xbb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // map len 2^64-1
+	f.Add([]byte{0x5b, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00}) // bytes len 4GiB
+	f.Add(bytes.Repeat([]byte{0x81}, 200))                              // 200-deep nested arrays
+	f.Add([]byte{0xc6, 0xc6, 0xc6, 0x00})                               // chained tags
+	f.Add([]byte{0xf9, 0x7c, 0x00})                                     // float16 +Inf
+	f.Add([]byte{0xf9, 0x03, 0xff})                                     // float16 subnormal
+	f.Add([]byte{0x3b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // nint overflow
+	f.Add([]byte{0x18})                                                 // truncated head
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is fine; panicking or OOM is not
+		}
+		// Everything the decoder produces must be re-encodable: its
+		// output vocabulary is the encoder's input vocabulary.
+		encoded, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("decoded value %T does not re-encode: %v", v, err)
+		}
+		// And the canonical encoding must decode again.
+		if _, err := Unmarshal(encoded); err != nil {
+			t.Fatalf("canonical re-encoding does not decode: %v", err)
+		}
+	})
+}

@@ -192,24 +192,27 @@ func (c *Client) roundTrip(req *http.Request) ([]byte, *APIError, error) {
 		return nil, nil, err
 	}
 	if resp.StatusCode >= 400 {
-		var envelope v1.ErrorResponse
-		apiErr := &APIError{Status: resp.StatusCode}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
-		}
-		if jsonErr := json.Unmarshal(raw, &envelope); jsonErr == nil && envelope.Error.Code != "" {
-			apiErr.Code = envelope.Error.Code
-			apiErr.Message = envelope.Error.Message
-			apiErr.RequestID = envelope.Error.RequestID
-		} else {
-			// Non-envelope body (e.g. a proxy error page): derive the
-			// code from the status so callers can still branch on it.
-			apiErr.Code = codeForStatus(resp.StatusCode)
-			apiErr.Message = string(raw)
-		}
-		return raw, apiErr, nil
+		return raw, parseAPIError(resp.StatusCode, resp.Header, raw), nil
 	}
 	return raw, nil, nil
+}
+
+// parseAPIError decodes a non-2xx response into *APIError: the
+// structured envelope when present, otherwise a status-derived code
+// (e.g. a proxy error page) so callers can still branch on it. The
+// Retry-After header is captured either way.
+func parseAPIError(status int, header http.Header, body []byte) *APIError {
+	apiErr := &APIError{Status: status, Code: codeForStatus(status), Message: string(body)}
+	if secs, err := strconv.Atoi(header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	var envelope v1.ErrorResponse
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error.Code != "" {
+		apiErr.Code = envelope.Error.Code
+		apiErr.Message = envelope.Error.Message
+		apiErr.RequestID = envelope.Error.RequestID
+	}
+	return apiErr
 }
 
 // codeForStatus maps an HTTP status to the closest stable error code,

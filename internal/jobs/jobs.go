@@ -2,13 +2,19 @@
 // platform (paper Sec. 4.10): containerised-style jobs (training, tuner
 // runs, deployments) executed by an autoscaling worker pool — a single-
 // process stand-in for the AWS EKS / Kubernetes deployment the paper
-// describes, preserving the same behaviours: a work queue, dynamic
-// scale-up under load, scale-down when idle, and per-job logs and status.
+// describes. Beyond the work queue and dynamic scale-up the paper calls
+// out, the scheduler provides priority classes (interactive work ahead
+// of batch sweeps), per-project round-robin fairness with queue quotas
+// so one tenant cannot starve the cluster, cooperative cancellation, a
+// structured progress model, bounded retries for transient failures and
+// a per-job ordered event log that backs live streaming APIs.
 package jobs
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,18 +23,113 @@ import (
 // Status is a job lifecycle state.
 type Status string
 
-// Job states.
+// Job states. The lifecycle is
+// queued → running → {finished | failed | cancelled}, with a transient
+// failure under a retry budget looping running → queued.
 const (
-	Queued   Status = "queued"
-	Running  Status = "running"
-	Finished Status = "finished"
-	Failed   Status = "failed"
+	Queued    Status = "queued"
+	Running   Status = "running"
+	Finished  Status = "finished"
+	Failed    Status = "failed"
+	Cancelled Status = "cancelled"
 )
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == Finished || s == Failed || s == Cancelled
+}
+
+// Priority orders jobs across classes: all pending interactive jobs run
+// before any default job, which run before any batch job. Within a
+// class, projects take strict round-robin turns.
+type Priority int
+
+// Priority classes. The zero value is deliberately PriorityDefault, so
+// a SubmitOptions built without setting Priority cannot accidentally
+// jump the whole queue.
+const (
+	// PriorityDefault is the ordinary class (and the zero value).
+	PriorityDefault Priority = iota
+	// PriorityInteractive is for jobs a user is actively waiting on
+	// (training runs behind the Studio UI); it runs before everything
+	// else.
+	PriorityInteractive
+	// PriorityBatch is for long sweeps (tuner searches) that should
+	// yield to all other work.
+	PriorityBatch
+	numPriorities
+)
+
+// classOrder is the dispatch order of the priority classes, highest
+// first (independent of the constants' numeric values).
+var classOrder = [...]Priority{PriorityInteractive, PriorityDefault, PriorityBatch}
+
+// String returns the wire name of the priority class.
+func (p Priority) String() string {
+	switch p {
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityDefault:
+		return "default"
+	case PriorityBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
+	}
+}
+
+// ParsePriority maps a wire name back to its class.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "interactive":
+		return PriorityInteractive, nil
+	case "default", "":
+		return PriorityDefault, nil
+	case "batch":
+		return PriorityBatch, nil
+	default:
+		return 0, fmt.Errorf("jobs: unknown priority %q", s)
+	}
+}
+
+// Sentinel submission failures, matched with errors.Is.
+var (
+	// ErrQueueFull means the scheduler-wide pending bound was hit.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrQuotaExceeded means the submitting tag (project) already has
+	// its full per-tenant share of the queue pending.
+	ErrQuotaExceeded = errors.New("jobs: per-project queue quota exceeded")
+	// ErrShutdown means the scheduler no longer accepts jobs.
+	ErrShutdown = errors.New("jobs: scheduler is shut down")
+)
+
+// transientError marks a failure as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps an error to mark the failure as transient: a job body
+// returning it is re-queued (at the back of its project's FIFO) until
+// its MaxRetries budget is spent. nil stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether the error carries the Transient marker.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
 
 // JobFunc is the work body. It receives its own *Job — the ID is minted
 // by Submit before the body can run, so the body can key results by
-// job.ID and stream logs through job.Logf without any out-of-band
-// channel handshake.
+// job.ID and stream progress through job.SetProgress / job.Logf without
+// any out-of-band channel handshake. ctx is cancelled when the job is
+// cancelled or the scheduler shuts down; bodies must observe it.
 type JobFunc func(ctx context.Context, job *Job) error
 
 // Job is one unit of scheduled work.
@@ -38,20 +139,40 @@ type Job struct {
 	// Kind labels the workload ("training", "tuner", ...).
 	Kind string
 	// Tag is an opaque owner reference supplied at submission (e.g. a
-	// project ID for access control). It is set before the job becomes
-	// visible through Get, so authorization checks can never observe a
-	// job without its tag.
+	// project ID for access control and fairness). It is set before the
+	// job becomes visible through Get, so authorization checks can
+	// never observe a job without its tag.
 	Tag any
+	// Priority is the job's scheduling class.
+	Priority Priority
 
-	mu         sync.Mutex
-	status     Status
-	err        string
-	logs       []string
-	createdAt  time.Time
-	startedAt  time.Time
-	finishedAt time.Time
-	done       chan struct{}
-	fn         JobFunc
+	// tagKey is Tag rendered to the fairness/quota key.
+	tagKey string
+	// now is the scheduler's clock, captured at submission.
+	now func() time.Time
+
+	mu              sync.Mutex
+	status          Status
+	err             string
+	logs            []string
+	stage           string
+	progress        float64
+	attempt         int
+	maxRetries      int
+	claimed         bool
+	cancelRequested bool
+	cancelFn        context.CancelFunc
+	createdAt       time.Time
+	enqueuedAt      time.Time
+	startedAt       time.Time
+	finishedAt      time.Time
+	done            chan struct{}
+	fn              JobFunc
+
+	// Event log (events.go).
+	eventSeq int64
+	events   []Event
+	subs     []*subscriber
 }
 
 // Status returns the current lifecycle state.
@@ -61,7 +182,7 @@ func (j *Job) Status() Status {
 	return j.status
 }
 
-// Err returns the failure message, if any.
+// Err returns the failure/cancellation message, if any.
 func (j *Job) Err() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -75,6 +196,20 @@ func (j *Job) Logs() []string {
 	return append([]string(nil), j.logs...)
 }
 
+// Attempt returns the retry attempt the job is on (0 = first run).
+func (j *Job) Attempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// Progress returns the latest structured progress report.
+func (j *Job) Progress() (stage string, pct float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stage, j.progress
+}
+
 // Duration returns the job runtime (so far, for running jobs).
 func (j *Job) Duration() time.Duration {
 	j.mu.Lock()
@@ -83,22 +218,77 @@ func (j *Job) Duration() time.Duration {
 		return 0
 	}
 	if j.finishedAt.IsZero() {
-		return time.Since(j.startedAt)
+		return j.now().Sub(j.startedAt)
 	}
 	return j.finishedAt.Sub(j.startedAt)
 }
 
-// Logf appends a line to the job's log stream.
+// Logf appends a line to the job's log stream and event log.
 func (j *Job) Logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.logs = append(j.logs, fmt.Sprintf(format, args...))
+	j.logs = append(j.logs, line)
+	j.emitLocked(Event{Type: EventLog, Message: line})
+}
+
+// SetProgress records structured progress — the current stage and its
+// percent complete (clamped to [0,100]) — replacing ad-hoc log parsing.
+// Each call appends an EventProgress entry to the job's event log.
+func (j *Job) SetProgress(stage string, pct float64) {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stage = stage
+	j.progress = pct
+	j.emitLocked(Event{Type: EventProgress, Stage: stage, Pct: pct})
 }
 
 // Done returns a channel closed when the job reaches a terminal state
-// (Finished or Failed). It lets callers select on job completion —
-// the primitive behind the API's long-poll endpoint.
+// (Finished, Failed or Cancelled). It lets callers select on job
+// completion — the primitive behind the API's long-poll endpoint.
+// A transient-failure retry does not close it.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// terminal reports whether the job has stopped for good.
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status.Terminal()
+}
+
+// finalizeLocked moves the job to a terminal state: stamps times, emits
+// the terminal state event, ends subscriptions and closes done. Caller
+// holds j.mu; the body closure is released so captured state (model
+// weights, request payloads) does not stay pinned while the terminal
+// job is retained.
+func (j *Job) finalizeLocked(status Status, msg string, at time.Time) {
+	j.status = status
+	j.err = msg
+	j.finishedAt = at
+	j.fn = nil
+	j.cancelFn = nil
+	j.emitLocked(Event{Type: EventState, Status: status, Message: msg})
+	j.closeSubsLocked()
+	close(j.done)
+}
+
+// KindMetrics aggregates completed runs of one job kind.
+type KindMetrics struct {
+	Kind string
+	// Count is the number of terminal runs (finished, failed or
+	// cancelled-while-running; retries count once, at the final run).
+	Count int64
+	// AvgWaitMS is the mean queue wait of the final attempt.
+	AvgWaitMS float64
+	// AvgRunMS is the mean execution time of the final attempt.
+	AvgRunMS float64
+}
 
 // Metrics is a point-in-time scheduler snapshot.
 type Metrics struct {
@@ -106,9 +296,18 @@ type Metrics struct {
 	Queued    int
 	Completed int64
 	FailedN   int64
-	ScaleUps  int64
+	// CancelledN counts jobs that reached the cancelled state.
+	CancelledN int64
+	// Retries counts transient-failure re-queues.
+	Retries  int64
+	ScaleUps int64
 	// PeakWorkers is the high-water worker count.
 	PeakWorkers int
+	// QueuedByPriority breaks the pending depth down per class,
+	// indexed by Priority.
+	QueuedByPriority [int(numPriorities)]int
+	// Kinds reports per-kind wait/run latency, sorted by kind.
+	Kinds []KindMetrics
 }
 
 // Config tunes the scheduler.
@@ -117,14 +316,23 @@ type Config struct {
 	MinWorkers int
 	// MaxWorkers bounds scale-up (default 4).
 	MaxWorkers int
-	// QueueSize bounds pending jobs (default 64).
+	// QueueSize bounds pending jobs across all tenants (default 64).
 	QueueSize int
-	// ScaleInterval is the autoscaler period (default 50ms).
+	// MaxQueuedPerTag bounds pending jobs per submission tag, so one
+	// tenant cannot fill the whole queue (default: QueueSize, i.e. no
+	// extra bound until configured lower).
+	MaxQueuedPerTag int
+	// ScaleInterval is the fallback autoscaler period; scale-up is
+	// also triggered inline by submissions (default 50ms).
 	ScaleInterval time.Duration
 	// MaxRetainedJobs bounds how many jobs (with their log streams)
 	// stay resident; the oldest terminal jobs evict first, mirroring
 	// the JobStore result cap (default 1024).
 	MaxRetainedJobs int
+	// Clock substitutes the time source (default time.Now). Tests
+	// inject a fake clock to make durations and event timestamps
+	// deterministic.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -137,27 +345,48 @@ func (c Config) withDefaults() Config {
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
 	}
+	if c.MaxQueuedPerTag <= 0 || c.MaxQueuedPerTag > c.QueueSize {
+		c.MaxQueuedPerTag = c.QueueSize
+	}
 	if c.ScaleInterval <= 0 {
 		c.ScaleInterval = 50 * time.Millisecond
 	}
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 1024
 	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
 }
 
-// Scheduler runs jobs on an autoscaling worker pool.
-type Scheduler struct {
-	cfg   Config
-	queue chan *Job
+// kindStats accumulates terminal-run latency per kind (guarded by s.mu).
+type kindStats struct {
+	count  int64
+	waitNS int64
+	runNS  int64
+}
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string
-	workers int
-	peak    int
-	nextID  int64
-	closed  bool
+// Scheduler runs jobs on an autoscaling worker pool with priority and
+// per-tag fairness.
+type Scheduler struct {
+	cfg Config
+	now func() time.Time
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    fairQueue
+	// pending counts queued (not yet claimed, not cancelled) jobs.
+	pending       int
+	pendingByPrio [int(numPriorities)]int
+	pendingByTag  map[string]int
+	jobs          map[string]*Job
+	order         []string
+	workers       int
+	peak          int
+	nextID        int64
+	closed        bool
+	kinds         map[string]*kindStats
 
 	// evictHook, when set, is invoked (outside the scheduler lock)
 	// with each job ID dropped by retention eviction, so co-located
@@ -166,12 +395,14 @@ type Scheduler struct {
 
 	completed atomic.Int64
 	failed    atomic.Int64
+	cancelled atomic.Int64
+	retries   atomic.Int64
 	scaleUps  atomic.Int64
 	busy      atomic.Int64
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	ctx       context.Context
+	ctxCancel context.CancelFunc
+	wg        sync.WaitGroup
 }
 
 // NewScheduler starts the pool with MinWorkers workers and the autoscaler.
@@ -179,56 +410,137 @@ func NewScheduler(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Scheduler{
-		cfg:    cfg,
-		queue:  make(chan *Job, cfg.QueueSize),
-		jobs:   map[string]*Job{},
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:          cfg,
+		now:          cfg.Clock,
+		pendingByTag: map[string]int{},
+		jobs:         map[string]*Job{},
+		kinds:        map[string]*kindStats{},
+		ctx:          ctx,
+		ctxCancel:    cancel,
 	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mu.Lock()
 	for i := 0; i < cfg.MinWorkers; i++ {
-		s.addWorker()
+		s.addWorkerLocked()
 	}
+	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.autoscale()
 	return s
 }
 
-func (s *Scheduler) addWorker() {
-	s.mu.Lock()
+// addWorkerLocked grows the pool by one worker; caller holds s.mu.
+func (s *Scheduler) addWorkerLocked() bool {
 	if s.workers >= s.cfg.MaxWorkers || s.closed {
-		s.mu.Unlock()
-		return
+		return false
 	}
 	s.workers++
 	if s.workers > s.peak {
 		s.peak = s.workers
 	}
-	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.worker()
+	return true
+}
+
+// scaleLocked adds a worker when jobs are pending beyond the idle
+// capacity — the "dynamically scale compute resources based on
+// workload" behaviour, triggered inline at submission so scale-up is
+// deterministic rather than timer-dependent.
+func (s *Scheduler) scaleLocked() {
+	idle := s.workers - int(s.busy.Load())
+	if s.pending > idle && s.addWorkerLocked() {
+		s.scaleUps.Add(1)
+	}
 }
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.ctx.Done():
+		job := s.pop()
+		if job == nil {
 			return
-		case job, ok := <-s.queue:
-			if !ok {
-				return
-			}
-			s.busy.Add(1)
-			s.run(job)
-			s.busy.Add(-1)
 		}
+		s.busy.Add(1)
+		s.run(job)
+		s.busy.Add(-1)
 	}
+}
+
+// pop blocks until a runnable job is available or the scheduler shuts
+// down (nil). Jobs cancelled while queued were finalized eagerly and
+// are skipped here.
+func (s *Scheduler) pop() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for {
+			j := s.q.pop()
+			if j == nil {
+				break
+			}
+			j.mu.Lock()
+			if j.status != Queued {
+				// Cancelled while queued; its pending counts were
+				// already released by Cancel.
+				j.mu.Unlock()
+				continue
+			}
+			j.claimed = true
+			j.mu.Unlock()
+			s.releasePendingLocked(j)
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// releasePendingLocked drops the job from the pending accounting;
+// caller holds s.mu.
+func (s *Scheduler) releasePendingLocked(j *Job) {
+	s.pending--
+	s.pendingByPrio[j.Priority]--
+	if n := s.pendingByTag[j.tagKey] - 1; n > 0 {
+		s.pendingByTag[j.tagKey] = n
+	} else {
+		delete(s.pendingByTag, j.tagKey)
+	}
+}
+
+// enqueueLocked admits a (new or retried) job to the fair queue;
+// caller holds s.mu.
+func (s *Scheduler) enqueueLocked(j *Job) {
+	j.enqueuedAt = s.now()
+	s.q.push(j)
+	s.pending++
+	s.pendingByPrio[j.Priority]++
+	s.pendingByTag[j.tagKey]++
+	s.scaleLocked()
+	s.cond.Signal()
 }
 
 func (s *Scheduler) run(job *Job) {
 	job.mu.Lock()
+	if job.status != Queued {
+		job.mu.Unlock()
+		return
+	}
+	if job.cancelRequested {
+		// Cancelled in the pop→run window.
+		job.finalizeLocked(Cancelled, "cancelled before start", s.now())
+		s.cancelled.Add(1)
+		job.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
 	job.status = Running
-	job.startedAt = time.Now()
+	job.startedAt = s.now()
+	job.cancelFn = cancel
+	job.emitLocked(Event{Type: EventState, Status: Running})
+	fn := job.fn
 	job.mu.Unlock()
 
 	err := func() (err error) {
@@ -237,29 +549,71 @@ func (s *Scheduler) run(job *Job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
-		return job.fn(s.ctx, job)
+		return fn(ctx, job)
 	}()
+	cancel()
 
+	s.mu.Lock()
 	job.mu.Lock()
-	job.finishedAt = time.Now()
-	if err != nil {
-		job.status = Failed
-		job.err = err.Error()
-		s.failed.Add(1)
-	} else {
-		job.status = Finished
+	at := s.now()
+	switch {
+	case err == nil:
+		// A body that returns success is Finished even when a cancel
+		// raced in after its side effects committed — reporting such a
+		// run as cancelled would misdescribe state that already exists
+		// (a stored result, an updated project model).
+		s.recordKindLocked(job, at)
+		job.finalizeLocked(Finished, "", at)
 		s.completed.Add(1)
+	case job.cancelRequested:
+		s.recordKindLocked(job, at)
+		job.finalizeLocked(Cancelled, err.Error(), at)
+		s.cancelled.Add(1)
+	case IsTransient(err) && job.attempt < job.maxRetries && !s.closed:
+		job.attempt++
+		job.status = Queued
+		job.claimed = false
+		job.cancelFn = nil
+		job.emitLocked(Event{
+			Type: EventState, Status: Queued,
+			Message: "retrying after transient failure: " + err.Error(),
+		})
+		s.retries.Add(1)
+		s.enqueueLocked(job)
+	default:
+		s.recordKindLocked(job, at)
+		job.finalizeLocked(Failed, err.Error(), at)
+		s.failed.Add(1)
 	}
-	// Release the body closure: it can capture large state (model
-	// weights, request payloads) that would otherwise stay pinned for
-	// as long as the terminal job is retained.
-	job.fn = nil
-	close(job.done)
 	job.mu.Unlock()
+	// Retention eviction also runs on terminal transitions (not just
+	// submissions), so an idle scheduler does not pin a whole backlog
+	// of finished jobs until the next submit.
+	evicted := s.evictLocked()
+	hook := s.evictHook
+	s.mu.Unlock()
+	if hook != nil {
+		for _, id := range evicted {
+			hook(id)
+		}
+	}
 }
 
-// autoscale adds a worker whenever jobs are waiting and capacity remains —
-// the "dynamically scale compute resources based on workload" behaviour.
+// recordKindLocked accumulates the final attempt's wait/run latency.
+// Caller holds s.mu and job.mu.
+func (s *Scheduler) recordKindLocked(job *Job, finished time.Time) {
+	st := s.kinds[job.Kind]
+	if st == nil {
+		st = &kindStats{}
+		s.kinds[job.Kind] = st
+	}
+	st.count++
+	st.waitNS += job.startedAt.Sub(job.enqueuedAt).Nanoseconds()
+	st.runNS += finished.Sub(job.startedAt).Nanoseconds()
+}
+
+// autoscale is the fallback scale-up path for jobs that outlive a
+// submission burst (inline scaling at Submit covers the common case).
 func (s *Scheduler) autoscale() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.ScaleInterval)
@@ -269,87 +623,155 @@ func (s *Scheduler) autoscale() {
 		case <-s.ctx.Done():
 			return
 		case <-ticker.C:
-			if len(s.queue) > 0 {
-				s.mu.Lock()
-				canGrow := s.workers < s.cfg.MaxWorkers
-				s.mu.Unlock()
-				if canGrow {
-					s.scaleUps.Add(1)
-					s.addWorker()
-				}
+			s.mu.Lock()
+			if s.pending > 0 {
+				s.scaleLocked()
 			}
+			s.mu.Unlock()
 		}
 	}
 }
 
-// Submit enqueues a job. It fails when the queue is full or the
-// scheduler is shut down.
-func (s *Scheduler) Submit(kind string, fn JobFunc) (*Job, error) {
-	return s.SubmitTagged(kind, nil, fn)
+// SubmitOptions configures a job submission.
+type SubmitOptions struct {
+	// Kind labels the workload ("training", "tuner", ...).
+	Kind string
+	// Tag is the opaque owner reference (project ID); it is also the
+	// fairness/quota key.
+	Tag any
+	// Priority selects the scheduling class; the zero value is
+	// PriorityDefault.
+	Priority Priority
+	// MaxRetries bounds transient-failure re-queues (0 = no retry).
+	MaxRetries int
 }
 
-// SubmitTagged enqueues a job carrying an opaque owner tag. The tag is
-// attached under the scheduler lock before the job is registered, so a
-// concurrent Get can never return the job untagged.
+// maxRetryBudget caps MaxRetries so a buggy transient classifier
+// cannot loop a job forever.
+const maxRetryBudget = 8
+
+// tagKey renders a submission tag to the fairness/quota key.
+func tagKey(tag any) string {
+	if tag == nil {
+		return ""
+	}
+	return fmt.Sprintf("%v", tag)
+}
+
+// Submit enqueues an untagged default-priority job. It fails when the
+// queue is full or the scheduler is shut down.
+func (s *Scheduler) Submit(kind string, fn JobFunc) (*Job, error) {
+	return s.SubmitJob(SubmitOptions{Kind: kind, Priority: PriorityDefault}, fn)
+}
+
+// SubmitTagged enqueues a default-priority job carrying an opaque owner
+// tag. The tag is attached under the scheduler lock before the job is
+// registered, so a concurrent Get can never return the job untagged.
 func (s *Scheduler) SubmitTagged(kind string, tag any, fn JobFunc) (*Job, error) {
+	return s.SubmitJob(SubmitOptions{Kind: kind, Tag: tag, Priority: PriorityDefault}, fn)
+}
+
+// SubmitJob enqueues a job with explicit scheduling options. Admission
+// is bounded twice: ErrQueueFull when the scheduler-wide pending bound
+// is hit, ErrQuotaExceeded when the tag already has its per-tenant
+// share pending (match with errors.Is).
+func (s *Scheduler) SubmitJob(opts SubmitOptions, fn JobFunc) (*Job, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("jobs: nil job body")
 	}
+	if opts.Priority < 0 || opts.Priority >= numPriorities {
+		return nil, fmt.Errorf("jobs: invalid priority %d", int(opts.Priority))
+	}
+	retries := opts.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	if retries > maxRetryBudget {
+		retries = maxRetryBudget
+	}
+	key := tagKey(opts.Tag)
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("jobs: scheduler is shut down")
+		return nil, ErrShutdown
+	}
+	if s.pending >= s.cfg.QueueSize {
+		pending := s.pending
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d pending)", ErrQueueFull, pending)
+	}
+	if s.pendingByTag[key] >= s.cfg.MaxQueuedPerTag {
+		n := s.pendingByTag[key]
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d pending for %q)", ErrQuotaExceeded, n, key)
 	}
 	s.nextID++
 	job := &Job{
-		ID:        fmt.Sprintf("job-%d", s.nextID),
-		Kind:      kind,
-		Tag:       tag,
-		status:    Queued,
-		createdAt: time.Now(),
-		done:      make(chan struct{}),
-		fn:        fn,
+		ID:         fmt.Sprintf("job-%d", s.nextID),
+		Kind:       opts.Kind,
+		Tag:        opts.Tag,
+		Priority:   opts.Priority,
+		tagKey:     key,
+		now:        s.now,
+		status:     Queued,
+		maxRetries: retries,
+		createdAt:  s.now(),
+		done:       make(chan struct{}),
+		fn:         fn,
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	job.mu.Lock()
+	job.emitLocked(Event{Type: EventState, Status: Queued})
+	job.mu.Unlock()
+	s.enqueueLocked(job)
+	evicted := s.evictLocked()
+	hook := s.evictHook
 	s.mu.Unlock()
 
-	select {
-	case s.queue <- job:
-		// Evict only after the job is truly admitted — a queue-full
-		// rollback must not have cost an old job its record.
-		s.mu.Lock()
-		evicted := s.evictLocked()
-		hook := s.evictHook
-		s.mu.Unlock()
-		if hook != nil {
-			for _, id := range evicted {
-				hook(id)
-			}
+	if hook != nil {
+		for _, id := range evicted {
+			hook(id)
 		}
-		return job, nil
-	default:
-		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		// Remove this job's own order entry — another Submit may have
-		// appended since we unlocked, so blind truncation could drop a
-		// live job's ID instead.
-		for i := len(s.order) - 1; i >= 0; i-- {
-			if s.order[i] == job.ID {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		s.mu.Unlock()
-		return nil, fmt.Errorf("jobs: queue full (%d pending)", s.cfg.QueueSize)
 	}
+	return job, nil
 }
 
-// terminal reports whether the job has stopped running.
-func (j *Job) terminal() bool {
+// Cancel requests cancellation of a job. A still-queued job reaches the
+// cancelled terminal state immediately; a running job has its context
+// cancelled and reaches cancelled as soon as its body observes the
+// context and returns an error (a transient-retry budget never
+// resurrects a cancelled job). A body that completes successfully
+// despite the request finalizes as finished — its side effects already
+// committed. cancelled reports whether this call initiated a
+// cancellation — false when the job was already terminal.
+func (s *Scheduler) Cancel(id string) (job *Job, cancelled bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false, fmt.Errorf("jobs: no job %s", id)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status == Finished || j.status == Failed
+	switch {
+	case j.status == Queued && !j.claimed:
+		j.cancelRequested = true
+		s.releasePendingLocked(j)
+		j.finalizeLocked(Cancelled, "cancelled while queued", s.now())
+		s.cancelled.Add(1)
+		return j, true, nil
+	case !j.status.Terminal():
+		// Running, or claimed and about to run: cancel cooperatively.
+		j.cancelRequested = true
+		if j.cancelFn != nil {
+			j.cancelFn()
+		}
+		return j, true, nil
+	default:
+		return j, false, nil
+	}
 }
 
 // SetEvictHook registers a callback receiving the ID of every job
@@ -425,21 +847,35 @@ func (s *Scheduler) Wait(id string, timeout time.Duration) (*Job, error) {
 // Metrics returns a snapshot of pool state.
 func (s *Scheduler) Metrics() Metrics {
 	s.mu.Lock()
-	workers := s.workers
-	peak := s.peak
-	s.mu.Unlock()
-	return Metrics{
-		Workers:     workers,
-		Queued:      len(s.queue),
-		Completed:   s.completed.Load(),
-		FailedN:     s.failed.Load(),
-		ScaleUps:    s.scaleUps.Load(),
-		PeakWorkers: peak,
+	m := Metrics{
+		Workers:          s.workers,
+		PeakWorkers:      s.peak,
+		Queued:           s.pending,
+		QueuedByPriority: s.pendingByPrio,
 	}
+	kinds := make([]KindMetrics, 0, len(s.kinds))
+	for kind, st := range s.kinds {
+		kinds = append(kinds, KindMetrics{
+			Kind:      kind,
+			Count:     st.count,
+			AvgWaitMS: float64(st.waitNS) / float64(st.count) / 1e6,
+			AvgRunMS:  float64(st.runNS) / float64(st.count) / 1e6,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].Kind < kinds[j].Kind })
+	m.Kinds = kinds
+	m.Completed = s.completed.Load()
+	m.FailedN = s.failed.Load()
+	m.CancelledN = s.cancelled.Load()
+	m.Retries = s.retries.Load()
+	m.ScaleUps = s.scaleUps.Load()
+	return m
 }
 
-// Shutdown stops accepting jobs, cancels the context and waits for
-// workers to drain.
+// Shutdown stops accepting jobs, finalizes still-queued jobs as
+// cancelled (so no job is left in a non-terminal state), cancels the
+// running jobs' contexts and waits for workers to drain.
 func (s *Scheduler) Shutdown() {
 	s.mu.Lock()
 	if s.closed {
@@ -447,7 +883,22 @@ func (s *Scheduler) Shutdown() {
 		return
 	}
 	s.closed = true
+	for {
+		j := s.q.pop()
+		if j == nil {
+			break
+		}
+		j.mu.Lock()
+		if j.status == Queued && !j.claimed {
+			j.cancelRequested = true
+			s.releasePendingLocked(j)
+			j.finalizeLocked(Cancelled, "scheduler shut down", s.now())
+			s.cancelled.Add(1)
+		}
+		j.mu.Unlock()
+	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
-	s.cancel()
+	s.ctxCancel()
 	s.wg.Wait()
 }

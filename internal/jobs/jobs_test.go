@@ -2,11 +2,31 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// blockingJob returns a job body that blocks until release is closed
+// (or the job context is cancelled) and a channel closed once the body
+// is running — the done-channel synchronization that replaces the old
+// sleep-based waits.
+func blockingJob(release <-chan struct{}) (JobFunc, <-chan struct{}) {
+	started := make(chan struct{})
+	var once sync.Once
+	return func(ctx context.Context, j *Job) error {
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}, started
+}
 
 func TestSubmitAndWait(t *testing.T) {
 	s := NewScheduler(Config{})
@@ -31,8 +51,22 @@ func TestSubmitAndWait(t *testing.T) {
 	if len(logs) != 1 || logs[0] != "epoch 1 done" {
 		t.Fatalf("logs: %v", logs)
 	}
-	if done.Duration() <= 0 {
-		t.Error("zero duration")
+	// The event log recorded the full lifecycle in order.
+	events, terminal := done.Events(0)
+	if !terminal {
+		t.Fatal("terminal job not reported done")
+	}
+	var states []Status
+	for i, e := range events {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want contiguous", i, e.Seq)
+		}
+		if e.Type == EventState {
+			states = append(states, e.Status)
+		}
+	}
+	if len(states) != 3 || states[0] != Queued || states[1] != Running || states[2] != Finished {
+		t.Fatalf("state events: %v", states)
 	}
 }
 
@@ -75,40 +109,30 @@ func TestPanicIsolatedToJob(t *testing.T) {
 	}
 }
 
-func TestAutoscaleUnderLoad(t *testing.T) {
-	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 4, ScaleInterval: 5 * time.Millisecond})
+func TestScaleUpUnderLoad(t *testing.T) {
+	// Scale-up triggers inline at submission, so after a burst that
+	// outstrips the pool the worker count is deterministic — no
+	// sleep-and-poll on the autoscaler timer.
+	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 4, ScaleInterval: time.Hour})
 	defer s.Shutdown()
-	block := make(chan struct{})
+	release := make(chan struct{})
 	var jobs []*Job
 	for i := 0; i < 8; i++ {
-		j, err := s.Submit("slow", func(ctx context.Context, j *Job) error {
-			select {
-			case <-block:
-			case <-ctx.Done():
-			}
-			return nil
-		})
+		fn, _ := blockingJob(release)
+		j, err := s.Submit("slow", fn)
 		if err != nil {
 			t.Fatal(err)
 		}
 		jobs = append(jobs, j)
 	}
-	// Give the autoscaler time to react to the backlog.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if s.Metrics().Workers == 4 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
 	m := s.Metrics()
 	if m.Workers != 4 {
-		t.Fatalf("workers = %d, want scale to 4", m.Workers)
+		t.Fatalf("workers = %d after 8-job burst, want 4", m.Workers)
 	}
 	if m.ScaleUps == 0 {
 		t.Error("no scale-ups recorded")
 	}
-	close(block)
+	close(release)
 	for _, j := range jobs {
 		if _, err := s.Wait(j.ID, 2*time.Second); err != nil {
 			t.Fatal(err)
@@ -125,34 +149,23 @@ func TestAutoscaleUnderLoad(t *testing.T) {
 func TestQueueFull(t *testing.T) {
 	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 1, QueueSize: 2, ScaleInterval: time.Hour})
 	defer s.Shutdown()
-	block := make(chan struct{})
-	defer close(block)
-	// One running + two queued fills capacity.
-	for i := 0; i < 3; i++ {
-		if _, err := s.Submit("slow", func(ctx context.Context, j *Job) error {
-			select {
-			case <-block:
-			case <-ctx.Done():
-			}
-			return nil
-		}); err != nil {
-			// The first may be picked up instantly; allow failure only
-			// after capacity is truly full.
-			if i < 2 {
-				t.Fatalf("submit %d failed early: %v", i, err)
-			}
+	release := make(chan struct{})
+	defer close(release)
+	fn, started := blockingJob(release)
+	if _, err := s.Submit("slow", fn); err != nil {
+		t.Fatal(err)
+	}
+	// Once the only worker is occupied, the queue admits exactly
+	// QueueSize more jobs, deterministically.
+	<-started
+	for i := 0; i < 2; i++ {
+		fn, _ := blockingJob(release)
+		if _, err := s.Submit("slow", fn); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
-	// Now the queue must reject.
-	deadline := time.Now().Add(time.Second)
-	var lastErr error
-	for time.Now().Before(deadline) {
-		if _, lastErr = s.Submit("overflow", func(ctx context.Context, j *Job) error { return nil }); lastErr != nil {
-			break
-		}
-	}
-	if lastErr == nil {
-		t.Fatal("queue never rejected")
+	if _, err := s.Submit("overflow", func(ctx context.Context, j *Job) error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
 	}
 }
 
@@ -161,9 +174,13 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := s.Submit("x", nil); err == nil {
 		t.Error("accepted nil body")
 	}
+	if _, err := s.SubmitJob(SubmitOptions{Kind: "x", Priority: Priority(99)},
+		func(ctx context.Context, j *Job) error { return nil }); err == nil {
+		t.Error("accepted invalid priority")
+	}
 	s.Shutdown()
-	if _, err := s.Submit("x", func(ctx context.Context, j *Job) error { return nil }); err == nil {
-		t.Error("accepted submit after shutdown")
+	if _, err := s.Submit("x", func(ctx context.Context, j *Job) error { return nil }); !errors.Is(err, ErrShutdown) {
+		t.Errorf("submit after shutdown: %v", err)
 	}
 	// Idempotent shutdown.
 	s.Shutdown()
@@ -188,15 +205,10 @@ func TestGetAndList(t *testing.T) {
 func TestWaitTimeout(t *testing.T) {
 	s := NewScheduler(Config{})
 	defer s.Shutdown()
-	block := make(chan struct{})
-	defer close(block)
-	j, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
-		select {
-		case <-block:
-		case <-ctx.Done():
-		}
-		return nil
-	})
+	release := make(chan struct{})
+	defer close(release)
+	fn, _ := blockingJob(release)
+	j, _ := s.Submit("slow", fn)
 	if _, err := s.Wait(j.ID, 20*time.Millisecond); err == nil {
 		t.Fatal("wait did not time out")
 	}
@@ -205,18 +217,28 @@ func TestWaitTimeout(t *testing.T) {
 	}
 }
 
-func TestShutdownCancelsRunning(t *testing.T) {
-	s := NewScheduler(Config{})
-	started := make(chan struct{})
-	j, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
-		close(started)
-		<-ctx.Done()
-		return ctx.Err()
-	})
+func TestShutdownCancelsRunningAndQueued(t *testing.T) {
+	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 1, ScaleInterval: time.Hour})
+	release := make(chan struct{})
+	defer close(release)
+	fn, started := blockingJob(release)
+	running, _ := s.Submit("slow", fn)
 	<-started
+	queued, _ := s.Submit("pending", func(ctx context.Context, j *Job) error { return nil })
 	s.Shutdown()
-	if j.Status() != Failed {
-		t.Fatalf("status after shutdown: %s", j.Status())
+	// The running body returned its context error → failed.
+	if running.Status() != Failed {
+		t.Fatalf("running job after shutdown: %s", running.Status())
+	}
+	// The queued job never ran; it reaches a terminal state instead of
+	// leaking in "queued" forever.
+	if queued.Status() != Cancelled {
+		t.Fatalf("queued job after shutdown: %s", queued.Status())
+	}
+	select {
+	case <-queued.Done():
+	default:
+		t.Fatal("queued job's done channel not closed at shutdown")
 	}
 }
 
@@ -253,17 +275,15 @@ func TestDoneChannel(t *testing.T) {
 	s := NewScheduler(Config{})
 	defer s.Shutdown()
 	release := make(chan struct{})
-	j, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
-		select {
-		case <-release:
-		case <-ctx.Done():
-		}
-		return nil
-	})
+	fn, started := blockingJob(release)
+	j, _ := s.Submit("slow", fn)
+	// The body is provably still blocked, so done cannot be closed —
+	// no timing involved.
+	<-started
 	select {
 	case <-j.Done():
 		t.Fatal("done before job finished")
-	case <-time.After(20 * time.Millisecond):
+	default:
 	}
 	close(release)
 	select {
@@ -273,6 +293,47 @@ func TestDoneChannel(t *testing.T) {
 	}
 	if j.Status() != Finished {
 		t.Fatalf("status %s", j.Status())
+	}
+}
+
+// fakeClock is an injectable deterministic time source: every reading
+// advances it by one millisecond, so timestamps are strictly increasing
+// and durations are exact without any real sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func TestInjectedClockDurations(t *testing.T) {
+	clk := newFakeClock()
+	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 1, ScaleInterval: time.Hour, Clock: clk.Now})
+	defer s.Shutdown()
+	j, _ := s.Submit("training", func(ctx context.Context, j *Job) error { return nil })
+	if _, err := s.Wait(j.ID, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Every timestamp came from the fake clock, so the duration is a
+	// positive whole number of fake milliseconds — deterministically.
+	if d := j.Duration(); d <= 0 || d%time.Millisecond != 0 {
+		t.Fatalf("duration %v not from the injected clock", d)
+	}
+	m := s.Metrics()
+	if len(m.Kinds) != 1 || m.Kinds[0].Kind != "training" || m.Kinds[0].Count != 1 {
+		t.Fatalf("kind metrics: %+v", m.Kinds)
+	}
+	if m.Kinds[0].AvgRunMS <= 0 || m.Kinds[0].AvgWaitMS < 0 {
+		t.Fatalf("kind latency: %+v", m.Kinds[0])
 	}
 }
 
@@ -340,15 +401,11 @@ func TestSchedulerEvictsTerminalJobs(t *testing.T) {
 		t.Fatalf("retained %d jobs, cap 5 (+1 in flight)", n)
 	}
 	// Running jobs are never evicted even when they are oldest.
-	block := make(chan struct{})
-	defer close(block)
-	running, _ := s.Submit("slow", func(ctx context.Context, j *Job) error {
-		select {
-		case <-block:
-		case <-ctx.Done():
-		}
-		return nil
-	})
+	release := make(chan struct{})
+	defer close(release)
+	fn, started := blockingJob(release)
+	running, _ := s.Submit("slow", fn)
+	<-started
 	for i := 0; i < 10; i++ {
 		j, err := s.Submit("quick", func(ctx context.Context, j *Job) error { return nil })
 		if err != nil {

@@ -1,0 +1,68 @@
+package jobs
+
+// fairQueue orders pending jobs by priority class and, within a class,
+// round-robins across submission tags (projects) so one tenant's burst
+// cannot starve another's jobs — the single-process analogue of the
+// per-tenant fair scheduling a multi-tenant training cluster needs.
+// All methods are called with the scheduler lock held.
+type fairQueue struct {
+	classes [numPriorities]tagRing
+}
+
+func (q *fairQueue) push(j *Job) {
+	q.classes[j.Priority].push(j)
+}
+
+// pop returns the next job: the highest non-empty priority class wins
+// (classOrder), and within it tags take strict turns. May return a job
+// that was already cancelled while queued (finalized lazily); callers
+// skip terminal jobs.
+func (q *fairQueue) pop() *Job {
+	for _, p := range classOrder {
+		if j := q.classes[p].pop(); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// tagRing is one priority class: a FIFO per tag plus a rotation of the
+// tags that currently have pending jobs.
+type tagRing struct {
+	buckets map[string][]*Job
+	order   []string
+	next    int
+}
+
+func (r *tagRing) push(j *Job) {
+	if r.buckets == nil {
+		r.buckets = map[string][]*Job{}
+	}
+	q, ok := r.buckets[j.tagKey]
+	if !ok {
+		r.order = append(r.order, j.tagKey)
+	}
+	r.buckets[j.tagKey] = append(q, j)
+}
+
+func (r *tagRing) pop() *Job {
+	if len(r.order) == 0 {
+		return nil
+	}
+	if r.next >= len(r.order) {
+		r.next = 0
+	}
+	key := r.order[r.next]
+	q := r.buckets[key]
+	j := q[0]
+	if len(q) == 1 {
+		delete(r.buckets, key)
+		// Removing the key leaves r.next pointing at the following
+		// tag, preserving the rotation.
+		r.order = append(r.order[:r.next], r.order[r.next+1:]...)
+	} else {
+		r.buckets[key] = q[1:]
+		r.next++
+	}
+	return j
+}

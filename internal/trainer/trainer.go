@@ -7,6 +7,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -47,6 +48,13 @@ type Config struct {
 	Seed int64
 	// Log receives per-epoch progress lines; nil discards them.
 	Log io.Writer
+	// Ctx cancels training cooperatively: it is observed between
+	// gradient batches, so a cancelled run stops mid-epoch rather than
+	// finishing the pass (nil = never cancelled).
+	Ctx context.Context
+	// Progress receives (epoch, total) after each completed epoch —
+	// the structured progress feed behind the platform's job events.
+	Progress func(epoch, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +138,10 @@ func Train(m *nn.Model, data []Example, cfg Config) (*Result, error) {
 	setTraining(m, true)
 	defer setTraining(m, false)
 
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{LearningRate: lr}
 	bestAcc := -1.0
 	var bestWeights [][]float32
@@ -152,6 +164,11 @@ func Train(m *nn.Model, data []Example, cfg Config) (*Result, error) {
 				opt.Step(float32(1 / float64(inBatch)))
 				m.ZeroGrads()
 				inBatch = 0
+				// Cooperative cancellation at batch granularity: a
+				// cancelled job abandons the rest of the epoch.
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("trainer: training cancelled in epoch %d: %w", epoch+1, err)
+				}
 			}
 		}
 		if inBatch > 0 {
@@ -173,6 +190,12 @@ func Train(m *nn.Model, data []Example, cfg Config) (*Result, error) {
 			logf(cfg.Log, "epoch %d/%d loss=%.4f val_acc=%.3f\n", epoch+1, cfg.Epochs, res.TrainLoss[epoch], acc)
 		} else {
 			logf(cfg.Log, "epoch %d/%d loss=%.4f\n", epoch+1, cfg.Epochs, res.TrainLoss[epoch])
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch+1, cfg.Epochs)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("trainer: training cancelled after epoch %d: %w", epoch+1, err)
 		}
 	}
 	if cfg.RestoreBest && bestWeights != nil {

@@ -7,6 +7,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -180,6 +181,14 @@ type Config struct {
 	Workers int
 	// Log receives progress lines; nil discards.
 	Log io.Writer
+	// Ctx cancels the search cooperatively between trials (nil =
+	// never cancelled). In-flight trials finish; no new trial starts.
+	Ctx context.Context
+	// Progress receives (completed, planned) after each recorded
+	// trial. planned is the trial budget; adaptive strategies
+	// (hyperband) may complete a different number, so treat the ratio
+	// as an estimate there.
+	Progress func(completed, planned int)
 }
 
 // Run executes the tuner over the dataset and returns trials sorted by
@@ -201,15 +210,24 @@ func Run(ds *data.Dataset, cfg Config) ([]Trial, error) {
 		return nil, fmt.Errorf("tuner: dataset has %d classes, need >= 2", len(labels))
 	}
 
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var mu sync.Mutex
 	trials := map[int]*Trial{}
+	completed := 0
 	record := func(candidate int, tr *Trial) float64 {
 		mu.Lock()
 		defer mu.Unlock()
 		trials[candidate] = tr
+		completed++
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "trial %-28s × %-22s acc=%.2f total=%.0fms ram=%dkB\n",
 				tr.DSPDesc, tr.ModelDesc, tr.Accuracy, tr.TotalLatencyMS, tr.TotalRAM/1024)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(completed, maxTrials)
 		}
 		// Constraint-violating trials are heavily penalized so the
 		// search prefers deployable configurations.
@@ -220,6 +238,10 @@ func Run(ds *data.Dataset, cfg Config) ([]Trial, error) {
 		return score
 	}
 	objective := func(candidate, budget int) (float64, error) {
+		// Cooperative cancellation between trials.
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("tuner: search cancelled: %w", err)
+		}
 		tr, err := evaluate(ds, labels, space, candidate, budget, cfg)
 		if err != nil {
 			return 0, err
@@ -291,8 +313,17 @@ func runParallel(ds *data.Dataset, labels []string, space Space, maxTrials int,
 			defer wg.Done()
 			for c := range jobs {
 				// Match the sequential strategy's first-error abort:
-				// once a trial fails, drain without training.
+				// once a trial fails (or the search is cancelled),
+				// drain without training.
 				if failed() {
+					continue
+				}
+				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tuner: search cancelled: %w", cfg.Ctx.Err())
+					}
+					mu.Unlock()
 					continue
 				}
 				tr, err := evaluate(ds, labels, space, c, cfg.Epochs, cfg)
