@@ -9,6 +9,9 @@
 //	ei-cli blocks
 //	ei-cli -key KEY create-project <name>
 //	ei-cli -key KEY upload -project 1 -label yes -hmac HMACKEY file.wav
+//	ei-cli -key KEY data list -project 1 [-category training] [-limit 50 -offset 0]
+//	ei-cli -key KEY data rebalance -project 1 [-fraction 0.2]
+//	ei-cli -key KEY data rm -project 1 -id SAMPLEID
 //	ei-cli -key KEY impulse -project 1 -file design.json
 //	ei-cli -key KEY impulse -project 1 -get
 //	ei-cli -key KEY train -project 1 -epochs 10 [-wait|-watch]
@@ -52,6 +55,8 @@ func main() {
 		err = createProject(ctx, c, args[1:])
 	case "upload":
 		err = upload(ctx, c, args[1:])
+	case "data":
+		err = dataCmd(ctx, c, args[1:])
 	case "blocks":
 		err = blocks(ctx, c)
 	case "impulse":
@@ -72,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|blocks|impulse|train|job|jobs> ...")
+	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|data|blocks|impulse|train|job|jobs> ...")
 	os.Exit(2)
 }
 
@@ -169,6 +174,84 @@ func upload(ctx context.Context, c *client.Client, args []string) error {
 	}
 	fmt.Printf("uploaded %s as sample %s\n", name, out.SampleID)
 	return nil
+}
+
+// dataCmd hosts the dataset subcommands, working page-by-page against
+// the server's header listing — no signal payloads ever cross the wire,
+// so it stays fast on datasets of any size.
+func dataCmd(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: data <list|rebalance|rm> -project N ...")
+	}
+	fs := flag.NewFlagSet("data "+args[0], flag.ExitOnError)
+	projectID := fs.Int("project", 0, "project id")
+	category := fs.String("category", "", "filter by split (training|testing)")
+	limit := fs.Int("limit", 50, "page size")
+	offset := fs.Int("offset", 0, "page start")
+	all := fs.Bool("all", false, "walk every page instead of one")
+	id := fs.String("id", "", "sample id (rm)")
+	fraction := fs.Float64("fraction", 0.2, "test split fraction (rebalance)")
+	fs.Parse(args[1:])
+	if *projectID == 0 {
+		return fmt.Errorf("usage: data %s -project N ...", args[0])
+	}
+	switch args[0] {
+	case "list":
+		return dataList(ctx, c, *projectID, *category, *limit, *offset, *all)
+	case "rebalance":
+		resp, err := c.Rebalance(ctx, *projectID, *fraction)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rebalanced to ~%.0f%% test:\n", *fraction*100)
+		for _, st := range resp.Stats {
+			fmt.Printf("  %-12s train %-4d test %-4d\n", st.Label, st.Training, st.Testing)
+		}
+		return nil
+	case "rm":
+		if *id == "" {
+			return fmt.Errorf("usage: data rm -project N -id SAMPLEID")
+		}
+		if err := c.DeleteSample(ctx, *projectID, *id); err != nil {
+			return err
+		}
+		fmt.Printf("deleted sample %s\n", *id)
+		return nil
+	default:
+		return fmt.Errorf("unknown data subcommand %q (want list, rebalance or rm)", args[0])
+	}
+}
+
+// dataList prints one page (or, with -all, every page) of sample
+// headers plus the per-label statistics and dataset version.
+func dataList(ctx context.Context, c *client.Client, projectID int, category string, limit, offset int, all bool) error {
+	shown := 0
+	for {
+		resp, err := c.Samples(ctx, projectID, category, client.Page{Limit: limit, Offset: offset})
+		if err != nil {
+			return err
+		}
+		if shown == 0 {
+			fmt.Printf("dataset version %s\n", resp.Version)
+			for _, st := range resp.Stats {
+				fmt.Printf("  %-12s train %-4d test %-4d %.2fs\n", st.Label, st.Training, st.Testing, st.Seconds)
+			}
+			fmt.Println("samples:")
+		}
+		for _, sm := range resp.Samples {
+			fmt.Printf("  %-18s %-12s %-9s %6d frames  %s\n", sm.ID, sm.Label, sm.Category, sm.Frames, sm.Name)
+			shown++
+		}
+		// The server clamps oversized limits, so advance by what it
+		// actually returned and finish against its reported total.
+		offset += len(resp.Samples)
+		if !all || len(resp.Samples) == 0 || offset >= resp.Total {
+			if all {
+				fmt.Printf("%d samples\n", shown)
+			}
+			return nil
+		}
+	}
 }
 
 // blocks prints the server's impulse design catalog: every registered

@@ -14,10 +14,18 @@
 //
 // -signal selects the simulated sensor: "keyword:<label>" (audio),
 // "vibration:normal" or "vibration:fault" (3-axis accelerometer).
+//
+// With -spool DIR the daemon writes every acquired document to a
+// crash-safe local spool (internal/store.Spool) before uploading: at
+// boot it recovers the spool — truncating any record torn by a crash —
+// and re-uploads whatever the server never acknowledged, so a daemon
+// killed mid-session loses at most the window being written.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,9 +34,11 @@ import (
 	"strings"
 	"syscall"
 
+	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/client"
 	"edgepulse/internal/firmware"
 	"edgepulse/internal/ingest"
+	"edgepulse/internal/store"
 	"edgepulse/internal/synth"
 )
 
@@ -42,6 +52,7 @@ func main() {
 	windowMS := flag.Int("window-ms", 1000, "window length in milliseconds")
 	signalKind := flag.String("signal", "keyword:yes", "simulated signal (keyword:<word> | vibration:normal | vibration:fault)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	spoolDir := flag.String("spool", "", "crash-safe local spool directory (recovered and drained at boot)")
 	flag.Parse()
 	if *key == "" || *projectID == 0 || *hmacKey == "" || *label == "" {
 		fmt.Fprintln(os.Stderr, "usage: ei-daemon -server URL -key APIKEY -project N -hmac HMACKEY -label L [-samples N]")
@@ -54,6 +65,33 @@ func main() {
 	defer stop()
 
 	c := client.New(*server, client.WithAPIKey(*key))
+	up := &uploader{ctx: ctx, c: c, project: *projectID, label: *label}
+	if *spoolDir != "" {
+		sp, err := store.OpenSpool(*spoolDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer sp.Close()
+		up.spool = sp
+		// Crash recovery: re-upload documents acquired by a previous
+		// run that the server never acknowledged. Each spool entry
+		// carries the project and label it was acquired under, so a
+		// restart with different flags cannot mislabel them.
+		if pending := sp.Pending(); len(pending) > 0 {
+			fmt.Printf("spool: recovering %d unacknowledged window(s)\n", len(pending))
+			for i, raw := range pending {
+				e, err := decodeSpoolEntry(raw)
+				if err != nil {
+					fatal(fmt.Errorf("spool recovery %d/%d: %w", i+1, len(pending), err))
+				}
+				id, err := up.sendAs(e.Project, e.Label, e.Doc)
+				if err != nil {
+					fatal(fmt.Errorf("spool recovery %d/%d: %w", i+1, len(pending), err))
+				}
+				fmt.Printf("spool: re-uploaded window -> sample %s\n", id)
+			}
+		}
+	}
 	dev, err := buildDevice(*signalKind, *hmacKey, *seed)
 	if err != nil {
 		fatal(err)
@@ -74,14 +112,84 @@ func main() {
 			fatal(err)
 		}
 		doc := strings.TrimSuffix(strings.TrimSpace(out), "\nOK")
-		uploaded, err := c.UploadSample(ctx, *projectID, client.UploadParams{
-			Label: *label, Format: "acquisition",
-		}, []byte(doc))
+		if up.spool != nil {
+			// Durable before network: a crash between here and the
+			// acknowledgment replays this window on the next run.
+			if err := up.spool.Add(encodeSpoolEntry(*projectID, *label, []byte(doc))); err != nil {
+				fatal(err)
+			}
+		}
+		id, err := up.send([]byte(doc))
 		if err != nil {
 			fatal(fmt.Errorf("sample %d: %w", i, err))
 		}
-		fmt.Printf("uploaded window %d/%d -> sample %s\n", i+1, *samples, uploaded.SampleID)
+		fmt.Printf("uploaded window %d/%d -> sample %s\n", i+1, *samples, id)
 	}
+}
+
+// uploader pushes signed acquisition documents to the ingestion
+// endpoint, acknowledging each in the spool once the server has it.
+type uploader struct {
+	ctx     context.Context
+	c       *client.Client
+	project int
+	label   string
+	spool   *store.Spool
+}
+
+// spoolEntry is what a spool record holds: the signed document plus
+// the upload parameters it was acquired under.
+type spoolEntry struct {
+	Project int    `json:"project"`
+	Label   string `json:"label"`
+	Doc     []byte `json:"doc"`
+}
+
+// encodeSpoolEntry wraps a document with its upload parameters.
+func encodeSpoolEntry(project int, label string, doc []byte) []byte {
+	blob, _ := json.Marshal(spoolEntry{Project: project, Label: label, Doc: doc})
+	return blob
+}
+
+// decodeSpoolEntry parses a spool record.
+func decodeSpoolEntry(raw []byte) (spoolEntry, error) {
+	var e spoolEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return spoolEntry{}, fmt.Errorf("corrupt spool entry: %w", err)
+	}
+	return e, nil
+}
+
+// send uploads one document under the daemon's current flags.
+func (u *uploader) send(doc []byte) (string, error) {
+	return u.sendAs(u.project, u.label, doc)
+}
+
+// sendAs uploads one document and, on success, advances the spool
+// checkpoint past it. A duplicate rejection (the window was uploaded
+// just before a crash) counts as success: the server has the data.
+func (u *uploader) sendAs(project int, label string, doc []byte) (string, error) {
+	uploaded, err := u.c.UploadSample(u.ctx, project, client.UploadParams{
+		Label: label, Format: "acquisition",
+	}, doc)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.Code == v1.CodeConflict {
+			if u.spool != nil {
+				if err := u.spool.Ack(1); err != nil {
+					return "", err
+				}
+			}
+			return "(duplicate, already ingested)", nil
+		}
+		return "", err
+	}
+	if u.spool != nil {
+		if err := u.spool.Ack(1); err != nil {
+			return "", err
+		}
+	}
+	return uploaded.SampleID, nil
 }
 
 // buildDevice wires a synthetic sensor into the simulated firmware.

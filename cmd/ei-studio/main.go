@@ -44,12 +44,17 @@ func main() {
 
 	registry := project.NewRegistry()
 	if *dataDir != "" {
-		if loaded, err := project.Load(*dataDir); err == nil {
-			registry = loaded
-			fmt.Printf("loaded state from %s\n", *dataDir)
-		} else if !os.IsNotExist(err) {
-			log.Fatal("loading state: ", err)
+		// Open runs crash recovery on every project's segmented store
+		// and migrates v1 dataset.json trees in place; from here on
+		// each upload persists incrementally (one segment append + one
+		// manifest patch), so a crash loses no acknowledged sample.
+		loaded, err := project.Open(*dataDir)
+		if err != nil {
+			log.Fatal("opening state: ", err)
 		}
+		registry = loaded
+		defer registry.Close()
+		fmt.Printf("opened durable state in %s\n", *dataDir)
 	}
 	sched := jobs.NewScheduler(jobs.Config{
 		MinWorkers: 1, MaxWorkers: *workers,
@@ -62,11 +67,14 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			<-sig
+			// Datasets are already durable; Save persists registry
+			// metadata + impulse designs and compacts store manifests.
 			if err := registry.Save(*dataDir); err != nil {
 				log.Println("saving state:", err)
 			} else {
 				fmt.Printf("\nstate saved to %s\n", *dataDir)
 			}
+			registry.Close()
 			os.Exit(0)
 		}()
 	}

@@ -14,7 +14,10 @@
 //   - internal/quant, tflm, eon    — int8 quantization and the two engines
 //   - internal/device, renode, profiler — on-device estimation
 //   - internal/tuner, search, ga, calibration — AutoML and tuning
-//   - internal/data, ingest, cbor, wav — the data plane
+//   - internal/data, ingest, cbor, wav — the data plane; data serves
+//     lazy, header-indexed datasets that stream signals on demand
+//   - internal/store    — the durable segmented dataset storage engine
+//     and crash-safe upload spool (byte-level spec in docs/STORAGE.md)
 //   - internal/project, jobs, api — the MLOps service layer; api/v1
 //     declares the typed DTO contract of the versioned REST surface
 //   - internal/client   — the first-class Go client for the v1 API,
@@ -23,8 +26,9 @@
 //   - internal/bench, report — the paper's tables and figures
 //
 // Entry points: cmd/ei-studio (REST server), cmd/ei-cli (client),
-// cmd/ei-run (EIM runner), cmd/ei-bench (regenerate the paper's
-// evaluation). See README.md and EXPERIMENTS.md.
+// cmd/ei-daemon (device bridge), cmd/ei-run (EIM runner), cmd/ei-bench
+// (regenerate the paper's evaluation). See README.md for a quickstart
+// and docs/ARCHITECTURE.md for the package map and data flow.
 package edgepulse
 
 // Version identifies this reproduction build.

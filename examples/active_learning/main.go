@@ -36,7 +36,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	samples := full.List("")
+	var samples []*data.Sample
+	for _, h := range full.List("") {
+		s, err := full.Get(h.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, s)
+	}
 	truth := make([]string, len(samples))
 	visible := make([]string, len(samples))
 	labeledDS := data.New()

@@ -56,7 +56,11 @@ func main() {
 		log.Fatal(err)
 	}
 	uploaded := 0
-	for _, s := range ds.List("") {
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
 		values := make([][]float64, s.Signal.Frames())
 		for i := range values {
 			values[i] = []float64{float64(s.Signal.Data[i])}
@@ -167,7 +171,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	clip := ds.List("")[0]
+	clip, err := ds.Get(ds.List("")[0].ID)
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := deployed.ClassifyQuantized(clip.Signal)
 	if err != nil {
 		log.Fatal(err)

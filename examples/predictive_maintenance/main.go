@@ -66,13 +66,18 @@ func main() {
 
 	// Anomaly block: K-means fitted on NORMAL windows only.
 	normalOnly := data.New()
-	for _, s := range ds.List(data.Training) {
-		if s.Label == "normal" {
-			clone := *s
-			clone.ID = ""
-			if _, err := normalOnly.Add(&clone); err != nil {
-				log.Fatal(err)
-			}
+	for _, h := range ds.List(data.Training) {
+		if h.Label != "normal" {
+			continue
+		}
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clone := *s
+		clone.ID = ""
+		if _, err := normalOnly.Add(&clone); err != nil {
+			log.Fatal(err)
 		}
 	}
 	if err := imp.TrainAnomaly(normalOnly, 3, 5); err != nil {

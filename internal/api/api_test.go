@@ -163,7 +163,11 @@ func uploadKWSData(t *testing.T, e *testEnv, id int, hmacKey string, perClass in
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range ds.List("") {
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		values := make([][]float64, s.Signal.Frames())
 		for i := range values {
 			values[i] = []float64{float64(s.Signal.Data[i])}

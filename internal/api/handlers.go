@@ -221,7 +221,18 @@ func (s *Server) handleUploadData(w http.ResponseWriter, r *http.Request, u *pro
 		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "unknown format "+format)
 		return
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, data.ErrDuplicate):
+		// The dataset already holds this exact content — a stable code
+		// so idempotent uploaders (spool replay) can treat it as an ack.
+		s.writeError(w, r, http.StatusConflict, v1.CodeConflict, err.Error())
+		return
+	case errors.Is(err, data.ErrPersist):
+		// Valid input, but durable storage failed: a server fault.
+		s.writeError(w, r, http.StatusInternalServerError, v1.CodeInternal, err.Error())
+		return
+	default:
 		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
 		return
 	}
@@ -249,10 +260,12 @@ func (s *Server) handleListData(w http.ResponseWriter, r *http.Request, u *proje
 	all := ds.List(data.Category(r.URL.Query().Get("category")))
 	window, page := paginate(all, limit, offset)
 	var samples []v1.Sample
+	// List serves headers only: no signal payload is loaded no matter
+	// how large the dataset is.
 	for _, sm := range window {
 		samples = append(samples, v1.Sample{
 			ID: sm.ID, Name: sm.Name, Label: sm.Label,
-			Category: string(sm.Category), Frames: sm.Signal.Frames(),
+			Category: string(sm.Category), Frames: sm.Shape.Frames,
 		})
 	}
 	writeJSON(w, http.StatusOK, v1.ListDataResponse{
@@ -282,7 +295,10 @@ func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request, u *proj
 		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "test_fraction must be in (0,1)")
 		return
 	}
-	p.Dataset().Rebalance(req.TestFraction)
+	if err := p.Dataset().Rebalance(req.TestFraction); err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, v1.CodeInternal, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, v1.RebalanceResponse{Success: true, Stats: labelStats(p.Dataset().Stats())})
 }
 

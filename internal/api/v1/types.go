@@ -28,6 +28,7 @@ const (
 	CodeForbidden        = "forbidden"
 	CodeNotFound         = "not_found"
 	CodeMethodNotAllowed = "method_not_allowed"
+	CodeConflict         = "conflict"
 	CodePayloadTooLarge  = "payload_too_large"
 	CodeRateLimited      = "rate_limited"
 	CodeUnavailable      = "unavailable"

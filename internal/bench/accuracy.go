@@ -133,17 +133,28 @@ func trainEval(imp *core.Impulse, ds *data.Dataset, build func(shape []int, clas
 	if err := imp.Quantize(ds); err != nil {
 		return Accuracy{}, err
 	}
-	// Int8 accuracy: classify the test split with the quantized model.
+	// Int8 accuracy: classify the test split with the quantized model,
+	// streaming samples batch-by-batch.
 	correct, total := 0, 0
-	for _, s := range ds.List(data.Testing) {
-		res, err := imp.ClassifyQuantized(s.Signal)
-		if err != nil {
-			return Accuracy{}, err
+	it := ds.Batches(data.Testing, 64)
+	for {
+		batch, ok := it.Next()
+		if !ok {
+			break
 		}
-		if res.Label == s.Label {
-			correct++
+		for _, s := range batch {
+			res, err := imp.ClassifyQuantized(s.Signal)
+			if err != nil {
+				return Accuracy{}, err
+			}
+			if res.Label == s.Label {
+				correct++
+			}
+			total++
 		}
-		total++
+	}
+	if err := it.Err(); err != nil {
+		return Accuracy{}, err
 	}
 	int8Acc := 0.0
 	if total > 0 {

@@ -54,7 +54,11 @@ func TestClientFullPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range ds.List("") {
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		values := make([][]float64, s.Signal.Frames())
 		for i := range values {
 			values[i] = []float64{float64(s.Signal.Data[i])}
@@ -145,7 +149,10 @@ func TestClientFullPipeline(t *testing.T) {
 	}
 
 	// Classify, profile, deploy.
-	clip := ds.List("")[0]
+	clip, err := ds.Get(ds.List("")[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cls, err := c.Classify(ctx, proj.ID, clip.Signal.Data, false)
 	if err != nil {
 		t.Fatal(err)

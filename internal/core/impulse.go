@@ -29,6 +29,10 @@ import (
 	"edgepulse/internal/trainer"
 )
 
+// featureBatch is how many samples a feature-extraction pass
+// materializes at a time when streaming a dataset split.
+const featureBatch = 64
+
 // InputKind distinguishes input block types.
 type InputKind string
 
@@ -596,16 +600,29 @@ func (imp *Impulse) BuildExamples(ds *data.Dataset, cat data.Category) ([]traine
 		return nil, fmt.Errorf("core: impulse has no classification learn block")
 	}
 	var out []trainer.Example
-	for _, s := range ds.List(cat) {
-		y := imp.classIndex(s.Label)
-		if y < 0 {
-			continue
+	// Stream the split batch-by-batch so signals for datasets larger
+	// than RAM are never all resident; only the (much smaller)
+	// extracted feature vectors accumulate.
+	it := ds.Batches(cat, featureBatch)
+	for {
+		batch, ok := it.Next()
+		if !ok {
+			break
 		}
-		x, err := imp.LearnFeatures(spec, s.Signal)
-		if err != nil {
-			return nil, fmt.Errorf("core: sample %s: %w", s.ID, err)
+		for _, s := range batch {
+			y := imp.classIndex(s.Label)
+			if y < 0 {
+				continue
+			}
+			x, err := imp.LearnFeatures(spec, s.Signal)
+			if err != nil {
+				return nil, fmt.Errorf("core: sample %s: %w", s.ID, err)
+			}
+			out = append(out, trainer.Example{X: x, Y: y})
 		}
-		out = append(out, trainer.Example{X: x, Y: y})
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -674,17 +691,26 @@ func (imp *Impulse) TrainAnomaly(ds *data.Dataset, clusters int, seed int64) err
 			clusters = int(k)
 		}
 	}
-	samples := ds.List(data.Training)
-	if len(samples) == 0 {
-		return fmt.Errorf("core: no training samples")
-	}
 	var rows [][]float32
-	for _, s := range samples {
-		x, err := imp.LearnFeatures(spec, s.Signal)
-		if err != nil {
-			return err
+	it := ds.Batches(data.Training, featureBatch)
+	for {
+		batch, ok := it.Next()
+		if !ok {
+			break
 		}
-		rows = append(rows, x.Data)
+		for _, s := range batch {
+			x, err := imp.LearnFeatures(spec, s.Signal)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, x.Data)
+		}
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("core: no training samples")
 	}
 	km, err := anomaly.FitKMeans(rows, clusters, 50, seed)
 	if err != nil {

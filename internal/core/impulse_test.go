@@ -14,6 +14,21 @@ import (
 	"edgepulse/internal/trainer"
 )
 
+// materialize loads every sample of a split (tests only — production
+// paths stream via Batches).
+func materialize(t *testing.T, ds *data.Dataset, cat data.Category) []*data.Sample {
+	t.Helper()
+	var out []*data.Sample
+	for _, h := range ds.List(cat) {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // toneDataset builds a tiny two-class audio dataset: low tones vs high
 // tones, trivially separable from MFE features.
 func toneDataset(t *testing.T, perClass int) *data.Dataset {
@@ -161,7 +176,7 @@ func TestEndToEndTrainQuantizeClassify(t *testing.T) {
 		t.Fatal(err)
 	}
 	agree := 0
-	tests := ds.List(data.Testing)
+	tests := materialize(t, ds, data.Testing)
 	for _, s := range tests {
 		f, err := imp.Classify(s.Signal)
 		if err != nil {
@@ -217,7 +232,7 @@ func TestAnomalyBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A normal (training-like) tone scores lower than white noise.
-	normal := ds.List(data.Training)[0].Signal
+	normal := materialize(t, ds, data.Training)[0].Signal
 	rng := rand.New(rand.NewSource(9))
 	noise := make([]float32, 4000)
 	for i := range noise {

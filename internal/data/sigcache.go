@@ -1,0 +1,83 @@
+package data
+
+import (
+	"container/list"
+	"sync"
+
+	"edgepulse/internal/dsp"
+)
+
+// signalCache is a byte-bounded LRU of decoded signals for lazy-mode
+// datasets: repeated feature extraction over the same window of samples
+// (training epochs, tuner trials) hits memory instead of re-reading and
+// re-decoding segment records.
+type signalCache struct {
+	mu    sync.Mutex
+	max   int64 // byte budget for cached payloads
+	used  int64
+	order *list.List // front = most recently used; values are *cacheEntry
+	byID  map[string]*list.Element
+}
+
+type cacheEntry struct {
+	id  string
+	sig dsp.Signal
+}
+
+// sigBytes is the retained payload size of a decoded signal.
+func sigBytes(sig dsp.Signal) int64 { return int64(len(sig.Data)) * 4 }
+
+func newSignalCache(maxBytes int64) *signalCache {
+	return &signalCache{max: maxBytes, order: list.New(), byID: map[string]*list.Element{}}
+}
+
+// get returns a cached signal, marking it most recently used.
+func (c *signalCache) get(id string) (dsp.Signal, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return dsp.Signal{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).sig, true
+}
+
+// put inserts a signal, evicting least-recently-used entries until the
+// byte budget holds. Signals larger than the whole budget are not
+// cached at all (a single oversized sample must not flush the cache).
+func (c *signalCache) put(id string, sig dsp.Signal) {
+	n := sigBytes(sig)
+	if n > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byID[id] = c.order.PushFront(&cacheEntry{id: id, sig: sig})
+	c.used += n
+	for c.used > c.max {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.byID, e.id)
+		c.used -= sigBytes(e.sig)
+	}
+}
+
+// drop removes one entry (after a sample deletion).
+func (c *signalCache) drop(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		c.used -= sigBytes(el.Value.(*cacheEntry).sig)
+		c.order.Remove(el)
+		delete(c.byID, id)
+	}
+}

@@ -164,7 +164,14 @@ func TestEIMRoundTrip(t *testing.T) {
 	}
 	// The reconstructed impulse classifies identically.
 	agree := 0
-	tests := ds.List(data.Testing)
+	var tests []*data.Sample
+	for _, h := range ds.List(data.Testing) {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tests = append(tests, s)
+	}
 	for _, s := range tests {
 		a, err := imp.Classify(s.Signal)
 		if err != nil {

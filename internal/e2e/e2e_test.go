@@ -61,7 +61,11 @@ func newEnv(t *testing.T) *env {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range ds.List("") {
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		values := make([][]float64, s.Signal.Frames())
 		for i := range values {
 			values[i] = []float64{float64(s.Signal.Data[i])}

@@ -82,7 +82,11 @@ func TestClassifyOverSocket(t *testing.T) {
 	imp, ds := runnerImpulse(t)
 	c := startServer(t, imp)
 	correct, total := 0, 0
-	for _, s := range ds.List(data.Testing) {
+	for _, h := range ds.List(data.Testing) {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		reply, err := c.Classify(s.Signal.Data, false)
 		if err != nil {
 			t.Fatal(err)
@@ -103,7 +107,10 @@ func TestClassifyOverSocket(t *testing.T) {
 func TestClassifyQuantizedOverSocket(t *testing.T) {
 	imp, ds := runnerImpulse(t)
 	c := startServer(t, imp)
-	s := ds.List(data.Testing)[0]
+	s, err := ds.Get(ds.List(data.Testing)[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	reply, err := c.Classify(s.Signal.Data, true)
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +123,10 @@ func TestClassifyQuantizedOverSocket(t *testing.T) {
 func TestMultipleClientsSequential(t *testing.T) {
 	imp, ds := runnerImpulse(t)
 	c1 := startServer(t, imp)
-	s := ds.List(data.Testing)[0]
+	s, err := ds.Get(ds.List(data.Testing)[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
 		if _, err := c1.Classify(s.Signal.Data, false); err != nil {
 			t.Fatal(err)

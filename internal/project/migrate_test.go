@@ -1,0 +1,286 @@
+package project
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/store"
+)
+
+// goldenV1Version is the dataset Version() content hash of the v1
+// fixture tree under testdata/v1tree, computed by the pre-migration
+// in-memory loader. The migration path must reproduce it byte for
+// byte: content-addressed sample IDs are a pure function of sample
+// content, so moving bytes between formats must not change them.
+const goldenV1Version = "014020e84d90dc33"
+
+// copyTree clones the committed fixture into a scratch dir (migration
+// writes a store next to dataset.json, which must never dirty
+// testdata).
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		_, err = io.Copy(out, in)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateV1TreeGoldenVersion(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, "testdata/v1tree", dir)
+
+	r, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p, err := r.GetProject(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := p.Dataset()
+	if !ds.Lazy() {
+		t.Fatal("migrated dataset is not store-backed")
+	}
+	if got := ds.Version(); got != goldenV1Version {
+		t.Fatalf("migrated Version() = %s, want golden %s", got, goldenV1Version)
+	}
+	if ds.Len() != 4 {
+		t.Fatalf("len = %d, want 4", ds.Len())
+	}
+	// The golden hash also matches a pure in-memory dataset built from
+	// the same v1 JSON: migration is semantics-preserving, not just
+	// self-consistent.
+	blob, err := os.ReadFile(filepath.Join(dir, "projects", "1", "dataset.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []persistedSample
+	if err := json.Unmarshal(blob, &samples); err != nil {
+		t.Fatal(err)
+	}
+	mem := data.New()
+	for _, ps := range samples {
+		if _, err := mem.Add(&data.Sample{
+			Name: ps.Name, Label: ps.Label, Category: ps.Category, Metadata: ps.Metadata,
+			Signal: dsp.Signal{
+				Data: ps.Values, Rate: ps.Rate, Axes: ps.Axes,
+				Width: ps.Width, Height: ps.Height,
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mem.Version() != goldenV1Version {
+		t.Fatalf("in-memory Version() = %s, want golden %s", mem.Version(), goldenV1Version)
+	}
+
+	// Signals round-trip through the store with full fidelity.
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Signal.Data) != h.Shape.Frames*h.Shape.Axes {
+			t.Fatalf("sample %s: %d values, shape %+v", h.ID, len(s.Signal.Data), h.Shape)
+		}
+	}
+	// Metadata survives migration.
+	first, err := ds.Get(ds.List("")[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Metadata["device_name"] != "dev-a" {
+		t.Fatalf("metadata lost: %+v", first.Metadata)
+	}
+	// The v1 blob stays in place, readable by older builds.
+	if _, err := os.Stat(filepath.Join(dir, "projects", "1", "dataset.json")); err != nil {
+		t.Fatal("migration removed dataset.json")
+	}
+}
+
+func TestMigrationRunsOnce(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, "testdata/v1tree", dir)
+
+	r, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := r.GetProject(1)
+	// Mutate post-migration state: a new upload that v1's dataset.json
+	// does not contain.
+	if _, err := p.Dataset().Add(&data.Sample{
+		Name: "fresh.wav", Label: "yes",
+		Signal: dsp.Signal{Data: []float32{9, 8, 7, 6}, Rate: 100, Axes: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := p.Dataset().Version()
+	r.Close()
+
+	// Second open must use the store, not re-migrate from dataset.json
+	// (which would both duplicate the old samples and lose the new one).
+	r2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	p2, _ := r2.GetProject(1)
+	if p2.Dataset().Len() != 5 {
+		t.Fatalf("len after reopen = %d, want 5", p2.Dataset().Len())
+	}
+	if p2.Dataset().Version() != v {
+		t.Fatalf("version changed across reopen: %s != %s", p2.Dataset().Version(), v)
+	}
+}
+
+// TestIncrementalPersistence is the crash-consistency contract at the
+// project layer: uploads into an Open()ed registry are durable with no
+// Save call at all.
+func TestIncrementalPersistence(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := r.CreateUser("ada")
+	p, err := r.CreateProject("live", u.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Dataset().Add(&data.Sample{
+		Name: "w0", Label: "yes",
+		Signal: dsp.Signal{Data: []float32{1, 2, 3}, Rate: 100, Axes: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v := p.Dataset().Version()
+	// Project headers (users, keys) still need one Save; sample data
+	// does not. Simulate a crash after Save: no Close.
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Dataset().Add(&data.Sample{
+		Name: "w1", Label: "no",
+		Signal: dsp.Signal{Data: []float32{4, 5, 6}, Rate: 100, Axes: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vAfter := p.Dataset().Version()
+	if vAfter == v {
+		t.Fatal("version did not change")
+	}
+
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.Authenticate(u.APIKey); err != nil {
+		t.Fatal("user lost")
+	}
+	p2, err := r2.GetProject(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both samples survive — including the one uploaded after the last
+	// Save.
+	if p2.Dataset().Len() != 2 {
+		t.Fatalf("len = %d, want 2", p2.Dataset().Len())
+	}
+	if p2.Dataset().Version() != vAfter {
+		t.Fatalf("version %s != %s", p2.Dataset().Version(), vAfter)
+	}
+}
+
+// TestMigrationResumesAfterCrash simulates a crash mid-migration: the
+// store journal already holds a prefix of the v1 samples but the
+// completion marker (manifest.json) was never written. Re-opening must
+// finish the migration idempotently — no duplicates, no lost samples,
+// golden version hash intact.
+func TestMigrationResumesAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, "testdata/v1tree", dir)
+
+	// Replay the first half of the migration by hand, then "crash"
+	// before any snapshot: manifest.json absent, journal populated.
+	blob, err := os.ReadFile(filepath.Join(dir, "projects", "1", "dataset.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []persistedSample
+	if err := json.Unmarshal(blob, &samples); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(datasetDir(dir, 1), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := data.Open(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range samples[:2] {
+		if _, err := partial.Add(&data.Sample{
+			Name: ps.Name, Label: ps.Label, Category: ps.Category, Metadata: ps.Metadata,
+			Signal: dsp.Signal{Data: ps.Values, Rate: ps.Rate, Axes: ps.Axes,
+				Width: ps.Width, Height: ps.Height},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the worst interruption: an automatic journal compaction
+	// already wrote manifest.json mid-migration (so its existence must
+	// NOT be read as migration-complete), but the completion marker was
+	// never written.
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(datasetDir(dir, 1), migratedMarker)); err == nil {
+		t.Fatal("precondition: migration marker must not exist yet")
+	}
+
+	r, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p, _ := r.GetProject(1)
+	if p.Dataset().Len() != 4 {
+		t.Fatalf("len = %d, want 4 (resume added the rest exactly once)", p.Dataset().Len())
+	}
+	if got := p.Dataset().Version(); got != goldenV1Version {
+		t.Fatalf("resumed migration Version() = %s, want %s", got, goldenV1Version)
+	}
+	// Completion marker now present: a further open skips migration.
+	if _, err := os.Stat(filepath.Join(datasetDir(dir, 1), migratedMarker)); err != nil {
+		t.Fatal("migration completion marker missing")
+	}
+}

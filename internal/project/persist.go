@@ -2,6 +2,7 @@ package project
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,29 +10,43 @@ import (
 	"edgepulse/internal/core"
 	"edgepulse/internal/data"
 	"edgepulse/internal/dsp"
+	"edgepulse/internal/store"
 	"edgepulse/internal/tflm"
 )
 
-// On-disk layout:
+// On-disk layout (v2):
 //
-//	<dir>/registry.json                users, orgs, project headers
-//	<dir>/projects/<id>/dataset.json   samples (signals inline)
-//	<dir>/projects/<id>/impulse.json   impulse design
-//	<dir>/projects/<id>/model.eptm     float weights (EPTM)
+//	<dir>/registry.json                    users, orgs, project headers (atomic write)
+//	<dir>/projects/<id>/dataset/           segmented sample store (internal/store):
+//	                      manifest.json    header index snapshot
+//	                      journal.log      manifest op journal
+//	                      segments/*.seg   CRC-framed CBOR sample records
+//	<dir>/projects/<id>/impulse.json       impulse design (atomic write)
+//	<dir>/projects/<id>/model.eptm         float weights (EPTM)
 //	<dir>/projects/<id>/model_int8.eptm
+//
+// The v1 layout kept every sample inline in projects/<id>/dataset.json.
+// Opening a v1 tree migrates it: samples stream into a fresh segmented
+// store (content-addressed IDs — and therefore the dataset Version()
+// hash — are preserved), and the old dataset.json is left in place,
+// still readable by older builds. docs/STORAGE.md specifies both
+// formats and the migration path.
 
+// persistedUser is one user row in registry.json.
 type persistedUser struct {
 	ID     string `json:"id"`
 	Name   string `json:"name"`
 	APIKey string `json:"api_key"`
 }
 
+// persistedOrg is one organization row in registry.json.
 type persistedOrg struct {
 	ID      string   `json:"id"`
 	Name    string   `json:"name"`
 	Members []string `json:"members"`
 }
 
+// persistedProject is one project header row in registry.json.
 type persistedProject struct {
 	ID            int       `json:"id"`
 	Name          string    `json:"name"`
@@ -42,6 +57,7 @@ type persistedProject struct {
 	Versions      []Version `json:"versions"`
 }
 
+// persistedRegistry is the registry.json schema.
 type persistedRegistry struct {
 	Users    []persistedUser    `json:"users"`
 	Orgs     []persistedOrg     `json:"orgs"`
@@ -51,6 +67,8 @@ type persistedRegistry struct {
 	NextOrg  int                `json:"next_org"`
 }
 
+// persistedSample is the v1 dataset.json sample schema, kept for
+// migration (and for older builds reading a migrated tree).
 type persistedSample struct {
 	Name     string            `json:"name"`
 	Label    string            `json:"label"`
@@ -63,103 +81,63 @@ type persistedSample struct {
 	Values   []float32         `json:"values"`
 }
 
-// Save writes the registry and every project (dataset, impulse design,
-// trained weights) under dir. The format is stable JSON + EPTM blobs, so
-// saved state is portable across builds.
-func (r *Registry) Save(dir string) error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+// migratedMarker, inside a project's store directory, records that the
+// v1 dataset.json migration ran to completion.
+const migratedMarker = "migrated"
+
+// projectDir returns a project's directory under the registry root.
+func projectDir(dir string, id int) string {
+	return filepath.Join(dir, "projects", fmt.Sprint(id))
+}
+
+// datasetDir returns a project's segmented-store directory.
+func datasetDir(dir string, id int) string {
+	return filepath.Join(projectDir(dir, id), "dataset")
+}
+
+// Open loads (or initializes) a durable registry rooted at dir. Every
+// project's dataset is opened as a lazy data.Dataset over its segmented
+// store — uploads persist incrementally from then on, one segment
+// append + manifest patch per sample, with no full-registry rewrite.
+// v1 trees (inline dataset.json) are migrated in place on first open.
+func Open(dir string) (*Registry, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return nil, err
 	}
-	pr := persistedRegistry{NextUser: r.nextUser, NextProj: r.nextProj, NextOrg: r.nextOrg}
-	for _, u := range r.users {
-		pr.Users = append(pr.Users, persistedUser{ID: u.ID, Name: u.Name, APIKey: u.APIKey})
+	blob, err := os.ReadFile(filepath.Join(dir, "registry.json"))
+	if os.IsNotExist(err) {
+		r := NewRegistry()
+		r.dir = dir
+		return r, nil
 	}
-	for _, o := range r.orgs {
-		po := persistedOrg{ID: o.ID, Name: o.Name}
-		for m := range o.Members {
-			po.Members = append(po.Members, m)
-		}
-		pr.Orgs = append(pr.Orgs, po)
-	}
-	for _, p := range r.projects {
-		pr.Projects = append(pr.Projects, persistedProject{
-			ID: p.ID, Name: p.Name, OwnerID: p.OwnerID, HMACKey: p.HMACKey,
-			Public: p.Public(), Collaborators: p.Collaborators(), Versions: p.Versions(),
-		})
-		if err := saveProjectData(dir, p); err != nil {
-			return err
-		}
-	}
-	blob, err := json.MarshalIndent(pr, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return os.WriteFile(filepath.Join(dir, "registry.json"), blob, 0o644)
+	r, err := loadRegistry(dir, blob)
+	if err != nil {
+		return nil, err
+	}
+	r.dir = dir
+	return r, nil
 }
 
-func saveProjectData(dir string, p *Project) error {
-	pdir := filepath.Join(dir, "projects", fmt.Sprint(p.ID))
-	if err := os.MkdirAll(pdir, 0o755); err != nil {
-		return err
-	}
-	// Dataset.
-	var samples []persistedSample
-	for _, s := range p.Dataset().List("") {
-		samples = append(samples, persistedSample{
-			Name: s.Name, Label: s.Label, Category: s.Category, Metadata: s.Metadata,
-			Rate: s.Signal.Rate, Axes: s.Signal.Axes,
-			Width: s.Signal.Width, Height: s.Signal.Height,
-			Values: s.Signal.Data,
-		})
-	}
-	blob, err := json.Marshal(samples)
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(pdir, "dataset.json"), blob, 0o644); err != nil {
-		return err
-	}
-	// Impulse + models.
-	imp := p.Impulse()
-	if imp == nil {
-		return nil
-	}
-	cfg, err := json.Marshal(imp.Config())
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(pdir, "impulse.json"), cfg, 0o644); err != nil {
-		return err
-	}
-	if imp.Model != nil {
-		mb, err := tflm.Marshal(tflm.ModelFileFromFloat(imp.Model))
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(pdir, "model.eptm"), mb, 0o644); err != nil {
-			return err
-		}
-	}
-	if imp.QModel != nil {
-		qb, err := tflm.Marshal(tflm.ModelFileFromQuant(imp.QModel))
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(filepath.Join(pdir, "model_int8.eptm"), qb, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Load restores a registry previously written by Save.
+// Load restores a registry previously written by Save (or operated on
+// by Open). Unlike Open it fails if no registry exists at dir.
 func Load(dir string) (*Registry, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, "registry.json"))
 	if err != nil {
 		return nil, err
 	}
+	r, err := loadRegistry(dir, blob)
+	if err != nil {
+		return nil, err
+	}
+	r.dir = dir
+	return r, nil
+}
+
+// loadRegistry parses registry.json and opens every project's data.
+func loadRegistry(dir string, blob []byte) (*Registry, error) {
 	var pr persistedRegistry
 	if err := json.Unmarshal(blob, &pr); err != nil {
 		return nil, fmt.Errorf("project: corrupt registry: %w", err)
@@ -182,7 +160,6 @@ func Load(dir string) (*Registry, error) {
 		p := &Project{
 			ID: pp.ID, Name: pp.Name, OwnerID: pp.OwnerID, HMACKey: pp.HMACKey,
 			collaborators: map[string]bool{},
-			dataset:       data.New(),
 			versions:      pp.Versions,
 			public:        pp.Public,
 		}
@@ -190,16 +167,120 @@ func Load(dir string) (*Registry, error) {
 			p.collaborators[c] = true
 		}
 		if err := loadProjectData(dir, p); err != nil {
+			r.Close()
 			return nil, fmt.Errorf("project %d: %w", pp.ID, err)
 		}
 		r.projects[p.ID] = p
 	}
+	// r.dir is assigned by the caller after loadRegistry returns, but
+	// the write-through hooks capture r and read r.dir lazily via
+	// projectPersister, so wire them here against the target dir.
+	for _, p := range r.projects {
+		p.persist = r.projectPersister(p)
+	}
 	return r, nil
 }
 
-func loadProjectData(dir string, p *Project) error {
-	pdir := filepath.Join(dir, "projects", fmt.Sprint(p.ID))
-	blob, err := os.ReadFile(filepath.Join(pdir, "dataset.json"))
+// renderRegistryLocked marshals registry metadata. Caller holds r.mu
+// (read or write).
+func (r *Registry) renderRegistryLocked() ([]byte, error) {
+	pr := persistedRegistry{NextUser: r.nextUser, NextProj: r.nextProj, NextOrg: r.nextOrg}
+	for _, u := range r.users {
+		pr.Users = append(pr.Users, persistedUser{ID: u.ID, Name: u.Name, APIKey: u.APIKey})
+	}
+	for _, o := range r.orgs {
+		po := persistedOrg{ID: o.ID, Name: o.Name}
+		for m := range o.Members {
+			po.Members = append(po.Members, m)
+		}
+		pr.Orgs = append(pr.Orgs, po)
+	}
+	for _, p := range r.projects {
+		pr.Projects = append(pr.Projects, persistedProject{
+			ID: p.ID, Name: p.Name, OwnerID: p.OwnerID, HMACKey: p.HMACKey,
+			Public: p.Public(), Collaborators: p.Collaborators(), Versions: p.Versions(),
+		})
+	}
+	return json.MarshalIndent(pr, "", "  ")
+}
+
+// persistMetaLocked atomically writes registry.json if the registry is
+// durable. Caller holds r.mu (read or write); persistMu serializes the
+// render+rename pair so concurrent write-through hooks cannot rename a
+// stale snapshot over a fresher one.
+func (r *Registry) persistMetaLocked() error {
+	if r.dir == "" {
+		return nil
+	}
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	blob, err := r.renderRegistryLocked()
+	if err != nil {
+		return err
+	}
+	return store.AtomicWriteFile(filepath.Join(r.dir, "registry.json"), blob)
+}
+
+// persistMeta is persistMetaLocked for callers not holding r.mu.
+func (r *Registry) persistMeta() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.persistMetaLocked()
+}
+
+// openProjectDataset opens (creating or migrating as needed) a
+// project's store-backed dataset.
+func openProjectDataset(dir string, p *Project) error {
+	sdir := datasetDir(dir, p.ID)
+	v1Path := filepath.Join(projectDir(dir, p.ID), "dataset.json")
+	// A dedicated marker file records migration completion — NOT
+	// manifest.json existence, which the store's automatic journal
+	// compaction can create mid-migration. Until the marker exists the
+	// migration re-runs; that is safe because samples already committed
+	// are skipped as duplicates (content-addressed IDs are
+	// deterministic).
+	marker := filepath.Join(sdir, migratedMarker)
+	_, markerErr := os.Stat(marker)
+	migrated := markerErr == nil
+	st, err := store.Open(sdir, store.Options{})
+	if err != nil {
+		return err
+	}
+	ds, err := data.Open(st, 0)
+	if err != nil {
+		st.Close()
+		return err
+	}
+	if !migrated {
+		if err := migrateV1Dataset(v1Path, ds); err != nil {
+			st.Close()
+			return err
+		}
+		// Durable order: snapshot the migrated state first, then write
+		// the completion marker.
+		if err := st.Snapshot(); err != nil {
+			st.Close()
+			return err
+		}
+		if err := store.AtomicWriteFile(marker, []byte("v1 dataset.json migrated\n")); err != nil {
+			st.Close()
+			return err
+		}
+	}
+	p.dataset = ds
+	p.store = st
+	return nil
+}
+
+// migrateV1Dataset streams a v1 inline-JSON dataset into a lazy
+// dataset (and therefore its segmented store). Content-addressed IDs
+// are recomputed by Add exactly as v1 ingestion computed them, so the
+// dataset Version() hash is preserved bit-for-bit.
+func migrateV1Dataset(v1Path string, ds *data.Dataset) error {
+	blob, err := os.ReadFile(v1Path)
+	if os.IsNotExist(err) {
+		return nil // nothing to migrate
+	}
 	if err != nil {
 		return err
 	}
@@ -215,10 +296,32 @@ func loadProjectData(dir string, p *Project) error {
 				Width: ps.Width, Height: ps.Height,
 			},
 		}
-		if _, err := p.dataset.Add(s); err != nil {
-			return err
+		if _, err := ds.Add(s); err != nil {
+			// Already committed by an interrupted earlier migration run.
+			if errors.Is(err, data.ErrDuplicate) {
+				continue
+			}
+			return fmt.Errorf("migrate sample %q: %w", ps.Name, err)
 		}
 	}
+	return nil
+}
+
+// loadProjectData opens a project's dataset (migrating v1 if needed)
+// and loads its impulse design and trained models. On failure after
+// the dataset opened, its store handles are released — the project is
+// not yet registered, so nothing else will close them.
+func loadProjectData(dir string, p *Project) (err error) {
+	if err := openProjectDataset(dir, p); err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil && p.store != nil {
+			p.store.Close()
+			p.store = nil
+		}
+	}()
+	pdir := projectDir(dir, p.ID)
 	cfgBlob, err := os.ReadFile(filepath.Join(pdir, "impulse.json"))
 	if os.IsNotExist(err) {
 		return nil // no impulse configured
@@ -252,4 +355,143 @@ func loadProjectData(dir string, p *Project) error {
 	}
 	p.impulse = imp
 	return nil
+}
+
+// Save durably writes the registry and every project (dataset,
+// impulse design, trained weights) under dir. All metadata files are
+// written atomically (temp file + rename + fsync). Datasets already
+// store-backed at dir persist incrementally, so Save only compacts
+// their manifests; in-memory datasets are exported into fresh
+// segmented stores. Saved state is portable across builds.
+func (r *Registry) Save(dir string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range r.projects {
+		if err := saveProjectDataset(dir, p, dir == r.dir); err != nil {
+			return err
+		}
+		// Serialize with the write-through hooks so a stale render
+		// never lands over a fresher one.
+		r.persistMu.Lock()
+		err := saveProjectMeta(dir, p)
+		r.persistMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if dir == r.dir {
+		return r.persistMetaLocked()
+	}
+	blob, err := r.renderRegistryLocked()
+	if err != nil {
+		return err
+	}
+	return store.AtomicWriteFile(filepath.Join(dir, "registry.json"), blob)
+}
+
+// saveProjectDataset writes one project's dataset to the target root.
+func saveProjectDataset(dir string, p *Project, sameRoot bool) error {
+	pdir := projectDir(dir, p.ID)
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		return err
+	}
+	switch {
+	case p.store != nil && sameRoot:
+		// Already durable under this root: compact the manifest so a
+		// fresh open replays no journal.
+		return p.store.Snapshot()
+	default:
+		// In-memory dataset (or export to a different root): stream
+		// every sample into a segmented store at the target.
+		return exportDataset(p.Dataset(), datasetDir(dir, p.ID))
+	}
+}
+
+// saveProjectMeta atomically writes one project's impulse design and
+// model blobs (no dataset samples — those live in the store).
+func saveProjectMeta(dir string, p *Project) error {
+	pdir := projectDir(dir, p.ID)
+	if err := os.MkdirAll(pdir, 0o755); err != nil {
+		return err
+	}
+	imp := p.Impulse()
+	if imp == nil {
+		return nil
+	}
+	cfg, err := json.Marshal(imp.Config())
+	if err != nil {
+		return err
+	}
+	if err := store.AtomicWriteFile(filepath.Join(pdir, "impulse.json"), cfg); err != nil {
+		return err
+	}
+	if imp.Model != nil {
+		mb, err := tflm.Marshal(tflm.ModelFileFromFloat(imp.Model))
+		if err != nil {
+			return err
+		}
+		if err := store.AtomicWriteFile(filepath.Join(pdir, "model.eptm"), mb); err != nil {
+			return err
+		}
+	}
+	if imp.QModel != nil {
+		qb, err := tflm.Marshal(tflm.ModelFileFromQuant(imp.QModel))
+		if err != nil {
+			return err
+		}
+		if err := store.AtomicWriteFile(filepath.Join(pdir, "model_int8.eptm"), qb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportDataset replaces the segmented store at sdir with the full
+// contents of ds, streaming samples batch-by-batch.
+func exportDataset(ds *data.Dataset, sdir string) error {
+	if err := os.RemoveAll(sdir); err != nil {
+		return err
+	}
+	st, err := store.Open(sdir, store.Options{})
+	if err != nil {
+		return err
+	}
+	it := ds.Batches("", 64)
+	for {
+		batch, ok := it.Next()
+		if !ok {
+			break
+		}
+		for _, s := range batch {
+			if err := st.Append(s); err != nil {
+				st.Close()
+				return err
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		st.Close()
+		return err
+	}
+	return st.Close()
+}
+
+// Close releases every project's store handles. The registry remains
+// readable in memory but stops persisting.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, p := range r.projects {
+		if p.store != nil {
+			if err := p.store.Close(); err != nil && first == nil {
+				first = err
+			}
+			p.store = nil
+		}
+	}
+	return first
 }

@@ -30,7 +30,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range ds.List("") {
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		clone := *s
 		clone.ID = ""
 		if _, err := p.Dataset().Add(&clone); err != nil {
@@ -89,7 +93,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if imp2 == nil || imp2.Model == nil || imp2.QModel == nil {
 		t.Fatal("impulse or models lost")
 	}
-	for _, s := range p.Dataset().List(data.Testing) {
+	for _, h := range p.Dataset().List(data.Testing) {
+		s, err := p.Dataset().Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		a, err := imp.Classify(s.Signal)
 		if err != nil {
 			t.Fatal(err)

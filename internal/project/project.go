@@ -10,12 +10,15 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"edgepulse/internal/core"
 	"edgepulse/internal/data"
+	"edgepulse/internal/store"
 )
 
 // User is one platform account.
@@ -58,8 +61,28 @@ type Project struct {
 	collaborators map[string]bool
 	public        bool
 	dataset       *data.Dataset
-	impulse       *core.Impulse
-	versions      []Version
+	// store is the dataset's segmented backing store when the registry
+	// is durable (opened via Open/Load); nil for in-memory registries.
+	store *store.Store
+	// persist, when set (durable registries), write-through-saves the
+	// project's metadata after a mutation; withModels additionally
+	// rewrites the impulse design and trained model blobs. It must be
+	// invoked WITHOUT p.mu held. Persistence failures are logged, not
+	// returned: the in-memory state is already mutated and the next
+	// Save retries.
+	persist  func(withModels bool)
+	impulse  *core.Impulse
+	versions []Version
+}
+
+// persisted invokes the write-through hook if the registry is durable.
+// withModels must be true only for mutations that change the impulse
+// or its trained weights — model blobs are large and fsynced, so ACL
+// and visibility flips persist registry metadata alone.
+func (p *Project) persisted(withModels bool) {
+	if p.persist != nil {
+		p.persist(withModels)
+	}
 }
 
 // Dataset returns the project's dataset.
@@ -72,11 +95,14 @@ func (p *Project) Impulse() *core.Impulse {
 	return p.impulse
 }
 
-// SetImpulse installs an impulse design.
+// SetImpulse installs an impulse design. On durable registries the
+// design and any trained model blobs persist immediately, so a crash
+// after training keeps the trained impulse.
 func (p *Project) SetImpulse(imp *core.Impulse) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.impulse = imp
+	p.mu.Unlock()
+	p.persisted(true)
 }
 
 // Public reports whether the project is publicly listed.
@@ -89,22 +115,25 @@ func (p *Project) Public() bool {
 // SetPublic toggles public visibility (paper Sec. 6.3).
 func (p *Project) SetPublic(public bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.public = public
+	p.mu.Unlock()
+	p.persisted(false)
 }
 
 // AddCollaborator grants a user access.
 func (p *Project) AddCollaborator(userID string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.collaborators[userID] = true
+	p.mu.Unlock()
+	p.persisted(false)
 }
 
 // RemoveCollaborator revokes access (owners cannot be removed).
 func (p *Project) RemoveCollaborator(userID string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	delete(p.collaborators, userID)
+	p.mu.Unlock()
+	p.persisted(false)
 }
 
 // Collaborators lists user IDs with access (excluding the owner).
@@ -132,7 +161,6 @@ func (p *Project) CanAccess(userID string) bool {
 // Snapshot records a version of the current dataset + impulse design.
 func (p *Project) Snapshot(note string) Version {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	v := Version{
 		ID:             len(p.versions) + 1,
 		Note:           note,
@@ -145,6 +173,8 @@ func (p *Project) Snapshot(note string) Version {
 		}
 	}
 	p.versions = append(p.versions, v)
+	p.mu.Unlock()
+	p.persisted(false)
 	return v
 }
 
@@ -155,16 +185,25 @@ func (p *Project) Versions() []Version {
 	return append([]Version(nil), p.versions...)
 }
 
-// Registry is the in-memory store of users, organizations and projects.
+// Registry is the store of users, organizations and projects. A
+// registry created by NewRegistry is purely in-memory; one opened via
+// Open or Load is rooted at a directory and persists every project's
+// dataset incrementally through internal/store.
 type Registry struct {
-	mu       sync.RWMutex
-	users    map[string]*User // by ID
-	byKey    map[string]*User // by API key
-	orgs     map[string]*Organization
-	projects map[int]*Project
-	nextUser int
-	nextProj int
-	nextOrg  int
+	// dir is the durable root ("" for in-memory registries).
+	dir string
+	// persistMu serializes registry.json writes so a stale snapshot can
+	// never rename over a fresher one. Lock order: r.mu before
+	// persistMu, always.
+	persistMu sync.Mutex
+	mu        sync.RWMutex
+	users     map[string]*User // by ID
+	byKey     map[string]*User // by API key
+	orgs      map[string]*Organization
+	projects  map[int]*Project
+	nextUser  int
+	nextProj  int
+	nextOrg   int
 }
 
 // NewRegistry creates an empty registry.
@@ -200,6 +239,12 @@ func (r *Registry) CreateUser(name string) (*User, error) {
 	}
 	r.users[u.ID] = u
 	r.byKey[u.APIKey] = u
+	if err := r.persistMetaLocked(); err != nil {
+		delete(r.users, u.ID)
+		delete(r.byKey, u.APIKey)
+		r.nextUser--
+		return nil, fmt.Errorf("project: persist registry: %w", err)
+	}
 	return u, nil
 }
 
@@ -239,6 +284,11 @@ func (r *Registry) CreateOrganization(name, ownerID string) (*Organization, erro
 		Members: map[string]bool{ownerID: true},
 	}
 	r.orgs[org.ID] = org
+	if err := r.persistMetaLocked(); err != nil {
+		delete(r.orgs, org.ID)
+		r.nextOrg--
+		return nil, fmt.Errorf("project: persist registry: %w", err)
+	}
 	return org, nil
 }
 
@@ -254,6 +304,10 @@ func (r *Registry) JoinOrganization(orgID, userID string) error {
 		return fmt.Errorf("project: no user %s", userID)
 	}
 	org.Members[userID] = true
+	if err := r.persistMetaLocked(); err != nil {
+		delete(org.Members, userID)
+		return fmt.Errorf("project: persist registry: %w", err)
+	}
 	return nil
 }
 
@@ -277,8 +331,51 @@ func (r *Registry) CreateProject(name, ownerID string) (*Project, error) {
 		collaborators: map[string]bool{},
 		dataset:       data.New(),
 	}
+	if r.dir != "" {
+		// Durable registry: back the dataset with a segmented store so
+		// every upload persists incrementally.
+		if err := openProjectDataset(r.dir, p); err != nil {
+			r.nextProj--
+			return nil, fmt.Errorf("project: open dataset store: %w", err)
+		}
+		p.persist = r.projectPersister(p)
+	}
 	r.projects[p.ID] = p
+	if err := r.persistMetaLocked(); err != nil {
+		delete(r.projects, p.ID)
+		r.nextProj--
+		if p.store != nil {
+			// Roll back the store opened above: release its handles
+			// and remove the half-created dataset directory.
+			p.store.Close()
+			p.store = nil
+			os.RemoveAll(datasetDir(r.dir, p.ID))
+		}
+		return nil, fmt.Errorf("project: persist registry: %w", err)
+	}
 	return p, nil
+}
+
+// projectPersister builds the write-through hook for one project:
+// registry metadata (headers, flags, versions) always, and — only for
+// impulse/model mutations — the project's design and model blobs.
+// Failures are logged; the mutation already happened in memory and the
+// next Save retries the write.
+func (r *Registry) projectPersister(p *Project) func(withModels bool) {
+	return func(withModels bool) {
+		if err := r.persistMeta(); err != nil {
+			slog.Error("project: write-through registry persist failed", "err", err)
+		}
+		if !withModels {
+			return
+		}
+		r.persistMu.Lock()
+		err := saveProjectMeta(r.dir, p)
+		r.persistMu.Unlock()
+		if err != nil {
+			slog.Error("project: write-through project persist failed", "project", p.ID, "err", err)
+		}
+	}
 }
 
 // GetProject returns a project by ID.
@@ -335,16 +432,26 @@ func (r *Registry) CloneProject(srcID int, ownerID string) (*Project, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range src.Dataset().List("") {
-		clone := *s
-		clone.ID = ""
-		clone.Metadata = map[string]string{}
-		for k, v := range s.Metadata {
-			clone.Metadata[k] = v
+	it := src.Dataset().Batches("", 64)
+	for {
+		batch, ok := it.Next()
+		if !ok {
+			break
 		}
-		if _, err := dst.Dataset().Add(&clone); err != nil {
-			return nil, err
+		for _, s := range batch {
+			clone := *s
+			clone.ID = ""
+			clone.Metadata = map[string]string{}
+			for k, v := range s.Metadata {
+				clone.Metadata[k] = v
+			}
+			if _, err := dst.Dataset().Add(&clone); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
 	}
 	if imp := src.Impulse(); imp != nil {
 		cloned, err := core.FromConfig(imp.Config())

@@ -53,7 +53,10 @@ func TestRunClassifierTiming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := ds.List(data.Testing)[0]
+	s, err := ds.Get(ds.List(data.Testing)[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := c.RunClassifier(s.Signal)
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +76,11 @@ func TestClassifierAccuracyOnTestSplit(t *testing.T) {
 	imp, ds := trainedImpulse(t)
 	c, _ := NewClassifier(imp)
 	correct, total := 0, 0
-	for _, s := range ds.List(data.Testing) {
+	for _, h := range ds.List(data.Testing) {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := c.RunClassifier(s.Signal)
 		if err != nil {
 			t.Fatal(err)
@@ -95,7 +102,10 @@ func TestQuantizedPath(t *testing.T) {
 	}
 	c, _ := NewClassifier(imp)
 	c.UseQuantized = true
-	s := ds.List(data.Testing)[0]
+	s, err := ds.Get(ds.List(data.Testing)[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := c.RunClassifier(s.Signal)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +157,11 @@ func TestNewClassifierValidation(t *testing.T) {
 func BenchmarkRunClassifier(b *testing.B) {
 	imp, ds := trainedImpulse(b)
 	c, _ := NewClassifier(imp)
-	sig := ds.List(data.Testing)[0].Signal
+	first, err := ds.Get(ds.List(data.Testing)[0].ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := first.Signal
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -182,7 +196,11 @@ func TestRunClassifierViewRestrictedLearnBlocks(t *testing.T) {
 	}
 	// Widen the mono synth signals to 2 interleaved axes.
 	fused := data.New()
-	for _, s := range ds.List("") {
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		wide := make([]float32, 2*len(s.Signal.Data))
 		for i, v := range s.Signal.Data {
 			wide[2*i], wide[2*i+1] = v, v
@@ -216,7 +234,10 @@ func TestRunClassifierViewRestrictedLearnBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clip := fused.List("")[0]
+	clip, err := fused.Get(fused.List("")[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := c.RunClassifier(clip.Signal)
 	if err != nil {
 		t.Fatal(err)

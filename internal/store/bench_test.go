@@ -1,0 +1,117 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgepulse/internal/data"
+	"edgepulse/internal/dsp"
+)
+
+// benchSample builds one ~4 KB sample (1000 float32 frames).
+func benchSample(i int) *data.Sample {
+	vals := make([]float32, 1000)
+	for j := range vals {
+		vals[j] = float32(i*1000+j) * 0.001
+	}
+	return &data.Sample{
+		ID: fmt.Sprintf("bench-%06d", i), Name: "b", Label: "l",
+		Category: data.Training,
+		Signal:   dsp.Signal{Data: vals, Rate: 100, Axes: 1},
+	}
+}
+
+// jsonBlobSample mirrors the v1 dataset.json schema, used as the
+// full-rewrite baseline the segmented store replaces.
+type jsonBlobSample struct {
+	Name     string            `json:"name"`
+	Label    string            `json:"label"`
+	Category data.Category     `json:"category"`
+	Metadata map[string]string `json:"metadata,omitempty"`
+	Rate     int               `json:"rate,omitempty"`
+	Axes     int               `json:"axes"`
+	Values   []float32         `json:"values"`
+}
+
+// BenchmarkPersistSample measures the persistence cost of ONE uploaded
+// sample at different resident dataset sizes. The store path appends a
+// segment record plus a journal entry — O(sample) — while the
+// json-rewrite baseline re-serializes the whole dataset the way the v1
+// dataset.json blob did — O(dataset). Syncing is disabled on the store
+// so both paths measure pure write-path work.
+func BenchmarkPersistSample(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("store/resident=%d", n), func(b *testing.B) {
+			st, err := Open(b.TempDir(), Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			for i := 0; i < n; i++ {
+				if err := st.Append(benchSample(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Append(benchSample(n + i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("json-rewrite/resident=%d", n), func(b *testing.B) {
+			blob := make([]jsonBlobSample, n)
+			for i := range blob {
+				s := benchSample(i)
+				blob[i] = jsonBlobSample{
+					Name: s.Name, Label: s.Label, Category: s.Category,
+					Rate: s.Signal.Rate, Axes: s.Signal.Axes, Values: s.Signal.Data,
+				}
+			}
+			path := filepath.Join(b.TempDir(), "dataset.json")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One upload under the v1 scheme: marshal and rewrite
+				// every resident sample.
+				out, err := json.Marshal(blob)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := os.WriteFile(path, out, 0o644); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoadSignal measures a cold single-sample read (segment seek
+// + CRC check + CBOR decode), the unit of work behind lazy Batches.
+func BenchmarkLoadSignal(b *testing.B) {
+	st, err := Open(b.TempDir(), Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	const n = 256
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := benchSample(i)
+		ids[i] = s.ID
+		if err := st.Append(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.LoadSignal(ids[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"edgepulse/internal/cbor"
+	"edgepulse/internal/data"
+)
+
+func TestCodecSampleRoundTripEmptyMeta(t *testing.T) {
+	s := mkSample("c0", 4)
+	s.Metadata = nil
+	payload, err := encodeSample(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeSample(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != s.ID || back.Metadata != nil || back.Signal.Rate != 100 {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestDecodeSampleErrors(t *testing.T) {
+	if _, err := decodeSample([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("decoded garbage CBOR")
+	}
+	// Valid CBOR, wrong shape (array, not map).
+	arr, _ := cbor.Marshal([]any{int64(1)})
+	if _, err := decodeSample(arr); err == nil {
+		t.Error("decoded non-map payload")
+	}
+	// Map with a data field that is not a float32 array.
+	bad, _ := cbor.Marshal(map[string]any{"id": "x", "data": []byte{1, 2, 3}})
+	if _, err := decodeSample(bad); err == nil {
+		t.Error("decoded misaligned signal payload")
+	}
+}
+
+func TestParseHeaderMapErrors(t *testing.T) {
+	if _, err := parseHeaderMap(map[string]any{"id": ""}); err == nil {
+		t.Error("accepted header without id")
+	}
+	if _, err := parseHeaderMap(map[string]any{
+		"id": "x", "seg": int64(0), "off": int64(8), "len": int64(1),
+	}); err == nil {
+		t.Error("accepted invalid segment index")
+	}
+}
+
+func TestAsIntShapes(t *testing.T) {
+	for _, tc := range []struct {
+		in   any
+		want int64
+	}{{int64(-3), -3}, {uint64(7), 7}, {float64(2), 2}, {"nope", 0}} {
+		if got := asInt(tc.in); got != tc.want {
+			t.Errorf("asInt(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTimeFromNS(t *testing.T) {
+	if !timeFromNS(0).IsZero() {
+		t.Error("0 should map to the zero time")
+	}
+	if timeFromNS(12345).UnixNano() != 12345 {
+		t.Error("nanosecond round trip")
+	}
+}
+
+// writeJournalRecord frames one CBOR op directly into a journal file,
+// bypassing the store — for poisoning tests.
+func writeJournalRecord(t *testing.T, dir string, op map[string]any) {
+	t.Helper()
+	payload, err := cbor.Marshal(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, journalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, _ := f.Stat()
+	off := st.Size()
+	if off == 0 {
+		if _, err := f.Write(logMagic()); err != nil {
+			t.Fatal(err)
+		}
+		off = logMagicLen
+	}
+	if _, err := f.WriteAt(appendFrame(nil, payload), off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsPoisonJournal(t *testing.T) {
+	cases := []struct {
+		name string
+		op   map[string]any
+		want string
+	}{
+		{"unknown-op", map[string]any{"op": "explode"}, "unknown journal op"},
+		{"add-no-header", map[string]any{"op": opAdd}, "add record without header"},
+		{"remove-unknown", map[string]any{"op": opRemove, "id": "ghost"}, "removes unknown"},
+		{"label-unknown", map[string]any{"op": opLabel, "id": "ghost", "label": "x"}, "relabels unknown"},
+		{"cats-no-map", map[string]any{"op": opCats}, "cats record without map"},
+		{"add-bad-loc", map[string]any{"op": opAdd, "h": map[string]any{
+			"id": "x", "seg": int64(0), "off": int64(8), "len": int64(4),
+		}}, "invalid location"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeJournalRecord(t, dir, tc.op)
+			_, err := Open(dir, Options{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsDuplicateAdd(t *testing.T) {
+	dir := t.TempDir()
+	h := headerMap(data.Header{ID: "dup", Label: "l", AddedAt: time.Unix(1, 0)},
+		location{Segment: 1, Offset: 8, Length: 4})
+	writeJournalRecord(t, dir, map[string]any{"op": opAdd, "h": h})
+	writeJournalRecord(t, dir, map[string]any{"op": opAdd, "h": h})
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v, want duplicate rejection", err)
+	}
+}
+
+func TestScanRejectsForeignMagic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte("NOTALOG0plus-stuff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+	// Right magic, unsupported format version.
+	m := logMagic()
+	m[5] = 99
+	if err := os.WriteFile(filepath.Join(dir, journalName), m, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "unsupported log format") {
+		t.Fatalf("err = %v, want unsupported format", err)
+	}
+}
+
+func TestLoadSignalDetectsBitRot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mkSample("rot", 64)
+	if err := st.Append(s); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Flip one byte inside the committed record's payload (not the
+	// tail — a fully committed, manifest-referenced record).
+	segPath := filepath.Join(dir, segmentDir, segmentName(1))
+	f, err := os.OpenFile(segPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], logMagicLen+frameHeaderLen+20); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x55
+	if _, err := f.WriteAt(b[:], logMagicLen+frameHeaderLen+20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if _, err := st2.LoadSignal("rot"); err == nil || !strings.Contains(err.Error(), "CRC mismatch") {
+		t.Fatalf("bit rot not detected: %v", err)
+	}
+}
+
+func TestDirAndExplicitSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	if st.Dir() != dir {
+		t.Errorf("Dir() = %q", st.Dir())
+	}
+	if err := st.Append(mkSample("s0", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if st.journalRecs != 0 {
+		t.Error("journal not truncated after explicit snapshot")
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := parseManifest(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 || len(m.Samples) != 1 {
+		t.Fatalf("manifest: %+v", m)
+	}
+}
+
+func TestSpoolAddAfterClose(t *testing.T) {
+	sp, err := OpenSpool(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Close()
+	if err := sp.Add([]byte("x")); err == nil {
+		t.Error("Add after Close accepted")
+	}
+	if err := sp.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+}
+
+func TestManifestUnknownFieldRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"format":1,"version":0,"segment":1,"samples":[],"surprise":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "corrupt manifest") {
+		t.Fatalf("err = %v, want unknown-field rejection", err)
+	}
+	// Unsupported format version is also rejected.
+	if err := os.WriteFile(filepath.Join(dir, manifestName),
+		[]byte(`{"format":99,"version":0,"segment":1,"samples":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "unsupported manifest format") {
+		t.Fatalf("err = %v, want format rejection", err)
+	}
+}

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"edgepulse/internal/data"
+)
+
+// crashState captures everything a crash must not lose.
+type crashState struct {
+	version uint64
+	content string // data.Dataset content hash
+	headers []data.Header
+}
+
+func captureState(t *testing.T, st *Store) crashState {
+	t.Helper()
+	ds, err := data.Open(st, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, _ := st.Headers()
+	return crashState{version: st.Committed(), content: ds.Version(), headers: headersComparable(hs)}
+}
+
+func assertState(t *testing.T, st *Store, want crashState) {
+	t.Helper()
+	got := captureState(t, st)
+	if got.version != want.version {
+		t.Errorf("committed version = %d, want %d", got.version, want.version)
+	}
+	if got.content != want.content {
+		t.Errorf("dataset content hash = %s, want %s", got.content, want.content)
+	}
+	if !reflect.DeepEqual(got.headers, want.headers) {
+		t.Errorf("headers diverged:\n%+v\nvs\n%+v", got.headers, want.headers)
+	}
+	for _, h := range want.headers {
+		if _, err := st.LoadSignal(h.ID); err != nil {
+			t.Errorf("committed sample %s unreadable after recovery: %v", h.ID, err)
+		}
+	}
+}
+
+// fileSize stats a file.
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+// truncateTo simulates a crash that tore a file at the given size.
+func truncateTo(t *testing.T, path string, size int64) {
+	t.Helper()
+	if err := os.Truncate(path, size); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverTornAppend simulates a crash in the middle of persisting
+// one upload: both the segment record and its journal entry are torn.
+// Recovery must drop exactly that record and restore the pre-crash
+// committed state — version counter, content hash and every committed
+// signal byte.
+func TestRecoverTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	segPath := filepath.Join(dir, segmentDir, segmentName(1))
+	jPath := filepath.Join(dir, journalName)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := st.Append(mkSample(fmt.Sprintf("t%02d", i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := captureState(t, st)
+	segCommitted := fileSize(t, segPath)
+	jCommitted := fileSize(t, jPath)
+
+	// One more append lands on disk...
+	if err := st.Append(mkSample("torn", 64)); err != nil {
+		t.Fatal(err)
+	}
+	// ...then the "crash": no Close (no snapshot), and both tails torn
+	// mid-frame.
+	truncateTo(t, segPath, segCommitted+11)
+	truncateTo(t, jPath, jCommitted+5)
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	assertState(t, st2, want)
+	if got := fileSize(t, segPath); got != segCommitted {
+		t.Errorf("segment not truncated to committed end: %d != %d", got, segCommitted)
+	}
+	// The store keeps working after recovery: the torn sample can be
+	// re-appended and read back.
+	if err := st2.Append(mkSample("torn", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.LoadSignal("torn"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverCorruptJournalTail flips a byte inside the journal's last
+// record: the CRC rejects it and recovery rolls back exactly that
+// operation.
+func TestRecoverCorruptJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	jPath := filepath.Join(dir, journalName)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := st.Append(mkSample(fmt.Sprintf("j%02d", i), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := captureState(t, st)
+	jCommitted := fileSize(t, jPath)
+	if err := st.SetLabel("j01", "flipped"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one byte inside the relabel record's payload.
+	f, err := os.OpenFile(jPath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], jCommitted+frameHeaderLen+2); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], jCommitted+frameHeaderLen+2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	assertState(t, st2, want)
+	hs, _ := st2.Headers()
+	for _, h := range hs {
+		if h.Label == "flipped" {
+			t.Error("corrupt relabel survived recovery")
+		}
+	}
+}
+
+// TestRecoverManifestMidWrite simulates dying inside a manifest
+// snapshot: the atomic-write protocol leaves the old manifest.json
+// intact plus an orphan temp file, which recovery must ignore.
+func TestRecoverManifestMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := st.Append(mkSample(fmt.Sprintf("m%02d", i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := captureState(t, st)
+	// Crash mid-snapshot: a half-written temp manifest next to the
+	// durable one.
+	tmp := filepath.Join(dir, manifestName+".tmp-crash")
+	if err := os.WriteFile(tmp, []byte(`{"format":1,"version":9999,"samples":[{"id":"gar`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	assertState(t, st2, want)
+}
+
+// TestCorruptManifestFailsLoudly: a damaged manifest.json (not a torn
+// temp file — the durable snapshot itself) must refuse to open rather
+// than silently drop data.
+func TestCorruptManifestFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := st.Append(mkSample(fmt.Sprintf("x%02d", i), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("opened a store with a corrupt manifest snapshot")
+	}
+}
+
+// TestRecoverTornSegmentCreation: a crash can create a segment file
+// whose 8-byte header itself is torn.
+func TestRecoverTornSegmentCreation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(mkSample("h0", 8)); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, st)
+	// Crash while rolling to segment 2: 3 bytes of header.
+	if err := os.WriteFile(filepath.Join(dir, segmentDir, segmentName(2)), []byte("EPL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	assertState(t, st2, want)
+	// New appends land in the repaired segment 2.
+	if err := st2.Append(mkSample("h1", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.LoadSignal("h1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpoolRecoversTornTail: a daemon crash mid-append loses only the
+// torn document.
+func TestSpoolRecoversTornTail(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add([]byte("complete-doc")); err != nil {
+		t.Fatal(err)
+	}
+	sp.Close()
+	logPath := filepath.Join(dir, spoolLogName)
+	committed := fileSize(t, logPath)
+	// Torn frame at the tail.
+	f, _ := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	f.Write([]byte{0xAB, 0xCD, 0xEF})
+	f.Close()
+
+	sp2, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	if got := sp2.Pending(); len(got) != 1 || string(got[0]) != "complete-doc" {
+		t.Fatalf("pending after torn tail: %q", got)
+	}
+	if fileSize(t, logPath) != committed {
+		t.Error("torn tail not truncated")
+	}
+}
+
+// TestRecoverSnapshotWithoutTruncation covers a crash between the
+// manifest rename and the journal truncation inside a snapshot: the
+// surviving journal still holds every operation the fresh snapshot
+// already contains. Replay must skip those (version-stamped) ops
+// instead of failing on duplicate adds / missing removes.
+func TestRecoverSnapshotWithoutTruncation(t *testing.T) {
+	dir := t.TempDir()
+	jPath := filepath.Join(dir, journalName)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := st.Append(mkSample(fmt.Sprintf("sn%d", i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Remove("sn1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetLabel("sn2", "kept"); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, st)
+	// Preserve the journal as it was before the snapshot truncates it.
+	journalBytes, err := os.ReadFile(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash" between rename and truncation: restore the old journal
+	// next to the new manifest.
+	if err := os.WriteFile(jPath, journalBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("store bricked by snapshot crash: %v", err)
+	}
+	defer st2.Close()
+	assertState(t, st2, want)
+	// And it still accepts new committed work afterwards.
+	if err := st2.Append(mkSample("after", 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.LoadSignal("after"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgepulse/internal/data"
+)
+
+// White-box fault injection: sever the store's file handles or
+// directories out from under it and check every write path fails
+// loudly instead of acknowledging unpersisted data.
+
+func TestWritesFailWhenJournalSevered(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	if err := st.Append(mkSample("ok", 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the journal: every subsequent mutation must error.
+	st.journal.Close()
+	if err := st.Append(mkSample("lost", 8)); err == nil {
+		t.Error("Append acknowledged with a dead journal")
+	}
+	if err := st.Remove("ok"); err == nil {
+		t.Error("Remove acknowledged with a dead journal")
+	}
+	if err := st.SetLabel("ok", "x"); err == nil {
+		t.Error("SetLabel acknowledged with a dead journal")
+	}
+	if err := st.SetCategories(map[string]data.Category{"ok": data.Testing}); err == nil {
+		t.Error("SetCategories acknowledged with a dead journal")
+	}
+	// In-memory state must not have applied the failed mutations.
+	hs, _ := st.Headers()
+	if len(hs) != 1 || hs[0].ID != "ok" || hs[0].Label != "l-ok" || hs[0].Category != data.Training {
+		t.Fatalf("failed mutations leaked into state: %+v", hs)
+	}
+}
+
+func TestSnapshotFailsWithoutDirectory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(mkSample("s", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Snapshot(); err == nil {
+		t.Error("Snapshot succeeded with its directory gone")
+	}
+}
+
+func TestRollFailsWithoutSegmentsDir(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SegmentBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(mkSample("first", 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, segmentDir)); err != nil {
+		t.Fatal(err)
+	}
+	// Next append needs a roll (tiny threshold) and must fail.
+	var rollErr error
+	for i := 0; i < 8; i++ {
+		if rollErr = st.Append(mkSample("fill", 64)); rollErr != nil {
+			break
+		}
+	}
+	if rollErr == nil {
+		t.Error("segment roll succeeded with segments/ gone")
+	}
+}
+
+func TestOpenFailsOnUnreadableDir(t *testing.T) {
+	// A file where the store directory should be.
+	parent := t.TempDir()
+	path := filepath.Join(parent, "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Error("opened a store rooted at a regular file")
+	}
+	if _, err := OpenSpool(path); err == nil {
+		t.Error("opened a spool rooted at a regular file")
+	}
+}

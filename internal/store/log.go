@@ -1,0 +1,239 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Framed-record log format, shared by segment files, the manifest
+// journal and the upload spool. Byte-level spec in docs/STORAGE.md.
+//
+//	file   := magic record*
+//	magic  := 8 bytes: "EPLG" + u16be(format) + 2 reserved zero bytes
+//	record := u32le(len(payload)) u32le(crc32c(payload)) payload
+//
+// A record is committed iff its frame is fully present and the CRC
+// matches. Recovery scans from the header and truncates the file at the
+// first torn or corrupt frame — everything before it is kept,
+// everything after is discarded.
+
+// logFormat is the current framed-log format version.
+const logFormat = 1
+
+// logMagicLen is the size of the fixed file header.
+const logMagicLen = 8
+
+// frameHeaderLen is the per-record frame overhead (length + CRC).
+const frameHeaderLen = 8
+
+// maxRecordLen bounds a single record payload (1 GiB): a length word
+// beyond it is treated as corruption, not an allocation request.
+const maxRecordLen = 1 << 30
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// most platforms).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// logMagic renders the 8-byte file header.
+func logMagic() []byte {
+	m := make([]byte, logMagicLen)
+	copy(m, "EPLG")
+	binary.BigEndian.PutUint16(m[4:6], logFormat)
+	return m
+}
+
+// checkMagic validates a file header.
+func checkMagic(m []byte) error {
+	if len(m) < logMagicLen || string(m[:4]) != "EPLG" {
+		return fmt.Errorf("store: not a framed log (bad magic)")
+	}
+	if f := binary.BigEndian.Uint16(m[4:6]); f != logFormat {
+		return fmt.Errorf("store: unsupported log format %d (want %d)", f, logFormat)
+	}
+	return nil
+}
+
+// appendFrame encodes one record frame into buf (reusing its storage)
+// and returns the framed bytes.
+func appendFrame(buf []byte, payload []byte) []byte {
+	buf = buf[:0]
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// frameSize is the on-disk size of a record with the given payload.
+func frameSize(payloadLen int) int64 { return int64(frameHeaderLen + payloadLen) }
+
+// readFrame reads and verifies the record at off. It returns the
+// payload and the offset just past the frame.
+func readFrame(r io.ReaderAt, off, size int64) ([]byte, int64, error) {
+	var hdr [frameHeaderLen]byte
+	if off+frameHeaderLen > size {
+		return nil, off, io.ErrUnexpectedEOF
+	}
+	if _, err := r.ReadAt(hdr[:], off); err != nil {
+		return nil, off, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxRecordLen || off+frameSize(int(n)) > size {
+		return nil, off, io.ErrUnexpectedEOF
+	}
+	payload := make([]byte, n)
+	if _, err := r.ReadAt(payload, off+frameHeaderLen); err != nil {
+		return nil, off, err
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, off, fmt.Errorf("store: record at offset %d: CRC mismatch", off)
+	}
+	return payload, off + frameSize(int(n)), nil
+}
+
+// scanLog walks every committed record of an open framed log, calling
+// fn(payload, off) for each. It returns the committed end offset: the
+// first torn or corrupt frame (and everything after it) is excluded.
+func scanLog(f *os.File, fn func(payload []byte, off int64) error) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	magic := make([]byte, logMagicLen)
+	if size < logMagicLen {
+		// Torn file header (crash during creation): treat as empty.
+		return 0, nil
+	}
+	if _, err := f.ReadAt(magic, 0); err != nil {
+		return 0, err
+	}
+	if err := checkMagic(magic); err != nil {
+		return 0, err
+	}
+	off := int64(logMagicLen)
+	for off < size {
+		payload, next, err := readFrame(f, off, size)
+		if err != nil {
+			// Torn tail: recovery keeps the committed prefix.
+			return off, nil
+		}
+		if fn != nil {
+			if err := fn(payload, off); err != nil {
+				return off, err
+			}
+		}
+		off = next
+	}
+	return off, nil
+}
+
+// openLog opens (creating if needed) a framed log for appending,
+// recovers its committed prefix via scanLog, truncates any torn tail,
+// and returns the file positioned at the committed end.
+func openLog(path string, fn func(payload []byte, off int64) error) (*os.File, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(logMagic()); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		return f, logMagicLen, nil
+	}
+	end, err := scanLog(f, fn)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if end < logMagicLen {
+		// The header itself was torn; rewrite it.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if _, err := f.WriteAt(logMagic(), 0); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		end = logMagicLen
+	} else if end < st.Size() {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, end, nil
+}
+
+// syncDir fsyncs a directory so a just-created or renamed file's
+// directory entry is durable. Filesystems that simply do not support
+// directory fsync are tolerated; real I/O errors propagate.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) ||
+			errors.Is(err, syscall.EBADF) || os.IsPermission(err) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// AtomicWriteFile durably replaces path with data: write to a temp file
+// in the same directory, fsync, rename over the target, fsync the
+// directory. Readers see either the old or the new complete content.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

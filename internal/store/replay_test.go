@@ -1,0 +1,238 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgepulse/internal/data"
+)
+
+// TestReplayWithoutSnapshot reopens a store whose journal was never
+// compacted (crash-style: no Close), exercising the replay path for
+// every operation type.
+func TestReplayWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Append(mkSample(fmt.Sprintf("p%d", i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Remove("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetLabel("p2", "relit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetCategories(map[string]data.Category{"p3": data.Testing, "p4": data.Testing}); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, st)
+	// No Close: the journal still holds all 8 operations.
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.journalRecs != 8 {
+		t.Fatalf("replayed %d journal records, want 8", st2.journalRecs)
+	}
+	assertState(t, st2, want)
+	hs, _ := st2.Headers()
+	byID := map[string]data.Header{}
+	for _, h := range hs {
+		byID[h.ID] = h
+	}
+	if _, gone := byID["p1"]; gone {
+		t.Error("removed sample reappeared")
+	}
+	if byID["p2"].Label != "relit" {
+		t.Error("relabel lost in replay")
+	}
+	if byID["p3"].Category != data.Testing || byID["p4"].Category != data.Testing {
+		t.Error("category batch lost in replay")
+	}
+}
+
+// TestOpenRepairsTornJournalHeader: a crash during journal creation
+// can leave fewer than 8 header bytes; open must rewrite it and carry
+// on empty.
+func TestOpenRepairsTornJournalHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte("EPLG\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Len() != 0 {
+		t.Fatal("phantom samples")
+	}
+	if err := st.Append(mkSample("fresh", 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRejectsForeignActiveSegment: an active segment whose magic
+// belongs to another format refuses to open.
+func TestOpenRejectsForeignActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(mkSample("s", 4)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	seg := filepath.Join(dir, segmentDir, segmentName(1))
+	blob, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(blob, "XXXX")
+	if err := os.WriteFile(seg, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("err = %v, want bad magic", err)
+	}
+}
+
+// TestNoSyncStillRecovers: the NoSync benchmark mode changes
+// durability-on-power-loss, not the on-disk format — recovery still
+// works on a cleanly flushed file.
+func TestNoSyncStillRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Append(mkSample(fmt.Sprintf("n%d", i), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := captureState(t, st)
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	assertState(t, st2, want)
+}
+
+// TestSpoolCheckpointClampedToRecoveredLog: if the log lost a torn
+// tail but the checkpoint (written first) points past it, the
+// checkpoint clamps to the recovered end instead of inventing pending
+// work.
+func TestSpoolCheckpointClamped(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add([]byte("doc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Ack(1); err != nil {
+		t.Fatal(err)
+	}
+	sp.Close()
+	// Fake a checkpoint pointing far past the (now reset) log.
+	if err := os.WriteFile(filepath.Join(dir, spoolCkptName), ckptBlob(1<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	if got := sp2.Pending(); len(got) != 0 {
+		t.Fatalf("phantom pending docs: %q", got)
+	}
+}
+
+// TestLoadSignalDetectsIndexCorruption: a journal record whose
+// location points at another sample's bytes is caught by the id check
+// on read.
+func TestLoadSignalDetectsIndexCorruption(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-craft segment 1 with a record for sample "real".
+	if err := os.MkdirAll(filepath.Join(dir, segmentDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := encodeSample(mkSample("real", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segBytes := append(logMagic(), appendFrame(nil, payload)...)
+	if err := os.WriteFile(filepath.Join(dir, segmentDir, segmentName(1)), segBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Journal claims sample "fake" lives at real's location.
+	writeJournalRecord(t, dir, map[string]any{"op": opAdd, "h": headerMap(
+		data.Header{ID: "fake", Label: "l"},
+		location{Segment: 1, Offset: logMagicLen, Length: int64(len(payload))},
+	)})
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.LoadSignal("fake"); err == nil || !strings.Contains(err.Error(), "index corruption") {
+		t.Fatalf("err = %v, want index corruption", err)
+	}
+}
+
+// TestAppendAfterReplayKeepsJournalValid is the regression test for a
+// real bug: after a recovery scan the journal file handle's offset sat
+// at 0, so the next append clobbered the log header. Mutating a
+// reopened (unsnapshotted) store must survive a further reopen.
+func TestAppendAfterReplayKeepsJournalValid(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(mkSample("g0", 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash-style reopen (journal unsnapshotted), then more appends.
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Append(mkSample("g1", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.SetLabel("g0", "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, st2)
+	// Third open replays header + 3 ops; then once more after a clean
+	// Close (snapshot path).
+	st3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertState(t, st3, want)
+	if err := st3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st4, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st4.Close()
+	assertState(t, st4, want)
+}

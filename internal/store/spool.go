@@ -1,0 +1,158 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Spool is a crash-safe upload spool: a device daemon appends each
+// acquired document before attempting the network upload, advances a
+// checkpoint after the server acknowledges it, and on restart replays
+// exactly the documents that were acquired but never acknowledged. A
+// crash mid-append loses only the torn record (dropped by framed-log
+// recovery); a crash between upload and checkpoint re-uploads one
+// document, which the server's content-addressed dedup absorbs.
+type Spool struct {
+	dir string
+
+	mu   sync.Mutex
+	f    *os.File
+	end  int64 // committed end of the log
+	recs []spoolRec
+	ack  int64 // checkpoint: records ending at or before this offset are uploaded
+}
+
+// spoolRec is one spooled document and where its frame ends.
+type spoolRec struct {
+	doc []byte
+	end int64
+}
+
+// Spool file names.
+const (
+	spoolLogName  = "spool.log"
+	spoolCkptName = "spool.ckpt"
+)
+
+// spoolCkpt is the JSON schema of the checkpoint file.
+type spoolCkpt struct {
+	// Ack is the log offset up to which records are acknowledged.
+	Ack int64 `json:"ack"`
+}
+
+// OpenSpool opens (creating if needed) a spool in dir, recovering the
+// committed log prefix and the last durable checkpoint.
+func OpenSpool(dir string) (*Spool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Spool{dir: dir}
+	f, end, err := openLog(filepath.Join(dir, spoolLogName), func(payload []byte, off int64) error {
+		s.recs = append(s.recs, spoolRec{
+			doc: append([]byte(nil), payload...),
+			end: off + frameSize(len(payload)),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.f, s.end = f, end
+	if blob, err := os.ReadFile(filepath.Join(dir, spoolCkptName)); err == nil {
+		var c spoolCkpt
+		if json.Unmarshal(blob, &c) == nil && c.Ack > 0 {
+			s.ack = c.Ack
+		}
+	}
+	if s.ack > s.end {
+		// Checkpoint ahead of a recovered (truncated) log: every
+		// surviving record is acknowledged.
+		s.ack = s.end
+	}
+	return s, nil
+}
+
+// Add durably appends one document to the spool.
+func (s *Spool) Add(doc []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: spool closed")
+	}
+	frame := appendFrame(nil, doc)
+	if _, err := s.f.WriteAt(frame, s.end); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.end += int64(len(frame))
+	s.recs = append(s.recs, spoolRec{doc: append([]byte(nil), doc...), end: s.end})
+	return nil
+}
+
+// Pending returns the documents appended but not yet acknowledged, in
+// order.
+func (s *Spool) Pending() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][]byte
+	for _, r := range s.recs {
+		if r.end > s.ack {
+			out = append(out, r.doc)
+		}
+	}
+	return out
+}
+
+// Ack durably acknowledges the next n pending documents (after their
+// upload succeeded). When the whole spool is acknowledged the log is
+// truncated so it never grows without bound.
+func (s *Spool) Ack(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.recs {
+		if n == 0 {
+			break
+		}
+		if r.end > s.ack {
+			s.ack = r.end
+			n--
+		}
+	}
+	if s.ack >= s.end && s.end > logMagicLen {
+		// Fully drained: reset the log and checkpoint together.
+		if err := s.f.Truncate(logMagicLen); err != nil {
+			return err
+		}
+		if err := s.f.Sync(); err != nil {
+			return err
+		}
+		s.end = logMagicLen
+		s.ack = 0
+		s.recs = nil
+		return AtomicWriteFile(filepath.Join(s.dir, spoolCkptName), ckptBlob(0))
+	}
+	return AtomicWriteFile(filepath.Join(s.dir, spoolCkptName), ckptBlob(s.ack))
+}
+
+// ckptBlob renders a checkpoint file.
+func ckptBlob(ack int64) []byte {
+	blob, _ := json.Marshal(spoolCkpt{Ack: ack})
+	return append(blob, '\n')
+}
+
+// Close releases the spool's file handle.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

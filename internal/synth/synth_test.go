@@ -125,7 +125,11 @@ func TestVWWDataset(t *testing.T) {
 	if len(labels) != 2 {
 		t.Fatalf("labels %v", labels)
 	}
-	for _, s := range ds.List("") {
+	for _, h := range ds.List("") {
+		s, err := ds.Get(h.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if s.Signal.Width != 32 || s.Signal.Height != 32 || s.Signal.Axes != 3 {
 			t.Fatalf("image dims: %+v", s.Signal)
 		}

@@ -35,14 +35,20 @@ func AutotuneDSP(ds *data.Dataset, input core.InputBlock, blockName string, cand
 	if len(labels) < 2 {
 		return nil, fmt.Errorf("tuner: autotune needs >= 2 classes, have %d", len(labels))
 	}
-	samples := ds.List(data.Training)
+	// Cap work per candidate: stream the first maxSamples training
+	// samples out of the (possibly lazy) dataset once, reusing them
+	// across candidates.
+	const maxSamples = 60
+	var samples []*data.Sample
+	it := ds.Batches(data.Training, maxSamples)
+	if batch, ok := it.Next(); ok {
+		samples = batch
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("tuner: no training samples")
-	}
-	// Cap work per candidate.
-	const maxSamples = 60
-	if len(samples) > maxSamples {
-		samples = samples[:maxSamples]
 	}
 	var out []AutotuneResult
 	for _, params := range candidates {

@@ -12,8 +12,9 @@ cd "$(dirname "$0")/.."
 
 benchtime=${BENCHTIME:-1s}
 pattern=${BENCH:-.}
-# Root ablation/table benchmarks plus the kernel microbenchmarks.
-pkgs=(. ./internal/fft ./internal/nn ./internal/dsp ./internal/quant)
+# Root ablation/table benchmarks plus the kernel microbenchmarks and
+# the storage engine (upload persistence + cold signal reads).
+pkgs=(. ./internal/fft ./internal/nn ./internal/dsp ./internal/quant ./internal/store)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# check_links.sh — fail on broken relative links in the repo's Markdown
+# docs (README.md and docs/*.md). External http(s) links are skipped;
+# anchors are stripped before checking the target path.
+#
+# Usage: scripts/check_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  base=$(dirname "$doc")
+  # Extract every markdown link target: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;; # in-page anchor
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$base/$path" ]; then
+      echo "::error::$doc: broken relative link -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "broken links found" >&2
+  exit 1
+fi
+echo "all relative doc links resolve"
