@@ -18,6 +18,7 @@
 //	ei-cli -key KEY job -id job-1 [-wait]
 //	ei-cli -key KEY jobs watch -id job-1
 //	ei-cli -key KEY jobs cancel -id job-1
+//	ei-cli -key KEY stream -project 1 [-threshold 0.6 -smooth 2] file.wav
 package main
 
 import (
@@ -67,6 +68,8 @@ func main() {
 		err = job(ctx, c, args[1:])
 	case "jobs":
 		err = jobsCmd(ctx, c, args[1:])
+	case "stream":
+		err = streamCmd(ctx, c, args[1:])
 	default:
 		usage()
 	}
@@ -77,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|data|blocks|impulse|train|job|jobs> ...")
+	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|data|blocks|impulse|train|job|jobs|stream> ...")
 	os.Exit(2)
 }
 
@@ -384,6 +387,100 @@ func jobsCmd(ctx context.Context, c *client.Client, args []string) error {
 	default:
 		return fmt.Errorf("unknown jobs subcommand %q (want watch or cancel)", args[0])
 	}
+}
+
+// streamCmd pushes a wav file through a live inference session in
+// stride-sized chunks and renders the rolling results and debounced
+// detections from the session's event feed — the CLI face of the
+// streaming gateway.
+func streamCmd(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	projectID := fs.Int("project", 0, "project id")
+	strideMS := fs.Int("stride-ms", 0, "classification stride override in ms (0 = impulse default)")
+	quantized := fs.Bool("quantized", false, "classify with the int8 model")
+	threshold := fs.Float64("threshold", 0, "detection threshold (0 = server default)")
+	release := fs.Float64("release", 0, "hysteresis re-arm level (0 = 0.75*threshold)")
+	smooth := fs.Int("smooth", 0, "score moving-average depth in windows (0 = server default)")
+	suppress := fs.Int("suppress", 0, "refractory windows after a detection")
+	ignore := fs.String("ignore", "noise", "comma-separated labels that never fire detections")
+	fs.Parse(args)
+	if *projectID == 0 || fs.NArg() != 1 {
+		return fmt.Errorf("usage: stream -project N [-threshold T -smooth W] file.wav")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	audio, err := wav.Decode(f)
+	if err != nil {
+		return err
+	}
+
+	var ignoreLabels []string
+	for _, l := range strings.Split(*ignore, ",") {
+		if l = strings.TrimSpace(l); l != "" {
+			ignoreLabels = append(ignoreLabels, l)
+		}
+	}
+	sess, err := c.OpenStream(ctx, *projectID, v1.StreamOpenRequest{
+		StrideMS:     *strideMS,
+		Quantized:    *quantized,
+		Threshold:    float32(*threshold),
+		Release:      float32(*release),
+		Smooth:       *smooth,
+		Suppress:     *suppress,
+		IgnoreLabels: ignoreLabels,
+	})
+	if err != nil {
+		return err
+	}
+	if audio.Channels != sess.Info.Axes {
+		return fmt.Errorf("%s has %d channels, impulse expects %d axes", fs.Arg(0), audio.Channels, sess.Info.Axes)
+	}
+	if audio.Rate != sess.Info.Rate {
+		fmt.Fprintf(os.Stderr, "warning: %s is %d Hz, impulse expects %d Hz\n", fs.Arg(0), audio.Rate, sess.Info.Rate)
+	}
+	fmt.Printf("session %s: %d-sample windows every %d samples, classes %v\n",
+		sess.ID(), sess.Info.WindowSamples, sess.Info.StrideSamples, sess.Info.Classes)
+
+	tailCtx, cancelTail := context.WithCancel(ctx)
+	defer cancelTail()
+	tailDone := make(chan error, 1)
+	go func() {
+		tailDone <- sess.Events(tailCtx, 0, func(e v1.StreamEvent) error {
+			switch e.Type {
+			case "result":
+				fmt.Printf("  window @ %6.2fs  %-8s %.2f\n",
+					float64(e.WindowStart)/float64(sess.Info.Rate), e.Label, e.Score)
+			case "detection":
+				fmt.Printf("*** detected %q (smoothed %.2f) at %.2fs\n",
+					e.Label, e.Score, float64(e.WindowStart)/float64(sess.Info.Rate))
+			}
+			return nil
+		})
+	}()
+
+	chunk := sess.Info.StrideSamples * sess.Info.Axes
+	for off := 0; off < len(audio.Samples); off += chunk {
+		end := off + chunk
+		if end > len(audio.Samples) {
+			end = len(audio.Samples)
+		}
+		if _, err := sess.Push(ctx, audio.Samples[off:end]); err != nil {
+			return err
+		}
+	}
+	closed, err := sess.Close(ctx)
+	if err != nil {
+		return err
+	}
+	if err := <-tailDone; err != nil {
+		return err
+	}
+	fmt.Printf("closed: %d frames in, %d windows, %d detections, %d dropped\n",
+		closed.Stats.FramesIn, closed.Stats.Windows, closed.Stats.Detections, closed.Stats.Dropped)
+	return nil
 }
 
 // watchJob renders the live event stream: state transitions, a progress

@@ -20,6 +20,15 @@
 // boot it recovers the spool — truncating any record torn by a crash —
 // and re-uploads whatever the server never acknowledged, so a daemon
 // killed mid-session loses at most the window being written.
+//
+// With -stream the daemon switches from dataset ingestion to live
+// inference: it opens a streaming session against the project's trained
+// impulse, forwards the simulated sensor feed chunk by chunk, and
+// prints the rolling window results and debounced detection events as
+// they arrive on the session's event feed:
+//
+//	ei-daemon -server http://localhost:4800 -key APIKEY -project 1 \
+//	          -stream -signal keyword:yes -seconds 12 -events 3
 package main
 
 import (
@@ -53,8 +62,22 @@ func main() {
 	signalKind := flag.String("signal", "keyword:yes", "simulated signal (keyword:<word> | vibration:normal | vibration:fault)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	spoolDir := flag.String("spool", "", "crash-safe local spool directory (recovered and drained at boot)")
+	streamMode := flag.Bool("stream", false, "live streaming inference against the project's trained impulse instead of dataset ingestion")
+	seconds := flag.Float64("seconds", 12, "stream duration in seconds (-stream)")
+	events := flag.Int("events", 3, "keyword occurrences embedded in the stream (-stream, keyword signals)")
+	strideMS := flag.Int("stride-ms", 0, "classification stride override in ms (-stream, 0 = impulse default)")
+	threshold := flag.Float64("threshold", 0, "detection threshold (-stream, 0 = server default)")
+	release := flag.Float64("release", 0, "hysteresis re-arm level (-stream, 0 = 0.75*threshold)")
+	smooth := flag.Int("smooth", 0, "score moving-average depth in windows (-stream, 0 = server default)")
+	suppress := flag.Int("suppress", 0, "refractory windows after a detection (-stream)")
+	ignore := flag.String("ignore", "noise", "comma-separated labels that never fire detections (-stream)")
 	flag.Parse()
-	if *key == "" || *projectID == 0 || *hmacKey == "" || *label == "" {
+	if *streamMode {
+		if *key == "" || *projectID == 0 {
+			fmt.Fprintln(os.Stderr, "usage: ei-daemon -stream -server URL -key APIKEY -project N [-signal keyword:yes] [-seconds S] [-events N]")
+			os.Exit(2)
+		}
+	} else if *key == "" || *projectID == 0 || *hmacKey == "" || *label == "" {
 		fmt.Fprintln(os.Stderr, "usage: ei-daemon -server URL -key APIKEY -project N -hmac HMACKEY -label L [-samples N]")
 		os.Exit(2)
 	}
@@ -65,6 +88,22 @@ func main() {
 	defer stop()
 
 	c := client.New(*server, client.WithAPIKey(*key))
+	if *streamMode {
+		if err := runStream(ctx, c, *projectID, *signalKind, streamOpts{
+			Seconds: *seconds, Events: *events, Seed: *seed,
+			Open: v1.StreamOpenRequest{
+				StrideMS:     *strideMS,
+				Threshold:    float32(*threshold),
+				Release:      float32(*release),
+				Smooth:       *smooth,
+				Suppress:     *suppress,
+				IgnoreLabels: splitLabels(*ignore),
+			},
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	up := &uploader{ctx: ctx, c: c, project: *projectID, label: *label}
 	if *spoolDir != "" {
 		sp, err := store.OpenSpool(*spoolDir)
@@ -242,6 +281,116 @@ func buildDevice(kind, hmacKey string, seed int64) (*firmware.Device, error) {
 	default:
 		return nil, fmt.Errorf("unknown signal kind %q", kind)
 	}
+}
+
+// streamOpts bundles the -stream mode knobs.
+type streamOpts struct {
+	Seconds float64
+	Events  int
+	Seed    int64
+	Open    v1.StreamOpenRequest
+}
+
+// runStream opens a live inference session, forwards the simulated
+// sensor feed in stride-sized chunks, and renders the session's event
+// feed — rolling results and debounced detections — until the source
+// runs dry and the session is closed.
+func runStream(ctx context.Context, c *client.Client, projectID int, kind string, opts streamOpts) error {
+	sess, err := c.OpenStream(ctx, projectID, opts.Open)
+	if err != nil {
+		return fmt.Errorf("opening stream: %w", err)
+	}
+	fmt.Printf("session %s: %d-sample windows every %d samples at %d Hz, classes %v\n",
+		sess.ID(), sess.Info.WindowSamples, sess.Info.StrideSamples, sess.Info.Rate, sess.Info.Classes)
+
+	src, err := buildSource(kind, sess.Info.Rate, opts)
+	if err != nil {
+		return err
+	}
+	if src.Axes() != sess.Info.Axes {
+		return fmt.Errorf("signal %q has %d axes, impulse expects %d", kind, src.Axes(), sess.Info.Axes)
+	}
+
+	// Tail the event feed concurrently with the pushes, like a device UI.
+	tailCtx, cancelTail := context.WithCancel(ctx)
+	defer cancelTail()
+	tailDone := make(chan error, 1)
+	go func() {
+		tailDone <- sess.Events(tailCtx, 0, func(e v1.StreamEvent) error {
+			switch e.Type {
+			case "result":
+				fmt.Printf("  window @ %6.2fs  %-8s %.2f\n",
+					float64(e.WindowStart)/float64(sess.Info.Rate), e.Label, e.Score)
+			case "detection":
+				fmt.Printf("*** detected %q (smoothed %.2f) at %.2fs\n",
+					e.Label, e.Score, float64(e.WindowStart)/float64(sess.Info.Rate))
+			case "state":
+				fmt.Printf("  session %s %s\n", e.Status, e.Reason)
+			}
+			return nil
+		})
+	}()
+
+	// Push until the source runs dry or the run is interrupted; the
+	// client's retry machinery absorbs 429 backpressure responses.
+	chunk := sess.Info.StrideSamples * sess.Info.Axes
+	for ctx.Err() == nil {
+		frames := src.Next(chunk)
+		if frames == nil {
+			break
+		}
+		if _, err := sess.Push(ctx, frames); err != nil {
+			return fmt.Errorf("pushing frames: %w", err)
+		}
+	}
+	closed, err := sess.Close(context.WithoutCancel(ctx))
+	if err != nil {
+		return fmt.Errorf("closing stream: %w", err)
+	}
+	if err := <-tailDone; err != nil && ctx.Err() == nil {
+		return fmt.Errorf("event feed: %w", err)
+	}
+	fmt.Printf("closed: %d frames in, %d windows, %d detections, %d dropped\n",
+		closed.Stats.FramesIn, closed.Stats.Windows, closed.Stats.Detections, closed.Stats.Dropped)
+	return nil
+}
+
+// buildSource synthesizes the continuous feed for -stream mode at the
+// impulse's sample rate.
+func buildSource(kind string, rate int, opts streamOpts) (*synth.Source, error) {
+	parts := strings.SplitN(kind, ":", 2)
+	switch parts[0] {
+	case "keyword":
+		word := "yes"
+		if len(parts) == 2 {
+			word = parts[1]
+		}
+		src, truth, err := synth.NewStreamSource(word, rate, opts.Seconds, opts.Events, 0.02, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, ev := range truth {
+			fmt.Printf("  ground truth: %q at %.2fs..%.2fs\n",
+				ev.Label, float64(ev.StartSample)/float64(rate), float64(ev.EndSample)/float64(rate))
+		}
+		return src, nil
+	case "vibration":
+		fault := len(parts) == 2 && parts[1] == "fault"
+		return synth.NewVibrationSource(rate, opts.Seconds, fault, opts.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown signal kind %q", kind)
+	}
+}
+
+// splitLabels parses a comma-separated label list, dropping empties.
+func splitLabels(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, ",") {
+		if l = strings.TrimSpace(l); l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
 }
 
 func indent(s string) string {

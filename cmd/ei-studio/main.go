@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"edgepulse/internal/api"
 	"edgepulse/internal/core"
@@ -40,6 +43,7 @@ func main() {
 	rate := flag.Float64("rate", 100, "per-API-key request rate limit in req/s (0 = unlimited)")
 	burst := flag.Int("burst", 200, "per-API-key burst allowance")
 	trustProxy := flag.Bool("trust-proxy", false, "rate-limit by X-Forwarded-For client IP (only behind a proxy that sets it)")
+	streams := flag.Int("streams", 0, "max concurrent streaming inference sessions (0 = default)")
 	flag.Parse()
 
 	registry := project.NewRegistry()
@@ -62,23 +66,6 @@ func main() {
 	})
 	defer sched.Shutdown()
 
-	if *dataDir != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			// Datasets are already durable; Save persists registry
-			// metadata + impulse designs and compacts store manifests.
-			if err := registry.Save(*dataDir); err != nil {
-				log.Println("saving state:", err)
-			} else {
-				fmt.Printf("\nstate saved to %s\n", *dataDir)
-			}
-			registry.Close()
-			os.Exit(0)
-		}()
-	}
-
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	opts := []api.Option{
 		api.WithLogger(logger),
@@ -87,10 +74,44 @@ func main() {
 	if *trustProxy {
 		opts = append(opts, api.WithTrustProxy())
 	}
+	if *streams > 0 {
+		opts = append(opts, api.WithStreamSessions(*streams))
+	}
 	server := api.NewServer(registry, sched, opts...)
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
+
+	// Graceful shutdown: drain live streaming sessions (each flushes its
+	// queued frames and emits a terminal event to its subscribers), then
+	// stop the HTTP server, waiting for in-flight requests.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down: draining streams and in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Drain(ctx); err != nil {
+			log.Println("draining streams:", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Println("http shutdown:", err)
+		}
+	}()
+
 	fmt.Printf("edgepulse studio listening on %s\n", *addr)
 	fmt.Printf("design blocks: dsp %v, learn %v (catalog: GET /api/v1/blocks)\n",
 		dsp.Names(), core.LearnNames())
 	fmt.Println("bootstrap: curl -XPOST http://localhost" + *addr + "/api/v1/users -d '{\"name\":\"you\"}'")
-	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		// Datasets are already durable; Save persists registry metadata +
+		// impulse designs and compacts store manifests.
+		if err := registry.Save(*dataDir); err != nil {
+			log.Println("saving state:", err)
+		} else {
+			fmt.Printf("state saved to %s\n", *dataDir)
+		}
+	}
 }

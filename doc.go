@@ -20,6 +20,8 @@
 //     and crash-safe upload spool (byte-level spec in docs/STORAGE.md)
 //   - internal/project, jobs, api — the MLOps service layer; api/v1
 //     declares the typed DTO contract of the versioned REST surface
+//   - internal/stream   — the live streaming inference plane: sessions,
+//     ring buffers, rolling classification, debounced detections
 //   - internal/client   — the first-class Go client for the v1 API,
 //     used by cmd/ei-cli and cmd/ei-daemon (see docs/API.md)
 //   - internal/deploy, eim — deployment artifacts and the EIM runner

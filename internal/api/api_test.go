@@ -24,6 +24,7 @@ type testEnv struct {
 	server *httptest.Server
 	apiKey string
 	sched  *jobs.Scheduler
+	reg    *project.Registry
 }
 
 func newEnv(t *testing.T) *testEnv {
@@ -39,7 +40,7 @@ func newEnvWith(t *testing.T, cfg jobs.Config) *testEnv {
 	t.Cleanup(sched.Shutdown)
 	srv := httptest.NewServer(NewServer(reg, sched).Handler())
 	t.Cleanup(srv.Close)
-	env := &testEnv{t: t, server: srv, sched: sched}
+	env := &testEnv{t: t, server: srv, sched: sched, reg: reg}
 	// Bootstrap a user.
 	resp := env.do("POST", "/api/users", "", map[string]any{"name": "tester"})
 	env.apiKey = resp["api_key"].(string)

@@ -110,6 +110,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, u *projec
 		})
 	}
 	out.Scheduler = sm
+	sp := s.streams.Snapshot()
+	out.StreamPlane = &v1.StreamPlaneMetrics{
+		ActiveSessions: sp.ActiveSessions, PeakSessions: sp.PeakSessions,
+		Opened: sp.Opened, Shed: sp.Shed,
+		FramesIn: sp.Stats.FramesIn, Windows: sp.Stats.Windows,
+		Detections: sp.Stats.Detections, DroppedFrames: sp.Stats.DroppedFrames,
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

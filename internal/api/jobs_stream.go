@@ -44,6 +44,16 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request, u *proj
 	writeJSON(w, http.StatusOK, v1.CancelJobResponse{Success: true, Cancelled: cancelled, Job: jobView(j)})
 }
 
+// setStreamingHeaders marks a response as a live NDJSON feed: no-cache
+// so intermediaries never serve a stale replay, and X-Accel-Buffering
+// off so reverse proxies (nginx) pass each line through as it is
+// flushed instead of buffering the body.
+func setStreamingHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+}
+
 // eventsAfter parses the resume cursor: the from query parameter wins,
 // then the Last-Event-Id header (the SSE-style resume contract), else 0
 // (the full retained log).
@@ -88,9 +98,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, u *proj
 		return
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("X-Accel-Buffering", "no")
+	setStreamingHeaders(w)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	// emit writes one event line; it reports (stop, terminal).

@@ -105,6 +105,13 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.NewResponseController reach the underlying writer
+// for capabilities we don't forward explicitly (EnableFullDuplex,
+// deadline control on the NDJSON duplex endpoint).
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
 // withLogging emits one structured line per request.
 func (s *Server) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -336,6 +343,7 @@ type apiMetrics struct {
 	rateLimited int64
 	panics      int64
 	routes      map[string]*routeStat
+	streams     map[string]*streamStat
 }
 
 type routeStat struct {
@@ -345,8 +353,21 @@ type routeStat struct {
 	totalDur time.Duration
 }
 
+// streamStat tracks long-lived connections separately from routeStat:
+// folding an hours-long NDJSON feed into totalDur would swamp the
+// request-latency average for its route.
+type streamStat struct {
+	active   int64
+	count    int64
+	totalDur time.Duration
+}
+
 func newAPIMetrics() *apiMetrics {
-	return &apiMetrics{start: time.Now(), routes: map[string]*routeStat{}}
+	return &apiMetrics{
+		start:   time.Now(),
+		routes:  map[string]*routeStat{},
+		streams: map[string]*streamStat{},
+	}
 }
 
 func (m *apiMetrics) record(route string, status int, dur time.Duration) {
@@ -368,6 +389,30 @@ func (m *apiMetrics) record(route string, status int, dur time.Duration) {
 	case status >= 400:
 		st.err4xx++
 	}
+}
+
+func (m *apiMetrics) streamStart(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.streams[route]
+	if !ok {
+		st = &streamStat{}
+		m.streams[route] = st
+	}
+	st.active++
+}
+
+func (m *apiMetrics) streamEnd(route string, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.streams[route]
+	if !ok {
+		st = &streamStat{}
+		m.streams[route] = st
+	}
+	st.active--
+	st.count++
+	st.totalDur += dur
 }
 
 func (m *apiMetrics) rateLimit() {
@@ -398,6 +443,17 @@ func (m *apiMetrics) snapshot() v1.MetricsResponse {
 		})
 	}
 	sort.Slice(routes, func(i, j int) bool { return routes[i].Route < routes[j].Route })
+	streams := make([]v1.StreamRouteMetrics, 0, len(m.streams))
+	for route, st := range m.streams {
+		avg := 0.0
+		if st.count > 0 {
+			avg = st.totalDur.Seconds() / float64(st.count)
+		}
+		streams = append(streams, v1.StreamRouteMetrics{
+			Route: route, Active: st.active, Count: st.count, AvgSeconds: avg,
+		})
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].Route < streams[j].Route })
 	return v1.MetricsResponse{
 		Success:       true,
 		UptimeSeconds: time.Since(m.start).Seconds(),
@@ -405,6 +461,7 @@ func (m *apiMetrics) snapshot() v1.MetricsResponse {
 		RateLimited:   m.rateLimited,
 		Panics:        m.panics,
 		Routes:        routes,
+		Streams:       streams,
 	}
 }
 
@@ -416,6 +473,24 @@ func (s *Server) instrument(route string, h http.Handler) http.Handler {
 		start := time.Now()
 		defer func() {
 			s.metrics.record(route, sw.status, time.Since(start))
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// instrumentStream wraps a long-lived streaming route: the request
+// counter still records status and errors, but the connection's
+// lifetime is accounted under stream metrics with zero request
+// duration, so held-open feeds don't distort the route's latency.
+func (s *Server) instrumentStream(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		s.metrics.streamStart(route)
+		defer func() {
+			dur := time.Since(start)
+			s.metrics.streamEnd(route, dur)
+			s.metrics.record(route, sw.status, 0)
 		}()
 		h.ServeHTTP(sw, r)
 	})

@@ -15,6 +15,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/jobs"
 	"edgepulse/internal/project"
+	"edgepulse/internal/stream"
 )
 
 // Option customizes a Server.
@@ -80,6 +82,19 @@ type Server struct {
 	// only safe behind a proxy that overwrites the header).
 	trustProxy bool
 	metrics    *apiMetrics
+	// streams manages live inference sessions (the streaming plane).
+	streams *stream.Manager
+}
+
+// WithStreamSessions caps concurrent live inference sessions across all
+// projects (default stream.DefaultMaxSessions). max <= 0 keeps the
+// default.
+func WithStreamSessions(max int) Option {
+	return func(s *Server) {
+		if max > 0 {
+			s.streams = stream.NewManager(max)
+		}
+	}
 }
 
 // WithTrustProxy keys IP rate limiting on the first X-Forwarded-For
@@ -101,6 +116,7 @@ func NewServer(reg *project.Registry, sched *jobs.Scheduler, opts ...Option) *Se
 		limiter:    newRateLimiter(100, 200),
 		aggLimiter: newRateLimiter(100*aggFactor, 200*aggFactor),
 		metrics:    newAPIMetrics(),
+		streams:    stream.NewManager(stream.DefaultMaxSessions),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -169,6 +185,17 @@ func (h *headerRecorder) Write(b []byte) (int, error) {
 // Handler returns the root handler with the middleware chain applied.
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Streams exposes the streaming session manager (for embedding hosts
+// that want to drain it on shutdown).
+func (s *Server) Streams() *stream.Manager { return s.streams }
+
+// Drain stops admitting new streaming sessions and closes live ones,
+// letting each flush its queued frames and emit a terminal event. Call
+// before http.Server.Shutdown so held-open event feeds end gracefully.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.streams.Drain(ctx)
+}
+
 // route registers a handler under both the versioned and the legacy
 // prefix. pattern is "METHOD /path"; metrics for both registrations are
 // keyed by the v1 pattern, so alias traffic folds into its v1 route.
@@ -180,6 +207,18 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 	v1pat := method + " " + v1.Prefix + path
 	s.mux.Handle(v1pat, s.instrument(v1pat, h))
 	s.mux.Handle(method+" "+v1.LegacyPrefix+path, s.instrument(v1pat, h))
+}
+
+// routeStream registers a long-lived NDJSON route: connection lifetime
+// is tracked under stream metrics instead of request latency.
+func (s *Server) routeStream(pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("api: route pattern must be \"METHOD /path\": " + pattern)
+	}
+	v1pat := method + " " + v1.Prefix + path
+	s.mux.Handle(v1pat, s.instrumentStream(v1pat, h))
+	s.mux.Handle(method+" "+v1.LegacyPrefix+path, s.instrumentStream(v1pat, h))
 }
 
 func (s *Server) routes() {
@@ -217,10 +256,17 @@ func (s *Server) routes() {
 	s.route("POST /projects/{id}/versions", s.auth(s.withProject(s.handleSnapshot)))
 	s.route("GET /projects/{id}/versions", s.auth(s.withProject(s.handleVersions)))
 
+	// Live streaming inference sessions.
+	s.route("POST /projects/{id}/stream", s.auth(s.withProject(s.handleStreamOpen)))
+	s.route("POST /projects/{id}/stream/{sid}/frames", s.auth(s.withProject(s.handleStreamPush)))
+	s.routeStream("GET /projects/{id}/stream/{sid}/events", s.auth(s.withProject(s.handleStreamEvents)))
+	s.route("DELETE /projects/{id}/stream/{sid}", s.auth(s.withProject(s.handleStreamClose)))
+	s.routeStream("POST /projects/{id}/stream/duplex", s.auth(s.withProject(s.handleStreamDuplex)))
+
 	s.route("GET /jobs/{job}", s.auth(s.handleGetJob))
 	s.route("GET /jobs/{job}/wait", s.auth(s.handleJobWait))
 	s.route("GET /jobs/{job}/result", s.auth(s.handleJobResult))
-	s.route("GET /jobs/{job}/events", s.auth(s.handleJobEvents))
+	s.routeStream("GET /jobs/{job}/events", s.auth(s.handleJobEvents))
 	s.route("DELETE /jobs/{job}", s.auth(s.handleCancelJob))
 }
 

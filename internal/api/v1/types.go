@@ -33,6 +33,9 @@ const (
 	CodeRateLimited      = "rate_limited"
 	CodeUnavailable      = "unavailable"
 	CodeInternal         = "internal_error"
+	// CodeBackpressure means a streaming session's inbound queue is
+	// full; the client should slow down and retry the batch.
+	CodeBackpressure = "backpressure"
 )
 
 // ErrorDetail is the machine-readable failure description.
@@ -611,4 +614,134 @@ type MetricsResponse struct {
 	Panics        int64            `json:"panics"`
 	Routes        []RouteMetrics   `json:"routes"`
 	Scheduler     SchedulerMetrics `json:"scheduler"`
+	// Streams reports long-lived NDJSON connections per route. Their
+	// durations are tracked here, separately from Routes, so that a
+	// connection held open for minutes does not skew request latency.
+	Streams []StreamRouteMetrics `json:"streams,omitempty"`
+	// StreamPlane snapshots the live-inference session manager, when
+	// streaming is enabled.
+	StreamPlane *StreamPlaneMetrics `json:"stream_plane,omitempty"`
+}
+
+// StreamRouteMetrics aggregates long-lived streaming connections for one
+// route pattern.
+type StreamRouteMetrics struct {
+	Route string `json:"route"`
+	// Active is the number of connections currently open.
+	Active int64 `json:"active"`
+	// Count is the number of connections that have completed.
+	Count int64 `json:"count"`
+	// AvgSeconds is the mean duration of completed connections.
+	AvgSeconds float64 `json:"avg_seconds"`
+}
+
+// StreamPlaneMetrics snapshots the streaming-inference session manager.
+type StreamPlaneMetrics struct {
+	ActiveSessions int `json:"active_sessions"`
+	PeakSessions   int `json:"peak_sessions"`
+	// Opened counts sessions ever admitted; Shed counts opens rejected
+	// at the global capacity cap.
+	Opened int64 `json:"opened"`
+	Shed   int64 `json:"shed"`
+	// Cumulative work across live and closed sessions.
+	FramesIn   int64 `json:"frames_in"`
+	Windows    int64 `json:"windows"`
+	Detections int64 `json:"detections"`
+	// DroppedFrames counts frames lost to ring-buffer overruns.
+	DroppedFrames int64 `json:"dropped_frames"`
+}
+
+// StreamOpenRequest opens a live inference session against the trained
+// impulse at POST /api/v1/projects/{id}/stream.
+type StreamOpenRequest struct {
+	// StrideMS sets the hop between overlapping classification windows.
+	// 0 means non-overlapping (stride = window).
+	StrideMS int `json:"stride_ms,omitempty"`
+	// Quantized selects the int8 model when one is attached.
+	Quantized bool `json:"quantized,omitempty"`
+	// Threshold is the smoothed score needed to fire a detection
+	// (default 0.6); Smooth is the moving-average depth in windows
+	// (default 3); Suppress is a refractory period in windows after a
+	// detection (default 0).
+	Threshold float32 `json:"threshold,omitempty"`
+	Smooth    int     `json:"smooth,omitempty"`
+	Suppress  int     `json:"suppress,omitempty"`
+	// Release is the hysteresis re-arm level: after a class fires it
+	// must fall below Release before it can fire again (default
+	// 0.75 * Threshold). Raise it toward Threshold when class scores
+	// are tightly clustered and the default never re-arms.
+	Release float32 `json:"release,omitempty"`
+	// IgnoreLabels lists classes that never fire detection events —
+	// typically background classes such as "noise".
+	IgnoreLabels []string `json:"ignore_labels,omitempty"`
+	// IdleTimeoutMS closes the session after this long without frames
+	// (default 60000).
+	IdleTimeoutMS int `json:"idle_timeout_ms,omitempty"`
+}
+
+// StreamOpenResponse describes the admitted session. Clients must push
+// frames as Axes-interleaved float32 samples at Rate Hz.
+type StreamOpenResponse struct {
+	Success       bool     `json:"success"`
+	SessionID     string   `json:"session_id"`
+	WindowSamples int      `json:"window_samples"`
+	StrideSamples int      `json:"stride_samples"`
+	Rate          int      `json:"rate"`
+	Axes          int      `json:"axes"`
+	Classes       []string `json:"classes"`
+}
+
+// StreamPushRequest appends a batch of samples to a session at
+// POST /api/v1/projects/{id}/stream/{sid}/frames. Len(Samples) must be a
+// multiple of the session's axis count.
+type StreamPushRequest struct {
+	Samples []float32 `json:"samples"`
+}
+
+// StreamPushResponse acknowledges an accepted batch.
+type StreamPushResponse struct {
+	Success bool `json:"success"`
+	// FramesIn is the total frames accepted by the session so far.
+	FramesIn int64 `json:"frames_in"`
+}
+
+// StreamEvent is one NDJSON line on a session's event feed. Seq starts
+// at 1 and is contiguous; clients resume with ?after=<seq> or the
+// Last-Event-Id header.
+type StreamEvent struct {
+	Seq int64 `json:"seq"`
+	// Type is "state", "result", or "detection".
+	Type        string `json:"type"`
+	TimestampMS int64  `json:"timestamp_ms"`
+	// Status/Reason are set on state events ("open", "closed").
+	Status string `json:"status,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// Label/Score carry the top class for result and detection events.
+	Label string  `json:"label,omitempty"`
+	Score float32 `json:"score,omitempty"`
+	// Scores carries the full smoothed distribution on detections only.
+	Scores map[string]float32 `json:"scores,omitempty"`
+	// WindowStart is the absolute frame index of the classified window.
+	WindowStart int64 `json:"window_start,omitempty"`
+	// Dropped is the cumulative frames lost to ring overruns.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// Terminal reports whether the event ends the feed.
+func (e StreamEvent) Terminal() bool {
+	return e.Type == "state" && e.Status == "closed"
+}
+
+// StreamSessionStats summarizes a session's lifetime counters.
+type StreamSessionStats struct {
+	FramesIn   int64 `json:"frames_in"`
+	Windows    int64 `json:"windows"`
+	Detections int64 `json:"detections"`
+	Dropped    int64 `json:"dropped"`
+}
+
+// StreamCloseResponse acknowledges DELETE .../stream/{sid}.
+type StreamCloseResponse struct {
+	Success bool               `json:"success"`
+	Stats   StreamSessionStats `json:"stats"`
 }

@@ -1,12 +1,7 @@
 package client
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -56,55 +51,8 @@ const streamMaxResumes = 3
 // delivered, fn's error if fn fails, or the transport/API error after
 // the resume budget is exhausted. Cancel ctx to stop early.
 func (c *Client) StreamJobEvents(ctx context.Context, jobID string, fromSeq int64, fn func(v1.JobEvent) error) error {
-	last := fromSeq
-	failures := 0
-	for {
-		before := last
-		terminal, err := c.streamOnce(ctx, jobID, &last, fn)
-		switch {
-		case terminal:
-			return nil
-		case err != nil && ctx.Err() != nil:
-			return ctx.Err()
-		default:
-			// err != nil: transport/API failure. err == nil: clean EOF
-			// without a terminal event (the server-side subscriber was
-			// recycled). Both resume from the last delivered seq, with
-			// a bounded budget for attempts that make no progress.
-			var stop *callbackError
-			if errors.As(err, &stop) {
-				return stop.err
-			}
-			// Permanent API failures (404, 401, ...) fail fast, like
-			// the request path's retryable() gate; only rate limiting
-			// and upstream unavailability are worth resuming through.
-			var apiErr *APIError
-			if errors.As(err, &apiErr) && !retryable(http.MethodGet, apiErr.Status) {
-				return err
-			}
-			if last > before {
-				failures = 0
-				continue
-			}
-			failures++
-			if failures > streamMaxResumes {
-				if err == nil {
-					err = fmt.Errorf("client: event stream for %s kept ending without progress", jobID)
-				}
-				return err
-			}
-			wait := backoff(failures)
-			// Honor the server's Retry-After suggestion when it gave one.
-			if apiErr != nil && apiErr.RetryAfter > 0 && apiErr.RetryAfter < 5*time.Second {
-				wait = apiErr.RetryAfter
-			}
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(wait):
-			}
-		}
-	}
+	path := "/jobs/" + url.PathEscape(jobID) + "/events"
+	return streamFeed(ctx, c, path, fromSeq, func(e v1.JobEvent) int64 { return e.Seq }, fn)
 }
 
 // callbackError wraps an error returned by the caller's fn so the
@@ -112,49 +60,3 @@ func (c *Client) StreamJobEvents(ctx context.Context, jobID string, fromSeq int6
 type callbackError struct{ err error }
 
 func (e *callbackError) Error() string { return e.err.Error() }
-
-// streamOnce opens one streaming connection and pumps events until the
-// stream ends. It advances *last past every delivered event.
-func (c *Client) streamOnce(ctx context.Context, jobID string, last *int64, fn func(v1.JobEvent) error) (terminal bool, err error) {
-	u := c.baseURL + v1.Prefix + "/jobs/" + url.PathEscape(jobID) + "/events"
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return false, err
-	}
-	if c.apiKey != "" {
-		req.Header.Set("x-api-key", c.apiKey)
-	}
-	req.Header.Set("Last-Event-Id", strconv.FormatInt(*last, 10))
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return false, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		return false, parseAPIError(resp.StatusCode, resp.Header, raw)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var ev v1.JobEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return false, fmt.Errorf("client: bad event line: %w", err)
-		}
-		if ev.Seq <= *last {
-			continue // duplicate from an overlapping resume
-		}
-		*last = ev.Seq
-		if err := fn(ev); err != nil {
-			return false, &callbackError{err: err}
-		}
-		if ev.Terminal() {
-			return true, nil
-		}
-	}
-	return false, sc.Err()
-}

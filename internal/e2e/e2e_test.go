@@ -35,7 +35,12 @@ type env struct {
 	proj   *v1.CreateProjectResponse
 }
 
-func newEnv(t *testing.T) *env {
+func newEnv(t *testing.T) *env { return newEnvClips(t, 0.5) }
+
+// newEnvClips boots the platform with keyword clips of the given length
+// — streaming tests train on full-second utterances to match the
+// geometry synth.Stream embeds in a live feed.
+func newEnvClips(t *testing.T, clipSeconds float64) *env {
 	t.Helper()
 	registry := project.NewRegistry()
 	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 2, ScaleInterval: 5 * time.Millisecond})
@@ -57,7 +62,7 @@ func newEnv(t *testing.T) *env {
 
 	// Signed acquisition upload of a synthetic 2-class keyword dataset,
 	// through the same ingestion endpoint a device daemon uses.
-	ds, err := synth.KWSDataset(2, 10, 8000, 0.5, 0.03, 42)
+	ds, err := synth.KWSDataset(2, 10, 8000, clipSeconds, 0.03, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,178 @@
+// Streaming inference end to end: train a keyword model over the API,
+// open a live session through the typed client, feed a synthetic stream
+// with known utterance positions chunk by chunk, and check that the
+// debounced detector fires exactly once per embedded keyword — the
+// performance-calibration contract (paper Sec. 4.4) proven over the
+// wire instead of in-process.
+package e2e
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/core"
+	"edgepulse/internal/synth"
+)
+
+// trainStreamModel configures a 1 s window / 250 ms stride impulse and
+// trains it to completion through the job API.
+func trainStreamModel(t *testing.T, e *env) {
+	t.Helper()
+	ctx := context.Background()
+	cfg := core.Config{
+		Version: core.ConfigVersion,
+		Name:    "live-kws",
+		Input:   core.InputBlock{Kind: core.TimeSeries, WindowMS: 1000, StrideMS: 250, FrequencyHz: 8000, Axes: 1},
+		DSP: []core.DSPBlockSpec{{
+			Name: "audio", Type: "mfe",
+			Params: map[string]float64{"num_filters": 16, "fft_length": 128},
+		}},
+		Learn:   []core.LearnBlockSpec{{Type: core.LearnClassification, Inputs: []string{"audio"}}},
+		Classes: []string{"noise", "yes"},
+	}
+	if _, err := e.c.SetImpulse(ctx, e.proj.ID, cfg); err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := e.c.Train(ctx, e.proj.ID, v1.TrainRequest{
+		Model:        v1.ModelSpec{Type: "conv1d", Depth: 2, StartFilters: 8, EndFilters: 16},
+		Epochs:       8,
+		LearningRate: 0.005,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := e.c.WaitJob(ctx, accepted.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != v1.JobFinished {
+		t.Fatalf("training ended as %s: %s", done.Status, done.Job.Error)
+	}
+}
+
+// TestStreamingKeywordDetections is the streaming acceptance contract:
+// a 12 s live feed with 3 embedded "yes" utterances, pushed in stride
+// sized chunks through the typed client, yields one rolling result per
+// window and exactly 3 debounced detections, each inside a distinct
+// ground-truth utterance.
+func TestStreamingKeywordDetections(t *testing.T) {
+	e := newEnvClips(t, 1.0)
+	trainStreamModel(t, e)
+	ctx := context.Background()
+
+	const rate = 8000
+	src, truth, err := synth.NewStreamSource("yes", rate, 12, 3, 0.02, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 3 {
+		t.Fatalf("ground truth: %d events", len(truth))
+	}
+
+	// Release sits just under Threshold: this small model's class scores
+	// cluster around 0.5, so the default hysteresis level (0.45) would
+	// never re-arm between utterances only a few strides apart.
+	sess, err := e.c.OpenStream(ctx, e.proj.ID, v1.StreamOpenRequest{
+		Threshold:    0.6,
+		Release:      0.55,
+		Smooth:       2,
+		Suppress:     4,
+		IgnoreLabels: []string{"noise"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Info.WindowSamples != rate || sess.Info.StrideSamples != rate/4 {
+		t.Fatalf("session geometry %+v", sess.Info)
+	}
+
+	// Tail the event feed concurrently with the pushes, like a device UI.
+	var mu sync.Mutex
+	var detections []v1.StreamEvent
+	var results, lastSeq int
+	tailCtx, cancelTail := context.WithTimeout(ctx, 120*time.Second)
+	defer cancelTail()
+	tailDone := make(chan error, 1)
+	go func() {
+		tailDone <- sess.Events(tailCtx, 0, func(ev v1.StreamEvent) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Seq != int64(lastSeq+1) {
+				t.Errorf("event seq %d after %d — gap or duplicate", ev.Seq, lastSeq)
+			}
+			lastSeq = int(ev.Seq)
+			switch ev.Type {
+			case "result":
+				results++
+			case "detection":
+				detections = append(detections, ev)
+			}
+			return nil
+		})
+	}()
+
+	// Push the feed in stride-sized chunks until the source runs dry.
+	pushed := 0
+	for {
+		chunk := src.Next(sess.Info.StrideSamples)
+		if chunk == nil {
+			break
+		}
+		if _, err := sess.Push(ctx, chunk); err != nil {
+			t.Fatal(err)
+		}
+		pushed += len(chunk)
+	}
+	closed, err := sess.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-tailDone; err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantWindows := (pushed-sess.Info.WindowSamples)/sess.Info.StrideSamples + 1
+	if closed.Stats.FramesIn != int64(pushed) || closed.Stats.Windows != int64(wantWindows) {
+		t.Fatalf("close stats %+v (pushed %d, want %d windows)", closed.Stats, pushed, wantWindows)
+	}
+	if results != wantWindows {
+		t.Fatalf("streamed %d rolling results, want one per window (%d)", results, wantWindows)
+	}
+	if closed.Stats.Detections != int64(len(detections)) {
+		t.Fatalf("stats report %d detections, feed delivered %d", closed.Stats.Detections, len(detections))
+	}
+
+	// Exactly one debounced detection per embedded utterance.
+	if len(detections) != len(truth) {
+		t.Fatalf("%d detections for %d utterances: %+v", len(detections), len(truth), detections)
+	}
+	hits := make([]int, len(truth))
+	for _, d := range detections {
+		if d.Label != "yes" {
+			t.Fatalf("detection fired for %q: %+v", d.Label, d)
+		}
+		winEnd := d.WindowStart + int64(sess.Info.WindowSamples)
+		matched := false
+		for i, ev := range truth {
+			if d.WindowStart < int64(ev.EndSample) && winEnd > int64(ev.StartSample) {
+				hits[i]++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("detection at window %d overlaps no utterance (truth %+v)", d.WindowStart, truth)
+		}
+	}
+	for i, n := range hits {
+		if n != 1 {
+			t.Fatalf("utterance %d (%d..%d) matched %d detections", i, truth[i].StartSample, truth[i].EndSample, n)
+		}
+	}
+}

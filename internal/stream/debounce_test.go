@@ -1,0 +1,158 @@
+package stream
+
+import "testing"
+
+// TestDebounceFiresOncePerOccurrence is the core contract: a keyword
+// spanning many overlapping windows yields exactly one detection, and a
+// second occurrence after the score falls away fires again.
+func TestDebounceFiresOncePerOccurrence(t *testing.T) {
+	d := NewDebouncer([]string{"kw", "noise"}, DebounceConfig{
+		Threshold: 0.6, Release: 0.4, Smooth: 1, Ignore: []string{"noise"},
+	})
+	seq := []float32{0.1, 0.2, 0.9, 0.95, 0.9, 0.8, 0.7, 0.3, 0.1, 0.85, 0.9, 0.2}
+	var fires []int
+	for i, kw := range seq {
+		if class, fired := d.Observe([]float32{kw, 1 - kw}); fired {
+			if class != 0 {
+				t.Fatalf("window %d: fired class %d, want 0", i, class)
+			}
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 2 || fires[0] != 2 || fires[1] != 9 {
+		t.Fatalf("fired at windows %v, want [2 9]", fires)
+	}
+}
+
+// TestDebounceHysteresisBlocksRefire: staying above Release (but dipping
+// below Threshold) must not re-arm.
+func TestDebounceHysteresisBlocksRefire(t *testing.T) {
+	d := NewDebouncer([]string{"kw"}, DebounceConfig{Threshold: 0.6, Release: 0.4, Smooth: 1})
+	fires := 0
+	for _, s := range []float32{0.9, 0.5, 0.7, 0.5, 0.9, 0.45} {
+		if _, fired := d.Observe([]float32{s}); fired {
+			fires++
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("fired %d times without dropping below release, want 1", fires)
+	}
+}
+
+// TestDebounceSmoothingDelaysFire: with Smooth=3, one spike among low
+// scores never lifts the mean over the threshold, while a sustained
+// score fires as soon as the mean crosses it.
+func TestDebounceSmoothingDelaysFire(t *testing.T) {
+	d := NewDebouncer([]string{"kw"}, DebounceConfig{Threshold: 0.6, Release: 0.2, Smooth: 3})
+	for i, s := range []float32{0.1, 0.9, 0.1} { // spike: mean peaks at 0.55
+		if _, fired := d.Observe([]float32{s}); fired {
+			t.Fatalf("window %d: single spike fired through Smooth=3", i)
+		}
+	}
+	fires := 0
+	for _, s := range []float32{0.9, 0.9, 0.9} { // sustained: mean crosses 0.6
+		if _, fired := d.Observe([]float32{s}); fired {
+			fires++
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("sustained score fired %d times, want 1", fires)
+	}
+}
+
+// TestDebounceMovingAverage pins the partial-history average: with
+// Smooth=2 the first window averages only itself.
+func TestDebounceMovingAverage(t *testing.T) {
+	d := NewDebouncer([]string{"a", "b"}, DebounceConfig{Threshold: 0.99, Smooth: 2})
+	d.Observe([]float32{0.4, 0.8})
+	if got := d.Smoothed()[0]; got != 0.4 {
+		t.Fatalf("smoothed[0] = %v after one window, want 0.4", got)
+	}
+	d.Observe([]float32{0.6, 0.2})
+	if got := d.Smoothed()[0]; got != 0.5 {
+		t.Fatalf("smoothed[0] = %v, want 0.5", got)
+	}
+	if got := d.Smoothed()[1]; got != 0.5 {
+		t.Fatalf("smoothed[1] = %v, want 0.5", got)
+	}
+}
+
+func TestDebounceSuppressionWindow(t *testing.T) {
+	d := NewDebouncer([]string{"a", "b"}, DebounceConfig{
+		Threshold: 0.6, Release: 0.5, Smooth: 1, Suppress: 2,
+	})
+	if _, fired := d.Observe([]float32{0.9, 0.1}); !fired {
+		t.Fatal("first window should fire")
+	}
+	// Class b crosses while suppressed: no fire, even though it is armed.
+	if _, fired := d.Observe([]float32{0.1, 0.9}); fired {
+		t.Fatal("fired during suppression window 1")
+	}
+	if _, fired := d.Observe([]float32{0.1, 0.9}); fired {
+		t.Fatal("fired during suppression window 2")
+	}
+	if class, fired := d.Observe([]float32{0.1, 0.9}); !fired || class != 1 {
+		t.Fatalf("after suppression: fired=%v class=%d, want fire on class 1", fired, class)
+	}
+}
+
+func TestDebounceIgnoredClassNeverFires(t *testing.T) {
+	d := NewDebouncer([]string{"noise", "kw"}, DebounceConfig{
+		Threshold: 0.5, Smooth: 1, Ignore: []string{"noise"},
+	})
+	for i := 0; i < 5; i++ {
+		if _, fired := d.Observe([]float32{0.99, 0.01}); fired {
+			t.Fatal("ignored class fired")
+		}
+	}
+	if class, fired := d.Observe([]float32{0.2, 0.8}); !fired || class != 1 {
+		t.Fatalf("fired=%v class=%d, want fire on class 1", fired, class)
+	}
+}
+
+func TestDebounceHighestArmedWins(t *testing.T) {
+	d := NewDebouncer([]string{"a", "b"}, DebounceConfig{Threshold: 0.3, Release: 0.1, Smooth: 1})
+	if class, fired := d.Observe([]float32{0.4, 0.5}); !fired || class != 1 {
+		t.Fatalf("fired=%v class=%d, want the higher-scoring class 1", fired, class)
+	}
+}
+
+func TestDebounceDefaults(t *testing.T) {
+	cfg := DebounceConfig{}
+	cfg.normalize()
+	if cfg.Threshold != 0.6 || cfg.Smooth != 3 || cfg.Suppress != 0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.Release <= 0 || cfg.Release > cfg.Threshold {
+		t.Fatalf("release default %v outside (0, threshold]", cfg.Release)
+	}
+	// Release above threshold is clamped back to the default ratio.
+	bad := DebounceConfig{Threshold: 0.5, Release: 0.9}
+	bad.normalize()
+	if bad.Release > bad.Threshold {
+		t.Fatalf("release %v > threshold %v after normalize", bad.Release, bad.Threshold)
+	}
+}
+
+func TestDebounceObservePanicsOnBadLength(t *testing.T) {
+	d := NewDebouncer([]string{"a", "b"}, DebounceConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong score length")
+		}
+	}()
+	d.Observe([]float32{0.1})
+}
+
+func TestDebounceObserveDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed by race-detector instrumentation")
+	}
+	d := NewDebouncer([]string{"a", "b", "c"}, DebounceConfig{Smooth: 4, Suppress: 2})
+	scores := []float32{0.7, 0.2, 0.1}
+	d.Observe(scores)
+	allocs := testing.AllocsPerRun(100, func() { d.Observe(scores) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}

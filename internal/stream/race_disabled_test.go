@@ -1,0 +1,7 @@
+//go:build !race
+
+package stream
+
+// raceEnabled reports that the race detector is active; allocation-count
+// assertions are unreliable under its instrumentation and are skipped.
+const raceEnabled = false

@@ -1,0 +1,97 @@
+// Package stream is the live streaming inference plane (paper Sec. 4.6's
+// continuous classification, operationalized server-side): devices hold a
+// long-lived session, push interleaved sensor frames into a per-session
+// ring buffer sized from the impulse's input window, and receive rolling
+// classifications over overlapping windows with debounced event emission.
+// The session core is transport-agnostic — the API layer speaks chunked
+// NDJSON today, and a WebSocket transport can reuse the same sessions.
+package stream
+
+// Ring is a fixed-capacity circular buffer of interleaved multi-axis
+// frames addressed by absolute frame index. It is deliberately not
+// synchronized: a ring belongs to exactly one session goroutine, which
+// makes every operation race-free without atomics or locks (the bounded
+// inbound queue in front of the session is the concurrency boundary).
+type Ring struct {
+	data []float32
+	axes int
+	capF int   // capacity in frames
+	end  int64 // absolute index one past the newest stored frame
+}
+
+// NewRing allocates a ring holding `frames` frames of `axes` interleaved
+// values each.
+func NewRing(frames, axes int) *Ring {
+	if frames <= 0 || axes <= 0 {
+		panic("stream: ring needs positive frames and axes")
+	}
+	return &Ring{data: make([]float32, frames*axes), axes: axes, capF: frames}
+}
+
+// Axes returns the per-frame value count.
+func (r *Ring) Axes() int { return r.axes }
+
+// Cap returns the capacity in frames.
+func (r *Ring) Cap() int { return r.capF }
+
+// End returns the absolute index one past the newest stored frame (the
+// total number of frames ever appended).
+func (r *Ring) End() int64 { return r.end }
+
+// Start returns the absolute index of the oldest frame still stored.
+func (r *Ring) Start() int64 {
+	if r.end <= int64(r.capF) {
+		return 0
+	}
+	return r.end - int64(r.capF)
+}
+
+// Append stores samples (len must be a multiple of axes), overwriting the
+// oldest frames when full. A batch larger than the capacity keeps only
+// its tail — exactly what a reader that can only ever see the last capF
+// frames would observe.
+func (r *Ring) Append(samples []float32) {
+	if len(samples)%r.axes != 0 {
+		panic("stream: append length not a multiple of axes")
+	}
+	n := len(samples) / r.axes
+	if n > r.capF {
+		skip := n - r.capF
+		r.end += int64(skip)
+		samples = samples[skip*r.axes:]
+	}
+	for len(samples) > 0 {
+		pos := int(r.end%int64(r.capF)) * r.axes
+		c := len(r.data) - pos
+		if c > len(samples) {
+			c = len(samples)
+		}
+		copy(r.data[pos:pos+c], samples[:c])
+		r.end += int64(c / r.axes)
+		samples = samples[c:]
+	}
+}
+
+// CopyAt copies len(dst)/axes frames starting at absolute frame index
+// `start` into dst. It reports false when any requested frame has been
+// overwritten or not yet written.
+func (r *Ring) CopyAt(start int64, dst []float32) bool {
+	if len(dst)%r.axes != 0 {
+		panic("stream: copy length not a multiple of axes")
+	}
+	n := int64(len(dst) / r.axes)
+	if start < r.Start() || start+n > r.end {
+		return false
+	}
+	for len(dst) > 0 {
+		pos := int(start%int64(r.capF)) * r.axes
+		c := len(r.data) - pos
+		if c > len(dst) {
+			c = len(dst)
+		}
+		copy(dst[:c], r.data[pos:pos+c])
+		start += int64(c / r.axes)
+		dst = dst[c:]
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"testing"
+)
+
+func ringFrames(start, n, axes int) []float32 {
+	out := make([]float32, n*axes)
+	for f := 0; f < n; f++ {
+		for a := 0; a < axes; a++ {
+			out[f*axes+a] = float32((start+f)*10 + a)
+		}
+	}
+	return out
+}
+
+func TestRingAppendAndCopy(t *testing.T) {
+	r := NewRing(8, 2)
+	if r.Start() != 0 || r.End() != 0 {
+		t.Fatalf("empty ring range [%d,%d)", r.Start(), r.End())
+	}
+	r.Append(ringFrames(0, 5, 2))
+	if r.End() != 5 || r.Start() != 0 {
+		t.Fatalf("after 5 frames range [%d,%d)", r.Start(), r.End())
+	}
+	dst := make([]float32, 3*2)
+	if !r.CopyAt(1, dst) {
+		t.Fatal("CopyAt(1) refused in-range read")
+	}
+	want := ringFrames(1, 3, 2)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8, 1)
+	r.Append(ringFrames(0, 6, 1))
+	r.Append(ringFrames(6, 6, 1)) // wraps; frames 0..3 overwritten
+	if r.End() != 12 || r.Start() != 4 {
+		t.Fatalf("range [%d,%d), want [4,12)", r.Start(), r.End())
+	}
+	// Oldest retained through newest, across the wrap seam.
+	dst := make([]float32, 8)
+	if !r.CopyAt(4, dst) {
+		t.Fatal("CopyAt(Start) refused")
+	}
+	for i := range dst {
+		if want := float32((4 + i) * 10); dst[i] != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+	// Overwritten and future reads refuse.
+	if r.CopyAt(3, make([]float32, 2)) {
+		t.Error("CopyAt read an overwritten frame")
+	}
+	if r.CopyAt(11, make([]float32, 2)) {
+		t.Error("CopyAt read past End")
+	}
+}
+
+func TestRingOversizedBatchKeepsTail(t *testing.T) {
+	r := NewRing(4, 1)
+	r.Append(ringFrames(0, 11, 1))
+	if r.End() != 11 || r.Start() != 7 {
+		t.Fatalf("range [%d,%d), want [7,11)", r.Start(), r.End())
+	}
+	dst := make([]float32, 4)
+	if !r.CopyAt(7, dst) {
+		t.Fatal("CopyAt refused")
+	}
+	for i := range dst {
+		if want := float32((7 + i) * 10); dst[i] != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestRingMisalignedPanics(t *testing.T) {
+	r := NewRing(4, 3)
+	for name, fn := range map[string]func(){
+		"append": func() { r.Append(make([]float32, 4)) },
+		"copy":   func() { r.CopyAt(0, make([]float32, 2)) },
+		"new":    func() { NewRing(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on misuse", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -449,3 +449,78 @@ func Stream(label string, rate int, seconds float64, nEvents int, noise float64,
 	}
 	return dsp.Signal{Data: out, Rate: rate, Axes: 1}, events, nil
 }
+
+// Source replays a synthesized signal chunk by chunk — the continuous
+// feed for streaming inference (live classification demos, the
+// `ei-daemon -stream` mode, and the streaming e2e tests). Chunks are
+// bit-identical to the corresponding slices of the one-shot signal, so
+// windowed classification over a streamed source reproduces one-shot
+// extraction exactly.
+type Source struct {
+	sig  dsp.Signal
+	pos  int
+	loop bool
+}
+
+// NewSource wraps an already-synthesized signal. loop restarts the feed
+// at the beginning instead of ending it.
+func NewSource(sig dsp.Signal, loop bool) *Source {
+	return &Source{sig: sig, loop: loop}
+}
+
+// NewStreamSource synthesizes a keyword stream (see Stream) and returns
+// it as a chunked source plus the ground-truth events.
+func NewStreamSource(label string, rate int, seconds float64, nEvents int, noise float64, seed int64) (*Source, []Event, error) {
+	sig, events, err := Stream(label, rate, seconds, nEvents, noise, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewSource(sig, false), events, nil
+}
+
+// NewVibrationSource synthesizes a continuous vibration feed.
+func NewVibrationSource(rate int, seconds float64, anomalous bool, seed int64) *Source {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSource(Vibration(rate, seconds, anomalous, rng), false)
+}
+
+// Axes returns the interleaved value count per frame.
+func (s *Source) Axes() int {
+	if s.sig.Axes <= 0 {
+		return 1
+	}
+	return s.sig.Axes
+}
+
+// Rate returns the sample rate in Hz.
+func (s *Source) Rate() int { return s.sig.Rate }
+
+// Remaining returns the frames left before the source ends (the full
+// length for a looping source's current pass).
+func (s *Source) Remaining() int { return s.sig.Frames() - s.pos }
+
+// Next returns the next batch of up to `frames` frames as a freshly
+// allocated interleaved slice (callers may hand it off without copying),
+// or nil when the source is exhausted. A shorter final batch flushes the
+// tail; a looping source never returns nil.
+func (s *Source) Next(frames int) []float32 {
+	if frames <= 0 {
+		return nil
+	}
+	axes := s.Axes()
+	total := s.sig.Frames()
+	if s.pos >= total {
+		if !s.loop {
+			return nil
+		}
+		s.pos = 0
+	}
+	end := s.pos + frames
+	if end > total {
+		end = total
+	}
+	out := make([]float32, (end-s.pos)*axes)
+	copy(out, s.sig.Data[s.pos*axes:end*axes])
+	s.pos = end
+	return out
+}

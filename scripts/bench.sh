@@ -12,9 +12,10 @@ cd "$(dirname "$0")/.."
 
 benchtime=${BENCHTIME:-1s}
 pattern=${BENCH:-.}
-# Root ablation/table benchmarks plus the kernel microbenchmarks and
-# the storage engine (upload persistence + cold signal reads).
-pkgs=(. ./internal/fft ./internal/nn ./internal/dsp ./internal/quant ./internal/store)
+# Root ablation/table benchmarks plus the kernel microbenchmarks, the
+# storage engine (upload persistence + cold signal reads) and the
+# streaming plane (per-window rolling classification).
+pkgs=(. ./internal/fft ./internal/nn ./internal/dsp ./internal/quant ./internal/store ./internal/stream)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
