@@ -38,10 +38,12 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/client"
@@ -123,7 +125,7 @@ func main() {
 				if err != nil {
 					fatal(fmt.Errorf("spool recovery %d/%d: %w", i+1, len(pending), err))
 				}
-				id, err := up.sendAs(e.Project, e.Label, e.Doc)
+				id, err := up.sendWithRetry(e.Project, e.Label, e.Doc)
 				if err != nil {
 					fatal(fmt.Errorf("spool recovery %d/%d: %w", i+1, len(pending), err))
 				}
@@ -231,6 +233,37 @@ func (u *uploader) sendAs(project int, label string, doc []byte) (string, error)
 	return uploaded.SampleID, nil
 }
 
+// sendWithRetry re-uploads one recovered spool entry, riding through a
+// server that is still warming up or shedding load (429/503) with the
+// client's shared retry schedule. The client itself won't replay POSTs
+// on 503, but spool re-uploads are safe to replay: ingestion dedup
+// turns an already-landed window into a 409, which sendAs treats as an
+// acknowledgment.
+func (u *uploader) sendWithRetry(project int, label string, doc []byte) (string, error) {
+	const maxAttempts = 6
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		id, err := u.sendAs(project, label, doc)
+		if err == nil {
+			return id, nil
+		}
+		lastErr = err
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) ||
+			(apiErr.Status != http.StatusTooManyRequests && apiErr.Status != http.StatusServiceUnavailable) {
+			return "", err
+		}
+		if attempt+1 >= maxAttempts {
+			return "", lastErr
+		}
+		select {
+		case <-u.ctx.Done():
+			return "", u.ctx.Err()
+		case <-time.After(client.RetryDelay(attempt, apiErr)):
+		}
+	}
+}
+
 // buildDevice wires a synthetic sensor into the simulated firmware.
 func buildDevice(kind, hmacKey string, seed int64) (*firmware.Device, error) {
 	rng := rand.New(rand.NewSource(seed))
@@ -312,7 +345,12 @@ func runStream(ctx context.Context, c *client.Client, projectID int, kind string
 	}
 
 	// Tail the event feed concurrently with the pushes, like a device UI.
-	tailCtx, cancelTail := context.WithCancel(ctx)
+	// The tail runs on a context that survives SIGTERM: on interrupt the
+	// push loop stops, the session is closed (which flushes queued frames
+	// server-side and emits the terminal event), and only then is the
+	// tail released — cancelling it with ctx would drop the terminal
+	// event and the flush stats on every graceful shutdown.
+	tailCtx, cancelTail := context.WithCancel(context.WithoutCancel(ctx))
 	defer cancelTail()
 	tailDone := make(chan error, 1)
 	go func() {
@@ -340,15 +378,33 @@ func runStream(ctx context.Context, c *client.Client, projectID int, kind string
 			break
 		}
 		if _, err := sess.Push(ctx, frames); err != nil {
+			if ctx.Err() != nil {
+				break // interrupted mid-push: fall through to the graceful close
+			}
 			return fmt.Errorf("pushing frames: %w", err)
 		}
 	}
-	closed, err := sess.Close(context.WithoutCancel(ctx))
+	// Shutdown ordering: close the session first (bounded, surviving the
+	// interrupt) so the server flushes queued frames and emits the
+	// terminal event, then wait for the tail to deliver it.
+	closeCtx, cancelClose := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+	defer cancelClose()
+	closed, err := sess.Close(closeCtx)
 	if err != nil {
+		cancelTail()
+		<-tailDone
 		return fmt.Errorf("closing stream: %w", err)
 	}
-	if err := <-tailDone; err != nil && ctx.Err() == nil {
-		return fmt.Errorf("event feed: %w", err)
+	select {
+	case err := <-tailDone:
+		if err != nil && ctx.Err() == nil {
+			return fmt.Errorf("event feed: %w", err)
+		}
+	case <-closeCtx.Done():
+		// The feed never saw the terminal event within the drain budget;
+		// release it rather than hang shutdown.
+		cancelTail()
+		<-tailDone
 	}
 	fmt.Printf("closed: %d frames in, %d windows, %d detections, %d dropped\n",
 		closed.Stats.FramesIn, closed.Stats.Windows, closed.Stats.Detections, closed.Stats.Dropped)

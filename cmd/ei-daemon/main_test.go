@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/client"
+)
+
+// fakeStudio is a minimal in-process studio: just enough of the
+// streaming session API for runStream to exercise its shutdown path.
+type fakeStudio struct {
+	mu        sync.Mutex
+	pushes    int
+	deleted   bool
+	firstPush chan struct{} // closed after the first frame batch lands
+	closedCh  chan struct{} // closed when DELETE arrives
+}
+
+func newFakeStudio() *fakeStudio {
+	return &fakeStudio{firstPush: make(chan struct{}), closedCh: make(chan struct{})}
+}
+
+func (f *fakeStudio) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/projects/1/stream", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(v1.StreamOpenResponse{
+			Success: true, SessionID: "stream-1",
+			WindowSamples: 8, StrideSamples: 4, Rate: 8000, Axes: 1,
+			Classes: []string{"yes", "noise"},
+		})
+	})
+	mux.HandleFunc("POST /api/v1/projects/1/stream/stream-1/frames", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.pushes++
+		if f.pushes == 1 {
+			close(f.firstPush)
+		}
+		n := int64(f.pushes)
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(v1.StreamPushResponse{Success: true, FramesIn: n * 4})
+	})
+	mux.HandleFunc("GET /api/v1/projects/1/stream/stream-1/events", func(w http.ResponseWriter, r *http.Request) {
+		enc := json.NewEncoder(w)
+		enc.Encode(v1.StreamEvent{Seq: 1, Type: "state", Status: "open"})
+		w.(http.Flusher).Flush()
+		// The terminal event only exists once the session is closed; a
+		// correct daemon keeps this feed alive through SIGTERM until then.
+		select {
+		case <-f.closedCh:
+		case <-r.Context().Done():
+			return
+		}
+		enc.Encode(v1.StreamEvent{Seq: 2, Type: "state", Status: "closed", Reason: "client closed"})
+	})
+	mux.HandleFunc("DELETE /api/v1/projects/1/stream/stream-1", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		if !f.deleted {
+			f.deleted = true
+			close(f.closedCh)
+		}
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(v1.StreamCloseResponse{Success: true})
+	})
+	return mux
+}
+
+// TestRunStreamSIGTERM delivers a real SIGTERM mid-stream and asserts
+// the graceful-shutdown ordering: the push loop stops, the session is
+// still explicitly closed (DELETE reaches the server, flushing queued
+// frames), and the event tail survives the interrupt long enough to
+// deliver the terminal event — so runStream returns cleanly instead of
+// with a context error.
+func TestRunStreamSIGTERM(t *testing.T) {
+	f := newFakeStudio()
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	// Interrupt the run as soon as the first frame batch has landed.
+	go func() {
+		select {
+		case <-f.firstPush:
+		case <-time.After(10 * time.Second):
+		}
+		syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	}()
+
+	c := client.New(srv.URL, client.WithAPIKey("k"))
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runStream(ctx, c, 1, "keyword:yes", streamOpts{
+			Seconds: 300, Events: 3, Seed: 1, // far more signal than the test will push
+		})
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("runStream after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("runStream did not return after SIGTERM")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("SIGTERM was never delivered")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.deleted {
+		t.Fatal("session was not closed (no DELETE) during graceful shutdown")
+	}
+	if f.pushes == 0 {
+		t.Fatal("no frames were pushed before the interrupt")
+	}
+}

@@ -1,0 +1,164 @@
+// Command ei-ratchet is the performance ratchet: it diffs the two
+// newest committed BENCH_<stamp>.json files and fails when a named
+// hot-path benchmark regressed beyond the threshold. Run it in CI so a
+// PR cannot land a benchmark record that quietly gives back the
+// latency the optimization PRs bought.
+//
+// Usage:
+//
+//	go run ./cmd/ei-ratchet                 # compare two newest in .
+//	go run ./cmd/ei-ratchet -threshold 10
+//	go run ./cmd/ei-ratchet -bench BenchmarkFFT256,BenchmarkDenseForward
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// hotPaths are the benchmarks the ratchet guards by default: the
+// kernel, DSP, storage and streaming measurements behind the paper's
+// latency tables. Table/figure reproduction benchmarks are excluded —
+// they measure scenario composition, not a single hot path.
+var hotPaths = []string{
+	"BenchmarkConv2DForward",
+	"BenchmarkDenseForward",
+	"BenchmarkFFT256",
+	"BenchmarkMFE1s16k",
+	"BenchmarkMFCC1s16k",
+	"BenchmarkAblationEONCompiled",
+	"BenchmarkAblationInt8Kernels",
+	"BenchmarkPersistSample/store/resident=1000",
+	"BenchmarkStreamWindow",
+}
+
+// benchFile mirrors the subset of cmd/ei-bench's schema the ratchet
+// needs.
+type benchFile struct {
+	Stamp      string `json:"stamp"`
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func (f *benchFile) byName() map[string]float64 {
+	m := make(map[string]float64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		m[b.Name] = b.NsPerOp
+	}
+	return m
+}
+
+// loadSeries parses every BENCH_*.json in dir, ordered oldest to
+// newest by the embedded stamp (lexicographic: the stamps are
+// YYYYMMDD-HHMMSS).
+func loadSeries(dir string) ([]benchFile, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var series []benchFile
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var f benchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		if f.Stamp == "" {
+			return nil, fmt.Errorf("%s: missing stamp", p)
+		}
+		series = append(series, f)
+	}
+	sort.Slice(series, func(i, j int) bool { return series[i].Stamp < series[j].Stamp })
+	return series, nil
+}
+
+// delta is one watched benchmark's movement between two records.
+type delta struct {
+	Name       string
+	Prev, Cur  float64 // ns/op; 0 when absent from that record
+	ChangePct  float64
+	Regressed  bool
+	Incomplete bool // absent from one side, nothing to compare
+}
+
+// compare diffs cur against prev for the named benchmarks. A benchmark
+// missing from either record is reported Incomplete rather than
+// failed: bench runs are allowed to grow coverage over time, and an
+// older record naturally lacks newer benchmarks.
+func compare(prev, cur map[string]float64, names []string, thresholdPct float64) []delta {
+	deltas := make([]delta, 0, len(names))
+	for _, name := range names {
+		d := delta{Name: name, Prev: prev[name], Cur: cur[name]}
+		if d.Prev <= 0 || d.Cur <= 0 {
+			d.Incomplete = true
+		} else {
+			d.ChangePct = (d.Cur - d.Prev) / d.Prev * 100
+			d.Regressed = d.ChangePct > thresholdPct
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+func run(dir string, names []string, thresholdPct float64, out *strings.Builder) (failed bool, err error) {
+	series, err := loadSeries(dir)
+	if err != nil {
+		return false, err
+	}
+	if len(series) < 2 {
+		fmt.Fprintf(out, "ei-ratchet: %d benchmark record(s) in %s, nothing to compare\n", len(series), dir)
+		return false, nil
+	}
+	prev, cur := series[len(series)-2], series[len(series)-1]
+	fmt.Fprintf(out, "ei-ratchet: %s -> %s (threshold +%.0f%% ns/op)\n", prev.Stamp, cur.Stamp, thresholdPct)
+	for _, d := range compare(prev.byName(), cur.byName(), names, thresholdPct) {
+		switch {
+		case d.Incomplete:
+			fmt.Fprintf(out, "  skip %-45s absent from one record\n", d.Name)
+		case d.Regressed:
+			failed = true
+			fmt.Fprintf(out, "  FAIL %-45s %.0f -> %.0f ns/op (%+.1f%%)\n", d.Name, d.Prev, d.Cur, d.ChangePct)
+		default:
+			fmt.Fprintf(out, "  ok   %-45s %.0f -> %.0f ns/op (%+.1f%%)\n", d.Name, d.Prev, d.Cur, d.ChangePct)
+		}
+	}
+	return failed, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json series")
+	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
+	bench := flag.String("bench", "", "comma-separated benchmark names to guard (default: built-in hot-path list)")
+	flag.Parse()
+
+	names := hotPaths
+	if *bench != "" {
+		names = nil
+		for _, n := range strings.Split(*bench, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	var out strings.Builder
+	failed, err := run(*dir, names, *threshold, &out)
+	os.Stdout.WriteString(out.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ei-ratchet: %v\n", err)
+		os.Exit(2)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "ei-ratchet: hot-path benchmark regression above threshold")
+		os.Exit(1)
+	}
+}

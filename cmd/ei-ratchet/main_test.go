@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, stamp string, ns map[string]float64) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"stamp":"` + stamp + `","benchmarks":[`)
+	first := true
+	for name, v := range ns {
+		if !first {
+			sb.WriteString(",")
+		}
+		first = false
+		sb.WriteString(`{"name":"` + name + `","ns_per_op":` + strconv.FormatFloat(v, 'f', -1, 64) + `}`)
+	}
+	sb.WriteString(`]}`)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+stamp+".json"), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareFlagsOnlyThresholdBreaches(t *testing.T) {
+	prev := map[string]float64{"A": 100, "B": 100, "C": 100}
+	cur := map[string]float64{"A": 114, "B": 116, "C": 80}
+	ds := compare(prev, cur, []string{"A", "B", "C"}, 15)
+	if ds[0].Regressed || ds[0].Incomplete {
+		t.Fatalf("+14%% within threshold flagged: %+v", ds[0])
+	}
+	if !ds[1].Regressed {
+		t.Fatalf("+16%% not flagged: %+v", ds[1])
+	}
+	if ds[2].Regressed || ds[2].ChangePct > -19 {
+		t.Fatalf("improvement mishandled: %+v", ds[2])
+	}
+}
+
+func TestCompareMissingBenchmarkIsIncompleteNotFailed(t *testing.T) {
+	ds := compare(map[string]float64{"A": 100}, map[string]float64{"B": 50}, []string{"A", "B"}, 15)
+	for _, d := range ds {
+		if !d.Incomplete || d.Regressed {
+			t.Fatalf("missing side must be incomplete: %+v", d)
+		}
+	}
+}
+
+func TestRunComparesTwoNewestByStamp(t *testing.T) {
+	dir := t.TempDir()
+	// An old record with a terrible number must be ignored: only the
+	// two newest stamps participate.
+	writeBench(t, dir, "20260101-000000", map[string]float64{"BenchmarkFFT256": 10})
+	writeBench(t, dir, "20260201-000000", map[string]float64{"BenchmarkFFT256": 1000})
+	writeBench(t, dir, "20260301-000000", map[string]float64{"BenchmarkFFT256": 1100})
+
+	var out strings.Builder
+	failed, err := run(dir, []string{"BenchmarkFFT256"}, 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("+10%% against the previous stamp flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "20260201-000000 -> 20260301-000000") {
+		t.Fatalf("wrong pair compared:\n%s", out.String())
+	}
+
+	// A fourth record with a >15% jump trips the ratchet.
+	writeBench(t, dir, "20260401-000000", map[string]float64{"BenchmarkFFT256": 1400})
+	out.Reset()
+	failed, err = run(dir, []string{"BenchmarkFFT256"}, 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("+27%% regression passed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkFFT256") {
+		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestRunWithFewerThanTwoRecordsPasses(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	failed, err := run(dir, hotPaths, 15, &out)
+	if err != nil || failed {
+		t.Fatalf("empty dir: failed=%v err=%v", failed, err)
+	}
+	writeBench(t, dir, "20260101-000000", map[string]float64{"BenchmarkFFT256": 10})
+	failed, err = run(dir, hotPaths, 15, &out)
+	if err != nil || failed {
+		t.Fatalf("single record: failed=%v err=%v", failed, err)
+	}
+}
+
+func TestRunRejectsMalformedRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_bad.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := run(dir, hotPaths, 15, &out); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+}
+
+// TestRatchetAgainstCommittedSeries runs the real hot-path list over
+// the repository's committed BENCH_*.json files: the ratchet must hold
+// on the actual series CI will diff.
+func TestRatchetAgainstCommittedSeries(t *testing.T) {
+	var out strings.Builder
+	failed, err := run("../..", hotPaths, 15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("committed benchmark series breaches the ratchet:\n%s", out.String())
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"edgepulse/internal/dsp"
 	"edgepulse/internal/jobs"
 	"edgepulse/internal/project"
+	"edgepulse/internal/resilience"
 )
 
 func main() {
@@ -44,6 +45,10 @@ func main() {
 	burst := flag.Int("burst", 200, "per-API-key burst allowance")
 	trustProxy := flag.Bool("trust-proxy", false, "rate-limit by X-Forwarded-For client IP (only behind a proxy that sets it)")
 	streams := flag.Int("streams", 0, "max concurrent streaming inference sessions (0 = default)")
+	inflight := flag.Int("inflight", 0, "max concurrent in-flight requests before the admission gate hard-sheds (0 = default)")
+	memLimitMB := flag.Int("mem-limit-mb", 0, "heap budget in MiB fed into the admission gate's load score (0 = ignore memory)")
+	watchdog := flag.Duration("watchdog", 2*time.Minute, "flag running jobs with no progress for this long as stalled (0 = disable)")
+	watchdogCancel := flag.Bool("watchdog-cancel", false, "also cancel jobs the watchdog flags as stalled")
 	flag.Parse()
 
 	registry := project.NewRegistry()
@@ -70,6 +75,7 @@ func main() {
 	opts := []api.Option{
 		api.WithLogger(logger),
 		api.WithRateLimit(*rate, *burst),
+		api.WithGate(resilience.GateConfig{MaxInflight: *inflight}),
 	}
 	if *trustProxy {
 		opts = append(opts, api.WithTrustProxy())
@@ -77,7 +83,23 @@ func main() {
 	if *streams > 0 {
 		opts = append(opts, api.WithStreamSessions(*streams))
 	}
+	if *memLimitMB > 0 {
+		opts = append(opts, api.WithMemoryLimit(uint64(*memLimitMB)<<20))
+	}
+	if *watchdog > 0 {
+		opts = append(opts, api.WithWatchdog(*watchdog, *watchdogCancel))
+	}
+	if *dataDir != "" {
+		// /readyz goes red if the state directory disappears out from
+		// under the process (unmounted volume, deleted tree).
+		dir := *dataDir
+		opts = append(opts, api.WithReadinessProbe("store", func() error {
+			_, err := os.Stat(dir)
+			return err
+		}))
+	}
 	server := api.NewServer(registry, sched, opts...)
+	defer server.Close()
 	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
 
 	// Graceful shutdown: drain live streaming sessions (each flushes its

@@ -24,6 +24,10 @@
 //     ring buffers, rolling classification, debounced detections
 //   - internal/client   — the first-class Go client for the v1 API,
 //     used by cmd/ei-cli and cmd/ei-daemon (see docs/API.md)
+//   - internal/resilience, faults — the daemon-wide resilience layer:
+//     admission gate, deadline budgets, health/readiness, job
+//     watchdog, shared retry primitives, and the build-tag-free
+//     chaos fault-injection registry
 //   - internal/deploy, eim — deployment artifacts and the EIM runner
 //   - internal/bench, report — the paper's tables and figures
 //

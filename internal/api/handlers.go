@@ -117,6 +117,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, u *projec
 		FramesIn: sp.Stats.FramesIn, Windows: sp.Stats.Windows,
 		Detections: sp.Stats.Detections, DroppedFrames: sp.Stats.DroppedFrames,
 	}
+	// snapshot() filled the middleware-side shed/deadline totals; enrich
+	// with the gate's live view and the watchdog's counters.
+	gm := s.gate.Metrics()
+	out.Resilience.Level = gm.Level
+	out.Resilience.Score = gm.Score
+	out.Resilience.Inflight = gm.Inflight
+	out.Resilience.ShedByClass = gm.Shed
+	if s.watchdog != nil {
+		out.Resilience.StalledJobs = s.watchdog.Stalled()
+		out.Resilience.WatchdogCancelled = s.watchdog.Cancelled()
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -412,12 +423,14 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, u *project.
 
 // submitError maps a scheduler admission failure: a tenant over its
 // queue quota gets 429 (back off and retry), a full scheduler 503.
+// Both carry Retry-After — every shed response in the API is retryable.
 func (s *Server) submitError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, jobs.ErrQuotaExceeded) {
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, r, http.StatusTooManyRequests, v1.CodeRateLimited, err.Error())
 		return
 	}
+	w.Header().Set("Retry-After", "2")
 	s.writeError(w, r, http.StatusServiceUnavailable, v1.CodeUnavailable, err.Error())
 }
 

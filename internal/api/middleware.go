@@ -294,6 +294,13 @@ func (s *Server) withRateLimit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		if isHealthPath(r.URL.Path) {
+			// Probes bypass the limiter: an orchestrator polling through
+			// a shared NAT must never be throttled into flapping the
+			// instance out of rotation.
+			next.ServeHTTP(w, r)
+			return
+		}
 		host := s.clientHost(r)
 		now := time.Now()
 		allowed, authenticated := false, false
@@ -342,6 +349,8 @@ type apiMetrics struct {
 	requests    int64
 	rateLimited int64
 	panics      int64
+	sheds       int64
+	deadlines   int64
 	routes      map[string]*routeStat
 	streams     map[string]*streamStat
 }
@@ -427,6 +436,21 @@ func (m *apiMetrics) panic() {
 	m.mu.Unlock()
 }
 
+// shedRequest counts a request refused by the admission gate (429
+// "overloaded"); deadlineTimeout counts a request answered 504 because
+// its budget expired before the handler wrote anything.
+func (m *apiMetrics) shedRequest() {
+	m.mu.Lock()
+	m.sheds++
+	m.mu.Unlock()
+}
+
+func (m *apiMetrics) deadlineTimeout() {
+	m.mu.Lock()
+	m.deadlines++
+	m.mu.Unlock()
+}
+
 // snapshot renders the counters as the v1 DTO, routes sorted by name.
 func (m *apiMetrics) snapshot() v1.MetricsResponse {
 	m.mu.Lock()
@@ -462,27 +486,38 @@ func (m *apiMetrics) snapshot() v1.MetricsResponse {
 		Panics:        m.panics,
 		Routes:        routes,
 		Streams:       streams,
+		Resilience: &v1.ResilienceMetrics{
+			Shed:             m.sheds,
+			DeadlineTimeouts: m.deadlines,
+		},
 	}
 }
 
 // instrument wraps one route's handler to record per-route counters
-// under the given (v1) pattern.
-func (s *Server) instrument(route string, h http.Handler) http.Handler {
+// under the given (v1) pattern. Layering, outermost first: statusWriter
+// + metrics, admission gate, deadline budget, handler — so gate 429s
+// and deadline 504s are counted per route, and withDeadline can ask the
+// statusWriter whether the handler wrote anything before answering 504.
+func (s *Server) instrument(route string, ro routeOpts, h http.Handler) http.Handler {
+	inner := s.withGate(ro, s.withDeadline(ro.effectiveBudget(), h))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		defer func() {
 			s.metrics.record(route, sw.status, time.Since(start))
 		}()
-		h.ServeHTTP(sw, r)
+		inner.ServeHTTP(sw, r)
 	})
 }
 
 // instrumentStream wraps a long-lived streaming route: the request
 // counter still records status and errors, but the connection's
 // lifetime is accounted under stream metrics with zero request
-// duration, so held-open feeds don't distort the route's latency.
-func (s *Server) instrumentStream(route string, h http.Handler) http.Handler {
+// duration, so held-open feeds don't distort the route's latency. The
+// admission gate still applies (a shed feed is cheap to retry); no
+// deadline does — the connection manages its own lifetime.
+func (s *Server) instrumentStream(route string, ro routeOpts, h http.Handler) http.Handler {
+	inner := s.withGate(ro, h)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
@@ -492,6 +527,6 @@ func (s *Server) instrumentStream(route string, h http.Handler) http.Handler {
 			s.metrics.streamEnd(route, dur)
 			s.metrics.record(route, sw.status, 0)
 		}()
-		h.ServeHTTP(sw, r)
+		inner.ServeHTTP(sw, r)
 	})
 }

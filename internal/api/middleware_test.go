@@ -119,7 +119,7 @@ func TestPanicRecoveryEnvelope(t *testing.T) {
 	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 1})
 	t.Cleanup(sched.Shutdown)
 	s := NewServer(reg, sched)
-	s.mux.Handle("GET /api/v1/boom", s.instrument("GET /api/v1/boom", http.HandlerFunc(
+	s.mux.Handle("GET /api/v1/boom", s.instrument("GET /api/v1/boom", defaultOpts, http.HandlerFunc(
 		func(w http.ResponseWriter, r *http.Request) { panic("kaboom") })))
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)

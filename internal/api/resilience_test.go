@@ -1,0 +1,256 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/jobs"
+	"edgepulse/internal/project"
+	"edgepulse/internal/resilience"
+)
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	reg := project.NewRegistry()
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(sched.Shutdown)
+	srv := httptest.NewServer(NewServer(reg, sched).Handler())
+	t.Cleanup(srv.Close)
+
+	for _, path := range []string{"/api/v1/healthz", "/api/healthz"} {
+		var out v1.HealthResponse
+		resp := getJSON(t, srv.URL+path, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if !out.Success || out.Status != "ok" || out.UptimeSeconds < 0 {
+			t.Fatalf("%s: %+v", path, out)
+		}
+	}
+}
+
+func TestReadyzDegradesAndRecovers(t *testing.T) {
+	reg := project.NewRegistry()
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(sched.Shutdown)
+	probeErr := error(nil)
+	s := NewServer(reg, sched,
+		WithReadinessProbe("store", func() error { return probeErr }))
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	var out v1.ReadyResponse
+	resp := getJSON(t, srv.URL+"/api/v1/readyz", &out)
+	if resp.StatusCode != http.StatusOK || !out.Ready {
+		t.Fatalf("healthy readyz: %d %+v", resp.StatusCode, out)
+	}
+	if out.Probes["scheduler"] != "ok" || out.Probes["overload"] != "ok" || out.Probes["store"] != "ok" {
+		t.Fatalf("probes: %+v", out.Probes)
+	}
+
+	// A failing dependency probe flips readiness to 503 with the probe
+	// named in the body.
+	probeErr = errOut("volume unmounted")
+	out = v1.ReadyResponse{}
+	resp = getJSON(t, srv.URL+"/api/v1/readyz", &out)
+	if resp.StatusCode != http.StatusServiceUnavailable || out.Ready {
+		t.Fatalf("degraded readyz: %d %+v", resp.StatusCode, out)
+	}
+	if out.Probes["store"] != "volume unmounted" {
+		t.Fatalf("probes: %+v", out.Probes)
+	}
+
+	// Healing the dependency restores 200 without a restart.
+	probeErr = nil
+	resp = getJSON(t, srv.URL+"/api/v1/readyz", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered readyz: %d", resp.StatusCode)
+	}
+
+	// Draining flips readiness regardless of probe health.
+	s.health.SetDraining(true)
+	out = v1.ReadyResponse{}
+	resp = getJSON(t, srv.URL+"/api/v1/readyz", &out)
+	if resp.StatusCode != http.StatusServiceUnavailable || !out.Draining {
+		t.Fatalf("draining readyz: %d %+v", resp.StatusCode, out)
+	}
+}
+
+type errOut string
+
+func (e errOut) Error() string { return string(e) }
+
+func TestHealthPathsBypassRateLimit(t *testing.T) {
+	reg := project.NewRegistry()
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(sched.Shutdown)
+	// One request per second with burst 1: any second request would be
+	// throttled if probes shared the limiter.
+	srv := httptest.NewServer(NewServer(reg, sched, WithRateLimit(1, 1)).Handler())
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 10; i++ {
+		resp := getJSON(t, srv.URL+"/api/v1/healthz", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz request %d throttled: %d", i, resp.StatusCode)
+		}
+		resp = getJSON(t, srv.URL+"/api/v1/readyz", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("readyz request %d throttled: %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestDeadlineBudgetMapsTo504(t *testing.T) {
+	reg := project.NewRegistry()
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(sched.Shutdown)
+	s := NewServer(reg, sched)
+	s.mux.Handle("GET /api/v1/slow", s.instrument("GET /api/v1/slow",
+		routeOpts{budget: 20 * time.Millisecond}, http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				// Overrun the budget without ever writing: the middleware
+				// owns the response.
+				<-r.Context().Done()
+			})))
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	var env v1.ErrorResponse
+	resp := getJSON(t, srv.URL+"/api/v1/slow", &env)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if env.Success || env.Error.Code != v1.CodeDeadline {
+		t.Fatalf("envelope: %+v", env)
+	}
+
+	// The timeout shows up in the metrics DTO and per-route counters.
+	snap := s.metrics.snapshot()
+	if snap.Resilience == nil || snap.Resilience.DeadlineTimeouts != 1 {
+		t.Fatalf("resilience metrics: %+v", snap.Resilience)
+	}
+}
+
+func TestDeadlineDoesNotClobberStartedResponse(t *testing.T) {
+	reg := project.NewRegistry()
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(sched.Shutdown)
+	s := NewServer(reg, sched)
+	s.mux.Handle("GET /api/v1/latewrite", s.instrument("GET /api/v1/latewrite",
+		routeOpts{budget: 20 * time.Millisecond}, http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				// The handler blows its budget but still writes its own
+				// response; the middleware must not append a 504 envelope.
+				<-r.Context().Done()
+				w.WriteHeader(http.StatusAccepted)
+				w.Write([]byte(`{"late":true}`))
+			})))
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	resp := getJSON(t, srv.URL+"/api/v1/latewrite", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want handler's own 202", resp.StatusCode)
+	}
+	snap := s.metrics.snapshot()
+	if snap.Resilience.DeadlineTimeouts != 0 {
+		t.Fatalf("counted a deadline timeout for a handler that responded: %+v", snap.Resilience)
+	}
+}
+
+func TestGateShedsWithRetryAfterAndAccounting(t *testing.T) {
+	reg := project.NewRegistry()
+	sched := jobs.NewScheduler(jobs.Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(sched.Shutdown)
+	s := NewServer(reg, sched, WithGate(resilience.GateConfig{
+		MaxInflight: 1, SamplePeriod: time.Nanosecond,
+	}))
+	ok := func(w http.ResponseWriter, r *http.Request) { w.Write([]byte(`{}`)) }
+	s.mux.Handle("GET /api/v1/work", s.instrument("GET /api/v1/work", defaultOpts, http.HandlerFunc(ok)))
+	s.mux.Handle("GET /api/v1/hot", s.instrument("GET /api/v1/hot", interactive, http.HandlerFunc(ok)))
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	// Hold the only slot so the next default-class request hard-sheds.
+	release, err := s.gate.Acquire(resilience.ClassDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env v1.ErrorResponse
+	resp := getJSON(t, srv.URL+"/api/v1/work", &env)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if env.Error.Code != v1.CodeOverloaded {
+		t.Fatalf("code %q, want %q", env.Error.Code, v1.CodeOverloaded)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// Interactive traffic still flows at the hard concurrency bound.
+	resp = getJSON(t, srv.URL+"/api/v1/hot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive under hard bound: %d", resp.StatusCode)
+	}
+	release()
+
+	// Shed accounting reaches the metrics DTO: middleware total plus the
+	// gate's per-class breakdown (merged in by handleMetrics).
+	snap := s.metrics.snapshot()
+	if snap.Resilience.Shed != 1 {
+		t.Fatalf("shed counter %d, want 1", snap.Resilience.Shed)
+	}
+	gm := s.gate.Metrics()
+	if gm.Shed["default"] != 1 {
+		t.Fatalf("gate shed by class: %+v", gm.Shed)
+	}
+	// The 429 is also attributed to its route.
+	found := false
+	for _, rt := range snap.Routes {
+		if rt.Route == "GET /api/v1/work" && rt.Err4xx == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shed 429 not recorded on its route: %+v", snap.Routes)
+	}
+}
+
+func TestStatusWriterWriteAfterCancel(t *testing.T) {
+	// A handler whose client vanished mid-response: writes fail at the
+	// transport, but the statusWriter must keep its recorded status and
+	// not panic, so metrics still classify the request.
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	sw.WriteHeader(statusClientClosedRequest)
+	if _, err := sw.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if sw.status != statusClientClosedRequest {
+		t.Fatalf("status %d", sw.status)
+	}
+	// Late WriteHeader calls don't overwrite the first status.
+	sw.WriteHeader(http.StatusOK)
+	if sw.status != statusClientClosedRequest {
+		t.Fatalf("status clobbered: %d", sw.status)
+	}
+}

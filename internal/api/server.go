@@ -24,10 +24,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/jobs"
 	"edgepulse/internal/project"
+	"edgepulse/internal/resilience"
 	"edgepulse/internal/stream"
 )
 
@@ -84,6 +86,15 @@ type Server struct {
 	metrics    *apiMetrics
 	// streams manages live inference sessions (the streaming plane).
 	streams *stream.Manager
+
+	// Resilience plane: gate sheds batch/default work under load,
+	// health backs /readyz, watchdog (optional) flags stuck jobs.
+	gate        *resilience.Gate
+	gateCfg     resilience.GateConfig
+	memLimit    uint64
+	health      *resilience.Health
+	watchdog    *resilience.Watchdog
+	watchdogCfg *resilience.WatchdogConfig
 }
 
 // WithStreamSessions caps concurrent live inference sessions across all
@@ -117,9 +128,26 @@ func NewServer(reg *project.Registry, sched *jobs.Scheduler, opts ...Option) *Se
 		aggLimiter: newRateLimiter(100*aggFactor, 200*aggFactor),
 		metrics:    newAPIMetrics(),
 		streams:    stream.NewManager(stream.DefaultMaxSessions),
+		health:     resilience.NewHealth(),
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	// The gate is built after options so WithGate tuning applies; its
+	// sampler folds in scheduler backlog, stream sessions and (opt-in)
+	// heap pressure on top of the in-flight count it tracks itself.
+	if s.gateCfg.Sample == nil {
+		s.gateCfg.Sample = s.sampleLoad
+	}
+	s.gate = resilience.NewGate(s.gateCfg)
+	s.registerHealthProbes()
+	if s.watchdogCfg != nil {
+		cfg := *s.watchdogCfg
+		cfg.OnStall = func(j *jobs.Job) {
+			s.log.Warn("job stalled", "job", j.ID, "kind", j.Kind)
+		}
+		s.watchdog = resilience.NewWatchdog(sched, cfg)
+		s.watchdog.Start()
 	}
 	// Release a job's stored result together with its scheduler record,
 	// so neither outlives the other unreachably.
@@ -189,85 +217,115 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // that want to drain it on shutdown).
 func (s *Server) Streams() *stream.Manager { return s.streams }
 
-// Drain stops admitting new streaming sessions and closes live ones,
-// letting each flush its queued frames and emit a terminal event. Call
+// Drain starts graceful shutdown: readiness flips to 503 (so load
+// balancers stop routing here), then live streaming sessions are closed,
+// each flushing its queued frames and emitting a terminal event. Call
 // before http.Server.Shutdown so held-open event feeds end gracefully.
 func (s *Server) Drain(ctx context.Context) error {
+	s.health.SetDraining(true)
 	return s.streams.Drain(ctx)
 }
+
+// Close releases the server's background work (the stuck-job watchdog,
+// when enabled). It does not drain; call Drain first for graceful
+// shutdown.
+func (s *Server) Close() {
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+	}
+}
+
+// Health exposes the readiness probe set, so embedding hosts can add
+// probes or flip draining themselves.
+func (s *Server) Health() *resilience.Health { return s.health }
 
 // route registers a handler under both the versioned and the legacy
 // prefix. pattern is "METHOD /path"; metrics for both registrations are
 // keyed by the v1 pattern, so alias traffic folds into its v1 route.
-func (s *Server) route(pattern string, h http.HandlerFunc) {
+// ro selects the route's admission class and deadline budget.
+func (s *Server) route(pattern string, ro routeOpts, h http.HandlerFunc) {
 	method, path, ok := strings.Cut(pattern, " ")
 	if !ok {
 		panic("api: route pattern must be \"METHOD /path\": " + pattern)
 	}
 	v1pat := method + " " + v1.Prefix + path
-	s.mux.Handle(v1pat, s.instrument(v1pat, h))
-	s.mux.Handle(method+" "+v1.LegacyPrefix+path, s.instrument(v1pat, h))
+	s.mux.Handle(v1pat, s.instrument(v1pat, ro, h))
+	s.mux.Handle(method+" "+v1.LegacyPrefix+path, s.instrument(v1pat, ro, h))
 }
 
 // routeStream registers a long-lived NDJSON route: connection lifetime
-// is tracked under stream metrics instead of request latency.
-func (s *Server) routeStream(pattern string, h http.HandlerFunc) {
+// is tracked under stream metrics instead of request latency, and no
+// deadline budget applies — the connection manages its own lifetime.
+func (s *Server) routeStream(pattern string, ro routeOpts, h http.HandlerFunc) {
 	method, path, ok := strings.Cut(pattern, " ")
 	if !ok {
 		panic("api: route pattern must be \"METHOD /path\": " + pattern)
 	}
+	ro.noDeadline = true
 	v1pat := method + " " + v1.Prefix + path
-	s.mux.Handle(v1pat, s.instrumentStream(v1pat, h))
-	s.mux.Handle(method+" "+v1.LegacyPrefix+path, s.instrumentStream(v1pat, h))
+	s.mux.Handle(v1pat, s.instrumentStream(v1pat, ro, h))
+	s.mux.Handle(method+" "+v1.LegacyPrefix+path, s.instrumentStream(v1pat, ro, h))
 }
 
 func (s *Server) routes() {
+	// Liveness/readiness: unauthenticated, exempt from the gate (and
+	// rate limiting — see withRateLimit) so probes keep answering while
+	// the server sheds load.
+	probe := routeOpts{class: resilience.ClassInteractive, exempt: true, budget: 5 * time.Second}
+	s.route("GET /healthz", probe, s.handleHealthz)
+	s.route("GET /readyz", probe, s.handleReadyz)
+
 	// Unauthenticated bootstrap + discovery.
-	s.route("POST /users", s.handleCreateUser)
-	s.route("GET /devices", s.handleDevices)
-	s.route("GET /blocks", s.handleBlocks)
-	s.route("GET /projects/public", s.handlePublicProjects)
+	s.route("POST /users", defaultOpts, s.handleCreateUser)
+	s.route("GET /devices", defaultOpts, s.handleDevices)
+	s.route("GET /blocks", defaultOpts, s.handleBlocks)
+	s.route("GET /projects/public", defaultOpts, s.handlePublicProjects)
 
 	// Operational counters expose route/error/load internals, so they
 	// require an API key like every other non-bootstrap endpoint.
-	s.route("GET /metrics", s.auth(s.handleMetrics))
+	// Interactive class: operators must see metrics during overload.
+	s.route("GET /metrics", interactive, s.auth(s.handleMetrics))
 
 	// Authenticated project APIs.
-	s.route("POST /projects", s.auth(s.handleCreateProject))
-	s.route("GET /projects", s.auth(s.handleListProjects))
-	s.route("GET /projects/{id}", s.auth(s.withProject(s.handleGetProject)))
-	s.route("POST /projects/{id}/public", s.auth(s.withProject(s.handleSetPublic)))
-	s.route("POST /projects/{id}/collaborators", s.auth(s.withProject(s.handleAddCollaborator)))
+	s.route("POST /projects", defaultOpts, s.auth(s.handleCreateProject))
+	s.route("GET /projects", defaultOpts, s.auth(s.handleListProjects))
+	s.route("GET /projects/{id}", defaultOpts, s.auth(s.withProject(s.handleGetProject)))
+	s.route("POST /projects/{id}/public", defaultOpts, s.auth(s.withProject(s.handleSetPublic)))
+	s.route("POST /projects/{id}/collaborators", defaultOpts, s.auth(s.withProject(s.handleAddCollaborator)))
 
-	s.route("POST /projects/{id}/data", s.auth(s.withProject(s.handleUploadData)))
-	s.route("GET /projects/{id}/data", s.auth(s.withProject(s.handleListData)))
-	s.route("DELETE /projects/{id}/data/{sample}", s.auth(s.withProject(s.handleDeleteSample)))
-	s.route("POST /projects/{id}/rebalance", s.auth(s.withProject(s.handleRebalance)))
+	s.route("POST /projects/{id}/data", routeOpts{budget: budgetUpload}, s.auth(s.withProject(s.handleUploadData)))
+	s.route("GET /projects/{id}/data", defaultOpts, s.auth(s.withProject(s.handleListData)))
+	s.route("DELETE /projects/{id}/data/{sample}", defaultOpts, s.auth(s.withProject(s.handleDeleteSample)))
+	s.route("POST /projects/{id}/rebalance", defaultOpts, s.auth(s.withProject(s.handleRebalance)))
 
-	s.route("POST /projects/{id}/impulse", s.auth(s.withProject(s.handleSetImpulse)))
-	s.route("GET /projects/{id}/impulse", s.auth(s.withProject(s.handleGetImpulse)))
+	s.route("POST /projects/{id}/impulse", defaultOpts, s.auth(s.withProject(s.handleSetImpulse)))
+	s.route("GET /projects/{id}/impulse", defaultOpts, s.auth(s.withProject(s.handleGetImpulse)))
 
-	s.route("POST /projects/{id}/train", s.auth(s.withProject(s.handleTrain)))
-	s.route("POST /projects/{id}/tuner", s.auth(s.withProject(s.handleTuner)))
-	s.route("POST /projects/{id}/classify", s.auth(s.withProject(s.handleClassify)))
-	s.route("GET /projects/{id}/deployment", s.auth(s.withProject(s.handleDeployment)))
-	s.route("GET /projects/{id}/profile", s.auth(s.withProject(s.handleProfile)))
+	// Training submits async work (default class); the tuner's long
+	// sweeps are batch class — first to shed under pressure. Classify is
+	// the interactive hot path the gate must never refuse.
+	s.route("POST /projects/{id}/train", defaultOpts, s.auth(s.withProject(s.handleTrain)))
+	s.route("POST /projects/{id}/tuner", batch, s.auth(s.withProject(s.handleTuner)))
+	s.route("POST /projects/{id}/classify", interactive, s.auth(s.withProject(s.handleClassify)))
+	s.route("GET /projects/{id}/deployment", defaultOpts, s.auth(s.withProject(s.handleDeployment)))
+	s.route("GET /projects/{id}/profile", defaultOpts, s.auth(s.withProject(s.handleProfile)))
 
-	s.route("POST /projects/{id}/versions", s.auth(s.withProject(s.handleSnapshot)))
-	s.route("GET /projects/{id}/versions", s.auth(s.withProject(s.handleVersions)))
+	s.route("POST /projects/{id}/versions", batch, s.auth(s.withProject(s.handleSnapshot)))
+	s.route("GET /projects/{id}/versions", defaultOpts, s.auth(s.withProject(s.handleVersions)))
 
-	// Live streaming inference sessions.
-	s.route("POST /projects/{id}/stream", s.auth(s.withProject(s.handleStreamOpen)))
-	s.route("POST /projects/{id}/stream/{sid}/frames", s.auth(s.withProject(s.handleStreamPush)))
-	s.routeStream("GET /projects/{id}/stream/{sid}/events", s.auth(s.withProject(s.handleStreamEvents)))
-	s.route("DELETE /projects/{id}/stream/{sid}", s.auth(s.withProject(s.handleStreamClose)))
-	s.routeStream("POST /projects/{id}/stream/duplex", s.auth(s.withProject(s.handleStreamDuplex)))
+	// Live streaming inference sessions: interactive, a device is
+	// holding an open feed.
+	s.route("POST /projects/{id}/stream", interactive, s.auth(s.withProject(s.handleStreamOpen)))
+	s.route("POST /projects/{id}/stream/{sid}/frames", interactive, s.auth(s.withProject(s.handleStreamPush)))
+	s.routeStream("GET /projects/{id}/stream/{sid}/events", interactive, s.auth(s.withProject(s.handleStreamEvents)))
+	s.route("DELETE /projects/{id}/stream/{sid}", interactive, s.auth(s.withProject(s.handleStreamClose)))
+	s.routeStream("POST /projects/{id}/stream/duplex", interactive, s.auth(s.withProject(s.handleStreamDuplex)))
 
-	s.route("GET /jobs/{job}", s.auth(s.handleGetJob))
-	s.route("GET /jobs/{job}/wait", s.auth(s.handleJobWait))
-	s.route("GET /jobs/{job}/result", s.auth(s.handleJobResult))
-	s.routeStream("GET /jobs/{job}/events", s.auth(s.handleJobEvents))
-	s.route("DELETE /jobs/{job}", s.auth(s.handleCancelJob))
+	s.route("GET /jobs/{job}", defaultOpts, s.auth(s.handleGetJob))
+	s.route("GET /jobs/{job}/wait", routeOpts{budget: budgetWait}, s.auth(s.handleJobWait))
+	s.route("GET /jobs/{job}/result", defaultOpts, s.auth(s.handleJobResult))
+	s.routeStream("GET /jobs/{job}/events", defaultOpts, s.auth(s.handleJobEvents))
+	s.route("DELETE /jobs/{job}", defaultOpts, s.auth(s.handleCancelJob))
 }
 
 // userHandler receives the authenticated user.

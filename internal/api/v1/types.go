@@ -36,6 +36,13 @@ const (
 	// CodeBackpressure means a streaming session's inbound queue is
 	// full; the client should slow down and retry the batch.
 	CodeBackpressure = "backpressure"
+	// CodeOverloaded means the admission gate shed the request under
+	// load (429); retry after the Retry-After delay. Interactive-class
+	// endpoints never return it.
+	CodeOverloaded = "overloaded"
+	// CodeDeadline means the request exceeded its route's processing
+	// deadline before the handler produced a response (504).
+	CodeDeadline = "deadline"
 )
 
 // ErrorDetail is the machine-readable failure description.
@@ -621,6 +628,53 @@ type MetricsResponse struct {
 	// StreamPlane snapshots the live-inference session manager, when
 	// streaming is enabled.
 	StreamPlane *StreamPlaneMetrics `json:"stream_plane,omitempty"`
+	// Resilience snapshots the admission gate, deadline enforcement and
+	// watchdog counters.
+	Resilience *ResilienceMetrics `json:"resilience,omitempty"`
+}
+
+// ResilienceMetrics reports the overload-protection plane's state.
+type ResilienceMetrics struct {
+	// Level is the admission gate's shedding posture: "normal",
+	// "shed-batch" (batch-class refused) or "shed-default" (only
+	// interactive admitted).
+	Level string `json:"level"`
+	// Score is the last computed load score (1.0 = a resource fully
+	// saturated).
+	Score float64 `json:"score"`
+	// Inflight counts currently admitted requests.
+	Inflight int `json:"inflight"`
+	// Shed counts requests refused by the gate (429 overloaded).
+	Shed int64 `json:"shed"`
+	// ShedByClass breaks Shed down per admission class.
+	ShedByClass map[string]int64 `json:"shed_by_class,omitempty"`
+	// DeadlineTimeouts counts requests that exceeded their route budget
+	// (504 deadline).
+	DeadlineTimeouts int64 `json:"deadline_timeouts"`
+	// StalledJobs counts watchdog stalled flags; WatchdogCancelled
+	// counts jobs the watchdog cancelled (both 0 when no watchdog runs).
+	StalledJobs       int64 `json:"stalled_jobs"`
+	WatchdogCancelled int64 `json:"watchdog_cancelled"`
+}
+
+// HealthResponse is the liveness probe at GET /api/v1/healthz: 200 as
+// long as the process can serve HTTP at all, regardless of load.
+type HealthResponse struct {
+	Success       bool    `json:"success"`
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ReadyResponse is the readiness probe at GET /api/v1/readyz: HTTP 200
+// when the instance should receive traffic, 503 while degraded (a
+// dependency probe failing, load shedding active, or draining for
+// shutdown). The body is returned for both statuses.
+type ReadyResponse struct {
+	Success  bool `json:"success"`
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// Probes maps each registered readiness probe to "ok" or its error.
+	Probes map[string]string `json:"probes,omitempty"`
 }
 
 // StreamRouteMetrics aggregates long-lived streaming connections for one

@@ -19,7 +19,12 @@ import (
 	"time"
 
 	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/resilience"
 )
+
+// ErrCircuitOpen is returned without issuing a request while the
+// client's circuit breaker (WithCircuitBreaker) is open.
+var ErrCircuitOpen = resilience.ErrCircuitOpen
 
 // APIError is the decoded error envelope of a non-2xx response.
 type APIError struct {
@@ -62,12 +67,42 @@ func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
 
+// WithCircuitBreaker trips the client open after threshold consecutive
+// hard failures (transport errors and 5xx — rate limiting doesn't
+// count), failing calls fast with ErrCircuitOpen until cooldown passes
+// and a probe request succeeds. threshold <= 0 disables the breaker.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		if threshold <= 0 {
+			c.breaker = nil
+			return
+		}
+		c.breaker = &resilience.Breaker{Threshold: threshold, Cooldown: cooldown}
+	}
+}
+
+// WithRetryBudget caps how many retries the client may spend beyond
+// what successful calls earn back, so a hard outage degrades to roughly
+// one attempt per call instead of multiplying load by 1+retries.
+// max <= 0 disables the budget.
+func WithRetryBudget(max float64) Option {
+	return func(c *Client) {
+		if max <= 0 {
+			c.budget = nil
+			return
+		}
+		c.budget = &resilience.RetryBudget{Max: max}
+	}
+}
+
 // Client talks to one edgepulse studio server.
 type Client struct {
 	baseURL string
 	apiKey  string
 	hc      *http.Client
 	retries int
+	breaker *resilience.Breaker
+	budget  *resilience.RetryBudget
 }
 
 // New builds a client for a server base URL like "http://localhost:4800".
@@ -133,6 +168,14 @@ func (c *Client) doBytes(ctx context.Context, method, path string, q url.Values,
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if c.breaker != nil {
+			if err := c.breaker.Allow(); err != nil {
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last failure: %w)", err, lastErr)
+				}
+				return nil, err
+			}
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -148,7 +191,11 @@ func (c *Client) doBytes(ctx context.Context, method, path string, q url.Values,
 			req.Header.Set("Content-Type", contentType)
 		}
 		raw, apiErr, err := c.roundTrip(req)
+		c.recordOutcome(apiErr, err)
 		if err == nil && apiErr == nil {
+			if c.budget != nil {
+				c.budget.Credit()
+			}
 			return raw, nil
 		}
 		if err != nil {
@@ -163,20 +210,30 @@ func (c *Client) doBytes(ctx context.Context, method, path string, q url.Values,
 				return nil, lastErr
 			}
 		}
-		wait := backoff(attempt)
-		// Honor the server's Retry-After suggestion when it gave one.
-		if apiErr, ok := lastErr.(*APIError); ok && apiErr.RetryAfter > 0 {
-			wait = apiErr.RetryAfter
-			if wait > 5*time.Second {
-				wait = 5 * time.Second
-			}
+		// A retry is load the server didn't ask for: spend budget first,
+		// so a hard outage degrades to ~one attempt per call.
+		if c.budget != nil && !c.budget.Spend() {
+			return nil, lastErr
 		}
+		apiErr, _ = lastErr.(*APIError)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(wait):
+		case <-time.After(RetryDelay(attempt, apiErr)):
 		}
 	}
+}
+
+// recordOutcome feeds the circuit breaker. Only hard failures count
+// against it: transport errors and 5xx. Rate limiting (429) is the
+// server working as designed, and 4xx is the caller's bug — neither
+// says the server is down.
+func (c *Client) recordOutcome(apiErr *APIError, err error) {
+	if c.breaker == nil {
+		return
+	}
+	failure := err != nil || (apiErr != nil && apiErr.Status >= 500)
+	c.breaker.Record(!failure)
 }
 
 // roundTrip performs one HTTP exchange. A non-2xx status yields an
@@ -254,17 +311,23 @@ func retryable(method string, status int) bool {
 	return status == http.StatusBadGateway || status == http.StatusServiceUnavailable
 }
 
-func backoff(attempt int) time.Duration {
-	// Cap the exponent: large retry budgets would otherwise shift the
-	// duration into int64 overflow (negative → zero-delay hammering).
-	if attempt > 5 {
-		attempt = 5
+// retryBackoff is the one jittered-exponential schedule shared by every
+// retry loop that talks to the studio API: request retries here, the
+// NDJSON feed resume loop, and the daemon's spool re-upload.
+var retryBackoff = resilience.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+
+// RetryDelay returns how long to wait before retry number attempt
+// (0-based). A server-suggested Retry-After wins (capped at 5s so a
+// misconfigured header can't stall the client); otherwise the shared
+// jittered exponential schedule applies.
+func RetryDelay(attempt int, apiErr *APIError) time.Duration {
+	if apiErr != nil && apiErr.RetryAfter > 0 {
+		if apiErr.RetryAfter > 5*time.Second {
+			return 5 * time.Second
+		}
+		return apiErr.RetryAfter
 	}
-	d := 100 * time.Millisecond << attempt
-	if d > 2*time.Second {
-		d = 2 * time.Second
-	}
-	return d
+	return retryBackoff.Delay(attempt)
 }
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {

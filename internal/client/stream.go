@@ -65,15 +65,10 @@ func streamFeed[T feedEvent](ctx context.Context, c *Client, path string, fromSe
 				}
 				return err
 			}
-			wait := backoff(failures)
-			// Honor the server's Retry-After suggestion when it gave one.
-			if apiErr != nil && apiErr.RetryAfter > 0 && apiErr.RetryAfter < 5*time.Second {
-				wait = apiErr.RetryAfter
-			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(wait):
+			case <-time.After(RetryDelay(failures, apiErr)):
 			}
 		}
 	}

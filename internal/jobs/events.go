@@ -14,6 +14,11 @@ const (
 	EventProgress EventType = "progress"
 	// EventLog records a Logf line (Message is set).
 	EventLog EventType = "log"
+	// EventStalled records a watchdog flag: the running job emitted no
+	// event for the configured window (Message carries the reason). It
+	// is informational — the job keeps running unless the watchdog also
+	// cancels it — and does not count as activity itself.
+	EventStalled EventType = "stalled"
 )
 
 // Event is one entry of a job's ordered event log: a state transition,
@@ -60,6 +65,13 @@ func (j *Job) emitLocked(e Event) {
 	e.Seq = j.eventSeq
 	e.Time = j.now()
 	e.Attempt = j.attempt
+	if e.Type != EventStalled {
+		// Any real event is fresh activity: it moves the watchdog's
+		// no-progress clock and clears a previously raised stalled flag
+		// so the job can be re-flagged if it goes silent again.
+		j.lastActivity = e.Time
+		j.stalled = false
+	}
 	j.events = append(j.events, e)
 	if drop := len(j.events) - maxEventsPerJob; drop > 0 {
 		copy(j.events, j.events[drop:])

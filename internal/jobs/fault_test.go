@@ -1,0 +1,89 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"edgepulse/internal/faults"
+)
+
+// TestFaultExecFailsJobWithoutCooperation proves the jobs.exec fault
+// point drives the scheduler's failure machinery without the job body
+// participating: the body never runs, the job fails with the injected
+// error, and once disarmed the same scheduler runs jobs normally.
+func TestFaultExecFailsJobWithoutCooperation(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(s.Shutdown)
+
+	disarm := faults.Arm(FaultExec, errors.New("injected exec failure"), faults.Times(1))
+	defer disarm()
+	ran := false
+	j, err := s.Submit("train", func(ctx context.Context, j *Job) error {
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("faulted job never finished")
+	}
+	if j.Status() != Failed {
+		t.Fatalf("status %s, want failed", j.Status())
+	}
+	if j.Err() != "injected exec failure" {
+		t.Fatalf("job error %q", j.Err())
+	}
+	if ran {
+		t.Fatal("job body ran despite the armed fault")
+	}
+
+	// Times(1) exhausted: the next job is untouched.
+	j2, err := s.Submit("train", func(ctx context.Context, j *Job) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j2.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("clean job never finished")
+	}
+	if j2.Status() != Finished {
+		t.Fatalf("status after fault exhausted: %s", j2.Status())
+	}
+}
+
+// TestFaultExecTransientConsumesRetryBudget arms a transient fault for
+// exactly one execution and checks the retry machinery re-runs the job
+// to success — the chaos hook exercises the same path a flaky I/O
+// failure would.
+func TestFaultExecTransientConsumesRetryBudget(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	s := NewScheduler(Config{MinWorkers: 1, MaxWorkers: 1})
+	t.Cleanup(s.Shutdown)
+
+	disarm := faults.Arm(FaultExec, Transient(errors.New("flaky disk")), faults.Times(1))
+	defer disarm()
+	j, err := s.SubmitJob(SubmitOptions{Kind: "train", MaxRetries: 2}, func(ctx context.Context, j *Job) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("retried job never finished")
+	}
+	if j.Status() != Finished {
+		t.Fatalf("status %s (err %q), want finished after retry", j.Status(), j.Err())
+	}
+	if j.Attempt() < 1 {
+		t.Fatalf("attempt %d, want at least one retry", j.Attempt())
+	}
+}

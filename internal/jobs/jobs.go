@@ -18,7 +18,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"edgepulse/internal/faults"
 )
+
+// FaultExec is the registered fault point fired before each job body
+// runs; chaos tests arm it (with faults.Arm, optionally wrapping the
+// error in Transient) to force execution failures and retries.
+const FaultExec = "jobs.exec"
 
 // Status is a job lifecycle state.
 type Status string
@@ -173,6 +180,11 @@ type Job struct {
 	eventSeq int64
 	events   []Event
 	subs     []*subscriber
+
+	// Watchdog state: lastActivity is the time of the newest non-stalled
+	// event; stalled is set by MarkStalled and cleared by fresh activity.
+	lastActivity time.Time
+	stalled      bool
 }
 
 // Status returns the current lifecycle state.
@@ -247,6 +259,41 @@ func (j *Job) SetProgress(stage string, pct float64) {
 	j.stage = stage
 	j.progress = pct
 	j.emitLocked(Event{Type: EventProgress, Stage: stage, Pct: pct})
+}
+
+// LastActivity returns the time of the job's most recent event —
+// progress, log line or state transition. The watchdog compares it
+// against its no-progress window to detect stuck jobs.
+func (j *Job) LastActivity() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.lastActivity.IsZero() {
+		return j.createdAt
+	}
+	return j.lastActivity
+}
+
+// Stalled reports whether the watchdog has flagged the job and no
+// activity has cleared the flag since.
+func (j *Job) Stalled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stalled
+}
+
+// MarkStalled flags a running job as stalled, emitting an EventStalled
+// entry (with msg as the reason) to its event log and live subscribers.
+// It reports false when the job is not running or already flagged, so a
+// sweeping watchdog raises at most one flag per silence.
+func (j *Job) MarkStalled(msg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != Running || j.stalled {
+		return false
+	}
+	j.emitLocked(Event{Type: EventStalled, Message: msg})
+	j.stalled = true
+	return true
 }
 
 // Done returns a channel closed when the job reaches a terminal state
@@ -549,6 +596,11 @@ func (s *Scheduler) run(job *Job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
+		// Chaos hook: an armed FaultExec preempts the body, exercising
+		// the failure/retry paths without a cooperating job function.
+		if ferr := faults.Inject(FaultExec); ferr != nil {
+			return ferr
+		}
 		return fn(ctx, job)
 	}()
 	cancel()
@@ -842,6 +894,23 @@ func (s *Scheduler) Wait(id string, timeout time.Duration) (*Job, error) {
 	case <-time.After(timeout):
 		return nil, fmt.Errorf("jobs: %s did not finish within %v", id, timeout)
 	}
+}
+
+// Accepting reports whether the scheduler still admits submissions —
+// the readiness-probe view of Shutdown's closed flag.
+func (s *Scheduler) Accepting() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
+// QueueDepth returns the pending job count and the configured queue
+// bound — the cheap accessor the admission gate samples, avoiding the
+// full Metrics snapshot on the request path.
+func (s *Scheduler) QueueDepth() (pending, capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending, s.cfg.QueueSize
 }
 
 // Metrics returns a snapshot of pool state.

@@ -1,0 +1,84 @@
+package resilience
+
+import "sync"
+
+// Health aggregates named readiness probes plus a draining flag into the
+// /readyz contract: ready iff every probe passes and the process is not
+// shutting down. Liveness (healthz) is intentionally separate — a
+// process that is alive but overloaded must keep answering healthz 200
+// while readyz says 503, so orchestrators stop routing to it without
+// restarting it.
+type Health struct {
+	mu       sync.Mutex
+	probes   []healthProbe
+	draining bool
+}
+
+type healthProbe struct {
+	name string
+	fn   func() error
+}
+
+// NewHealth builds an empty probe set (ready by default).
+func NewHealth() *Health {
+	return &Health{}
+}
+
+// Register adds a named readiness probe: fn returns nil when the
+// dependency is healthy. Re-registering a name replaces its probe.
+func (h *Health) Register(name string, fn func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.probes {
+		if h.probes[i].name == name {
+			h.probes[i].fn = fn
+			return
+		}
+	}
+	h.probes = append(h.probes, healthProbe{name: name, fn: fn})
+}
+
+// SetDraining marks the process as shutting down; readiness fails until
+// cleared.
+func (h *Health) SetDraining(v bool) {
+	h.mu.Lock()
+	h.draining = v
+	h.mu.Unlock()
+}
+
+// Draining reports the shutdown flag.
+func (h *Health) Draining() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.draining
+}
+
+// Readiness is one evaluation of the probe set.
+type Readiness struct {
+	// Ready is true iff not draining and every probe passed.
+	Ready bool
+	// Draining mirrors the shutdown flag.
+	Draining bool
+	// Probes maps each probe name to "ok" or its error text.
+	Probes map[string]string
+}
+
+// Ready evaluates every probe. Probes run outside the lock so a slow
+// dependency check cannot block Register/SetDraining.
+func (h *Health) Ready() Readiness {
+	h.mu.Lock()
+	probes := append([]healthProbe(nil), h.probes...)
+	draining := h.draining
+	h.mu.Unlock()
+
+	out := Readiness{Ready: !draining, Draining: draining, Probes: map[string]string{}}
+	for _, p := range probes {
+		if err := p.fn(); err != nil {
+			out.Ready = false
+			out.Probes[p.name] = err.Error()
+		} else {
+			out.Probes[p.name] = "ok"
+		}
+	}
+	return out
+}

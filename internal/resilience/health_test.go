@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHealthReadyByDefault(t *testing.T) {
+	h := NewHealth()
+	rd := h.Ready()
+	if !rd.Ready || rd.Draining || len(rd.Probes) != 0 {
+		t.Fatalf("empty health set: %+v", rd)
+	}
+}
+
+func TestHealthProbeFailureAndRecovery(t *testing.T) {
+	h := NewHealth()
+	var dbErr error
+	h.Register("db", func() error { return dbErr })
+	h.Register("cache", func() error { return nil })
+
+	rd := h.Ready()
+	if !rd.Ready || rd.Probes["db"] != "ok" || rd.Probes["cache"] != "ok" {
+		t.Fatalf("all healthy: %+v", rd)
+	}
+
+	dbErr = errors.New("connection refused")
+	rd = h.Ready()
+	if rd.Ready {
+		t.Fatal("ready with a failing probe")
+	}
+	if rd.Probes["db"] != "connection refused" || rd.Probes["cache"] != "ok" {
+		t.Fatalf("probe map: %+v", rd.Probes)
+	}
+
+	dbErr = nil
+	if rd := h.Ready(); !rd.Ready {
+		t.Fatal("did not recover once the probe healed")
+	}
+}
+
+func TestHealthRegisterReplacesByName(t *testing.T) {
+	h := NewHealth()
+	h.Register("dep", func() error { return errors.New("old") })
+	h.Register("dep", func() error { return nil })
+	rd := h.Ready()
+	if !rd.Ready || len(rd.Probes) != 1 {
+		t.Fatalf("replaced probe: %+v", rd)
+	}
+}
+
+func TestHealthDraining(t *testing.T) {
+	h := NewHealth()
+	h.Register("dep", func() error { return nil })
+	h.SetDraining(true)
+	if !h.Draining() {
+		t.Fatal("draining flag not set")
+	}
+	rd := h.Ready()
+	if rd.Ready || !rd.Draining {
+		t.Fatalf("draining readiness: %+v", rd)
+	}
+	// Probes still report so operators can tell draining from broken.
+	if rd.Probes["dep"] != "ok" {
+		t.Fatalf("probes while draining: %+v", rd.Probes)
+	}
+	h.SetDraining(false)
+	if rd := h.Ready(); !rd.Ready {
+		t.Fatal("did not recover when draining cleared")
+	}
+}

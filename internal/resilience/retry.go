@@ -1,0 +1,255 @@
+// Package resilience is the daemon-wide robustness layer: priority-aware
+// admission control (Gate), readiness probing (Health), a stuck-job
+// watchdog (Watchdog), and the client-side retry primitives — jittered
+// exponential backoff, a retry token budget, and a circuit breaker — so
+// overload is shed server-side without being amplified client-side.
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a jittered exponential retry-delay policy: attempt 0 waits
+// about Base, each later attempt doubles, capped at Max. Jitter spreads
+// each delay uniformly over [1-Jitter/2, 1+Jitter/2]× so a fleet of
+// clients rejected together does not retry in lockstep.
+type Backoff struct {
+	// Base is the attempt-0 delay (default 100ms).
+	Base time.Duration
+	// Max caps the delay (default 2s).
+	Max time.Duration
+	// Jitter is the randomized fraction of each delay. 0 selects
+	// DefaultJitter; negative disables jitter (deterministic delays).
+	Jitter float64
+
+	// Rand substitutes the uniform [0,1) source (tests); nil uses the
+	// shared math/rand source.
+	Rand func() float64
+}
+
+// DefaultJitter is the randomized delay fraction when Jitter is unset.
+const DefaultJitter = 0.2
+
+// Delay returns the wait before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	// Cap the exponent so the shift cannot overflow into a negative
+	// duration (zero-delay hammering).
+	if attempt > 30 {
+		attempt = 30
+	}
+	d := base << attempt
+	if d <= 0 || d > max {
+		d = max
+	}
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = DefaultJitter
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		r := rand.Float64
+		if b.Rand != nil {
+			r = b.Rand
+		}
+		d = time.Duration(float64(d) * (1 - jitter/2 + jitter*r()))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// RetryBudget is a token bucket bounding how many retries a client may
+// issue relative to its successes: each retry spends one token, each
+// success credits Ratio tokens back (capped at Max). Under a persistent
+// outage the budget drains and retries stop, so shed requests cannot
+// retry-storm the server back down.
+type RetryBudget struct {
+	// Max is the bucket capacity (default 16); the bucket starts full.
+	Max float64
+	// Ratio is the credit per success (default 0.25).
+	Ratio float64
+
+	mu     sync.Mutex
+	tokens float64
+	inited bool
+}
+
+func (b *RetryBudget) maxTokens() float64 {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 16
+}
+
+// Spend consumes one retry token, reporting false when the budget is
+// exhausted (the caller should surface the last error instead of
+// retrying).
+func (b *RetryBudget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.inited {
+		b.tokens = b.maxTokens()
+		b.inited = true
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Credit refunds Ratio tokens on a successful request, up to Max.
+func (b *RetryBudget) Credit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.inited {
+		b.tokens = b.maxTokens()
+		b.inited = true
+		return
+	}
+	ratio := b.Ratio
+	if ratio <= 0 {
+		ratio = 0.25
+	}
+	b.tokens += ratio
+	if max := b.maxTokens(); b.tokens > max {
+		b.tokens = max
+	}
+}
+
+// ErrCircuitOpen is returned by Breaker.Allow while the breaker is open:
+// the upstream has failed consecutively and calls are refused locally
+// until the cooldown elapses.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// Breaker is a consecutive-failure circuit breaker. Closed passes every
+// call; Threshold consecutive failures open it, refusing calls for
+// Cooldown; then one half-open probe is admitted — success re-closes the
+// breaker, failure re-opens it for another cooldown.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 8).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// probe (default 2s).
+	Cooldown time.Duration
+	// Clock substitutes the time source (tests).
+	Clock func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	state    breakerState
+	openedAt time.Time
+	probing  bool
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 8
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 2 * time.Second
+}
+
+// Allow reports whether a call may proceed, returning ErrCircuitOpen
+// while the breaker is refusing traffic. Callers that get nil must
+// report the outcome via Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open: one probe at a time
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports a call outcome. Failures while closed count toward the
+// threshold; a half-open probe's outcome closes or re-opens the breaker.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.failures = 0
+		} else {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if ok {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold() {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State renders the breaker state for diagnostics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,191 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Jitter: -1}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second, 2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt); got != w {
+			t.Fatalf("attempt %d: %s, want %s", attempt, got, w)
+		}
+	}
+	// Negative attempts clamp to 0; absurd attempts clamp to the max
+	// instead of overflowing into a negative (zero-delay) duration.
+	if got := b.Delay(-3); got != 100*time.Millisecond {
+		t.Fatalf("attempt -3: %s", got)
+	}
+	if got := b.Delay(1 << 20); got != 2*time.Second {
+		t.Fatalf("huge attempt: %s", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	// With r=0 the delay is (1-Jitter/2)×; with r→1 it approaches
+	// (1+Jitter/2)×.
+	b := Backoff{Base: time.Second, Max: time.Minute, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if got := b.Delay(0); got != 750*time.Millisecond {
+		t.Fatalf("low jitter bound: %s", got)
+	}
+	b.Rand = func() float64 { return 1 }
+	if got := b.Delay(0); got != 1250*time.Millisecond {
+		t.Fatalf("high jitter bound: %s", got)
+	}
+	// Jitter 0 selects the default fraction, not determinism.
+	b = Backoff{Base: time.Second, Max: time.Minute, Rand: func() float64 { return 0 }}
+	if got := b.Delay(0); got != 900*time.Millisecond {
+		t.Fatalf("default jitter low bound: %s, want 900ms", got)
+	}
+	// Jitter > 1 clamps to 1.
+	b = Backoff{Base: time.Second, Max: time.Minute, Jitter: 5, Rand: func() float64 { return 0 }}
+	if got := b.Delay(0); got != 500*time.Millisecond {
+		t.Fatalf("clamped jitter low bound: %s", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Delay(0)
+	if d < 90*time.Millisecond || d > 110*time.Millisecond {
+		t.Fatalf("zero-value delay %s outside jittered 100ms band", d)
+	}
+	if d := b.Delay(100); d > 2200*time.Millisecond {
+		t.Fatalf("zero-value max delay %s", d)
+	}
+}
+
+func TestRetryBudgetDrainsAndRefills(t *testing.T) {
+	b := &RetryBudget{Max: 2, Ratio: 0.5}
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("budget should start full")
+	}
+	if b.Spend() {
+		t.Fatal("budget should be exhausted")
+	}
+	// Two successes at ratio 0.5 earn one retry back.
+	b.Credit()
+	if b.Spend() {
+		t.Fatal("half a token should not afford a retry")
+	}
+	b.Credit()
+	if !b.Spend() {
+		t.Fatal("one full token refunded, retry should pass")
+	}
+	// Credits never exceed Max.
+	for i := 0; i < 100; i++ {
+		b.Credit()
+	}
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("capped budget should hold exactly Max tokens")
+	}
+	if b.Spend() {
+		t.Fatal("budget exceeded its cap")
+	}
+}
+
+func TestRetryBudgetDefaultsAndCreditFirst(t *testing.T) {
+	// Credit before any Spend initializes the bucket full (not full+ratio).
+	b := &RetryBudget{}
+	b.Credit()
+	for i := 0; i < 16; i++ {
+		if !b.Spend() {
+			t.Fatalf("default budget exhausted after %d spends, want 16", i)
+		}
+	}
+	if b.Spend() {
+		t.Fatal("default budget should hold 16 tokens")
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, Clock: clk.Now}
+	if b.State() != "closed" {
+		t.Fatalf("initial state %s", b.State())
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(false)
+	}
+	// A success resets the consecutive count.
+	b.Record(true)
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+		b.Record(false)
+	}
+	if b.State() != "open" {
+		t.Fatalf("state after threshold failures: %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Clock: clk.Now}
+	b.Allow()
+	b.Record(false)
+	if b.State() != "open" {
+		t.Fatalf("state %s", b.State())
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused after cooldown: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe fails: re-open for another cooldown.
+	b.Record(false)
+	if b.State() != "open" {
+		t.Fatalf("state after failed probe: %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("re-opened breaker admitted a call before cooldown")
+	}
+	// Second probe succeeds: breaker closes and calls flow again.
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != "closed" {
+		t.Fatalf("state after successful probe: %s", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused a call: %v", err)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := &Breaker{}
+	for i := 0; i < 7; i++ {
+		b.Record(false)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state before default threshold: %s", b.State())
+	}
+	b.Record(false)
+	if b.State() != "open" {
+		t.Fatalf("state at default threshold: %s", b.State())
+	}
+	if b.cooldown() != 2*time.Second {
+		t.Fatalf("default cooldown %s", b.cooldown())
+	}
+}

@@ -1,11 +1,13 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"edgepulse/internal/data"
+	"edgepulse/internal/faults"
 )
 
 // White-box fault injection: sever the store's file handles or
@@ -91,5 +93,37 @@ func TestOpenFailsOnUnreadableDir(t *testing.T) {
 	}
 	if _, err := OpenSpool(path); err == nil {
 		t.Error("opened a spool rooted at a regular file")
+	}
+}
+
+// TestAppendFaultInjection arms the store.append fault point and checks
+// an injected write error is surfaced (wrapped, matchable) without
+// corrupting state: nothing is persisted, the duplicate guard still
+// answers first, and disarming restores normal appends.
+func TestAppendFaultInjection(t *testing.T) {
+	t.Cleanup(faults.Reset)
+	st := openT(t, t.TempDir(), Options{})
+	if err := st.Append(mkSample("first", 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("injected disk failure")
+	disarm := faults.Arm(FaultAppend, injected)
+	if err := st.Append(mkSample("blocked", 8)); !errors.Is(err, injected) {
+		t.Fatalf("append under fault: %v, want wrapped injected error", err)
+	}
+	// The duplicate check precedes the fault point: idempotency answers
+	// stay correct even while the write path is failing.
+	if err := st.Append(mkSample("first", 8)); !errors.Is(err, data.ErrDuplicate) {
+		t.Fatalf("duplicate under fault: %v, want ErrDuplicate", err)
+	}
+	disarm()
+
+	if err := st.Append(mkSample("blocked", 8)); err != nil {
+		t.Fatalf("append after disarm: %v", err)
+	}
+	hs, _ := st.Headers()
+	if len(hs) != 2 {
+		t.Fatalf("headers after faulted run: %+v", hs)
 	}
 }

@@ -26,7 +26,13 @@ import (
 	"edgepulse/internal/cbor"
 	"edgepulse/internal/data"
 	"edgepulse/internal/dsp"
+	"edgepulse/internal/faults"
 )
+
+// FaultAppend is the registered fault point fired inside Append, after
+// validation but before any byte reaches the segment; chaos tests arm it
+// to simulate I/O failures on the persistence hot path.
+const FaultAppend = "store.append"
 
 // Default tuning knobs.
 const (
@@ -463,6 +469,9 @@ func (s *Store) Append(sample *data.Sample) error {
 	}
 	if _, dup := s.recs[sample.ID]; dup {
 		return fmt.Errorf("store: %w %s", data.ErrDuplicate, sample.ID)
+	}
+	if err := faults.Inject(FaultAppend); err != nil {
+		return fmt.Errorf("store: append: %w", err)
 	}
 	if s.segEnd > logMagicLen && s.segEnd+frameSize(len(payload)) > s.opt.SegmentBytes {
 		if err := s.rollSegment(); err != nil {

@@ -139,6 +139,14 @@ func (m *Manager) Active() int {
 	return len(m.sessions)
 }
 
+// Max returns the configured session capacity — the denominator of the
+// admission gate's streaming-pressure dimension.
+func (m *Manager) Max() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.max
+}
+
 // Close ends the identified session and reports whether it existed.
 func (m *Manager) Close(id, reason string) bool {
 	s, ok := m.Get(id)

@@ -9,7 +9,13 @@ import (
 	"time"
 
 	"edgepulse/internal/dsp"
+	"edgepulse/internal/faults"
 )
+
+// FaultIngest is the registered fault point fired at the top of each
+// ingest pass; chaos tests arm it to fail classification mid-session and
+// prove sessions terminate with a reasoned event instead of wedging.
+const FaultIngest = "stream.ingest"
 
 // Classifier scores one canonical window of raw signal. Implementations
 // must be cheap to call repeatedly from a single goroutine; the impulse
@@ -367,6 +373,9 @@ func (s *Session) run() {
 // ingest appends one batch to the ring and classifies every complete
 // window the new data enables, advancing by the stride.
 func (s *Session) ingest(batch []float32) error {
+	if err := faults.Inject(FaultIngest); err != nil {
+		return err
+	}
 	s.ring.Append(batch)
 	// If the producer outran classification past the ring capacity, the
 	// oldest pending windows were overwritten: skip forward in whole
