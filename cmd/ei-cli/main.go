@@ -70,6 +70,8 @@ func main() {
 		err = jobsCmd(ctx, c, args[1:])
 	case "stream":
 		err = streamCmd(ctx, c, args[1:])
+	case "cluster":
+		err = clusterCmd(ctx, c, args[1:])
 	default:
 		usage()
 	}
@@ -80,8 +82,55 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|data|blocks|impulse|train|job|jobs|stream> ...")
+	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|data|blocks|impulse|train|job|jobs|stream|cluster> ...")
 	os.Exit(2)
+}
+
+// clusterCmd inspects a gateway: `ei-cli -server http://gateway cluster
+// status` prints the shard map with per-node readiness detail and
+// follower replication lag.
+func clusterCmd(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 1 || args[0] != "status" {
+		return fmt.Errorf("usage: cluster status")
+	}
+	st, err := c.ClusterStatus(ctx)
+	if err != nil {
+		return err
+	}
+	for _, shard := range st.Shards {
+		fmt.Printf("shard %d\n", shard.Shard)
+		printNode("primary", shard.Primary)
+		for _, f := range shard.Followers {
+			printNode("follower", f)
+		}
+	}
+	return nil
+}
+
+func printNode(kind string, n v1.ClusterNodeStatus) {
+	state := "ready"
+	switch {
+	case n.Name == "":
+		fmt.Printf("  %-9s (none configured)\n", kind)
+		return
+	case n.Draining:
+		state = "draining"
+	case !n.Ready:
+		state = "DOWN"
+	}
+	fmt.Printf("  %-9s %-14s %-24s %s", kind, n.Name, n.URL, state)
+	if n.LagOps > 0 {
+		fmt.Printf("  lag=%d ops", n.LagOps)
+	}
+	if n.Error != "" {
+		fmt.Printf("  (%s)", n.Error)
+	}
+	fmt.Println()
+	for probe, status := range n.Probes {
+		if status != "ok" {
+			fmt.Printf("            probe %s: %s\n", probe, status)
+		}
+	}
 }
 
 func bootstrap(ctx context.Context, c *client.Client, args []string) error {

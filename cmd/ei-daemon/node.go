@@ -1,0 +1,144 @@
+package main
+
+// Cluster node modes: besides its device-bridge role, ei-daemon can
+// join the fleet behind ei-gateway.
+//
+// Worker — a full API server owning one shard, allocating project IDs
+// in its residue class so the gateway's hash-mod map self-routes:
+//
+//	ei-daemon -worker -listen :4801 -data /var/lib/ei/w0 \
+//	          -shard 0 -shards 2 -cluster-token SECRET
+//
+// Follower — a read-only standby replicating one worker via segment
+// shipping + journal tailing, serving reads when its primary is out:
+//
+//	ei-daemon -follow http://127.0.0.1:4801 -listen :4811 \
+//	          -data /var/lib/ei/f0 -shard 0 -shards 2 -cluster-token SECRET
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"edgepulse/internal/api"
+	"edgepulse/internal/cluster"
+	"edgepulse/internal/jobs"
+	"edgepulse/internal/project"
+)
+
+// nodeFlags carries the cluster-mode flag values out of main.
+type nodeFlags struct {
+	worker       bool
+	follow       string
+	listen       string
+	data         string
+	shard        int
+	shards       int
+	name         string
+	clusterToken string
+	trainWorkers int
+	syncInterval time.Duration
+}
+
+// runNode hosts a worker or follower until SIGINT/SIGTERM.
+func runNode(f nodeFlags) {
+	if f.data == "" {
+		log.Fatal("ei-daemon: cluster modes require -data DIR (replication needs the durable store)")
+	}
+	if f.shards <= 0 || f.shard < 0 || f.shard >= f.shards {
+		log.Fatalf("ei-daemon: need 0 <= -shard (%d) < -shards (%d)", f.shard, f.shards)
+	}
+	role := cluster.RoleWorker
+	if f.follow != "" {
+		role = cluster.RoleFollower
+	}
+	name := f.name
+	if name == "" {
+		name = fmt.Sprintf("%s-%d", role, f.shard)
+	}
+
+	var registry *project.Registry
+	var follower *cluster.Follower
+	var err error
+	if f.follow != "" {
+		registry, err = project.OpenReplica(f.data)
+		if err != nil {
+			log.Fatal("opening replica state: ", err)
+		}
+		follower, err = cluster.NewFollower(registry, cluster.FollowerConfig{
+			PrimaryURL: f.follow,
+			Token:      f.clusterToken,
+			Interval:   f.syncInterval,
+			Logger:     slog.Default(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		registry, err = project.Open(f.data)
+		if err != nil {
+			log.Fatal("opening state: ", err)
+		}
+		// Stride project IDs over the shard count so every ID this
+		// worker mints hash-routes back to it.
+		registry.SetProjectIDStride(f.shard, f.shards)
+	}
+	defer registry.Close()
+
+	sched := jobs.NewScheduler(jobs.Config{
+		MinWorkers: 1, MaxWorkers: f.trainWorkers,
+		QueueSize: 64, MaxQueuedPerTag: 16,
+	})
+	defer sched.Shutdown()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	server := api.NewServer(registry, sched,
+		api.WithLogger(logger),
+		api.WithClusterNode(name, role, f.shard, f.shards),
+		api.WithClusterToken(f.clusterToken),
+	)
+	defer server.Close()
+
+	if follower != nil {
+		follower.Start()
+		defer follower.Stop()
+	}
+
+	httpSrv := &http.Server{Addr: f.listen, Handler: server.Handler()}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Printf("\n%s: draining and shutting down\n", name)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Drain(ctx); err != nil {
+			log.Println("draining:", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Println("http shutdown:", err)
+		}
+	}()
+
+	if f.follow != "" {
+		fmt.Printf("%s replicating %s, serving reads on %s (shard %d/%d)\n",
+			name, f.follow, f.listen, f.shard, f.shards)
+	} else {
+		fmt.Printf("%s listening on %s (shard %d of %d)\n", name, f.listen, f.shard, f.shards)
+	}
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	if f.follow == "" {
+		if err := registry.Save(f.data); err != nil {
+			log.Println("saving state:", err)
+		}
+	}
+}

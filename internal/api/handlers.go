@@ -128,6 +128,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, u *projec
 		out.Resilience.StalledJobs = s.watchdog.Stalled()
 		out.Resilience.WatchdogCancelled = s.watchdog.Cancelled()
 	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		RenderPrometheus(w, out)
+		return
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -112,20 +112,26 @@ func (w *statusWriter) Unwrap() http.ResponseWriter {
 	return w.ResponseWriter
 }
 
-// withLogging emits one structured line per request.
+// withLogging emits one structured line per request. Clustered nodes
+// add their shard id, so one request id traces across the gateway hop
+// to the shard that served it.
 func (s *Server) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
-		s.log.Info("request",
+		fields := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"duration_ms", float64(time.Since(start).Microseconds()) / 1000,
 			"request_id", RequestID(r.Context()),
-		)
+		}
+		if s.cluster != nil {
+			fields = append(fields, "shard", s.cluster.shard)
+		}
+		s.log.Info("request", fields...)
 	})
 }
 
@@ -294,10 +300,12 @@ func (s *Server) withRateLimit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
-		if isHealthPath(r.URL.Path) {
+		if isHealthPath(r.URL.Path) || isClusterPath(r.URL.Path) {
 			// Probes bypass the limiter: an orchestrator polling through
 			// a shared NAT must never be throttled into flapping the
-			// instance out of rotation.
+			// instance out of rotation. The cluster plane does too — a
+			// follower tailing replication must not be throttled into
+			// falling behind (it is token-guarded, not public).
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -87,6 +87,11 @@ type Server struct {
 	// streams manages live inference sessions (the streaming plane).
 	streams *stream.Manager
 
+	// Cluster plane: node identity (nil outside a cluster) and the
+	// optional shared token guarding the replication endpoints.
+	cluster      *clusterNode
+	clusterToken string
+
 	// Resilience plane: gate sheds batch/default work under load,
 	// health backs /readyz, watchdog (optional) flags stuck jobs.
 	gate        *resilience.Gate
@@ -320,6 +325,9 @@ func (s *Server) routes() {
 	s.routeStream("GET /projects/{id}/stream/{sid}/events", interactive, s.auth(s.withProject(s.handleStreamEvents)))
 	s.route("DELETE /projects/{id}/stream/{sid}", interactive, s.auth(s.withProject(s.handleStreamClose)))
 	s.routeStream("POST /projects/{id}/stream/duplex", interactive, s.auth(s.withProject(s.handleStreamDuplex)))
+
+	// Cluster plane (no-op outside a cluster).
+	s.clusterRoutes()
 
 	s.route("GET /jobs/{job}", defaultOpts, s.auth(s.handleGetJob))
 	s.route("GET /jobs/{job}/wait", routeOpts{budget: budgetWait}, s.auth(s.handleJobWait))

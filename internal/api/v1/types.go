@@ -43,6 +43,9 @@ const (
 	// CodeDeadline means the request exceeded its route's processing
 	// deadline before the handler produced a response (504).
 	CodeDeadline = "deadline"
+	// CodeNoShard means the gateway has no live node for the project's
+	// shard (503); retry after the Retry-After delay.
+	CodeNoShard = "no_shard"
 )
 
 // ErrorDetail is the machine-readable failure description.
@@ -784,6 +787,125 @@ type StreamEvent struct {
 // Terminal reports whether the event ends the feed.
 func (e StreamEvent) Terminal() bool {
 	return e.Type == "state" && e.Status == "closed"
+}
+
+// --- Cluster plane ---
+
+// ClusterNodeResponse identifies one cluster node. GET
+// /api/v1/cluster/node (workers and followers; cluster-token guarded).
+type ClusterNodeResponse struct {
+	Success bool `json:"success"`
+	// Name is the node's operator-assigned identifier.
+	Name string `json:"name"`
+	// Role is "worker" (a shard's writable primary) or "follower" (its
+	// read-only replica).
+	Role string `json:"role"`
+	// Shard is the node's shard index in [0, Shards).
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Projects maps project ID → committed dataset store version; the
+	// gateway diffs a follower's map against its primary's to compute
+	// replication lag.
+	Projects map[int]uint64 `json:"projects,omitempty"`
+}
+
+// ReplicationSegment is one segment's committed size in a replication
+// state snapshot.
+type ReplicationSegment struct {
+	Index int   `json:"index"`
+	Size  int64 `json:"size"`
+}
+
+// ReplicationStateResponse is a project store's replication snapshot.
+// GET /api/v1/cluster/replication/projects/{id}/state.
+type ReplicationStateResponse struct {
+	Success bool `json:"success"`
+	// Version is the committed operation counter; SnapVersion the last
+	// manifest snapshot's version (the journal retention horizon — a
+	// cursor below it requires a snapshot bootstrap).
+	Version     uint64               `json:"version"`
+	SnapVersion uint64               `json:"snap_version"`
+	Segments    []ReplicationSegment `json:"segments"`
+}
+
+// ReplicationJournalResponse carries raw journal frames (CRC framing
+// intact, base64 in JSON) for versions in (since, upto]. GET
+// /api/v1/cluster/replication/projects/{id}/journal?since=&upto=.
+// A 409 conflict response means the cursor predates the retained
+// journal and the follower must bootstrap from the manifest.
+type ReplicationJournalResponse struct {
+	Success bool   `json:"success"`
+	Frames  []byte `json:"frames,omitempty"`
+	// Last is the version of the final frame returned (== since when no
+	// frames were pending).
+	Last uint64 `json:"last"`
+}
+
+// ReplicationManifestResponse is the snapshot-bootstrap payload: the
+// manifest blob rendered at Version. GET
+// /api/v1/cluster/replication/projects/{id}/manifest.
+type ReplicationManifestResponse struct {
+	Success  bool   `json:"success"`
+	Manifest []byte `json:"manifest"`
+	Version  uint64 `json:"version"`
+}
+
+// ProjectMetaBlob carries one project's design artifacts in a cluster
+// meta bundle (all blobs base64 in JSON; absent means not configured).
+type ProjectMetaBlob struct {
+	ID      int    `json:"id"`
+	Impulse []byte `json:"impulse,omitempty"`
+	Model   []byte `json:"model,omitempty"`
+	QModel  []byte `json:"qmodel,omitempty"`
+}
+
+// ClusterMetaResponse is a worker's control-plane state for follower
+// sync: the registry snapshot plus per-project design blobs. GET
+// /api/v1/cluster/replication/meta.
+type ClusterMetaResponse struct {
+	Success  bool              `json:"success"`
+	Registry []byte            `json:"registry"`
+	Projects []ProjectMetaBlob `json:"projects,omitempty"`
+}
+
+// AdmitUserRequest inserts a pre-minted account on a worker. POST
+// /api/v1/cluster/users — the gateway creates each user on one worker,
+// then broadcasts the minted identity so every shard authenticates the
+// same API key.
+type AdmitUserRequest struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	APIKey string `json:"api_key"`
+}
+
+// ClusterNodeStatus is the gateway's view of one node.
+type ClusterNodeStatus struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	Role string `json:"role"`
+	// Ready/Draining/Probes mirror the node's last readyz answer.
+	Ready    bool              `json:"ready"`
+	Draining bool              `json:"draining,omitempty"`
+	Probes   map[string]string `json:"probes,omitempty"`
+	// LagOps is the follower's maximum per-project version deficit
+	// against its primary (0 for primaries and caught-up followers).
+	LagOps uint64 `json:"lag_ops,omitempty"`
+	// Error is the last poll failure ("" when the node answers).
+	Error string `json:"error,omitempty"`
+}
+
+// ClusterShardStatus groups one shard's nodes.
+type ClusterShardStatus struct {
+	Shard     int                 `json:"shard"`
+	Primary   ClusterNodeStatus   `json:"primary"`
+	Followers []ClusterNodeStatus `json:"followers,omitempty"`
+}
+
+// ClusterStatusResponse is the gateway's shard map with per-node health
+// and replication lag. GET /api/v1/cluster/status (gateway only).
+type ClusterStatusResponse struct {
+	Success bool                 `json:"success"`
+	Shards  []ClusterShardStatus `json:"shards"`
 }
 
 // StreamSessionStats summarizes a session's lifetime counters.

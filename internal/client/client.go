@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	v1 "edgepulse/internal/api/v1"
@@ -95,14 +96,34 @@ func WithRetryBudget(max float64) Option {
 	}
 }
 
-// Client talks to one edgepulse studio server.
+// WithEndpoints adds alternate base URLs (e.g. a second gateway). The
+// client sticks to one endpoint until it fails with a transport error
+// or 502/503, then rotates to the next for the retry and for all
+// subsequent calls — combined with WithCircuitBreaker/WithRetryBudget
+// this is the multi-endpoint awareness a clustered deployment needs.
+func WithEndpoints(urls ...string) Option {
+	return func(c *Client) { c.alternates = append(c.alternates, urls...) }
+}
+
+// Client talks to one edgepulse studio server (or gateway), optionally
+// rotating across alternates on failure.
 type Client struct {
-	baseURL string
-	apiKey  string
-	hc      *http.Client
-	retries int
-	breaker *resilience.Breaker
-	budget  *resilience.RetryBudget
+	baseURL    string
+	alternates []string
+	apiKey     string
+	hc         *http.Client
+	retries    int
+	breaker    *resilience.Breaker
+	budget     *resilience.RetryBudget
+	// ep is the endpoint ring cursor, shared by WithAPIKey copies so
+	// every view of the client agrees on which endpoint is healthy.
+	ep *epCursor
+}
+
+// epCursor tracks which endpoint of the ring is in use.
+type epCursor struct {
+	mu sync.Mutex
+	i  int // 0 = baseURL, i > 0 = alternates[i-1]
 }
 
 // New builds a client for a server base URL like "http://localhost:4800".
@@ -111,11 +132,33 @@ func New(baseURL string, opts ...Option) *Client {
 		baseURL: baseURL,
 		hc:      http.DefaultClient,
 		retries: 2,
+		ep:      &epCursor{},
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
 	return c
+}
+
+// endpoint returns the base URL currently in use.
+func (c *Client) endpoint() string {
+	c.ep.mu.Lock()
+	defer c.ep.mu.Unlock()
+	if c.ep.i == 0 || c.ep.i > len(c.alternates) {
+		return c.baseURL
+	}
+	return c.alternates[c.ep.i-1]
+}
+
+// rotateEndpoint advances the ring after an endpoint-level failure, so
+// the retry — and every later call — targets the next endpoint.
+func (c *Client) rotateEndpoint() {
+	if len(c.alternates) == 0 {
+		return
+	}
+	c.ep.mu.Lock()
+	c.ep.i = (c.ep.i + 1) % (len(c.alternates) + 1)
+	c.ep.mu.Unlock()
 }
 
 // WithAPIKey returns a copy of the client authenticated as key — handy
@@ -162,12 +205,14 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, body
 // returns the raw success body; non-2xx responses come back as
 // *APIError. body bytes are replayed on retry.
 func (c *Client) doBytes(ctx context.Context, method, path string, q url.Values, body []byte, contentType string) ([]byte, error) {
-	u := c.baseURL + v1.Prefix + path
+	rel := v1.Prefix + path
 	if len(q) > 0 {
-		u += "?" + q.Encode()
+		rel += "?" + q.Encode()
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		// Resolved per attempt: endpoint rotation redirects retries.
+		u := c.endpoint() + rel
 		if c.breaker != nil {
 			if err := c.breaker.Allow(); err != nil {
 				if lastErr != nil {
@@ -200,12 +245,18 @@ func (c *Client) doBytes(ctx context.Context, method, path string, q url.Values,
 		}
 		if err != nil {
 			lastErr = err
+			// The endpoint itself failed: later calls (and any retry)
+			// go to the next one in the ring.
+			c.rotateEndpoint()
 			// Transport errors: retry only idempotent requests.
 			if method != http.MethodGet || attempt >= c.retries {
 				return nil, lastErr
 			}
 		} else {
 			lastErr = apiErr
+			if apiErr.Status == http.StatusBadGateway || apiErr.Status == http.StatusServiceUnavailable {
+				c.rotateEndpoint()
+			}
 			if !retryable(method, apiErr.Status) || attempt >= c.retries {
 				return nil, lastErr
 			}
@@ -376,6 +427,16 @@ func (c *Client) Blocks(ctx context.Context) (*v1.BlocksResponse, error) {
 func (c *Client) Metrics(ctx context.Context) (*v1.MetricsResponse, error) {
 	var out v1.MetricsResponse
 	if err := c.get(ctx, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterStatus queries a gateway for the shard map with per-node
+// health and replication lag. GET /api/v1/cluster/status.
+func (c *Client) ClusterStatus(ctx context.Context) (*v1.ClusterStatusResponse, error) {
+	var out v1.ClusterStatusResponse
+	if err := c.get(ctx, "/cluster/status", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

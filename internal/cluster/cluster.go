@@ -1,0 +1,165 @@
+// Package cluster is the distributed control plane: a static shard map
+// assigning every project to one worker, a health tracker polling each
+// node's readiness, a gateway reverse-proxying the entire /api/v1
+// surface to the owning worker (failing reads over to the shard's
+// follower and shedding writes with 503 + Retry-After when a shard has
+// no live primary), and a follower sync loop pulling segment-shipping
+// replication from a primary into a read-only standby (paper Sec. 3:
+// one multi-tenant platform serving many projects; ROADMAP item 1's
+// control-plane split).
+//
+// Sharding is hash-mod over the project ID: shard(p) = p mod Shards.
+// Workers allocate project IDs in their own residue class
+// (project.Registry.SetProjectIDStride), so an ID minted by worker k
+// routes back to worker k with no coordination.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Node roles.
+const (
+	RoleWorker   = "worker"
+	RoleFollower = "follower"
+)
+
+// Node is one cluster member.
+type Node struct {
+	// Name identifies the node in status output and the X-Cluster-Node
+	// response header.
+	Name string `json:"name"`
+	// URL is the node's base URL ("http://10.0.0.5:4800").
+	URL string `json:"url"`
+	// Role is RoleWorker (the shard's writable primary) or RoleFollower
+	// (its read-only replica).
+	Role string `json:"role"`
+	// Shard is the shard the node serves, in [0, Map.Shards).
+	Shard int `json:"shard"`
+}
+
+// Map is the static shard map the gateway routes by.
+type Map struct {
+	// Shards is the shard count; project p belongs to shard p mod Shards.
+	Shards int    `json:"shards"`
+	Nodes  []Node `json:"nodes"`
+}
+
+// ShardFor returns the shard owning a project ID.
+func (m *Map) ShardFor(projectID int) int {
+	s := projectID % m.Shards
+	if s < 0 {
+		s += m.Shards
+	}
+	return s
+}
+
+// Primary returns the shard's worker node, or nil if the map has none.
+func (m *Map) Primary(shard int) *Node {
+	for i := range m.Nodes {
+		if m.Nodes[i].Shard == shard && m.Nodes[i].Role == RoleWorker {
+			return &m.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Followers returns the shard's follower nodes.
+func (m *Map) Followers(shard int) []*Node {
+	var out []*Node
+	for i := range m.Nodes {
+		if m.Nodes[i].Shard == shard && m.Nodes[i].Role == RoleFollower {
+			out = append(out, &m.Nodes[i])
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: a positive shard count, every
+// node in range with a known role and non-empty URL, unique names, and
+// at most one primary per shard. A shard with no primary is legal (it
+// serves reads through followers until its worker returns).
+func (m *Map) Validate() error {
+	if m.Shards <= 0 {
+		return fmt.Errorf("cluster: shard count must be positive, got %d", m.Shards)
+	}
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("cluster: shard map has no nodes")
+	}
+	names := map[string]bool{}
+	primaries := map[int]string{}
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		if n.Name == "" {
+			return fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		if n.URL == "" {
+			return fmt.Errorf("cluster: node %s has no URL", n.Name)
+		}
+		if n.Shard < 0 || n.Shard >= m.Shards {
+			return fmt.Errorf("cluster: node %s shard %d outside [0,%d)", n.Name, n.Shard, m.Shards)
+		}
+		switch n.Role {
+		case RoleWorker:
+			if prev, dup := primaries[n.Shard]; dup {
+				return fmt.Errorf("cluster: shard %d has two primaries (%s, %s)", n.Shard, prev, n.Name)
+			}
+			primaries[n.Shard] = n.Name
+		case RoleFollower:
+		default:
+			return fmt.Errorf("cluster: node %s has unknown role %q", n.Name, n.Role)
+		}
+	}
+	return nil
+}
+
+// ParseMap decodes a JSON shard-map config:
+//
+//	{"shards": 2, "nodes": [
+//	  {"name": "w0", "url": "http://10.0.0.5:4800", "role": "worker", "shard": 0},
+//	  ...
+//	]}
+func ParseMap(blob []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("cluster: bad shard map: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ParseNodeSpecs builds a shard map from flag-style node specs of the
+// form "role:shard:url" (e.g. "worker:0:http://127.0.0.1:4801"). Names
+// are derived as role-shard, with -2, -3... suffixes on repeats.
+func ParseNodeSpecs(shards int, specs []string) (*Map, error) {
+	m := &Map{Shards: shards}
+	seen := map[string]int{}
+	for _, spec := range specs {
+		parts := strings.SplitN(spec, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("cluster: node spec %q is not role:shard:url", spec)
+		}
+		var shard int
+		if _, err := fmt.Sscanf(parts[1], "%d", &shard); err != nil {
+			return nil, fmt.Errorf("cluster: node spec %q: bad shard %q", spec, parts[1])
+		}
+		name := fmt.Sprintf("%s-%d", parts[0], shard)
+		seen[name]++
+		if seen[name] > 1 {
+			name = fmt.Sprintf("%s-%d", name, seen[name])
+		}
+		m.Nodes = append(m.Nodes, Node{Name: name, URL: parts[2], Role: parts[0], Shard: shard})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

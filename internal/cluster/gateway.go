@@ -1,0 +1,677 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"edgepulse/internal/api"
+	v1 "edgepulse/internal/api/v1"
+)
+
+// NodeHeader names the response header carrying the node that actually
+// served a proxied request.
+const NodeHeader = "X-Cluster-Node"
+
+// retryAfterSeconds is the Retry-After hint on 503 no_shard responses.
+const retryAfterSeconds = 2
+
+// GatewayConfig configures the cluster gateway.
+type GatewayConfig struct {
+	// Token is forwarded as X-Cluster-Token on intra-cluster calls
+	// (admit broadcasts, node identity probes).
+	Token string
+	// PollInterval is the health poll cadence; default 1s.
+	PollInterval time.Duration
+	// Logger receives access and routing logs; default slog.Default().
+	Logger *slog.Logger
+	// Client overrides the proxy HTTP client (no timeout: streaming
+	// responses stay open for the life of the client connection).
+	Client *http.Client
+}
+
+// Gateway reverse-proxies the full /api/v1 surface onto a worker
+// fleet: project-scoped paths go to the owning shard, collection paths
+// fan out and merge, and everything streams through without buffering.
+type Gateway struct {
+	m      *Map
+	health *Health
+	hc     *http.Client
+	token  string
+	log    *slog.Logger
+	start  time.Time
+
+	rrMu sync.Mutex
+	rr   int
+
+	statMu sync.Mutex
+	stats  map[string]*routeStat
+}
+
+type routeStat struct {
+	count, err4xx, err5xx int64
+	totalMS               float64
+}
+
+// NewGateway builds a gateway over a validated shard map.
+func NewGateway(m *Map, cfg GatewayConfig) *Gateway {
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Gateway{
+		m: m,
+		health: NewHealth(m, HealthConfig{
+			Interval: cfg.PollInterval,
+			Token:    cfg.Token,
+			Client:   &http.Client{Timeout: 3 * time.Second},
+		}),
+		hc:    hc,
+		token: cfg.Token,
+		log:   logger,
+		start: time.Now(),
+	}
+}
+
+// Start begins health polling (one synchronous round first, so the
+// gateway routes correctly from its first request).
+func (g *Gateway) Start() { g.health.Start() }
+
+// Stop halts health polling.
+func (g *Gateway) Stop() { g.health.Stop() }
+
+// Health exposes the tracker (status endpoint, tests).
+func (g *Gateway) Health() *Health { return g.health }
+
+// ServeHTTP implements the routing table. Every response carries
+// X-Request-Id (minted here if absent, preserved end-to-end otherwise).
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get(api.RequestIDHeader)
+	if reqID == "" || len(reqID) > 64 {
+		reqID = newRequestID()
+		r.Header.Set(api.RequestIDHeader, reqID)
+	}
+	w.Header().Set(api.RequestIDHeader, reqID)
+
+	rest, ok := stripAPIPrefix(r.URL.Path)
+	if !ok {
+		g.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, "unknown path")
+		return
+	}
+
+	sw := &gwWriter{ResponseWriter: w, started: time.Now()}
+	route := g.dispatch(sw, r, rest)
+	g.record(route, sw.status, time.Since(sw.started))
+	g.log.Info("gateway",
+		"method", r.Method, "path", r.URL.Path, "status", sw.status,
+		"route", route, "request_id", reqID)
+}
+
+// dispatch routes one request and returns the metrics route label.
+func (g *Gateway) dispatch(w http.ResponseWriter, r *http.Request, rest string) string {
+	switch {
+	case rest == "/healthz":
+		writeJSON(w, http.StatusOK, v1.HealthResponse{
+			Success: true, Status: "ok", UptimeSeconds: time.Since(g.start).Seconds(),
+		})
+		return "GET /healthz"
+	case rest == "/readyz":
+		g.handleReadyz(w, r)
+		return "GET /readyz"
+	case rest == "/metrics" && r.Method == http.MethodGet:
+		g.handleMetrics(w, r)
+		return "GET /metrics"
+	case rest == "/cluster/status" && r.Method == http.MethodGet:
+		g.handleStatus(w, r)
+		return "GET /cluster/status"
+	case rest == "/users" && r.Method == http.MethodPost:
+		g.handleCreateUser(w, r)
+		return "POST /users"
+	case rest == "/devices" || rest == "/blocks":
+		g.proxyAny(w, r)
+		return r.Method + " " + rest
+	case rest == "/projects/public" && r.Method == http.MethodGet:
+		g.handleProjectList(w, r, rest)
+		return "GET /projects/public"
+	case rest == "/projects" && r.Method == http.MethodGet:
+		g.handleProjectList(w, r, rest)
+		return "GET /projects"
+	case rest == "/projects" && r.Method == http.MethodPost:
+		g.handleCreateProject(w, r)
+		return "POST /projects"
+	case strings.HasPrefix(rest, "/projects/"):
+		g.handleProjectPath(w, r, rest)
+		return r.Method + " /projects/{id}"
+	case strings.HasPrefix(rest, "/jobs/"):
+		g.handleJobPath(w, r, rest)
+		return r.Method + " /jobs/{job}"
+	}
+	g.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, "unknown path")
+	return "unmatched"
+}
+
+// handleReadyz reports gateway readiness: ready when every shard has at
+// least one live node to answer reads. Probes detail each shard.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	probes := make(map[string]string, g.m.Shards)
+	ready := true
+	for s := 0; s < g.m.Shards; s++ {
+		key := fmt.Sprintf("shard-%d", s)
+		switch {
+		case g.health.ReadyPrimary(s) != nil:
+			probes[key] = "ok"
+		case g.health.ServeRead(s) != nil:
+			probes[key] = "degraded: primary down, reads via " + g.health.ServeRead(s).Name
+		default:
+			probes[key] = "down: no live node"
+			ready = false
+		}
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, v1.ReadyResponse{Success: true, Ready: ready, Probes: probes})
+}
+
+// handleMetrics renders the gateway's own counters, reusing the worker
+// MetricsResponse shape and Prometheus renderer.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := v1.MetricsResponse{
+		Success:       true,
+		UptimeSeconds: time.Since(g.start).Seconds(),
+	}
+	g.statMu.Lock()
+	names := make([]string, 0, len(g.stats))
+	for name := range g.stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := g.stats[name]
+		rm := v1.RouteMetrics{Route: name, Count: st.count, Err4xx: st.err4xx, Err5xx: st.err5xx}
+		if st.count > 0 {
+			rm.AvgMS = st.totalMS / float64(st.count)
+		}
+		out.Requests += st.count
+		out.Routes = append(out.Routes, rm)
+	}
+	g.statMu.Unlock()
+
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", api.PrometheusContentType)
+		api.RenderPrometheus(w, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStatus reports the shard map with per-node health and follower
+// replication lag (max per-project version deficit vs the primary).
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	out := v1.ClusterStatusResponse{Success: true}
+	for s := 0; s < g.m.Shards; s++ {
+		shard := v1.ClusterShardStatus{Shard: s}
+		var primaryProjects map[int]uint64
+		if p := g.m.Primary(s); p != nil {
+			st := g.health.State(p.Name)
+			primaryProjects = st.Projects
+			shard.Primary = nodeStatus(p, st, 0)
+		} else {
+			shard.Primary = v1.ClusterNodeStatus{Error: "no primary in shard map"}
+		}
+		for _, f := range g.m.Followers(s) {
+			st := g.health.State(f.Name)
+			var lag uint64
+			for id, pv := range primaryProjects {
+				fv := st.Projects[id]
+				if pv > fv && pv-fv > lag {
+					lag = pv - fv
+				}
+			}
+			shard.Followers = append(shard.Followers, nodeStatus(f, st, lag))
+		}
+		out.Shards = append(out.Shards, shard)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func nodeStatus(n *Node, st NodeState, lag uint64) v1.ClusterNodeStatus {
+	return v1.ClusterNodeStatus{
+		Name: n.Name, URL: n.URL, Role: n.Role,
+		Ready: st.Ready, Draining: st.Draining, Probes: st.Probes,
+		LagOps: lag, Error: st.Err,
+	}
+}
+
+// handleCreateUser creates the account on one live primary, then
+// broadcasts the minted credentials to every other live primary so the
+// same API key authenticates on any shard.
+func (g *Gateway) handleCreateUser(w http.ResponseWriter, r *http.Request) {
+	primaries := g.health.ReadyPrimaries()
+	if len(primaries) == 0 {
+		g.shed(w, r, "no live primary to create users on")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		g.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "reading body: "+err.Error())
+		return
+	}
+	target := primaries[g.nextRR(len(primaries))]
+	resp, respBody, err := g.subRequest(r, target, http.MethodPost, v1.Prefix+"/users", body)
+	if err != nil {
+		g.writeError(w, r, http.StatusBadGateway, v1.CodeUnavailable, err.Error())
+		return
+	}
+	if resp.StatusCode < 300 {
+		var created v1.CreateUserResponse
+		if err := json.Unmarshal(respBody, &created); err == nil {
+			g.broadcastAdmit(r, primaries, target, created)
+		}
+	}
+	w.Header().Set(NodeHeader, target.Name)
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+}
+
+// broadcastAdmit replays minted credentials onto the other primaries.
+// Failures are logged, not fatal: the unreachable worker admits the
+// user on its next restart-free path (operator re-runs bootstrap) and
+// meanwhile every other shard works.
+func (g *Gateway) broadcastAdmit(r *http.Request, primaries []*Node, origin *Node, u v1.CreateUserResponse) {
+	admit, _ := json.Marshal(v1.AdmitUserRequest{ID: u.ID, Name: u.Name, APIKey: u.APIKey})
+	for _, n := range primaries {
+		if n.Name == origin.Name {
+			continue
+		}
+		resp, _, err := g.subRequest(r, n, http.MethodPost, v1.Prefix+"/cluster/users", admit)
+		if err != nil {
+			g.log.Warn("admit broadcast failed", "node", n.Name, "err", err)
+			continue
+		}
+		if resp.StatusCode >= 300 {
+			g.log.Warn("admit broadcast rejected", "node", n.Name, "status", resp.StatusCode)
+		}
+	}
+}
+
+// handleCreateProject places a new project on a live primary, rotating
+// round-robin. ID striding on the workers guarantees the minted ID
+// hash-routes back to its creator.
+func (g *Gateway) handleCreateProject(w http.ResponseWriter, r *http.Request) {
+	primaries := g.health.ReadyPrimaries()
+	if len(primaries) == 0 {
+		g.shed(w, r, "no live primary to place projects on")
+		return
+	}
+	g.proxy(w, r, primaries[g.nextRR(len(primaries))])
+}
+
+// handleProjectList fans a list request out to every shard's serving
+// node, merges by project ID, and re-applies pagination at the gateway.
+func (g *Gateway) handleProjectList(w http.ResponseWriter, r *http.Request, rest string) {
+	var merged []v1.ProjectSummary
+	seen := map[int]bool{}
+	served := 0
+	for s := 0; s < g.m.Shards; s++ {
+		n := g.health.ServeRead(s)
+		if n == nil {
+			continue
+		}
+		resp, body, err := g.subRequest(r, n, http.MethodGet, v1.Prefix+rest+"?limit=1000", nil)
+		if err != nil {
+			g.log.Warn("list fan-out failed", "node", n.Name, "err", err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			// An auth failure is identical on every shard: surface it.
+			w.Header().Set(NodeHeader, n.Name)
+			copyHeaders(w.Header(), resp.Header)
+			w.WriteHeader(resp.StatusCode)
+			w.Write(body)
+			return
+		}
+		var page v1.ProjectsResponse
+		if err := json.Unmarshal(body, &page); err != nil {
+			g.log.Warn("list fan-out bad body", "node", n.Name, "err", err)
+			continue
+		}
+		served++
+		for _, p := range page.Projects {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				merged = append(merged, p)
+			}
+		}
+	}
+	if served == 0 {
+		g.shed(w, r, "no shard reachable for listing")
+		return
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+
+	limit, offset := pageParams(r, 100)
+	total := len(merged)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	writeJSON(w, http.StatusOK, v1.ProjectsResponse{
+		Success:  true,
+		Projects: merged[offset:end],
+		Page:     v1.Page{Limit: limit, Offset: offset, Total: total},
+	})
+}
+
+// handleProjectPath routes /projects/{id}/... to the owning shard:
+// writes require the live primary (503 no_shard otherwise), reads fail
+// over to a live follower.
+func (g *Gateway) handleProjectPath(w http.ResponseWriter, r *http.Request, rest string) {
+	idPart := strings.TrimPrefix(rest, "/projects/")
+	if i := strings.IndexByte(idPart, '/'); i >= 0 {
+		idPart = idPart[:i]
+	}
+	id, err := strconv.Atoi(idPart)
+	if err != nil {
+		g.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "bad project id "+idPart)
+		return
+	}
+	shard := g.m.ShardFor(id)
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		if n := g.health.ServeRead(shard); n != nil {
+			g.proxy(w, r, n)
+			return
+		}
+		g.shed(w, r, fmt.Sprintf("shard %d has no live node", shard))
+		return
+	}
+	if n := g.health.ReadyPrimary(shard); n != nil {
+		g.proxy(w, r, n)
+		return
+	}
+	g.shed(w, r, fmt.Sprintf("shard %d has no live primary; writes shed", shard))
+}
+
+// handleJobPath finds the worker owning a job by probing each live
+// primary (job IDs are minted per worker), then proxies to it.
+func (g *Gateway) handleJobPath(w http.ResponseWriter, r *http.Request, rest string) {
+	jobID := strings.TrimPrefix(rest, "/jobs/")
+	if i := strings.IndexByte(jobID, '/'); i >= 0 {
+		jobID = jobID[:i]
+	}
+	primaries := g.health.ReadyPrimaries()
+	if len(primaries) == 0 {
+		g.shed(w, r, "no live primary to locate jobs on")
+		return
+	}
+	for _, n := range primaries {
+		resp, _, err := g.subRequest(r, n, http.MethodGet, v1.Prefix+"/jobs/"+jobID, nil)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			g.proxy(w, r, n)
+			return
+		}
+	}
+	g.writeError(w, r, http.StatusNotFound, v1.CodeNotFound, "job not found on any shard")
+}
+
+// proxyAny forwards to any live node (static catalogs: devices,
+// blocks), preferring primaries.
+func (g *Gateway) proxyAny(w http.ResponseWriter, r *http.Request) {
+	if ps := g.health.ReadyPrimaries(); len(ps) > 0 {
+		g.proxy(w, r, ps[g.nextRR(len(ps))])
+		return
+	}
+	for s := 0; s < g.m.Shards; s++ {
+		if n := g.health.ServeRead(s); n != nil {
+			g.proxy(w, r, n)
+			return
+		}
+	}
+	g.shed(w, r, "no live node")
+}
+
+// proxy streams one request to a node and its response back, flushing
+// after every chunk so NDJSON event streams pass through unbuffered.
+func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, n *Node) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, n.URL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		g.writeError(w, r, http.StatusBadGateway, v1.CodeUnavailable, err.Error())
+		return
+	}
+	req.ContentLength = r.ContentLength
+	copyHeaders(req.Header, r.Header)
+	appendForwardedFor(req.Header, r.RemoteAddr)
+
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		g.writeError(w, r, http.StatusBadGateway, v1.CodeUnavailable,
+			fmt.Sprintf("upstream %s: %v", n.Name, err))
+		return
+	}
+	defer resp.Body.Close()
+
+	w.Header().Set(NodeHeader, n.Name)
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		nr, rerr := resp.Body.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// subRequest issues a bounded intra-cluster request on behalf of the
+// client, forwarding its credentials and correlation ID.
+func (g *Gateway) subRequest(r *http.Request, n *Node, method, path string, body []byte) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, n.URL+path, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v := r.Header.Get("X-Api-Key"); v != "" {
+		req.Header.Set("X-Api-Key", v)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(api.RequestIDHeader, r.Header.Get(api.RequestIDHeader))
+	if g.token != "" {
+		req.Header.Set(api.ClusterTokenHeader, g.token)
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, respBody, nil
+}
+
+// shed answers 503 with the stable no_shard code and a Retry-After
+// hint, the contract for "this shard currently has no node that can
+// take this request".
+func (g *Gateway) shed(w http.ResponseWriter, r *http.Request, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	g.writeError(w, r, http.StatusServiceUnavailable, v1.CodeNoShard, msg)
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, v1.ErrorResponse{
+		Success: false,
+		Error: v1.ErrorDetail{
+			Code: code, Message: msg,
+			RequestID: r.Header.Get(api.RequestIDHeader),
+		},
+	})
+}
+
+func (g *Gateway) nextRR(n int) int {
+	g.rrMu.Lock()
+	defer g.rrMu.Unlock()
+	g.rr++
+	return g.rr % n
+}
+
+func (g *Gateway) record(route string, status int, d time.Duration) {
+	g.statMu.Lock()
+	defer g.statMu.Unlock()
+	if g.stats == nil {
+		g.stats = map[string]*routeStat{}
+	}
+	st := g.stats[route]
+	if st == nil {
+		st = &routeStat{}
+		g.stats[route] = st
+	}
+	st.count++
+	st.totalMS += float64(d.Microseconds()) / 1000
+	switch {
+	case status >= 500:
+		st.err5xx++
+	case status >= 400:
+		st.err4xx++
+	}
+}
+
+// --- plumbing ---
+
+// gwWriter captures the response status for metrics/logging.
+type gwWriter struct {
+	http.ResponseWriter
+	status  int
+	started time.Time
+}
+
+func (w *gwWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *gwWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *gwWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// stripAPIPrefix maps /api/v1/x and the legacy /api/x alias to /x.
+func stripAPIPrefix(path string) (string, bool) {
+	if rest, ok := strings.CutPrefix(path, v1.Prefix); ok && (rest == "" || rest[0] == '/') {
+		return rest, true
+	}
+	if rest, ok := strings.CutPrefix(path, v1.LegacyPrefix); ok && len(rest) > 0 && rest[0] == '/' {
+		return rest, true
+	}
+	return "", false
+}
+
+// hopHeaders are the RFC 7230 hop-by-hop headers never forwarded.
+var hopHeaders = map[string]bool{
+	"Connection": true, "Keep-Alive": true, "Proxy-Authenticate": true,
+	"Proxy-Authorization": true, "Te": true, "Trailer": true,
+	"Transfer-Encoding": true, "Upgrade": true,
+}
+
+// copyHeaders forwards non-hop-by-hop headers, leaving keys the
+// destination already carries (X-Request-Id minted at the gateway,
+// X-Cluster-Node) untouched to avoid duplicates.
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		ck := http.CanonicalHeaderKey(k)
+		if hopHeaders[ck] || dst.Get(ck) != "" {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func appendForwardedFor(h http.Header, remoteAddr string) {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
+	if prior := h.Get("X-Forwarded-For"); prior != "" {
+		host = prior + ", " + host
+	}
+	h.Set("X-Forwarded-For", host)
+}
+
+func pageParams(r *http.Request, defLimit int) (limit, offset int) {
+	limit = defLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 1000 {
+			limit = n
+		}
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			offset = n
+		}
+	}
+	return limit, offset
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-unknown"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"edgepulse/internal/api"
+	v1 "edgepulse/internal/api/v1"
+)
+
+// Health polls every node's readiness endpoint and cluster identity on
+// a fixed interval, so routing decisions read cached state instead of
+// probing on the request path.
+type Health struct {
+	m        *Map
+	hc       *http.Client
+	token    string
+	interval time.Duration
+
+	mu    sync.RWMutex
+	nodes map[string]*NodeState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NodeState is the last observed condition of one node.
+type NodeState struct {
+	Ready    bool
+	Draining bool
+	Probes   map[string]string
+	// Projects maps project ID to the node's committed store version,
+	// from GET /cluster/node; the gateway derives replication lag from
+	// the primary/follower difference.
+	Projects map[int]uint64
+	// Err is the last poll failure, empty when the node answered.
+	Err     string
+	Checked time.Time
+}
+
+// HealthConfig configures the poller.
+type HealthConfig struct {
+	// Interval between poll rounds; default 1s.
+	Interval time.Duration
+	// Token is sent as X-Cluster-Token on /cluster/node probes.
+	Token string
+	// Client overrides the probe HTTP client.
+	Client *http.Client
+}
+
+// NewHealth builds a tracker for the map's nodes. Call Start to begin
+// polling and Stop to halt it.
+func NewHealth(m *Map, cfg HealthConfig) *Health {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 3 * time.Second}
+	}
+	h := &Health{
+		m:        m,
+		hc:       hc,
+		token:    cfg.Token,
+		interval: cfg.Interval,
+		nodes:    make(map[string]*NodeState, len(m.Nodes)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := range m.Nodes {
+		h.nodes[m.Nodes[i].Name] = &NodeState{Err: "not yet polled"}
+	}
+	return h
+}
+
+// Start runs one synchronous poll round (so routing works immediately)
+// then polls in the background until Stop.
+func (h *Health) Start() {
+	h.pollAll()
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.pollAll()
+			}
+		}
+	}()
+}
+
+// Stop halts background polling.
+func (h *Health) Stop() {
+	close(h.stop)
+	<-h.done
+}
+
+func (h *Health) pollAll() {
+	var wg sync.WaitGroup
+	for i := range h.m.Nodes {
+		n := &h.m.Nodes[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := h.poll(n)
+			h.mu.Lock()
+			h.nodes[n.Name] = st
+			h.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func (h *Health) poll(n *Node) *NodeState {
+	st := &NodeState{Checked: time.Now()}
+	ctx, cancel := context.WithTimeout(context.Background(), h.interval*4+time.Second)
+	defer cancel()
+
+	var ready v1.ReadyResponse
+	if err := h.getJSON(ctx, n.URL+v1.Prefix+"/readyz", &ready, false); err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	st.Ready = ready.Ready
+	st.Draining = ready.Draining
+	st.Probes = ready.Probes
+
+	var id v1.ClusterNodeResponse
+	if err := h.getJSON(ctx, n.URL+v1.Prefix+"/cluster/node", &id, true); err != nil {
+		st.Err = err.Error()
+		st.Ready = false
+		return st
+	}
+	st.Projects = id.Projects
+	if id.Shard != n.Shard || id.Role != n.Role {
+		st.Err = fmt.Sprintf("identity mismatch: node reports %s/shard %d, map says %s/shard %d",
+			id.Role, id.Shard, n.Role, n.Shard)
+		st.Ready = false
+	}
+	return st
+}
+
+// getJSON fetches a JSON body, tolerating non-2xx statuses that still
+// carry a decodable body (readyz answers 503 while draining).
+func (h *Health) getJSON(ctx context.Context, url string, out any, withToken bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if withToken && h.token != "" {
+		req.Header.Set(api.ClusterTokenHeader, h.token)
+	}
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("%s: status %d: %w", url, resp.StatusCode, err)
+	}
+	return nil
+}
+
+// State returns the last observed state of a node by name.
+func (h *Health) State(name string) NodeState {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if st, ok := h.nodes[name]; ok {
+		return *st
+	}
+	return NodeState{Err: "unknown node"}
+}
+
+// ReadyPrimary returns the shard's primary if it is live, else nil.
+func (h *Health) ReadyPrimary(shard int) *Node {
+	p := h.m.Primary(shard)
+	if p == nil {
+		return nil
+	}
+	if h.State(p.Name).Ready {
+		return p
+	}
+	return nil
+}
+
+// ServeRead picks the node to answer a read for a shard: the primary
+// when live, else the first live follower, else nil.
+func (h *Health) ServeRead(shard int) *Node {
+	if p := h.ReadyPrimary(shard); p != nil {
+		return p
+	}
+	for _, f := range h.m.Followers(shard) {
+		if h.State(f.Name).Ready {
+			return f
+		}
+	}
+	return nil
+}
+
+// ReadyPrimaries lists every shard whose primary is live, in shard
+// order; used for fan-out and round-robin placement.
+func (h *Health) ReadyPrimaries() []*Node {
+	var out []*Node
+	for s := 0; s < h.m.Shards; s++ {
+		if p := h.ReadyPrimary(s); p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

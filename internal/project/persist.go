@@ -321,40 +321,49 @@ func loadProjectData(dir string, p *Project) (err error) {
 			p.store = nil
 		}
 	}()
-	pdir := projectDir(dir, p.ID)
+	imp, err := loadProjectImpulse(projectDir(dir, p.ID))
+	if err != nil || imp == nil {
+		return err
+	}
+	p.impulse = imp
+	return nil
+}
+
+// loadProjectImpulse reads a project directory's impulse design and
+// trained model blobs, returning nil when no impulse is configured.
+func loadProjectImpulse(pdir string) (*core.Impulse, error) {
 	cfgBlob, err := os.ReadFile(filepath.Join(pdir, "impulse.json"))
 	if os.IsNotExist(err) {
-		return nil // no impulse configured
+		return nil, nil // no impulse configured
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cfg, err := core.ParseConfig(cfgBlob)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	imp, err := core.FromConfig(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if mb, err := os.ReadFile(filepath.Join(pdir, "model.eptm")); err == nil {
 		mf, err := tflm.Unmarshal(mb)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := imp.AttachClassifier(mf.Float); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if qb, err := os.ReadFile(filepath.Join(pdir, "model_int8.eptm")); err == nil {
 		qmf, err := tflm.Unmarshal(qb)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		imp.QModel = qmf.Quant
 	}
-	p.impulse = imp
-	return nil
+	return imp, nil
 }
 
 // Save durably writes the registry and every project (dataset,

@@ -85,8 +85,42 @@ func (p *Project) persisted(withModels bool) {
 	}
 }
 
-// Dataset returns the project's dataset.
-func (p *Project) Dataset() *data.Dataset { return p.dataset }
+// Dataset returns the project's dataset. Guarded by the project lock:
+// replication followers swap in a rebuilt view after applying journal
+// ops (RefreshDataset).
+func (p *Project) Dataset() *data.Dataset {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.dataset
+}
+
+// Store returns the dataset's segmented backing store, or nil for
+// in-memory registries — the replication plane reads (primary) and
+// applies (replica) segment bytes and journal frames through it.
+// Guarded because replica bootstrap swaps the store out underneath.
+func (p *Project) Store() *store.Store {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.store
+}
+
+// RefreshDataset rebuilds the lazy dataset view over the project's
+// store. Replication followers call it after applying journal frames,
+// which mutate the store's index underneath the Dataset's header cache.
+func (p *Project) RefreshDataset() error {
+	st := p.Store()
+	if st == nil {
+		return fmt.Errorf("project: project %d has no backing store", p.ID)
+	}
+	ds, err := data.Open(st, 0)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.dataset = ds
+	p.mu.Unlock()
+	return nil
+}
 
 // Impulse returns the configured impulse, or nil.
 func (p *Project) Impulse() *core.Impulse {
@@ -192,6 +226,15 @@ func (p *Project) Versions() []Version {
 type Registry struct {
 	// dir is the durable root ("" for in-memory registries).
 	dir string
+	// replica marks a read-only standby registry (OpenReplica): local
+	// mutations are rejected; state advances only via ApplyMeta and the
+	// per-project replication apply path.
+	replica bool
+	// projOffset/projStride restrict project ID allocation to one
+	// residue class (IDs ≡ projOffset mod projStride), so each worker in
+	// a hash-mod sharded cluster mints IDs its own shard owns.
+	projOffset int
+	projStride int
 	// persistMu serializes registry.json writes so a stale snapshot can
 	// never rename over a fresher one. Lock order: r.mu before
 	// persistMu, always.
@@ -216,6 +259,16 @@ func NewRegistry() *Registry {
 	}
 }
 
+// SetProjectIDStride restricts project ID allocation to IDs ≡ offset
+// (mod stride). Cluster workers call it with their shard id and the
+// shard count so every ID they mint hashes back to their own shard;
+// stride <= 1 restores unrestricted allocation.
+func (r *Registry) SetProjectIDStride(offset, stride int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.projOffset, r.projStride = offset, stride
+}
+
 func randomKey(prefix string) string {
 	b := make([]byte, 16)
 	if _, err := rand.Read(b); err != nil {
@@ -231,6 +284,9 @@ func (r *Registry) CreateUser(name string) (*User, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.replica {
+		return nil, ErrReplica
+	}
 	r.nextUser++
 	u := &User{
 		ID:     fmt.Sprintf("user-%d", r.nextUser),
@@ -243,6 +299,45 @@ func (r *Registry) CreateUser(name string) (*User, error) {
 		delete(r.users, u.ID)
 		delete(r.byKey, u.APIKey)
 		r.nextUser--
+		return nil, fmt.Errorf("project: persist registry: %w", err)
+	}
+	return u, nil
+}
+
+// AdmitUser inserts a pre-minted account (identity and API key chosen
+// elsewhere) — the cluster gateway creates each user on one worker and
+// broadcasts the minted identity to the rest, so every shard
+// authenticates the same key. Idempotent for exact redelivery.
+func (r *Registry) AdmitUser(id, name, apiKey string) (*User, error) {
+	if id == "" || apiKey == "" {
+		return nil, fmt.Errorf("project: user id and api key required")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.replica {
+		return nil, ErrReplica
+	}
+	if u, ok := r.users[id]; ok {
+		if u.APIKey == apiKey {
+			return u, nil // redelivered
+		}
+		return nil, fmt.Errorf("project: user %s already exists with a different key", id)
+	}
+	if _, ok := r.byKey[apiKey]; ok {
+		return nil, fmt.Errorf("project: API key already in use")
+	}
+	u := &User{ID: id, Name: name, APIKey: apiKey}
+	r.users[id] = u
+	r.byKey[apiKey] = u
+	// Keep local allocation ahead of admitted "user-N" identities so a
+	// future CreateUser here cannot collide.
+	var n int
+	if _, err := fmt.Sscanf(id, "user-%d", &n); err == nil && n > r.nextUser {
+		r.nextUser = n
+	}
+	if err := r.persistMetaLocked(); err != nil {
+		delete(r.users, id)
+		delete(r.byKey, apiKey)
 		return nil, fmt.Errorf("project: persist registry: %w", err)
 	}
 	return u, nil
@@ -274,6 +369,9 @@ func (r *Registry) GetUser(id string) (*User, error) {
 func (r *Registry) CreateOrganization(name, ownerID string) (*Organization, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.replica {
+		return nil, ErrReplica
+	}
 	if _, ok := r.users[ownerID]; !ok {
 		return nil, fmt.Errorf("project: no user %s", ownerID)
 	}
@@ -319,10 +417,21 @@ func (r *Registry) CreateProject(name, ownerID string) (*Project, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.replica {
+		return nil, ErrReplica
+	}
 	if _, ok := r.users[ownerID]; !ok {
 		return nil, fmt.Errorf("project: no user %s", ownerID)
 	}
+	prevNext := r.nextProj
 	r.nextProj++
+	if r.projStride > 1 {
+		// Advance to this worker's residue class so the hash-mod shard
+		// map routes the new ID back here.
+		for r.nextProj%r.projStride != r.projOffset%r.projStride {
+			r.nextProj++
+		}
+	}
 	p := &Project{
 		ID:            r.nextProj,
 		Name:          name,
@@ -335,7 +444,7 @@ func (r *Registry) CreateProject(name, ownerID string) (*Project, error) {
 		// Durable registry: back the dataset with a segmented store so
 		// every upload persists incrementally.
 		if err := openProjectDataset(r.dir, p); err != nil {
-			r.nextProj--
+			r.nextProj = prevNext
 			return nil, fmt.Errorf("project: open dataset store: %w", err)
 		}
 		p.persist = r.projectPersister(p)
@@ -343,7 +452,7 @@ func (r *Registry) CreateProject(name, ownerID string) (*Project, error) {
 	r.projects[p.ID] = p
 	if err := r.persistMetaLocked(); err != nil {
 		delete(r.projects, p.ID)
-		r.nextProj--
+		r.nextProj = prevNext
 		if p.store != nil {
 			// Roll back the store opened above: release its handles
 			// and remove the half-created dataset directory.
@@ -398,6 +507,19 @@ func (r *Registry) ListAccessible(userID string) []*Project {
 		if p.CanAccess(userID) {
 			out = append(out, p)
 		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Projects returns every project, by ID — the replication plane
+// iterates all shards' data without ACL scoping.
+func (r *Registry) Projects() []*Project {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Project, 0, len(r.projects))
+	for _, p := range r.projects {
+		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -61,6 +61,10 @@ type Options struct {
 type Store struct {
 	dir string
 	opt Options
+	// replica marks a read-only standby opened via OpenReplica: local
+	// mutations are rejected and state advances only through the
+	// replication apply methods (replication.go).
+	replica bool
 
 	// mu guards all mutable state. Segment reads happen outside the
 	// lock: read handles stay open until Close and ReadAt is
@@ -135,6 +139,10 @@ func segmentName(idx int) string { return fmt.Sprintf("seg-%06d.seg", idx) }
 // committed prefix replayed (torn tail truncated), and any
 // uncommitted bytes at the active segment's tail discarded.
 func Open(dir string, opt Options) (*Store, error) {
+	return open(dir, opt, false)
+}
+
+func open(dir string, opt Options, replica bool) (*Store, error) {
 	if opt.SegmentBytes <= 0 {
 		opt.SegmentBytes = DefaultSegmentBytes
 	}
@@ -145,7 +153,7 @@ func Open(dir string, opt Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir: dir, opt: opt,
+		dir: dir, opt: opt, replica: replica,
 		recs:    map[string]*rec{},
 		readers: map[int]*os.File{},
 		segIdx:  1,
@@ -326,6 +334,13 @@ func (s *Store) openActiveSegment() error {
 		}
 		committed = logMagicLen
 	case st.Size() > committed:
+		if s.replica {
+			// A replica's segments legitimately run past the last indexed
+			// record: committed bytes ship ahead of their journal ops, and
+			// the primary only ever ships committed (immutable) ranges.
+			committed = st.Size()
+			break
+		}
 		// Uncommitted tail (torn append, or an append whose journal
 		// record never committed): discard it.
 		if err := f.Truncate(committed); err != nil {
@@ -441,12 +456,21 @@ func (s *Store) LoadSignal(id string) (dsp.Signal, error) {
 }
 
 // segmentReader returns an open read handle for a segment, opening and
-// caching it on first use. Caller holds the lock.
+// caching it on first use. Replicas open read-write (and create on
+// demand) so ApplySegmentChunk can extend any segment through the same
+// cached handle. Caller holds the lock.
 func (s *Store) segmentReader(idx int) (*os.File, error) {
 	if f, ok := s.readers[idx]; ok {
 		return f, nil
 	}
-	f, err := os.Open(filepath.Join(s.dir, segmentDir, segmentName(idx)))
+	path := filepath.Join(s.dir, segmentDir, segmentName(idx))
+	var f *os.File
+	var err error
+	if s.replica {
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	} else {
+		f, err = os.Open(path)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -464,6 +488,9 @@ func (s *Store) Append(sample *data.Sample) error {
 	}
 	s.lock()
 	defer s.unlock()
+	if s.replica {
+		return ErrReplica
+	}
 	if s.seg == nil {
 		return fmt.Errorf("store: closed")
 	}
@@ -575,6 +602,9 @@ func (s *Store) appendJournal(op map[string]any) error {
 func (s *Store) Remove(id string) error {
 	s.lock()
 	defer s.unlock()
+	if s.replica {
+		return ErrReplica
+	}
 	if _, ok := s.recs[id]; !ok {
 		return fmt.Errorf("store: no sample %s", id)
 	}
@@ -596,6 +626,9 @@ func (s *Store) Remove(id string) error {
 func (s *Store) SetLabel(id, label string) error {
 	s.lock()
 	defer s.unlock()
+	if s.replica {
+		return ErrReplica
+	}
 	r, ok := s.recs[id]
 	if !ok {
 		return fmt.Errorf("store: no sample %s", id)
@@ -616,6 +649,9 @@ func (s *Store) SetCategories(cats map[string]data.Category) error {
 	}
 	s.lock()
 	defer s.unlock()
+	if s.replica {
+		return ErrReplica
+	}
 	m := make(map[string]any, len(cats))
 	for id, cat := range cats {
 		if _, ok := s.recs[id]; !ok {
@@ -660,7 +696,9 @@ func (s *Store) Snapshot() error {
 	return s.snapshotLocked()
 }
 
-func (s *Store) snapshotLocked() error {
+// currentManifestLocked renders the in-memory index as a manifest
+// snapshot of the current version. Caller holds the lock.
+func (s *Store) currentManifestLocked() manifest {
 	m := manifest{Format: manifestFormat, Version: s.version, Segment: s.segIdx}
 	for _, id := range s.order {
 		r := s.recs[id]
@@ -674,7 +712,11 @@ func (s *Store) snapshotLocked() error {
 			Loc:    r.loc,
 		})
 	}
-	blob, err := renderManifest(m)
+	return m
+}
+
+func (s *Store) snapshotLocked() error {
+	blob, err := renderManifest(s.currentManifestLocked())
 	if err != nil {
 		return err
 	}
@@ -690,6 +732,10 @@ func (s *Store) snapshotLocked() error {
 	}
 	s.journalEnd = logMagicLen
 	s.journalRecs = 0
+	// The manifest now reflects everything up to the current version:
+	// journal records at or below it are retired, which is also the
+	// replication retention horizon (see JournalSince).
+	s.snapVersion = s.version
 	return nil
 }
 
