@@ -18,6 +18,7 @@
 //	ei-cli -key KEY job -id job-1 [-wait]
 //	ei-cli -key KEY jobs watch -id job-1
 //	ei-cli -key KEY jobs cancel -id job-1
+//	ei-cli -key KEY classify -project 1 [-quantized] [-stride-ms 250] file.wav
 //	ei-cli -key KEY stream -project 1 [-threshold 0.6 -smooth 2] file.wav
 package main
 
@@ -68,6 +69,8 @@ func main() {
 		err = job(ctx, c, args[1:])
 	case "jobs":
 		err = jobsCmd(ctx, c, args[1:])
+	case "classify":
+		err = classifyCmd(ctx, c, args[1:])
 	case "stream":
 		err = streamCmd(ctx, c, args[1:])
 	case "cluster":
@@ -82,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|data|blocks|impulse|train|job|jobs|stream|cluster> ...")
+	fmt.Fprintln(os.Stderr, "usage: ei-cli [-server URL] [-key KEY] <bootstrap|create-project|upload|data|blocks|impulse|train|job|jobs|classify|stream|cluster> ...")
 	os.Exit(2)
 }
 
@@ -436,6 +439,94 @@ func jobsCmd(ctx context.Context, c *client.Client, args []string) error {
 	default:
 		return fmt.Errorf("unknown jobs subcommand %q (want watch or cancel)", args[0])
 	}
+}
+
+// classifyCmd slices a wav file into impulse-sized windows and runs them
+// through the batched classify endpoint: one request per MaxClassifyBatch
+// windows instead of one per window, so long clips amortize transport and
+// the server's warm DSP/arena scratch.
+func classifyCmd(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	projectID := fs.Int("project", 0, "project id")
+	quantized := fs.Bool("quantized", false, "classify with the int8 model")
+	strideMS := fs.Int("stride-ms", 0, "window stride override in ms (0 = impulse default)")
+	fs.Parse(args)
+	if *projectID == 0 || fs.NArg() != 1 {
+		return fmt.Errorf("usage: classify -project N [-quantized] [-stride-ms T] file.wav")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	audio, err := wav.Decode(f)
+	if err != nil {
+		return err
+	}
+
+	impResp, err := c.Impulse(ctx, *projectID)
+	if err != nil {
+		return err
+	}
+	var cfg struct {
+		Input struct {
+			WindowMS    int `json:"window_ms"`
+			StrideMS    int `json:"stride_ms"`
+			FrequencyHz int `json:"frequency_hz"`
+			Axes        int `json:"axes"`
+		} `json:"input"`
+	}
+	if err := json.Unmarshal(impResp.Impulse, &cfg); err != nil {
+		return fmt.Errorf("decoding impulse config: %w", err)
+	}
+	if cfg.Input.WindowMS <= 0 || cfg.Input.FrequencyHz <= 0 {
+		return fmt.Errorf("project %d has no time-series input block", *projectID)
+	}
+	if audio.Channels != cfg.Input.Axes {
+		return fmt.Errorf("%s has %d channels, impulse expects %d axes", fs.Arg(0), audio.Channels, cfg.Input.Axes)
+	}
+	winSamples := cfg.Input.WindowMS * cfg.Input.FrequencyHz / 1000
+	stride := cfg.Input.StrideMS * cfg.Input.FrequencyHz / 1000
+	if *strideMS > 0 {
+		stride = *strideMS * cfg.Input.FrequencyHz / 1000
+	}
+	if stride <= 0 {
+		stride = winSamples
+	}
+	win := winSamples * cfg.Input.Axes
+	hop := stride * cfg.Input.Axes
+
+	var windows [][]float32
+	var starts []int
+	for off := 0; off+win <= len(audio.Samples); off += hop {
+		windows = append(windows, audio.Samples[off:off+win])
+		starts = append(starts, off/cfg.Input.Axes)
+	}
+	if len(windows) == 0 {
+		return fmt.Errorf("%s is shorter than one %dms window", fs.Arg(0), cfg.Input.WindowMS)
+	}
+
+	done := 0
+	for done < len(windows) {
+		n := len(windows) - done
+		if n > v1.MaxClassifyBatch {
+			n = v1.MaxClassifyBatch
+		}
+		resp, err := c.ClassifyBatch(ctx, *projectID, windows[done:done+n], *quantized)
+		if err != nil {
+			return err
+		}
+		for i, res := range resp.Results {
+			best := float32(0)
+			if s, ok := res.Classification[res.Label]; ok {
+				best = s
+			}
+			fmt.Printf("  window @ %6.2fs  %-8s %.2f\n",
+				float64(starts[done+i])/float64(cfg.Input.FrequencyHz), res.Label, best)
+		}
+		done += n
+	}
+	return nil
 }
 
 // streamCmd pushes a wav file through a live inference session in

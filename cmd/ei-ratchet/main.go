@@ -1,13 +1,18 @@
-// Command ei-ratchet is the performance ratchet: it diffs the two
-// newest committed BENCH_<stamp>.json files and fails when a named
-// hot-path benchmark regressed beyond the threshold. Run it in CI so a
-// PR cannot land a benchmark record that quietly gives back the
-// latency the optimization PRs bought.
+// Command ei-ratchet is the performance ratchet: it compares the newest
+// committed BENCH_<stamp>.json record against the best (lowest ns/op)
+// each named hot-path benchmark achieved across the preceding window of
+// records, and fails when the newest regresses beyond the threshold.
+// Run it in CI so a PR cannot land a benchmark record that quietly
+// gives back the latency the optimization PRs bought.
+//
+// Comparing against the best-of-window rather than only the previous
+// record prevents self-baselining: two consecutive slow records would
+// otherwise ratify each other, eroding the ratchet one PR at a time.
 //
 // Usage:
 //
-//	go run ./cmd/ei-ratchet                 # compare two newest in .
-//	go run ./cmd/ei-ratchet -threshold 10
+//	go run ./cmd/ei-ratchet                 # newest vs best of last 5 in .
+//	go run ./cmd/ei-ratchet -threshold 10 -window 3
 //	go run ./cmd/ei-ratchet -bench BenchmarkFFT256,BenchmarkDenseForward
 package main
 
@@ -27,12 +32,16 @@ import (
 // they measure scenario composition, not a single hot path.
 var hotPaths = []string{
 	"BenchmarkConv2DForward",
+	"BenchmarkConv2DPointwiseSeq",
 	"BenchmarkDenseForward",
 	"BenchmarkFFT256",
 	"BenchmarkMFE1s16k",
 	"BenchmarkMFCC1s16k",
 	"BenchmarkAblationEONCompiled",
 	"BenchmarkAblationInt8Kernels",
+	"BenchmarkAblationFloatKernels",
+	"BenchmarkClassifySingle",
+	"BenchmarkClassifyBatch32",
 	"BenchmarkPersistSample/store/resident=1000",
 	"BenchmarkStreamWindow",
 }
@@ -110,7 +119,25 @@ func compare(prev, cur map[string]float64, names []string, thresholdPct float64)
 	return deltas
 }
 
-func run(dir string, names []string, thresholdPct float64, out *strings.Builder) (failed bool, err error) {
+// bestOfWindow folds the per-benchmark minimum ns/op over a slice of
+// records: the strongest number each benchmark ever posted in the
+// window, which is what the newest record has to live up to.
+func bestOfWindow(records []benchFile) map[string]float64 {
+	best := make(map[string]float64)
+	for _, f := range records {
+		for name, ns := range f.byName() {
+			if ns <= 0 {
+				continue
+			}
+			if cur, ok := best[name]; !ok || ns < cur {
+				best[name] = ns
+			}
+		}
+	}
+	return best
+}
+
+func run(dir string, names []string, thresholdPct float64, window int, out *strings.Builder) (failed bool, err error) {
 	series, err := loadSeries(dir)
 	if err != nil {
 		return false, err
@@ -119,9 +146,18 @@ func run(dir string, names []string, thresholdPct float64, out *strings.Builder)
 		fmt.Fprintf(out, "ei-ratchet: %d benchmark record(s) in %s, nothing to compare\n", len(series), dir)
 		return false, nil
 	}
-	prev, cur := series[len(series)-2], series[len(series)-1]
-	fmt.Fprintf(out, "ei-ratchet: %s -> %s (threshold +%.0f%% ns/op)\n", prev.Stamp, cur.Stamp, thresholdPct)
-	for _, d := range compare(prev.byName(), cur.byName(), names, thresholdPct) {
+	if window < 1 {
+		window = 1
+	}
+	cur := series[len(series)-1]
+	lo := len(series) - 1 - window
+	if lo < 0 {
+		lo = 0
+	}
+	baseline := series[lo : len(series)-1]
+	fmt.Fprintf(out, "ei-ratchet: best of %s..%s -> %s (threshold +%.0f%% ns/op)\n",
+		baseline[0].Stamp, baseline[len(baseline)-1].Stamp, cur.Stamp, thresholdPct)
+	for _, d := range compare(bestOfWindow(baseline), cur.byName(), names, thresholdPct) {
 		switch {
 		case d.Incomplete:
 			fmt.Fprintf(out, "  skip %-45s absent from one record\n", d.Name)
@@ -138,6 +174,7 @@ func run(dir string, names []string, thresholdPct float64, out *strings.Builder)
 func main() {
 	dir := flag.String("dir", ".", "directory holding the BENCH_*.json series")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
+	window := flag.Int("window", 5, "how many preceding records form the best-of baseline")
 	bench := flag.String("bench", "", "comma-separated benchmark names to guard (default: built-in hot-path list)")
 	flag.Parse()
 
@@ -151,7 +188,7 @@ func main() {
 		}
 	}
 	var out strings.Builder
-	failed, err := run(*dir, names, *threshold, &out)
+	failed, err := run(*dir, names, *threshold, *window, &out)
 	os.Stdout.WriteString(out.String())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ei-ratchet: %v\n", err)

@@ -50,50 +50,93 @@ func TestCompareMissingBenchmarkIsIncompleteNotFailed(t *testing.T) {
 	}
 }
 
-func TestRunComparesTwoNewestByStamp(t *testing.T) {
+func TestRunComparesNewestAgainstBestOfWindow(t *testing.T) {
 	dir := t.TempDir()
-	// An old record with a terrible number must be ignored: only the
-	// two newest stamps participate.
-	writeBench(t, dir, "20260101-000000", map[string]float64{"BenchmarkFFT256": 10})
-	writeBench(t, dir, "20260201-000000", map[string]float64{"BenchmarkFFT256": 1000})
-	writeBench(t, dir, "20260301-000000", map[string]float64{"BenchmarkFFT256": 1100})
+	// Two slow records after a fast one: with a best-of-window baseline
+	// the slow pair cannot ratify each other — the newest is still held
+	// to the 100 ns/op the benchmark once achieved.
+	writeBench(t, dir, "20260101-000000", map[string]float64{"BenchmarkFFT256": 100})
+	writeBench(t, dir, "20260201-000000", map[string]float64{"BenchmarkFFT256": 130})
+	writeBench(t, dir, "20260301-000000", map[string]float64{"BenchmarkFFT256": 132})
 
 	var out strings.Builder
-	failed, err := run(dir, []string{"BenchmarkFFT256"}, 15, &out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if failed {
-		t.Fatalf("+10%% against the previous stamp flagged:\n%s", out.String())
-	}
-	if !strings.Contains(out.String(), "20260201-000000 -> 20260301-000000") {
-		t.Fatalf("wrong pair compared:\n%s", out.String())
-	}
-
-	// A fourth record with a >15% jump trips the ratchet.
-	writeBench(t, dir, "20260401-000000", map[string]float64{"BenchmarkFFT256": 1400})
-	out.Reset()
-	failed, err = run(dir, []string{"BenchmarkFFT256"}, 15, &out)
+	failed, err := run(dir, []string{"BenchmarkFFT256"}, 15, 5, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !failed {
-		t.Fatalf("+27%% regression passed:\n%s", out.String())
+		t.Fatalf("+32%% over the window best self-baselined past the ratchet:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "FAIL BenchmarkFFT256") {
 		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "best of 20260101-000000..20260201-000000 -> 20260301-000000") {
+		t.Fatalf("wrong baseline window:\n%s", out.String())
+	}
+
+	// Within threshold of the best: passes.
+	writeBench(t, dir, "20260401-000000", map[string]float64{"BenchmarkFFT256": 110})
+	out.Reset()
+	failed, err = run(dir, []string{"BenchmarkFFT256"}, 15, 5, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("+10%% over the window best flagged:\n%s", out.String())
+	}
+}
+
+func TestRunWindowBoundsBaseline(t *testing.T) {
+	dir := t.TempDir()
+	// A stale record outside the window must not pin the baseline
+	// forever: with window=2 only the two records preceding the newest
+	// participate.
+	writeBench(t, dir, "20260101-000000", map[string]float64{"BenchmarkFFT256": 10})
+	writeBench(t, dir, "20260201-000000", map[string]float64{"BenchmarkFFT256": 1000})
+	writeBench(t, dir, "20260301-000000", map[string]float64{"BenchmarkFFT256": 1010})
+	writeBench(t, dir, "20260401-000000", map[string]float64{"BenchmarkFFT256": 1050})
+
+	var out strings.Builder
+	failed, err := run(dir, []string{"BenchmarkFFT256"}, 15, 2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("record outside window=2 still pins the baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "best of 20260201-000000..20260301-000000") {
+		t.Fatalf("wrong baseline window:\n%s", out.String())
+	}
+}
+
+func TestBestOfWindowFoldsMinimumPerBenchmark(t *testing.T) {
+	best := bestOfWindow([]benchFile{
+		{Stamp: "a", Benchmarks: []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		}{{"A", 100}, {"B", 50}}},
+		{Stamp: "b", Benchmarks: []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		}{{"A", 80}, {"C", 0}}},
+	})
+	if best["A"] != 80 || best["B"] != 50 {
+		t.Fatalf("bestOfWindow = %v", best)
+	}
+	if _, ok := best["C"]; ok {
+		t.Fatalf("non-positive sample entered the baseline: %v", best)
 	}
 }
 
 func TestRunWithFewerThanTwoRecordsPasses(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	failed, err := run(dir, hotPaths, 15, &out)
+	failed, err := run(dir, hotPaths, 15, 5, &out)
 	if err != nil || failed {
 		t.Fatalf("empty dir: failed=%v err=%v", failed, err)
 	}
 	writeBench(t, dir, "20260101-000000", map[string]float64{"BenchmarkFFT256": 10})
-	failed, err = run(dir, hotPaths, 15, &out)
+	failed, err = run(dir, hotPaths, 15, 5, &out)
 	if err != nil || failed {
 		t.Fatalf("single record: failed=%v err=%v", failed, err)
 	}
@@ -105,7 +148,7 @@ func TestRunRejectsMalformedRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if _, err := run(dir, hotPaths, 15, &out); err == nil {
+	if _, err := run(dir, hotPaths, 15, 5, &out); err == nil {
 		t.Fatal("malformed record accepted")
 	}
 }
@@ -115,7 +158,7 @@ func TestRunRejectsMalformedRecord(t *testing.T) {
 // on the actual series CI will diff.
 func TestRatchetAgainstCommittedSeries(t *testing.T) {
 	var out strings.Builder
-	failed, err := run("../..", hotPaths, 15, &out)
+	failed, err := run("../..", hotPaths, 15, 5, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,125 @@
+// Accuracy gates for the opt-in fast-math mode: enabling the polynomial
+// transcendentals must not change what the pipeline predicts, only how
+// fast it computes. The gates run the existing example workloads (KWS
+// DS-CNN inference in float and int8, MFE/MFCC feature extraction) with
+// fast-math on and off and bound the drift.
+package edgepulse_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/fastmath"
+	"edgepulse/internal/tensor"
+)
+
+// TestFastMathModelAccuracyGate runs the KWS model across random inputs
+// with fast-math toggled. Class probabilities must agree to ~1e-4 and
+// the predicted class must be identical whenever the exact top-2 margin
+// is above the noise floor.
+func TestFastMathModelAccuracyGate(t *testing.T) {
+	defer fastmath.SetEnabled(false)
+	m, qm, _ := kwsModelAndQuant(t)
+	rng := rand.New(rand.NewSource(11))
+	const (
+		trials   = 30
+		probTol  = 1e-4
+		tieFloor = 3 * probTol
+	)
+	for trial := 0; trial < trials; trial++ {
+		in := tensor.NewF32(49, 10)
+		for i := range in.Data {
+			in.Data[i] = float32(rng.NormFloat64())
+		}
+		fastmath.SetEnabled(false)
+		exactFloat := m.Forward(in)
+		exactInt8 := qm.Forward(in)
+		fastmath.SetEnabled(true)
+		fastFloat := m.Forward(in)
+		fastInt8 := qm.Forward(in)
+		fastmath.SetEnabled(false)
+		comparePredictions(t, "float", exactFloat, fastFloat, probTol, tieFloor)
+		comparePredictions(t, "int8", exactInt8, fastInt8, probTol, tieFloor)
+	}
+}
+
+// comparePredictions bounds the per-class probability drift and requires
+// argmax agreement unless the exact distribution is within a tie margin.
+func comparePredictions(t *testing.T, path string, exact, fast *tensor.F32, probTol, tieFloor float64) {
+	t.Helper()
+	argmax := func(p *tensor.F32) int {
+		best := 0
+		for i, v := range p.Data {
+			if v > p.Data[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	for i := range exact.Data {
+		if d := math.Abs(float64(exact.Data[i] - fast.Data[i])); d > probTol {
+			t.Fatalf("%s: class %d prob drift %.3g > %.3g (exact %v, fast %v)",
+				path, i, d, probTol, exact.Data[i], fast.Data[i])
+		}
+	}
+	ae, af := argmax(exact), argmax(fast)
+	if ae != af {
+		margin := float64(exact.Data[ae] - exact.Data[af])
+		if margin > tieFloor {
+			t.Fatalf("%s: predicted class flipped %d -> %d with exact margin %.3g",
+				path, ae, af, margin)
+		}
+	}
+}
+
+// TestFastMathDSPAccuracyGate runs the MFE and MFCC front ends over a
+// synthetic multi-tone signal with fast-math toggled and bounds the
+// feature drift (the log-mel path goes through the gated log10).
+func TestFastMathDSPAccuracyGate(t *testing.T) {
+	defer fastmath.SetEnabled(false)
+	rng := rand.New(rand.NewSource(5))
+	sig := dsp.Signal{Data: make([]float32, 16000), Rate: 16000, Axes: 1}
+	for i := range sig.Data {
+		ts := float64(i) / 16000
+		sig.Data[i] = float32(0.5*math.Sin(2*math.Pi*440*ts) +
+			0.2*math.Sin(2*math.Pi*1830*ts) +
+			0.05*rng.NormFloat64())
+	}
+	for _, name := range []string{"mfe", "mfcc"} {
+		t.Run(name, func(t *testing.T) {
+			var block dsp.Block
+			var err error
+			if name == "mfe" {
+				block, err = dsp.NewMFE(nil)
+			} else {
+				block, err = dsp.NewMFCC(nil)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			fastmath.SetEnabled(false)
+			exact, err := block.Extract(sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fastmath.SetEnabled(true)
+			fast, err := block.Extract(sig)
+			fastmath.SetEnabled(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(exact.Data) != len(fast.Data) {
+				t.Fatalf("feature length changed: %d vs %d", len(exact.Data), len(fast.Data))
+			}
+			const tol = 1e-3 // features are log-energies, O(1..10)
+			for i := range exact.Data {
+				d := math.Abs(float64(exact.Data[i] - fast.Data[i]))
+				if d > tol*math.Max(1, math.Abs(float64(exact.Data[i]))) {
+					t.Fatalf("feature %d drift %.3g (exact %v, fast %v)", i, d, exact.Data[i], fast.Data[i])
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	v1 "edgepulse/internal/api/v1"
 	"edgepulse/internal/core"
 	"edgepulse/internal/ingest"
 	"edgepulse/internal/jobs"
@@ -267,6 +268,44 @@ func TestFullMLOpsPipeline(t *testing.T) {
 	if classify["label"] == "" {
 		t.Fatal("no label")
 	}
+
+	// 4b. Batched classify must agree with the single-window path,
+	// window for window, in both precisions.
+	sigNoise, err := synth.Keyword("noise", 8000, 0.5, 0.02, rand.New(rand.NewSource(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, quantized := range []bool{false, true} {
+		var singles []map[string]any
+		for _, s := range [][]float32{sig.Data, sigNoise.Data} {
+			singles = append(singles, e.expectStatus("POST", fmt.Sprintf("/api/projects/%d/classify", id), e.apiKey,
+				map[string]any{"features": s, "quantized": quantized}, http.StatusOK))
+		}
+		batch := e.expectStatus("POST", fmt.Sprintf("/api/projects/%d/classify/batch", id), e.apiKey,
+			map[string]any{"windows": [][]float32{sig.Data, sigNoise.Data}, "quantized": quantized}, http.StatusOK)
+		results := batch["results"].([]any)
+		if len(results) != 2 {
+			t.Fatalf("batch returned %d results", len(results))
+		}
+		for i, r := range results {
+			res := r.(map[string]any)
+			if res["label"] != singles[i]["label"] {
+				t.Fatalf("quantized=%v window %d: batch label %v != single %v", quantized, i, res["label"], singles[i]["label"])
+			}
+			bc := res["classification"].(map[string]any)
+			sc := singles[i]["classification"].(map[string]any)
+			for class, p := range sc {
+				if bc[class] != p {
+					t.Fatalf("quantized=%v window %d class %s: batch %v != single %v", quantized, i, class, bc[class], p)
+				}
+			}
+		}
+	}
+	// Batch validation: empty and oversized batches are rejected.
+	e.expectStatus("POST", fmt.Sprintf("/api/projects/%d/classify/batch", id), e.apiKey,
+		map[string]any{"windows": [][]float32{}}, http.StatusBadRequest)
+	e.expectStatus("POST", fmt.Sprintf("/api/projects/%d/classify/batch", id), e.apiKey,
+		map[string]any{"windows": make([][]float32, v1.MaxClassifyBatch+1)}, http.StatusBadRequest)
 
 	// 5. Profile for a target.
 	profile := e.expectStatus("GET", fmt.Sprintf("/api/projects/%d/profile?target=nano-33-ble-sense", id), e.apiKey, nil, http.StatusOK)

@@ -6,6 +6,7 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"sort"
@@ -540,6 +541,40 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, u *proje
 		Success: true, Label: res.Label,
 		Classification: res.Scores, Anomaly: res.AnomalyScore,
 	})
+}
+
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {
+	var req v1.ClassifyBatchRequest
+	if err := decodeBodyLimit(w, r, &req, maxDataBody); err != nil {
+		s.badRequest(w, r, err)
+		return
+	}
+	imp := p.Impulse()
+	if imp == nil || imp.Model == nil {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "impulse is not trained")
+		return
+	}
+	if len(req.Windows) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, "batch has no windows")
+		return
+	}
+	if len(req.Windows) > v1.MaxClassifyBatch {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest,
+			fmt.Sprintf("batch of %d windows exceeds the limit of %d", len(req.Windows), v1.MaxClassifyBatch))
+		return
+	}
+	results, err := imp.ClassifyBatch(req.Windows, req.Quantized)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, v1.CodeBadRequest, err.Error())
+		return
+	}
+	out := v1.ClassifyBatchResponse{Success: true, Results: make([]v1.ClassifyWindowResult, len(results))}
+	for i, res := range results {
+		out.Results[i] = v1.ClassifyWindowResult{
+			Label: res.Label, Classification: res.Scores, Anomaly: res.AnomalyScore,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleDeployment(w http.ResponseWriter, r *http.Request, u *project.User, p *project.Project) {

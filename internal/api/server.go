@@ -312,6 +312,7 @@ func (s *Server) routes() {
 	s.route("POST /projects/{id}/train", defaultOpts, s.auth(s.withProject(s.handleTrain)))
 	s.route("POST /projects/{id}/tuner", batch, s.auth(s.withProject(s.handleTuner)))
 	s.route("POST /projects/{id}/classify", interactive, s.auth(s.withProject(s.handleClassify)))
+	s.route("POST /projects/{id}/classify/batch", interactive, s.auth(s.withProject(s.handleClassifyBatch)))
 	s.route("GET /projects/{id}/deployment", defaultOpts, s.auth(s.withProject(s.handleDeployment)))
 	s.route("GET /projects/{id}/profile", defaultOpts, s.auth(s.withProject(s.handleProfile)))
 

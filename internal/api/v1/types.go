@@ -516,6 +516,34 @@ type ClassifyResponse struct {
 	Anomaly float64 `json:"anomaly"`
 }
 
+// MaxClassifyBatch caps the window count of one batched classify call;
+// larger workloads should page their windows across requests.
+const MaxClassifyBatch = 256
+
+// ClassifyBatchRequest runs inference on several feature windows in one
+// request, amortizing transport, auth and scratch-arena warm-up across
+// the batch. Every window must be a full feature window (same length the
+// single-window classify accepts).
+type ClassifyBatchRequest struct {
+	Windows   [][]float32 `json:"windows"`
+	Quantized bool        `json:"quantized"`
+}
+
+// ClassifyWindowResult is one window's outcome within a batch.
+type ClassifyWindowResult struct {
+	Label string `json:"label"`
+	// Classification maps every class to its probability.
+	Classification map[string]float32 `json:"classification"`
+	// Anomaly is set when the impulse has an anomaly block.
+	Anomaly float64 `json:"anomaly"`
+}
+
+// ClassifyBatchResponse carries one result per request window, in order.
+type ClassifyBatchResponse struct {
+	Success bool                   `json:"success"`
+	Results []ClassifyWindowResult `json:"results"`
+}
+
 // ProfileEstimate is the on-device estimate for one numeric type.
 type ProfileEstimate struct {
 	DSPMS       float64 `json:"dsp_ms"`

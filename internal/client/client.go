@@ -647,6 +647,18 @@ func (c *Client) Classify(ctx context.Context, projectID int, features []float32
 	return &out, nil
 }
 
+// ClassifyBatch runs inference on several raw feature windows in one
+// request (at most v1.MaxClassifyBatch), amortizing transport and
+// server-side warm-up. Results are ordered like the windows.
+func (c *Client) ClassifyBatch(ctx context.Context, projectID int, windows [][]float32, quantized bool) (*v1.ClassifyBatchResponse, error) {
+	var out v1.ClassifyBatchResponse
+	req := v1.ClassifyBatchRequest{Windows: windows, Quantized: quantized}
+	if err := c.postJSON(ctx, fmt.Sprintf("/projects/%d/classify/batch", projectID), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Profile estimates latency and memory on a target device ("" = server
 // default target).
 func (c *Client) Profile(ctx context.Context, projectID int, target string) (*v1.ProfileResponse, error) {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edgepulse/internal/dsp"
+	"edgepulse/internal/models"
+	"edgepulse/internal/nn"
+)
+
+// batchImpulse builds a trained+quantized tone impulse for batch tests
+// and benchmarks.
+func batchImpulse(t testing.TB) *Impulse {
+	imp := toneImpulse(t)
+	shape, err := imp.FeatureShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := models.Conv1DStack(shape[0], shape[1], 2, 8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.InitWeights(model, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.AttachClassifier(model); err != nil {
+		t.Fatal(err)
+	}
+	if err := imp.Quantize(toneDataset(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	return imp
+}
+
+// batchWindows synthesizes n full windows of mixed tones.
+func batchWindows(n int) [][]float32 {
+	rng := rand.New(rand.NewSource(9))
+	out := make([][]float32, n)
+	for i := range out {
+		freq := 300 + rng.Float64()*2400
+		w := make([]float32, 4000)
+		for j := range w {
+			w[j] = 0.5 * float32(math.Sin(2*math.Pi*freq*float64(j)/8000))
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// TestClassifyBatchMatchesSingles pins the batch path to the single-window
+// path bit for bit, in both precisions.
+func TestClassifyBatchMatchesSingles(t *testing.T) {
+	imp := batchImpulse(t)
+	windows := batchWindows(6)
+	for _, quantized := range []bool{false, true} {
+		got, err := imp.ClassifyBatch(windows, quantized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(windows) {
+			t.Fatalf("quantized=%v: %d results for %d windows", quantized, len(got), len(windows))
+		}
+		for i, w := range windows {
+			sig := dsp.Signal{Data: w, Rate: 8000, Axes: 1}
+			var want ClassResult
+			if quantized {
+				want, err = imp.ClassifyQuantized(sig)
+			} else {
+				want, err = imp.Classify(sig)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i].Label != want.Label {
+				t.Fatalf("quantized=%v window %d: batch label %q != single %q", quantized, i, got[i].Label, want.Label)
+			}
+			for class, p := range want.Scores {
+				if got[i].Scores[class] != p {
+					t.Fatalf("quantized=%v window %d class %s: batch %v != single %v", quantized, i, class, got[i].Scores[class], p)
+				}
+			}
+		}
+	}
+}
+
+// TestClassifyBatchShortWindowMatchesSingle checks a short window gets
+// the same zero-pad treatment in a batch as on the single-window path.
+func TestClassifyBatchShortWindowMatchesSingle(t *testing.T) {
+	imp := batchImpulse(t)
+	windows := batchWindows(3)
+	windows[1] = windows[1][:700] // short: zero-padded to one window
+	got, err := imp.ClassifyBatch(windows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := imp.Classify(dsp.Signal{Data: windows[1], Rate: 8000, Axes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Label != want.Label {
+		t.Fatalf("short window: batch label %q != single %q", got[1].Label, want.Label)
+	}
+	for class, p := range want.Scores {
+		if got[1].Scores[class] != p {
+			t.Fatalf("short window class %s: batch %v != single %v", class, got[1].Scores[class], p)
+		}
+	}
+}
+
+// BenchmarkClassifySingle measures the per-window cost of the one-shot
+// path (DSP + float inference), the baseline the batch path amortizes.
+func BenchmarkClassifySingle(b *testing.B) {
+	imp := batchImpulse(b)
+	sig := dsp.Signal{Data: batchWindows(1)[0], Rate: 8000, Axes: 1}
+	if _, err := imp.Classify(sig); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := imp.Classify(sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassifyBatch32 measures a 32-window batch per op; ns/op ÷ 32
+// is the amortized per-window cost the batched endpoint delivers.
+func BenchmarkClassifyBatch32(b *testing.B) {
+	imp := batchImpulse(b)
+	windows := batchWindows(32)
+	if _, err := imp.ClassifyBatch(windows, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := imp.ClassifyBatch(windows, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(windows)), "ns/window")
+}

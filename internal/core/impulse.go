@@ -814,6 +814,28 @@ func (imp *Impulse) classify(sig dsp.Signal, quantized bool) (ClassResult, error
 	return res, nil
 }
 
+// ClassifyBatch classifies a batch of raw feature windows in one call,
+// amortizing per-request setup: the DSP runtime tables and the model's
+// plan arenas are pooled, so every window after the first runs against
+// warm scratch. Results are ordered like the input; the first failing
+// window aborts the whole batch.
+func (imp *Impulse) ClassifyBatch(windows [][]float32, quantized bool) ([]ClassResult, error) {
+	canonical := imp.CanonicalSignal()
+	out := make([]ClassResult, len(windows))
+	for i, win := range windows {
+		sig := dsp.Signal{
+			Data: win, Rate: canonical.Rate, Axes: canonical.Axes,
+			Width: canonical.Width, Height: canonical.Height,
+		}
+		res, err := imp.classify(sig, quantized)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch window %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // Evaluate computes accuracy and the confusion matrix on a dataset split
 // using the float model (the platform's "model testing" page).
 func (imp *Impulse) Evaluate(ds *data.Dataset, cat data.Category) (float64, [][]int, error) {

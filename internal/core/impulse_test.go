@@ -16,7 +16,7 @@ import (
 
 // materialize loads every sample of a split (tests only — production
 // paths stream via Batches).
-func materialize(t *testing.T, ds *data.Dataset, cat data.Category) []*data.Sample {
+func materialize(t testing.TB, ds *data.Dataset, cat data.Category) []*data.Sample {
 	t.Helper()
 	var out []*data.Sample
 	for _, h := range ds.List(cat) {
@@ -31,7 +31,7 @@ func materialize(t *testing.T, ds *data.Dataset, cat data.Category) []*data.Samp
 
 // toneDataset builds a tiny two-class audio dataset: low tones vs high
 // tones, trivially separable from MFE features.
-func toneDataset(t *testing.T, perClass int) *data.Dataset {
+func toneDataset(t testing.TB, perClass int) *data.Dataset {
 	t.Helper()
 	ds := data.New()
 	rng := rand.New(rand.NewSource(1))
@@ -59,7 +59,7 @@ func toneDataset(t *testing.T, perClass int) *data.Dataset {
 	return ds
 }
 
-func toneImpulse(t *testing.T) *Impulse {
+func toneImpulse(t testing.TB) *Impulse {
 	t.Helper()
 	imp := New("kws-test")
 	imp.Input = InputBlock{Kind: TimeSeries, WindowMS: 500, FrequencyHz: 8000, Axes: 1}

@@ -3,6 +3,7 @@ package dsp
 import (
 	"math"
 
+	"edgepulse/internal/fastmath"
 	"edgepulse/internal/fft"
 )
 
@@ -120,6 +121,9 @@ func logSafe(v float32) float32 {
 	const floor = 1e-12
 	if v < floor {
 		v = floor
+	}
+	if fastmath.Enabled() {
+		return fastmath.Log10Fast(v)
 	}
 	return float32(math.Log10(float64(v)))
 }

@@ -1,0 +1,147 @@
+// Package fastmath provides opt-in polynomial approximations of the
+// transcendental functions on the inference and DSP hot paths (exp,
+// log10, tanh, sigmoid), mirroring the fixed-point/approximation
+// trade-offs embedded speech front ends make: a Cephes-style float32
+// polynomial is 3-10x cheaper than the float64 libm call and accurate
+// to a few ULP — far below the quantization noise of an int8 pipeline.
+//
+// The mode is disabled by default: every gated call site falls back to
+// the exact math package routine, keeping golden DSP and softmax
+// outputs bit-identical unless a deployment explicitly opts in via
+// SetEnabled(true). The *Fast functions are the raw approximations,
+// exposed for error-bound tests and for callers that want them
+// unconditionally.
+package fastmath
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// enabled gates the approximate paths; default off.
+var enabled atomic.Bool
+
+// Enabled reports whether fast-math approximations are active.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled switches the gated call sites between the polynomial
+// approximations (true) and the exact math package routines (false).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Float32 range-reduction constants (Cephes cephes_expf/logf).
+const (
+	log2e    = 1.44269504088896341
+	ln2Hi    = 0.693359375
+	ln2Lo    = -2.12194440e-4
+	sqrtHalf = 0.707106781186547524
+	log10e   = 0.434294482 // log10(e), float32 precision
+)
+
+// ExpFast computes exp(x) with a degree-5 polynomial after ln2 range
+// reduction. Max observed relative error is ~2 ULP over the finite
+// float32 exp domain; overflow saturates to +Inf, underflow to 0.
+func ExpFast(x float32) float32 {
+	if x != x {
+		return x
+	}
+	if x > 88.72 {
+		return float32(math.Inf(1))
+	}
+	if x < -87.33 {
+		return 0
+	}
+	// n = round(x / ln 2), r = x - n ln 2 in two parts. Round half away
+	// from zero via int32 truncation — any consistent rounding keeps r
+	// inside the polynomial's range.
+	z := x * log2e
+	if z >= 0 {
+		z = float32(int32(z + 0.5))
+	} else {
+		z = float32(int32(z - 0.5))
+	}
+	r := x - z*ln2Hi - z*ln2Lo
+	// exp(r) = 1 + r + r^2 P(r)
+	p := float32(1.9875691500e-4)
+	p = p*r + 1.3981999507e-3
+	p = p*r + 8.3334519073e-3
+	p = p*r + 4.1665795894e-2
+	p = p*r + 1.6666665459e-1
+	p = p*r + 5.0000001201e-1
+	p = p*r*r + r + 1
+	// Scale by 2^n via exponent bits.
+	return p * math.Float32frombits(uint32(int32(z)+127)<<23)
+}
+
+// Log10Fast computes log10(x) via a degree-8 polynomial on the reduced
+// mantissa (Cephes logf scaled by log10 e). Accuracy is a few ULP of
+// the natural log; x <= 0 and non-finite inputs defer to math.Log10.
+func Log10Fast(x float32) float32 {
+	if !(x > 0) || math.IsInf(float64(x), 1) {
+		return float32(math.Log10(float64(x)))
+	}
+	// Decompose x = m * 2^e with m in [sqrt(1/2), sqrt(2)).
+	bits := math.Float32bits(x)
+	e := int32(bits>>23) - 126
+	m := math.Float32frombits(bits&0x007FFFFF | 0x3F000000) // [0.5, 1)
+	if e == -126 {                                          // subnormal: renormalize through float64
+		return float32(math.Log10(float64(x)))
+	}
+	if m < sqrtHalf {
+		e--
+		m += m
+	}
+	m -= 1
+	z := m * m
+	p := float32(7.0376836292e-2)
+	p = p*m - 1.1514610310e-1
+	p = p*m + 1.1676998740e-1
+	p = p*m - 1.2420140846e-1
+	p = p*m + 1.4249322787e-1
+	p = p*m - 1.6668057665e-1
+	p = p*m + 2.0000714765e-1
+	p = p*m - 2.4999993993e-1
+	p = p*m + 3.3333331174e-1
+	y := m * z * p
+	fe := float32(e)
+	y += fe * ln2Lo
+	y -= 0.5 * z
+	ln := m + y + fe*ln2Hi
+	return ln * log10e
+}
+
+// TanhFast computes tanh(x): an odd degree-11 polynomial below 0.625,
+// the exp identity above. Relative error stays within a few ULP.
+func TanhFast(x float32) float32 {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	if ax >= 9 {
+		if x != x {
+			return x
+		}
+		if x > 0 {
+			return 1
+		}
+		return -1
+	}
+	if ax < 0.625 {
+		z := x * x
+		p := float32(-5.70498872745e-3)
+		p = p*z + 2.06390887954e-2
+		p = p*z - 5.37397155531e-2
+		p = p*z + 1.33314422036e-1
+		p = p*z - 3.33332819422e-1
+		return p*z*x + x
+	}
+	t := 1 - 2/(ExpFast(2*ax)+1)
+	if x < 0 {
+		return -t
+	}
+	return t
+}
+
+// SigmoidFast computes 1/(1+exp(-x)) with ExpFast.
+func SigmoidFast(x float32) float32 {
+	return 1 / (1 + ExpFast(-x))
+}

@@ -1,0 +1,156 @@
+package fastmath
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr returns |got-ref| / max(|ref|, floor): a relative error with an
+// absolute floor so near-zero references don't blow the ratio up.
+func relErr(got float32, ref, floor float64) float64 {
+	d := math.Abs(float64(got) - ref)
+	den := math.Abs(ref)
+	if den < floor {
+		den = floor
+	}
+	return d / den
+}
+
+// TestExpFastErrorBound sweeps the finite exp domain and requires the
+// polynomial to stay within a few float32 ULP of math.Exp.
+func TestExpFastErrorBound(t *testing.T) {
+	const bound = 5e-7
+	worst := 0.0
+	for x := -87.0; x <= 88.0; x += 0.0025 {
+		xf := float32(x)
+		ref := math.Exp(float64(xf))
+		if e := relErr(ExpFast(xf), ref, 1e-30); e > worst {
+			worst = e
+			if e > bound {
+				t.Fatalf("ExpFast(%v): rel err %.3g > %.3g", xf, e, bound)
+			}
+		}
+	}
+	t.Logf("ExpFast max rel err over [-87, 88]: %.3g", worst)
+	// Saturation and specials.
+	if v := ExpFast(120); !math.IsInf(float64(v), 1) {
+		t.Fatalf("ExpFast(120) = %v, want +Inf", v)
+	}
+	if v := ExpFast(-120); v != 0 {
+		t.Fatalf("ExpFast(-120) = %v, want 0", v)
+	}
+	if v := ExpFast(float32(math.NaN())); v == v {
+		t.Fatalf("ExpFast(NaN) = %v, want NaN", v)
+	}
+	if v := ExpFast(0); v != 1 {
+		t.Fatalf("ExpFast(0) = %v, want 1", v)
+	}
+}
+
+// TestLog10FastErrorBound sweeps magnitudes from 1e-30 to 1e30 plus a
+// dense band around 1 where the log passes through zero.
+func TestLog10FastErrorBound(t *testing.T) {
+	const absBound = 2e-7 // log10 result is O(1..30); near 1 it is ~0
+	check := func(x float32) {
+		ref := math.Log10(float64(x))
+		got := Log10Fast(x)
+		if d := math.Abs(float64(got) - ref); d > absBound+2e-7*math.Abs(ref) {
+			t.Fatalf("Log10Fast(%v) = %v, want %v (err %.3g)", x, got, ref, d)
+		}
+	}
+	for dec := -30; dec <= 30; dec++ {
+		base := math.Pow(10, float64(dec))
+		for _, m := range []float64{1, 1.3, 2.5, 4.99, 7.07, 9.9} {
+			check(float32(base * m))
+		}
+	}
+	for x := 0.5; x <= 2.0; x += 0.0005 {
+		check(float32(x))
+	}
+	// Domain edges defer to math.Log10.
+	if v := Log10Fast(0); !math.IsInf(float64(v), -1) {
+		t.Fatalf("Log10Fast(0) = %v, want -Inf", v)
+	}
+	if v := Log10Fast(-1); v == v {
+		t.Fatalf("Log10Fast(-1) = %v, want NaN", v)
+	}
+	if v := Log10Fast(float32(math.Inf(1))); !math.IsInf(float64(v), 1) {
+		t.Fatalf("Log10Fast(+Inf) = %v, want +Inf", v)
+	}
+}
+
+// TestTanhFastErrorBound covers the polynomial branch, the exp-identity
+// branch, the saturation region and the branch seam at 0.625.
+func TestTanhFastErrorBound(t *testing.T) {
+	const bound = 1e-6
+	for x := -12.0; x <= 12.0; x += 0.001 {
+		xf := float32(x)
+		ref := math.Tanh(float64(xf))
+		if e := relErr(TanhFast(xf), ref, 1e-10); e > bound {
+			t.Fatalf("TanhFast(%v): rel err %.3g > %.3g", xf, e, bound)
+		}
+	}
+	if v := TanhFast(50); v != 1 {
+		t.Fatalf("TanhFast(50) = %v, want 1", v)
+	}
+	if v := TanhFast(-50); v != -1 {
+		t.Fatalf("TanhFast(-50) = %v, want -1", v)
+	}
+	if v := TanhFast(0); v != 0 {
+		t.Fatalf("TanhFast(0) = %v, want 0", v)
+	}
+}
+
+// TestSigmoidFastErrorBound sweeps the numerically interesting band.
+func TestSigmoidFastErrorBound(t *testing.T) {
+	const bound = 1e-6
+	for x := -30.0; x <= 30.0; x += 0.001 {
+		xf := float32(x)
+		ref := 1 / (1 + math.Exp(-float64(xf)))
+		if e := relErr(SigmoidFast(xf), ref, 1e-12); e > bound {
+			t.Fatalf("SigmoidFast(%v): rel err %.3g > %.3g", xf, e, bound)
+		}
+	}
+}
+
+// TestEnabledDefaultsOff pins the opt-in contract: a fresh process must
+// run the exact math paths until a caller flips the switch.
+func TestEnabledDefaultsOff(t *testing.T) {
+	if Enabled() {
+		t.Fatal("fast-math must default to disabled")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("SetEnabled(true) did not take")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("SetEnabled(false) did not take")
+	}
+}
+
+var sinkF32 float32
+
+func BenchmarkExpFast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkF32 = ExpFast(float32(i%32) - 16)
+	}
+}
+
+func BenchmarkExpStdlib(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkF32 = float32(math.Exp(float64(float32(i%32) - 16)))
+	}
+}
+
+func BenchmarkLog10Fast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkF32 = Log10Fast(float32(i%1000) + 0.5)
+	}
+}
+
+func BenchmarkLog10Stdlib(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkF32 = float32(math.Log10(float64(float32(i%1000) + 0.5)))
+	}
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"edgepulse/internal/simd"
 	"edgepulse/internal/tensor"
 )
 
@@ -111,48 +112,63 @@ func (c *Conv2D) Forward(in *tensor.F32) *tensor.F32 {
 	return out
 }
 
-// InferInto implements Layer. The inner loop accumulates over the
-// Filters-contiguous rows of the HWIO weight tensor into a per-pixel
-// output slice, so weight and output accesses are sequential; per output
-// element the accumulation order matches the classic filter-major loop
-// bit for bit.
+// InferInto implements Layer. Each output pixel accumulates [cin x nf]
+// weight panels via simd.ConvAccF32 with the valid tap range hoisted out
+// of the inner loops; per output element the accumulation order matches
+// the classic filter-major loop bit for bit. Layers heavy enough to
+// amortize the hand-off partition their output rows across the shared
+// worker pool (see parallel.go) — disjoint row chunks keep the result
+// bitwise-equal to the sequential path for any worker count.
 func (c *Conv2D) InferInto(in, out *tensor.F32) {
+	c.Build(in.Shape[2])
+	oh := out.Shape[0]
+	if parallelizable(oh, c.MACs(in.Shape)) {
+		parallelRows(oh, func(lo, hi int) { c.inferRows(in, out, lo, hi) })
+		return
+	}
+	c.inferRows(in, out, 0, oh)
+}
+
+// inferRows computes output rows [oyLo, oyHi); it touches no layer
+// state and writes only those rows, so disjoint ranges may run
+// concurrently.
+func (c *Conv2D) inferRows(in, out *tensor.F32, oyLo, oyHi int) {
 	h, w, cin := in.Shape[0], in.Shape[1], in.Shape[2]
-	c.Build(cin)
-	oh, ow := out.Shape[0], out.Shape[1]
+	ow := out.Shape[1]
 	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
 	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
 	nf := c.Filters
-	for oy := 0; oy < oh; oy++ {
+	wData, inData := c.W.Data, in.Data
+	for oy := oyLo; oy < oyHi; oy++ {
+		// Valid vertical taps for this output row, hoisted so the tap
+		// loops run branch-free.
+		kyLo, kyHi := 0, c.Kernel
+		if d := py - oy*c.Stride; d > 0 {
+			kyLo = d
+		}
+		if d := h + py - oy*c.Stride; d < kyHi {
+			kyHi = d
+		}
 		for ox := 0; ox < ow; ox++ {
 			dst := out.Data[(oy*ow+ox)*nf : (oy*ow+ox+1)*nf]
 			copy(dst, c.B.Data)
-			for ky := 0; ky < c.Kernel; ky++ {
+			kxLo, kxHi := 0, c.Kernel
+			if d := px - ox*c.Stride; d > 0 {
+				kxLo = d
+			}
+			if d := w + px - ox*c.Stride; d < kxHi {
+				kxHi = d
+			}
+			for ky := kyLo; ky < kyHi; ky++ {
 				iy := oy*c.Stride + ky - py
-				if iy < 0 || iy >= h {
-					continue
-				}
-				for kx := 0; kx < c.Kernel; kx++ {
+				for kx := kxLo; kx < kxHi; kx++ {
 					ix := ox*c.Stride + kx - px
-					if ix < 0 || ix >= w {
-						continue
-					}
 					inBase := (iy*w + ix) * cin
 					wBase := (ky*c.Kernel + kx) * cin * nf
-					for ci := 0; ci < cin; ci++ {
-						v := in.Data[inBase+ci]
-						wRow := c.W.Data[wBase+ci*nf : wBase+(ci+1)*nf]
-						for f, wv := range wRow {
-							dst[f] += v * wv
-						}
-					}
+					simd.ConvAccF32(dst, wData[wBase:wBase+cin*nf], inData[inBase:inBase+cin], nf)
 				}
 			}
-			if c.Act != None {
-				for f, v := range dst {
-					dst[f] = c.Act.apply(v)
-				}
-			}
+			c.Act.applyTo(dst)
 		}
 	}
 }
@@ -289,41 +305,55 @@ func (c *DepthwiseConv2D) Forward(in *tensor.F32) *tensor.F32 {
 	return out
 }
 
-// InferInto implements Layer. The channel loop is innermost so the input
-// row, the [K,K,C] weight row and the output row are all walked
-// contiguously; per channel the tap accumulation order is unchanged.
+// InferInto implements Layer. The channel dimension vectorizes via
+// simd.MulAccF32 (input row, [K,K,C] weight row and output row are all
+// contiguous); per channel the tap accumulation order is unchanged.
+// Heavy layers partition output rows across the shared worker pool.
 func (c *DepthwiseConv2D) InferInto(in, out *tensor.F32) {
+	c.Build(in.Shape[2])
+	oh := out.Shape[0]
+	if parallelizable(oh, c.MACs(in.Shape)) {
+		parallelRows(oh, func(lo, hi int) { c.inferRows(in, out, lo, hi) })
+		return
+	}
+	c.inferRows(in, out, 0, oh)
+}
+
+// inferRows computes output rows [oyLo, oyHi); disjoint ranges may run
+// concurrently.
+func (c *DepthwiseConv2D) inferRows(in, out *tensor.F32, oyLo, oyHi int) {
 	h, w, ch := in.Shape[0], in.Shape[1], in.Shape[2]
-	c.Build(ch)
-	oh, ow := out.Shape[0], out.Shape[1]
+	ow := out.Shape[1]
 	py := padOffset(h, c.Kernel, c.Stride, c.Pad)
 	px := padOffset(w, c.Kernel, c.Stride, c.Pad)
-	for oy := 0; oy < oh; oy++ {
+	for oy := oyLo; oy < oyHi; oy++ {
+		kyLo, kyHi := 0, c.Kernel
+		if d := py - oy*c.Stride; d > 0 {
+			kyLo = d
+		}
+		if d := h + py - oy*c.Stride; d < kyHi {
+			kyHi = d
+		}
 		for ox := 0; ox < ow; ox++ {
 			dst := out.Data[(oy*ow+ox)*ch : (oy*ow+ox+1)*ch]
 			copy(dst, c.B.Data)
-			for ky := 0; ky < c.Kernel; ky++ {
+			kxLo, kxHi := 0, c.Kernel
+			if d := px - ox*c.Stride; d > 0 {
+				kxLo = d
+			}
+			if d := w + px - ox*c.Stride; d < kxHi {
+				kxHi = d
+			}
+			for ky := kyLo; ky < kyHi; ky++ {
 				iy := oy*c.Stride + ky - py
-				if iy < 0 || iy >= h {
-					continue
-				}
-				for kx := 0; kx < c.Kernel; kx++ {
+				for kx := kxLo; kx < kxHi; kx++ {
 					ix := ox*c.Stride + kx - px
-					if ix < 0 || ix >= w {
-						continue
-					}
 					inRow := in.Data[(iy*w+ix)*ch : (iy*w+ix+1)*ch]
 					wRow := c.W.Data[(ky*c.Kernel+kx)*ch : (ky*c.Kernel+kx+1)*ch]
-					for ci, wv := range wRow {
-						dst[ci] += inRow[ci] * wv
-					}
+					simd.MulAccF32(dst, inRow, wRow)
 				}
 			}
-			if c.Act != None {
-				for ci, v := range dst {
-					dst[ci] = c.Act.apply(v)
-				}
-			}
+			c.Act.applyTo(dst)
 		}
 	}
 }
@@ -455,37 +485,42 @@ func (c *Conv1D) Forward(in *tensor.F32) *tensor.F32 {
 	return out
 }
 
-// InferInto implements Layer, accumulating over the Filters-contiguous
-// weight rows into a per-step output slice (same reordering as Conv2D).
+// InferInto implements Layer, accumulating [cin x nf] weight panels via
+// simd.ConvAccF32 with hoisted tap bounds (same reordering as Conv2D).
+// Heavy layers partition output steps across the shared worker pool.
 func (c *Conv1D) InferInto(in, out *tensor.F32) {
-	t, cin := in.Shape[0], in.Shape[1]
-	c.Build(cin)
+	c.Build(in.Shape[1])
 	ot := out.Shape[0]
+	if parallelizable(ot, c.MACs(in.Shape)) {
+		parallelRows(ot, func(lo, hi int) { c.inferRows(in, out, lo, hi) })
+		return
+	}
+	c.inferRows(in, out, 0, ot)
+}
+
+// inferRows computes output steps [oLo, oHi); disjoint ranges may run
+// concurrently.
+func (c *Conv1D) inferRows(in, out *tensor.F32, oLo, oHi int) {
+	t, cin := in.Shape[0], in.Shape[1]
 	p := padOffset(t, c.Kernel, c.Stride, c.Pad)
 	nf := c.Filters
-	for o := 0; o < ot; o++ {
+	for o := oLo; o < oHi; o++ {
 		dst := out.Data[o*nf : (o+1)*nf]
 		copy(dst, c.B.Data)
-		for k := 0; k < c.Kernel; k++ {
+		kLo, kHi := 0, c.Kernel
+		if d := p - o*c.Stride; d > 0 {
+			kLo = d
+		}
+		if d := t + p - o*c.Stride; d < kHi {
+			kHi = d
+		}
+		for k := kLo; k < kHi; k++ {
 			i := o*c.Stride + k - p
-			if i < 0 || i >= t {
-				continue
-			}
 			inBase := i * cin
 			wBase := k * cin * nf
-			for ci := 0; ci < cin; ci++ {
-				v := in.Data[inBase+ci]
-				wRow := c.W.Data[wBase+ci*nf : wBase+(ci+1)*nf]
-				for f, wv := range wRow {
-					dst[f] += v * wv
-				}
-			}
+			simd.ConvAccF32(dst, c.W.Data[wBase:wBase+cin*nf], in.Data[inBase:inBase+cin], nf)
 		}
-		if c.Act != None {
-			for f, v := range dst {
-				dst[f] = c.Act.apply(v)
-			}
-		}
+		c.Act.applyTo(dst)
 	}
 }
 

@@ -4,10 +4,15 @@ import (
 	"fmt"
 	"math"
 
+	"edgepulse/internal/fastmath"
+	"edgepulse/internal/simd"
 	"edgepulse/internal/tensor"
 )
 
 func sigmoid(v float32) float32 {
+	if fastmath.Enabled() {
+		return fastmath.SigmoidFast(v)
+	}
 	return float32(1 / (1 + math.Exp(-float64(v))))
 }
 
@@ -63,25 +68,15 @@ func (d *Dense) Forward(in *tensor.F32) *tensor.F32 {
 	return out
 }
 
-// InferInto implements Layer. Iterating inputs in the outer loop walks
-// each Units-contiguous weight row sequentially while accumulating into
-// the output slice; per output unit the addition order is unchanged.
+// InferInto implements Layer. The whole matrix-vector product is one
+// simd.ConvAccF32 rank-1 accumulation sweep: inputs iterate in the outer
+// loop over Units-contiguous weight rows, so per output unit the
+// addition order is unchanged from the historical scalar loop.
 func (d *Dense) InferInto(in, out *tensor.F32) {
 	d.Build(len(in.Data))
 	copy(out.Data, d.B.Data)
-	nIn := len(in.Data)
-	for i := 0; i < nIn; i++ {
-		v := in.Data[i]
-		wRow := d.W.Data[i*d.Units : (i+1)*d.Units]
-		for j, wv := range wRow {
-			out.Data[j] += v * wv
-		}
-	}
-	if d.Act != None {
-		for j, v := range out.Data {
-			out.Data[j] = d.Act.apply(v)
-		}
-	}
+	simd.ConvAccF32(out.Data, d.W.Data, in.Data, d.Units)
+	d.Act.applyTo(out.Data)
 }
 
 // Backward implements Layer.

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"edgepulse/internal/simd"
 	"edgepulse/internal/tensor"
 )
 
@@ -63,6 +64,23 @@ func (a Activation) apply(v float32) float32 {
 		return sigmoid(v)
 	default:
 		return v
+	}
+}
+
+// applyTo applies a fused activation to a whole output row, taking the
+// vectorized clamps for ReLU/ReLU6 (bitwise-identical to apply, see
+// package simd) and the scalar path otherwise.
+func (a Activation) applyTo(x []float32) {
+	switch a {
+	case None:
+	case ReLU:
+		simd.ReLUF32(x)
+	case ReLU6:
+		simd.ReLU6F32(x)
+	default:
+		for i, v := range x {
+			x[i] = a.apply(v)
+		}
 	}
 }
 

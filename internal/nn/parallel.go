@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The convolution layers partition their output rows across a shared
+// bounded worker pool when a layer is heavy enough to amortize the
+// hand-off. Row chunks are disjoint slices of the output tensor and the
+// per-row arithmetic is identical to the sequential path, so the result
+// is bitwise-equal to a sequential run for any worker count.
+
+// parallelMACThreshold is the minimum per-layer MAC count before row
+// partitioning pays for the goroutine hand-off. Below it (small heads,
+// pooled tails) the sequential path is always faster.
+const parallelMACThreshold = 64 << 10
+
+// convWorkerOverride, when positive, pins the row-partitioning width
+// regardless of GOMAXPROCS. Tests use it to exercise every split.
+var convWorkerOverride atomic.Int32
+
+// SetConvWorkers overrides the number of row-partition workers used by
+// convolution layers. n <= 0 restores the default (GOMAXPROCS). It
+// returns the previous override so tests can restore it.
+func SetConvWorkers(n int) int {
+	prev := convWorkerOverride.Load()
+	if n < 0 {
+		n = 0
+	}
+	convWorkerOverride.Store(int32(n))
+	return int(prev)
+}
+
+// convWorkers returns the current row-partitioning width.
+func convWorkers() int {
+	if n := convWorkerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// rowTask is one chunk of output rows handed to the pool.
+type rowTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan rowTask
+)
+
+// startPool launches the shared bounded worker pool lazily, on the
+// first parallel dispatch. Workers live for the process lifetime; the
+// queue is bounded and the submitter runs overflow chunks inline, so
+// dispatch can never deadlock even if every worker is busy.
+func startPool() {
+	n := runtime.NumCPU()
+	if n < 2 {
+		n = 2
+	}
+	if n > 16 {
+		n = 16
+	}
+	poolCh = make(chan rowTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range poolCh {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelRows splits [0, rows) into at most convWorkers() contiguous
+// chunks and runs fn over them concurrently, blocking until all chunks
+// complete. fn must only write output locations owned by its row range.
+// The chunk boundaries depend only on rows and the worker setting —
+// never on scheduling — and each row's arithmetic is self-contained, so
+// output bits are identical across worker counts and interleavings.
+//
+// Callers must check parallelizable() first and fall back to a direct
+// call, keeping the sequential path free of closure allocations.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	n := convWorkers()
+	if n > rows {
+		n = rows
+	}
+	poolOnce.Do(startPool)
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	chunk := rows / n
+	rem := rows % n
+	lo := 0
+	// Chunks 1..n-1 go to the pool (inline on overflow); chunk 0 runs
+	// on the submitting goroutine so the pool never has to be larger
+	// than the machine.
+	for i := 1; i < n; i++ {
+		size := chunk
+		if i <= rem {
+			size++
+		}
+		t := rowTask{fn: fn, lo: rows - lo - size, hi: rows - lo, wg: &wg}
+		lo += size
+		select {
+		case poolCh <- t:
+		default:
+			t.fn(t.lo, t.hi)
+			t.wg.Done()
+		}
+	}
+	fn(0, rows-lo)
+	wg.Wait()
+}
+
+// parallelizable reports whether a layer with the given output rows and
+// MAC count should take the row-partitioned path.
+func parallelizable(rows int, macs int64) bool {
+	return rows >= 2 && macs >= parallelMACThreshold && convWorkers() > 1
+}

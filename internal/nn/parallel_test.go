@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"edgepulse/internal/tensor"
+)
+
+// fillRandomF32 fills t with deterministic pseudo-random values spanning
+// sign changes and magnitudes (exercises rounding-sensitive paths).
+func fillRandomF32(t *tensor.F32, rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+}
+
+// inferWithWorkers runs l.InferInto with the row-partition width pinned
+// to n, restoring the previous setting afterwards.
+func inferWithWorkers(l Layer, in, out *tensor.F32, n int) {
+	prev := SetConvWorkers(n)
+	defer SetConvWorkers(prev)
+	l.InferInto(in, out)
+}
+
+// TestParallelConvDeterminism checks that the row-partitioned conv paths
+// are bitwise-identical to the sequential path across worker counts 1..8,
+// odd spatial shapes, strides and padding modes. Run under -race this
+// also proves the chunks are data-race free.
+func TestParallelConvDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type tc struct {
+		name  string
+		layer Layer
+		in    tensor.Shape
+	}
+	var cases []tc
+	for _, p := range []Padding{Valid, Same} {
+		for _, stride := range []int{1, 2} {
+			cases = append(cases,
+				tc{
+					name:  fmt.Sprintf("conv2d/%v/s%d", p, stride),
+					layer: NewConv2D(33, 3, stride, p, ReLU),
+					in:    tensor.Shape{15, 13, 7},
+				},
+				tc{
+					name:  fmt.Sprintf("depthwise/%v/s%d", p, stride),
+					layer: NewDepthwiseConv2D(3, stride, p, ReLU6),
+					in:    tensor.Shape{33, 19, 64},
+				},
+				tc{
+					name:  fmt.Sprintf("conv1d/%v/s%d", p, stride),
+					layer: NewConv1D(40, 5, stride, p, None),
+					in:    tensor.Shape{201, 13},
+				},
+			)
+		}
+	}
+	// A tall output with few channels stresses uneven row chunking, and
+	// a 4x4 kernel with stride 2 on a single input channel mirrors the
+	// KWS head conv.
+	cases = append(cases,
+		tc{name: "conv2d/tall", layer: NewConv2D(9, 3, 1, Same, None), in: tensor.Shape{97, 5, 16}},
+		tc{name: "conv2d/kws-head", layer: NewConv2D(64, 4, 2, Same, ReLU), in: tensor.Shape{49, 10, 1}},
+	)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			outShape, err := c.layer.OutShape(c.in)
+			if err != nil {
+				t.Fatalf("OutShape: %v", err)
+			}
+			for _, p := range c.layer.Params() {
+				fillRandomF32(p, rng)
+			}
+			in := tensor.NewF32(c.in...)
+			fillRandomF32(in, rng)
+			want := tensor.NewF32(outShape...)
+			inferWithWorkers(c.layer, in, want, 1)
+			if !parallelizable(outShape[0], c.layer.MACs(c.in)) {
+				prev := SetConvWorkers(2)
+				ok := parallelizable(outShape[0], c.layer.MACs(c.in))
+				SetConvWorkers(prev)
+				if !ok {
+					t.Fatalf("case below parallel MAC threshold; grow the shape so the parallel path is exercised")
+				}
+			}
+			for workers := 2; workers <= 8; workers++ {
+				got := tensor.NewF32(outShape...)
+				inferWithWorkers(c.layer, in, got, workers)
+				for i := range want.Data {
+					if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+						t.Fatalf("workers=%d: elem %d = %v (bits %#x), sequential %v (bits %#x)",
+							workers, i, got.Data[i], math.Float32bits(got.Data[i]),
+							want.Data[i], math.Float32bits(want.Data[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRowsCoverage checks the chunk planner covers [0, rows)
+// exactly once for every rows/worker combination, including workers >
+// rows and worker counts above the pool size.
+func TestParallelRowsCoverage(t *testing.T) {
+	for rows := 1; rows <= 40; rows++ {
+		for workers := 1; workers <= 12; workers++ {
+			prev := SetConvWorkers(workers)
+			hits := make([]int32, rows)
+			var mu chan struct{} = make(chan struct{}, 1)
+			mu <- struct{}{}
+			parallelRows(rows, func(lo, hi int) {
+				if lo < 0 || hi > rows || lo > hi {
+					t.Errorf("rows=%d workers=%d: bad chunk [%d,%d)", rows, workers, lo, hi)
+				}
+				<-mu
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+				mu <- struct{}{}
+			})
+			SetConvWorkers(prev)
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("rows=%d workers=%d: row %d computed %d times", rows, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestSetConvWorkersDefault checks the override round-trips and that the
+// default tracks GOMAXPROCS.
+func TestSetConvWorkersDefault(t *testing.T) {
+	prev := SetConvWorkers(3)
+	if got := convWorkers(); got != 3 {
+		t.Fatalf("convWorkers() = %d, want 3", got)
+	}
+	SetConvWorkers(0)
+	if got, want := convWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("convWorkers() default = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetConvWorkers(int(prev))
+}
+
+// benchConvParallel measures the DS-CNN pointwise conv body (the KWS
+// hot path) at a given worker count.
+func benchConvParallel(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewConv2D(64, 1, 1, Same, ReLU)
+	in := tensor.NewF32(25, 5, 64)
+	fillRandomF32(in, rng)
+	outShape, err := layer.OutShape(in.Shape)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range layer.Params() {
+		fillRandomF32(p, rng)
+	}
+	out := tensor.NewF32(outShape...)
+	prev := SetConvWorkers(workers)
+	defer SetConvWorkers(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.InferInto(in, out)
+	}
+}
+
+func BenchmarkConv2DPointwiseSeq(b *testing.B)      { benchConvParallel(b, 1) }
+func BenchmarkConv2DPointwiseWorkers2(b *testing.B) { benchConvParallel(b, 2) }
+func BenchmarkConv2DPointwiseWorkers4(b *testing.B) { benchConvParallel(b, 4) }

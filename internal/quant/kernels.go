@@ -1,51 +1,105 @@
 package quant
 
 import (
+	"fmt"
+
+	"edgepulse/internal/simd"
 	"edgepulse/internal/tensor"
 )
 
 // RunOp executes a single quantized op into a freshly allocated output
 // (kept for callers that bind individual ops, e.g. tests and the EON
 // C++ emitter); the hot path goes through runOpInto with pooled buffers.
+// The output never aliases the input: identity ops (flatten, reshape)
+// copy, so mutating the result cannot corrupt the caller's tensor.
 func (q *QModel) RunOp(op *QOp, in *tensor.I8) *tensor.I8 {
 	switch op.Kind {
 	case "flatten", "reshape":
-		return &tensor.I8{Shape: op.OutShape.Clone(), Data: in.Data, Q: in.Q}
+		return &tensor.I8{
+			Shape: op.OutShape.Clone(),
+			Data:  append([]int8(nil), in.Data...),
+			Q:     in.Q,
+		}
 	}
 	out := tensor.NewI8(op.OutQ, op.OutShape...)
 	acc := make([]int32, accRowLen(op))
-	return q.runOpInto(op, in, out, acc)
+	vp := make([]uint32, vpLen(op))
+	return q.runOpInto(op, in, out, acc, vp)
 }
 
-// accRowLen returns the per-pixel int32 accumulator width an op needs.
+// accRowLen returns the int32 accumulator scratch width an op needs:
+// one output row for the 2-D convs (so requantization batches over the
+// whole row), one pixel row for conv1d, the whole output for dense.
 func accRowLen(op *QOp) int {
 	switch op.Kind {
 	case "dense":
 		return op.OutShape.Elems()
-	case "conv2d", "depthwise_conv2d", "conv1d":
-		return op.OutShape[len(op.OutShape)-1]
+	case "conv2d", "depthwise_conv2d":
+		return op.OutShape[1] * op.OutShape[2]
+	case "conv1d":
+		return op.OutShape[1]
 	}
 	return 1
+}
+
+// vpLen returns the packed input-pair scratch length (uint32 words) an
+// op needs: every input pixel padded to whole pairs (see simd.PackPairs).
+// Single-channel conv2d packs each input row twice — once per pair
+// alignment phase — so panels may start at any x offset.
+func vpLen(op *QOp) int {
+	switch op.Kind {
+	case "dense":
+		return (op.InShape.Elems() + 1) / 2
+	case "conv2d":
+		if op.InShape[2] == 1 {
+			return op.InShape[0] * 2 * ((op.InShape[1] + 1) / 2)
+		}
+		return op.InShape[0] * op.InShape[1] * ((op.InShape[2] + 1) / 2)
+	case "conv1d":
+		return op.InShape[0] * ((op.InShape[1] + 1) / 2)
+	}
+	return 0
+}
+
+// packInput packs a whole activation tensor of pixel rows with cin lanes
+// each into the pair stream the int8 kernels consume, returning the
+// per-pixel pitch in pairs. Even cin packs in one sweep; odd cin pads
+// every pixel to a whole pair (the phantom lane multiplies a zero weight
+// lane, contributing nothing).
+func packInput(vp []uint32, data []int8, cin int, zp int32) int {
+	if cin%2 == 0 {
+		simd.PackPairs(vp, data, zp)
+		return cin / 2
+	}
+	pp := (cin + 1) / 2
+	for px := 0; px*cin < len(data); px++ {
+		simd.PackPairs(vp[px*pp:(px+1)*pp], data[px*cin:(px+1)*cin], zp)
+	}
+	return pp
 }
 
 // runOpInto dispatches one quantized op, writing into out. All compute
 // kernels use int32 accumulators over (q_in - in_zp) * q_w products, add
 // the int32 bias, requantize with the op's fixed-point multiplier, add
 // the output zero point and clamp to the fused activation range — the
-// same dataflow as CMSIS-NN / TFLM reference int8 kernels. Inner loops
-// accumulate over the filter-contiguous weight rows into a per-pixel
-// int32 row (acc), so weight accesses are sequential; integer addition
-// is exact, so results are bitwise identical to the filter-major order.
-func (q *QModel) runOpInto(op *QOp, in, out *tensor.I8, acc []int32) *tensor.I8 {
+// same dataflow as CMSIS-NN / TFLM reference int8 kernels. The inner
+// loops run on the package simd primitives (VPMADDWD dual-MAC panels,
+// vectorized requantization); integer arithmetic is exact, so results
+// are bitwise identical to the scalar reference order.
+//
+// An unrecognized kind panics: silently passing the input through would
+// corrupt every downstream activation (softmax never reaches here — the
+// Forward loop hands it to the float head before dispatch).
+func (q *QModel) runOpInto(op *QOp, in, out *tensor.I8, acc []int32, vp []uint32) *tensor.I8 {
 	switch op.Kind {
 	case "dense":
-		qDense(op, in, out, acc)
+		qDense(op, in, out, acc, vp)
 	case "conv2d":
-		qConv2D(op, in, out, acc)
+		qConv2D(op, in, out, acc, vp)
 	case "depthwise_conv2d":
 		qDepthwise(op, in, out, acc)
 	case "conv1d":
-		qConv1D(op, in, out, acc)
+		qConv1D(op, in, out, acc, vp)
 	case "maxpool2d":
 		qMaxPool2D(op, in, out)
 	case "avgpool2d":
@@ -58,24 +112,31 @@ func (q *QModel) runOpInto(op *QOp, in, out *tensor.I8, acc []int32) *tensor.I8 
 		out.Data = in.Data
 		out.Q = in.Q
 	default:
-		// Unknown pass-through: keep data (softmax handled by caller).
-		return in
+		panic(fmt.Sprintf("quant: no int8 kernel for op kind %q (softmax runs in the float head)", op.Kind))
 	}
 	return out
 }
 
-// requant converts an int32 accumulator to the quantized output domain.
+// requant converts an int32 accumulator to the quantized output domain
+// (the scalar reference; batch requantization goes through simd.RequantI8,
+// which is bit-for-bit identical).
 func requant(op *QOp, acc int32) int8 {
 	v := multiplyByQuantizedMultiplier(acc, op.mult, op.shift) + op.OutQ.ZeroPoint
 	return int8(clampI32(v, op.ActMin, op.ActMax))
 }
 
-func qDense(op *QOp, in, out *tensor.I8, acc []int32) {
+func qDense(op *QOp, in, out *tensor.I8, acc []int32, vp []uint32) {
 	nIn := op.InShape.Elems()
 	nOut := op.OutShape.Elems()
 	row := acc[:nOut]
 	copy(row, op.Bias)
 	inZP := op.InQ.ZeroPoint
+	if op.wPair != nil {
+		pairs := simd.PackPairs(vp, in.Data[:nIn], inZP)
+		simd.ConvAccI8(row, op.wPair, vp[:pairs], nOut)
+		simd.RequantI8(out.Data[:nOut], row, op.mult, op.shift, op.OutQ.ZeroPoint, op.ActMin, op.ActMax)
+		return
+	}
 	for i := 0; i < nIn; i++ {
 		v := int32(in.Data[i]) - inZP
 		wRow := op.W[i*nOut : (i+1)*nOut]
@@ -107,7 +168,7 @@ func samePad(in, kernel, stride, outDim int) int {
 	return total / 2
 }
 
-func qConv2D(op *QOp, in, out *tensor.I8, acc []int32) {
+func qConv2D(op *QOp, in, out *tensor.I8, acc []int32, vp []uint32) {
 	h, w, cin := op.InShape[0], op.InShape[1], op.InShape[2]
 	oh, ow, filters := op.OutShape[0], op.OutShape[1], op.OutShape[2]
 	kernel, stride, pad := convDims(op)
@@ -117,6 +178,50 @@ func qConv2D(op *QOp, in, out *tensor.I8, acc []int32) {
 		px = samePad(w, kernel, stride, ow)
 	}
 	inZP := op.InQ.ZeroPoint
+	if op.wPairRow != nil && op.wPair != nil && cin == 1 {
+		qConv2DCin1(op, in, out, acc, vp)
+		return
+	}
+	if op.wPair != nil {
+		// Pack the whole input once, then accumulate [cin x filters]
+		// pair panels per valid tap with the tap range hoisted out of
+		// the inner loops; requantization batches per output row.
+		pp := packInput(vp, in.Data, cin, inZP)
+		tapBlock := pp * filters * 2
+		rowAcc := acc[:ow*filters]
+		for oy := 0; oy < oh; oy++ {
+			kyLo, kyHi := 0, kernel
+			if d := py - oy*stride; d > 0 {
+				kyLo = d
+			}
+			if d := h + py - oy*stride; d < kyHi {
+				kyHi = d
+			}
+			for ox := 0; ox < ow; ox++ {
+				seg := rowAcc[ox*filters : (ox+1)*filters]
+				copy(seg, op.Bias)
+				kxLo, kxHi := 0, kernel
+				if d := px - ox*stride; d > 0 {
+					kxLo = d
+				}
+				if d := w + px - ox*stride; d < kxHi {
+					kxHi = d
+				}
+				for ky := kyLo; ky < kyHi; ky++ {
+					iy := oy*stride + ky - py
+					for kx := kxLo; kx < kxHi; kx++ {
+						ix := ox*stride + kx - px
+						tap := ky*kernel + kx
+						pix := (iy*w + ix) * pp
+						simd.ConvAccI8(seg, op.wPair[tap*tapBlock:(tap+1)*tapBlock], vp[pix:pix+pp], filters)
+					}
+				}
+			}
+			simd.RequantI8(out.Data[oy*ow*filters:(oy+1)*ow*filters],
+				rowAcc, op.mult, op.shift, op.OutQ.ZeroPoint, op.ActMin, op.ActMax)
+		}
+		return
+	}
 	row := acc[:filters]
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
@@ -150,6 +255,81 @@ func qConv2D(op *QOp, in, out *tensor.I8, acc []int32) {
 	}
 }
 
+// qConv2DCin1 is the single-input-channel conv2d fast path (the KWS
+// head conv). Per-tap panels would hold one pair each, so instead the
+// kx taps of one kernel row pair up as if they were channels: each
+// (oy, ox, ky) becomes one [kernel x filters] panel over a contiguous
+// stretch of the input row. Every input row is packed twice, once per
+// pair-alignment phase, so a panel may start at any x offset. Integer
+// accumulation is exact, so the regrouped order is bitwise-identical
+// to the scalar reference.
+func qConv2DCin1(op *QOp, in, out *tensor.I8, acc []int32, vp []uint32) {
+	h, w := op.InShape[0], op.InShape[1]
+	oh, ow, filters := op.OutShape[0], op.OutShape[1], op.OutShape[2]
+	kernel, stride, pad := convDims(op)
+	py, px := 0, 0
+	if pad == 1 {
+		py = samePad(h, kernel, stride, oh)
+		px = samePad(w, kernel, stride, ow)
+	}
+	inZP := op.InQ.ZeroPoint
+	// Phase streams: vp[iy*2S .. ] pairs lanes (0,1),(2,3),...;
+	// vp[iy*2S+S .. ] pairs lanes (1,2),(3,4),...
+	S := (w + 1) / 2
+	for iy := 0; iy < h; iy++ {
+		simd.PackPairs(vp[iy*2*S:], in.Data[iy*w:(iy+1)*w], inZP)
+		if w > 1 {
+			simd.PackPairs(vp[iy*2*S+S:], in.Data[iy*w+1:(iy+1)*w], inZP)
+		}
+	}
+	block := (kernel / 2) * filters * 2
+	tapBlock := filters * 2 // generic single-pair tap panels
+	rowAcc := acc[:ow*filters]
+	var one [1]uint32
+	for oy := 0; oy < oh; oy++ {
+		kyLo, kyHi := 0, kernel
+		if d := py - oy*stride; d > 0 {
+			kyLo = d
+		}
+		if d := h + py - oy*stride; d < kyHi {
+			kyHi = d
+		}
+		for ox := 0; ox < ow; ox++ {
+			seg := rowAcc[ox*filters : (ox+1)*filters]
+			copy(seg, op.Bias)
+			kxLo, kxHi := 0, kernel
+			if d := px - ox*stride; d > 0 {
+				kxLo = d
+			}
+			if d := w + px - ox*stride; d < kxHi {
+				kxHi = d
+			}
+			if kxLo == 0 && kxHi == kernel {
+				ix0 := ox*stride - px
+				base := ix0&1*S + ix0>>1
+				for ky := kyLo; ky < kyHi; ky++ {
+					iy := oy*stride + ky - py
+					p0 := iy*2*S + base
+					simd.ConvAccI8(seg, op.wPairRow[ky*block:(ky+1)*block], vp[p0:p0+kernel/2], filters)
+				}
+			} else {
+				// x-clipped boundary pixels fall back to single-pair taps.
+				for ky := kyLo; ky < kyHi; ky++ {
+					iy := oy*stride + ky - py
+					for kx := kxLo; kx < kxHi; kx++ {
+						ix := ox*stride + kx - px
+						one[0] = uint32(uint16(int32(in.Data[iy*w+ix]) - inZP))
+						tap := ky*kernel + kx
+						simd.ConvAccI8(seg, op.wPair[tap*tapBlock:(tap+1)*tapBlock], one[:], filters)
+					}
+				}
+			}
+		}
+		simd.RequantI8(out.Data[oy*ow*filters:(oy+1)*ow*filters],
+			rowAcc, op.mult, op.shift, op.OutQ.ZeroPoint, op.ActMin, op.ActMax)
+	}
+}
+
 func qDepthwise(op *QOp, in, out *tensor.I8, acc []int32) {
 	h, w, ch := op.InShape[0], op.InShape[1], op.InShape[2]
 	oh, ow := op.OutShape[0], op.OutShape[1]
@@ -160,36 +340,41 @@ func qDepthwise(op *QOp, in, out *tensor.I8, acc []int32) {
 		px = samePad(w, kernel, stride, ow)
 	}
 	inZP := op.InQ.ZeroPoint
-	row := acc[:ch]
+	rowAcc := acc[:ow*ch]
 	for oy := 0; oy < oh; oy++ {
+		kyLo, kyHi := 0, kernel
+		if d := py - oy*stride; d > 0 {
+			kyLo = d
+		}
+		if d := h + py - oy*stride; d < kyHi {
+			kyHi = d
+		}
 		for ox := 0; ox < ow; ox++ {
-			copy(row, op.Bias)
-			for ky := 0; ky < kernel; ky++ {
+			seg := rowAcc[ox*ch : (ox+1)*ch]
+			copy(seg, op.Bias)
+			kxLo, kxHi := 0, kernel
+			if d := px - ox*stride; d > 0 {
+				kxLo = d
+			}
+			if d := w + px - ox*stride; d < kxHi {
+				kxHi = d
+			}
+			for ky := kyLo; ky < kyHi; ky++ {
 				iy := oy*stride + ky - py
-				if iy < 0 || iy >= h {
-					continue
-				}
-				for kx := 0; kx < kernel; kx++ {
+				for kx := kxLo; kx < kxHi; kx++ {
 					ix := ox*stride + kx - px
-					if ix < 0 || ix >= w {
-						continue
-					}
 					inRow := in.Data[(iy*w+ix)*ch : (iy*w+ix+1)*ch]
 					wRow := op.W[(ky*kernel+kx)*ch : (ky*kernel+kx+1)*ch]
-					for ci, wv := range wRow {
-						row[ci] += (int32(inRow[ci]) - inZP) * int32(wv)
-					}
+					simd.MulAccI8(seg, wRow, inRow, inZP)
 				}
 			}
-			dst := out.Data[(oy*ow+ox)*ch : (oy*ow+ox+1)*ch]
-			for ci, a := range row {
-				dst[ci] = requant(op, a)
-			}
 		}
+		simd.RequantI8(out.Data[oy*ow*ch:(oy+1)*ow*ch],
+			rowAcc, op.mult, op.shift, op.OutQ.ZeroPoint, op.ActMin, op.ActMax)
 	}
 }
 
-func qConv1D(op *QOp, in, out *tensor.I8, acc []int32) {
+func qConv1D(op *QOp, in, out *tensor.I8, acc []int32, vp []uint32) {
 	t, cin := op.InShape[0], op.InShape[1]
 	ot, filters := op.OutShape[0], op.OutShape[1]
 	kernel, stride, pad := convDims(op)
@@ -199,6 +384,27 @@ func qConv1D(op *QOp, in, out *tensor.I8, acc []int32) {
 	}
 	inZP := op.InQ.ZeroPoint
 	row := acc[:filters]
+	if op.wPair != nil {
+		pp := packInput(vp, in.Data, cin, inZP)
+		tapBlock := pp * filters * 2
+		for o := 0; o < ot; o++ {
+			copy(row, op.Bias)
+			kLo, kHi := 0, kernel
+			if d := p - o*stride; d > 0 {
+				kLo = d
+			}
+			if d := t + p - o*stride; d < kHi {
+				kHi = d
+			}
+			for k := kLo; k < kHi; k++ {
+				i := o*stride + k - p
+				simd.ConvAccI8(row, op.wPair[k*tapBlock:(k+1)*tapBlock], vp[i*pp:(i+1)*pp], filters)
+			}
+			simd.RequantI8(out.Data[o*filters:(o+1)*filters],
+				row, op.mult, op.shift, op.OutQ.ZeroPoint, op.ActMin, op.ActMax)
+		}
+		return
+	}
 	for o := 0; o < ot; o++ {
 		copy(row, op.Bias)
 		for k := 0; k < kernel; k++ {

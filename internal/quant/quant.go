@@ -12,7 +12,9 @@ import (
 	"math"
 	"sync"
 
+	"edgepulse/internal/fastmath"
 	"edgepulse/internal/nn"
+	"edgepulse/internal/simd"
 	"edgepulse/internal/tensor"
 )
 
@@ -39,6 +41,17 @@ type QOp struct {
 
 	mult  int32
 	shift int
+	// wPair holds the pair-interleaved int16 weight layout the VPMADDWD
+	// kernels consume, one [ceil(cin/2) x filters] pair panel per kernel
+	// tap (see simd.PairWeights). Built by Rebind; when nil the kernels
+	// fall back to the scalar reference loops.
+	wPair []int16
+	// wPairRow is the cin==1 conv2d alternative layout: per kernel row
+	// ky, the kx taps pair as if they were input channels, turning the
+	// single-channel head conv's 1-pair taps into [kernel x filters]
+	// panels over a contiguous input row. Built only for even kernel
+	// widths (odd ones would need a phantom tap per row).
+	wPairRow []int16
 }
 
 // WeightBytes returns the flash footprint of this op's parameters.
@@ -46,15 +59,42 @@ func (o *QOp) WeightBytes() int64 {
 	return int64(len(o.W)) + int64(len(o.Bias))*4
 }
 
-// Rebind recomputes the fixed-point requantization parameters from the
-// op's scales. It must be called after constructing a QOp from its
-// serialized fields (the multiplier itself is not persisted).
+// Rebind recomputes the derived kernel state from the op's serialized
+// fields: the fixed-point requantization parameters and the
+// pair-interleaved weight layout the vectorized int8 kernels consume.
+// It must be called after constructing a QOp from its serialized fields
+// (neither the multiplier nor the pair layout is persisted).
 func (o *QOp) Rebind() {
 	if len(o.W) == 0 {
 		return
 	}
 	o.mult, o.shift = quantizeMultiplier(
 		float64(o.InQ.Scale) * float64(o.WScale) / float64(o.OutQ.Scale))
+	switch o.Kind {
+	case "dense":
+		o.wPair = simd.PairWeights(o.W, o.InShape.Elems(), o.OutShape.Elems())
+	case "conv2d":
+		kernel, _, _ := convDims(o)
+		o.wPair = pairTaps(o.W, kernel*kernel, o.InShape[2], o.OutShape[2])
+		if o.InShape[2] == 1 && kernel%2 == 0 {
+			// Repair the taps row-wise: ky is the tap, kx the channel.
+			o.wPairRow = pairTaps(o.W, kernel, kernel, o.OutShape[2])
+		}
+	case "conv1d":
+		kernel, _, _ := convDims(o)
+		o.wPair = pairTaps(o.W, kernel, o.InShape[1], o.OutShape[1])
+	}
+}
+
+// pairTaps builds the per-tap pair panels for a conv weight tensor laid
+// out as taps x [cin x nf].
+func pairTaps(w []int8, taps, cin, nf int) []int16 {
+	block := ((cin + 1) / 2) * nf * 2
+	out := make([]int16, taps*block)
+	for t := 0; t < taps; t++ {
+		copy(out[t*block:(t+1)*block], simd.PairWeights(w[t*cin*nf:(t+1)*cin*nf], cin, nf))
+	}
+	return out
 }
 
 // QModel is a quantized model: an int8 op pipeline plus input/output
@@ -76,6 +116,7 @@ type qScratch struct {
 	in     *tensor.I8
 	outs   []*tensor.I8
 	acc    []int32
+	vp     []uint32
 	logits []float32
 }
 
@@ -101,6 +142,13 @@ func (q *QModel) scratch() *qScratch {
 		}
 	}
 	s.acc = make([]int32, maxAcc)
+	maxVp := 0
+	for _, op := range q.Ops {
+		if n := vpLen(op); n > maxVp {
+			maxVp = n
+		}
+	}
+	s.vp = make([]uint32, maxVp)
 	return s
 }
 
@@ -120,7 +168,7 @@ func (q *QModel) Forward(in *tensor.F32) *tensor.F32 {
 			probs = softmaxFloat(x, s)
 			break
 		}
-		x = q.runOpInto(op, x, s.outs[i], s.acc)
+		x = q.runOpInto(op, x, s.outs[i], s.acc, s.vp)
 	}
 	if probs == nil {
 		probs = x.Dequantize()
@@ -165,7 +213,12 @@ func softmaxFloat(x *tensor.I8, s *qScratch) *tensor.F32 {
 	}
 	var sum float64
 	for i, v := range logits {
-		e := math.Exp(float64(v - max))
+		var e float64
+		if fastmath.Enabled() {
+			e = float64(fastmath.ExpFast(v - max))
+		} else {
+			e = math.Exp(float64(v - max))
+		}
 		out.Data[i] = float32(e)
 		sum += e
 	}
@@ -304,8 +357,8 @@ func quantizeLayer(op *QOp, l nn.Layer) error {
 	for i, v := range b.Data {
 		op.Bias[i] = int32(math.Round(float64(v) / biasScale))
 	}
-	// Requantization multiplier.
-	op.mult, op.shift = quantizeMultiplier(biasScale / float64(op.OutQ.Scale))
+	// Requantization multiplier and pair-interleaved kernel weights.
+	op.Rebind()
 	// Fused activation clamps in the quantized output domain.
 	switch act {
 	case nn.ReLU:

@@ -1,0 +1,343 @@
+// Package simd provides the vectorized inner-loop primitives behind the
+// float32 and int8 inference kernels: rank-1 accumulation (the body of
+// conv2d/conv1d/dense), elementwise multiply-accumulate (depthwise conv)
+// and fused activation clamps.
+//
+// On amd64 with AVX2 the primitives dispatch to hand-written assembly;
+// everywhere else (and when SetEnabled(false) forces it) they run a pure
+// Go reference implementation. Both paths are bit-for-bit identical:
+//
+//   - Float kernels use separate multiply and add instructions
+//     (VMULPS + VADDPS), never FMA, so every product and every partial
+//     sum is rounded to float32 exactly as the scalar Go expression
+//     `s += v * w` rounds it, and the per-output accumulation order is
+//     the declared ci-major order in both paths.
+//   - Integer kernels are exact: int32 addition and multiplication are
+//     associative and wrap identically in Go and in VPMADDWD/VPMULLD
+//     lanes, so any regrouping (the assembly pairs adjacent input lanes)
+//     yields the same accumulator bits.
+//
+// The EON-vs-interpreter story of the source paper rests on quantized
+// kernels beating float on real hardware (CMSIS-NN's SMLAD dual-MAC is
+// the canonical example); ConvAccI8's VPMADDWD inner loop is the x86
+// equivalent — two int16 lanes per multiply — which is what finally makes
+// the host int8 path strictly faster than float32.
+package simd
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// enabled gates the assembly fast paths; it is true only on amd64 with
+// AVX2 support (and may be cleared via SetEnabled for testing).
+var enabled atomic.Bool
+
+func init() {
+	enabled.Store(haveAVX2)
+}
+
+// Enabled reports whether the vectorized fast paths are active.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled forces the fast paths on or off. Enabling has no effect on
+// platforms without AVX2 support. It exists so tests and benchmarks can
+// compare the assembly and reference implementations.
+func SetEnabled(on bool) { enabled.Store(on && haveAVX2) }
+
+// ConvAccF32 accumulates a [cin x nf] weight panel into an output row:
+//
+//	dst[f] += Σ_ci in[ci] * w[ci*stride+f]   for f in [0, len(dst))
+//
+// with ci iterated in increasing order per output lane (bitwise-stable
+// float accumulation). stride is the weight row pitch in elements and
+// must satisfy stride >= len(dst) and len(w) >= (len(in)-1)*stride +
+// len(dst). This is the inner body of conv2d/conv1d (one kernel tap) and
+// of dense (the whole matrix).
+func ConvAccF32(dst, w, in []float32, stride int) {
+	if len(dst) == 0 || len(in) == 0 {
+		return
+	}
+	if (len(in)-1)*stride+len(dst) > len(w) {
+		panic("simd: ConvAccF32 weight panel out of bounds")
+	}
+	if enabled.Load() {
+		if nf8 := len(dst) &^ 7; nf8 > 0 {
+			convAccF32SIMD(dst[:nf8], w, in, stride)
+		}
+		convAccF32Tail(dst, w, in, stride, len(dst)&^7)
+		return
+	}
+	convAccF32Go(dst, w, in, stride)
+}
+
+// convAccF32Go is the scalar reference: ci-major rank-1 updates, the
+// same accumulation order as the historical kernels.
+func convAccF32Go(dst, w, in []float32, stride int) {
+	for ci, v := range in {
+		wRow := w[ci*stride : ci*stride+len(dst)]
+		for f, wv := range wRow {
+			dst[f] += v * wv
+		}
+	}
+}
+
+// convAccF32Tail finishes output lanes [f0, len(dst)) in scalar code.
+func convAccF32Tail(dst, w, in []float32, stride, f0 int) {
+	for f := f0; f < len(dst); f++ {
+		s := dst[f]
+		for ci, v := range in {
+			s += v * w[ci*stride+f]
+		}
+		dst[f] = s
+	}
+}
+
+// MulAccF32 accumulates an elementwise product: dst[i] += a[i]*b[i].
+// All three slices must have the same length. This is the depthwise
+// convolution tap body.
+func MulAccF32(dst, a, b []float32) {
+	if len(a) != len(dst) || len(b) != len(dst) {
+		panic("simd: MulAccF32 length mismatch")
+	}
+	if enabled.Load() {
+		if n8 := len(dst) &^ 7; n8 > 0 {
+			mulAccF32SIMD(dst[:n8], a, b)
+		}
+		for i := len(dst) &^ 7; i < len(dst); i++ {
+			dst[i] += a[i] * b[i]
+		}
+		return
+	}
+	for i, av := range a {
+		dst[i] += av * b[i]
+	}
+}
+
+// ReLUF32 clamps negatives to zero in place. NaNs and -0 propagate
+// exactly as the scalar `if v < 0 { v = 0 }` does.
+func ReLUF32(x []float32) {
+	if enabled.Load() {
+		if n8 := len(x) &^ 7; n8 > 0 {
+			reluF32SIMD(x[:n8])
+		}
+		x = x[len(x)&^7:]
+	}
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// ReLU6F32 clamps to [0, 6] in place with scalar-identical NaN behavior.
+func ReLU6F32(x []float32) {
+	if enabled.Load() {
+		if n8 := len(x) &^ 7; n8 > 0 {
+			relu6F32SIMD(x[:n8])
+		}
+		x = x[len(x)&^7:]
+	}
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		} else if v > 6 {
+			x[i] = 6
+		}
+	}
+}
+
+// PackPairs packs zero-point-centered input lanes into the uint32 pair
+// stream ConvAccI8 consumes: vp[cp] holds (in[2cp]-zp) in the low 16
+// bits and (in[2cp+1]-zp) in the high 16, both as int16 bit patterns.
+// An odd trailing lane packs with a zero high half (its phantom partner
+// multiplies a zero weight lane, see PairWeights). Returns the number
+// of pairs written; vp must have capacity for (len(in)+1)/2.
+func PackPairs(vp []uint32, in []int8, zp int32) int {
+	n := len(in) / 2
+	_ = vp[:(len(in)+1)/2]
+	i := 0
+	if n16 := len(in) &^ 15; n16 > 0 && enabled.Load() {
+		packPairsSIMD(vp[:n16/2], in[:n16], zp)
+		i = n16
+	}
+	for ; i+1 < len(in); i += 2 {
+		v0 := uint32(uint16(int32(in[i]) - zp))
+		v1 := uint32(uint16(int32(in[i+1]) - zp))
+		vp[i/2] = v0 | v1<<16
+	}
+	if len(in)%2 == 1 {
+		vp[n] = uint32(uint16(int32(in[len(in)-1]) - zp))
+		n++
+	}
+	return n
+}
+
+// ConvAccI8 accumulates a quantized weight panel into an int32 row from
+// a packed input-pair stream (see PackPairs) and pair-interleaved int16
+// weight lanes (see PairWeights):
+//
+//	acc[f] += Σ_cp v0(cp)*wPair[(cp*stride+f)*2] +
+//	               v1(cp)*wPair[(cp*stride+f)*2+1]
+//
+// for cp in [0, len(vp)). stride is the pair-row pitch in pairs.
+// Integer arithmetic is exact, so any lane pairing is bitwise-identical
+// to the unpaired scalar accumulation.
+func ConvAccI8(acc []int32, wPair []int16, vp []uint32, stride int) {
+	if len(acc) == 0 || len(vp) == 0 {
+		return
+	}
+	if (len(vp)-1)*stride*2+len(acc)*2 > len(wPair) {
+		panic("simd: ConvAccI8 weight panel out of bounds")
+	}
+	if enabled.Load() {
+		if nf8 := len(acc) &^ 7; nf8 > 0 {
+			convAccI8SIMD(acc[:nf8], wPair, vp, stride)
+		}
+		convAccI8Tail(acc, wPair, vp, stride, len(acc)&^7)
+		return
+	}
+	convAccI8Go(acc, wPair, vp, stride)
+}
+
+// unpackPair splits a packed pair back into its int32 lane values.
+func unpackPair(p uint32) (v0, v1 int32) {
+	return int32(int16(p)), int32(int16(p >> 16))
+}
+
+func convAccI8Go(acc []int32, wPair []int16, vp []uint32, stride int) {
+	for cp, p := range vp {
+		v0, v1 := unpackPair(p)
+		row := wPair[cp*stride*2 : cp*stride*2+len(acc)*2]
+		for f := range acc {
+			acc[f] += v0*int32(row[2*f]) + v1*int32(row[2*f+1])
+		}
+	}
+}
+
+func convAccI8Tail(acc []int32, wPair []int16, vp []uint32, stride, f0 int) {
+	for f := f0; f < len(acc); f++ {
+		s := acc[f]
+		for cp, p := range vp {
+			v0, v1 := unpackPair(p)
+			s += v0*int32(wPair[(cp*stride+f)*2]) + v1*int32(wPair[(cp*stride+f)*2+1])
+		}
+		acc[f] = s
+	}
+}
+
+// MulAccI8 accumulates an elementwise quantized product:
+//
+//	acc[i] += (in[i]-zp) * w[i]
+//
+// the depthwise convolution tap body. All slices share one length.
+func MulAccI8(acc []int32, w, in []int8, zp int32) {
+	if len(w) != len(acc) || len(in) != len(acc) {
+		panic("simd: MulAccI8 length mismatch")
+	}
+	if enabled.Load() {
+		if n8 := len(acc) &^ 7; n8 > 0 {
+			mulAccI8SIMD(acc[:n8], w, in, zp)
+		}
+		for i := len(acc) &^ 7; i < len(acc); i++ {
+			acc[i] += (int32(in[i]) - zp) * int32(w[i])
+		}
+		return
+	}
+	for i, wv := range w {
+		acc[i] += (int32(in[i]) - zp) * int32(wv)
+	}
+}
+
+// RequantI8 converts int32 accumulators to the quantized int8 output
+// domain, matching the TFLite reference requantization bit for bit:
+// rounding-doubling-high-multiply by the Q31 mantissa mult with shift
+// (negative = right shift), int32 saturation, add the output zero point
+// (int32 wrap), clamp to [lo, hi]. len(dst) must equal len(acc).
+//
+// The vector path needs AVX-512 F+VL (64-bit lane arithmetic shifts and
+// saturating narrowing) and covers the shift <= 0 case that every
+// sub-unit requant multiplier produces; anything else runs scalar.
+func RequantI8(dst []int8, acc []int32, mult int32, shift int, zp, lo, hi int32) {
+	if len(dst) != len(acc) {
+		panic("simd: RequantI8 length mismatch")
+	}
+	if shift <= 0 && haveAVX512 && enabled.Load() {
+		rs := -shift
+		var round int64
+		if rs > 0 {
+			round = 1 << (rs - 1)
+		}
+		if n8 := len(dst) &^ 7; n8 > 0 {
+			requantI8SIMD(dst[:n8], acc, int64(mult), int64(rs), round, int64(zp), int64(lo), int64(hi))
+		}
+		n8 := len(dst) &^ 7
+		requantI8Scalar(dst[n8:], acc[n8:], mult, shift, zp, lo, hi)
+		return
+	}
+	requantI8Scalar(dst, acc, mult, shift, zp, lo, hi)
+}
+
+// requantI8Scalar is the reference requantization (TFLM
+// MultiplyByQuantizedMultiplier followed by zero point and clamp).
+func requantI8Scalar(dst []int8, acc []int32, mult int32, shift int, zp, lo, hi int32) {
+	ls, rs := 0, 0
+	if shift > 0 {
+		ls = shift
+	} else {
+		rs = -shift
+	}
+	var round int64
+	if rs > 0 {
+		round = 1 << (rs - 1)
+	}
+	for i, a := range acc {
+		prod := (int64(a) << ls) * int64(mult)
+		nudge := int64(1) << 30
+		if prod < 0 {
+			nudge = 1 - nudge
+		}
+		high := (prod + nudge) >> 31
+		if rs > 0 {
+			high = (high + round) >> rs
+		}
+		if high > math.MaxInt32 {
+			high = math.MaxInt32
+		} else if high < math.MinInt32 {
+			high = math.MinInt32
+		}
+		v := int32(high) + zp
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		dst[i] = int8(v)
+	}
+}
+
+// PairWeights builds the pair-interleaved int16 lane layout ConvAccI8
+// consumes from a [cin x nf] int8 weight panel (row pitch = nf): lane
+// pair (w[2cp][f], w[2cp+1][f]) lands at out[(cp*nf+f)*2 .. +1]. An odd
+// trailing input lane pairs with an all-zero phantom weight lane, so
+// whatever PackPairs leaves in the phantom value lane contributes
+// nothing. The returned slice has ((cin+1)/2)*nf*2 elements.
+func PairWeights(w []int8, cin, nf int) []int16 {
+	pairs := (cin + 1) / 2
+	out := make([]int16, pairs*nf*2)
+	for cp := 0; cp < pairs; cp++ {
+		base := cp * nf * 2
+		r0 := w[(2*cp)*nf : (2*cp)*nf+nf]
+		for f := 0; f < nf; f++ {
+			out[base+2*f] = int16(r0[f])
+		}
+		if 2*cp+1 < cin {
+			r1 := w[(2*cp+1)*nf : (2*cp+1)*nf+nf]
+			for f := 0; f < nf; f++ {
+				out[base+2*f+1] = int16(r1[f])
+			}
+		}
+	}
+	return out
+}

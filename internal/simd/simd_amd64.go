@@ -1,0 +1,96 @@
+//go:build amd64
+
+package simd
+
+// haveAVX2 reports whether the CPU and OS support AVX2: CPUID leaf 7
+// advertises the instructions, CPUID leaf 1 advertises OSXSAVE+AVX, and
+// XGETBV confirms the OS preserves the XMM+YMM register state across
+// context switches.
+var haveAVX2 = detectAVX2()
+
+// haveAVX512 additionally requires AVX-512 F+VL (EVEX 64-bit lane
+// shifts and saturating narrows on YMM registers) plus the OS enabling
+// the opmask/upper-ZMM register state in XCR0. Only the requant path
+// uses it; everything else is plain AVX2.
+var haveAVX512 = detectAVX512()
+
+func detectAVX512() bool {
+	if !haveAVX2 {
+		return false
+	}
+	if xlo, _ := xgetbv(); xlo&0xE6 != 0xE6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx512f = 1 << 16
+	const avx512vl = 1 << 31
+	return b7&avx512f != 0 && b7&avx512vl != 0
+}
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	if xlo, _ := xgetbv(); xlo&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+// convAccF32SIMD requires len(dst) > 0 and a multiple of 8, len(in) > 0.
+//
+//go:noescape
+func convAccF32SIMD(dst, w, in []float32, stride int)
+
+// mulAccF32SIMD requires len(dst) > 0 and a multiple of 8.
+//
+//go:noescape
+func mulAccF32SIMD(dst, a, b []float32)
+
+// reluF32SIMD requires len(x) > 0 and a multiple of 8.
+//
+//go:noescape
+func reluF32SIMD(x []float32)
+
+// relu6F32SIMD requires len(x) > 0 and a multiple of 8.
+//
+//go:noescape
+func relu6F32SIMD(x []float32)
+
+// packPairsSIMD requires len(in) > 0 and a multiple of 16; it writes
+// len(in)/2 uint32 pairs.
+//
+//go:noescape
+func packPairsSIMD(vp []uint32, in []int8, zp int32)
+
+// convAccI8SIMD requires len(acc) > 0 and a multiple of 8, len(vp) > 0.
+//
+//go:noescape
+func convAccI8SIMD(acc []int32, wPair []int16, vp []uint32, stride int)
+
+// mulAccI8SIMD requires len(acc) > 0 and a multiple of 8.
+//
+//go:noescape
+func mulAccI8SIMD(acc []int32, w, in []int8, zp int32)
+
+// requantI8SIMD requires len(dst) == len(acc) > 0, a multiple of 8, and
+// AVX-512 F+VL. rs >= 0; round = rs > 0 ? 1<<(rs-1) : 0.
+//
+//go:noescape
+func requantI8SIMD(dst []int8, acc []int32, mult, rs, round, zp, lo, hi int64)

@@ -1,0 +1,411 @@
+// AVX2 / AVX-512VL inner loops for the inference kernels. See simd.go
+// for the bitwise-identity contract: float paths use separate VMULPS +
+// VADDPS (never FMA) in the scalar ci order; integer paths are exact.
+
+#include "textflag.h"
+
+// func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func convAccF32SIMD(dst, w, in []float32, stride int)
+//
+// dst[f] += sum_ci in[ci] * w[ci*stride+f], len(dst) a multiple of 8.
+// Output lanes are blocked 16-wide (two YMM accumulators) with the ci
+// reduction innermost, so each lane sees the exact scalar rounding
+// sequence: one rounded product, one rounded add per tap, in ci order.
+TEXT ·convAccF32SIMD(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ w_base+24(FP), SI
+	MOVQ in_base+48(FP), BX
+	MOVQ in_len+56(FP), CX
+	MOVQ stride+72(FP), R8
+	SHLQ $2, R8               // stride in bytes
+	XORQ R9, R9               // f
+
+f32x16:
+	MOVQ DX, AX
+	SUBQ R9, AX
+	CMPQ AX, $16
+	JLT  f32x8
+	VMOVUPS (DI)(R9*4), Y0
+	VMOVUPS 32(DI)(R9*4), Y1
+	LEAQ (SI)(R9*4), R10      // &w[f]
+	XORQ R11, R11             // ci
+
+c16:
+	VBROADCASTSS (BX)(R11*4), Y2
+	VMULPS (R10), Y2, Y3
+	VADDPS Y3, Y0, Y0
+	VMULPS 32(R10), Y2, Y3
+	VADDPS Y3, Y1, Y1
+	ADDQ R8, R10
+	INCQ R11
+	CMPQ R11, CX
+	JLT  c16
+
+	VMOVUPS Y0, (DI)(R9*4)
+	VMOVUPS Y1, 32(DI)(R9*4)
+	ADDQ $16, R9
+	JMP  f32x16
+
+f32x8:
+	CMPQ AX, $8
+	JLT  f32done
+	VMOVUPS (DI)(R9*4), Y0
+	LEAQ (SI)(R9*4), R10
+	XORQ R11, R11
+
+c8:
+	VBROADCASTSS (BX)(R11*4), Y2
+	VMULPS (R10), Y2, Y3
+	VADDPS Y3, Y0, Y0
+	ADDQ R8, R10
+	INCQ R11
+	CMPQ R11, CX
+	JLT  c8
+
+	VMOVUPS Y0, (DI)(R9*4)
+
+f32done:
+	VZEROUPPER
+	RET
+
+// func mulAccF32SIMD(dst, a, b []float32)
+//
+// dst[i] += a[i]*b[i], len(dst) a multiple of 8.
+TEXT ·mulAccF32SIMD(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), BX
+	XORQ R9, R9
+
+ma32:
+	VMOVUPS (SI)(R9*4), Y0
+	VMULPS (BX)(R9*4), Y0, Y0
+	VADDPS (DI)(R9*4), Y0, Y0
+	VMOVUPS Y0, (DI)(R9*4)
+	ADDQ $8, R9
+	CMPQ R9, DX
+	JLT  ma32
+	VZEROUPPER
+	RET
+
+// func reluF32SIMD(x []float32)
+//
+// x[i] = max(0, x[i]) with x as the MAXPS second source, so NaN and -0
+// lanes keep their scalar `if v < 0` behavior. len(x) a multiple of 8.
+TEXT ·reluF32SIMD(SB), NOSPLIT, $0-24
+	MOVQ x_base+0(FP), DI
+	MOVQ x_len+8(FP), DX
+	VXORPS Y1, Y1, Y1
+	XORQ R9, R9
+
+relu8:
+	VMAXPS (DI)(R9*4), Y1, Y0
+	VMOVUPS Y0, (DI)(R9*4)
+	ADDQ $8, R9
+	CMPQ R9, DX
+	JLT  relu8
+	VZEROUPPER
+	RET
+
+// func relu6F32SIMD(x []float32)
+TEXT ·relu6F32SIMD(SB), NOSPLIT, $0-24
+	MOVQ x_base+0(FP), DI
+	MOVQ x_len+8(FP), DX
+	VXORPS Y1, Y1, Y1
+	MOVL $0x40C00000, AX      // float32(6)
+	VMOVD AX, X2
+	VPBROADCASTD X2, Y2
+	XORQ R9, R9
+
+relu68:
+	VMAXPS (DI)(R9*4), Y1, Y0
+	VMINPS Y0, Y2, Y0
+	VMOVUPS Y0, (DI)(R9*4)
+	ADDQ $8, R9
+	CMPQ R9, DX
+	JLT  relu68
+	VZEROUPPER
+	RET
+
+// func packPairsSIMD(vp []uint32, in []int8, zp int32)
+//
+// Widens int8 lanes to zero-point-centered int16 and stores them
+// contiguously — the little-endian int16 stream is exactly the packed
+// (v0,v1) uint32 pair layout. len(in) a multiple of 16.
+TEXT ·packPairsSIMD(SB), NOSPLIT, $0-52
+	MOVQ vp_base+0(FP), DI
+	MOVQ in_base+24(FP), SI
+	MOVQ in_len+32(FP), DX
+	MOVL zp+48(FP), AX
+	VMOVD AX, X2
+	VPBROADCASTW X2, Y2
+	XORQ R9, R9
+
+pp16:
+	VPMOVSXBW (SI)(R9*1), Y0
+	VPSUBW Y2, Y0, Y0
+	VMOVDQU Y0, (DI)(R9*2)
+	ADDQ $16, R9
+	CMPQ R9, DX
+	JLT  pp16
+	VZEROUPPER
+	RET
+
+// func convAccI8SIMD(acc []int32, wPair []int16, vp []uint32, stride int)
+//
+// acc[f] += v0(cp)*wPair[(cp*stride+f)*2] + v1(cp)*wPair[(cp*stride+f)*2+1]
+//
+// len(acc) a multiple of 8. Each packed (v0,v1) int16 pair broadcasts
+// across a YMM and VPMADDWD folds both input lanes into each int32
+// accumulator — the x86 cousin of CMSIS-NN's SMLAD. Products are
+// bounded (|v|<=255, |w|<=127) so the pairwise int32 sum is exact.
+// Output lanes are blocked 32-wide, then 16, then 8.
+TEXT ·convAccI8SIMD(SB), NOSPLIT, $0-80
+	MOVQ acc_base+0(FP), DI
+	MOVQ acc_len+8(FP), DX
+	MOVQ wPair_base+24(FP), SI
+	MOVQ vp_base+48(FP), BX
+	MOVQ vp_len+56(FP), CX
+	MOVQ stride+72(FP), R8
+	SHLQ $2, R8               // pair-row pitch in bytes
+	XORQ R9, R9               // f
+
+i8x64:
+	MOVQ DX, AX
+	SUBQ R9, AX
+	CMPQ AX, $64
+	JLT  i8x32
+	VMOVDQU (DI)(R9*4), Y0
+	VMOVDQU 32(DI)(R9*4), Y1
+	VMOVDQU 64(DI)(R9*4), Y2
+	VMOVDQU 96(DI)(R9*4), Y3
+	VMOVDQU 128(DI)(R9*4), Y4
+	VMOVDQU 160(DI)(R9*4), Y5
+	VMOVDQU 192(DI)(R9*4), Y6
+	VMOVDQU 224(DI)(R9*4), Y7
+	LEAQ (SI)(R9*4), R10      // &wPair[f*2]
+	XORQ R11, R11             // cp
+
+p64:
+	VPBROADCASTD (BX)(R11*4), Y8
+	VPMADDWD (R10), Y8, Y9
+	VPADDD Y9, Y0, Y0
+	VPMADDWD 32(R10), Y8, Y10
+	VPADDD Y10, Y1, Y1
+	VPMADDWD 64(R10), Y8, Y11
+	VPADDD Y11, Y2, Y2
+	VPMADDWD 96(R10), Y8, Y12
+	VPADDD Y12, Y3, Y3
+	VPMADDWD 128(R10), Y8, Y9
+	VPADDD Y9, Y4, Y4
+	VPMADDWD 160(R10), Y8, Y10
+	VPADDD Y10, Y5, Y5
+	VPMADDWD 192(R10), Y8, Y11
+	VPADDD Y11, Y6, Y6
+	VPMADDWD 224(R10), Y8, Y12
+	VPADDD Y12, Y7, Y7
+	ADDQ R8, R10
+	INCQ R11
+	CMPQ R11, CX
+	JLT  p64
+
+	VMOVDQU Y0, (DI)(R9*4)
+	VMOVDQU Y1, 32(DI)(R9*4)
+	VMOVDQU Y2, 64(DI)(R9*4)
+	VMOVDQU Y3, 96(DI)(R9*4)
+	VMOVDQU Y4, 128(DI)(R9*4)
+	VMOVDQU Y5, 160(DI)(R9*4)
+	VMOVDQU Y6, 192(DI)(R9*4)
+	VMOVDQU Y7, 224(DI)(R9*4)
+	ADDQ $64, R9
+	JMP  i8x64
+
+i8x32:
+	MOVQ DX, AX
+	SUBQ R9, AX
+	CMPQ AX, $32
+	JLT  i8x16
+	VMOVDQU (DI)(R9*4), Y0
+	VMOVDQU 32(DI)(R9*4), Y1
+	VMOVDQU 64(DI)(R9*4), Y2
+	VMOVDQU 96(DI)(R9*4), Y3
+	LEAQ (SI)(R9*4), R10      // &wPair[f*2]
+	XORQ R11, R11             // cp
+
+p32:
+	VPBROADCASTD (BX)(R11*4), Y4
+	VPMADDWD (R10), Y4, Y5
+	VPADDD Y5, Y0, Y0
+	VPMADDWD 32(R10), Y4, Y5
+	VPADDD Y5, Y1, Y1
+	VPMADDWD 64(R10), Y4, Y6
+	VPADDD Y6, Y2, Y2
+	VPMADDWD 96(R10), Y4, Y6
+	VPADDD Y6, Y3, Y3
+	ADDQ R8, R10
+	INCQ R11
+	CMPQ R11, CX
+	JLT  p32
+
+	VMOVDQU Y0, (DI)(R9*4)
+	VMOVDQU Y1, 32(DI)(R9*4)
+	VMOVDQU Y2, 64(DI)(R9*4)
+	VMOVDQU Y3, 96(DI)(R9*4)
+	ADDQ $32, R9
+	JMP  i8x32
+
+i8x16:
+	CMPQ AX, $16
+	JLT  i8x8
+	VMOVDQU (DI)(R9*4), Y0
+	VMOVDQU 32(DI)(R9*4), Y1
+	LEAQ (SI)(R9*4), R10
+	XORQ R11, R11
+
+p16:
+	VPBROADCASTD (BX)(R11*4), Y4
+	VPMADDWD (R10), Y4, Y5
+	VPADDD Y5, Y0, Y0
+	VPMADDWD 32(R10), Y4, Y5
+	VPADDD Y5, Y1, Y1
+	ADDQ R8, R10
+	INCQ R11
+	CMPQ R11, CX
+	JLT  p16
+
+	VMOVDQU Y0, (DI)(R9*4)
+	VMOVDQU Y1, 32(DI)(R9*4)
+	ADDQ $16, R9
+	MOVQ DX, AX
+	SUBQ R9, AX
+
+i8x8:
+	CMPQ AX, $8
+	JLT  i8done
+	VMOVDQU (DI)(R9*4), Y0
+	LEAQ (SI)(R9*4), R10
+	XORQ R11, R11
+
+p8:
+	VPBROADCASTD (BX)(R11*4), Y4
+	VPMADDWD (R10), Y4, Y5
+	VPADDD Y5, Y0, Y0
+	ADDQ R8, R10
+	INCQ R11
+	CMPQ R11, CX
+	JLT  p8
+
+	VMOVDQU Y0, (DI)(R9*4)
+
+i8done:
+	VZEROUPPER
+	RET
+
+// func mulAccI8SIMD(acc []int32, w, in []int8, zp int32)
+//
+// acc[i] += (in[i]-zp)*w[i], len(acc) a multiple of 8.
+TEXT ·mulAccI8SIMD(SB), NOSPLIT, $0-76
+	MOVQ acc_base+0(FP), DI
+	MOVQ acc_len+8(FP), DX
+	MOVQ w_base+24(FP), SI
+	MOVQ in_base+48(FP), BX
+	MOVL zp+72(FP), AX
+	VMOVD AX, X5
+	VPBROADCASTD X5, Y5
+	XORQ R9, R9
+
+mai8:
+	VPMOVSXBD (BX)(R9*1), Y0
+	VPSUBD Y5, Y0, Y0
+	VPMOVSXBD (SI)(R9*1), Y1
+	VPMULLD Y1, Y0, Y0
+	VPADDD (DI)(R9*4), Y0, Y0
+	VMOVDQU Y0, (DI)(R9*4)
+	ADDQ $8, R9
+	CMPQ R9, DX
+	JLT  mai8
+	VZEROUPPER
+	RET
+
+// func requantI8SIMD(dst []int8, acc []int32, mult, rs, round, zp, lo, hi int64)
+//
+// TFLite requantization for the shift<=0 case, 8 lanes per iteration
+// (AVX-512 F+VL on YMM):
+//
+//	prod  = int64(acc[i]) * mult           // VPMULDQ, exact
+//	nudge = prod < 0 ? 1-2^30 : 2^30
+//	high  = (prod + nudge) >> 31
+//	high  = (high + round) >> rs           // round = rs>0 ? 1<<(rs-1) : 0
+//	v     = sat_int32(high) + zp           // int32 wrap after saturate
+//	dst[i] = int8(clamp(v, lo, hi))
+//
+// len(dst) == len(acc), a multiple of 8.
+TEXT ·requantI8SIMD(SB), NOSPLIT, $0-96
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ acc_base+24(FP), SI
+	VPBROADCASTD mult+48(FP), Y10
+	VMOVQ rs+56(FP), X12
+	VPBROADCASTQ round+64(FP), Y13
+	MOVQ $0x40000000, AX      // 1<<30
+	VMOVQ AX, X14
+	VPBROADCASTQ X14, Y14
+	MOVQ $-2147483647, AX     // (1-2^30) - (1<<30)
+	VMOVQ AX, X15
+	VPBROADCASTQ X15, Y15
+	VPBROADCASTD zp+72(FP), Y8
+	VPBROADCASTD lo+80(FP), Y9
+	VPBROADCASTD hi+88(FP), Y7
+	XORQ R9, R9
+
+rq8:
+	VPMOVSXDQ (SI)(R9*4), Y0  // 4 low lanes as int64
+	VPMOVSXDQ 16(SI)(R9*4), Y1
+	VPMULDQ Y10, Y0, Y0       // prod = acc * mult (int64, exact)
+	VPMULDQ Y10, Y1, Y1
+	VPSRAQ $63, Y0, Y2        // negative-lane mask
+	VPSRAQ $63, Y1, Y3
+	VPANDQ Y15, Y2, Y2
+	VPANDQ Y15, Y3, Y3
+	VPADDQ Y14, Y2, Y2        // nudge per lane
+	VPADDQ Y14, Y3, Y3
+	VPADDQ Y2, Y0, Y0
+	VPADDQ Y3, Y1, Y1
+	VPSRAQ $31, Y0, Y0
+	VPSRAQ $31, Y1, Y1
+	VPADDQ Y13, Y0, Y0        // rounding right shift by rs
+	VPADDQ Y13, Y1, Y1
+	VPSRAQ X12, Y0, Y0
+	VPSRAQ X12, Y1, Y1
+	VPMOVSQD Y0, X0           // saturate int64 -> int32
+	VPMOVSQD Y1, X1
+	VINSERTI128 $1, X1, Y0, Y0
+	VPADDD Y8, Y0, Y0         // + zp (int32 wrap)
+	VPMAXSD Y9, Y0, Y0
+	VPMINSD Y7, Y0, Y0
+	VPMOVDB Y0, (DI)(R9*1)    // truncate int32 -> int8
+	ADDQ $8, R9
+	CMPQ R9, DX
+	JLT  rq8
+	VZEROUPPER
+	RET

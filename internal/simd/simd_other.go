@@ -1,0 +1,40 @@
+//go:build !amd64
+
+package simd
+
+// Non-amd64 builds have no assembly fast path; enabled stays false and
+// the stubs below are unreachable.
+const haveAVX2 = false
+const haveAVX512 = false
+
+func convAccF32SIMD(dst, w, in []float32, stride int) {
+	panic("simd: assembly path on non-amd64")
+}
+
+func mulAccF32SIMD(dst, a, b []float32) {
+	panic("simd: assembly path on non-amd64")
+}
+
+func reluF32SIMD(x []float32) {
+	panic("simd: assembly path on non-amd64")
+}
+
+func relu6F32SIMD(x []float32) {
+	panic("simd: assembly path on non-amd64")
+}
+
+func packPairsSIMD(vp []uint32, in []int8, zp int32) {
+	panic("simd: assembly path on non-amd64")
+}
+
+func convAccI8SIMD(acc []int32, wPair []int16, vp []uint32, stride int) {
+	panic("simd: assembly path on non-amd64")
+}
+
+func mulAccI8SIMD(acc []int32, w, in []int8, zp int32) {
+	panic("simd: assembly path on non-amd64")
+}
+
+func requantI8SIMD(dst []int8, acc []int32, mult, rs, round, zp, lo, hi int64) {
+	panic("simd: assembly path on non-amd64")
+}

@@ -1,0 +1,373 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withSIMD runs f twice, once with the assembly path forced on (when the
+// host supports it) and once forced off, restoring the previous state.
+func withSIMD(t *testing.T, f func(t *testing.T, simdOn bool)) {
+	t.Helper()
+	prev := Enabled()
+	defer SetEnabled(prev)
+	SetEnabled(true)
+	f(t, Enabled())
+	SetEnabled(false)
+	f(t, false)
+}
+
+func randF32(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64())
+	}
+	return out
+}
+
+func randI8(rng *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(256) - 128)
+	}
+	return out
+}
+
+// TestConvAccF32MatchesScalar asserts the assembly path is bitwise
+// identical to the scalar reference across shapes that exercise the
+// 16-wide blocks, the 8-wide block and the scalar tail.
+func TestConvAccF32MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ nf, cin, stride int }{
+		{1, 1, 1}, {3, 5, 3}, {8, 4, 8}, {8, 7, 11}, {12, 9, 12},
+		{16, 3, 16}, {24, 10, 24}, {31, 17, 40}, {64, 64, 64}, {65, 2, 70},
+	}
+	for _, s := range shapes {
+		w := randF32(rng, (s.cin-1)*s.stride+s.nf)
+		in := randF32(rng, s.cin)
+		want := randF32(rng, s.nf)
+		got := append([]float32(nil), want...)
+		convAccF32Go(want, w, in, s.stride)
+		withSIMD(t, func(t *testing.T, _ bool) {
+			g := append([]float32(nil), got...)
+			ConvAccF32(g, w, in, s.stride)
+			for f := range g {
+				if math.Float32bits(g[f]) != math.Float32bits(want[f]) {
+					t.Fatalf("nf=%d cin=%d stride=%d: lane %d = %x, want %x (simd=%v)",
+						s.nf, s.cin, s.stride, f, math.Float32bits(g[f]), math.Float32bits(want[f]), Enabled())
+				}
+			}
+		})
+	}
+}
+
+// TestConvAccF32SpecialValues checks NaN/Inf propagate identically.
+func TestConvAccF32SpecialValues(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	w := []float32{1, nan, -2, inf, 3, 0.5, -0, 7, 2, 1, 0, -1, 5, 6, 7, 8}
+	in := []float32{2, inf}
+	dst := make([]float32, 8)
+	want := append([]float32(nil), dst...)
+	convAccF32Go(want, w, in, 8)
+	withSIMD(t, func(t *testing.T, _ bool) {
+		g := make([]float32, 8)
+		ConvAccF32(g, w, in, 8)
+		for f := range g {
+			if math.Float32bits(g[f]) != math.Float32bits(want[f]) {
+				t.Fatalf("lane %d = %x, want %x (simd=%v)", f, math.Float32bits(g[f]), math.Float32bits(want[f]), Enabled())
+			}
+		}
+	})
+}
+
+func TestMulAccF32MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 7, 8, 9, 16, 31, 64, 100} {
+		a, b := randF32(rng, n), randF32(rng, n)
+		want := randF32(rng, n)
+		base := append([]float32(nil), want...)
+		for i := range want {
+			want[i] += a[i] * b[i]
+		}
+		withSIMD(t, func(t *testing.T, _ bool) {
+			g := append([]float32(nil), base...)
+			MulAccF32(g, a, b)
+			for i := range g {
+				if math.Float32bits(g[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("n=%d lane %d (simd=%v)", n, i, Enabled())
+				}
+			}
+		})
+	}
+}
+
+func TestReLUF32MatchesScalar(t *testing.T) {
+	nan := float32(math.NaN())
+	negZero := float32(math.Copysign(0, -1))
+	base := []float32{-1, 0, negZero, 1, nan, 6.5, -6.5, 5.999, 7, -0.001, 2, 3, 4, 5, 6, 100, -100}
+	scalar := func(x []float32, six bool) {
+		for i, v := range x {
+			if v < 0 {
+				x[i] = 0
+			} else if six && v > 6 {
+				x[i] = 6
+			}
+		}
+	}
+	for _, six := range []bool{false, true} {
+		want := append([]float32(nil), base...)
+		scalar(want, six)
+		withSIMD(t, func(t *testing.T, _ bool) {
+			g := append([]float32(nil), base...)
+			if six {
+				ReLU6F32(g)
+			} else {
+				ReLUF32(g)
+			}
+			for i := range g {
+				if math.Float32bits(g[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("six=%v lane %d: %x want %x (simd=%v)", six, i, math.Float32bits(g[i]), math.Float32bits(want[i]), Enabled())
+				}
+			}
+		})
+	}
+}
+
+// TestConvAccI8MatchesScalar covers extreme zero points and weights so
+// any VPMADDWD range assumption violation would surface. The expected
+// values come from a direct per-lane scalar accumulation over the raw
+// int8 inputs — independent of the pair packing.
+func TestConvAccI8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := []struct{ nf, cin, stride int }{
+		{1, 1, 1}, {1, 2, 1}, {8, 1, 8}, {8, 2, 8}, {8, 6, 9}, {12, 4, 12},
+		{16, 8, 16}, {24, 9, 30}, {32, 64, 32}, {40, 12, 40}, {64, 64, 64}, {67, 31, 67},
+	}
+	for _, zp := range []int32{-128, -1, 0, 5, 127} {
+		for _, s := range shapes {
+			// Build a dense [cin x nf] panel, then its paired layout with
+			// the test shape's (possibly wider) stride.
+			w := randI8(rng, s.cin*s.nf)
+			w[0] = 127
+			if len(w) > 1 {
+				w[1] = -127
+			}
+			dense := PairWeights(w, s.cin, s.nf)
+			pairs := (s.cin + 1) / 2
+			wPair := make([]int16, pairs*s.stride*2)
+			for cp := 0; cp < pairs; cp++ {
+				copy(wPair[cp*s.stride*2:cp*s.stride*2+s.nf*2], dense[cp*s.nf*2:(cp+1)*s.nf*2])
+			}
+			in := randI8(rng, s.cin)
+			in[0] = -128
+			vp := make([]uint32, pairs)
+			if got := PackPairs(vp, in, zp); got != pairs {
+				t.Fatalf("PackPairs returned %d pairs, want %d", got, pairs)
+			}
+			base := make([]int32, s.nf)
+			for i := range base {
+				base[i] = int32(rng.Uint32())>>8 - 1<<22
+			}
+			want := append([]int32(nil), base...)
+			for ci := 0; ci < s.cin; ci++ {
+				v := int32(in[ci]) - zp
+				for f := 0; f < s.nf; f++ {
+					want[f] += v * int32(w[ci*s.nf+f])
+				}
+			}
+			withSIMD(t, func(t *testing.T, _ bool) {
+				g := append([]int32(nil), base...)
+				ConvAccI8(g, wPair, vp, s.stride)
+				for f := range g {
+					if g[f] != want[f] {
+						t.Fatalf("zp=%d nf=%d cin=%d stride=%d lane %d: %d want %d (simd=%v)",
+							zp, s.nf, s.cin, s.stride, f, g[f], want[f], Enabled())
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMulAccI8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, zp := range []int32{-128, 0, 127} {
+		for _, n := range []int{1, 8, 9, 15, 16, 64, 100} {
+			w, in := randI8(rng, n), randI8(rng, n)
+			base := make([]int32, n)
+			for i := range base {
+				base[i] = rng.Int31n(1 << 20)
+			}
+			want := append([]int32(nil), base...)
+			for i := range want {
+				want[i] += (int32(in[i]) - zp) * int32(w[i])
+			}
+			withSIMD(t, func(t *testing.T, _ bool) {
+				g := append([]int32(nil), base...)
+				MulAccI8(g, w, in, zp)
+				for i := range g {
+					if g[i] != want[i] {
+						t.Fatalf("zp=%d n=%d lane %d (simd=%v)", zp, n, i, Enabled())
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRequantI8MatchesScalar sweeps multiplier/shift/zero-point combos
+// including accumulator extremes where saturation and wrap matter.
+func TestRequantI8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	accs := make([]int32, 128)
+	for i := range accs {
+		accs[i] = int32(rng.Uint32())
+	}
+	// Deterministic edge cases up front.
+	edge := []int32{0, 1, -1, math.MaxInt32, math.MinInt32, 1 << 30, -(1 << 30), 12345, -99999}
+	copy(accs, edge)
+	cases := []struct {
+		mult  int32
+		shift int
+		zp    int32
+	}{
+		{1412090957, -6, -4},
+		{2147483647, 0, 0},
+		{1073741824, -1, 127},
+		{1999999999, -10, -128},
+		{1082196484, -3, 17},
+		{1500000000, 2, 5}, // left shift: scalar-only path
+	}
+	for _, c := range cases {
+		for _, clamp := range [][2]int32{{-128, 127}, {-4, 127}, {0, 64}} {
+			want := make([]int8, len(accs))
+			requantI8Scalar(want, accs, c.mult, c.shift, c.zp, clamp[0], clamp[1])
+			withSIMD(t, func(t *testing.T, _ bool) {
+				got := make([]int8, len(accs))
+				RequantI8(got, accs, c.mult, c.shift, c.zp, clamp[0], clamp[1])
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("mult=%d shift=%d zp=%d clamp=%v acc=%d: got %d want %d (simd=%v avx512=%v)",
+							c.mult, c.shift, c.zp, clamp, accs[i], got[i], want[i], Enabled(), haveAVX512)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPackPairsMatchesScalar checks the vector widen/subtract path
+// against the scalar packer across tail lengths and zero points.
+func TestPackPairsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, zp := range []int32{-128, -7, 0, 127} {
+		for _, n := range []int{1, 2, 15, 16, 17, 31, 32, 33, 64, 100} {
+			in := randI8(rng, n)
+			in[0] = -128
+			want := make([]uint32, (n+1)/2)
+			for cp := 0; cp < n/2; cp++ {
+				v0 := uint32(uint16(int32(in[2*cp]) - zp))
+				v1 := uint32(uint16(int32(in[2*cp+1]) - zp))
+				want[cp] = v0 | v1<<16
+			}
+			if n%2 == 1 {
+				want[n/2] = uint32(uint16(int32(in[n-1]) - zp))
+			}
+			withSIMD(t, func(t *testing.T, _ bool) {
+				got := make([]uint32, (n+1)/2)
+				if k := PackPairs(got, in, zp); k != (n+1)/2 {
+					t.Fatalf("n=%d: %d pairs, want %d", n, k, (n+1)/2)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("zp=%d n=%d pair %d: %08x want %08x (simd=%v)", zp, n, i, got[i], want[i], Enabled())
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPairWeights(t *testing.T) {
+	w := []int8{ // cin=5 (odd), nf=3
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+		10, 11, 12,
+		13, 14, 15, // odd trailing lane: paired with zero phantom weights
+	}
+	got := PairWeights(w, 5, 3)
+	want := []int16{1, 4, 2, 5, 3, 6, 7, 10, 8, 11, 9, 12, 13, 0, 14, 0, 15, 0}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func benchConvF32(b *testing.B, on bool) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+	SetEnabled(on)
+	const nf, cin = 64, 64
+	rng := rand.New(rand.NewSource(1))
+	w := randF32(rng, cin*nf)
+	in := randF32(rng, cin)
+	dst := make([]float32, nf)
+	b.SetBytes(int64(nf * cin * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvAccF32(dst, w, in, nf)
+	}
+}
+
+func BenchmarkConvAccF32SIMD(b *testing.B)   { benchConvF32(b, true) }
+func BenchmarkConvAccF32Scalar(b *testing.B) { benchConvF32(b, false) }
+
+func benchConvI8(b *testing.B, on bool) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+	SetEnabled(on)
+	const nf, cin = 64, 64
+	rng := rand.New(rand.NewSource(1))
+	wPair := make([]int16, cin/2*nf*2)
+	for i := range wPair {
+		wPair[i] = int16(rng.Intn(255) - 127)
+	}
+	in := randI8(rng, cin)
+	vp := make([]uint32, cin/2)
+	acc := make([]int32, nf)
+	b.SetBytes(int64(nf * cin))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackPairs(vp, in, 5)
+		ConvAccI8(acc, wPair, vp, nf)
+	}
+}
+
+func BenchmarkConvAccI8SIMD(b *testing.B)   { benchConvI8(b, true) }
+func BenchmarkConvAccI8Scalar(b *testing.B) { benchConvI8(b, false) }
+
+func benchRequant(b *testing.B, on bool) {
+	prev := Enabled()
+	defer SetEnabled(prev)
+	SetEnabled(on)
+	acc := make([]int32, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := range acc {
+		acc[i] = rng.Int31n(1<<24) - 1<<23
+	}
+	dst := make([]int8, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RequantI8(dst, acc, 1412090957, -6, -4, -128, 127)
+	}
+}
+
+func BenchmarkRequantI8SIMD(b *testing.B)   { benchRequant(b, true) }
+func BenchmarkRequantI8Scalar(b *testing.B) { benchRequant(b, false) }

@@ -45,22 +45,45 @@ type jsonBlobSample struct {
 func BenchmarkPersistSample(b *testing.B) {
 	for _, n := range []int{100, 1000} {
 		b.Run(fmt.Sprintf("store/resident=%d", n), func(b *testing.B) {
-			st, err := Open(b.TempDir(), Options{NoSync: true})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer st.Close()
-			for i := 0; i < n; i++ {
-				if err := st.Append(benchSample(i)); err != nil {
+			// Keep the resident size actually pinned at n: timed appends
+			// grow the store, and the periodic manifest snapshot is
+			// O(resident), so letting b.N appends accumulate would make
+			// ns/op a function of the iteration count (and therefore of
+			// machine speed), not of the advertised dataset size. Rebuild
+			// a fresh n-sample store off-timer whenever appends double it.
+			dir := b.TempDir()
+			seed := func() *Store {
+				if err := os.RemoveAll(dir); err != nil {
 					b.Fatal(err)
 				}
+				st, err := Open(dir, Options{NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if err := st.Append(benchSample(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return st
 			}
+			st := seed()
+			defer func() { st.Close() }()
+			appended := 0
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := st.Append(benchSample(n + i)); err != nil {
+				if appended == n {
+					b.StopTimer()
+					st.Close()
+					st = seed()
+					appended = 0
+					b.StartTimer()
+				}
+				if err := st.Append(benchSample(n + appended)); err != nil {
 					b.Fatal(err)
 				}
+				appended++
 			}
 		})
 		b.Run(fmt.Sprintf("json-rewrite/resident=%d", n), func(b *testing.B) {

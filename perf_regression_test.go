@@ -6,12 +6,96 @@
 package edgepulse_test
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 
 	"edgepulse/internal/tflm"
 
 	eonc "edgepulse/internal/eon"
 )
+
+// newestBenchRecord parses the newest committed BENCH_<stamp>.json and
+// returns its ns/op by benchmark name.
+func newestBenchRecord(t *testing.T) map[string]float64 {
+	t.Helper()
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no committed BENCH_*.json records (err=%v)", err)
+	}
+	var records []struct {
+		Stamp      string `json:"stamp"`
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec struct {
+			Stamp      string `json:"stamp"`
+			Benchmarks []struct {
+				Name    string  `json:"name"`
+				NsPerOp float64 `json:"ns_per_op"`
+			} `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		records = append(records, rec)
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Stamp < records[j].Stamp })
+	newest := records[len(records)-1]
+	out := make(map[string]float64, len(newest.Benchmarks))
+	for _, b := range newest.Benchmarks {
+		out[b.Name] = b.NsPerOp
+	}
+	return out
+}
+
+// TestInt8FasterThanFloatInCommittedRecord pins the paper's core claim
+// on the committed benchmark record: quantized int8 inference must be
+// strictly faster than float32 on the same KWS architecture. This is
+// the guard against the int8-slower-than-float kernel inversion
+// recurring — a PR whose benchmark record shows the inversion cannot
+// land.
+func TestInt8FasterThanFloatInCommittedRecord(t *testing.T) {
+	ns := newestBenchRecord(t)
+	int8NS, floatNS := ns["BenchmarkAblationInt8Kernels"], ns["BenchmarkAblationFloatKernels"]
+	if int8NS <= 0 || floatNS <= 0 {
+		t.Fatalf("ablation benchmarks missing from newest record (int8=%v float=%v)", int8NS, floatNS)
+	}
+	if int8NS >= floatNS {
+		t.Errorf("int8 KWS inference %.0f ns/op is not faster than float %.0f ns/op in the committed record", int8NS, floatNS)
+	}
+}
+
+// TestKWSForwardUnderOneMillisecond pins the absolute latency budget on
+// the committed record: one KWS DS-CNN forward pass (both precisions
+// and the EON-compiled program) must stay under 1.0 ms.
+func TestKWSForwardUnderOneMillisecond(t *testing.T) {
+	const budgetNS = 1e6
+	ns := newestBenchRecord(t)
+	for _, name := range []string{
+		"BenchmarkAblationInt8Kernels",
+		"BenchmarkAblationFloatKernels",
+		"BenchmarkAblationEONCompiled",
+	} {
+		v := ns[name]
+		if v <= 0 {
+			t.Errorf("%s missing from newest committed record", name)
+			continue
+		}
+		if v >= budgetNS {
+			t.Errorf("%s = %.0f ns/op, budget is %.0f (1.0 ms)", name, v, budgetNS)
+		}
+	}
+}
 
 // TestEONCompiledAllocatesLessThanInterpreter asserts the compiled KWS
 // program performs strictly fewer allocations per inference than the

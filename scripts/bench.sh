@@ -12,10 +12,11 @@ cd "$(dirname "$0")/.."
 
 benchtime=${BENCHTIME:-1s}
 pattern=${BENCH:-.}
-# Root ablation/table benchmarks plus the kernel microbenchmarks, the
-# storage engine (upload persistence + cold signal reads) and the
-# streaming plane (per-window rolling classification).
-pkgs=(. ./internal/fft ./internal/nn ./internal/dsp ./internal/quant ./internal/store ./internal/stream)
+# Root ablation/table benchmarks plus the kernel microbenchmarks (simd
+# panels, parallel conv, fast-math), the classify pipeline (single vs
+# batched), the storage engine (upload persistence + cold signal reads)
+# and the streaming plane (per-window rolling classification).
+pkgs=(. ./internal/fft ./internal/nn ./internal/dsp ./internal/quant ./internal/simd ./internal/fastmath ./internal/core ./internal/store ./internal/stream)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
