@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"edgepulse/internal/fleet"
+)
+
+// fleetSlackMS is the absolute p99 movement a fleet op must show, on
+// top of the percentage threshold, before the gate fails. Fleet p99s
+// are single-digit milliseconds for the fast ops, where a few percent
+// is scheduler noise; the slack keeps the gate about real regressions.
+const fleetSlackMS = 5.0
+
+// fleetRateMargin is the absolute hard-error-rate increase allowed
+// over the best record in the window (one percentage point).
+const fleetRateMargin = 0.01
+
+// runFleet gates the committed FLEET_*.json series the macro load
+// harness emits (internal/fleet, cmd/ei-fleet).
+//
+// The newest record must hold two absolute invariants regardless of
+// history: no shed response may be missing its Retry-After hint, and
+// no interactive op may have been refused with "overloaded" — those
+// are resilience-contract violations, not regressions.
+//
+// With at least two records, the newest additionally ratchets against
+// the best of the preceding window: each op's p99 may not exceed the
+// window's best p99 by more than thresholdPct percent AND fleetSlackMS
+// milliseconds, and its hard-error rate may not exceed the window's
+// best by more than fleetRateMargin. Zero or one record passes — the
+// series is allowed to start somewhere.
+func runFleet(dir string, thresholdPct float64, window int, out *strings.Builder) (failed bool, err error) {
+	series, err := fleet.LoadRecords(dir)
+	if err != nil {
+		return false, err
+	}
+	if len(series) == 0 {
+		fmt.Fprintf(out, "ei-ratchet: no fleet records in %s, skipping fleet gate\n", dir)
+		return false, nil
+	}
+	cur := series[len(series)-1]
+	fmt.Fprintf(out, "ei-ratchet: fleet record %s (threshold +%.0f%% p99, +%.0fms slack)\n",
+		cur.Stamp, thresholdPct, fleetSlackMS)
+
+	interactive := make(map[string]bool, len(fleet.InteractiveOps))
+	for _, op := range fleet.InteractiveOps {
+		interactive[op] = true
+	}
+	for _, o := range cur.Ops {
+		if o.ShedNoRetryAfter > 0 {
+			failed = true
+			fmt.Fprintf(out, "  FAIL %-15s %d shed responses without Retry-After\n", o.Op, o.ShedNoRetryAfter)
+		}
+		if n := o.ByCode["overloaded"]; interactive[o.Op] && n > 0 {
+			failed = true
+			fmt.Fprintf(out, "  FAIL %-15s %d interactive requests shed overloaded\n", o.Op, n)
+		}
+	}
+
+	if len(series) < 2 {
+		fmt.Fprintf(out, "  single record, no trajectory to compare\n")
+		return failed, nil
+	}
+	if window < 1 {
+		window = 1
+	}
+	lo := len(series) - 1 - window
+	if lo < 0 {
+		lo = 0
+	}
+	baseline := series[lo : len(series)-1]
+	fmt.Fprintf(out, "  best of %s..%s -> %s\n",
+		baseline[0].Stamp, baseline[len(baseline)-1].Stamp, cur.Stamp)
+
+	bestP99 := make(map[string]float64)
+	bestRate := make(map[string]float64)
+	for _, rec := range baseline {
+		for _, o := range rec.Ops {
+			if o.P99MS > 0 {
+				if b, ok := bestP99[o.Op]; !ok || o.P99MS < b {
+					bestP99[o.Op] = o.P99MS
+				}
+			}
+			rate := o.HardErrorRate()
+			if b, ok := bestRate[o.Op]; !ok || rate < b {
+				bestRate[o.Op] = rate
+			}
+		}
+	}
+
+	for _, o := range cur.Ops {
+		best, ok := bestP99[o.Op]
+		if !ok || o.P99MS <= 0 {
+			fmt.Fprintf(out, "  skip %-15s absent from baseline window\n", o.Op)
+			continue
+		}
+		change := (o.P99MS - best) / best * 100
+		if change > thresholdPct && o.P99MS-best > fleetSlackMS {
+			failed = true
+			fmt.Fprintf(out, "  FAIL %-15s p99 %.2f -> %.2f ms (%+.1f%%)\n", o.Op, best, o.P99MS, change)
+		} else {
+			fmt.Fprintf(out, "  ok   %-15s p99 %.2f -> %.2f ms (%+.1f%%)\n", o.Op, best, o.P99MS, change)
+		}
+		if rate, bestR := o.HardErrorRate(), bestRate[o.Op]; rate > bestR+fleetRateMargin {
+			failed = true
+			fmt.Fprintf(out, "  FAIL %-15s hard-error rate %.4f above best %.4f + %.2f\n",
+				o.Op, rate, bestR, fleetRateMargin)
+		}
+	}
+	return failed, nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edgepulse/internal/fleet"
+)
+
+func writeFleet(t *testing.T, dir, stamp string, ops []fleet.OpStats) {
+	t.Helper()
+	rec := fleet.Record{
+		Stamp: stamp, GoOS: "linux", GoArch: "amd64",
+		Result: fleet.Result{Target: "http://test", Ops: ops},
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "FLEET_"+stamp+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetGateEmptyAndSingleRecordPass(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	failed, err := runFleet(dir, 25, 5, &out)
+	if err != nil || failed {
+		t.Fatalf("empty dir: failed=%v err=%v", failed, err)
+	}
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{
+		{Op: fleet.OpClassify, Count: 100, P99MS: 12},
+	})
+	failed, err = runFleet(dir, 25, 5, &out)
+	if err != nil || failed {
+		t.Fatalf("single clean record: failed=%v err=%v\n%s", failed, err, out.String())
+	}
+}
+
+func TestFleetGateAbsoluteInvariants(t *testing.T) {
+	// Retry-After missing from a shed response fails even on the very
+	// first record — it's a contract violation, not a regression.
+	dir := t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{
+		{Op: fleet.OpUpload, Count: 10, Shed: 1, ShedNoRetryAfter: 1},
+	})
+	var out strings.Builder
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || !failed {
+		t.Fatalf("missing Retry-After passed: failed=%v err=%v", failed, err)
+	}
+
+	// Interactive traffic refused with "overloaded" is equally fatal.
+	dir = t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{
+		{Op: fleet.OpClassify, Count: 10, Shed: 2, ByCode: map[string]int64{"overloaded": 2}},
+	})
+	out.Reset()
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || !failed {
+		t.Fatalf("interactive overloaded shed passed: failed=%v err=%v", failed, err)
+	}
+
+	// The same code on a batch op is fine: batch is sheddable by design.
+	dir = t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{
+		{Op: fleet.OpTrain, Count: 10, Shed: 2, ByCode: map[string]int64{"overloaded": 2}},
+	})
+	out.Reset()
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || failed {
+		t.Fatalf("batch overloaded shed failed the gate: %s", out.String())
+	}
+}
+
+func TestFleetGateP99Ratchet(t *testing.T) {
+	dir := t.TempDir()
+	// Best-of-window: the 10ms record is the baseline even though a
+	// slower record follows it.
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 10}})
+	writeFleet(t, dir, "20260201-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 14}})
+	writeFleet(t, dir, "20260301-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 30}})
+	var out strings.Builder
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || !failed {
+		t.Fatalf("p99 10 -> 30ms passed: failed=%v err=%v\n%s", failed, err, out.String())
+	}
+
+	// Within threshold: 10 -> 12ms is +20%.
+	dir = t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 10}})
+	writeFleet(t, dir, "20260201-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 12}})
+	out.Reset()
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || failed {
+		t.Fatalf("+20%% flagged: %s", out.String())
+	}
+
+	// Past the percentage but under the absolute slack: 0.5 -> 4ms is
+	// +700% yet only 3.5ms — scheduler noise on a fast op, not a
+	// regression.
+	dir = t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{{Op: fleet.OpStreamPush, Count: 100, P99MS: 0.5}})
+	writeFleet(t, dir, "20260201-000000", []fleet.OpStats{{Op: fleet.OpStreamPush, Count: 100, P99MS: 4}})
+	out.Reset()
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || failed {
+		t.Fatalf("sub-slack movement flagged: %s", out.String())
+	}
+
+	// An op new in the latest record is skipped, not failed.
+	dir = t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 10}})
+	writeFleet(t, dir, "20260201-000000", []fleet.OpStats{
+		{Op: fleet.OpClassify, Count: 100, P99MS: 10},
+		{Op: fleet.OpTune, Count: 4, P99MS: 500},
+	})
+	out.Reset()
+	failed, err := runFleet(dir, 25, 5, &out)
+	if err != nil || failed || !strings.Contains(out.String(), "skip") {
+		t.Fatalf("new op not skipped: failed=%v err=%v\n%s", failed, err, out.String())
+	}
+}
+
+func TestFleetGateHardErrorRate(t *testing.T) {
+	dir := t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 10}})
+	writeFleet(t, dir, "20260201-000000", []fleet.OpStats{
+		{Op: fleet.OpClassify, Count: 100, P99MS: 10, HardErrors: 5},
+	})
+	var out strings.Builder
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || !failed {
+		t.Fatalf("5%% hard-error rate over a clean baseline passed: failed=%v err=%v", failed, err)
+	}
+
+	// Within the one-point margin: 0 -> 1/100.
+	dir = t.TempDir()
+	writeFleet(t, dir, "20260101-000000", []fleet.OpStats{{Op: fleet.OpClassify, Count: 100, P99MS: 10}})
+	writeFleet(t, dir, "20260201-000000", []fleet.OpStats{
+		{Op: fleet.OpClassify, Count: 100, P99MS: 10, HardErrors: 1},
+	})
+	out.Reset()
+	if failed, err := runFleet(dir, 25, 5, &out); err != nil || failed {
+		t.Fatalf("1%% hard-error rate flagged: %s", out.String())
+	}
+}
+
+// TestFleetGateAgainstCommittedSeries holds the gate over the
+// repository's committed FLEET_*.json files, exactly as CI will.
+func TestFleetGateAgainstCommittedSeries(t *testing.T) {
+	var out strings.Builder
+	failed, err := runFleet("../..", 25, 5, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatalf("committed fleet series breaches the gate:\n%s", out.String())
+	}
+}

@@ -9,6 +9,11 @@
 // record prevents self-baselining: two consecutive slow records would
 // otherwise ratify each other, eroding the ratchet one PR at a time.
 //
+// It also gates the FLEET_<stamp>.json macro-load records the same
+// way: absolute resilience invariants on the newest record plus a
+// best-of-window ratchet on per-op p99 latency and hard-error rate
+// (see fleet.go).
+//
 // Usage:
 //
 //	go run ./cmd/ei-ratchet                 # newest vs best of last 5 in .
@@ -172,10 +177,11 @@ func run(dir string, names []string, thresholdPct float64, window int, out *stri
 }
 
 func main() {
-	dir := flag.String("dir", ".", "directory holding the BENCH_*.json series")
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json and FLEET_*.json series")
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
 	window := flag.Int("window", 5, "how many preceding records form the best-of baseline")
 	bench := flag.String("bench", "", "comma-separated benchmark names to guard (default: built-in hot-path list)")
+	fleetThreshold := flag.Float64("fleet-threshold", 25, "max allowed fleet p99 regression, percent")
 	flag.Parse()
 
 	names := hotPaths
@@ -189,13 +195,18 @@ func main() {
 	}
 	var out strings.Builder
 	failed, err := run(*dir, names, *threshold, *window, &out)
+	if err == nil {
+		var fleetFailed bool
+		fleetFailed, err = runFleet(*dir, *fleetThreshold, *window, &out)
+		failed = failed || fleetFailed
+	}
 	os.Stdout.WriteString(out.String())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ei-ratchet: %v\n", err)
 		os.Exit(2)
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "ei-ratchet: hot-path benchmark regression above threshold")
+		fmt.Fprintln(os.Stderr, "ei-ratchet: regression above threshold")
 		os.Exit(1)
 	}
 }

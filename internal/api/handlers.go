@@ -129,6 +129,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, u *projec
 		out.Resilience.StalledJobs = s.watchdog.Stalled()
 		out.Resilience.WatchdogCancelled = s.watchdog.Cancelled()
 	}
+	out.Runtime = RuntimeSnapshot()
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", PrometheusContentType)
 		RenderPrometheus(w, out)

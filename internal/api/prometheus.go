@@ -3,6 +3,7 @@ package api
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -154,5 +155,30 @@ func RenderPrometheus(w io.Writer, m v1.MetricsResponse) error {
 		p.metric("ei_resilience_watchdog_cancelled_total", "counter", "Stalled jobs cancelled by the watchdog.")
 		p.value("ei_resilience_watchdog_cancelled_total", "", float64(res.WatchdogCancelled))
 	}
+
+	if rt := m.Runtime; rt != nil {
+		p.metric("ei_goroutines", "gauge", "Live goroutines in the process.")
+		p.value("ei_goroutines", "", float64(rt.Goroutines))
+		p.metric("ei_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+		p.value("ei_heap_alloc_bytes", "", float64(rt.HeapAllocBytes))
+		p.metric("ei_heap_sys_bytes", "gauge", "Heap memory obtained from the OS.")
+		p.value("ei_heap_sys_bytes", "", float64(rt.HeapSysBytes))
+		p.metric("ei_gc_cycles_total", "counter", "Completed GC cycles.")
+		p.value("ei_gc_cycles_total", "", float64(rt.NumGC))
+	}
 	return p.err
+}
+
+// RuntimeSnapshot captures the process's goroutine count and heap
+// gauges for the /metrics runtime block. Exported so the gateway's
+// self-served metrics endpoint reports the same shape.
+func RuntimeSnapshot() *v1.RuntimeMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &v1.RuntimeMetrics{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		NumGC:          ms.NumGC,
+	}
 }

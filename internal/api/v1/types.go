@@ -662,6 +662,17 @@ type MetricsResponse struct {
 	// Resilience snapshots the admission gate, deadline enforcement and
 	// watchdog counters.
 	Resilience *ResilienceMetrics `json:"resilience,omitempty"`
+	// Runtime snapshots the Go runtime so load harnesses can measure
+	// target-side goroutine and heap deltas across a storm.
+	Runtime *RuntimeMetrics `json:"runtime,omitempty"`
+}
+
+// RuntimeMetrics reports process-level Go runtime gauges.
+type RuntimeMetrics struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
 }
 
 // ResilienceMetrics reports the overload-protection plane's state.

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -430,6 +431,26 @@ func (c *Client) Metrics(ctx context.Context) (*v1.MetricsResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// Ready queries the readiness probe at GET /readyz. Unlike the other
+// calls it decodes the body for both the ready (200) and degraded
+// (503) cases — the probe returns its envelope either way — so a load
+// harness can poll a booting or draining target without treating a
+// not-yet-ready answer as a hard failure.
+func (c *Client) Ready(ctx context.Context) (*v1.ReadyResponse, error) {
+	var out v1.ReadyResponse
+	err := c.get(ctx, "/readyz", nil, &out)
+	if err == nil {
+		return &out, nil
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+		if json.Unmarshal([]byte(apiErr.Message), &out) == nil {
+			return &out, nil
+		}
+	}
+	return nil, err
 }
 
 // ClusterStatus queries a gateway for the shard map with per-node

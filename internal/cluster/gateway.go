@@ -212,6 +212,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out.Routes = append(out.Routes, rm)
 	}
 	g.statMu.Unlock()
+	out.Runtime = api.RuntimeSnapshot()
 
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", api.PrometheusContentType)

@@ -298,11 +298,15 @@ func TestClusterLifecycle(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	// Replication: the follower's dataset converges to the primary's
-	// exact content hash.
-	waitFor(t, 5*time.Second, "follower convergence", func() bool {
-		return datasetVersion(f0, p0.ID) == datasetVersion(w0, p0.ID)
-	})
+	// Replication: one explicit sync round brings the follower's
+	// dataset to the primary's exact content hash — deterministic, no
+	// interval polling.
+	if err := follower.SyncOnce(ctx); err != nil {
+		t.Fatalf("follower sync: %v", err)
+	}
+	if got, want := datasetVersion(f0, p0.ID), datasetVersion(w0, p0.ID); got != want {
+		t.Fatalf("follower converged to %s, primary at %s", got, want)
+	}
 
 	// Outage: worker-0's readiness probe goes red. The gateway fails
 	// reads over to the follower and sheds writes with 503 + no_shard.

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"edgepulse/internal/dsp"
+)
+
+// sameResult reports whether two classifications agree bit for bit.
+func sameResult(got, want ClassResult) error {
+	if got.Label != want.Label {
+		return fmt.Errorf("label %q != %q", got.Label, want.Label)
+	}
+	for class, p := range want.Scores {
+		if got.Scores[class] != p {
+			return fmt.Errorf("class %s: %v != %v", class, got.Scores[class], p)
+		}
+	}
+	return nil
+}
+
+// TestClassifyBatchConcurrentBitIdentical hammers one impulse from
+// many goroutines at once — batched classification in both precisions
+// interleaved with single-window calls — and requires every result to
+// be bit-identical to a quiet sequential pass. Run under -race this
+// pins the batch path's pooled scratch buffers: any aliasing between
+// concurrent callers shows up either as a race report or as a score
+// that drifted from the reference.
+func TestClassifyBatchConcurrentBitIdentical(t *testing.T) {
+	imp := batchImpulse(t)
+	windows := batchWindows(6)
+	single := dsp.Signal{Data: windows[0], Rate: 8000, Axes: 1}
+
+	// Reference results from a quiet, sequential pass.
+	refBatch := make(map[bool][]ClassResult, 2)
+	refSingle := make(map[bool]ClassResult, 2)
+	for _, q := range []bool{false, true} {
+		res, err := imp.ClassifyBatch(windows, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refBatch[q] = res
+		if q {
+			refSingle[q], err = imp.ClassifyQuantized(single)
+		} else {
+			refSingle[q], err = imp.Classify(single)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 8
+	const rounds = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		quantized := g%2 == 1
+		batched := g%4 < 2
+		wg.Add(1)
+		go func(quantized, batched bool) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if batched {
+					got, err := imp.ClassifyBatch(windows, quantized)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := range got {
+						if err := sameResult(got[i], refBatch[quantized][i]); err != nil {
+							errs <- fmt.Errorf("round %d window %d quantized=%v: %w", r, i, quantized, err)
+							return
+						}
+					}
+					continue
+				}
+				var got ClassResult
+				var err error
+				if quantized {
+					got, err = imp.ClassifyQuantized(single)
+				} else {
+					got, err = imp.Classify(single)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := sameResult(got, refSingle[quantized]); err != nil {
+					errs <- fmt.Errorf("round %d single quantized=%v: %w", r, quantized, err)
+					return
+				}
+			}
+		}(quantized, batched)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

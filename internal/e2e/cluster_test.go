@@ -300,9 +300,14 @@ func TestClusterReplication1kSamples(t *testing.T) {
 	if p.Dataset().Len() != 1000 {
 		t.Fatalf("primary holds %d samples", p.Dataset().Len())
 	}
-	waitUntil(t, 10*time.Second, "follower convergence after 1k ingest", func() bool {
-		return e.datasetVersion(e.f0, e.p0.ID) == e.datasetVersion(e.w0, e.p0.ID)
-	})
+	// One explicit sync round replaces interval polling: after it the
+	// follower must hold the primary's exact content hash.
+	if err := e.follower.SyncOnce(ctx); err != nil {
+		t.Fatalf("follower sync: %v", err)
+	}
+	if got, want := e.datasetVersion(e.f0, e.p0.ID), e.datasetVersion(e.w0, e.p0.ID); got != want {
+		t.Fatalf("follower converged to %s, primary at %s", got, want)
+	}
 	fp, err := e.f0.reg.GetProject(e.p0.ID)
 	if err != nil {
 		t.Fatal(err)
@@ -325,9 +330,12 @@ func TestClusterOutageIsolation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	waitUntil(t, 5*time.Second, "initial replication", func() bool {
-		return e.datasetVersion(e.f0, e.p0.ID) == e.datasetVersion(e.w0, e.p0.ID)
-	})
+	if err := e.follower.SyncOnce(ctx); err != nil {
+		t.Fatalf("initial replication sync: %v", err)
+	}
+	if got, want := e.datasetVersion(e.f0, e.p0.ID), e.datasetVersion(e.w0, e.p0.ID); got != want {
+		t.Fatalf("follower at %s, primary at %s", got, want)
+	}
 
 	e.w0.chaos.set(errors.New("injected crash"))
 	waitUntil(t, 2*time.Second, "outage detection", func() bool {

@@ -1,0 +1,211 @@
+package fleet
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	v1 "edgepulse/internal/api/v1"
+	"edgepulse/internal/client"
+)
+
+// Operation names as they appear in OpStats and FLEET records.
+const (
+	OpUpload        = "upload"
+	OpClassify      = "classify"
+	OpClassifyBatch = "classify_batch"
+	OpStreamOpen    = "stream_open"
+	OpStreamPush    = "stream_push"
+	OpStreamClose   = "stream_close"
+	OpTrain         = "train"
+	OpTune          = "tune"
+)
+
+// codeTransport labels failures that never produced an HTTP response.
+const codeTransport = "transport"
+
+// shedCodes are the stable error codes that mean "back off and retry"
+// rather than "this request was wrong": each one arrives as 429 or 503
+// with a Retry-After hint.
+var shedCodes = map[string]bool{
+	v1.CodeOverloaded:   true,
+	v1.CodeBackpressure: true,
+	v1.CodeNoShard:      true,
+	v1.CodeRateLimited:  true,
+	v1.CodeUnavailable:  true,
+}
+
+// opAgg accumulates one operation's outcomes.
+type opAgg struct {
+	lat              []float64 // milliseconds, one entry per attempt
+	shed             int64
+	shedNoRetryAfter int64
+	hard             int64
+	byCode           map[string]int64
+}
+
+// recorder is the concurrent sink every device goroutine reports into.
+type recorder struct {
+	mu  sync.Mutex
+	ops map[string]*opAgg
+}
+
+func newRecorder() *recorder {
+	return &recorder{ops: make(map[string]*opAgg)}
+}
+
+func (r *recorder) agg(op string) *opAgg {
+	a := r.ops[op]
+	if a == nil {
+		a = &opAgg{byCode: make(map[string]int64)}
+		r.ops[op] = a
+	}
+	return a
+}
+
+// observe records one attempt: its latency plus the outcome decoded
+// from err (nil = success, *client.APIError = classified by code,
+// anything else = transport failure). It returns true when the error
+// was a retryable shed.
+func (r *recorder) observe(op string, d time.Duration, err error) (shed bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.agg(op)
+	a.lat = append(a.lat, float64(d)/float64(time.Millisecond))
+	if err == nil {
+		return false
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		a.hard++
+		a.byCode[codeTransport]++
+		return false
+	}
+	code := apiErr.Code
+	if code == "" {
+		code = codeTransport
+	}
+	a.byCode[code]++
+	if shedCodes[code] {
+		a.shed++
+		if apiErr.RetryAfter <= 0 {
+			a.shedNoRetryAfter++
+		}
+		return true
+	}
+	a.hard++
+	return false
+}
+
+// fail records an attempt that went wrong outside the request itself —
+// a job that was accepted but ended failed. The submission latency was
+// already observed; this only bumps the failure counters.
+func (r *recorder) fail(op, code string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.agg(op)
+	a.hard++
+	a.byCode[code]++
+}
+
+// stats folds the aggregates into the sorted OpStats slice of a Result.
+func (r *recorder) stats(wall time.Duration) []OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ops))
+	for op := range r.ops {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	out := make([]OpStats, 0, len(names))
+	for _, op := range names {
+		a := r.ops[op]
+		lat := append([]float64(nil), a.lat...)
+		sort.Float64s(lat)
+		st := OpStats{
+			Op:               op,
+			Count:            int64(len(a.lat)),
+			Shed:             a.shed,
+			ShedNoRetryAfter: a.shedNoRetryAfter,
+			HardErrors:       a.hard,
+			P50MS:            percentile(lat, 50),
+			P95MS:            percentile(lat, 95),
+			P99MS:            percentile(lat, 99),
+			MaxMS:            percentile(lat, 100),
+			MeanMS:           mean(lat),
+		}
+		if len(a.byCode) > 0 {
+			st.ByCode = make(map[string]int64, len(a.byCode))
+			for c, n := range a.byCode {
+				st.ByCode[c] = n
+			}
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			st.OpsPerSec = float64(st.Count) / secs
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// percentile is the nearest-rank percentile of an ascending slice
+// (p in [0,100]; 0 for an empty slice).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// recallAgg accumulates streaming ground-truth comparisons.
+type recallAgg struct {
+	mu       sync.Mutex
+	sessions int
+	events   int
+	detected int
+	missed   int
+	false_   int
+}
+
+func (r *recallAgg) add(events, detected, missed, falseFires int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sessions++
+	r.events += events
+	r.detected += detected
+	r.missed += missed
+	r.false_ += falseFires
+}
+
+func (r *recallAgg) stats() RecallStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RecallStats{
+		Sessions: r.sessions, Events: r.events,
+		Detected: r.detected, Missed: r.missed, False: r.false_,
+		Recall: 1,
+	}
+	if st.Events > 0 {
+		st.Recall = float64(st.Detected) / float64(st.Events)
+	}
+	return st
+}

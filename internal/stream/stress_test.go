@@ -41,6 +41,10 @@ func TestSessionsUnderLoadStress(t *testing.T) {
 
 	var wg sync.WaitGroup
 	var shed, pushed atomic.Int64
+	// Signaled once per producer after its first push attempt settles,
+	// so the drain below starts mid-flight deterministically instead of
+	// after a wall-clock guess.
+	started := make(chan struct{}, nSessions)
 	for i := 0; i < nSessions; i++ {
 		cfg := Config{
 			WindowFrames: 32, StrideFrames: 8, Axes: 1, Rate: 1000,
@@ -55,6 +59,9 @@ func TestSessionsUnderLoadStress(t *testing.T) {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			var once sync.Once
+			markStarted := func() { once.Do(func() { started <- struct{}{} }) }
+			defer markStarted()
 			rng := rand.New(rand.NewSource(seed))
 			for b := 0; b < nBatches; b++ {
 				batch := make([]float32, batchFrames)
@@ -72,6 +79,7 @@ func TestSessionsUnderLoadStress(t *testing.T) {
 					t.Error(err)
 					return
 				}
+				markStarted()
 			}
 		}(int64(i))
 		// Tailing subscriber that keeps resuming after being dropped.
@@ -129,8 +137,10 @@ func TestSessionsUnderLoadStress(t *testing.T) {
 		}()
 	}
 
-	// Let the producers run, then drain mid-flight.
-	time.Sleep(30 * time.Millisecond)
+	// Every producer has landed at least one batch; drain mid-flight.
+	for i := 0; i < nSessions; i++ {
+		<-started
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := m.Drain(ctx); err != nil {

@@ -456,6 +456,14 @@ func Stream(label string, rate int, seconds float64, nEvents int, noise float64,
 // bit-identical to the corresponding slices of the one-shot signal, so
 // windowed classification over a streamed source reproduces one-shot
 // extraction exactly.
+//
+// A Source is NOT safe for concurrent use: Next advances an unguarded
+// cursor, so it must be driven by a single goroutine. A fleet of M
+// simulated devices should give each device its own Source — either
+// Clone an existing one, or synthesize per device with a seed derived
+// via Derive so the streams are independent but deterministic. The
+// underlying signal is never mutated, so clones may be driven from
+// different goroutines concurrently.
 type Source struct {
 	sig  dsp.Signal
 	pos  int
@@ -482,6 +490,27 @@ func NewStreamSource(label string, rate int, seconds float64, nEvents int, noise
 func NewVibrationSource(rate int, seconds float64, anomalous bool, seed int64) *Source {
 	rng := rand.New(rand.NewSource(seed))
 	return NewSource(Vibration(rate, seconds, anomalous, rng), false)
+}
+
+// Clone returns an independent reader over the same synthesized
+// signal, rewound to the start. The signal data is shared (it is never
+// written after synthesis) but the replay cursor is per-clone, so each
+// clone can be driven by its own goroutine.
+func (s *Source) Clone() *Source {
+	return &Source{sig: s.sig, loop: s.loop}
+}
+
+// Derive deterministically mixes a base seed with a device index so M
+// simulated devices get independent, reproducible streams from one
+// scenario seed: Derive(seed, i) != Derive(seed, j) for i != j, and
+// the same (seed, device) pair always yields the same value. The
+// mixing is a splitmix64 finalizer, so adjacent device indices land
+// far apart in seed space.
+func Derive(seed int64, device int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(device)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Axes returns the interleaved value count per frame.
